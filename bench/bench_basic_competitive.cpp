@@ -1,0 +1,163 @@
+// E3 — Theorem 2: the Basic algorithm is (3 + lambda/K)-competitive.
+//
+// Sweeps lambda and K across four workload families and prints the measured
+// competitive ratio (online cost / exact DP optimum) next to the bound.
+// The adversarial family is the rent-or-buy style sequence that extracts
+// the worst ratio the counter admits; random and phased families show the
+// typical-case gap below the bound.
+#include "analysis/allocation_game.hpp"
+#include "analysis/multi_machine.hpp"
+#include "analysis/potential_audit.hpp"
+#include "analysis/workloads.hpp"
+#include "bench/bench_util.hpp"
+#include "common/rng.hpp"
+
+using namespace paso;
+using namespace paso::bench;
+using namespace paso::analysis;
+
+namespace {
+
+struct FamilyResult {
+  double worst = 0;
+  double mean = 0;
+};
+
+FamilyResult sweep_family(const std::string& family, std::size_t lambda,
+                          Cost k, Rng& rng) {
+  const GameCosts costs{1, lambda + 1};
+  const adaptive::CounterConfig config{k, 1, false, false};
+  std::vector<RequestSequence> sequences;
+  if (family == "random") {
+    for (const double p : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+      sequences.push_back(random_sequence(20000, p, k, rng));
+    }
+  } else if (family == "phased") {
+    PhasedOptions options;
+    options.phases = 16;
+    options.phase_length = 1000;
+    sequences.push_back(phased_sequence(options, k, rng));
+    options.phase_length = 64;
+    sequences.push_back(phased_sequence(options, k, rng));
+  } else if (family == "bursty") {
+    // Long read bursts with short update bursts: near-worst-case shape.
+    RequestSequence seq;
+    for (int cycle = 0; cycle < 200; ++cycle) {
+      const std::size_t reads = 1 + rng.index(static_cast<std::size_t>(k));
+      const std::size_t updates = 1 + rng.index(static_cast<std::size_t>(2 * k));
+      for (std::size_t i = 0; i < reads; ++i)
+        seq.push_back(Request{ReqKind::kRead, k});
+      for (std::size_t i = 0; i < updates; ++i)
+        seq.push_back(Request{ReqKind::kUpdate, k});
+    }
+    sequences.push_back(std::move(seq));
+  } else {  // adversarial
+    sequences.push_back(adversarial_basic_sequence(400, k, costs));
+  }
+
+  FamilyResult result;
+  for (const RequestSequence& seq : sequences) {
+    const auto cmp = compare_basic(seq, costs, config);
+    result.worst = std::max(result.worst, cmp.ratio);
+    result.mean += cmp.ratio;
+  }
+  result.mean /= static_cast<double>(sequences.size());
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  print_header("E3 / Theorem 2: Basic algorithm competitive ratio vs "
+               "(3 + lambda/K)");
+  std::printf("%7s %4s | %22s %22s %22s | %8s\n", "lambda", "K",
+              "random (worst/mean)", "phased (worst/mean)",
+              "adversarial (worst)", "bound");
+  print_rule();
+
+  Rng rng(20260707);
+  bool all_within = true;
+  for (const std::size_t lambda : {1u, 2u, 3u, 4u, 8u}) {
+    for (const Cost k : {2.0, 4.0, 8.0, 16.0, 32.0, 64.0}) {
+      const double bound = theorem2_bound(lambda, k);
+      const auto random = sweep_family("random", lambda, k, rng);
+      const auto phased = sweep_family("phased", lambda, k, rng);
+      const auto adversarial = sweep_family("adversarial", lambda, k, rng);
+      const double worst =
+          std::max({random.worst, phased.worst, adversarial.worst});
+      const bool ok = worst <= bound + 1e-9;
+      all_within = all_within && ok;
+      std::printf("%7zu %4.0f | %10.3f /%10.3f %10.3f /%10.3f %22.3f | %8.3f%s\n",
+                  lambda, k, random.worst, random.mean, phased.worst,
+                  phased.mean, adversarial.worst, bound, ok ? "" : "  !!");
+    }
+  }
+
+  print_header("Bursty stress (random burst lengths)");
+  std::printf("%7s %4s | %10s | %8s\n", "lambda", "K", "worst", "bound");
+  print_rule();
+  for (const std::size_t lambda : {1u, 2u, 4u}) {
+    for (const Cost k : {4.0, 16.0}) {
+      const auto bursty = sweep_family("bursty", lambda, k, rng);
+      const double bound = theorem2_bound(lambda, k);
+      const bool ok = bursty.worst <= bound + 1e-9;
+      all_within = all_within && ok;
+      std::printf("%7zu %4.0f | %10.3f | %8.3f%s\n", lambda, k, bursty.worst,
+                  bound, ok ? "" : "  !!");
+    }
+  }
+
+  print_header("Whole-cluster game: rotating hot-spot reads across 6 "
+               "machines, per-machine counters");
+  std::printf("%7s %4s | %10s %16s | %8s\n", "lambda", "K", "global",
+              "worst machine", "bound");
+  print_rule();
+  for (const std::size_t lambda : {1u, 2u, 3u}) {
+    for (const Cost k : {4.0, 16.0}) {
+      const GameCosts costs{1, lambda + 1};
+      HotSpotOptions options;
+      options.machines = 6;
+      const GlobalSequence global = hotspot_sequence(options, k, rng);
+      const GlobalComparison whole = compare_basic_global(
+          global, options.machines, costs,
+          adaptive::CounterConfig{k, 1, false, false});
+      double worst_machine = 0;
+      for (const double r : whole.per_machine_ratio) {
+        worst_machine = std::max(worst_machine, r);
+      }
+      const double bound = theorem2_bound(lambda, k);
+      const bool ok = whole.ratio <= bound + 1e-9;
+      all_within = all_within && ok;
+      std::printf("%7zu %4.0f | %10.3f %16.3f | %8.3f%s\n", lambda, k,
+                  whole.ratio, worst_machine, bound, ok ? "" : "  !!");
+    }
+  }
+  std::printf(
+      "The class's total cost decomposes into independent per-machine games,\n"
+      "so local counters give the global guarantee (Section 5's \"local\n"
+      "optimizations lead to global efficiency\", made precise).\n");
+
+  print_header("Event-wise potential audit (lambda <= 3, Theorem 2 proof)");
+  std::printf("%7s %4s | %10s | %s\n", "lambda", "K", "worst event",
+              "verdict");
+  print_rule();
+  for (const std::size_t lambda : {1u, 2u, 3u}) {
+    for (const Cost k : {4.0, 16.0}) {
+      const GameCosts costs{1, lambda + 1};
+      const auto seq = adversarial_basic_sequence(200, k, costs);
+      const auto audit = audit_potential(
+          seq, costs, adaptive::CounterConfig{k, 1, false, false});
+      std::printf("%7zu %4.0f | %10.3f | %s\n", lambda, k,
+                  audit.worst_event_ratio,
+                  audit.ok ? "amortized <= (3+lambda/K)*OPT per event"
+                           : audit.first_violation.c_str());
+      all_within = all_within && audit.ok;
+    }
+  }
+
+  std::printf("\n%s\n",
+              all_within
+                  ? "All measured ratios within the Theorem 2 bound."
+                  : "!! Some ratio exceeded the bound — investigate.");
+  return all_within ? 0 : 1;
+}

@@ -1,0 +1,101 @@
+// Ablation — Section 4.3's blocking-read design space.
+//
+// The paper discusses three ways to implement blocking read: busy-waiting
+// ("may be inefficient when only a small number of the requests are expected
+// to be satisfied"), read markers, and the hybrid in which markers expire.
+// This bench quantifies the trade: N waiters block on keys that are
+// satisfied only after a long delay D. Polling pays message cost every
+// interval for the whole wait; markers pay one placement per TTL window and
+// one notification. We sweep the wait time and the poll interval / marker
+// TTL, reporting total message cost and mean wake-up latency (time from
+// satisfying insert to waiter completion).
+#include "analysis/latency.hpp"
+#include "bench/bench_util.hpp"
+
+using namespace paso;
+using namespace paso::bench;
+
+namespace {
+
+struct Outcome {
+  Cost msg_cost = 0;
+  double wakeup_latency = 0;
+};
+
+Outcome run(BlockingMode mode, sim::SimTime wait, sim::SimTime interval,
+            sim::SimTime marker_ttl) {
+  ClusterConfig config;
+  config.machines = 6;
+  config.lambda = 1;
+  config.runtime.poll_interval = interval;
+  config.runtime.marker_ttl = marker_ttl;
+  Cluster cluster(TaskCluster::schema(), config);
+  cluster.assign_basic_support();
+
+  constexpr int kWaiters = 4;
+  int done = 0;
+  sim::SimTime wake_sum = 0;
+  sim::SimTime insert_time = 0;
+  cluster.ledger().reset();
+  for (int w = 0; w < kWaiters; ++w) {
+    const ProcessId p =
+        cluster.process(MachineId{static_cast<std::uint32_t>(2 + w % 4)}, 7);
+    cluster.runtime(p.machine)
+        .read_blocking(p, TaskCluster::by_key(100 + w),
+                       [&cluster, &done, &wake_sum,
+                        &insert_time](SearchResponse r) {
+                         PASO_REQUIRE(r.has_value(), "waiter failed");
+                         wake_sum += cluster.simulator().now() - insert_time;
+                         ++done;
+                       },
+                       mode);
+  }
+  cluster.settle_for(wait);
+  insert_time = cluster.simulator().now();
+  const ProcessId writer = cluster.process(MachineId{0});
+  for (int w = 0; w < kWaiters; ++w) {
+    cluster.runtime(writer.machine)
+        .insert(writer, TaskCluster::tuple(100 + w), {});
+  }
+  cluster.simulator().run_while_pending(
+      [&done] { return done == kWaiters; });
+  return Outcome{cluster.ledger().total_msg_cost(),
+                 wake_sum / kWaiters};
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation / Section 4.3: busy-wait vs read markers "
+               "(4 waiters, satisfied after `wait`)");
+  std::printf("%9s %9s | %13s %10s | %13s %10s | %13s %10s\n", "wait",
+              "interval", "poll: msg", "latency", "ttl=intvl: msg", "latency",
+              "ttl=20x: msg", "latency");
+  print_rule();
+  for (const sim::SimTime wait : {1000.0, 10000.0, 100000.0}) {
+    for (const sim::SimTime interval : {100.0, 500.0, 2000.0}) {
+      const Outcome poll = run(BlockingMode::kPoll, wait, interval, interval);
+      const Outcome hybrid =
+          run(BlockingMode::kMarker, wait, interval, interval);
+      const Outcome marker =
+          run(BlockingMode::kMarker, wait, interval, interval * 20);
+      std::printf(
+          "%9.0f %9.0f | %13.0f %10.1f | %13.0f %10.1f | %13.0f %10.1f\n",
+          wait, interval, poll.msg_cost, poll.wakeup_latency,
+          hybrid.msg_cost, hybrid.wakeup_latency, marker.msg_cost,
+          marker.wakeup_latency);
+    }
+  }
+  std::printf(
+      "\nThree regimes of Section 4.3's design space:\n"
+      "  * busy-wait: msg cost linear in wait/interval (one probe gcast per\n"
+      "    interval per waiter), wake-up latency up to one interval;\n"
+      "  * hybrid with aggressive expiry (ttl = interval): re-placing the\n"
+      "    markers costs *more* than polling — each placement is a full\n"
+      "    write-group gcast — so short TTLs degenerate to expensive polls;\n"
+      "  * long-lived markers (ttl = 20x): near-flat cost in the wait and\n"
+      "    immediate wake-up — the case for markers the paper sketches.\n"
+      "The right hybrid expires markers on the reconfiguration timescale,\n"
+      "not the polling one.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// E5 — Theorem 3: the doubling/halving algorithm is (6 + 2*lambda/K)-
+// competitive when the number of live objects l (and hence the join cost K)
+// changes over time.
+//
+// Drives the growth workload (l swings up and down by large factors across
+// phases) through the doubling automaton and through the fixed-K Basic
+// automaton, comparing both to the exact offline optimum that pays the true
+// time-varying join cost. The doubling variant must stay within Theorem 3's
+// bound; the fixed-K variant shows why tracking K matters when l drifts far
+// from the initial calibration.
+#include "analysis/allocation_game.hpp"
+#include "analysis/workloads.hpp"
+#include "bench/bench_util.hpp"
+#include "common/rng.hpp"
+
+using namespace paso;
+using namespace paso::bench;
+using namespace paso::analysis;
+
+int main() {
+  print_header("E5 / Theorem 3: doubling/halving under varying l, bound "
+               "6 + 2*lambda/K (K = 1 conservatively)");
+  std::printf("%7s %7s %8s | %10s %10s | %10s\n", "lambda", "phases",
+              "swing", "doubling", "fixed-K", "bound");
+  print_rule();
+
+  Rng rng(31415);
+  bool all_within = true;
+  for (const std::size_t lambda : {1u, 2u, 3u}) {
+    for (const std::size_t phase_length : {256u, 1024u, 4096u}) {
+      for (const double insert_fraction : {0.75, 0.95}) {
+        GrowthOptions options;
+        options.phases = 8;
+        options.phase_length = phase_length;
+        options.growth_insert_fraction = insert_fraction;
+        options.initial_objects = 16;
+        const auto seq = growth_sequence(options, rng);
+        const GameCosts costs{1, lambda + 1};
+
+        const auto doubling = compare_doubling(
+            seq, costs, adaptive::DoublingAutomaton::Config{16, 1, false,
+                                                            false});
+        const auto fixed = compare_basic(
+            seq, costs, adaptive::CounterConfig{16, 1, false, false});
+        const double bound = theorem3_bound(lambda, 1);
+        const bool ok = doubling.ratio <= bound + 1e-9;
+        all_within = all_within && ok;
+        std::printf("%7zu %7zu %8.2f | %10.3f %10.3f | %10.3f%s\n", lambda,
+                    phase_length, insert_fraction, doubling.ratio,
+                    fixed.ratio, bound, ok ? "" : "  !!");
+      }
+    }
+  }
+
+  print_header("Extreme swing: l grows 64x then collapses (fixed-K "
+               "mis-calibration)");
+  std::printf("%7s | %10s %10s | %10s\n", "lambda", "doubling", "fixed-K",
+              "bound");
+  print_rule();
+  for (const std::size_t lambda : {1u, 2u}) {
+    GrowthOptions options;
+    options.phases = 4;
+    options.phase_length = 8192;
+    options.growth_insert_fraction = 0.98;
+    options.initial_objects = 4;
+    const auto seq = growth_sequence(options, rng);
+    const GameCosts costs{1, lambda + 1};
+    const auto doubling = compare_doubling(
+        seq, costs, adaptive::DoublingAutomaton::Config{4, 1, false, false});
+    const auto fixed = compare_basic(
+        seq, costs, adaptive::CounterConfig{4, 1, false, false});
+    const double bound = theorem3_bound(lambda, 1);
+    const bool ok = doubling.ratio <= bound + 1e-9;
+    all_within = all_within && ok;
+    std::printf("%7zu | %10.3f %10.3f | %10.3f%s\n", lambda, doubling.ratio,
+                fixed.ratio, bound, ok ? "" : "  !!");
+  }
+
+  std::printf("\n%s\n",
+              all_within
+                  ? "Doubling/halving stays within the Theorem 3 bound on "
+                    "every sequence."
+                  : "!! Doubling/halving exceeded the Theorem 3 bound.");
+  return all_within ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+// Ablation — read-group rotation for load balancing.
+//
+// The paper optimizes total work and message cost and explicitly defers
+// response time to a load-balancing scheme [13]. This bench implements the
+// obvious one — rotate the read group across the write group's members —
+// and measures the per-server work distribution of a read-heavy workload:
+// with the static basic-support read group, the lambda+1 basic members
+// absorb all query work; with rotation, work spreads across every replica
+// at identical total cost.
+#include "bench/bench_util.hpp"
+
+using namespace paso;
+using namespace paso::bench;
+
+namespace {
+
+struct Distribution {
+  Cost total = 0;
+  Cost max_server = 0;
+  double imbalance = 0;  // max / mean over write-group members
+};
+
+Distribution run(bool rotate, std::size_t wg_size) {
+  ClusterConfig config;
+  config.machines = 10;
+  config.lambda = 1;
+  config.runtime.rotate_read_groups = rotate;
+  Cluster cluster(TaskCluster::schema(), config);
+  cluster.assign_basic_support();
+  for (std::uint32_t m = 0; m < wg_size; ++m) {
+    cluster.runtime(MachineId{m}).request_join(ClassId{0});
+  }
+  cluster.settle();
+  const ProcessId writer = cluster.process(MachineId{0});
+  cluster.insert_sync(writer, TaskCluster::tuple(1));
+  cluster.ledger().reset();
+
+  const ProcessId reader = cluster.process(MachineId{9});
+  for (int i = 0; i < 300; ++i) {
+    cluster.read_sync(reader, TaskCluster::by_key(1));
+  }
+
+  Distribution dist;
+  Cost sum = 0;
+  for (std::uint32_t m = 0; m < wg_size; ++m) {
+    const Cost w = cluster.ledger().work_of(MachineId{m});
+    sum += w;
+    dist.max_server = std::max(dist.max_server, w);
+  }
+  dist.total = sum;
+  dist.imbalance = dist.max_server / (sum / static_cast<Cost>(wg_size));
+  return dist;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation: read-group rotation (300 remote reads, lambda=1, "
+               "rg size 2)");
+  std::printf("%6s | %12s %12s %10s | %12s %12s %10s\n", "|wg|",
+              "static: work", "max server", "imbalance", "rotate: work",
+              "max server", "imbalance");
+  print_rule();
+  for (const std::size_t wg : {2u, 4u, 6u, 8u}) {
+    const Distribution fixed = run(false, wg);
+    const Distribution rotated = run(true, wg);
+    std::printf("%6zu | %12.0f %12.0f %10.2f | %12.0f %12.0f %10.2f\n", wg,
+                fixed.total, fixed.max_server, fixed.imbalance,
+                rotated.total, rotated.max_server, rotated.imbalance);
+  }
+  std::printf(
+      "\nTotal work is identical (the read group size is still lambda+1);\n"
+      "rotation divides the per-server load by |wg|/(lambda+1) — imbalance\n"
+      "drops from |wg|/(lambda+1) to ~1.0. Response time follows the busiest\n"
+      "server on a loaded system, so this is the free latency win the paper\n"
+      "points to via [13].\n");
+  return 0;
+}

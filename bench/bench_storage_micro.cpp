@@ -1,0 +1,120 @@
+// Micro-benchmarks (google-benchmark) of the three local stores backing the
+// memory servers: real wall-clock cost of store_M / mem-read_M / remove_M at
+// various sizes. These are the I/Q/D of Figure 1 measured on real hardware
+// rather than in model units — the model costs (1, log l, l) should be
+// visible in the scaling of each store family.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "storage/hash_store.hpp"
+#include "storage/linear_store.hpp"
+#include "storage/ordered_store.hpp"
+
+namespace {
+
+using namespace paso;
+using namespace paso::storage;
+
+std::unique_ptr<ObjectStore> make_store(int kind) {
+  switch (kind) {
+    case 0:
+      return std::make_unique<HashStore>(0);
+    case 1:
+      return std::make_unique<OrderedStore>(0);
+    default:
+      return std::make_unique<LinearStore>();
+  }
+}
+
+const char* kind_name(int kind) {
+  return kind == 0 ? "hash" : kind == 1 ? "ordered" : "linear";
+}
+
+PasoObject object_for(std::int64_t key) {
+  PasoObject object;
+  object.id = ObjectId{ProcessId{MachineId{0}, 0},
+                       static_cast<std::uint64_t>(key)};
+  object.fields = {Value{key}, Value{std::string{"payload-payload"}}};
+  return object;
+}
+
+void fill(ObjectStore& store, std::int64_t count) {
+  for (std::int64_t i = 0; i < count; ++i) {
+    store.store(object_for(i), static_cast<std::uint64_t>(i));
+  }
+}
+
+void BM_StoreInsert(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  const std::int64_t size = state.range(1);
+  auto store = make_store(kind);
+  fill(*store, size);
+  std::int64_t next = size;
+  for (auto _ : state) {
+    store->store(object_for(next), static_cast<std::uint64_t>(next));
+    ++next;
+  }
+  state.SetLabel(kind_name(kind));
+}
+
+void BM_StoreQueryByKey(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  const std::int64_t size = state.range(1);
+  auto store = make_store(kind);
+  fill(*store, size);
+  const SearchCriterion sc =
+      criterion(Exact{Value{size / 2}}, TypedAny{FieldType::kText});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->find(sc));
+  }
+  state.SetLabel(kind_name(kind));
+}
+
+void BM_StoreQueryByRange(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  const std::int64_t size = state.range(1);
+  auto store = make_store(kind);
+  fill(*store, size);
+  const SearchCriterion sc =
+      criterion(IntRange{size / 2, size / 2 + 3}, TypedAny{FieldType::kText});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->find(sc));
+  }
+  state.SetLabel(kind_name(kind));
+}
+
+void BM_StoreRemoveInsertPair(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  const std::int64_t size = state.range(1);
+  auto store = make_store(kind);
+  fill(*store, size);
+  std::int64_t next = size;
+  for (auto _ : state) {
+    auto removed = store->remove(
+        criterion(TypedAny{FieldType::kInt}, TypedAny{FieldType::kText}));
+    benchmark::DoNotOptimize(removed);
+    store->store(object_for(next), static_cast<std::uint64_t>(next));
+    ++next;
+  }
+  state.SetLabel(kind_name(kind));
+}
+
+void StoreArgs(benchmark::internal::Benchmark* bench) {
+  for (int kind = 0; kind < 3; ++kind) {
+    for (const std::int64_t size : {100, 1000, 10000}) {
+      // Linear scan at 10k is slow by design; cap its size.
+      if (kind == 2 && size > 1000) continue;
+      bench->Args({kind, size});
+    }
+  }
+}
+
+BENCHMARK(BM_StoreInsert)->Apply(StoreArgs);
+BENCHMARK(BM_StoreQueryByKey)->Apply(StoreArgs);
+BENCHMARK(BM_StoreQueryByRange)->Apply(StoreArgs);
+BENCHMARK(BM_StoreRemoveInsertPair)->Apply(StoreArgs);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,136 @@
+// E6 — Theorem 4 and Section 5.2: the Support Selection Problem.
+//
+// Part 1 (pure algorithm, via the paging reduction): for each (n, lambda)
+// and trace family, state copies of LRF / FIFO / MARKING / RANDOM vs the
+// exact offline optimum (Belady). The cyclic adversary realizes the
+// deterministic lower bound n - lambda - 1; the randomized marking algorithm
+// sits near the log(n - lambda - 1) bound on the same adversary, matching
+// both halves of Theorem 4.
+//
+// Part 2 (end-to-end): the SupportManager recruiting replacements inside the
+// live cluster, where every recruit pays a real g-join state copy of g(l)
+// bytes across the bus.
+#include <cmath>
+#include <memory>
+
+#include "adaptive/support_manager.hpp"
+#include "adaptive/support_selection.hpp"
+#include "bench/bench_util.hpp"
+
+using namespace paso;
+using namespace paso::bench;
+using namespace paso::adaptive;
+
+namespace {
+
+std::uint64_t run_rule(const std::string& rule, std::size_t n,
+                       std::size_t lambda, const FailureTrace& trace,
+                       Rng& rng) {
+  const std::size_t cache = n - lambda - 1;
+  std::unique_ptr<SupportSelector> selector;
+  if (rule == "LRF") {
+    selector = std::make_unique<LrfSelector>(n, lambda);
+  } else if (rule == "FIFO") {
+    selector = std::make_unique<PagingBackedSelector>(
+        n, lambda, std::make_unique<FifoPaging>(cache));
+  } else if (rule == "MARKING") {
+    selector = std::make_unique<PagingBackedSelector>(
+        n, lambda, std::make_unique<MarkingPaging>(cache, rng.split()));
+  } else {
+    selector = std::make_unique<PagingBackedSelector>(
+        n, lambda, std::make_unique<RandomPaging>(cache, rng.split()));
+  }
+  return run_selector(*selector, trace);
+}
+
+void run_family(const std::string& family, std::size_t n, std::size_t lambda,
+                const FailureTrace& trace, Rng& rng) {
+  const std::uint64_t opt =
+      std::max<std::uint64_t>(optimal_copies(trace, n, lambda), 1);
+  std::printf("%-10s n=%2zu lam=%zu | OPT %6llu |", family.c_str(), n, lambda,
+              static_cast<unsigned long long>(opt));
+  for (const std::string rule : {"LRF", "FIFO", "MARKING", "RANDOM"}) {
+    const std::uint64_t copies = run_rule(rule, n, lambda, trace, rng);
+    std::printf(" %s %6.2f |", rule.c_str(),
+                static_cast<double>(copies) / static_cast<double>(opt));
+  }
+  const double det_bound = static_cast<double>(n - lambda - 1);
+  std::printf(" det-LB %5.1f rand-LB %4.2f\n", det_bound,
+              std::log(det_bound));
+}
+
+}  // namespace
+
+int main() {
+  print_header("E6 / Theorem 4, part 1: support selection via the paging "
+               "reduction (ratios = copies/OPT)");
+  Rng rng(987);
+  for (const std::size_t n : {8u, 16u, 32u}) {
+    for (const std::size_t lambda : {1u, 2u}) {
+      const std::size_t len = 200 * n;
+      run_family("cyclic", n, lambda,
+                 cyclic_failure_trace(n, lambda, len), rng);
+      run_family("uniform", n, lambda,
+                 uniform_failure_trace(n, len, rng), rng);
+      run_family("flaky", n, lambda,
+                 flaky_failure_trace(n, len, 1.2, rng), rng);
+      print_rule();
+    }
+  }
+  std::printf(
+      "On the cyclic adversary the deterministic rules (LRF/FIFO) ride the\n"
+      "n - lambda - 1 lower bound while randomized MARKING stays near the\n"
+      "logarithmic one — the two halves of Theorem 4. On uniform and flaky\n"
+      "traces all rules sit far below the bound, and LRF (the paper's\n"
+      "heuristic, the image of LRU) is the best or tied deterministic rule.\n");
+
+  print_header("E6, part 2: end-to-end recruiting with real g(l) state "
+               "copies");
+  std::printf("%-12s %6s | %12s %14s %12s\n", "rule", "l", "recruits",
+              "xfer bytes", "msg cost");
+  print_rule();
+  for (const auto rule : {SupportManager::Rule::kLrf,
+                          SupportManager::Rule::kRoundRobin,
+                          SupportManager::Rule::kRandom}) {
+    for (const std::size_t live : {20u, 200u}) {
+      ClusterConfig config;
+      config.machines = 8;
+      config.lambda = 1;
+      Cluster cluster(TaskCluster::schema(), config);
+      cluster.assign_basic_support();
+      SupportManager manager(cluster, rule, 5);
+      const ProcessId writer = cluster.process(MachineId{7});
+      for (std::size_t i = 0; i < live; ++i) {
+        cluster.insert_sync(writer,
+                            TaskCluster::tuple(static_cast<std::int64_t>(i)));
+      }
+      cluster.ledger().reset();
+
+      // Rolling failures: crash a current support member, recruit, recover.
+      Rng fail_rng(99);
+      for (int round = 0; round < 12; ++round) {
+        const auto support = cluster.basic_support(ClassId{0});
+        const MachineId victim = support[fail_rng.index(support.size())];
+        cluster.crash(victim);
+        cluster.settle();
+        manager.on_machine_failed(victim);
+        cluster.settle();
+        cluster.recover(victim);
+        cluster.settle();
+      }
+      const auto& tags = cluster.ledger().per_tag();
+      const auto xfer = tags.contains("state-xfer")
+                            ? tags.at("state-xfer")
+                            : net::TrafficStats{};
+      std::printf("%-12s %6zu | %12llu %14llu %12.0f\n",
+                  SupportManager::rule_name(rule), live,
+                  static_cast<unsigned long long>(manager.recruitments()),
+                  static_cast<unsigned long long>(xfer.bytes),
+                  cluster.ledger().total_msg_cost());
+    }
+  }
+  std::printf(
+      "\nTransfer bytes scale linearly with l at fixed recruit count: the\n"
+      "copy cost g(l) is what support selection optimizes (Section 5.2).\n");
+  return 0;
+}

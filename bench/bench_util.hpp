@@ -1,0 +1,41 @@
+// Small shared helpers for the benchmark binaries: fixed-width table
+// printing and cluster construction shortcuts. Each bench binary regenerates
+// one table/figure/theorem of the paper and prints predicted vs measured.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "paso/cluster.hpp"
+
+namespace paso::bench {
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_rule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+/// A cluster preloaded with one (int, text) class and basic support joined.
+struct TaskCluster {
+  static Schema schema() {
+    return Schema({
+        ClassSpec{"task", {FieldType::kInt, FieldType::kText}, 0, 1},
+    });
+  }
+
+  static Tuple tuple(std::int64_t key, std::size_t text_bytes = 16) {
+    return {Value{key}, Value{std::string(text_bytes, 'x')}};
+  }
+
+  static SearchCriterion by_key(std::int64_t key) {
+    return criterion(Exact{Value{key}}, TypedAny{FieldType::kText});
+  }
+};
+
+}  // namespace paso::bench

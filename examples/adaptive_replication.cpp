@@ -1,0 +1,126 @@
+// Adaptive replication in action (Section 5.1).
+//
+// One object class holds a shared configuration blob that machine M4's
+// processes read intensely during "read phases" and that writers churn
+// during "update phases". With the Basic counter algorithm installed, M4
+// joins the write group when its reads pay for the state copy and leaves
+// when update traffic makes membership a liability. The example prints the
+// membership trace and compares total cost against the two static policies
+// the paper positions against: minimal replication (never join) and eager
+// replication (everyone joins).
+#include <cstdio>
+#include <iostream>
+
+#include "adaptive/basic_policy.hpp"
+#include "paso/cluster.hpp"
+
+using namespace paso;
+
+namespace {
+
+Schema config_schema() {
+  return Schema({
+      ClassSpec{"config", {FieldType::kInt, FieldType::kText}, 0, 1},
+  });
+}
+
+Tuple config_tuple(std::int64_t key) {
+  return {Value{key}, Value{std::string{"configuration-payload"}}};
+}
+
+SearchCriterion by_key(std::int64_t key) {
+  return criterion(Exact{Value{key}}, TypedAny{FieldType::kText});
+}
+
+struct PhaseStats {
+  Cost cost = 0;
+  bool member_at_end = false;
+};
+
+/// Run the phased workload on a cluster; returns per-phase costs.
+/// Updates come as read&del/insert pairs so the class size stays fixed —
+/// exactly the Section 5 normalization under which K is a constant.
+std::vector<PhaseStats> run_workload(Cluster& cluster, bool print_trace) {
+  const MachineId reader_machine{4};
+  const ProcessId reader = cluster.process(reader_machine);
+  const ProcessId writer = cluster.process(MachineId{0});
+  std::int64_t next_key = 100;
+  std::int64_t oldest_key = 100;
+  cluster.insert_sync(writer, config_tuple(7));
+  cluster.insert_sync(writer, config_tuple(next_key++));
+
+  std::vector<PhaseStats> phases;
+  for (int phase = 0; phase < 6; ++phase) {
+    const bool read_phase = phase % 2 == 0;
+    const auto before = cluster.ledger().snapshot();
+    for (int i = 0; i < 60; ++i) {
+      if (read_phase) {
+        cluster.read_sync(reader, by_key(7));
+      } else {
+        cluster.read_del_sync(writer, by_key(oldest_key++));
+        cluster.insert_sync(writer, config_tuple(next_key++));
+      }
+    }
+    cluster.settle();
+    PhaseStats stats;
+    const CostTriple delta = cluster.ledger().since(before);
+    stats.cost = delta.msg_cost + delta.work;
+    stats.member_at_end = cluster.runtime(reader_machine).is_member(ClassId{0});
+    phases.push_back(stats);
+    if (print_trace) {
+      std::printf("  phase %d (%s): cost %8.1f  M4 %s\n", phase,
+                  read_phase ? "reads  " : "updates",
+                  stats.cost,
+                  stats.member_at_end ? "IN  write group" : "OUT of group");
+    }
+  }
+  return phases;
+}
+
+Cost total(const std::vector<PhaseStats>& phases) {
+  Cost sum = 0;
+  for (const PhaseStats& p : phases) sum += p.cost;
+  return sum;
+}
+
+ClusterConfig base_config() {
+  ClusterConfig cfg;
+  cfg.machines = 6;
+  cfg.lambda = 1;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Adaptive (Basic counter, K = 8) ===\n";
+  Cluster adaptive(config_schema(), base_config());
+  adaptive.assign_basic_support();
+  adaptive::install_basic_policies(adaptive,
+                                   adaptive::BasicPolicyOptions{8, 1, false});
+  const auto adaptive_phases = run_workload(adaptive, true);
+
+  std::cout << "\n=== Static minimal (lambda+1 replicas, never join) ===\n";
+  Cluster minimal(config_schema(), base_config());
+  minimal.assign_basic_support();
+  const auto minimal_phases = run_workload(minimal, true);
+
+  std::cout << "\n=== Static eager (every machine replicates) ===\n";
+  Cluster eager(config_schema(), base_config());
+  eager.assign_basic_support();
+  for (std::uint32_t m = 0; m < eager.machine_count(); ++m) {
+    eager.runtime(MachineId{m}).request_join(ClassId{0});
+  }
+  eager.settle();
+  const auto eager_phases = run_workload(eager, true);
+
+  std::cout << "\n--- totals (msg-cost + work) ---\n";
+  std::printf("  adaptive: %10.1f\n", total(adaptive_phases));
+  std::printf("  minimal:  %10.1f\n", total(minimal_phases));
+  std::printf("  eager:    %10.1f\n", total(eager_phases));
+  std::cout << "\nAdaptive tracks the better static policy in every phase:\n"
+               "it joins during read phases (like eager) and leaves during\n"
+               "update phases (like minimal), which is exactly the behaviour\n"
+               "Theorem 2 pays for with the (3 + lambda/K) guarantee.\n";
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Coordination patterns: a fault-tolerant three-stage pipeline.
+//
+// Demonstrates the coordination library (src/coord) that a downstream user
+// gets on top of the PASO primitives: a FIFO TupleQueue between stages, an
+// AtomicCounter for progress tracking, a Barrier for phase alignment, and a
+// Semaphore bounding stage concurrency — all living in replicated memory,
+// so the pipeline's control state survives a replica crash mid-run.
+//
+// Stage 1 (two producers) pushes raw work items; stage 2 (three transformer
+// processes, gated by a 2-permit semaphore) uppercases them; stage 3 (one
+// consumer) collects. All parties then meet at a barrier and report.
+#include <algorithm>
+#include <cctype>
+#include <iostream>
+
+#include "coord/coord.hpp"
+#include "semantics/checker.hpp"
+
+using namespace paso;
+using namespace paso::coord;
+
+namespace {
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  // Machines M0..M5 host the pipeline's processes; M6 and M7 are pure
+  // storage replicas (they appear in write groups via the basic-support
+  // assignment but run no application process). Crashing M6 mid-run shows
+  // the coordination *state* is fault tolerant without conflating that with
+  // process failure (a crashed process takes the tokens it holds with it —
+  // see bag_of_tasks for the lease/re-insert answer to that).
+  Cluster cluster(Schema(schema_specs()), [] {
+    ClusterConfig cfg;
+    cfg.machines = 8;
+    cfg.lambda = 1;
+    return cfg;
+  }());
+  cluster.assign_basic_support();
+
+  TupleQueue raw(cluster, "raw");
+  TupleQueue cooked(cluster, "cooked");
+  AtomicCounter transformed(cluster, "transformed");
+  Semaphore stage2_slots(cluster, "stage2");
+  Barrier finish(cluster, "finish", 6);  // 2 producers + 3 transformers + 1 consumer
+
+  const ProcessId admin = cluster.process(MachineId{0});
+  raw.create(admin);
+  cooked.create(admin);
+  transformed.create(admin, 0);
+  stage2_slots.create(admin, 2);
+  finish.create(admin);
+
+  constexpr int kItemsPerProducer = 6;
+  constexpr int kTotalItems = 2 * kItemsPerProducer;
+  int at_barrier = 0;
+
+  // --- stage 1: producers on M1, M2 -----------------------------------------
+  for (std::uint32_t m = 1; m <= 2; ++m) {
+    const ProcessId producer = cluster.process(MachineId{m});
+    auto chain = std::make_shared<std::function<void(int)>>();
+    *chain = [&, producer, chain](int i) {
+      if (i == kItemsPerProducer) {
+        finish.arrive(producer, [&at_barrier] { ++at_barrier; });
+        return;
+      }
+      raw.push(producer,
+               "item-" + std::to_string(producer.machine.value) + "." +
+                   std::to_string(i),
+               [chain, i] { (*chain)(i + 1); });
+    };
+    (*chain)(0);
+  }
+
+  // --- stage 2: transformers on M3, M4, M5, bounded by the semaphore --------
+  auto remaining = std::make_shared<int>(kTotalItems);
+  for (std::uint32_t m = 3; m <= 5; ++m) {
+    const ProcessId worker = cluster.process(MachineId{m});
+    auto loop = std::make_shared<std::function<void()>>();
+    *loop = [&, worker, loop, remaining] {
+      if (*remaining == 0) {
+        finish.arrive(worker, [&at_barrier] { ++at_barrier; });
+        return;
+      }
+      stage2_slots.acquire(worker, [&, worker, loop, remaining](bool ok) {
+        if (!ok || *remaining == 0) {
+          stage2_slots.release(worker);
+          finish.arrive(worker, [&at_barrier] { ++at_barrier; });
+          return;
+        }
+        raw.pop(worker,
+                [&, worker, loop, remaining](std::optional<std::string> item) {
+                  if (item) {
+                    --*remaining;
+                    cooked.push(worker, upper(*item));
+                    transformed.fetch_add(worker, 1, [](std::int64_t) {});
+                  }
+                  stage2_slots.release(worker);
+                  (*loop)();
+                },
+                cluster.simulator().now() + 30000);
+      });
+    };
+    (*loop)();
+  }
+
+  // --- stage 3: consumer on M0 ----------------------------------------------
+  std::vector<std::string> results;
+  auto consume = std::make_shared<std::function<void()>>();
+  const ProcessId consumer = cluster.process(MachineId{0}, 1);
+  *consume = [&, consume] {
+    if (static_cast<int>(results.size()) == kTotalItems) {
+      finish.arrive(consumer, [&at_barrier] { ++at_barrier; });
+      return;
+    }
+    cooked.pop(consumer, [&, consume](std::optional<std::string> item) {
+      if (item) results.push_back(*item);
+      (*consume)();
+    });
+  };
+  (*consume)();
+
+  // Crash + recover a storage replica while the pipeline runs; the queues,
+  // counters and barrier state are replicated, so everything completes.
+  cluster.simulator().schedule_at(1200, [&cluster] {
+    std::cout << "[t=1200] crashing storage replica M6 mid-pipeline\n";
+    cluster.crash(MachineId{6});
+  });
+  cluster.simulator().schedule_at(8000, [&cluster] {
+    std::cout << "[t=8000] recovering M6 (state transfer re-replicates)\n";
+    cluster.recover(MachineId{6});
+  });
+
+  const bool finished = cluster.simulator().run_while_pending(
+      [&at_barrier] { return at_barrier == 6; });
+
+  std::cout << "pipeline " << (finished ? "completed" : "STALLED") << ": "
+            << results.size() << "/" << kTotalItems << " items\n";
+  std::sort(results.begin(), results.end());
+  for (const std::string& r : results) std::cout << "  " << r << "\n";
+
+  std::optional<std::int64_t> count;
+  transformed.read(cluster.process(MachineId{0}),
+                   [&count](std::int64_t v) { count = v; });
+  cluster.simulator().run_while_pending([&count] { return count.has_value(); });
+  std::cout << "transformed counter: " << count.value_or(-1) << "\n";
+
+  const auto check = semantics::check_history(cluster.history());
+  std::cout << "semantics check: " << (check.ok() ? "clean" : "VIOLATED")
+            << "\n";
+  return finished && check.ok() &&
+                 static_cast<int>(results.size()) == kTotalItems
+             ? 0
+             : 1;
+}

@@ -1,0 +1,190 @@
+// paso_repl: an interactive / scriptable shell over a PASO cluster.
+//
+// Drives every public primitive from a command line, which makes it both a
+// live demo and a handy debugging harness. Reads commands from stdin, one
+// per line; `help` lists them. Example session:
+//
+//   $ ./paso_repl
+//   > insert 0 7 hello
+//   inserted M0.p0#0
+//   > read 3 7
+//   M0.p0#0(7, "hello")
+//   > crash 1
+//   > read 3 7          # still answered: replicas survive
+//   > recover 1
+//   > check
+//   semantics: clean
+//
+// Tuples are (int key, text payload) in class "kv" (4 hash partitions).
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "analysis/latency.hpp"
+#include "paso/cluster.hpp"
+#include "semantics/checker.hpp"
+
+using namespace paso;
+
+namespace {
+
+void print_help() {
+  std::cout <<
+      "commands:\n"
+      "  insert <machine> <key> <text...>   insert a tuple\n"
+      "  read <machine> <key|*> [prefix]    non-blocking read\n"
+      "  readdel <machine> <key|*>          destructive read\n"
+      "  readwait <machine> <key> <timeout> blocking read (markers)\n"
+      "  crash <machine>                    crash a machine\n"
+      "  recover <machine>                  recover a crashed machine\n"
+      "  settle [duration]                  run the simulator\n"
+      "  members                            write-group membership per class\n"
+      "  stats                              cost ledger + latency summary\n"
+      "  check                              run the semantics checker\n"
+      "  help | quit\n";
+}
+
+SearchCriterion make_criterion(const std::string& key_token,
+                               const std::string& prefix) {
+  SearchCriterion sc;
+  if (key_token == "*") {
+    sc.fields.emplace_back(TypedAny{FieldType::kInt});
+  } else {
+    // Build the pattern in two steps; GCC 12 raises a spurious
+    // -Wmaybe-uninitialized on the inlined one-liner.
+    Exact exact;
+    exact.value = Value{std::stoll(key_token)};
+    sc.fields.emplace_back(std::move(exact));
+  }
+  if (prefix.empty()) {
+    sc.fields.emplace_back(TypedAny{FieldType::kText});
+  } else {
+    sc.fields.emplace_back(TextPrefix{prefix});
+  }
+  return sc;
+}
+
+}  // namespace
+
+int main() {
+  Schema schema({ClassSpec{"kv", {FieldType::kInt, FieldType::kText}, 0, 4}});
+  ClusterConfig config;
+  config.machines = 6;
+  config.lambda = 1;
+  Cluster cluster(std::move(schema), config);
+  cluster.assign_basic_support();
+  std::cout << "PASO repl: " << config.machines
+            << " machines, lambda=" << config.lambda
+            << ". Type `help` for commands.\n";
+
+  std::string line;
+  while (std::cout << "> " << std::flush, std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd) || cmd.empty() || cmd[0] == '#') continue;
+    try {
+      if (cmd == "quit" || cmd == "exit") break;
+      if (cmd == "help") {
+        print_help();
+      } else if (cmd == "insert") {
+        std::uint32_t m;
+        std::int64_t key;
+        in >> m >> key;
+        std::string text;
+        std::getline(in, text);
+        if (!text.empty() && text.front() == ' ') text.erase(0, 1);
+        const ProcessId p = cluster.process(MachineId{m});
+        bool done = false;
+        ObjectId id{};
+        id = cluster.runtime(p.machine)
+                 .insert(p, {Value{key}, Value{text}}, [&done] { done = true; });
+        cluster.simulator().run_while_pending([&done] { return done; });
+        std::cout << "inserted " << id << "\n";
+      } else if (cmd == "read" || cmd == "readdel") {
+        std::uint32_t m;
+        std::string key_token, prefix;
+        in >> m >> key_token >> prefix;
+        const ProcessId p = cluster.process(MachineId{m});
+        const auto sc = make_criterion(key_token, prefix);
+        const auto result = cmd == "read" ? cluster.read_sync(p, sc)
+                                          : cluster.read_del_sync(p, sc);
+        std::cout << (result ? object_to_string(*result) : "fail") << "\n";
+      } else if (cmd == "readwait") {
+        std::uint32_t m;
+        std::string key_token;
+        double timeout = 10000;
+        in >> m >> key_token >> timeout;
+        const ProcessId p = cluster.process(MachineId{m});
+        const auto result = cluster.read_blocking_sync(
+            p, make_criterion(key_token, ""), BlockingMode::kMarker,
+            cluster.simulator().now() + timeout);
+        std::cout << (result ? object_to_string(*result) : "fail (timeout)")
+                  << "\n";
+      } else if (cmd == "crash") {
+        std::uint32_t m;
+        in >> m;
+        cluster.crash(MachineId{m});
+        cluster.settle();
+        std::cout << "M" << m << " crashed (detected)\n";
+      } else if (cmd == "recover") {
+        std::uint32_t m;
+        in >> m;
+        cluster.recover(MachineId{m});
+        cluster.settle();
+        std::cout << "M" << m << " recovered and re-initialized\n";
+      } else if (cmd == "settle") {
+        double duration = 0;
+        if (in >> duration) {
+          cluster.settle_for(duration);
+        } else {
+          cluster.settle();
+        }
+        std::cout << "t=" << cluster.simulator().now() << "\n";
+      } else if (cmd == "members") {
+        for (std::uint32_t c = 0; c < cluster.schema().class_count(); ++c) {
+          const auto view =
+              cluster.groups().view_of(cluster.schema().group_name(ClassId{c}));
+          std::cout << cluster.schema().group_name(ClassId{c}) << ": ";
+          for (const MachineId member : view.members) {
+            std::cout << member << (cluster.is_up(member) ? " " : "(down) ");
+          }
+          std::cout << "\n";
+        }
+      } else if (cmd == "stats") {
+        std::cout << "msg cost: " << cluster.ledger().total_msg_cost()
+                  << ", work: " << cluster.ledger().total_work()
+                  << ", t=" << cluster.simulator().now() << "\n";
+        const auto report = analysis::latency_report(cluster.history());
+        auto line_for = [](const char* name, const Summary& s) {
+          if (s.empty()) return;
+          std::cout << "  " << name << ": n=" << s.count()
+                    << " mean=" << s.mean() << " p95=" << s.percentile(0.95)
+                    << "\n";
+        };
+        line_for("insert  ", report.insert);
+        line_for("read    ", report.read);
+        line_for("read&del", report.read_del);
+        for (const auto& [tag, stats] : cluster.ledger().per_tag()) {
+          std::cout << "  [" << tag << "] n=" << stats.messages
+                    << " bytes=" << stats.bytes << " cost=" << stats.cost
+                    << "\n";
+        }
+      } else if (cmd == "check") {
+        const auto result = semantics::check_history(cluster.history());
+        if (result.ok()) {
+          std::cout << "semantics: clean (" << cluster.history().size()
+                    << " ops)\n";
+        } else {
+          std::cout << "semantics: " << result.violations.size()
+                    << " violations; first: " << result.violations.front()
+                    << "\n";
+        }
+      } else {
+        std::cout << "unknown command `" << cmd << "`; try `help`\n";
+      }
+    } catch (const std::exception& e) {
+      std::cout << "error: " << e.what() << "\n";
+    }
+  }
+  return 0;
+}

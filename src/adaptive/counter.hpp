@@ -1,0 +1,101 @@
+// The Basic adaptive algorithm (Section 5.1) as a pure automaton.
+//
+// Per (machine, object class), a cost counter c decides write-group
+// membership:
+//   * member, local read served:          c <- min(c + q, K)
+//   * non-member, read served remotely:   c <- c + q * (lambda+1 - |F|);
+//                                         join and set c = K when c >= K
+//   * member, update (insert/read&del):   c <- max(c - 1, 0);
+//                                         leave when c = 0 unless basic
+//
+// (The paper prints "max{c+1, K}" and "min{c-1, 0}"; those are typos for
+// the capped forms — uncapped, the counter jumps to K after one read and
+// goes negative after one update, and the potential argument of Theorem 2
+// breaks. See DESIGN.md "paper errata".)
+//
+// q = 1 is the hash-table normalization of Theorem 2; q > 1 is the
+// data-structure extension (query cost q, update cost 1) with ratio
+// 3 + 2*lambda/K. The automaton is deliberately free of any distribution
+// machinery so the competitive benches can drive it over millions of
+// requests; BasicReplicationPolicy adapts it to the live system.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/cost.hpp"
+#include "common/require.hpp"
+
+namespace paso::adaptive {
+
+enum class CounterAction { kNone, kJoin, kLeave };
+
+struct CounterConfig {
+  Cost join_cost = 8;   ///< K, in normalized time units
+  Cost query_cost = 1;  ///< q, the data-structure query cost
+  bool is_basic = false;  ///< basic-support machines never leave
+  bool start_in_group = false;
+};
+
+class CounterAutomaton {
+ public:
+  explicit CounterAutomaton(CounterConfig config) : config_(config) {
+    PASO_REQUIRE(config_.join_cost > 0, "K must be positive");
+    PASO_REQUIRE(config_.query_cost > 0, "q must be positive");
+    in_group_ = config_.is_basic || config_.start_in_group;
+    if (in_group_) counter_ = config_.join_cost;
+  }
+
+  /// A process on this machine read from the class. `read_group_size` is
+  /// lambda + 1 - |F(C)| (ignored when the read was served locally).
+  CounterAction on_read(std::size_t read_group_size) {
+    if (in_group_) {
+      counter_ = std::min(counter_ + config_.query_cost, config_.join_cost);
+      return CounterAction::kNone;
+    }
+    counter_ += config_.query_cost * static_cast<Cost>(read_group_size);
+    if (counter_ >= config_.join_cost) {
+      in_group_ = true;
+      counter_ = config_.join_cost;
+      return CounterAction::kJoin;
+    }
+    return CounterAction::kNone;
+  }
+
+  /// The local server applied a replicated update (only members do).
+  CounterAction on_update() {
+    if (!in_group_) return CounterAction::kNone;
+    counter_ = std::max<Cost>(counter_ - 1, 0);
+    if (counter_ <= 0 && !config_.is_basic) {
+      in_group_ = false;
+      counter_ = 0;
+      return CounterAction::kLeave;
+    }
+    return CounterAction::kNone;
+  }
+
+  /// External membership changes (e.g. a crash forced this machine out, or
+  /// support selection recruited it).
+  void force_membership(bool in_group) {
+    in_group_ = in_group;
+    counter_ = in_group ? config_.join_cost : 0;
+  }
+
+  bool in_group() const { return in_group_; }
+  Cost counter() const { return counter_; }
+  const CounterConfig& config() const { return config_; }
+
+  /// Doubling/halving support: rescale K, clamping the counter into range.
+  void set_join_cost(Cost k) {
+    PASO_REQUIRE(k > 0, "K must be positive");
+    config_.join_cost = k;
+    counter_ = std::min(counter_, k);
+  }
+
+ private:
+  CounterConfig config_;
+  bool in_group_ = false;
+  Cost counter_ = 0;
+};
+
+}  // namespace paso::adaptive

@@ -1,0 +1,65 @@
+// The doubling/halving extension (Section 5.1, Theorem 3).
+//
+// When the number of live objects l changes over time, the join cost K —
+// the time to copy the class state — changes with it. The Basic counter
+// cannot track K continuously (that would invalidate the potential
+// argument); instead the algorithm "resets itself every time the ratio
+// between join cost and update cost changes by a factor of 2": the tracked
+// K_m doubles or halves, and the counter is clamped accordingly. Members
+// keep K_m current; non-members learn the current K piggybacked on their
+// remote reads — both captured here by feeding the observed join cost with
+// each event.
+#pragma once
+
+#include "adaptive/counter.hpp"
+
+namespace paso::adaptive {
+
+class DoublingAutomaton {
+ public:
+  struct Config {
+    Cost initial_join_cost = 8;
+    Cost query_cost = 1;
+    bool is_basic = false;
+    bool start_in_group = false;
+  };
+
+  explicit DoublingAutomaton(Config config)
+      : tracked_k_(config.initial_join_cost),
+        counter_(CounterConfig{config.initial_join_cost, config.query_cost,
+                               config.is_basic, config.start_in_group}) {}
+
+  /// Feed the currently observed join cost (Theta(l) in practice) before
+  /// processing an event; K_m doubles/halves until within a factor 2.
+  void observe_join_cost(Cost current) {
+    PASO_REQUIRE(current > 0, "join cost must be positive");
+    while (current >= 2 * tracked_k_) {
+      tracked_k_ *= 2;
+    }
+    while (current < tracked_k_ / 2) {
+      tracked_k_ /= 2;
+    }
+    counter_.set_join_cost(tracked_k_);
+  }
+
+  CounterAction on_read(std::size_t read_group_size, Cost current_join_cost) {
+    observe_join_cost(current_join_cost);
+    return counter_.on_read(read_group_size);
+  }
+
+  CounterAction on_update(Cost current_join_cost) {
+    observe_join_cost(current_join_cost);
+    return counter_.on_update();
+  }
+
+  bool in_group() const { return counter_.in_group(); }
+  Cost counter() const { return counter_.counter(); }
+  Cost tracked_join_cost() const { return tracked_k_; }
+  void force_membership(bool in_group) { counter_.force_membership(in_group); }
+
+ private:
+  Cost tracked_k_;
+  CounterAutomaton counter_;
+};
+
+}  // namespace paso::adaptive

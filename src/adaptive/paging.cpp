@@ -1,0 +1,163 @@
+#include "adaptive/paging.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace paso::adaptive {
+
+bool PagingAlgorithm::access(Page page) {
+  last_evicted_.reset();
+  const bool fault = !cache_.contains(page);
+  if (fault) {
+    ++faults_;
+    if (cache_.size() >= cache_size_) {
+      const Page victim = choose_victim(page);
+      PASO_REQUIRE(cache_.erase(victim) == 1, "victim not in cache");
+      last_evicted_ = victim;
+    }
+    cache_.insert(page);
+  }
+  note_access(page, fault);
+  return fault;
+}
+
+void PagingAlgorithm::reset() {
+  cache_.clear();
+  faults_ = 0;
+  last_evicted_.reset();
+}
+
+// --- LRU -------------------------------------------------------------------
+
+void LruPaging::reset() {
+  PagingAlgorithm::reset();
+  order_.clear();
+  where_.clear();
+}
+
+Page LruPaging::choose_victim(Page) {
+  PASO_REQUIRE(!order_.empty(), "LRU victim from empty cache");
+  const Page victim = order_.back();
+  order_.pop_back();
+  where_.erase(victim);
+  return victim;
+}
+
+void LruPaging::note_access(Page page, bool) {
+  auto it = where_.find(page);
+  if (it != where_.end()) order_.erase(it->second);
+  order_.push_front(page);
+  where_[page] = order_.begin();
+}
+
+// --- FIFO ------------------------------------------------------------------
+
+void FifoPaging::reset() {
+  PagingAlgorithm::reset();
+  queue_.clear();
+}
+
+Page FifoPaging::choose_victim(Page) {
+  PASO_REQUIRE(!queue_.empty(), "FIFO victim from empty cache");
+  const Page victim = queue_.front();
+  queue_.pop_front();
+  return victim;
+}
+
+void FifoPaging::note_access(Page page, bool fault) {
+  if (fault) queue_.push_back(page);
+}
+
+// --- RANDOM ----------------------------------------------------------------
+
+Page RandomPaging::choose_victim(Page) {
+  std::vector<Page> resident(cache_.begin(), cache_.end());
+  std::sort(resident.begin(), resident.end());  // determinism across runs
+  return resident[rng_.index(resident.size())];
+}
+
+// --- MARKING ---------------------------------------------------------------
+
+void MarkingPaging::reset() {
+  PagingAlgorithm::reset();
+  marked_.clear();
+}
+
+Page MarkingPaging::choose_victim(Page) {
+  std::vector<Page> unmarked;
+  for (const Page p : cache_) {
+    if (!marked_.contains(p)) unmarked.push_back(p);
+  }
+  if (unmarked.empty()) {
+    // Phase boundary: every resident page is marked; unmark all.
+    marked_.clear();
+    unmarked.assign(cache_.begin(), cache_.end());
+  }
+  std::sort(unmarked.begin(), unmarked.end());
+  return unmarked[rng_.index(unmarked.size())];
+}
+
+void MarkingPaging::note_access(Page page, bool) { marked_.insert(page); }
+
+// --- Belady OPT --------------------------------------------------------------
+
+std::uint64_t belady_faults(const std::vector<Page>& sequence,
+                            std::size_t cache_size) {
+  PASO_REQUIRE(cache_size >= 1, "cache must hold a page");
+  constexpr std::size_t kNever = std::numeric_limits<std::size_t>::max();
+  // next_use[i] = index of the next occurrence of sequence[i] after i.
+  std::vector<std::size_t> next_use(sequence.size(), kNever);
+  std::unordered_map<Page, std::size_t> upcoming;
+  for (std::size_t i = sequence.size(); i-- > 0;) {
+    auto it = upcoming.find(sequence[i]);
+    next_use[i] = it == upcoming.end() ? kNever : it->second;
+    upcoming[sequence[i]] = i;
+  }
+
+  std::unordered_map<Page, std::size_t> cache_next;  // page -> next use index
+  std::uint64_t faults = 0;
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    const Page page = sequence[i];
+    auto it = cache_next.find(page);
+    if (it != cache_next.end()) {
+      it->second = next_use[i];
+      continue;
+    }
+    ++faults;
+    if (cache_next.size() >= cache_size) {
+      auto victim = cache_next.begin();
+      for (auto walk = cache_next.begin(); walk != cache_next.end(); ++walk) {
+        if (walk->second > victim->second ||
+            (walk->second == victim->second && walk->first > victim->first)) {
+          victim = walk;
+        }
+      }
+      cache_next.erase(victim);
+    }
+    cache_next.emplace(page, next_use[i]);
+  }
+  return faults;
+}
+
+// --- sequence generators ------------------------------------------------------
+
+std::vector<Page> cyclic_adversary_sequence(std::size_t cache_size,
+                                            std::size_t length) {
+  std::vector<Page> sequence;
+  sequence.reserve(length);
+  const std::size_t universe = cache_size + 1;
+  for (std::size_t i = 0; i < length; ++i) sequence.push_back(i % universe);
+  return sequence;
+}
+
+std::vector<Page> zipf_sequence(std::size_t pages, std::size_t length,
+                                double skew, Rng& rng) {
+  std::vector<Page> sequence;
+  sequence.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    sequence.push_back(rng.zipf(pages, skew));
+  }
+  return sequence;
+}
+
+}  // namespace paso::adaptive

@@ -1,0 +1,138 @@
+// Virtual paging (Section 5.2).
+//
+// Support selection reduces from paging, so the support-selection experiment
+// needs a paging toolbox: the classical online algorithms (LRU, FIFO, the
+// randomized marking algorithm, random eviction), Belady's offline optimum,
+// and the adversarial request sequences realizing the k and log k lower
+// bounds of Theorem 4's proof.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace paso::adaptive {
+
+using Page = std::size_t;
+
+class PagingAlgorithm {
+ public:
+  explicit PagingAlgorithm(std::size_t cache_size) : cache_size_(cache_size) {
+    PASO_REQUIRE(cache_size >= 1, "cache must hold a page");
+  }
+  virtual ~PagingAlgorithm() = default;
+
+  /// Access a page; returns true on a fault. On a fault the algorithm
+  /// evicts (if full) and loads the page.
+  bool access(Page page);
+
+  virtual const char* name() const = 0;
+
+  std::uint64_t faults() const { return faults_; }
+  std::size_t cache_size() const { return cache_size_; }
+  bool cached(Page page) const { return cache_.contains(page); }
+  /// The page evicted by the most recent faulting access, if any.
+  std::optional<Page> last_evicted() const { return last_evicted_; }
+
+  virtual void reset();
+
+ protected:
+  /// Pick the page to evict (cache is full, `page` is not cached).
+  virtual Page choose_victim(Page page) = 0;
+  /// Bookkeeping after any access (hit or fault).
+  virtual void note_access(Page page, bool fault) = 0;
+
+  std::size_t cache_size_;
+  std::unordered_set<Page> cache_;
+  std::uint64_t faults_ = 0;
+  std::optional<Page> last_evicted_;
+};
+
+/// Least-recently-used. Deterministic, k-competitive, the classical
+/// reference rule (maps to LRF under the support-selection reduction).
+class LruPaging final : public PagingAlgorithm {
+ public:
+  using PagingAlgorithm::PagingAlgorithm;
+  const char* name() const override { return "LRU"; }
+  void reset() override;
+
+ protected:
+  Page choose_victim(Page page) override;
+  void note_access(Page page, bool fault) override;
+
+ private:
+  std::list<Page> order_;  // front = most recent
+  std::unordered_map<Page, std::list<Page>::iterator> where_;
+};
+
+/// First-in-first-out.
+class FifoPaging final : public PagingAlgorithm {
+ public:
+  using PagingAlgorithm::PagingAlgorithm;
+  const char* name() const override { return "FIFO"; }
+  void reset() override;
+
+ protected:
+  Page choose_victim(Page page) override;
+  void note_access(Page page, bool fault) override;
+
+ private:
+  std::list<Page> queue_;  // front = oldest
+};
+
+/// Uniform random eviction.
+class RandomPaging final : public PagingAlgorithm {
+ public:
+  RandomPaging(std::size_t cache_size, Rng rng)
+      : PagingAlgorithm(cache_size), rng_(rng) {}
+  const char* name() const override { return "RANDOM"; }
+
+ protected:
+  Page choose_victim(Page page) override;
+  void note_access(Page, bool) override {}
+
+ private:
+  Rng rng_;
+};
+
+/// The randomized marking algorithm: O(log k)-competitive, matching the
+/// randomized lower bound of Theorem 4 up to constants.
+class MarkingPaging final : public PagingAlgorithm {
+ public:
+  MarkingPaging(std::size_t cache_size, Rng rng)
+      : PagingAlgorithm(cache_size), rng_(rng) {}
+  const char* name() const override { return "MARKING"; }
+  void reset() override;
+
+ protected:
+  Page choose_victim(Page page) override;
+  void note_access(Page page, bool fault) override;
+
+ private:
+  Rng rng_;
+  std::unordered_set<Page> marked_;
+};
+
+/// Belady's offline optimum: evict the page whose next use is farthest in
+/// the future. Returns the fault count for the whole sequence.
+std::uint64_t belady_faults(const std::vector<Page>& sequence,
+                            std::size_t cache_size);
+
+/// The deterministic lower-bound adversary: cycle through cache_size + 1
+/// pages; any deterministic algorithm faults every time while OPT faults
+/// once per cache_size accesses.
+std::vector<Page> cyclic_adversary_sequence(std::size_t cache_size,
+                                            std::size_t length);
+
+/// A random sequence over `pages` pages with Zipf-skewed popularity.
+std::vector<Page> zipf_sequence(std::size_t pages, std::size_t length,
+                                double skew, Rng& rng);
+
+}  // namespace paso::adaptive

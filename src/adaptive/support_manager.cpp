@@ -1,0 +1,86 @@
+#include "adaptive/support_manager.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace paso::adaptive {
+
+SupportManager::SupportManager(Cluster& cluster, Rule rule, std::uint64_t seed)
+    : cluster_(cluster),
+      rule_(rule),
+      rng_(seed),
+      last_failure_(cluster.machine_count(), -1) {}
+
+const char* SupportManager::rule_name(Rule rule) {
+  switch (rule) {
+    case Rule::kLrf:
+      return "LRF";
+    case Rule::kRoundRobin:
+      return "ROUND-ROBIN";
+    case Rule::kRandom:
+      return "RANDOM";
+  }
+  return "?";
+}
+
+MachineId SupportManager::pick_replacement(
+    const std::vector<MachineId>& support, MachineId failed) {
+  std::vector<MachineId> candidates;
+  for (std::uint32_t m = 0; m < cluster_.machine_count(); ++m) {
+    const MachineId machine{m};
+    if (machine == failed || !cluster_.is_up(machine)) continue;
+    if (std::find(support.begin(), support.end(), machine) != support.end()) {
+      continue;
+    }
+    candidates.push_back(machine);
+  }
+  PASO_REQUIRE(!candidates.empty(),
+               "support selection needs an operational replacement");
+  switch (rule_) {
+    case Rule::kLrf: {
+      MachineId best = candidates.front();
+      std::int64_t oldest = std::numeric_limits<std::int64_t>::max();
+      for (const MachineId c : candidates) {
+        if (last_failure_[c.value] < oldest) {
+          oldest = last_failure_[c.value];
+          best = c;
+        }
+      }
+      return best;
+    }
+    case Rule::kRoundRobin: {
+      for (std::size_t probe = 0; probe < cluster_.machine_count(); ++probe) {
+        const MachineId candidate{
+            (round_robin_next_ + static_cast<std::uint32_t>(probe)) %
+            static_cast<std::uint32_t>(cluster_.machine_count())};
+        if (std::find(candidates.begin(), candidates.end(), candidate) !=
+            candidates.end()) {
+          round_robin_next_ = candidate.value + 1;
+          return candidate;
+        }
+      }
+      return candidates.front();
+    }
+    case Rule::kRandom:
+      return rng_.pick(candidates);
+  }
+  return candidates.front();
+}
+
+void SupportManager::on_machine_failed(MachineId failed) {
+  ++clock_;
+  last_failure_[failed.value] = clock_;
+  for (std::uint32_t c = 0; c < cluster_.schema().class_count(); ++c) {
+    const ClassId cls{c};
+    std::vector<MachineId> support = cluster_.basic_support(cls);
+    auto it = std::find(support.begin(), support.end(), failed);
+    if (it == support.end()) continue;
+    const MachineId replacement = pick_replacement(support, failed);
+    *it = replacement;
+    cluster_.set_basic_support(cls, support);
+    cluster_.runtime(replacement).request_join(cls);
+    ++recruitments_;
+  }
+}
+
+}  // namespace paso::adaptive

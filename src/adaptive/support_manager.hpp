@@ -1,0 +1,51 @@
+// Distributed support selection (Section 5.2, end-to-end).
+//
+// Keeps every class's basic support at lambda+1 operational machines: when a
+// supporting machine fails, a replacement is recruited (paying the g-join
+// state copy) according to a replacement rule. LRF — "replace it by the
+// least recently failed machine", the image of LRU under the Theorem 4
+// reduction — is the paper's heuristic; round-robin and random are
+// comparison rules. The pure-algorithm version of this game lives in
+// support_selection.hpp; this class runs it against the real cluster so the
+// copies have real g(l) costs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "paso/cluster.hpp"
+
+namespace paso::adaptive {
+
+class SupportManager {
+ public:
+  enum class Rule { kLrf, kRoundRobin, kRandom };
+
+  SupportManager(Cluster& cluster, Rule rule, std::uint64_t seed = 1);
+
+  /// Notify after the failure detector has expelled the machine (the
+  /// recruiting decision is taken by the surviving members once the view
+  /// settles). Recruits replacements for every class `m` supported.
+  void on_machine_failed(MachineId m);
+
+  /// Machines recover outside the manager (Cluster::recover); recovered
+  /// machines become recruitable again automatically via Cluster::is_up.
+  std::uint64_t recruitments() const { return recruitments_; }
+
+  static const char* rule_name(Rule rule);
+
+ private:
+  MachineId pick_replacement(const std::vector<MachineId>& support,
+                             MachineId failed);
+
+  Cluster& cluster_;
+  Rule rule_;
+  Rng rng_;
+  std::vector<std::int64_t> last_failure_;
+  std::int64_t clock_ = 0;
+  std::uint32_t round_robin_next_ = 0;
+  std::uint64_t recruitments_ = 0;
+};
+
+}  // namespace paso::adaptive

@@ -1,0 +1,132 @@
+#include "adaptive/support_selection.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace paso::adaptive {
+
+PagingBackedSelector::PagingBackedSelector(
+    std::size_t machines, std::size_t lambda,
+    std::unique_ptr<PagingAlgorithm> paging)
+    : machines_(machines), paging_(std::move(paging)) {
+  PASO_REQUIRE(machines_ > lambda + 1, "need non-support machines");
+  PASO_REQUIRE(paging_ != nullptr, "paging algorithm required");
+  PASO_REQUIRE(paging_->cache_size() == machines_ - lambda - 1,
+               "cache size must be n - lambda - 1");
+  // Initial configuration: wg = {0..lambda}, so pages lambda+1..n-1 start in
+  // cache. Warm the paging algorithm up without counting the cold faults.
+  for (std::size_t m = lambda + 1; m < machines_; ++m) {
+    paging_->access(m);
+  }
+}
+
+bool PagingBackedSelector::on_failure(std::size_t m) {
+  PASO_REQUIRE(m < machines_, "unknown machine");
+  const bool fault = paging_->access(m);
+  if (fault) ++copies_;
+  return fault;
+}
+
+std::vector<std::size_t> PagingBackedSelector::write_group() const {
+  std::vector<std::size_t> group;
+  for (std::size_t m = 0; m < machines_; ++m) {
+    if (!paging_->cached(m)) group.push_back(m);
+  }
+  return group;
+}
+
+// --- native LRF ---------------------------------------------------------------
+
+LrfSelector::LrfSelector(std::size_t machines, std::size_t lambda)
+    : machines_(machines), last_failure_(machines, -1) {
+  PASO_REQUIRE(machines_ > lambda + 1, "need non-support machines");
+  for (std::size_t m = 0; m <= lambda; ++m) write_group_.insert(m);
+}
+
+bool LrfSelector::on_failure(std::size_t m) {
+  PASO_REQUIRE(m < machines_, "unknown machine");
+  ++clock_;
+  const std::int64_t failure_time = clock_;
+  if (!write_group_.contains(m)) {
+    last_failure_[m] = failure_time;
+    return false;  // a non-member failed: nothing to copy
+  }
+  // Replace m by the least recently failed non-member (never-failed first,
+  // ties by index).
+  std::size_t replacement = machines_;
+  std::int64_t oldest = std::numeric_limits<std::int64_t>::max();
+  for (std::size_t candidate = 0; candidate < machines_; ++candidate) {
+    if (candidate == m || write_group_.contains(candidate)) continue;
+    if (last_failure_[candidate] < oldest) {
+      oldest = last_failure_[candidate];
+      replacement = candidate;
+    }
+  }
+  PASO_REQUIRE(replacement < machines_, "no replacement available");
+  write_group_.erase(m);
+  write_group_.insert(replacement);
+  last_failure_[m] = failure_time;
+  ++copies_;
+  return true;
+}
+
+std::vector<std::size_t> LrfSelector::write_group() const {
+  return {write_group_.begin(), write_group_.end()};
+}
+
+// --- offline optimum ------------------------------------------------------------
+
+std::uint64_t optimal_copies(const FailureTrace& trace, std::size_t machines,
+                             std::size_t lambda) {
+  PASO_REQUIRE(machines > lambda + 1, "need non-support machines");
+  const std::size_t cache_size = machines - lambda - 1;
+  // Same warm-up convention as the online selectors: pages lambda+1..n-1
+  // start in cache; prepend them and subtract the cold faults.
+  std::vector<Page> sequence;
+  sequence.reserve(cache_size + trace.size());
+  for (std::size_t m = lambda + 1; m < machines; ++m) sequence.push_back(m);
+  sequence.insert(sequence.end(), trace.begin(), trace.end());
+  const std::uint64_t total = belady_faults(sequence, cache_size);
+  PASO_REQUIRE(total >= cache_size, "warm-up must fault once per frame");
+  return total - cache_size;
+}
+
+std::uint64_t run_selector(SupportSelector& selector,
+                           const FailureTrace& trace) {
+  for (const std::size_t m : trace) selector.on_failure(m);
+  return selector.copies();
+}
+
+// --- trace generators -------------------------------------------------------------
+
+FailureTrace cyclic_failure_trace(std::size_t machines, std::size_t lambda,
+                                  std::size_t length) {
+  PASO_REQUIRE(machines > lambda + 1, "need non-support machines");
+  // The reduction's adversary uses cache_size + 1 = n - lambda pages; cycle
+  // over that many machines so every deterministic selector faults forever.
+  const std::size_t universe = machines - lambda;
+  FailureTrace trace;
+  trace.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) trace.push_back(i % universe);
+  return trace;
+}
+
+FailureTrace uniform_failure_trace(std::size_t machines, std::size_t length,
+                                   Rng& rng) {
+  FailureTrace trace;
+  trace.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) trace.push_back(rng.index(machines));
+  return trace;
+}
+
+FailureTrace flaky_failure_trace(std::size_t machines, std::size_t length,
+                                 double skew, Rng& rng) {
+  FailureTrace trace;
+  trace.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    trace.push_back(rng.zipf(machines, skew));
+  }
+  return trace;
+}
+
+}  // namespace paso::adaptive

@@ -1,0 +1,111 @@
+// The Support Selection Problem (Section 5.2).
+//
+// Choose online which machines form wg(C), keeping |wg(C)| =
+// min(lambda+1, n-f): when a supporting machine fails it must immediately
+// be replaced by an operational non-member, at a state-copy cost of g(l).
+// Theorem 4 reduces paging to this problem — map page i to machine M_i,
+// "page in cache" to "machine not in wg(C)", and a page reference to a
+// failure of M_i — so support selection inherits paging's n-lambda-1
+// (deterministic) and log(n-lambda-1) (randomized) lower bounds.
+//
+// This file gives both directions of that correspondence:
+//   * PagingBackedSelector drives any PagingAlgorithm through the reduction
+//     (LRU becomes LRF: "replace by the least recently failed machine");
+//   * LrfSelector implements LRF natively over failure timestamps, used to
+//     validate the reduction (it must count exactly the LRU faults).
+// plus failure-trace generators and the offline optimum via Belady.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "adaptive/paging.hpp"
+#include "common/ids.hpp"
+
+namespace paso::adaptive {
+
+/// A failure trace: machine indices in the order they fail. (Machines
+/// recover immediately after the replacement completes; only the copy costs
+/// matter, as in the Theorem 4 reduction.)
+using FailureTrace = std::vector<std::size_t>;
+
+class SupportSelector {
+ public:
+  virtual ~SupportSelector() = default;
+
+  /// Machine `m` failed. Returns true if a state copy was needed (m was in
+  /// the write group and had to be replaced).
+  virtual bool on_failure(std::size_t m) = 0;
+
+  virtual const char* name() const = 0;
+  std::uint64_t copies() const { return copies_; }
+
+  /// Current write-group membership (for invariant checks).
+  virtual std::vector<std::size_t> write_group() const = 0;
+
+ protected:
+  std::uint64_t copies_ = 0;
+};
+
+/// Drives a paging algorithm through the Theorem-4 reduction. The write
+/// group is the complement of the cache: n machines, cache size
+/// n - (lambda+1).
+class PagingBackedSelector final : public SupportSelector {
+ public:
+  PagingBackedSelector(std::size_t machines, std::size_t lambda,
+                       std::unique_ptr<PagingAlgorithm> paging);
+
+  bool on_failure(std::size_t m) override;
+  const char* name() const override { return paging_->name(); }
+  std::vector<std::size_t> write_group() const override;
+
+ private:
+  std::size_t machines_;
+  std::unique_ptr<PagingAlgorithm> paging_;
+};
+
+/// Native LRF: replace a failed write-group member by the operational
+/// machine that failed least recently (never-failed machines count as
+/// failed at -infinity, oldest first by index).
+class LrfSelector final : public SupportSelector {
+ public:
+  LrfSelector(std::size_t machines, std::size_t lambda);
+
+  bool on_failure(std::size_t m) override;
+  const char* name() const override { return "LRF"; }
+  std::vector<std::size_t> write_group() const override;
+
+ private:
+  std::size_t machines_;
+  std::vector<std::int64_t> last_failure_;  // -1 = never failed
+  std::set<std::size_t> write_group_;
+  std::int64_t clock_ = 0;
+};
+
+/// Offline optimum for a failure trace: Belady on the reduced paging
+/// instance.
+std::uint64_t optimal_copies(const FailureTrace& trace, std::size_t machines,
+                             std::size_t lambda);
+
+/// Convenience: run a selector over a trace and return its copy count.
+std::uint64_t run_selector(SupportSelector& selector,
+                           const FailureTrace& trace);
+
+/// Trace where failures cycle through lambda+2 machines — the deterministic
+/// lower-bound adversary after the reduction (universe = cache + 1 pages).
+FailureTrace cyclic_failure_trace(std::size_t machines, std::size_t lambda,
+                                  std::size_t length);
+
+/// Uniformly random failures over all machines.
+FailureTrace uniform_failure_trace(std::size_t machines, std::size_t length,
+                                   Rng& rng);
+
+/// "Flaky subset" trace: a few chronically unreliable machines account for
+/// most failures (Zipf skew) — the regime where LRF's plausible assumption
+/// ("the longer a machine stays up, the more reliable it is") pays off.
+FailureTrace flaky_failure_trace(std::size_t machines, std::size_t length,
+                                 double skew, Rng& rng);
+
+}  // namespace paso::adaptive

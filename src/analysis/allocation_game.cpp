@@ -1,0 +1,136 @@
+#include "analysis/allocation_game.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+#include "common/require.hpp"
+
+namespace paso::analysis {
+
+OptResult optimal_allocation(const RequestSequence& requests,
+                             const GameCosts& costs, bool start_in) {
+  // Two-state DP. dp[s] = minimum cost with membership s after serving the
+  // requests so far; parent[t][s] = membership before request t on the
+  // optimal path into (t, s).
+  constexpr Cost kInf = std::numeric_limits<Cost>::infinity();
+  Cost dp_in = start_in ? 0 : kInf;
+  Cost dp_out = start_in ? kInf : 0;
+  std::vector<std::array<bool, 2>> parent(requests.size());
+
+  for (std::size_t t = 0; t < requests.size(); ++t) {
+    const Request& req = requests[t];
+    const Cost serve_in = req.kind == ReqKind::kRead ? costs.read_in()
+                                                     : GameCosts::update_in();
+    const Cost serve_out = req.kind == ReqKind::kRead
+                               ? costs.read_out()
+                               : GameCosts::update_out();
+    // Transitions happen before serving; joining costs the current K.
+    const Cost into_in_from_out = dp_out + req.join_cost;
+    const Cost next_in = std::min(dp_in, into_in_from_out) + serve_in;
+    parent[t][1] = dp_in <= into_in_from_out;  // true: was already in
+    const Cost out_from_in = dp_in;            // leaving is free
+    const Cost next_out = std::min(dp_out, out_from_in) + serve_out;
+    parent[t][0] = dp_out > out_from_in;  // true: was in, left now
+    dp_in = next_in;
+    dp_out = next_out;
+  }
+
+  OptResult result;
+  result.total = std::min(dp_in, dp_out);
+  result.in_group.resize(requests.size());
+  bool state_in = dp_in <= dp_out;
+  for (std::size_t t = requests.size(); t-- > 0;) {
+    result.in_group[t] = state_in;
+    if (state_in) {
+      state_in = parent[t][1];
+    } else {
+      state_in = parent[t][0];
+    }
+  }
+  return result;
+}
+
+namespace {
+
+template <typename ReadFn, typename UpdateFn, typename InGroupFn>
+OnlineResult run_online(const RequestSequence& requests, const GameCosts& costs,
+                        ReadFn&& on_read, UpdateFn&& on_update,
+                        InGroupFn&& in_group) {
+  OnlineResult result;
+  result.in_group.reserve(requests.size());
+  result.event_cost.reserve(requests.size());
+  for (const Request& req : requests) {
+    Cost cost = 0;
+    adaptive::CounterAction action = adaptive::CounterAction::kNone;
+    if (req.kind == ReqKind::kRead) {
+      const bool was_in = in_group();
+      cost += was_in ? costs.read_in() : costs.read_out();
+      action = on_read(req);
+      if (action == adaptive::CounterAction::kJoin) {
+        cost += req.join_cost;
+        ++result.joins;
+      }
+    } else {
+      const bool was_in = in_group();
+      cost += was_in ? GameCosts::update_in() : GameCosts::update_out();
+      action = on_update(req);
+      if (action == adaptive::CounterAction::kLeave) ++result.leaves;
+    }
+    result.total += cost;
+    result.event_cost.push_back(cost);
+    result.in_group.push_back(in_group());
+  }
+  return result;
+}
+
+}  // namespace
+
+OnlineResult run_basic(const RequestSequence& requests, const GameCosts& costs,
+                       adaptive::CounterConfig config) {
+  adaptive::CounterAutomaton automaton(config);
+  return run_online(
+      requests, costs,
+      [&](const Request&) { return automaton.on_read(costs.read_group); },
+      [&](const Request&) { return automaton.on_update(); },
+      [&] { return automaton.in_group(); });
+}
+
+OnlineResult run_doubling(const RequestSequence& requests,
+                          const GameCosts& costs,
+                          adaptive::DoublingAutomaton::Config config) {
+  adaptive::DoublingAutomaton automaton(config);
+  return run_online(
+      requests, costs,
+      [&](const Request& req) {
+        return automaton.on_read(costs.read_group, req.join_cost);
+      },
+      [&](const Request& req) { return automaton.on_update(req.join_cost); },
+      [&] { return automaton.in_group(); });
+}
+
+CompetitiveComparison compare_basic(const RequestSequence& requests,
+                                    const GameCosts& costs,
+                                    adaptive::CounterConfig config) {
+  CompetitiveComparison cmp;
+  cmp.online = run_basic(requests, costs, config).total;
+  cmp.opt = optimal_allocation(requests, costs,
+                               config.is_basic || config.start_in_group)
+                .total;
+  cmp.ratio = cmp.online / std::max<Cost>(cmp.opt, 1);
+  return cmp;
+}
+
+CompetitiveComparison compare_doubling(
+    const RequestSequence& requests, const GameCosts& costs,
+    adaptive::DoublingAutomaton::Config config) {
+  CompetitiveComparison cmp;
+  cmp.online = run_doubling(requests, costs, config).total;
+  cmp.opt = optimal_allocation(requests, costs,
+                               config.is_basic || config.start_in_group)
+                .total;
+  cmp.ratio = cmp.online / std::max<Cost>(cmp.opt, 1);
+  return cmp;
+}
+
+}  // namespace paso::analysis

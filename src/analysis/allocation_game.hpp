@@ -1,0 +1,110 @@
+// The per-(machine, class) allocation game of Section 5.
+//
+// Fix one object class C and one non-basic machine M. The request sequence
+// sigma interleaves reads (by processes local to M) and updates (inserts /
+// read&dels to C, served by every write-group member). M's state is binary:
+// in wg(C) or out. Work costs, in the paper's normalized units:
+//
+//                      in wg(C)        out of wg(C)
+//   read               q   (local)     q * r  (gcast to the read group of
+//                                              r = lambda+1-|F| servers)
+//   update             1   (apply)     0
+//   join (out -> in)   K   (copy the class state)
+//   leave (in -> out)  0
+//
+// The Basic algorithm's counter plays this game online; Theorem 2 bounds it
+// by (3 + lambda/K) * OPT. This header provides the exact offline optimum
+// (two-state dynamic program with backtrace), the online runner, and the
+// competitive comparison — the machinery behind experiments E3–E5.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adaptive/counter.hpp"
+#include "adaptive/doubling.hpp"
+#include "common/cost.hpp"
+
+namespace paso::analysis {
+
+enum class ReqKind : std::uint8_t { kRead, kUpdate };
+
+struct Request {
+  ReqKind kind = ReqKind::kRead;
+  /// The true join cost K at the time of this request. Constant for the
+  /// fixed-size game (Theorem 2); tracks l for the doubling game (Theorem 3).
+  Cost join_cost = 8;
+};
+
+using RequestSequence = std::vector<Request>;
+
+struct GameCosts {
+  Cost query_cost = 1;        ///< q
+  std::size_t read_group = 2; ///< r = lambda + 1 - |F|
+
+  Cost read_in() const { return query_cost; }
+  Cost read_out() const {
+    return query_cost * static_cast<Cost>(read_group);
+  }
+  static constexpr Cost update_in() { return 1; }
+  static constexpr Cost update_out() { return 0; }
+};
+
+/// Offline optimum with decision trace. states[t] is OPT's membership while
+/// serving request t (after any transition).
+struct OptResult {
+  Cost total = 0;
+  std::vector<bool> in_group;  // one entry per request
+};
+
+OptResult optimal_allocation(const RequestSequence& requests,
+                             const GameCosts& costs, bool start_in = false);
+
+/// Online run of the Basic counter (fixed K taken from the automaton).
+struct OnlineResult {
+  Cost total = 0;
+  std::uint64_t joins = 0;
+  std::uint64_t leaves = 0;
+  std::vector<bool> in_group;   // membership while serving each request
+  std::vector<Cost> event_cost; // per-request online cost (incl. join)
+};
+
+OnlineResult run_basic(const RequestSequence& requests, const GameCosts& costs,
+                       adaptive::CounterConfig config);
+
+/// Online run of the doubling/halving algorithm; each request's join_cost is
+/// the currently observed K.
+OnlineResult run_doubling(const RequestSequence& requests,
+                          const GameCosts& costs,
+                          adaptive::DoublingAutomaton::Config config);
+
+struct CompetitiveComparison {
+  Cost online = 0;
+  Cost opt = 0;
+  double ratio = 0;  ///< online / max(opt, 1)
+};
+
+CompetitiveComparison compare_basic(const RequestSequence& requests,
+                                    const GameCosts& costs,
+                                    adaptive::CounterConfig config);
+
+CompetitiveComparison compare_doubling(
+    const RequestSequence& requests, const GameCosts& costs,
+    adaptive::DoublingAutomaton::Config config);
+
+/// Theorem 2's bound for the given parameters (q = 1 case): 3 + lambda/K.
+inline double theorem2_bound(std::size_t lambda, Cost k) {
+  return 3.0 + static_cast<double>(lambda) / static_cast<double>(k);
+}
+
+/// The data-structure extension's bound: 3 + 2*lambda/K.
+inline double extension_bound(std::size_t lambda, Cost k) {
+  return 3.0 + 2.0 * static_cast<double>(lambda) / static_cast<double>(k);
+}
+
+/// Theorem 3's bound for the doubling/halving algorithm: 6 + 2*lambda/K.
+inline double theorem3_bound(std::size_t lambda, Cost k) {
+  return 6.0 + 2.0 * static_cast<double>(lambda) / static_cast<double>(k);
+}
+
+}  // namespace paso::analysis

@@ -1,0 +1,62 @@
+#include "analysis/multi_machine.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace paso::analysis {
+
+RequestSequence project(const GlobalSequence& sequence, std::size_t machine) {
+  RequestSequence projected;
+  for (const GlobalRequest& request : sequence) {
+    if (request.kind == ReqKind::kUpdate) {
+      projected.push_back(Request{ReqKind::kUpdate, request.join_cost});
+    } else if (request.machine == machine) {
+      projected.push_back(Request{ReqKind::kRead, request.join_cost});
+    }
+  }
+  return projected;
+}
+
+GlobalComparison compare_basic_global(const GlobalSequence& sequence,
+                                      std::size_t machines,
+                                      const GameCosts& costs,
+                                      adaptive::CounterConfig config) {
+  PASO_REQUIRE(machines >= 1, "need at least one machine");
+  GlobalComparison result;
+  for (std::size_t m = 0; m < machines; ++m) {
+    const RequestSequence projected = project(sequence, m);
+    const CompetitiveComparison cmp =
+        compare_basic(projected, costs, config);
+    result.online += cmp.online;
+    result.opt += cmp.opt;
+    result.per_machine_ratio.push_back(cmp.ratio);
+  }
+  result.ratio = result.online / std::max<Cost>(result.opt, 1);
+  return result;
+}
+
+GlobalSequence hotspot_sequence(const HotSpotOptions& options, Cost join_cost,
+                                Rng& rng) {
+  GlobalSequence sequence;
+  sequence.reserve(options.phases * options.phase_length);
+  for (std::size_t phase = 0; phase < options.phases; ++phase) {
+    const std::size_t hot = phase % options.machines;
+    for (std::size_t i = 0; i < options.phase_length; ++i) {
+      GlobalRequest request;
+      request.join_cost = join_cost;
+      if (rng.chance(options.read_probability)) {
+        request.kind = ReqKind::kRead;
+        request.machine = rng.chance(options.locality)
+                              ? hot
+                              : rng.index(options.machines);
+      } else {
+        request.kind = ReqKind::kUpdate;
+      }
+      sequence.push_back(request);
+    }
+  }
+  return sequence;
+}
+
+}  // namespace paso::analysis

@@ -1,0 +1,64 @@
+// The whole-cluster view of the Section 5 allocation game.
+//
+// The paper optimizes "local to the management of a given object class ...
+// in the hope that these local optimizations will lead to global efficiency"
+// — and for one class the hope is a theorem: the total cost decomposes as a
+// sum of independent per-machine games (each machine pays for its own reads,
+// its own membership and its own share of every update), so running the
+// Basic counter on every machine is (3 + lambda/K)-competitive against the
+// globally optimal replication schedule for the class.
+//
+// This header plays that global game: a request stream where reads carry
+// their issuing machine and updates are shared, projected onto per-machine
+// subsequences for both the online counters and the exact DP optimum.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/allocation_game.hpp"
+#include "common/rng.hpp"
+
+namespace paso::analysis {
+
+struct GlobalRequest {
+  ReqKind kind = ReqKind::kRead;
+  std::size_t machine = 0;  ///< issuing machine (reads only)
+  Cost join_cost = 8;
+};
+
+using GlobalSequence = std::vector<GlobalRequest>;
+
+/// Project the global stream onto one machine: its reads + every update.
+RequestSequence project(const GlobalSequence& sequence, std::size_t machine);
+
+struct GlobalComparison {
+  Cost online = 0;
+  Cost opt = 0;
+  double ratio = 0;
+  std::vector<double> per_machine_ratio;
+};
+
+/// Run independent Basic counters on `machines` non-basic machines against
+/// the per-machine optima, and aggregate.
+GlobalComparison compare_basic_global(const GlobalSequence& sequence,
+                                      std::size_t machines,
+                                      const GameCosts& costs,
+                                      adaptive::CounterConfig config);
+
+struct HotSpotOptions {
+  std::size_t machines = 6;
+  std::size_t phases = 8;
+  std::size_t phase_length = 1000;
+  double read_probability = 0.7;
+  /// Probability that a read in a phase comes from that phase's hot machine
+  /// (the rest spread uniformly).
+  double locality = 0.9;
+};
+
+/// Rotating hot-spot workload: each phase concentrates reads on one machine
+/// — the locality-shift pattern adaptive replication is built for.
+GlobalSequence hotspot_sequence(const HotSpotOptions& options, Cost join_cost,
+                                Rng& rng);
+
+}  // namespace paso::analysis

@@ -1,0 +1,102 @@
+#include "analysis/potential_audit.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace paso::analysis {
+
+namespace {
+
+double potential(bool opt_in, bool basic_in, Cost c, Cost k) {
+  if (!opt_in && !basic_in) return 2 * c;
+  if (!opt_in && basic_in) return c;
+  if (opt_in && basic_in) return 3 * k - 2 * c;
+  return 3 * k - c;  // opt in, basic out
+}
+
+}  // namespace
+
+AuditResult audit_potential(const RequestSequence& requests,
+                            const GameCosts& costs,
+                            adaptive::CounterConfig config) {
+  AuditResult result;
+  if (requests.empty()) return result;
+
+  const Cost k = config.join_cost;
+  for (const Request& req : requests) {
+    PASO_REQUIRE(req.join_cost == k,
+                 "potential audit requires a fixed join cost");
+  }
+  PASO_REQUIRE(costs.query_cost == 1, "audit covers the q = 1 normalization");
+  const std::size_t lambda = costs.read_group - 1;
+  const double ratio = theorem2_bound(lambda, k);
+  constexpr double kEps = 1e-9;
+
+  const OptResult opt = optimal_allocation(requests, costs,
+                                           config.is_basic ||
+                                               config.start_in_group);
+  adaptive::CounterAutomaton automaton(config);
+
+  bool opt_prev_in = config.is_basic || config.start_in_group;
+  double phi = potential(opt_prev_in, automaton.in_group(),
+                         automaton.counter(), k);
+  PASO_REQUIRE(phi >= -kEps, "initial potential must be non-negative");
+  // Theorem-2-style accounting allows a constant B for initialization; with
+  // identical initial states phi starts at 0 for non-members.
+
+  for (std::size_t t = 0; t < requests.size(); ++t) {
+    const Request& req = requests[t];
+    const bool opt_now_in = opt.in_group[t];
+
+    // OPT's cost for this event: a join transition plus serving.
+    Cost opt_cost = 0;
+    if (opt_now_in && !opt_prev_in) opt_cost += req.join_cost;
+    if (req.kind == ReqKind::kRead) {
+      opt_cost += opt_now_in ? costs.read_in() : costs.read_out();
+    } else {
+      opt_cost += opt_now_in ? GameCosts::update_in()
+                             : GameCosts::update_out();
+    }
+
+    // Online cost for this event.
+    Cost online_cost = 0;
+    adaptive::CounterAction action;
+    if (req.kind == ReqKind::kRead) {
+      online_cost += automaton.in_group() ? costs.read_in() : costs.read_out();
+      action = automaton.on_read(costs.read_group);
+      if (action == adaptive::CounterAction::kJoin) online_cost += req.join_cost;
+    } else {
+      online_cost +=
+          automaton.in_group() ? GameCosts::update_in() : GameCosts::update_out();
+      action = automaton.on_update();
+    }
+
+    const double phi_next = potential(opt_now_in, automaton.in_group(),
+                                      automaton.counter(), k);
+    PASO_REQUIRE(phi_next >= -kEps, "potential must stay non-negative");
+    const double amortized = online_cost + phi_next - phi;
+    phi = phi_next;
+    opt_prev_in = opt_now_in;
+    ++result.events_checked;
+
+    if (opt_cost > 0) {
+      result.worst_event_ratio =
+          std::max(result.worst_event_ratio, amortized / opt_cost);
+    }
+    const bool violated = amortized > ratio * opt_cost + kEps;
+    if (violated && result.ok) {
+      result.ok = false;
+      std::ostringstream os;
+      os << "event " << t << " ("
+         << (req.kind == ReqKind::kRead ? "read" : "update")
+         << "): amortized " << amortized << " > " << ratio << " * opt "
+         << opt_cost;
+      result.first_violation = os.str();
+    }
+  }
+  return result;
+}
+
+}  // namespace paso::analysis

@@ -1,0 +1,48 @@
+// Event-wise audit of Theorem 2's amortized argument.
+//
+// The proof of Theorem 2 defines a potential Phi over the joint state of the
+// Basic algorithm and OPT and claims every event's amortized online cost is
+// at most (3 + lambda/K) times OPT's cost for that event. This audit
+// replays a request sequence against both the online counter and the exact
+// DP optimum and checks that inequality event by event.
+//
+// We use the potential (q = 1 normalization, c the online counter):
+//
+//     both out                : 2c
+//     OPT out, Basic in       : c
+//     both in                 : 3K - 2c
+//     OPT in,  Basic out      : 3K - c
+//
+// The first three cases are the paper's; the fourth tightens the paper's
+// printed "3K + lambda - c" to "3K - c", which is what actually closes the
+// case analysis (with the printed constant, a Basic leave while OPT stays in
+// has amortized cost lambda + 3 > 3 + lambda/K; see DESIGN.md errata). The
+// event-wise argument holds for lambda <= 3 (equivalently read-group size
+// r <= 4); for larger lambda the paper's own extension bound 3 + 2*lambda/K
+// applies, and the aggregate benches cover that regime empirically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/allocation_game.hpp"
+
+namespace paso::analysis {
+
+struct AuditResult {
+  bool ok = true;
+  /// Largest amortized/opt ratio observed over events with opt cost > 0.
+  double worst_event_ratio = 0;
+  /// Description of the first violating event, if any.
+  std::string first_violation;
+  std::size_t events_checked = 0;
+};
+
+/// Audits a *fixed-K* sequence (every request must carry the same join
+/// cost). `lambda` = read_group - 1; the claimed per-event ratio is
+/// 3 + lambda/K.
+AuditResult audit_potential(const RequestSequence& requests,
+                            const GameCosts& costs,
+                            adaptive::CounterConfig config);
+
+}  // namespace paso::analysis

@@ -1,0 +1,123 @@
+#include "analysis/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace paso::analysis {
+
+namespace {
+
+const char* kind_name(ReqKind kind) {
+  return kind == ReqKind::kRead ? "read" : "update";
+}
+
+ReqKind parse_kind(const std::string& token) {
+  if (token == "read") return ReqKind::kRead;
+  PASO_REQUIRE(token == "update", "unknown request kind: " + token);
+  return ReqKind::kUpdate;
+}
+
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::stringstream stream(line);
+  std::string field;
+  while (std::getline(stream, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+}  // namespace
+
+void write_requests(std::ostream& out, const RequestSequence& requests) {
+  out << "kind,join_cost\n";
+  for (const Request& r : requests) {
+    out << kind_name(r.kind) << ',' << r.join_cost << '\n';
+  }
+}
+
+RequestSequence read_requests(std::istream& in) {
+  std::string line;
+  PASO_REQUIRE(static_cast<bool>(std::getline(in, line)) &&
+                   line == "kind,join_cost",
+               "bad requests header");
+  RequestSequence requests;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto fields = split_csv(line);
+    PASO_REQUIRE(fields.size() == 2, "bad requests row: " + line);
+    requests.push_back(
+        Request{parse_kind(fields[0]), std::stod(fields[1])});
+  }
+  return requests;
+}
+
+void write_global(std::ostream& out, const GlobalSequence& sequence) {
+  out << "kind,machine,join_cost\n";
+  for (const GlobalRequest& r : sequence) {
+    out << kind_name(r.kind) << ',' << r.machine << ',' << r.join_cost
+        << '\n';
+  }
+}
+
+GlobalSequence read_global(std::istream& in) {
+  std::string line;
+  PASO_REQUIRE(static_cast<bool>(std::getline(in, line)) &&
+                   line == "kind,machine,join_cost",
+               "bad global header");
+  GlobalSequence sequence;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto fields = split_csv(line);
+    PASO_REQUIRE(fields.size() == 3, "bad global row: " + line);
+    sequence.push_back(GlobalRequest{parse_kind(fields[0]),
+                                     std::stoul(fields[1]),
+                                     std::stod(fields[2])});
+  }
+  return sequence;
+}
+
+void write_failures(std::ostream& out, const adaptive::FailureTrace& trace) {
+  out << "machine\n";
+  for (const std::size_t m : trace) out << m << '\n';
+}
+
+adaptive::FailureTrace read_failures(std::istream& in) {
+  std::string line;
+  PASO_REQUIRE(static_cast<bool>(std::getline(in, line)) &&
+                   line == "machine",
+               "bad failures header");
+  adaptive::FailureTrace trace;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    trace.push_back(std::stoul(line));
+  }
+  return trace;
+}
+
+void save_requests(const std::string& path, const RequestSequence& requests) {
+  std::ofstream out(path);
+  PASO_REQUIRE(out.good(), "cannot write " + path);
+  write_requests(out, requests);
+}
+
+RequestSequence load_requests(const std::string& path) {
+  std::ifstream in(path);
+  PASO_REQUIRE(in.good(), "cannot read " + path);
+  return read_requests(in);
+}
+
+void save_failures(const std::string& path,
+                   const adaptive::FailureTrace& trace) {
+  std::ofstream out(path);
+  PASO_REQUIRE(out.good(), "cannot write " + path);
+  write_failures(out, trace);
+}
+
+adaptive::FailureTrace load_failures(const std::string& path) {
+  std::ifstream in(path);
+  PASO_REQUIRE(in.good(), "cannot read " + path);
+  return read_failures(in);
+}
+
+}  // namespace paso::analysis

@@ -1,0 +1,39 @@
+// CSV import/export for workloads and failure traces.
+//
+// The competitive experiments are driven by generated sequences; persisting
+// them lets a result be re-examined outside the harness (spreadsheets,
+// plotting) and lets externally captured traces — e.g. real machine-failure
+// logs, the "real-life instances" the paper appeals to for LRF — be replayed
+// through the same machinery.
+//
+// Formats (header line required):
+//   requests:  kind,join_cost        kind in {read, update}
+//   global:    kind,machine,join_cost
+//   failures:  machine
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "adaptive/support_selection.hpp"
+#include "analysis/multi_machine.hpp"
+
+namespace paso::analysis {
+
+void write_requests(std::ostream& out, const RequestSequence& requests);
+RequestSequence read_requests(std::istream& in);
+
+void write_global(std::ostream& out, const GlobalSequence& sequence);
+GlobalSequence read_global(std::istream& in);
+
+void write_failures(std::ostream& out, const adaptive::FailureTrace& trace);
+adaptive::FailureTrace read_failures(std::istream& in);
+
+// File-path conveniences (throw InvariantViolation on I/O failure).
+void save_requests(const std::string& path, const RequestSequence& requests);
+RequestSequence load_requests(const std::string& path);
+void save_failures(const std::string& path,
+                   const adaptive::FailureTrace& trace);
+adaptive::FailureTrace load_failures(const std::string& path);
+
+}  // namespace paso::analysis

@@ -1,0 +1,84 @@
+#include "analysis/workloads.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace paso::analysis {
+
+RequestSequence random_sequence(std::size_t length, double read_probability,
+                                Cost join_cost, Rng& rng) {
+  RequestSequence requests;
+  requests.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    requests.push_back(Request{
+        rng.chance(read_probability) ? ReqKind::kRead : ReqKind::kUpdate,
+        join_cost});
+  }
+  return requests;
+}
+
+RequestSequence phased_sequence(const PhasedOptions& options, Cost join_cost,
+                                Rng& rng) {
+  RequestSequence requests;
+  requests.reserve(options.phases * options.phase_length);
+  for (std::size_t phase = 0; phase < options.phases; ++phase) {
+    const double p = phase % 2 == 0 ? options.read_heavy_probability
+                                    : options.update_heavy_probability;
+    for (std::size_t i = 0; i < options.phase_length; ++i) {
+      requests.push_back(
+          Request{rng.chance(p) ? ReqKind::kRead : ReqKind::kUpdate,
+                  join_cost});
+    }
+  }
+  return requests;
+}
+
+RequestSequence adversarial_basic_sequence(std::size_t cycles, Cost join_cost,
+                                           const GameCosts& costs) {
+  PASO_REQUIRE(join_cost > 0, "K must be positive");
+  const std::size_t reads_to_join = static_cast<std::size_t>(
+      std::ceil(join_cost / costs.read_out()));
+  const std::size_t updates_to_leave =
+      static_cast<std::size_t>(std::ceil(join_cost));
+  RequestSequence requests;
+  requests.reserve(cycles * (reads_to_join + updates_to_leave));
+  for (std::size_t cycle = 0; cycle < cycles; ++cycle) {
+    for (std::size_t i = 0; i < reads_to_join; ++i) {
+      requests.push_back(Request{ReqKind::kRead, join_cost});
+    }
+    for (std::size_t i = 0; i < updates_to_leave; ++i) {
+      requests.push_back(Request{ReqKind::kUpdate, join_cost});
+    }
+  }
+  return requests;
+}
+
+RequestSequence growth_sequence(const GrowthOptions& options, Rng& rng) {
+  RequestSequence requests;
+  requests.reserve(options.phases * options.phase_length);
+  double live = static_cast<double>(options.initial_objects);
+  for (std::size_t phase = 0; phase < options.phases; ++phase) {
+    const bool growing = phase % 2 == 0;
+    const double insert_fraction = growing
+                                       ? options.growth_insert_fraction
+                                       : 1.0 - options.growth_insert_fraction;
+    for (std::size_t i = 0; i < options.phase_length; ++i) {
+      const Cost join_cost =
+          std::max<Cost>(1, live * options.join_cost_per_object);
+      if (rng.chance(options.read_probability)) {
+        requests.push_back(Request{ReqKind::kRead, join_cost});
+        continue;
+      }
+      requests.push_back(Request{ReqKind::kUpdate, join_cost});
+      if (rng.chance(insert_fraction)) {
+        live += 1;
+      } else if (live > 1) {
+        live -= 1;
+      }
+    }
+  }
+  return requests;
+}
+
+}  // namespace paso::analysis

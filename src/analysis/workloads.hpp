@@ -1,0 +1,53 @@
+// Request-sequence generators for the allocation game (experiments E3–E5).
+//
+// Four families:
+//   * random     — i.i.d. reads/updates with a given read probability;
+//   * phased     — alternating read-heavy and update-heavy phases, the
+//                  locality pattern adaptive replication is designed for;
+//   * adversarial— the rent-or-buy style adversary that forces the Basic
+//                  algorithm toward its competitive bound: read bursts that
+//                  just trigger a join, followed by update runs that drain
+//                  the counter to a leave, repeated;
+//   * growth     — for the doubling/halving game: the live-object count l
+//                  rises and falls by large factors, dragging the join cost
+//                  K = Theta(l) with it (Theorem 3's regime).
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/allocation_game.hpp"
+#include "common/rng.hpp"
+
+namespace paso::analysis {
+
+RequestSequence random_sequence(std::size_t length, double read_probability,
+                                Cost join_cost, Rng& rng);
+
+struct PhasedOptions {
+  std::size_t phases = 8;
+  std::size_t phase_length = 256;
+  double read_heavy_probability = 0.95;
+  double update_heavy_probability = 0.05;
+};
+RequestSequence phased_sequence(const PhasedOptions& options, Cost join_cost,
+                                Rng& rng);
+
+/// The adversary for the Basic counter: with costs (q, r) and threshold K,
+/// issue ceil(K / (q*r)) reads (online joins on the last one), then K
+/// updates (online leaves on the last one), for `cycles` rounds.
+RequestSequence adversarial_basic_sequence(std::size_t cycles, Cost join_cost,
+                                           const GameCosts& costs);
+
+struct GrowthOptions {
+  std::size_t phases = 6;
+  std::size_t phase_length = 512;
+  /// Ratio of inserts among updates in a growth phase (shrink phases use the
+  /// complement), so l swings up and down across phases.
+  double growth_insert_fraction = 0.9;
+  double read_probability = 0.5;
+  Cost join_cost_per_object = 1.0;
+  std::size_t initial_objects = 16;
+};
+RequestSequence growth_sequence(const GrowthOptions& options, Rng& rng);
+
+}  // namespace paso::analysis

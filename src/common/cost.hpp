@@ -1,0 +1,74 @@
+// Cost-model primitives shared across the stack.
+//
+// The paper uses three cost measures per PASO operation (Section 4.3):
+//   msg-cost — total message cost under msg-cost(m) = alpha + beta*|m|,
+//   time     — maximum time any single server spends on the operation,
+//   work     — sum over servers of the time spent on the operation.
+// `CostTriple` carries all three; arithmetic composes them the way the
+// macro expansions in Appendix A do (sequential steps add msg-cost and work;
+// `time` composition depends on whether steps are sequential or parallel,
+// which the call sites encode explicitly).
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+
+namespace paso {
+
+/// Abstract cost units (the paper leaves alpha/beta dimensionless).
+using Cost = double;
+
+/// Parameters of the linear message cost model, msg-cost = alpha + beta*|m|.
+struct CostModel {
+  Cost alpha = 10.0;  ///< per-message startup cost
+  Cost beta = 1.0;    ///< per-byte (per-unit-length) cost
+
+  /// Cost of one point-to-point transmission of a message of `bytes` length.
+  Cost message(std::size_t bytes) const {
+    return alpha + beta * static_cast<Cost>(bytes);
+  }
+
+  /// Analytic cost of a gcast per Section 3.3:
+  ///   |g|(alpha + beta|msg|) + |g|*alpha + alpha + beta|resp|
+  /// i.e. fan-out transmissions, empty done-acks to the leader, and the
+  /// single gathered response back to the issuer.
+  Cost gcast(std::size_t group_size, std::size_t msg_bytes,
+             std::size_t resp_bytes) const {
+    const Cost g = static_cast<Cost>(group_size);
+    return g * message(msg_bytes) + g * message(0) + message(resp_bytes);
+  }
+
+  /// The approximate form the paper reports: |g|(2*alpha + beta(|msg|+|resp|)).
+  Cost gcast_approx(std::size_t group_size, std::size_t msg_bytes,
+                    std::size_t resp_bytes) const {
+    const Cost g = static_cast<Cost>(group_size);
+    return g * (2 * alpha + beta * static_cast<Cost>(msg_bytes + resp_bytes));
+  }
+};
+
+/// The (msg-cost, time, work) triple of Section 4.3.
+struct CostTriple {
+  Cost msg_cost = 0;
+  Cost time = 0;
+  Cost work = 0;
+
+  CostTriple& operator+=(const CostTriple& other) {
+    msg_cost += other.msg_cost;
+    time += other.time;
+    work += other.work;
+    return *this;
+  }
+
+  friend CostTriple operator+(CostTriple a, const CostTriple& b) {
+    return a += b;
+  }
+
+  friend bool operator==(const CostTriple&, const CostTriple&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const CostTriple& c) {
+  return os << "{msg=" << c.msg_cost << ", time=" << c.time
+            << ", work=" << c.work << "}";
+}
+
+}  // namespace paso

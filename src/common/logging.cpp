@@ -1,0 +1,15 @@
+#include "common/logging.hpp"
+
+namespace paso {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& line) {
+  if (level < level_) return;
+  std::clog << line << '\n';
+}
+
+}  // namespace paso

@@ -1,0 +1,66 @@
+// Minimal leveled logger.
+//
+// Off by default so the event-driven simulator stays fast; tests and
+// examples can raise the level to trace protocol behaviour. Not thread-safe
+// by design: the simulator is single-threaded and deterministic.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace paso {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  LogLevel level() const { return level_; }
+  void set_level(LogLevel level) { level_ = level; }
+
+  void write(LogLevel level, const std::string& line);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kOff;
+};
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* tag) : level_(level) {
+    stream_ << "[" << tag << "] ";
+  }
+  ~LogLine() { Logger::instance().write(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline bool log_enabled(LogLevel level) {
+  return level >= Logger::instance().level();
+}
+
+}  // namespace paso
+
+#define PASO_LOG(level, tag)                        \
+  if (!::paso::log_enabled(level)) {                \
+  } else                                            \
+    ::paso::detail::LogLine(level, tag)
+
+#define PASO_TRACE(tag) PASO_LOG(::paso::LogLevel::kTrace, tag)
+#define PASO_DEBUG(tag) PASO_LOG(::paso::LogLevel::kDebug, tag)
+#define PASO_INFO(tag) PASO_LOG(::paso::LogLevel::kInfo, tag)
+#define PASO_WARN(tag) PASO_LOG(::paso::LogLevel::kWarn, tag)

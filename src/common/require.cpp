@@ -1,0 +1,15 @@
+#include "common/require.hpp"
+
+#include <sstream>
+
+namespace paso::detail {
+
+void require_failed(const char* expr, const char* file, int line,
+                    const std::string& message) {
+  std::ostringstream os;
+  os << "invariant violated: " << message << " [" << expr << "] at " << file
+     << ":" << line;
+  throw InvariantViolation(os.str());
+}
+
+}  // namespace paso::detail

@@ -1,0 +1,32 @@
+// Invariant checking.
+//
+// PASO_REQUIRE is an always-on precondition/invariant check: distributed
+// algorithms fail subtly, and the cost of a branch is negligible next to the
+// simulation work. Violations throw so tests can assert on them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace paso {
+
+/// Thrown when a PASO_REQUIRE invariant fails.
+class InvariantViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void require_failed(const char* expr, const char* file, int line,
+                                 const std::string& message);
+}  // namespace detail
+
+}  // namespace paso
+
+#define PASO_REQUIRE(expr, message)                                      \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::paso::detail::require_failed(#expr, __FILE__, __LINE__,          \
+                                     (message));                         \
+    }                                                                    \
+  } while (false)

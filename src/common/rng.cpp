@@ -1,0 +1,26 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace paso {
+
+std::size_t Rng::zipf(std::size_t size, double s) {
+  PASO_REQUIRE(size > 0, "zipf: empty support");
+  if (size == 1) return 0;
+  // Inverse-CDF on the continuous bounded Pareto envelope, clamped to the
+  // integer support. Exact Zipf sampling is unnecessary for workload shaping.
+  const double n = static_cast<double>(size);
+  double rank = 0.0;
+  if (s == 1.0) {
+    rank = std::exp(uniform01() * std::log(n)) - 1.0;
+  } else {
+    const double one_minus_s = 1.0 - s;
+    const double top = std::pow(n, one_minus_s);
+    rank = std::pow(uniform01() * (top - 1.0) + 1.0, 1.0 / one_minus_s) - 1.0;
+  }
+  auto idx = static_cast<std::size_t>(rank);
+  if (idx >= size) idx = size - 1;
+  return idx;
+}
+
+}  // namespace paso

@@ -1,0 +1,108 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the simulator, workload generators and
+// randomized online algorithms draws from this engine so that every test and
+// benchmark run is exactly reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace paso {
+
+/// xoshiro256** by Blackman & Vigna, seeded via SplitMix64. Small, fast and
+/// statistically strong; header-only so it inlines into tight workload loops.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    PASO_REQUIRE(lo <= hi, "uniform: empty range");
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) return (*this)();  // full 64-bit range
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = max() - max() % span;
+    std::uint64_t draw = (*this)();
+    while (draw >= limit) draw = (*this)();
+    return lo + draw % span;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Uniformly chosen index into a container of the given size.
+  std::size_t index(std::size_t size) {
+    PASO_REQUIRE(size > 0, "index: empty container");
+    return static_cast<std::size_t>(uniform(0, size - 1));
+  }
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return items[index(items.size())];
+  }
+
+  /// Geometric-ish burst length: number of consecutive repeats with
+  /// continuation probability p, capped at `cap`.
+  std::size_t burst(double p, std::size_t cap) {
+    std::size_t length = 1;
+    while (length < cap && chance(p)) ++length;
+    return length;
+  }
+
+  /// Zipf-like draw over {0, ..., size-1} with exponent s, using rejection
+  /// against the harmonic envelope. Good enough for skewed workloads.
+  std::size_t zipf(std::size_t size, double s);
+
+  /// Derive an independent child generator (for per-actor streams).
+  Rng split() { return Rng((*this)() ^ 0xD1B54A32D192ED03ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace paso

@@ -1,0 +1,77 @@
+// Streaming summary statistics: count / mean / min / max and exact
+// percentiles (samples are kept; the workloads here are small enough that
+// exactness beats sketching). Used for operation-latency reporting in the
+// benches and the analysis helpers.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace paso {
+
+class Summary {
+ public:
+  void add(double value) {
+    samples_.push_back(value);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double mean() const {
+    PASO_REQUIRE(!samples_.empty(), "mean of empty summary");
+    double sum = 0;
+    for (const double v : samples_) sum += v;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  double min() const {
+    PASO_REQUIRE(!samples_.empty(), "min of empty summary");
+    return *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  double max() const {
+    PASO_REQUIRE(!samples_.empty(), "max of empty summary");
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  /// Exact percentile by nearest-rank (q in [0, 1]).
+  double percentile(double q) const {
+    PASO_REQUIRE(!samples_.empty(), "percentile of empty summary");
+    PASO_REQUIRE(q >= 0 && q <= 1, "percentile out of range");
+    sort();
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(samples_.size() - 1) + 0.5);
+    return samples_[std::min(rank, samples_.size() - 1)];
+  }
+
+  double median() const { return percentile(0.5); }
+
+  void merge(const Summary& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+  }
+
+  void clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  void sort() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace paso

@@ -1,0 +1,238 @@
+#include "coord/coord.hpp"
+
+#include <utility>
+
+namespace paso::coord {
+
+namespace {
+
+/// All coordination tuples share this shape: (name, a, b, payload).
+Tuple coord_tuple(const std::string& name, std::int64_t a, std::int64_t b,
+                  const std::string& payload = "") {
+  return {Value{name}, Value{a}, Value{b}, Value{payload}};
+}
+
+SearchCriterion by_name(const std::string& name) {
+  return criterion(Exact{Value{name}}, TypedAny{FieldType::kInt},
+                   TypedAny{FieldType::kInt}, TypedAny{FieldType::kText});
+}
+
+SearchCriterion by_name_a(const std::string& name, std::int64_t a) {
+  return criterion(Exact{Value{name}}, Exact{Value{a}},
+                   TypedAny{FieldType::kInt}, TypedAny{FieldType::kText});
+}
+
+}  // namespace
+
+std::vector<ClassSpec> schema_specs(std::size_t partitions) {
+  return {ClassSpec{
+      "coord",
+      {FieldType::kText, FieldType::kInt, FieldType::kInt, FieldType::kText},
+      0,
+      partitions}};
+}
+
+// --- DistributedLock ---------------------------------------------------------
+
+void DistributedLock::create(ProcessId process) {
+  cluster_.runtime(process.machine)
+      .insert(process, coord_tuple("lock/" + name_, 0, 0), {});
+}
+
+void DistributedLock::acquire(ProcessId process,
+                              std::function<void(bool)> acquired,
+                              sim::SimTime deadline) {
+  cluster_.runtime(process.machine)
+      .read_del_blocking(
+          process, by_name("lock/" + name_),
+          [acquired = std::move(acquired)](SearchResponse token) {
+            if (acquired) acquired(token.has_value());
+          },
+          BlockingMode::kMarker, deadline);
+}
+
+void DistributedLock::release(ProcessId process) {
+  cluster_.runtime(process.machine)
+      .insert(process, coord_tuple("lock/" + name_, 0, 0), {});
+}
+
+// --- Semaphore ---------------------------------------------------------------
+
+void Semaphore::create(ProcessId process, std::size_t permits) {
+  for (std::size_t i = 0; i < permits; ++i) {
+    cluster_.runtime(process.machine)
+        .insert(process, coord_tuple("sem/" + name_, 0, 0), {});
+  }
+}
+
+void Semaphore::acquire(ProcessId process, std::function<void(bool)> acquired,
+                        sim::SimTime deadline) {
+  cluster_.runtime(process.machine)
+      .read_del_blocking(
+          process, by_name("sem/" + name_),
+          [acquired = std::move(acquired)](SearchResponse token) {
+            if (acquired) acquired(token.has_value());
+          },
+          BlockingMode::kMarker, deadline);
+}
+
+void Semaphore::release(ProcessId process) {
+  cluster_.runtime(process.machine)
+      .insert(process, coord_tuple("sem/" + name_, 0, 0), {});
+}
+
+// --- Barrier -----------------------------------------------------------------
+
+void Barrier::create(ProcessId process) {
+  // Count tuple: ("bar/<name>", arrived-so-far, generation).
+  cluster_.runtime(process.machine)
+      .insert(process, coord_tuple("bar/" + name_, 0, 0), {});
+}
+
+void Barrier::arrive(ProcessId process, std::function<void()> released) {
+  PasoRuntime& runtime = cluster_.runtime(process.machine);
+  const std::string count_name = "bar/" + name_;
+  const std::string go_name = "bar/" + name_ + "/go";
+  runtime.read_del_blocking(
+      process, by_name(count_name),
+      [this, process, released = std::move(released), count_name,
+       go_name](SearchResponse count) mutable {
+        PASO_REQUIRE(count.has_value(), "barrier count tuple lost");
+        const auto arrived = std::get<std::int64_t>(count->fields[1]) + 1;
+        const auto generation = std::get<std::int64_t>(count->fields[2]);
+        PasoRuntime& runtime = cluster_.runtime(process.machine);
+        if (arrived == static_cast<std::int64_t>(parties_)) {
+          // Last arriver: open the gate for this generation, arm the next
+          // one, and garbage-collect the previous generation's gate.
+          runtime.insert(process, coord_tuple(go_name, generation, 0), {});
+          runtime.insert(process, coord_tuple(count_name, 0, generation + 1),
+                         {});
+          if (generation > 0) {
+            runtime.read_del(process, by_name_a(go_name, generation - 1),
+                             [](SearchResponse) {});
+          }
+          if (released) released();
+          return;
+        }
+        runtime.insert(process, coord_tuple(count_name, arrived, generation),
+                       {});
+        // Wait (non-destructively) for this generation's gate.
+        runtime.read_blocking(
+            process, by_name_a(go_name, generation),
+            [released = std::move(released)](SearchResponse gate) {
+              PASO_REQUIRE(gate.has_value(), "barrier gate wait failed");
+              if (released) released();
+            },
+            BlockingMode::kMarker);
+      },
+      BlockingMode::kMarker);
+}
+
+// --- AtomicCounter -------------------------------------------------------------
+
+void AtomicCounter::create(ProcessId process, std::int64_t initial) {
+  cluster_.runtime(process.machine)
+      .insert(process, coord_tuple("ctr/" + name_, initial, 0), {});
+}
+
+void AtomicCounter::fetch_add(ProcessId process, std::int64_t delta,
+                              std::function<void(std::int64_t)> done) {
+  PasoRuntime& runtime = cluster_.runtime(process.machine);
+  runtime.read_del_blocking(
+      process, by_name("ctr/" + name_),
+      [this, process, delta, done = std::move(done)](SearchResponse tuple) {
+        PASO_REQUIRE(tuple.has_value(), "counter tuple lost");
+        const auto old = std::get<std::int64_t>(tuple->fields[1]);
+        // Completion is signalled only once the re-inserted tuple is
+        // replicated: a fetch_add that "finished" must be visible.
+        cluster_.runtime(process.machine)
+            .insert(process, coord_tuple("ctr/" + name_, old + delta, 0),
+                    [done = std::move(done), old] {
+                      if (done) done(old);
+                    });
+      },
+      BlockingMode::kMarker);
+}
+
+void AtomicCounter::read(ProcessId process,
+                         std::function<void(std::int64_t)> done) {
+  // Blocking read: a concurrent fetch_add holds the tuple between its take
+  // and re-insert, so a plain read could legitimately catch the gap.
+  cluster_.runtime(process.machine)
+      .read_blocking(process, by_name("ctr/" + name_),
+                     [done = std::move(done)](SearchResponse tuple) {
+                       PASO_REQUIRE(tuple.has_value(),
+                                    "counter tuple lost permanently");
+                       if (done) done(std::get<std::int64_t>(tuple->fields[1]));
+                     },
+                     BlockingMode::kMarker);
+}
+
+// --- TupleQueue ------------------------------------------------------------------
+
+void TupleQueue::create(ProcessId process) {
+  PasoRuntime& runtime = cluster_.runtime(process.machine);
+  runtime.insert(process, coord_tuple("q/" + name_ + "/tail", 0, 0), {});
+  runtime.insert(process, coord_tuple("q/" + name_ + "/head", 0, 0), {});
+}
+
+void TupleQueue::push(ProcessId process, std::string payload,
+                      std::function<void()> done) {
+  PasoRuntime& runtime = cluster_.runtime(process.machine);
+  const std::string tail_name = "q/" + name_ + "/tail";
+  runtime.read_del_blocking(
+      process, by_name(tail_name),
+      [this, process, tail_name, payload = std::move(payload),
+       done = std::move(done)](SearchResponse ticket) mutable {
+        PASO_REQUIRE(ticket.has_value(), "queue tail ticket lost");
+        const auto seq = std::get<std::int64_t>(ticket->fields[1]);
+        PasoRuntime& runtime = cluster_.runtime(process.machine);
+        runtime.insert(process,
+                       coord_tuple("q/" + name_ + "/item", seq, 0, payload),
+                       {});
+        runtime.insert(process, coord_tuple(tail_name, seq + 1, 0),
+                       [done = std::move(done)] {
+                         if (done) done();
+                       });
+      },
+      BlockingMode::kMarker);
+}
+
+void TupleQueue::pop(ProcessId process,
+                     std::function<void(std::optional<std::string>)> popped,
+                     sim::SimTime deadline) {
+  PasoRuntime& runtime = cluster_.runtime(process.machine);
+  const std::string head_name = "q/" + name_ + "/head";
+  runtime.read_del_blocking(
+      process, by_name(head_name),
+      [this, process, head_name, popped = std::move(popped),
+       deadline](SearchResponse ticket) mutable {
+        if (!ticket) {
+          if (popped) popped(std::nullopt);
+          return;
+        }
+        const auto seq = std::get<std::int64_t>(ticket->fields[1]);
+        PasoRuntime& runtime = cluster_.runtime(process.machine);
+        runtime.read_del_blocking(
+            process, by_name_a("q/" + name_ + "/item", seq),
+            [this, process, head_name, seq,
+             popped = std::move(popped)](SearchResponse item) mutable {
+              PasoRuntime& runtime = cluster_.runtime(process.machine);
+              if (!item) {
+                // Deadline while waiting for our item: put the head ticket
+                // back so later consumers can retry this sequence number.
+                runtime.insert(process, coord_tuple(head_name, seq, 0), {});
+                if (popped) popped(std::nullopt);
+                return;
+              }
+              runtime.insert(process, coord_tuple(head_name, seq + 1, 0), {});
+              if (popped) {
+                popped(std::get<std::string>(item->fields[3]));
+              }
+            },
+            BlockingMode::kMarker, deadline);
+      },
+      BlockingMode::kMarker, deadline);
+}
+
+}  // namespace paso::coord

@@ -1,0 +1,144 @@
+// Distributed coordination patterns on top of the PASO memory.
+//
+// The paper motivates PASO memories as "coordination languages" (Section 1
+// cites their use from C, Scheme, Prolog, Modula-2, ...). This library is
+// the downstream-user demonstration: classic Linda coordination structures —
+// locks, semaphores, reusable barriers, atomic counters, FIFO queues —
+// built *purely* on the public primitives (insert / read / read&del and
+// their blocking forms), inheriting the memory's fault tolerance: every
+// token and ticket below survives up to lambda machine crashes.
+//
+// All structures share one object class family ("coord" tuples of shape
+// (text name, int a, int b, text payload)), hash-partitioned by name so
+// unrelated structures live in different write groups.
+//
+// Operations are asynchronous (callback-based) like the runtime itself;
+// each takes the calling ProcessId. Mutual exclusion and atomicity come
+// from read&del's system-wide exactly-once guarantee (axiom A2): taking a
+// token is the atomic step everything else is built from.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "paso/cluster.hpp"
+
+namespace paso::coord {
+
+/// The class specs coordination structures need; append to the application
+/// schema before building the Cluster.
+std::vector<ClassSpec> schema_specs(std::size_t partitions = 4);
+
+/// A mutual-exclusion lock: one token tuple; acquire = blocking read&del,
+/// release = insert. Crash-safe in the sense that the token lives in the
+/// replicated memory — but a holder that dies takes the token with it, as
+/// in any token-based scheme (recover with `force_release`).
+class DistributedLock {
+ public:
+  DistributedLock(Cluster& cluster, std::string name)
+      : cluster_(cluster), name_(std::move(name)) {}
+
+  /// Create the lock's token (call once, from anywhere).
+  void create(ProcessId process);
+
+  /// Acquire: fires `acquired(true)` with the lock held, or
+  /// `acquired(false)` if `deadline` passed first.
+  void acquire(ProcessId process, std::function<void(bool)> acquired,
+               sim::SimTime deadline = PasoRuntime::kNoDeadline);
+
+  /// Release a held lock.
+  void release(ProcessId process);
+
+  /// Re-mint the token after a holder died. Idempotent only if callers
+  /// coordinate; meant for an administrative recovery path.
+  void force_release(ProcessId process) { release(process); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  Cluster& cluster_;
+  std::string name_;
+};
+
+/// Counting semaphore: `permits` interchangeable tokens.
+class Semaphore {
+ public:
+  Semaphore(Cluster& cluster, std::string name)
+      : cluster_(cluster), name_(std::move(name)) {}
+
+  void create(ProcessId process, std::size_t permits);
+  void acquire(ProcessId process, std::function<void(bool)> acquired,
+               sim::SimTime deadline = PasoRuntime::kNoDeadline);
+  void release(ProcessId process);
+
+ private:
+  Cluster& cluster_;
+  std::string name_;
+};
+
+/// Reusable n-party barrier. Each generation g completes when `parties`
+/// processes have arrived; arrival is an atomic counter bump (take the
+/// count tuple, re-insert incremented), and the last arriver publishes a
+/// release tuple that waiting parties blocking-read.
+class Barrier {
+ public:
+  Barrier(Cluster& cluster, std::string name, std::size_t parties)
+      : cluster_(cluster), name_(std::move(name)), parties_(parties) {}
+
+  void create(ProcessId process);
+
+  /// Arrive and wait for the current generation to complete; `released`
+  /// fires once all parties of this generation arrived.
+  void arrive(ProcessId process, std::function<void()> released);
+
+ private:
+  Cluster& cluster_;
+  std::string name_;
+  std::size_t parties_;
+};
+
+/// Atomic fetch-and-add counter.
+class AtomicCounter {
+ public:
+  AtomicCounter(Cluster& cluster, std::string name)
+      : cluster_(cluster), name_(std::move(name)) {}
+
+  void create(ProcessId process, std::int64_t initial = 0);
+
+  /// Atomically add `delta`; `done` receives the *previous* value.
+  void fetch_add(ProcessId process, std::int64_t delta,
+                 std::function<void(std::int64_t)> done);
+
+  /// Non-destructive read of the current value.
+  void read(ProcessId process, std::function<void(std::int64_t)> done);
+
+ private:
+  Cluster& cluster_;
+  std::string name_;
+};
+
+/// FIFO queue of text payloads with total order across all producers and
+/// consumers: producers take a tail ticket to obtain their sequence number,
+/// consumers take the head ticket and then wait for exactly that item.
+class TupleQueue {
+ public:
+  TupleQueue(Cluster& cluster, std::string name)
+      : cluster_(cluster), name_(std::move(name)) {}
+
+  void create(ProcessId process);
+
+  void push(ProcessId process, std::string payload,
+            std::function<void()> done = {});
+
+  /// Pop the next item in FIFO order; fires `popped(payload)` or
+  /// `popped(nullopt)` on deadline.
+  void pop(ProcessId process,
+           std::function<void(std::optional<std::string>)> popped,
+           sim::SimTime deadline = PasoRuntime::kNoDeadline);
+
+ private:
+  Cluster& cluster_;
+  std::string name_;
+};
+
+}  // namespace paso::coord

@@ -1,0 +1,35 @@
+#include "net/bus_network.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace paso::net {
+
+void BusNetwork::send(MachineId from, MachineId to, const std::string& tag,
+                      std::size_t bytes, Delivery deliver) {
+  PASO_REQUIRE(from.value < up_.size() && to.value < up_.size(),
+               "unknown machine");
+  PASO_REQUIRE(deliver != nullptr, "null delivery");
+  if (!up_[from.value]) return;  // a crashed machine sends nothing
+
+  if (from == to) {
+    // Local hand-off: no bus transmission, no cost, immediate (next event).
+    simulator_.schedule_after(0, std::move(deliver));
+    return;
+  }
+
+  const Cost cost = model_.message(bytes);
+  ledger_.charge_message(tag, bytes, cost);
+
+  // The bus carries one message at a time: transmission begins when the bus
+  // frees up, and delivery happens at transmission end.
+  const sim::SimTime start = std::max(simulator_.now(), bus_free_at_);
+  const sim::SimTime end = start + cost;
+  bus_free_at_ = end;
+
+  simulator_.schedule_at(end, [this, to, deliver = std::move(deliver)] {
+    if (up_[to.value]) deliver();
+  });
+}
+
+}  // namespace paso::net

@@ -1,0 +1,147 @@
+// Simulated bus-based LAN (Section 3.3).
+//
+// The paper's network model is a standard-Unix-workstation Ethernet: no
+// hardware multicast, messages transmitted one at a time on a shared bus,
+// per-message cost msg-cost(m) = alpha + beta*|m|. We model exactly that:
+// each send occupies the bus for its msg-cost in virtual time units, so the
+// total message cost of a run is, by construction, a lower bound on the time
+// to complete it — the property Section 5 relies on.
+//
+// Payloads are delivery closures (the whole system lives in one address
+// space), but every send declares its wire size explicitly; all cost
+// accounting uses the declared size, never sizeof.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/cost.hpp"
+#include "common/ids.hpp"
+#include "sim/simulator.hpp"
+
+namespace paso::net {
+
+/// Per-tag traffic statistics (tags are protocol-level message kinds such as
+/// "store", "mem-read", "ack", "state-xfer").
+struct TrafficStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  Cost cost = 0;
+};
+
+/// Running totals for an experiment. Layers above the network also charge
+/// server-side processing effort here so that the paper's `work` measure
+/// (sum of time spent across servers) is available alongside msg-cost.
+class CostLedger {
+ public:
+  void charge_message(const std::string& tag, std::size_t bytes, Cost cost) {
+    total_msg_cost_ += cost;
+    auto& stats = per_tag_[tag];
+    ++stats.messages;
+    stats.bytes += bytes;
+    stats.cost += cost;
+  }
+
+  void charge_work(MachineId machine, Cost amount) {
+    total_work_ += amount;
+    if (machine.value >= work_per_machine_.size()) {
+      work_per_machine_.resize(machine.value + 1, 0);
+    }
+    work_per_machine_[machine.value] += amount;
+  }
+
+  Cost total_msg_cost() const { return total_msg_cost_; }
+  Cost total_work() const { return total_work_; }
+  Cost work_of(MachineId machine) const {
+    return machine.value < work_per_machine_.size()
+               ? work_per_machine_[machine.value]
+               : 0;
+  }
+  const std::map<std::string, TrafficStats>& per_tag() const {
+    return per_tag_;
+  }
+
+  void reset() {
+    total_msg_cost_ = 0;
+    total_work_ = 0;
+    work_per_machine_.clear();
+    per_tag_.clear();
+  }
+
+  /// Snapshot of the running totals, used to meter a single operation:
+  /// diffing two snapshots yields the paper's (msg-cost, time, work) triple,
+  /// where `time` is the largest single-server work delta.
+  struct Snapshot {
+    Cost msg_cost = 0;
+    std::vector<Cost> work;
+  };
+
+  Snapshot snapshot() const { return {total_msg_cost_, work_per_machine_}; }
+
+  CostTriple since(const Snapshot& s) const {
+    CostTriple t;
+    t.msg_cost = total_msg_cost_ - s.msg_cost;
+    for (std::size_t i = 0; i < work_per_machine_.size(); ++i) {
+      const Cost before = i < s.work.size() ? s.work[i] : 0;
+      const Cost delta = work_per_machine_[i] - before;
+      t.work += delta;
+      if (delta > t.time) t.time = delta;
+    }
+    return t;
+  }
+
+ private:
+  Cost total_msg_cost_ = 0;
+  Cost total_work_ = 0;
+  std::vector<Cost> work_per_machine_;
+  std::map<std::string, TrafficStats> per_tag_;
+};
+
+/// A serializing broadcast bus connecting `n` machines.
+class BusNetwork {
+ public:
+  using Delivery = std::function<void()>;
+
+  BusNetwork(sim::Simulator& simulator, CostModel model, std::size_t n)
+      : simulator_(simulator), model_(model), up_(n, true) {}
+
+  /// Point-to-point send. The message occupies the bus for its msg-cost;
+  /// `deliver` runs at the destination when transmission completes, unless
+  /// the destination is down at that moment (crash => silent drop, matching
+  /// the crash-fault model). Self-sends are free and immediate: the paper's
+  /// cost model charges only for bus transmissions.
+  void send(MachineId from, MachineId to, const std::string& tag,
+            std::size_t bytes, Delivery deliver);
+
+  /// Machine lifecycle, driven by the fault injector.
+  void set_up(MachineId machine, bool up) {
+    PASO_REQUIRE(machine.value < up_.size(), "unknown machine");
+    up_[machine.value] = up;
+  }
+  bool is_up(MachineId machine) const {
+    PASO_REQUIRE(machine.value < up_.size(), "unknown machine");
+    return up_[machine.value];
+  }
+
+  std::size_t machine_count() const { return up_.size(); }
+  const CostModel& cost_model() const { return model_; }
+  CostLedger& ledger() { return ledger_; }
+  const CostLedger& ledger() const { return ledger_; }
+  sim::Simulator& simulator() { return simulator_; }
+
+  /// Virtual time at which the bus next becomes free (for tests asserting
+  /// the serialization property).
+  sim::SimTime bus_free_at() const { return bus_free_at_; }
+
+ private:
+  sim::Simulator& simulator_;
+  CostModel model_;
+  std::vector<bool> up_;
+  CostLedger ledger_;
+  sim::SimTime bus_free_at_ = 0;
+};
+
+}  // namespace paso::net

@@ -1,0 +1,130 @@
+#include "paso/classes.hpp"
+
+#include <set>
+#include <sstream>
+
+namespace paso {
+
+namespace {
+
+struct ValueHasher {
+  std::size_t operator()(const Value& v) const {
+    return std::visit(
+        [](const auto& x) -> std::size_t {
+          using X = std::decay_t<decltype(x)>;
+          return std::hash<X>{}(x);
+        },
+        v);
+  }
+};
+
+}  // namespace
+
+Schema::Schema(std::vector<ClassSpec> specs) : specs_(std::move(specs)) {
+  PASO_REQUIRE(!specs_.empty(), "schema needs at least one class spec");
+  for (const ClassSpec& spec : specs_) {
+    PASO_REQUIRE(spec.partitions >= 1, "spec needs >= 1 partition");
+    PASO_REQUIRE(spec.partitions == 1 || spec.key_field < spec.signature.size(),
+                 "key field out of range");
+    first_class_of_spec_.push_back(class_count_);
+    for (std::size_t p = 0; p < spec.partitions; ++p) {
+      std::ostringstream os;
+      os << "wg/" << spec.name << "/" << p;
+      group_names_.push_back(os.str());
+    }
+    class_count_ += spec.partitions;
+  }
+}
+
+bool Schema::signature_matches(const ClassSpec& spec,
+                               const Tuple& tuple) const {
+  if (tuple.size() != spec.signature.size()) return false;
+  for (std::size_t i = 0; i < tuple.size(); ++i) {
+    if (type_of(tuple[i]) != spec.signature[i]) return false;
+  }
+  return true;
+}
+
+bool Schema::signature_admits(const ClassSpec& spec,
+                              const SearchCriterion& sc) const {
+  if (sc.fields.size() != spec.signature.size()) return false;
+  for (std::size_t i = 0; i < sc.fields.size(); ++i) {
+    if (!pattern_admits_type(sc.fields[i], spec.signature[i])) return false;
+  }
+  return true;
+}
+
+std::size_t Schema::partition_of(const ClassSpec& spec,
+                                 const Value& key) const {
+  if (spec.partitions == 1) return 0;
+  return ValueHasher{}(key) % spec.partitions;
+}
+
+std::optional<ClassId> Schema::classify(const Tuple& tuple) const {
+  for (std::size_t s = 0; s < specs_.size(); ++s) {
+    const ClassSpec& spec = specs_[s];
+    if (!signature_matches(spec, tuple)) continue;
+    const std::size_t partition =
+        spec.partitions == 1 ? 0 : partition_of(spec, tuple[spec.key_field]);
+    return ClassId{
+        static_cast<std::uint32_t>(first_class_of_spec_[s] + partition)};
+  }
+  return std::nullopt;
+}
+
+std::vector<ClassId> Schema::candidate_classes(
+    const SearchCriterion& sc) const {
+  std::vector<ClassId> candidates;
+  for (std::size_t s = 0; s < specs_.size(); ++s) {
+    const ClassSpec& spec = specs_[s];
+    if (!signature_admits(spec, sc)) continue;
+    if (spec.partitions == 1) {
+      candidates.push_back(
+          ClassId{static_cast<std::uint32_t>(first_class_of_spec_[s])});
+      continue;
+    }
+    // An exact pattern on the key field pins the partition; an explicit
+    // value set (OneOf) pins the union of its values' partitions; anything
+    // else could match objects in every partition.
+    const FieldPattern& key_pattern = sc.fields[spec.key_field];
+    if (const auto* exact = std::get_if<Exact>(&key_pattern)) {
+      const std::size_t partition = partition_of(spec, exact->value);
+      candidates.push_back(ClassId{
+          static_cast<std::uint32_t>(first_class_of_spec_[s] + partition)});
+    } else if (const auto* one_of = std::get_if<OneOf>(&key_pattern)) {
+      std::set<std::size_t> partitions;
+      for (const Value& v : one_of->values) {
+        if (type_of(v) == spec.signature[spec.key_field]) {
+          partitions.insert(partition_of(spec, v));
+        }
+      }
+      for (const std::size_t p : partitions) {
+        candidates.push_back(ClassId{
+            static_cast<std::uint32_t>(first_class_of_spec_[s] + p)});
+      }
+    } else {
+      for (std::size_t p = 0; p < spec.partitions; ++p) {
+        candidates.push_back(ClassId{
+            static_cast<std::uint32_t>(first_class_of_spec_[s] + p)});
+      }
+    }
+  }
+  return candidates;
+}
+
+const std::string& Schema::group_name(ClassId id) const {
+  PASO_REQUIRE(id.value < group_names_.size(), "unknown class id");
+  return group_names_[id.value];
+}
+
+std::pair<std::size_t, std::size_t> Schema::locate(ClassId id) const {
+  PASO_REQUIRE(id.value < class_count_, "unknown class id");
+  std::size_t spec_index = 0;
+  while (spec_index + 1 < first_class_of_spec_.size() &&
+         first_class_of_spec_[spec_index + 1] <= id.value) {
+    ++spec_index;
+  }
+  return {spec_index, id.value - first_class_of_spec_[spec_index]};
+}
+
+}  // namespace paso

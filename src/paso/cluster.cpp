@@ -1,0 +1,235 @@
+#include "paso/cluster.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "storage/hash_store.hpp"
+
+namespace paso {
+
+Cluster::Cluster(Schema schema, ClusterConfig config)
+    : schema_(std::move(schema)), config_(std::move(config)) {
+  PASO_REQUIRE(config_.machines >= 1, "cluster needs machines");
+  PASO_REQUIRE(config_.lambda < config_.machines,
+               "lambda must be below the machine count");
+  if (!config_.store_factory) {
+    config_.store_factory = [](ClassId) {
+      return std::make_unique<storage::HashStore>(0);
+    };
+  }
+  config_.runtime.lambda = config_.lambda;
+
+  network_ = std::make_unique<net::BusNetwork>(simulator_, config_.cost_model,
+                                               config_.machines);
+  groups_ = std::make_unique<vsync::GroupService>(*network_, config_.vsync);
+  basic_support_.resize(schema_.class_count());
+  initializing_.resize(config_.machines, false);
+  init_epoch_.resize(config_.machines, 0);
+
+  for (std::uint32_t m = 0; m < config_.machines; ++m) {
+    const MachineId machine{m};
+    servers_.push_back(std::make_unique<MemoryServer>(
+        machine, schema_, config_.store_factory, *network_));
+    runtimes_.push_back(std::make_unique<PasoRuntime>(
+        machine, schema_, *groups_, *servers_.back(), config_.runtime,
+        config_.record_history ? &history_ : nullptr));
+    groups_->register_endpoint(machine, *servers_.back());
+    wire_machine(machine);
+  }
+}
+
+void Cluster::wire_machine(MachineId m) {
+  MemoryServer& server = *servers_[m.value];
+  PasoRuntime& runtime = *runtimes_[m.value];
+
+  runtime.set_basic_support_provider(
+      [this](ClassId cls) { return basic_support(cls); });
+
+  server.set_update_hook(
+      [&runtime](ClassId cls, bool /*is_store*/, bool applied) {
+        if (applied && runtime.policy() != nullptr) {
+          runtime.policy()->on_update_served(cls);
+        }
+      });
+
+  server.set_view_hook([&runtime](ClassId cls, const vsync::View& view) {
+    if (runtime.policy() != nullptr) {
+      runtime.policy()->on_view_change(cls, view);
+    }
+  });
+
+  // Marker notifications travel the bus from the observing server to the
+  // marker's owner (the runtime that placed it).
+  server.set_marker_hook([this, m](MachineId owner, std::uint64_t marker_id,
+                                   const PasoObject& object) {
+    network_->send(m, owner, "marker-notify", 8 + object.wire_size(),
+                   [this, owner, marker_id, object] {
+                     runtimes_[owner.value]->on_marker_notification(marker_id,
+                                                                    object);
+                   });
+  });
+}
+
+PasoRuntime& Cluster::runtime(MachineId m) {
+  PASO_REQUIRE(m.value < runtimes_.size(), "unknown machine");
+  return *runtimes_[m.value];
+}
+
+MemoryServer& Cluster::server(MachineId m) {
+  PASO_REQUIRE(m.value < servers_.size(), "unknown machine");
+  return *servers_[m.value];
+}
+
+// ---------------------------------------------------------------------------
+// basic support
+
+void Cluster::assign_basic_support() {
+  const std::size_t n = config_.machines;
+  for (std::uint32_t c = 0; c < schema_.class_count(); ++c) {
+    if (!basic_support_[c].empty()) continue;  // respect overrides
+    std::vector<MachineId> members;
+    for (std::size_t i = 0; i <= config_.lambda; ++i) {
+      members.push_back(MachineId{static_cast<std::uint32_t>((c + i) % n)});
+    }
+    basic_support_[c] = std::move(members);
+  }
+  for (std::uint32_t c = 0; c < schema_.class_count(); ++c) {
+    for (const MachineId m : basic_support_[c]) {
+      runtimes_[m.value]->request_join(ClassId{c});
+    }
+  }
+  settle();
+}
+
+void Cluster::set_basic_support(ClassId cls, std::vector<MachineId> members) {
+  PASO_REQUIRE(cls.value < basic_support_.size(), "unknown class");
+  PASO_REQUIRE(members.size() == config_.lambda + 1,
+               "basic support must have lambda + 1 machines");
+  basic_support_[cls.value] = std::move(members);
+}
+
+std::vector<MachineId> Cluster::basic_support(ClassId cls) const {
+  PASO_REQUIRE(cls.value < basic_support_.size(), "unknown class");
+  return basic_support_[cls.value];
+}
+
+// ---------------------------------------------------------------------------
+// fault plane
+
+void Cluster::crash(MachineId m) {
+  PASO_REQUIRE(network_->is_up(m), "machine already down");
+  groups_->machine_crashed(m);
+  servers_[m.value]->crash_reset();
+  runtimes_[m.value]->on_machine_crash();
+  initializing_[m.value] = false;  // crashing mid-init is just down again
+}
+
+void Cluster::recover(MachineId m, std::function<void()> initialized) {
+  groups_->machine_recovered(m);
+  // Initialization phase: determine which groups this server belongs to —
+  // the classes whose basic support contains it — and re-join them one by
+  // one (Section 4.2). The machine counts as faulty until all joins finish.
+  std::vector<ClassId> to_join;
+  for (std::uint32_t c = 0; c < schema_.class_count(); ++c) {
+    const auto& support = basic_support_[c];
+    if (std::find(support.begin(), support.end(), m) != support.end()) {
+      to_join.push_back(ClassId{c});
+    }
+  }
+  if (to_join.empty()) {
+    // Nothing to re-replicate: initialization is immediate.
+    if (initialized) {
+      simulator_.schedule_after(0, std::move(initialized));
+    }
+    return;
+  }
+  initializing_[m.value] = true;
+  const std::uint64_t epoch = ++init_epoch_[m.value];
+  auto pending = std::make_shared<std::size_t>(to_join.size());
+  auto note_done = [this, m, epoch, pending,
+                    initialized = std::move(initialized)](bool) {
+    if (--*pending == 0 && init_epoch_[m.value] == epoch) {
+      // A crash-and-re-recovery in the meantime bumps the epoch; only the
+      // current initialization may clear the flag.
+      initializing_[m.value] = false;
+      if (initialized) initialized();
+    }
+  };
+  for (const ClassId cls : to_join) {
+    runtimes_[m.value]->request_join(cls, note_done);
+  }
+}
+
+std::size_t Cluster::failed_count() const {
+  std::size_t failed = 0;
+  for (std::uint32_t m = 0; m < config_.machines; ++m) {
+    if (!network_->is_up(MachineId{m})) ++failed;
+  }
+  return failed;
+}
+
+std::size_t Cluster::faulty_count() const {
+  std::size_t faulty = 0;
+  for (std::uint32_t m = 0; m < config_.machines; ++m) {
+    if (!network_->is_up(MachineId{m}) || initializing_[m]) ++faulty;
+  }
+  return faulty;
+}
+
+bool Cluster::fault_tolerance_condition_holds() const {
+  const std::size_t k = faulty_count();
+  if (k > config_.lambda) return false;  // outside the fault model
+  for (std::uint32_t c = 0; c < schema_.class_count(); ++c) {
+    const vsync::View view = groups_->view_of(schema_.group_name(ClassId{c}));
+    std::size_t operational = 0;
+    for (const MachineId m : view.members) {
+      if (network_->is_up(m)) ++operational;
+    }
+    if (operational + k <= config_.lambda) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// synchronous wrappers
+
+bool Cluster::insert_sync(ProcessId process, Tuple fields) {
+  bool done = false;
+  runtime(process.machine).insert(process, std::move(fields),
+                                  [&done] { done = true; });
+  simulator_.run_while_pending([&done] { return done; });
+  return done;
+}
+
+SearchResponse Cluster::read_sync(ProcessId process, SearchCriterion sc) {
+  std::optional<SearchResponse> out;
+  runtime(process.machine)
+      .read(process, std::move(sc),
+            [&out](SearchResponse result) { out = std::move(result); });
+  simulator_.run_while_pending([&out] { return out.has_value(); });
+  return out.value_or(std::nullopt);
+}
+
+SearchResponse Cluster::read_del_sync(ProcessId process, SearchCriterion sc) {
+  std::optional<SearchResponse> out;
+  runtime(process.machine)
+      .read_del(process, std::move(sc),
+                [&out](SearchResponse result) { out = std::move(result); });
+  simulator_.run_while_pending([&out] { return out.has_value(); });
+  return out.value_or(std::nullopt);
+}
+
+SearchResponse Cluster::read_blocking_sync(ProcessId process,
+                                           SearchCriterion sc,
+                                           BlockingMode mode,
+                                           sim::SimTime deadline) {
+  std::optional<SearchResponse> out;
+  runtime(process.machine)
+      .read_blocking(process, std::move(sc),
+                     [&out](SearchResponse result) { out = std::move(result); },
+                     mode, deadline);
+  simulator_.run_while_pending([&out] { return out.has_value(); });
+  return out.value_or(std::nullopt);
+}
+
+}  // namespace paso

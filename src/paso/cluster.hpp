@@ -1,0 +1,123 @@
+// Cluster: the whole PASO system in one object.
+//
+// Builds the full stack for n machines — simulator, bus network, group
+// service, one memory server + runtime per machine — and wires the hooks
+// between layers (update/view hooks to the replication policy, marker
+// notifications back to their owners). Also owns the basic-support
+// assignment B(C) of Section 5.1, the crash/recovery fault plane of Section
+// 3.1, and synchronous convenience wrappers that pump the simulator until an
+// operation completes (how examples and tests drive the system).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/bus_network.hpp"
+#include "paso/classes.hpp"
+#include "paso/memory_server.hpp"
+#include "paso/runtime.hpp"
+#include "semantics/history.hpp"
+#include "sim/simulator.hpp"
+#include "storage/object_store.hpp"
+#include "vsync/group_service.hpp"
+
+namespace paso {
+
+struct ClusterConfig {
+  std::size_t machines = 8;
+  std::size_t lambda = 1;
+  CostModel cost_model{};
+  vsync::GroupService::Options vsync{};
+  RuntimeConfig runtime{};
+  /// One store per (server, class); defaults to HashStore on field 0.
+  /// Takes the ClassId so different classes can use different structures
+  /// (e.g. OrderedStore for a range-query class).
+  MemoryServer::ClassStoreFactory store_factory;
+  bool record_history = true;
+};
+
+class Cluster {
+ public:
+  Cluster(Schema schema, ClusterConfig config = {});
+
+  // --- plumbing -------------------------------------------------------------
+  sim::Simulator& simulator() { return simulator_; }
+  net::BusNetwork& network() { return *network_; }
+  vsync::GroupService& groups() { return *groups_; }
+  net::CostLedger& ledger() { return network_->ledger(); }
+  const Schema& schema() const { return schema_; }
+  semantics::HistoryRecorder& history() { return history_; }
+  std::size_t machine_count() const { return config_.machines; }
+  std::size_t lambda() const { return config_.lambda; }
+
+  PasoRuntime& runtime(MachineId m);
+  MemoryServer& server(MachineId m);
+  ProcessId process(MachineId m, std::uint32_t ordinal = 0) const {
+    return ProcessId{m, ordinal};
+  }
+
+  // --- basic support (Section 5.1) -------------------------------------------
+  /// Assign B(C) = { (c + i) mod n : 0 <= i <= lambda } for every class and
+  /// have those machines join the write groups (runs the simulator until
+  /// membership settles).
+  void assign_basic_support();
+  /// Override B(C) for one class (before or after assign_basic_support).
+  void set_basic_support(ClassId cls, std::vector<MachineId> members);
+  std::vector<MachineId> basic_support(ClassId cls) const;
+
+  // --- fault plane (Section 3.1) ---------------------------------------------
+  void crash(MachineId m);
+  /// Bring the machine back. Requires the failure detector to have expelled
+  /// it already (downtime > detection delay); the machine then re-joins the
+  /// write groups of every class whose basic support it belongs to — its
+  /// initialization phase. `initialized` fires when every re-join has
+  /// completed: per Section 3.1 the machine counts as *faulty until then*.
+  void recover(MachineId m, std::function<void()> initialized = {});
+  bool is_up(MachineId m) const { return network_->is_up(m); }
+  /// Machines whose network interface is down.
+  std::size_t failed_count() const;
+  /// Section 3.1's faulty count: down machines plus recovered machines that
+  /// are still in their initialization phase.
+  std::size_t faulty_count() const;
+  bool is_initializing(MachineId m) const {
+    return m.value < initializing_.size() && initializing_[m.value];
+  }
+
+  /// The fault-tolerance condition of Section 4.1: with k failed servers,
+  /// every class keeps more than lambda - k operational write-group members.
+  bool fault_tolerance_condition_holds() const;
+
+  // --- synchronous wrappers ---------------------------------------------------
+  /// Run the simulator until the operation's callback fires. Returns false /
+  /// nullopt if the event queue drained first (e.g. the issuer crashed).
+  bool insert_sync(ProcessId process, Tuple fields);
+  SearchResponse read_sync(ProcessId process, SearchCriterion sc);
+  SearchResponse read_del_sync(ProcessId process, SearchCriterion sc);
+  SearchResponse read_blocking_sync(ProcessId process, SearchCriterion sc,
+                                    BlockingMode mode, sim::SimTime deadline);
+
+  /// Run until the event queue drains.
+  void settle() { simulator_.run(); }
+  /// Run for `duration` virtual time units.
+  void settle_for(sim::SimTime duration) {
+    simulator_.run_until(simulator_.now() + duration);
+  }
+
+ private:
+  void wire_machine(MachineId m);
+
+  Schema schema_;
+  ClusterConfig config_;
+  sim::Simulator simulator_;
+  std::unique_ptr<net::BusNetwork> network_;
+  std::unique_ptr<vsync::GroupService> groups_;
+  semantics::HistoryRecorder history_;
+  std::vector<std::unique_ptr<MemoryServer>> servers_;
+  std::vector<std::unique_ptr<PasoRuntime>> runtimes_;
+  std::vector<std::vector<MachineId>> basic_support_;
+  std::vector<bool> initializing_;
+  std::vector<std::uint64_t> init_epoch_;
+};
+
+}  // namespace paso

@@ -1,0 +1,193 @@
+#include "paso/criteria.hpp"
+
+#include <sstream>
+
+namespace paso {
+
+std::string value_to_string(const Value& v) {
+  std::ostringstream os;
+  switch (type_of(v)) {
+    case FieldType::kInt:
+      os << std::get<std::int64_t>(v);
+      break;
+    case FieldType::kReal:
+      os << std::get<double>(v);
+      break;
+    case FieldType::kText:
+      os << '"' << std::get<std::string>(v) << '"';
+      break;
+    case FieldType::kBool:
+      os << (std::get<bool>(v) ? "true" : "false");
+      break;
+  }
+  return os.str();
+}
+
+std::string tuple_to_string(const Tuple& tuple) {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < tuple.size(); ++i) {
+    if (i) os << ", ";
+    os << value_to_string(tuple[i]);
+  }
+  os << ')';
+  return os.str();
+}
+
+std::string object_to_string(const PasoObject& object) {
+  std::ostringstream os;
+  os << object.id << tuple_to_string(object.fields);
+  return os.str();
+}
+
+bool pattern_matches(const FieldPattern& pattern, const Value& value) {
+  return std::visit(
+      [&value](const auto& p) -> bool {
+        using P = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<P, AnyField>) {
+          return true;
+        } else if constexpr (std::is_same_v<P, TypedAny>) {
+          return type_of(value) == p.type;
+        } else if constexpr (std::is_same_v<P, Exact>) {
+          return value == p.value;
+        } else if constexpr (std::is_same_v<P, IntRange>) {
+          return type_of(value) == FieldType::kInt &&
+                 std::get<std::int64_t>(value) >= p.lo &&
+                 std::get<std::int64_t>(value) <= p.hi;
+        } else if constexpr (std::is_same_v<P, RealRange>) {
+          return type_of(value) == FieldType::kReal &&
+                 std::get<double>(value) >= p.lo &&
+                 std::get<double>(value) <= p.hi;
+        } else if constexpr (std::is_same_v<P, TextPrefix>) {
+          return type_of(value) == FieldType::kText &&
+                 std::get<std::string>(value).starts_with(p.prefix);
+        } else {
+          static_assert(std::is_same_v<P, OneOf>);
+          for (const Value& candidate : p.values) {
+            if (candidate == value) return true;
+          }
+          return false;
+        }
+      },
+      pattern);
+}
+
+bool pattern_admits_type(const FieldPattern& pattern, FieldType type) {
+  return std::visit(
+      [type](const auto& p) -> bool {
+        using P = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<P, AnyField>) {
+          return true;
+        } else if constexpr (std::is_same_v<P, TypedAny>) {
+          return p.type == type;
+        } else if constexpr (std::is_same_v<P, Exact>) {
+          return type_of(p.value) == type;
+        } else if constexpr (std::is_same_v<P, IntRange>) {
+          return type == FieldType::kInt;
+        } else if constexpr (std::is_same_v<P, RealRange>) {
+          return type == FieldType::kReal;
+        } else if constexpr (std::is_same_v<P, TextPrefix>) {
+          return type == FieldType::kText;
+        } else {
+          static_assert(std::is_same_v<P, OneOf>);
+          for (const Value& candidate : p.values) {
+            if (type_of(candidate) == type) return true;
+          }
+          return false;
+        }
+      },
+      pattern);
+}
+
+std::size_t pattern_wire_size(const FieldPattern& pattern) {
+  return 1 + std::visit(
+                 [](const auto& p) -> std::size_t {
+                   using P = std::decay_t<decltype(p)>;
+                   if constexpr (std::is_same_v<P, AnyField>) {
+                     return 0;
+                   } else if constexpr (std::is_same_v<P, TypedAny>) {
+                     return 1;
+                   } else if constexpr (std::is_same_v<P, Exact>) {
+                     return wire_size(p.value);
+                   } else if constexpr (std::is_same_v<P, IntRange>) {
+                     return 16;
+                   } else if constexpr (std::is_same_v<P, RealRange>) {
+                     return 16;
+                   } else if constexpr (std::is_same_v<P, TextPrefix>) {
+                     return 4 + p.prefix.size();
+                   } else {
+                     static_assert(std::is_same_v<P, OneOf>);
+                     std::size_t total = 4;  // count prefix
+                     for (const Value& v : p.values) {
+                       total += 1 + wire_size(v);  // type byte + payload
+                     }
+                     return total;
+                   }
+                 },
+                 pattern);
+}
+
+bool SearchCriterion::matches(const Tuple& tuple) const {
+  if (tuple.size() != fields.size()) return false;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (!pattern_matches(fields[i], tuple[i])) return false;
+  }
+  return true;
+}
+
+bool SearchCriterion::matches(const PasoObject& object) const {
+  return matches(object.fields);
+}
+
+std::size_t SearchCriterion::wire_size() const {
+  std::size_t total = 4;
+  for (const FieldPattern& pattern : fields) {
+    total += pattern_wire_size(pattern);
+  }
+  return total;
+}
+
+std::string SearchCriterion::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) os << ", ";
+    std::visit(
+        [&os](const auto& p) {
+          using P = std::decay_t<decltype(p)>;
+          if constexpr (std::is_same_v<P, AnyField>) {
+            os << '?';
+          } else if constexpr (std::is_same_v<P, TypedAny>) {
+            os << '?' << field_type_name(p.type);
+          } else if constexpr (std::is_same_v<P, Exact>) {
+            os << value_to_string(p.value);
+          } else if constexpr (std::is_same_v<P, IntRange>) {
+            os << '[' << p.lo << ".." << p.hi << ']';
+          } else if constexpr (std::is_same_v<P, RealRange>) {
+            os << '[' << p.lo << ".." << p.hi << ']';
+          } else if constexpr (std::is_same_v<P, TextPrefix>) {
+            os << '"' << p.prefix << "*\"";
+          } else {
+            static_assert(std::is_same_v<P, OneOf>);
+            os << '{';
+            for (std::size_t j = 0; j < p.values.size(); ++j) {
+              if (j) os << '|';
+              os << value_to_string(p.values[j]);
+            }
+            os << '}';
+          }
+        },
+        fields[i]);
+  }
+  os << ']';
+  return os.str();
+}
+
+SearchCriterion exact_criterion(const Tuple& tuple) {
+  SearchCriterion sc;
+  sc.fields.reserve(tuple.size());
+  for (const Value& v : tuple) sc.fields.emplace_back(Exact{v});
+  return sc;
+}
+
+}  // namespace paso

@@ -1,0 +1,108 @@
+// Search criteria (Section 2): predicates over objects used as the argument
+// of read and read&del.
+//
+// The paper's PASO model deliberately permits *general* search criteria —
+// more general than the "exact type signature + per-field match" templates of
+// operational Linda. We support per-field exact matches, typed wildcards,
+// untyped wildcards, numeric ranges and text prefixes; this covers dictionary
+// queries, range queries and pattern matching, the three query families
+// Section 5 names when discussing local data structures.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "paso/object.hpp"
+#include "paso/value.hpp"
+
+namespace paso {
+
+/// Matches any value of any type.
+struct AnyField {
+  friend bool operator==(const AnyField&, const AnyField&) = default;
+};
+
+/// Matches any value of one type (a Linda "formal").
+struct TypedAny {
+  FieldType type;
+  friend bool operator==(const TypedAny&, const TypedAny&) = default;
+};
+
+/// Matches exactly one value (a Linda "actual").
+struct Exact {
+  Value value;
+  friend bool operator==(const Exact&, const Exact&) = default;
+};
+
+/// Matches integers in [lo, hi].
+struct IntRange {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  friend bool operator==(const IntRange&, const IntRange&) = default;
+};
+
+/// Matches reals in [lo, hi].
+struct RealRange {
+  double lo = 0;
+  double hi = 0;
+  friend bool operator==(const RealRange&, const RealRange&) = default;
+};
+
+/// Matches text starting with `prefix`.
+struct TextPrefix {
+  std::string prefix;
+  friend bool operator==(const TextPrefix&, const TextPrefix&) = default;
+};
+
+/// Matches any one of an explicit value set (an IN-list). Because the set
+/// is explicit, a OneOf on a class's key field narrows the sc-list to the
+/// union of the values' partitions rather than fanning out to all of them.
+struct OneOf {
+  std::vector<Value> values;
+  friend bool operator==(const OneOf&, const OneOf&) = default;
+};
+
+using FieldPattern = std::variant<AnyField, TypedAny, Exact, IntRange,
+                                  RealRange, TextPrefix, OneOf>;
+
+bool pattern_matches(const FieldPattern& pattern, const Value& value);
+
+/// True if a value of `type` could ever satisfy `pattern`.
+bool pattern_admits_type(const FieldPattern& pattern, FieldType type);
+
+/// Declared wire size of a pattern (for |sc| in the cost model).
+std::size_t pattern_wire_size(const FieldPattern& pattern);
+
+/// A search criterion: a tuple of field patterns. An object matches when the
+/// arity agrees and every field satisfies its pattern.
+struct SearchCriterion {
+  std::vector<FieldPattern> fields;
+
+  bool matches(const PasoObject& object) const;
+  bool matches(const Tuple& tuple) const;
+
+  /// |sc| for the cost model.
+  std::size_t wire_size() const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const SearchCriterion&, const SearchCriterion&) =
+      default;
+};
+
+/// Convenience builders so call sites read like Linda templates:
+///   criterion(Exact{Value{std::int64_t{7}}}, AnyField{})
+template <typename... Patterns>
+SearchCriterion criterion(Patterns&&... patterns) {
+  SearchCriterion sc;
+  (sc.fields.emplace_back(std::forward<Patterns>(patterns)), ...);
+  return sc;
+}
+
+/// Exact-match criterion for a whole tuple.
+SearchCriterion exact_criterion(const Tuple& tuple);
+
+}  // namespace paso

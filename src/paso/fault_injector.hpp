@@ -1,0 +1,59 @@
+// Stochastic fault injection (Section 3.1's fault model, driven).
+//
+// Crashes machines at exponentially distributed intervals and recovers them
+// after a downtime that respects both the failure-detection delay (a
+// machine cannot serve with erased memory before the membership service has
+// expelled it) and the paper's "initialization phase lasts minutes" floor.
+// Never exceeds `max_down` simultaneous failures — the lambda-bounded fault
+// model under which the system promises safety. Soak tests and benches run
+// workloads under an injector and then check the Section 2 axioms.
+#pragma once
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "paso/cluster.hpp"
+
+namespace paso {
+
+class FaultInjector {
+ public:
+  struct Options {
+    /// Mean virtual time between crash attempts (exponential).
+    sim::SimTime mean_time_between_failures = 5000;
+    /// Mean downtime beyond the mandatory floor (exponential).
+    sim::SimTime mean_repair_time = 2000;
+    /// Machines that never crash (e.g. the workload driver's home).
+    std::set<std::uint32_t> immune;
+    /// Cap on simultaneous failures; defaults to the cluster's lambda.
+    std::size_t max_down = SIZE_MAX;
+    std::uint64_t seed = 1;
+  };
+
+  FaultInjector(Cluster& cluster, Options options);
+
+  /// Begin scheduling crashes. Idempotent.
+  void start();
+  /// Stop scheduling new crashes; machines already down still recover.
+  void stop() { running_ = false; }
+
+  std::uint64_t crashes() const { return crashes_; }
+  std::uint64_t recoveries() const { return recoveries_; }
+  std::size_t currently_down() const { return down_.size(); }
+
+ private:
+  void schedule_next_crash();
+  void attempt_crash();
+  void recover(std::uint32_t machine);
+  sim::SimTime exponential(sim::SimTime mean);
+
+  Cluster& cluster_;
+  Options options_;
+  Rng rng_;
+  bool running_ = false;
+  std::set<std::uint32_t> down_;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t recoveries_ = 0;
+};
+
+}  // namespace paso

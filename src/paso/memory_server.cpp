@@ -1,0 +1,181 @@
+#include "paso/memory_server.hpp"
+
+#include <algorithm>
+#include <any>
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace paso {
+
+MemoryServer::MemoryServer(MachineId self, const Schema& schema,
+                           ClassStoreFactory factory,
+                           net::BusNetwork& network)
+    : self_(self),
+      schema_(schema),
+      factory_(std::move(factory)),
+      network_(network) {
+  PASO_REQUIRE(factory_ != nullptr, "store factory required");
+  for (std::uint32_t c = 0; c < schema_.class_count(); ++c) {
+    group_to_class_.emplace(schema_.group_name(ClassId{c}), ClassId{c});
+  }
+}
+
+std::optional<ClassId> MemoryServer::class_of_group(
+    const GroupName& group) const {
+  auto it = group_to_class_.find(group);
+  if (it == group_to_class_.end()) return std::nullopt;
+  return it->second;
+}
+
+MemoryServer::ClassState& MemoryServer::state_of(ClassId cls) {
+  auto it = classes_.find(cls.value);
+  if (it == classes_.end()) {
+    ClassState state;
+    state.store = factory_(cls);
+    PASO_REQUIRE(state.store != nullptr, "store factory returned null");
+    it = classes_.emplace(cls.value, std::move(state)).first;
+  }
+  return it->second;
+}
+
+vsync::GcastResult MemoryServer::handle_gcast(const GroupName& group,
+                                              const vsync::Payload& payload) {
+  const auto cls = class_of_group(group);
+  PASO_REQUIRE(cls.has_value(), "gcast on unknown group");
+  const auto* message = std::any_cast<ServerMessage>(&payload.body);
+  PASO_REQUIRE(message != nullptr, "unexpected gcast body");
+
+  vsync::GcastResult result;
+  ClassState& state = state_of(*cls);
+
+  if (const auto* store_msg = std::get_if<StoreMsg>(message)) {
+    result.processing = state.store->insert_cost();
+    state.store->store(store_msg->object, state.next_age++);
+    fire_markers(state, store_msg->object);
+    if (update_hook_) update_hook_(*cls, /*is_store=*/true, /*applied=*/true);
+    // store(o) expects no response payload: the gathered response is empty.
+    result.response = std::any{};
+    result.response_bytes = 0;
+  } else if (const auto* read_msg = std::get_if<MemReadMsg>(message)) {
+    result.processing = state.store->query_cost();
+    SearchResponse response = state.store->find(read_msg->criterion);
+    result.response_bytes = response_wire_size(response);
+    result.response = std::move(response);
+  } else if (const auto* remove_msg = std::get_if<RemoveMsg>(message)) {
+    SearchResponse response = state.store->remove(remove_msg->criterion);
+    result.processing = response.has_value() ? state.store->remove_cost()
+                                             : state.store->query_cost();
+    result.response_bytes = response_wire_size(response);
+    if (update_hook_) {
+      update_hook_(*cls, /*is_store=*/false, /*applied=*/response.has_value());
+    }
+    result.response = std::move(response);
+  } else if (const auto* marker_msg = std::get_if<PlaceMarkerMsg>(message)) {
+    // Install the marker, then answer the embedded immediate probe: the
+    // response doubles as a mem-read so the issuer learns about an object
+    // that was already present (no insert will re-announce it).
+    state.markers.push_back(Marker{marker_msg->marker_id, marker_msg->owner,
+                                   marker_msg->criterion,
+                                   marker_msg->expires_at});
+    result.processing = state.store->query_cost();
+    SearchResponse response = state.store->find(marker_msg->criterion);
+    result.response_bytes = response_wire_size(response);
+    result.response = std::move(response);
+  } else if (const auto* cancel_msg = std::get_if<CancelMarkerMsg>(message)) {
+    std::erase_if(state.markers, [cancel_msg](const Marker& m) {
+      return m.marker_id == cancel_msg->marker_id &&
+             m.owner == cancel_msg->owner;
+    });
+    result.processing = 0;
+    result.response = std::any{};
+    result.response_bytes = 0;
+  }
+  return result;
+}
+
+void MemoryServer::fire_markers(ClassState& state, const PasoObject& object) {
+  if (state.markers.empty()) return;
+  const sim::SimTime now = network_.simulator().now();
+  // Drop expired markers lazily (the hybrid scheme of Section 4.3).
+  std::erase_if(state.markers,
+                [now](const Marker& m) { return m.expires_at < now; });
+  for (const Marker& marker : state.markers) {
+    if (!marker.criterion.matches(object)) continue;
+    if (marker_hook_) marker_hook_(marker.owner, marker.marker_id, object);
+  }
+}
+
+vsync::StateBlob MemoryServer::capture_state(const GroupName& group) {
+  const auto cls = class_of_group(group);
+  PASO_REQUIRE(cls.has_value(), "capture on unknown group");
+  ClassState& state = state_of(*cls);
+  auto snapshot = std::make_shared<ClassSnapshot>();
+  snapshot->objects = state.store->snapshot();
+  snapshot->next_age = state.next_age;
+  snapshot->markers = state.markers;
+  vsync::StateBlob blob;
+  blob.bytes = state.store->state_bytes() + 8;
+  blob.state = snapshot;
+  return blob;
+}
+
+void MemoryServer::install_state(const GroupName& group,
+                                 const vsync::StateBlob& blob) {
+  const auto cls = class_of_group(group);
+  PASO_REQUIRE(cls.has_value(), "install on unknown group");
+  const auto* snapshot =
+      std::any_cast<std::shared_ptr<ClassSnapshot>>(&blob.state);
+  PASO_REQUIRE(snapshot != nullptr && *snapshot != nullptr,
+               "unexpected state blob");
+  ClassState& state = state_of(*cls);
+  state.store->load((*snapshot)->objects);
+  state.next_age = (*snapshot)->next_age;
+  state.markers = (*snapshot)->markers;
+  PASO_TRACE("server") << self_ << " installed " << (*snapshot)->objects.size()
+                       << " objects for " << group;
+}
+
+void MemoryServer::erase_state(const GroupName& group) {
+  const auto cls = class_of_group(group);
+  if (!cls) return;
+  classes_.erase(cls->value);
+}
+
+void MemoryServer::on_view_change(const GroupName& group,
+                                  const vsync::View& view) {
+  const auto cls = class_of_group(group);
+  if (!cls) return;
+  if (view.contains(self_)) {
+    // Ensure the class store exists (covers the first-member join, which has
+    // no state transfer).
+    state_of(*cls);
+  }
+  if (view_hook_) view_hook_(*cls, view);
+}
+
+std::optional<PasoObject> MemoryServer::local_find(ClassId cls,
+                                                   const SearchCriterion& sc) {
+  auto it = classes_.find(cls.value);
+  PASO_REQUIRE(it != classes_.end(), "local_find on unsupported class");
+  network_.ledger().charge_work(self_, it->second.store->query_cost());
+  return it->second.store->find(sc);
+}
+
+std::size_t MemoryServer::live_count(ClassId cls) const {
+  auto it = classes_.find(cls.value);
+  return it == classes_.end() ? 0 : it->second.store->size();
+}
+
+std::size_t MemoryServer::class_state_bytes(ClassId cls) const {
+  auto it = classes_.find(cls.value);
+  return it == classes_.end() ? 0 : it->second.store->state_bytes();
+}
+
+std::size_t MemoryServer::total_objects() const {
+  std::size_t total = 0;
+  for (const auto& [cls, state] : classes_) total += state.store->size();
+  return total;
+}
+
+}  // namespace paso

@@ -1,0 +1,121 @@
+// The memory server (Section 4.2).
+//
+// One MemoryServer runs on each machine. It manages one local ObjectStore
+// per object class whose write group the machine belongs to, and implements
+// the three atomic server operations (store_M, mem-read_M, remove_M) as the
+// handler of the class group's gcasts. Because gcasts are totally ordered,
+// every replica applies the same stores and removals in the same order, so
+// "oldest matching object" is identical everywhere — which is what makes
+// remove_M deterministic across the write group and read&del return a single
+// object system-wide.
+//
+// The server is also the donor/joiner side of g-join state transfers and the
+// holder of read markers for blocking operations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/bus_network.hpp"
+#include "paso/classes.hpp"
+#include "paso/messages.hpp"
+#include "storage/object_store.hpp"
+#include "vsync/endpoint.hpp"
+
+namespace paso {
+
+class MemoryServer final : public vsync::GroupEndpoint {
+ public:
+  /// Fired when this server applies a replicated update. `applied` is false
+  /// for removals that found nothing (those cost query work, not update
+  /// work). Drives the adaptive counter of Section 5.1.
+  using UpdateHook =
+      std::function<void(ClassId cls, bool is_store, bool applied)>;
+  /// Fired on every view change of a class write group this server is in.
+  using ViewHook = std::function<void(ClassId cls, const vsync::View& view)>;
+  /// Fired when a stored object matches a live read marker; the runtime
+  /// sends the notification to the marker's owner.
+  using MarkerHook = std::function<void(MachineId owner,
+                                        std::uint64_t marker_id,
+                                        const PasoObject& object)>;
+
+  /// Store factory, invoked per class: different classes can use different
+  /// structures (hash for dictionary classes, ordered for range classes,
+  /// linear for pattern-matching classes — Section 5's three families).
+  using ClassStoreFactory =
+      std::function<std::unique_ptr<storage::ObjectStore>(ClassId)>;
+
+  MemoryServer(MachineId self, const Schema& schema,
+               ClassStoreFactory factory, net::BusNetwork& network);
+
+  // --- vsync::GroupEndpoint -------------------------------------------------
+  vsync::GcastResult handle_gcast(const GroupName& group,
+                                  const vsync::Payload& message) override;
+  vsync::StateBlob capture_state(const GroupName& group) override;
+  void install_state(const GroupName& group,
+                     const vsync::StateBlob& blob) override;
+  void erase_state(const GroupName& group) override;
+  void on_view_change(const GroupName& group, const vsync::View& view) override;
+
+  // --- local fast path (Section 4.3: a member machine serves its own reads
+  // locally, msg-cost 0, and charges Q(l) work) -----------------------------
+  std::optional<PasoObject> local_find(ClassId cls, const SearchCriterion& sc);
+
+  /// Whether this server currently holds a store for the class.
+  bool supports(ClassId cls) const { return classes_.contains(cls.value); }
+  /// |live(C)| at this replica.
+  std::size_t live_count(ClassId cls) const;
+  /// g(l): the state-transfer payload size for the class.
+  std::size_t class_state_bytes(ClassId cls) const;
+
+  /// Total objects across all supported classes (diagnostics).
+  std::size_t total_objects() const;
+
+  /// Crash: local memory is erased (Section 3.1).
+  void crash_reset() { classes_.clear(); }
+
+  void set_update_hook(UpdateHook hook) { update_hook_ = std::move(hook); }
+  void set_view_hook(ViewHook hook) { view_hook_ = std::move(hook); }
+  void set_marker_hook(MarkerHook hook) { marker_hook_ = std::move(hook); }
+
+  MachineId self() const { return self_; }
+
+ private:
+  struct Marker {
+    std::uint64_t marker_id = 0;
+    MachineId owner;
+    SearchCriterion criterion;
+    sim::SimTime expires_at = 0;
+  };
+  struct ClassState {
+    std::unique_ptr<storage::ObjectStore> store;
+    std::uint64_t next_age = 0;
+    std::vector<Marker> markers;
+  };
+  /// What travels in a state-transfer blob.
+  struct ClassSnapshot {
+    std::vector<storage::StoredObject> objects;
+    std::uint64_t next_age = 0;
+    std::vector<Marker> markers;
+  };
+
+  ClassState& state_of(ClassId cls);
+  std::optional<ClassId> class_of_group(const GroupName& group) const;
+  void fire_markers(ClassState& state, const PasoObject& object);
+
+  MachineId self_;
+  const Schema& schema_;
+  ClassStoreFactory factory_;
+  net::BusNetwork& network_;
+  std::unordered_map<std::uint32_t, ClassState> classes_;
+  std::unordered_map<GroupName, ClassId> group_to_class_;
+  UpdateHook update_hook_;
+  ViewHook view_hook_;
+  MarkerHook marker_hook_;
+};
+
+}  // namespace paso

@@ -1,0 +1,40 @@
+// PASO objects.
+//
+// Objects are immutable once inserted (Section 1: "There is no modify
+// operation; modifying a field is logically equivalent to destroying the old
+// object and creating a new one"), and carry a unique identity signed by
+// their creating process (Section 4), which guarantees the at-most-one-insert
+// axiom A2.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "paso/value.hpp"
+
+namespace paso {
+
+using Tuple = std::vector<Value>;
+
+struct PasoObject {
+  ObjectId id;
+  Tuple fields;
+
+  /// Declared wire size: the identity (16 bytes) plus the fields.
+  std::size_t wire_size() const {
+    std::size_t total = 16;
+    for (const Value& field : fields) total += paso::wire_size(field);
+    return total;
+  }
+
+  friend bool operator==(const PasoObject& a, const PasoObject& b) {
+    return a.id == b.id && a.fields == b.fields;
+  }
+};
+
+std::string tuple_to_string(const Tuple& tuple);
+std::string object_to_string(const PasoObject& object);
+
+}  // namespace paso

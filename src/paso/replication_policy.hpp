@@ -1,0 +1,58 @@
+// Write-group management hooks (Section 5).
+//
+// The adaptive algorithms of Section 5 decide, per machine and per object
+// class, when to join or leave the class's write group. They observe three
+// kinds of events — local reads (served locally or remotely), replicated
+// updates served by the local server, and view changes — and act through
+// GroupControl. The concrete algorithms (Basic counter, doubling/halving,
+// support selection) live in src/adaptive/ and plug in here.
+#pragma once
+
+#include <cstddef>
+
+#include "paso/classes.hpp"
+#include "vsync/view.hpp"
+
+namespace paso {
+
+/// What a replication policy may do to the write groups of its machine.
+class GroupControl {
+ public:
+  virtual ~GroupControl() = default;
+
+  virtual void request_join(ClassId cls) = 0;
+  virtual void request_leave(ClassId cls) = 0;
+  virtual bool is_member(ClassId cls) const = 0;
+  /// Whether this machine belongs to the fixed basic support B(C); basic
+  /// members never leave (Section 5.1).
+  virtual bool is_basic_support(ClassId cls) const = 0;
+  /// |live(C)| at the local replica (0 when not a member).
+  virtual std::size_t live_count(ClassId cls) const = 0;
+};
+
+class ReplicationPolicy {
+ public:
+  virtual ~ReplicationPolicy() = default;
+
+  /// A process on this machine issued a read against class `cls`.
+  /// `served_locally` distinguishes the member fast path from a remote
+  /// gcast; `remote_targets` is the read-group size the request went to
+  /// (lambda + 1 - |F(C)| in the paper's notation), 0 when local.
+  virtual void on_local_read(ClassId cls, bool served_locally,
+                             std::size_t remote_targets) = 0;
+
+  /// The local server applied a replicated update (store or successful
+  /// removal) for `cls` — it is a write-group member paying update work.
+  virtual void on_update_served(ClassId cls) = 0;
+
+  /// The write group of `cls` installed a new view.
+  virtual void on_view_change(ClassId cls, const vsync::View& view) {
+    (void)cls;
+    (void)view;
+  }
+
+  /// The machine crashed: all policy state dies with its memory.
+  virtual void on_machine_reset() {}
+};
+
+}  // namespace paso

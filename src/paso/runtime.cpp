@@ -1,0 +1,440 @@
+#include "paso/runtime.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace paso {
+
+namespace {
+
+/// Extract the SearchResponse a server produced from the gathered gcast
+/// response. A missing or empty body is "fail".
+SearchResponse unwrap_search(const std::optional<std::any>& response) {
+  if (!response) return std::nullopt;
+  if (const auto* r = std::any_cast<SearchResponse>(&*response)) return *r;
+  return std::nullopt;
+}
+
+}  // namespace
+
+PasoRuntime::PasoRuntime(MachineId self, const Schema& schema,
+                         vsync::GroupService& groups, MemoryServer& server,
+                         RuntimeConfig config,
+                         semantics::HistoryRecorder* history)
+    : self_(self),
+      schema_(schema),
+      groups_(groups),
+      server_(server),
+      config_(config),
+      history_(history) {}
+
+void PasoRuntime::set_policy(std::unique_ptr<ReplicationPolicy> policy) {
+  policy_ = std::move(policy);
+}
+
+void PasoRuntime::record_return(std::uint64_t history_id, bool has_history,
+                                SearchResponse result) {
+  if (!has_history || history_ == nullptr) return;
+  history_->op_returned(history_id, groups_.network().simulator().now(),
+                        std::move(result));
+}
+
+// ---------------------------------------------------------------------------
+// insert
+
+ObjectId PasoRuntime::insert(ProcessId process, Tuple fields,
+                             InsertCallback done) {
+  PASO_REQUIRE(groups_.is_up(self_), "insert issued from a crashed machine");
+  const auto cls = schema_.classify(fields);
+  PASO_REQUIRE(cls.has_value(), "tuple matches no declared object class");
+  const GroupName group = group_of(*cls);
+  // The fault-tolerance condition guarantees a live replica at all times; an
+  // insert into an empty write group would silently lose the object.
+  PASO_REQUIRE(groups_.group_size(group) > 0,
+               "insert into empty write group: fault-tolerance condition "
+               "violated for " + group);
+
+  PasoObject object;
+  object.id = ObjectId{process, insert_seq_[process]++};
+  object.fields = std::move(fields);
+
+  std::uint64_t history_id = 0;
+  bool has_history = false;
+  if (history_ != nullptr) {
+    history_id = history_->insert_issued(
+        process, groups_.network().simulator().now(), object);
+    has_history = true;
+  }
+
+  StoreMsg msg{*cls, object};
+  const std::size_t bytes = msg.wire_size();
+  ++inflight_;
+  groups_.gcast(
+      group, self_, vsync::Payload{ServerMessage{std::move(msg)}, bytes},
+      "store",
+      [this, history_id, has_history,
+       done = std::move(done)](std::optional<std::any>) {
+        record_return(history_id, has_history, std::nullopt);
+        if (inflight_ > 0) --inflight_;
+        if (done) done();
+      });
+  return object.id;
+}
+
+// ---------------------------------------------------------------------------
+// read
+
+std::vector<MachineId> PasoRuntime::read_group_of(ClassId cls) const {
+  if (basic_support_) return basic_support_(cls);
+  return {};
+}
+
+void PasoRuntime::read(ProcessId process, SearchCriterion sc,
+                       SearchCallback cb) {
+  PASO_REQUIRE(groups_.is_up(self_), "read issued from a crashed machine");
+  std::vector<ClassId> classes = schema_.candidate_classes(sc);
+  std::uint64_t history_id = 0;
+  bool has_history = false;
+  if (history_ != nullptr) {
+    history_id = history_->search_issued(process,
+                                         groups_.network().simulator().now(),
+                                         semantics::OpKind::kRead, sc);
+    has_history = true;
+  }
+  ++inflight_;
+  read_class_chain(process, std::move(sc), std::move(classes), 0,
+                   [this, history_id, has_history,
+                    cb = std::move(cb)](SearchResponse result) {
+                     record_return(history_id, has_history, result);
+                     if (inflight_ > 0) --inflight_;
+                     if (cb) cb(std::move(result));
+                   });
+}
+
+void PasoRuntime::read_class_chain(ProcessId process, SearchCriterion sc,
+                                   std::vector<ClassId> classes,
+                                   std::size_t index, SearchCallback cb) {
+  if (index >= classes.size()) {
+    cb(std::nullopt);
+    return;
+  }
+  const ClassId cls = classes[index];
+  const GroupName group = group_of(cls);
+
+  if (groups_.is_member(group, self_) && server_.supports(cls)) {
+    // Local fast path (Section 4.3): msg-cost 0, Q(l) work on this server.
+    SearchResponse result = server_.local_find(cls, sc);
+    if (policy_) policy_->on_local_read(cls, /*served_locally=*/true, 0);
+    if (result) {
+      cb(std::move(result));
+      return;
+    }
+    read_class_chain(process, std::move(sc), std::move(classes), index + 1,
+                     std::move(cb));
+    return;
+  }
+
+  // Remote path: gcast mem-read(sc, C) to the read group.
+  const std::size_t max_targets =
+      config_.use_read_groups ? config_.lambda + 1 : SIZE_MAX;
+  std::vector<MachineId> preferred;
+  if (config_.use_read_groups) {
+    if (config_.rotate_read_groups) {
+      // Load-balancing variant: take lambda+1 members of the current write
+      // group starting at a per-class rotating offset.
+      const std::vector<MachineId> members = groups_.view_of(group).members;
+      if (!members.empty()) {
+        const std::size_t start = read_rotation_[cls.value]++ % members.size();
+        for (std::size_t i = 0; i < members.size() && preferred.size() < max_targets; ++i) {
+          preferred.push_back(members[(start + i) % members.size()]);
+        }
+      }
+    } else {
+      preferred = read_group_of(cls);
+    }
+  }
+  const std::size_t target_estimate =
+      std::min(max_targets, groups_.group_size(group));
+  if (policy_) {
+    policy_->on_local_read(cls, /*served_locally=*/false, target_estimate);
+  }
+
+  MemReadMsg msg{cls, sc};
+  const std::size_t bytes = msg.wire_size();
+  groups_.gcast_to(
+      group, self_, vsync::Payload{ServerMessage{std::move(msg)}, bytes},
+      "mem-read", std::move(preferred), max_targets,
+      [this, process, sc = std::move(sc), classes = std::move(classes), index,
+       cb = std::move(cb)](std::optional<std::any> response) mutable {
+        SearchResponse result = unwrap_search(response);
+        if (result) {
+          cb(std::move(result));
+          return;
+        }
+        read_class_chain(process, std::move(sc), std::move(classes),
+                         index + 1, std::move(cb));
+      });
+}
+
+// ---------------------------------------------------------------------------
+// read&del
+
+void PasoRuntime::read_del(ProcessId process, SearchCriterion sc,
+                           SearchCallback cb) {
+  PASO_REQUIRE(groups_.is_up(self_),
+               "read&del issued from a crashed machine");
+  std::vector<ClassId> classes = schema_.candidate_classes(sc);
+  std::uint64_t history_id = 0;
+  bool has_history = false;
+  if (history_ != nullptr) {
+    history_id = history_->search_issued(process,
+                                         groups_.network().simulator().now(),
+                                         semantics::OpKind::kReadDel, sc);
+    has_history = true;
+  }
+  ++inflight_;
+  read_del_class_chain(process, std::move(sc), std::move(classes), 0,
+                       [this, history_id, has_history,
+                        cb = std::move(cb)](SearchResponse result) {
+                         record_return(history_id, has_history, result);
+                         if (inflight_ > 0) --inflight_;
+                         if (cb) cb(std::move(result));
+                       });
+}
+
+void PasoRuntime::read_del_class_chain(ProcessId process, SearchCriterion sc,
+                                       std::vector<ClassId> classes,
+                                       std::size_t index, SearchCallback cb) {
+  if (index >= classes.size()) {
+    cb(std::nullopt);
+    return;
+  }
+  const ClassId cls = classes[index];
+  // Every write-group member must apply the removal, so there is no local
+  // shortcut and no read-group restriction (Section 4.3).
+  RemoveMsg msg{cls, sc};
+  const std::size_t bytes = msg.wire_size();
+  groups_.gcast(
+      group_of(cls), self_,
+      vsync::Payload{ServerMessage{std::move(msg)}, bytes}, "remove",
+      [this, process, sc = std::move(sc), classes = std::move(classes), index,
+       cb = std::move(cb)](std::optional<std::any> response) mutable {
+        SearchResponse result = unwrap_search(response);
+        if (result) {
+          cb(std::move(result));
+          return;
+        }
+        read_del_class_chain(process, std::move(sc), std::move(classes),
+                             index + 1, std::move(cb));
+      });
+}
+
+// ---------------------------------------------------------------------------
+// blocking variants
+
+void PasoRuntime::read_blocking(ProcessId process, SearchCriterion sc,
+                                SearchCallback cb, BlockingMode mode,
+                                sim::SimTime deadline) {
+  start_blocking(process, std::move(sc), std::move(cb),
+                 semantics::OpKind::kRead, mode, deadline);
+}
+
+void PasoRuntime::read_del_blocking(ProcessId process, SearchCriterion sc,
+                                    SearchCallback cb, BlockingMode mode,
+                                    sim::SimTime deadline) {
+  start_blocking(process, std::move(sc), std::move(cb),
+                 semantics::OpKind::kReadDel, mode, deadline);
+}
+
+void PasoRuntime::start_blocking(ProcessId process, SearchCriterion sc,
+                                 SearchCallback cb, semantics::OpKind kind,
+                                 BlockingMode mode, sim::SimTime deadline) {
+  PASO_REQUIRE(groups_.is_up(self_),
+               "blocking operation issued from a crashed machine");
+  BlockingOp op;
+  op.id = next_blocking_id_++;
+  op.process = process;
+  op.kind = kind;
+  op.criterion = std::move(sc);
+  op.cb = std::move(cb);
+  op.mode = mode;
+  op.deadline = deadline;
+  op.classes = schema_.candidate_classes(op.criterion);
+  if (history_ != nullptr) {
+    op.history_id = history_->search_issued(
+        process, groups_.network().simulator().now(), kind, op.criterion);
+    op.has_history = true;
+  }
+  const std::uint64_t op_id = op.id;
+  blocking_.emplace(op_id, std::move(op));
+  ++inflight_;
+  if (mode == BlockingMode::kPoll) {
+    blocking_poll(op_id);
+  } else {
+    place_markers(op_id);
+  }
+}
+
+void PasoRuntime::blocking_poll(std::uint64_t op_id) {
+  auto it = blocking_.find(op_id);
+  if (it == blocking_.end()) return;
+  BlockingOp& op = it->second;
+  const sim::SimTime now = groups_.network().simulator().now();
+  if (now >= op.deadline) {
+    finish_blocking(op_id, std::nullopt);
+    return;
+  }
+  auto retry = [this, op_id](SearchResponse result) {
+    auto again = blocking_.find(op_id);
+    if (again == blocking_.end()) return;
+    if (result) {
+      finish_blocking(op_id, std::move(result));
+      return;
+    }
+    groups_.network().simulator().schedule_after(
+        config_.poll_interval, [this, op_id] { blocking_poll(op_id); });
+  };
+  if (op.kind == semantics::OpKind::kRead) {
+    read_class_chain(op.process, op.criterion, op.classes, 0,
+                     std::move(retry));
+  } else {
+    read_del_class_chain(op.process, op.criterion, op.classes, 0,
+                         std::move(retry));
+  }
+}
+
+void PasoRuntime::place_markers(std::uint64_t op_id) {
+  auto it = blocking_.find(op_id);
+  if (it == blocking_.end()) return;
+  BlockingOp& op = it->second;
+  const sim::SimTime now = groups_.network().simulator().now();
+  if (now >= op.deadline) {
+    finish_blocking(op_id, std::nullopt);
+    return;
+  }
+  const sim::SimTime expires = now + config_.marker_ttl;
+  for (const ClassId cls : op.classes) {
+    PlaceMarkerMsg msg{cls, op.criterion, op_id, self_, expires};
+    const std::size_t bytes = msg.wire_size();
+    // The marker's installation response doubles as an immediate probe, so
+    // an object already present is found without waiting for an insert.
+    groups_.gcast(group_of(cls), self_,
+                  vsync::Payload{ServerMessage{std::move(msg)}, bytes},
+                  "place-marker",
+                  [this, op_id](std::optional<std::any> response) {
+                    SearchResponse result = unwrap_search(response);
+                    if (result) blocking_candidate(op_id, *result);
+                  });
+  }
+  // Hybrid scheme: markers expire; re-place (and thereby re-probe) while the
+  // operation is still waiting.
+  groups_.network().simulator().schedule_after(
+      config_.marker_ttl, [this, op_id] { place_markers(op_id); });
+}
+
+void PasoRuntime::blocking_candidate(std::uint64_t op_id,
+                                     const PasoObject& object) {
+  auto it = blocking_.find(op_id);
+  if (it == blocking_.end()) return;  // already finished
+  BlockingOp& op = it->second;
+  if (op.kind == semantics::OpKind::kRead) {
+    finish_blocking(op_id, object);
+    return;
+  }
+  // Blocking read&del: the notification is only a hint — another process may
+  // win the race. Claim through a regular (totally ordered) remove; on
+  // failure, keep waiting for the next notification. The paper left marker-
+  // based read&del as future work; this claim/retry realizes it on top of
+  // the ordered remove.
+  if (op.claiming) return;
+  op.claiming = true;
+  read_del_class_chain(op.process, op.criterion, op.classes, 0,
+                       [this, op_id](SearchResponse result) {
+                         auto again = blocking_.find(op_id);
+                         if (again == blocking_.end()) return;
+                         if (result) {
+                           finish_blocking(op_id, std::move(result));
+                         } else {
+                           again->second.claiming = false;
+                         }
+                       });
+}
+
+void PasoRuntime::cancel_markers(const BlockingOp& op) {
+  for (const ClassId cls : op.classes) {
+    CancelMarkerMsg msg{cls, op.id, self_};
+    const std::size_t bytes = msg.wire_size();
+    groups_.gcast(group_of(cls), self_,
+                  vsync::Payload{ServerMessage{std::move(msg)}, bytes},
+                  "cancel-marker");
+  }
+}
+
+void PasoRuntime::finish_blocking(std::uint64_t op_id, SearchResponse result) {
+  auto it = blocking_.find(op_id);
+  if (it == blocking_.end()) return;
+  BlockingOp op = std::move(it->second);
+  blocking_.erase(it);
+  if (op.mode == BlockingMode::kMarker) cancel_markers(op);
+  record_return(op.history_id, op.has_history, result);
+  if (inflight_ > 0) --inflight_;
+  if (op.cb) op.cb(std::move(result));
+}
+
+void PasoRuntime::on_marker_notification(std::uint64_t marker_id,
+                                         const PasoObject& object) {
+  blocking_candidate(marker_id, object);
+}
+
+// ---------------------------------------------------------------------------
+// GroupControl
+
+void PasoRuntime::request_join(ClassId cls) {
+  request_join(cls, {});
+}
+
+void PasoRuntime::request_join(ClassId cls, std::function<void(bool)> done) {
+  if (is_member(cls) || join_pending_.contains(cls.value)) {
+    if (done) done(false);
+    return;
+  }
+  join_pending_.insert(cls.value);
+  groups_.g_join(group_of(cls), self_,
+                 [this, cls, done = std::move(done)](bool ok) {
+                   join_pending_.erase(cls.value);
+                   if (done) done(ok);
+                 });
+}
+
+void PasoRuntime::request_leave(ClassId cls) {
+  if (!is_member(cls) || leave_pending_.contains(cls.value)) return;
+  leave_pending_.insert(cls.value);
+  groups_.g_leave(group_of(cls), self_,
+                  [this, cls](bool) { leave_pending_.erase(cls.value); });
+}
+
+bool PasoRuntime::is_member(ClassId cls) const {
+  return groups_.is_member(schema_.group_name(cls), self_);
+}
+
+bool PasoRuntime::is_basic_support(ClassId cls) const {
+  if (!basic_support_) return false;
+  const std::vector<MachineId> support = basic_support_(cls);
+  return std::find(support.begin(), support.end(), self_) != support.end();
+}
+
+std::size_t PasoRuntime::live_count(ClassId cls) const {
+  return server_.live_count(cls);
+}
+
+void PasoRuntime::on_machine_crash() {
+  blocking_.clear();
+  join_pending_.clear();
+  leave_pending_.clear();
+  inflight_ = 0;
+  if (policy_) policy_->on_machine_reset();
+}
+
+}  // namespace paso

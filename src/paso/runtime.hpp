@@ -1,0 +1,189 @@
+// Per-machine PASO runtime: the client side of the system.
+//
+// Implements the macro expansions of Appendix A — insert, read, read&del —
+// on behalf of the compute processes of one machine, plus the blocking
+// variants Section 4.3 discusses (busy-wait polling, read markers, and the
+// hybrid marker-with-expiry scheme). The runtime consults the write groups
+// through GroupService, takes the local fast path for classes whose write
+// group this machine belongs to, restricts remote reads to read groups, and
+// feeds every observation to the machine's ReplicationPolicy.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "paso/classes.hpp"
+#include "paso/memory_server.hpp"
+#include "paso/messages.hpp"
+#include "paso/replication_policy.hpp"
+#include "semantics/history.hpp"
+#include "vsync/group_service.hpp"
+
+namespace paso {
+
+struct RuntimeConfig {
+  /// Fault-tolerance degree: write groups must keep more than lambda - k
+  /// members; read groups have at most lambda + 1 (Sections 3.1, 4.3).
+  std::size_t lambda = 1;
+  /// Route remote reads to a read group of size <= lambda + 1 instead of the
+  /// whole write group.
+  bool use_read_groups = true;
+  /// Rotate the read group across the write group's members on successive
+  /// reads instead of always using the basic support. Spreads query work
+  /// (the response-time concern the paper defers to load balancing [13]);
+  /// any lambda+1 subset satisfies the fault-tolerance condition.
+  bool rotate_read_groups = false;
+  /// Busy-wait retry interval for blocking operations in polling mode.
+  sim::SimTime poll_interval = 200;
+  /// Marker lifetime in the hybrid blocking scheme; markers are re-placed
+  /// (which re-probes the class) when they expire.
+  sim::SimTime marker_ttl = 5000;
+};
+
+enum class BlockingMode {
+  kPoll,    ///< busy-wait, cycling among the classes (Section 4.3)
+  kMarker,  ///< leave read markers; hybrid expiry per RuntimeConfig
+};
+
+class PasoRuntime final : public GroupControl {
+ public:
+  using InsertCallback = std::function<void()>;
+  using SearchCallback = std::function<void(SearchResponse)>;
+  /// Provider of B(C), the basic support of a class (used as read group).
+  using BasicSupportProvider =
+      std::function<std::vector<MachineId>(ClassId)>;
+
+  static constexpr sim::SimTime kNoDeadline =
+      std::numeric_limits<sim::SimTime>::infinity();
+
+  PasoRuntime(MachineId self, const Schema& schema,
+              vsync::GroupService& groups, MemoryServer& server,
+              RuntimeConfig config,
+              semantics::HistoryRecorder* history = nullptr);
+
+  // --- PASO primitives (Appendix A) ----------------------------------------
+
+  /// insert(o): gcast store(o) to wg(obj-clss(o)). Returns the identity
+  /// assigned to the object; `done` fires when the (empty) response arrives.
+  ObjectId insert(ProcessId process, Tuple fields, InsertCallback done = {});
+
+  /// read(sc): walk sc-list(sc); local mem-read where this machine is in
+  /// the write group, read-group gcast otherwise. Non-blocking: `cb`
+  /// receives fail (nullopt) when every class came up empty.
+  void read(ProcessId process, SearchCriterion sc, SearchCallback cb);
+
+  /// read&del(sc): gcast remove(sc, C) along sc-list(sc); no local shortcut
+  /// because every write-group member must apply the removal.
+  void read_del(ProcessId process, SearchCriterion sc, SearchCallback cb);
+
+  // --- blocking variants (Section 4.3) --------------------------------------
+
+  void read_blocking(ProcessId process, SearchCriterion sc, SearchCallback cb,
+                     BlockingMode mode = BlockingMode::kMarker,
+                     sim::SimTime deadline = kNoDeadline);
+  void read_del_blocking(ProcessId process, SearchCriterion sc,
+                         SearchCallback cb,
+                         BlockingMode mode = BlockingMode::kMarker,
+                         sim::SimTime deadline = kNoDeadline);
+
+  // --- GroupControl ---------------------------------------------------------
+
+  void request_join(ClassId cls) override;
+  /// request_join with a completion signal (used by the recovery path to
+  /// detect the end of the initialization phase).
+  void request_join(ClassId cls, std::function<void(bool)> done);
+  void request_leave(ClassId cls) override;
+  bool is_member(ClassId cls) const override;
+  bool is_basic_support(ClassId cls) const override;
+  std::size_t live_count(ClassId cls) const override;
+
+  // --- wiring ---------------------------------------------------------------
+
+  void set_policy(std::unique_ptr<ReplicationPolicy> policy);
+  ReplicationPolicy* policy() { return policy_.get(); }
+  void set_basic_support_provider(BasicSupportProvider provider) {
+    basic_support_ = std::move(provider);
+  }
+
+  /// Delivery point for marker notifications addressed to this machine.
+  void on_marker_notification(std::uint64_t marker_id,
+                              const PasoObject& object);
+
+  /// Crash: all client-side state of in-flight operations dies with the
+  /// machine. Insert sequence counters survive — they model the epoch
+  /// component of object identities, which must stay unique across restarts
+  /// (A2 requires at-most-one insert per identity).
+  void on_machine_crash();
+
+  MachineId self() const { return self_; }
+  const Schema& schema() const { return schema_; }
+  vsync::GroupService& groups() { return groups_; }
+  MemoryServer& server() { return server_; }
+  const RuntimeConfig& config() const { return config_; }
+
+  /// Outstanding operations (non-blocking in flight + active blocking).
+  std::size_t inflight() const { return inflight_; }
+
+ private:
+  struct BlockingOp {
+    std::uint64_t id = 0;
+    ProcessId process;
+    semantics::OpKind kind = semantics::OpKind::kRead;
+    SearchCriterion criterion;
+    SearchCallback cb;
+    BlockingMode mode = BlockingMode::kMarker;
+    sim::SimTime deadline = kNoDeadline;
+    std::vector<ClassId> classes;
+    std::uint64_t history_id = 0;
+    bool has_history = false;
+    bool claiming = false;  ///< read&del claim gcast in flight
+  };
+
+  void read_class_chain(ProcessId process, SearchCriterion sc,
+                        std::vector<ClassId> classes, std::size_t index,
+                        SearchCallback cb);
+  void read_del_class_chain(ProcessId process, SearchCriterion sc,
+                            std::vector<ClassId> classes, std::size_t index,
+                            SearchCallback cb);
+  std::vector<MachineId> read_group_of(ClassId cls) const;
+  GroupName group_of(ClassId cls) const { return schema_.group_name(cls); }
+
+  void start_blocking(ProcessId process, SearchCriterion sc, SearchCallback cb,
+                      semantics::OpKind kind, BlockingMode mode,
+                      sim::SimTime deadline);
+  void blocking_poll(std::uint64_t op_id);
+  void place_markers(std::uint64_t op_id);
+  void cancel_markers(const BlockingOp& op);
+  void blocking_candidate(std::uint64_t op_id, const PasoObject& object);
+  void finish_blocking(std::uint64_t op_id, SearchResponse result);
+
+  void record_return(std::uint64_t history_id, bool has_history,
+                     SearchResponse result);
+
+  MachineId self_;
+  const Schema& schema_;
+  vsync::GroupService& groups_;
+  MemoryServer& server_;
+  RuntimeConfig config_;
+  semantics::HistoryRecorder* history_;
+  std::unique_ptr<ReplicationPolicy> policy_;
+  BasicSupportProvider basic_support_;
+
+  std::unordered_map<ProcessId, std::uint64_t> insert_seq_;
+  std::unordered_map<std::uint32_t, std::size_t> read_rotation_;
+  std::set<std::uint32_t> join_pending_;
+  std::set<std::uint32_t> leave_pending_;
+  std::map<std::uint64_t, BlockingOp> blocking_;
+  std::uint64_t next_blocking_id_ = 1;
+  std::size_t inflight_ = 0;
+  std::uint64_t crash_epoch_ = 0;
+};
+
+}  // namespace paso

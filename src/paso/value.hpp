@@ -1,0 +1,52 @@
+// Field values of PASO objects.
+//
+// An object in a PASO memory is "a tuple of values drawn from ground sets of
+// basic data types" (Section 1). The ground sets here are 64-bit integers,
+// reals, text and booleans — the types operational Linda systems support.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace paso {
+
+using Value = std::variant<std::int64_t, double, std::string, bool>;
+
+enum class FieldType : std::uint8_t { kInt = 0, kReal = 1, kText = 2, kBool = 3 };
+
+inline FieldType type_of(const Value& v) {
+  return static_cast<FieldType>(v.index());
+}
+
+inline const char* field_type_name(FieldType t) {
+  switch (t) {
+    case FieldType::kInt:
+      return "int";
+    case FieldType::kReal:
+      return "real";
+    case FieldType::kText:
+      return "text";
+    case FieldType::kBool:
+      return "bool";
+  }
+  return "?";
+}
+
+/// Declared wire size of a value, used by the cost model (alpha + beta*|msg|).
+inline std::size_t wire_size(const Value& v) {
+  switch (type_of(v)) {
+    case FieldType::kInt:
+    case FieldType::kReal:
+      return 8;
+    case FieldType::kBool:
+      return 1;
+    case FieldType::kText:
+      return 4 + std::get<std::string>(v).size();
+  }
+  return 0;
+}
+
+std::string value_to_string(const Value& v);
+
+}  // namespace paso

@@ -1,0 +1,275 @@
+#include "paso/wire.hpp"
+
+namespace paso::wire {
+
+namespace {
+
+enum class PatternTag : std::uint8_t {
+  kAny = 0,
+  kTypedAny = 1,
+  kExact = 2,
+  kIntRange = 3,
+  kRealRange = 4,
+  kTextPrefix = 5,
+  kOneOf = 6,
+};
+
+enum class MessageTag : std::uint8_t {
+  kStore = 0,
+  kMemRead = 1,
+  kRemove = 2,
+  kPlaceMarker = 3,
+  kCancelMarker = 4,
+};
+
+void encode_object_id(ByteWriter& w, const ObjectId& id) {
+  w.u32(id.creator.machine.value);
+  w.u32(id.creator.ordinal);
+  w.u64(id.sequence);
+}
+
+ObjectId decode_object_id(ByteReader& r) {
+  ObjectId id;
+  id.creator.machine.value = r.u32();
+  id.creator.ordinal = r.u32();
+  id.sequence = r.u64();
+  return id;
+}
+
+}  // namespace
+
+void encode_value(ByteWriter& w, const Value& value) {
+  switch (type_of(value)) {
+    case FieldType::kInt:
+      w.i64(std::get<std::int64_t>(value));
+      return;
+    case FieldType::kReal:
+      w.f64(std::get<double>(value));
+      return;
+    case FieldType::kText:
+      w.text(std::get<std::string>(value));
+      return;
+    case FieldType::kBool:
+      w.u8(std::get<bool>(value) ? 1 : 0);
+      return;
+  }
+  PASO_REQUIRE(false, "unknown value type");
+}
+
+Value decode_value(ByteReader& r, FieldType type) {
+  switch (type) {
+    case FieldType::kInt:
+      return Value{r.i64()};
+    case FieldType::kReal:
+      return Value{r.f64()};
+    case FieldType::kText:
+      return Value{r.text()};
+    case FieldType::kBool:
+      return Value{r.u8() != 0};
+  }
+  PASO_REQUIRE(false, "unknown field type");
+  return Value{};
+}
+
+void encode_object(ByteWriter& w, const PasoObject& object) {
+  encode_object_id(w, object.id);
+  for (const Value& field : object.fields) {
+    encode_value(w, field);
+  }
+}
+
+PasoObject decode_object(ByteReader& r,
+                         const std::vector<FieldType>& signature) {
+  PasoObject object;
+  object.id = decode_object_id(r);
+  object.fields.reserve(signature.size());
+  for (const FieldType type : signature) {
+    object.fields.push_back(decode_value(r, type));
+  }
+  return object;
+}
+
+void encode_criterion(ByteWriter& w, const SearchCriterion& sc) {
+  // 4-byte header: arity (matches the criterion's declared 4-byte header).
+  w.u32(static_cast<std::uint32_t>(sc.fields.size()));
+  for (const FieldPattern& pattern : sc.fields) {
+    std::visit(
+        [&w](const auto& p) {
+          using P = std::decay_t<decltype(p)>;
+          if constexpr (std::is_same_v<P, AnyField>) {
+            w.u8(static_cast<std::uint8_t>(PatternTag::kAny) << 4);
+          } else if constexpr (std::is_same_v<P, TypedAny>) {
+            w.u8(static_cast<std::uint8_t>(PatternTag::kTypedAny) << 4);
+            w.u8(static_cast<std::uint8_t>(p.type));
+          } else if constexpr (std::is_same_v<P, Exact>) {
+            // Pattern tag and value type share the single tag byte so the
+            // encoding matches the charged 1 + wire_size(value).
+            w.u8(static_cast<std::uint8_t>(
+                (static_cast<std::uint8_t>(PatternTag::kExact) << 4) |
+                static_cast<std::uint8_t>(type_of(p.value))));
+            encode_value(w, p.value);
+          } else if constexpr (std::is_same_v<P, IntRange>) {
+            w.u8(static_cast<std::uint8_t>(PatternTag::kIntRange) << 4);
+            w.i64(p.lo);
+            w.i64(p.hi);
+          } else if constexpr (std::is_same_v<P, RealRange>) {
+            w.u8(static_cast<std::uint8_t>(PatternTag::kRealRange) << 4);
+            w.f64(p.lo);
+            w.f64(p.hi);
+          } else if constexpr (std::is_same_v<P, TextPrefix>) {
+            w.u8(static_cast<std::uint8_t>(PatternTag::kTextPrefix) << 4);
+            w.text(p.prefix);
+          } else {
+            static_assert(std::is_same_v<P, OneOf>);
+            w.u8(static_cast<std::uint8_t>(PatternTag::kOneOf) << 4);
+            w.u32(static_cast<std::uint32_t>(p.values.size()));
+            for (const Value& v : p.values) {
+              w.u8(static_cast<std::uint8_t>(type_of(v)));
+              encode_value(w, v);
+            }
+          }
+        },
+        pattern);
+  }
+}
+
+SearchCriterion decode_criterion(ByteReader& r) {
+  SearchCriterion sc;
+  const std::uint32_t arity = r.u32();
+  sc.fields.reserve(arity);
+  for (std::uint32_t i = 0; i < arity; ++i) {
+    const std::uint8_t tag_byte = r.u8();
+    const auto tag = static_cast<PatternTag>(tag_byte >> 4);
+    switch (tag) {
+      case PatternTag::kAny:
+        sc.fields.emplace_back(AnyField{});
+        break;
+      case PatternTag::kTypedAny:
+        sc.fields.emplace_back(TypedAny{static_cast<FieldType>(r.u8())});
+        break;
+      case PatternTag::kExact: {
+        const auto type = static_cast<FieldType>(tag_byte & 0x0F);
+        sc.fields.emplace_back(Exact{decode_value(r, type)});
+        break;
+      }
+      case PatternTag::kIntRange: {
+        IntRange range;
+        range.lo = r.i64();
+        range.hi = r.i64();
+        sc.fields.emplace_back(range);
+        break;
+      }
+      case PatternTag::kRealRange: {
+        RealRange range;
+        range.lo = r.f64();
+        range.hi = r.f64();
+        sc.fields.emplace_back(range);
+        break;
+      }
+      case PatternTag::kTextPrefix:
+        sc.fields.emplace_back(TextPrefix{r.text()});
+        break;
+      case PatternTag::kOneOf: {
+        OneOf one_of;
+        const std::uint32_t count = r.u32();
+        one_of.values.reserve(count);
+        for (std::uint32_t v = 0; v < count; ++v) {
+          const auto type = static_cast<FieldType>(r.u8());
+          one_of.values.push_back(decode_value(r, type));
+        }
+        sc.fields.emplace_back(std::move(one_of));
+        break;
+      }
+      default:
+        PASO_REQUIRE(false, "unknown pattern tag");
+    }
+  }
+  return sc;
+}
+
+std::vector<std::uint8_t> encode_message(const ServerMessage& message) {
+  ByteWriter w;
+  std::visit(
+      [&w](const auto& m) {
+        using M = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<M, StoreMsg>) {
+          // The 4-byte class-id header doubles as the message tag: its top
+          // nibble carries the kind, leaving 2^28 classes.
+          w.u32((static_cast<std::uint32_t>(MessageTag::kStore) << 28) |
+                m.cls.value);
+          encode_object(w, m.object);
+        } else if constexpr (std::is_same_v<M, MemReadMsg>) {
+          w.u32((static_cast<std::uint32_t>(MessageTag::kMemRead) << 28) |
+                m.cls.value);
+          encode_criterion(w, m.criterion);
+        } else if constexpr (std::is_same_v<M, RemoveMsg>) {
+          w.u32((static_cast<std::uint32_t>(MessageTag::kRemove) << 28) |
+                m.cls.value);
+          encode_criterion(w, m.criterion);
+        } else if constexpr (std::is_same_v<M, PlaceMarkerMsg>) {
+          w.u32((static_cast<std::uint32_t>(MessageTag::kPlaceMarker) << 28) |
+                m.cls.value);
+          w.u64(m.marker_id);
+          w.u32(m.owner.value);
+          w.f64(m.expires_at);
+          encode_criterion(w, m.criterion);
+        } else {
+          static_assert(std::is_same_v<M, CancelMarkerMsg>);
+          w.u32((static_cast<std::uint32_t>(MessageTag::kCancelMarker) << 28) |
+                m.cls.value);
+          w.u64(m.marker_id);
+          w.u32(m.owner.value);
+        }
+      },
+      message);
+  return w.take();
+}
+
+ServerMessage decode_message(const std::vector<std::uint8_t>& bytes,
+                             const SignatureResolver& resolver) {
+  ByteReader r(bytes);
+  const std::uint32_t header = r.u32();
+  const auto tag = static_cast<MessageTag>(header >> 28);
+  const ClassId cls{header & 0x0FFFFFFF};
+  switch (tag) {
+    case MessageTag::kStore: {
+      PASO_REQUIRE(resolver != nullptr, "store decode needs a schema");
+      StoreMsg msg;
+      msg.cls = cls;
+      msg.object = decode_object(r, resolver(cls));
+      return msg;
+    }
+    case MessageTag::kMemRead: {
+      MemReadMsg msg;
+      msg.cls = cls;
+      msg.criterion = decode_criterion(r);
+      return msg;
+    }
+    case MessageTag::kRemove: {
+      RemoveMsg msg;
+      msg.cls = cls;
+      msg.criterion = decode_criterion(r);
+      return msg;
+    }
+    case MessageTag::kPlaceMarker: {
+      PlaceMarkerMsg msg;
+      msg.cls = cls;
+      msg.marker_id = r.u64();
+      msg.owner.value = r.u32();
+      msg.expires_at = r.f64();
+      msg.criterion = decode_criterion(r);
+      return msg;
+    }
+    case MessageTag::kCancelMarker: {
+      CancelMarkerMsg msg;
+      msg.cls = cls;
+      msg.marker_id = r.u64();
+      msg.owner.value = r.u32();
+      return msg;
+    }
+  }
+  PASO_REQUIRE(false, "unknown message tag");
+  return MemReadMsg{};
+}
+
+}  // namespace paso::wire

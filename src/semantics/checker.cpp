@@ -1,0 +1,184 @@
+#include "semantics/checker.hpp"
+
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+
+namespace paso::semantics {
+
+namespace {
+
+constexpr sim::SimTime kNever = std::numeric_limits<sim::SimTime>::infinity();
+
+/// Everything the history tells us about one object's life.
+struct Life {
+  bool inserted = false;
+  std::uint64_t insert_op = 0;
+  sim::SimTime insert_issue = 0;
+  sim::SimTime insert_return = kNever;  ///< kNever if the insert is pending
+
+  bool removed = false;  ///< some read&del returned it
+  std::uint64_t remove_op = 0;
+  sim::SimTime remove_issue = kNever;
+  sim::SimTime remove_return = kNever;
+
+  int insert_count = 0;
+  int remove_count = 0;
+};
+
+std::string describe(const OpRecord& r) {
+  std::ostringstream os;
+  os << "op#" << r.op_id << " " << op_kind_name(r.kind) << " by " << r.process
+     << " [" << r.issue_time << ", ";
+  if (r.return_time) {
+    os << *r.return_time;
+  } else {
+    os << "pending";
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace
+
+CheckResult check_history(const std::vector<OpRecord>& records) {
+  CheckResult result;
+  auto violation = [&result](const std::string& text) {
+    result.violations.push_back(text);
+  };
+
+  // Pass 1: build per-object life bounds from inserts and successful
+  // read&dels.
+  std::unordered_map<ObjectId, Life> lives;
+  for (const OpRecord& r : records) {
+    if (r.kind == OpKind::kInsert) {
+      PASO_REQUIRE(r.inserted.has_value(), "insert without object");
+      Life& life = lives[r.inserted->id];
+      ++life.insert_count;
+      life.inserted = true;
+      life.insert_op = r.op_id;
+      life.insert_issue = r.issue_time;
+      life.insert_return = r.return_time.value_or(kNever);
+    } else if (r.kind == OpKind::kReadDel && r.return_time && r.result) {
+      Life& life = lives[r.result->id];
+      ++life.remove_count;
+      life.removed = true;
+      life.remove_op = r.op_id;
+      life.remove_issue = r.issue_time;
+      life.remove_return = *r.return_time;
+    }
+  }
+
+  // A2: at most one insert(o) and at most one read&del returning o.
+  for (const auto& [id, life] : lives) {
+    std::ostringstream name;
+    name << id;
+    if (life.insert_count > 1) {
+      violation("A2: object " + name.str() + " inserted " +
+                std::to_string(life.insert_count) + " times");
+    }
+    if (life.remove_count > 1) {
+      violation("A2: object " + name.str() + " returned by " +
+                std::to_string(life.remove_count) + " read&del operations");
+    }
+  }
+
+  // Pending read&dels: a read&del whose issuer crashed may have applied its
+  // replicated removal without ever returning (the operation is pending
+  // forever). The paper's axioms only say an object "may later die if
+  // returned from a read&del"; they do not address a removal whose issuer
+  // died mid-operation. Our implementation can kill the object in that
+  // window, so soundness requires treating any object matched by a pending
+  // read&del as possibly dead from that operation's issue onward.
+  struct PendingRemoval {
+    const SearchCriterion* criterion;
+    sim::SimTime issue;
+  };
+  std::vector<PendingRemoval> pending_removals;
+  for (const OpRecord& r : records) {
+    if (r.kind == OpKind::kReadDel && !r.return_time) {
+      pending_removals.push_back(PendingRemoval{&*r.criterion, r.issue_time});
+    }
+  }
+
+  // Pass 2: check each search operation.
+  for (const OpRecord& r : records) {
+    if (r.kind == OpKind::kInsert) continue;
+    if (!r.return_time) continue;  // pending: unconstrained
+    const sim::SimTime issue = r.issue_time;
+    const sim::SimTime ret = *r.return_time;
+    PASO_REQUIRE(r.criterion.has_value(), "search without criterion");
+
+    if (r.result) {
+      const PasoObject& returned = *r.result;
+      // The returned object must satisfy the criterion...
+      if (!r.criterion->matches(returned)) {
+        violation(describe(r) + ": returned object " +
+                  object_to_string(returned) + " does not match criterion " +
+                  r.criterion->to_string());
+      }
+      auto it = lives.find(returned.id);
+      // ...must have been inserted (A2: alive only after insert)...
+      if (it == lives.end() || !it->second.inserted) {
+        violation(describe(r) + ": returned object " +
+                  object_to_string(returned) + " was never inserted");
+        continue;
+      }
+      const Life& life = it->second;
+      // ...and its payload must equal the inserted payload (objects are
+      // immutable).
+      const OpRecord& ins = records[life.insert_op];
+      if (ins.inserted && !(ins.inserted->fields == returned.fields)) {
+        violation(describe(r) + ": returned fields differ from inserted " +
+                  object_to_string(*ins.inserted));
+      }
+      // Alive at some t in [issue, ret]: the earliest the object can be
+      // alive is the issue of its insert, so the insert must have been
+      // issued by `ret`...
+      if (life.insert_issue > ret) {
+        violation(describe(r) + ": returned object inserted only at " +
+                  std::to_string(life.insert_issue) + " (after return)");
+      }
+      // ...and the latest it can be alive is the return of the read&del
+      // that killed it (our implementation applies removals before
+      // responding), so if it was removed by an operation *other than this
+      // one*, that removal must not have completed before `issue`.
+      if (life.removed && life.remove_op != r.op_id &&
+          life.remove_return < issue) {
+        violation(describe(r) + ": returned object was dead since " +
+                  std::to_string(life.remove_return));
+      }
+    } else {
+      // fail is legal only when no matching object is consistently alive
+      // over [issue, ret]. An object is *certainly* alive throughout iff its
+      // insert returned by `issue` and any read&del returning it was issued
+      // strictly after `ret`.
+      for (const auto& [id, life] : lives) {
+        if (!life.inserted) continue;
+        if (life.insert_return > issue) continue;  // not certainly alive yet
+        if (life.removed && life.remove_issue <= ret) continue;
+        const OpRecord& ins = records[life.insert_op];
+        if (!ins.inserted || !r.criterion->matches(*ins.inserted)) continue;
+        // A pending read&del issued before this operation returned may have
+        // silently killed the object (crashed issuer): not certainly alive.
+        bool possibly_removed = false;
+        for (const PendingRemoval& pending : pending_removals) {
+          if (pending.issue < ret &&
+              pending.criterion->matches(*ins.inserted)) {
+            possibly_removed = true;
+            break;
+          }
+        }
+        if (possibly_removed) continue;
+        violation(describe(r) + ": returned fail although " +
+                  object_to_string(*ins.inserted) +
+                  " was continuously alive over the whole operation");
+        break;  // one witness per failed op is enough
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace paso::semantics

@@ -1,0 +1,45 @@
+// Axiom checker for PASO run histories (Section 2).
+//
+// Given a recorded history the checker verifies, mechanically, the paper's
+// semantics:
+//
+//   A2   An object becomes alive only after it is inserted; there is at most
+//        one insert(o) and at most one read&del returning o.
+//   read A read returns an object that satisfies the search criterion and is
+//        alive at some time between the issue and the return of the read; it
+//        may return fail only when no matching object is *consistently*
+//        alive from issue to return.
+//   r&d  Like read, and additionally the returned object dies after the
+//        issue of the read&del (so no operation can observe it alive once a
+//        later-issued read begins).
+//
+// Alive intervals are not directly observable, so the checker reasons with
+// the tightest *sound* bounds derivable from the history: an object can be
+// alive no earlier than the issue of its insert, is certainly alive from the
+// return of its insert, can die no earlier than the issue of its read&del,
+// and is certainly dead after the return of its read&del. Every reported
+// violation is a genuine violation under any consistent assignment of alive
+// intervals (no false positives); crash-pending operations are treated with
+// maximal pessimism.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "semantics/history.hpp"
+
+namespace paso::semantics {
+
+struct CheckResult {
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+};
+
+CheckResult check_history(const std::vector<OpRecord>& records);
+
+inline CheckResult check_history(const HistoryRecorder& recorder) {
+  return check_history(recorder.records());
+}
+
+}  // namespace paso::semantics

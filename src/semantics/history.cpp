@@ -1,0 +1,46 @@
+#include "semantics/history.hpp"
+
+namespace paso::semantics {
+
+std::uint64_t HistoryRecorder::insert_issued(ProcessId process,
+                                             sim::SimTime now,
+                                             const PasoObject& object) {
+  OpRecord record;
+  record.op_id = records_.size();
+  record.process = process;
+  record.kind = OpKind::kInsert;
+  record.issue_time = now;
+  record.inserted = object;
+  records_.push_back(std::move(record));
+  return records_.back().op_id;
+}
+
+std::uint64_t HistoryRecorder::search_issued(ProcessId process,
+                                             sim::SimTime now, OpKind kind,
+                                             const SearchCriterion& criterion) {
+  PASO_REQUIRE(kind != OpKind::kInsert, "use insert_issued");
+  OpRecord record;
+  record.op_id = records_.size();
+  record.process = process;
+  record.kind = kind;
+  record.issue_time = now;
+  record.criterion = criterion;
+  records_.push_back(std::move(record));
+  return records_.back().op_id;
+}
+
+OpRecord& HistoryRecorder::record_of(std::uint64_t op_id) {
+  PASO_REQUIRE(op_id < records_.size(), "unknown op id");
+  return records_[op_id];
+}
+
+void HistoryRecorder::op_returned(std::uint64_t op_id, sim::SimTime now,
+                                  std::optional<PasoObject> result) {
+  OpRecord& record = record_of(op_id);
+  PASO_REQUIRE(!record.return_time.has_value(), "op returned twice");
+  PASO_REQUIRE(now >= record.issue_time, "return precedes issue");
+  record.return_time = now;
+  record.result = std::move(result);
+}
+
+}  // namespace paso::semantics

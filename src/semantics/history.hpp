@@ -1,0 +1,72 @@
+// Run histories (Section 2).
+//
+// A PASO run alternates global states and joint transitions; each PASO
+// command contributes two atomic events, its *issue* and its *return*. The
+// recorder captures exactly those events (with virtual timestamps) for every
+// insert / read / read&del executed against the system, so a finished run
+// can be checked against the paper's axioms A1–A3 and the per-command rules.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "paso/criteria.hpp"
+#include "paso/object.hpp"
+#include "sim/simulator.hpp"
+
+namespace paso::semantics {
+
+enum class OpKind { kInsert, kRead, kReadDel };
+
+inline const char* op_kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::kInsert:
+      return "insert";
+    case OpKind::kRead:
+      return "read";
+    case OpKind::kReadDel:
+      return "read&del";
+  }
+  return "?";
+}
+
+struct OpRecord {
+  std::uint64_t op_id = 0;
+  ProcessId process;
+  OpKind kind = OpKind::kInsert;
+  sim::SimTime issue_time = 0;
+  /// nullopt while pending (e.g. the issuer crashed before the response).
+  std::optional<sim::SimTime> return_time;
+
+  // Insert payload.
+  std::optional<PasoObject> inserted;
+
+  // Read / read&del payload.
+  std::optional<SearchCriterion> criterion;
+  /// The returned object; nullopt = the operation returned fail. Only
+  /// meaningful once return_time is set.
+  std::optional<PasoObject> result;
+};
+
+class HistoryRecorder {
+ public:
+  std::uint64_t insert_issued(ProcessId process, sim::SimTime now,
+                              const PasoObject& object);
+  std::uint64_t search_issued(ProcessId process, sim::SimTime now, OpKind kind,
+                              const SearchCriterion& criterion);
+  void op_returned(std::uint64_t op_id, sim::SimTime now,
+                   std::optional<PasoObject> result);
+
+  const std::vector<OpRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  void clear() { records_.clear(); }
+
+ private:
+  OpRecord& record_of(std::uint64_t op_id);
+
+  std::vector<OpRecord> records_;
+};
+
+}  // namespace paso::semantics

@@ -1,0 +1,64 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace paso::sim {
+
+EventId Simulator::schedule_at(SimTime at, Action action) {
+  PASO_REQUIRE(at >= now_, "cannot schedule into the past");
+  PASO_REQUIRE(action != nullptr, "null action");
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{at, seq});
+  actions_.emplace(seq, std::move(action));
+  return EventId{seq};
+}
+
+bool Simulator::cancel(EventId id) {
+  // Lazy deletion: drop the action; the heap entry is skipped when popped.
+  return actions_.erase(id.value) > 0;
+}
+
+bool Simulator::step() {
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    heap_.pop();
+    auto it = actions_.find(top.seq);
+    if (it == actions_.end()) continue;  // cancelled
+    Action action = std::move(it->second);
+    actions_.erase(it);
+    now_ = top.at;
+    ++processed_;
+    action();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(SimTime deadline) {
+  while (!heap_.empty()) {
+    // Skip cancelled entries without advancing time.
+    const Entry top = heap_.top();
+    if (!actions_.contains(top.seq)) {
+      heap_.pop();
+      continue;
+    }
+    if (top.at > deadline) break;
+    step();
+  }
+  if (deadline > now_) now_ = deadline;
+}
+
+bool Simulator::run_while_pending(const std::function<bool()>& predicate) {
+  if (predicate()) return true;
+  while (step()) {
+    if (predicate()) return true;
+  }
+  return false;
+}
+
+}  // namespace paso::sim

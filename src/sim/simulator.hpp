@@ -1,0 +1,86 @@
+// Deterministic discrete-event simulation engine.
+//
+// Everything distributed in this repository — the bus network, the
+// virtual-synchrony layer, crashes and recoveries — runs as events on this
+// engine. Determinism comes from (time, insertion-sequence) ordering: two
+// events at the same virtual time fire in the order they were scheduled.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace paso::sim {
+
+/// Virtual time in abstract units (the same units as the cost model's
+/// alpha/beta, so "total message cost lower-bounds completion time" holds by
+/// construction on the simulated bus).
+using SimTime = double;
+
+/// Handle for cancelling a scheduled event.
+struct EventId {
+  std::uint64_t value = 0;
+  friend auto operator<=>(const EventId&, const EventId&) = default;
+};
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedule `action` at absolute virtual time `at` (must be >= now()).
+  EventId schedule_at(SimTime at, Action action);
+
+  /// Schedule `action` `delay` time units from now.
+  EventId schedule_after(SimTime delay, Action action) {
+    PASO_REQUIRE(delay >= 0, "negative delay");
+    return schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Cancel a pending event. Cancelling an already-fired or already-cancelled
+  /// event is a harmless no-op (returns false).
+  bool cancel(EventId id);
+
+  /// Run a single event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run until the queue is empty.
+  void run();
+
+  /// Run until virtual time reaches `deadline` (events at exactly `deadline`
+  /// are executed) or the queue drains.
+  void run_until(SimTime deadline);
+
+  /// Run until `predicate()` becomes true (checked before each event and
+  /// after each event) or the queue drains. Returns true iff the predicate
+  /// fired.
+  bool run_while_pending(const std::function<bool()>& predicate);
+
+  SimTime now() const { return now_; }
+  std::size_t pending() const { return actions_.size(); }
+  std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;  // insertion order, breaks ties deterministically
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<std::uint64_t, Action> actions_;  // keyed by seq
+};
+
+}  // namespace paso::sim

@@ -1,0 +1,111 @@
+// Composite store: several index structures over one object class.
+//
+// Section 5: "Depending on the type of queries to be supported, the data
+// structure implementing the local storage for the class may be one of
+// various kinds ... In fact, several such data structures may be used for a
+// single class." This store maintains a hash index and an ordered index
+// over the same key field and routes each query to the cheaper structure:
+// exact / IN-set lookups to the hash index, ranges to the ordered index,
+// everything else to a scan. Updates pay both indexes (I = D = 2 model
+// units); queries cost whichever index serves them.
+#pragma once
+
+#include "storage/hash_store.hpp"
+#include "storage/ordered_store.hpp"
+
+namespace paso::storage {
+
+class CompositeStore final : public ObjectStore {
+ public:
+  explicit CompositeStore(std::size_t key_field = 0)
+      : hash_(key_field), ordered_(key_field), key_field_(key_field) {}
+
+  void store(PasoObject object, std::uint64_t age) override {
+    hash_.store(object, age);
+    ordered_.store(std::move(object), age);
+  }
+
+  std::optional<PasoObject> find(const SearchCriterion& sc) const override {
+    return route(sc).find(sc);
+  }
+
+  std::optional<PasoObject> remove(const SearchCriterion& sc) override {
+    // Find via the cheap index, then erase from both by identity so the
+    // twins stay aligned.
+    const auto found = route(sc).find(sc);
+    if (!found) return std::nullopt;
+    hash_.erase(found->id);
+    ordered_.erase(found->id);
+    return found;
+  }
+
+  bool erase(ObjectId id) override {
+    const bool hash_had = hash_.erase(id);
+    const bool ordered_had = ordered_.erase(id);
+    PASO_REQUIRE(hash_had == ordered_had, "composite indexes diverged");
+    return hash_had;
+  }
+
+  std::size_t size() const override { return hash_.size(); }
+
+  std::size_t state_bytes() const override {
+    // Both structures serialize as the same object list; the transfer ships
+    // it once and the joiner rebuilds both indexes.
+    return hash_.state_bytes();
+  }
+
+  std::vector<StoredObject> snapshot() const override {
+    return hash_.snapshot();
+  }
+
+  void load(const std::vector<StoredObject>& objects) override {
+    hash_.load(objects);
+    ordered_.load(objects);
+  }
+
+  void clear() override {
+    hash_.clear();
+    ordered_.clear();
+  }
+
+  /// Updates maintain both indexes.
+  Cost insert_cost() const override {
+    return hash_.insert_cost() + ordered_.insert_cost();
+  }
+  Cost remove_cost() const override {
+    return hash_.remove_cost() + ordered_.remove_cost();
+  }
+  /// Q depends on the query; report the cheaper structure's dictionary cost
+  /// as the representative (per-query routing is visible via query_cost_for).
+  Cost query_cost() const override { return hash_.query_cost(); }
+
+  /// Model cost of a *specific* query under routing.
+  Cost query_cost_for(const SearchCriterion& sc) const {
+    return route(sc).query_cost();
+  }
+
+  const char* kind() const override { return "composite"; }
+
+ private:
+  /// Pick the index that serves `sc` cheapest.
+  const ObjectStore& route(const SearchCriterion& sc) const {
+    if (key_field_ < sc.fields.size()) {
+      const FieldPattern& key = sc.fields[key_field_];
+      if (std::holds_alternative<Exact>(key) ||
+          std::holds_alternative<OneOf>(key)) {
+        return hash_;
+      }
+      if (std::holds_alternative<IntRange>(key) ||
+          std::holds_alternative<RealRange>(key)) {
+        return ordered_;
+      }
+    }
+    return hash_;  // scan fallback lives in either; hash is the default
+  }
+
+  HashStore hash_;
+  OrderedStore ordered_;
+  std::size_t key_field_;
+};
+
+}  // namespace paso::storage

@@ -1,0 +1,97 @@
+#include "storage/hash_store.hpp"
+
+#include <algorithm>
+
+namespace paso::storage {
+
+namespace {
+
+std::size_t hash_value(const Value& v) {
+  return std::visit(
+      [](const auto& x) -> std::size_t {
+        using X = std::decay_t<decltype(x)>;
+        return std::hash<X>{}(x);
+      },
+      v);
+}
+
+}  // namespace
+
+void HashStore::store(PasoObject object, std::uint64_t age) {
+  if (key_field_ < object.fields.size()) {
+    const std::size_t bucket = hash_value(object.fields[key_field_]);
+    if (base_store(std::move(object), age)) {
+      buckets_[bucket].push_back(age);
+    }
+    return;
+  }
+  base_store(std::move(object), age);
+}
+
+std::optional<std::uint64_t> HashStore::oldest_match(
+    const SearchCriterion& sc) const {
+  // Fast paths: exact key pattern -> one bucket; an explicit value set
+  // (OneOf) -> the union of its buckets.
+  if (key_field_ < sc.fields.size()) {
+    const FieldPattern& key_pattern = sc.fields[key_field_];
+    std::vector<std::size_t> bucket_keys;
+    if (const auto* exact = std::get_if<Exact>(&key_pattern)) {
+      bucket_keys.push_back(hash_value(exact->value));
+    } else if (const auto* one_of = std::get_if<OneOf>(&key_pattern)) {
+      for (const Value& v : one_of->values) {
+        bucket_keys.push_back(hash_value(v));
+      }
+    }
+    if (!bucket_keys.empty()) {
+      std::optional<std::uint64_t> best;
+      for (const std::size_t key : bucket_keys) {
+        auto it = buckets_.find(key);
+        if (it == buckets_.end()) continue;
+        for (const std::uint64_t age : it->second) {
+          auto obj = by_age_.find(age);
+          if (obj == by_age_.end()) continue;
+          if (!sc.matches(obj->second)) continue;
+          if (!best || age < *best) best = age;
+        }
+      }
+      return best;
+    }
+  }
+  // General criterion: age-ordered scan.
+  for (const auto& [age, object] : by_age_) {
+    if (sc.matches(object)) return age;
+  }
+  return std::nullopt;
+}
+
+std::optional<PasoObject> HashStore::find(const SearchCriterion& sc) const {
+  const auto age = oldest_match(sc);
+  if (!age) return std::nullopt;
+  return by_age_.at(*age);
+}
+
+std::optional<PasoObject> HashStore::remove(const SearchCriterion& sc) {
+  const auto age = oldest_match(sc);
+  if (!age) return std::nullopt;
+  PasoObject object = base_erase(*age);
+  drop_from_bucket(object, *age);
+  return object;
+}
+
+bool HashStore::erase(ObjectId id) {
+  const auto age = age_of(id);
+  if (!age) return false;
+  PasoObject object = base_erase(*age);
+  drop_from_bucket(object, *age);
+  return true;
+}
+
+void HashStore::drop_from_bucket(const PasoObject& object, std::uint64_t age) {
+  if (key_field_ >= object.fields.size()) return;
+  auto it = buckets_.find(hash_value(object.fields[key_field_]));
+  if (it == buckets_.end()) return;
+  std::erase(it->second, age);
+  if (it->second.empty()) buckets_.erase(it);
+}
+
+}  // namespace paso::storage

@@ -1,0 +1,52 @@
+// Scan store: the "linear list for text pattern matching" of Section 5.
+// No index: every query walks the objects in age order, so the model query
+// and removal costs are Theta(l) while insertion is O(1).
+#pragma once
+
+#include <algorithm>
+
+#include "storage/store_base.hpp"
+
+namespace paso::storage {
+
+class LinearStore final : public StoreBase {
+ public:
+  void store(PasoObject object, std::uint64_t age) override {
+    base_store(std::move(object), age);
+  }
+
+  std::optional<PasoObject> find(const SearchCriterion& sc) const override {
+    for (const auto& [age, object] : by_age_) {
+      if (sc.matches(object)) return object;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<PasoObject> remove(const SearchCriterion& sc) override {
+    for (const auto& [age, object] : by_age_) {
+      if (sc.matches(object)) return base_erase(age);
+    }
+    return std::nullopt;
+  }
+
+  bool erase(ObjectId id) override {
+    const auto age = age_of(id);
+    if (!age) return false;
+    base_erase(*age);
+    return true;
+  }
+
+  Cost insert_cost() const override { return 1; }
+  Cost query_cost() const override {
+    return std::max<Cost>(1, static_cast<Cost>(size()));
+  }
+  Cost remove_cost() const override {
+    return std::max<Cost>(1, static_cast<Cost>(size()));
+  }
+  const char* kind() const override { return "linear"; }
+
+ private:
+  void index_cleared() override {}
+};
+
+}  // namespace paso::storage

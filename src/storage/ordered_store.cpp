@@ -1,0 +1,93 @@
+#include "storage/ordered_store.hpp"
+
+#include <cmath>
+
+namespace paso::storage {
+
+void OrderedStore::store(PasoObject object, std::uint64_t age) {
+  Value key;
+  const bool has_key = key_field_ < object.fields.size();
+  if (has_key) key = object.fields[key_field_];
+  if (base_store(std::move(object), age) && has_key) {
+    index_.emplace(std::move(key), age);
+  }
+}
+
+Cost OrderedStore::query_cost() const {
+  if (fixed_query_cost_ > 0) return fixed_query_cost_;
+  return 1 + std::floor(std::log2(static_cast<double>(size()) + 1));
+}
+
+std::optional<std::uint64_t> OrderedStore::oldest_match(
+    const SearchCriterion& sc) const {
+  // Range/exact patterns on the key field bound the index walk.
+  if (key_field_ < sc.fields.size()) {
+    const FieldPattern& key_pattern = sc.fields[key_field_];
+    auto lo = index_.begin();
+    auto hi = index_.end();
+    bool bounded = false;
+    if (const auto* exact = std::get_if<Exact>(&key_pattern)) {
+      lo = index_.lower_bound(exact->value);
+      hi = index_.upper_bound(exact->value);
+      bounded = true;
+    } else if (const auto* range = std::get_if<IntRange>(&key_pattern)) {
+      lo = index_.lower_bound(Value{range->lo});
+      hi = index_.upper_bound(Value{range->hi});
+      bounded = true;
+    } else if (const auto* rrange = std::get_if<RealRange>(&key_pattern)) {
+      lo = index_.lower_bound(Value{rrange->lo});
+      hi = index_.upper_bound(Value{rrange->hi});
+      bounded = true;
+    }
+    if (bounded) {
+      std::optional<std::uint64_t> best;
+      for (auto it = lo; it != hi; ++it) {
+        auto obj = by_age_.find(it->second);
+        if (obj == by_age_.end()) continue;
+        if (!sc.matches(obj->second)) continue;
+        if (!best || it->second < *best) best = it->second;
+      }
+      return best;
+    }
+  }
+  for (const auto& [age, object] : by_age_) {
+    if (sc.matches(object)) return age;
+  }
+  return std::nullopt;
+}
+
+std::optional<PasoObject> OrderedStore::find(const SearchCriterion& sc) const {
+  const auto age = oldest_match(sc);
+  if (!age) return std::nullopt;
+  return by_age_.at(*age);
+}
+
+std::optional<PasoObject> OrderedStore::remove(const SearchCriterion& sc) {
+  const auto age = oldest_match(sc);
+  if (!age) return std::nullopt;
+  PasoObject object = base_erase(*age);
+  drop_from_index(object, *age);
+  return object;
+}
+
+bool OrderedStore::erase(ObjectId id) {
+  const auto age = age_of(id);
+  if (!age) return false;
+  PasoObject object = base_erase(*age);
+  drop_from_index(object, *age);
+  return true;
+}
+
+void OrderedStore::drop_from_index(const PasoObject& object,
+                                   std::uint64_t age) {
+  if (key_field_ >= object.fields.size()) return;
+  auto [lo, hi] = index_.equal_range(object.fields[key_field_]);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == age) {
+      index_.erase(it);
+      return;
+    }
+  }
+}
+
+}  // namespace paso::storage

@@ -1,0 +1,42 @@
+// Order-indexed store: the "binary search tree for range queries" of
+// Section 5. Model costs follow the paper's extension of the Basic
+// algorithm: insertion and deletion are normalized to 1 time unit and a
+// query costs q > 1 units. By default q tracks log2 of the store size; a
+// fixed q can be injected for experiments that assume it constant.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "storage/store_base.hpp"
+
+namespace paso::storage {
+
+class OrderedStore final : public StoreBase {
+ public:
+  /// `fixed_query_cost` = 0 means Q(l) = 1 + floor(log2(l+1)).
+  explicit OrderedStore(std::size_t key_field = 0, Cost fixed_query_cost = 0)
+      : key_field_(key_field), fixed_query_cost_(fixed_query_cost) {}
+
+  void store(PasoObject object, std::uint64_t age) override;
+  std::optional<PasoObject> find(const SearchCriterion& sc) const override;
+  std::optional<PasoObject> remove(const SearchCriterion& sc) override;
+  bool erase(ObjectId id) override;
+
+  Cost insert_cost() const override { return 1; }
+  Cost query_cost() const override;
+  Cost remove_cost() const override { return 1; }
+  const char* kind() const override { return "ordered"; }
+
+ private:
+  void index_cleared() override { index_.clear(); }
+  std::optional<std::uint64_t> oldest_match(const SearchCriterion& sc) const;
+  void drop_from_index(const PasoObject& object, std::uint64_t age);
+
+  std::size_t key_field_;
+  Cost fixed_query_cost_;
+  // Key value -> ages of objects with that key, ordered by key for ranges.
+  std::multimap<Value, std::uint64_t> index_;
+};
+
+}  // namespace paso::storage

@@ -1,0 +1,82 @@
+// Shared backbone for ObjectStore implementations: an age-ordered map of
+// objects plus identity and byte-size bookkeeping. Derived stores add their
+// query index and model cost functions.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+
+#include "storage/object_store.hpp"
+
+namespace paso::storage {
+
+class StoreBase : public ObjectStore {
+ public:
+  std::size_t size() const override { return by_age_.size(); }
+
+  std::size_t state_bytes() const override {
+    // 16-byte header plus, per object, its wire size and an 8-byte age.
+    return 16 + content_bytes_ + 8 * by_age_.size();
+  }
+
+  std::vector<StoredObject> snapshot() const override {
+    std::vector<StoredObject> out;
+    out.reserve(by_age_.size());
+    for (const auto& [age, object] : by_age_) out.push_back({age, object});
+    return out;
+  }
+
+  void load(const std::vector<StoredObject>& objects) override {
+    clear();
+    for (const StoredObject& stored : objects) {
+      store(stored.object, stored.age);
+    }
+  }
+
+  void clear() override {
+    by_age_.clear();
+    age_of_.clear();
+    content_bytes_ = 0;
+    index_cleared();
+  }
+
+ protected:
+  /// Insert into the backbone; derived classes call this from store() and
+  /// then update their index. Returns false (and stores nothing) on a
+  /// duplicate identity — replicated stores are idempotent per A2.
+  bool base_store(PasoObject object, std::uint64_t age) {
+    if (age_of_.contains(object.id)) return false;
+    content_bytes_ += object.wire_size();
+    age_of_.emplace(object.id, age);
+    const auto [it, inserted] = by_age_.emplace(age, std::move(object));
+    PASO_REQUIRE(inserted, "duplicate age in store");
+    (void)it;
+    return true;
+  }
+
+  /// Remove by age; derived classes fix their index first.
+  PasoObject base_erase(std::uint64_t age) {
+    auto it = by_age_.find(age);
+    PASO_REQUIRE(it != by_age_.end(), "erasing unknown age");
+    PasoObject object = std::move(it->second);
+    content_bytes_ -= object.wire_size();
+    age_of_.erase(object.id);
+    by_age_.erase(it);
+    return object;
+  }
+
+  std::optional<std::uint64_t> age_of(ObjectId id) const {
+    auto it = age_of_.find(id);
+    if (it == age_of_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Derived stores reset their index here.
+  virtual void index_cleared() = 0;
+
+  std::map<std::uint64_t, PasoObject> by_age_;
+  std::unordered_map<ObjectId, std::uint64_t> age_of_;
+  std::size_t content_bytes_ = 0;
+};
+
+}  // namespace paso::storage

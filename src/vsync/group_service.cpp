@@ -1,0 +1,413 @@
+#include "vsync/group_service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace paso::vsync {
+
+GroupService::GroupService(net::BusNetwork& network, Options options)
+    : network_(network),
+      options_(options),
+      endpoints_(network.machine_count(), nullptr) {}
+
+void GroupService::register_endpoint(MachineId machine,
+                                     GroupEndpoint& endpoint) {
+  PASO_REQUIRE(machine.value < endpoints_.size(), "unknown machine");
+  endpoints_[machine.value] = &endpoint;
+}
+
+GroupService::Group& GroupService::group_record(const GroupName& name) {
+  return groups_[name];
+}
+
+View GroupService::view_of(const GroupName& name) const {
+  auto it = groups_.find(name);
+  return it == groups_.end() ? View{} : it->second.view;
+}
+
+bool GroupService::is_member(const GroupName& name, MachineId machine) const {
+  auto it = groups_.find(name);
+  return it != groups_.end() && it->second.view.contains(machine);
+}
+
+std::size_t GroupService::group_size(const GroupName& name) const {
+  auto it = groups_.find(name);
+  return it == groups_.end() ? 0 : it->second.view.size();
+}
+
+std::vector<GroupName> GroupService::groups_of(MachineId machine) const {
+  std::vector<GroupName> names;
+  for (const auto& [name, group] : groups_) {
+    if (group.view.contains(machine)) names.push_back(name);
+  }
+  return names;
+}
+
+void GroupService::g_join(const GroupName& name, MachineId joiner,
+                          CompletionCallback done) {
+  auto op = std::make_unique<Op>();
+  op->kind = Op::Kind::kJoin;
+  op->id = next_op_id_++;
+  op->join.joiner = joiner;
+  op->join.done = std::move(done);
+  group_record(name).queue.push_back(std::move(op));
+  pump(name);
+}
+
+void GroupService::g_leave(const GroupName& name, MachineId leaver,
+                           CompletionCallback done) {
+  auto op = std::make_unique<Op>();
+  op->kind = Op::Kind::kLeave;
+  op->id = next_op_id_++;
+  op->leave.leaver = leaver;
+  op->leave.done = std::move(done);
+  group_record(name).queue.push_back(std::move(op));
+  pump(name);
+}
+
+void GroupService::gcast(const GroupName& name, MachineId issuer,
+                         Payload message, std::string tag,
+                         ResponseCallback on_response) {
+  gcast_to(name, issuer, std::move(message), std::move(tag), {}, SIZE_MAX,
+           std::move(on_response));
+}
+
+void GroupService::gcast_to(const GroupName& name, MachineId issuer,
+                            Payload message, std::string tag,
+                            std::vector<MachineId> preferred,
+                            std::size_t max_targets,
+                            ResponseCallback on_response) {
+  auto op = std::make_unique<Op>();
+  op->kind = Op::Kind::kGcast;
+  op->id = next_op_id_++;
+  op->gcast.issuer = issuer;
+  op->gcast.message = std::move(message);
+  op->gcast.tag = std::move(tag);
+  op->gcast.on_response = std::move(on_response);
+  op->gcast.preferred = std::move(preferred);
+  op->gcast.max_targets = max_targets;
+  group_record(name).queue.push_back(std::move(op));
+  pump(name);
+}
+
+void GroupService::pump(const GroupName& name) {
+  Group& group = group_record(name);
+  if (group.busy || group.queue.empty()) return;
+  group.busy = true;
+  Op& op = *group.queue.front();
+  switch (op.kind) {
+    case Op::Kind::kGcast:
+      dispatch_gcast(name, op);
+      break;
+    case Op::Kind::kJoin:
+      dispatch_join(name, op);
+      break;
+    case Op::Kind::kLeave:
+      dispatch_leave(name, op);
+      break;
+  }
+}
+
+GroupService::Op* GroupService::active_op(const GroupName& name,
+                                          std::uint64_t op_id) {
+  Group& group = group_record(name);
+  if (!group.busy || group.queue.empty()) return nullptr;
+  Op& op = *group.queue.front();
+  return op.id == op_id ? &op : nullptr;
+}
+
+void GroupService::complete_active(const GroupName& name) {
+  Group& group = group_record(name);
+  PASO_REQUIRE(group.busy && !group.queue.empty(), "no active op");
+  group.queue.pop_front();
+  group.busy = false;
+  // Resume the queue from a fresh event so deep op chains cannot recurse.
+  network_.simulator().schedule_after(0, [this, name] { pump(name); });
+}
+
+// ---------------------------------------------------------------------------
+// gcast
+
+void GroupService::dispatch_gcast(const GroupName& name, Op& op) {
+  GcastOp& g = op.gcast;
+  if (!network_.is_up(g.issuer)) {
+    // The issuer died before its gcast hit the head of the queue.
+    complete_active(name);
+    return;
+  }
+  const View view = view_of(name);
+  if (view.empty()) {
+    // Nothing to deliver to: the response is "fail" (nullopt).
+    auto cb = std::move(g.on_response);
+    network_.simulator().schedule_after(0, [cb = std::move(cb)] {
+      if (cb) cb(std::nullopt);
+    });
+    ++gcasts_completed_;
+    complete_active(name);
+    return;
+  }
+  g.dispatched = true;
+  // Resolve the target set: preferred members first (the read group), then
+  // other view members up to max_targets; a plain gcast targets everyone.
+  for (const MachineId m : g.preferred) {
+    if (g.targets.size() >= g.max_targets) break;
+    if (view.contains(m)) g.targets.insert(m);
+  }
+  for (const MachineId m : view.members) {
+    if (g.targets.size() >= g.max_targets) break;
+    g.targets.insert(m);
+  }
+  g.pending_acks = g.targets;
+  const std::uint64_t op_id = op.id;
+  for (const MachineId member : g.targets) {
+    network_.send(g.issuer, member, g.tag, g.message.bytes,
+                  [this, name, op_id, member] {
+                    member_deliver(name, op_id, member);
+                  });
+  }
+}
+
+void GroupService::member_deliver(const GroupName& name, std::uint64_t op_id,
+                                  MachineId member) {
+  Op* op = active_op(name, op_id);
+  if (op == nullptr || op->kind != Op::Kind::kGcast) return;  // superseded
+  GcastOp& g = op->gcast;
+  if (!g.pending_acks.contains(member)) return;  // pruned by view change
+
+  GroupEndpoint* endpoint = endpoints_[member.value];
+  PASO_REQUIRE(endpoint != nullptr, "member without endpoint");
+  GcastResult result = endpoint->handle_gcast(name, g.message);
+  network_.ledger().charge_work(member, result.processing);
+  const Cost processing = result.processing;
+  g.results.emplace(member, std::move(result));
+
+  // After processing, the member sends an empty done-ack to the leader
+  // (Section 3.3: "each of g-name's members sends an empty message to some
+  // designated server"). Ack bookkeeping is service-side, standing in for
+  // ISIS's internal re-gathering when leaders fail.
+  const View view = view_of(name);
+  const MachineId leader =
+      view.empty() ? member : view.leader();
+  network_.simulator().schedule_after(
+      processing, [this, name, op_id, member, leader] {
+        if (!network_.is_up(member)) return;  // crashed before acking
+        network_.send(member, leader, "gcast-ack", 0,
+                      [this, name, op_id, member] {
+                        member_acked(name, op_id, member);
+                      });
+      });
+}
+
+void GroupService::member_acked(const GroupName& name, std::uint64_t op_id,
+                                MachineId member) {
+  Op* op = active_op(name, op_id);
+  if (op == nullptr || op->kind != Op::Kind::kGcast) return;
+  op->gcast.pending_acks.erase(member);
+  maybe_complete_gcast(name, *op);
+}
+
+void GroupService::maybe_complete_gcast(const GroupName& name, Op& op) {
+  GcastOp& g = op.gcast;
+  if (!g.pending_acks.empty()) return;
+
+  // All targeted members processed the message; one response is forwarded to
+  // the issuer. All responses are equal in this model (replicas), so the
+  // leader's own is used when the leader was a target; otherwise the
+  // lowest-id target's result substitutes.
+  const View view = view_of(name);
+  std::any body;
+  std::size_t bytes = 0;
+  MachineId responder = g.issuer;
+  auto it = view.empty() ? g.results.begin() : g.results.find(view.leader());
+  if (it == g.results.end()) it = g.results.begin();
+  if (it != g.results.end()) {
+    body = it->second.response;
+    bytes = it->second.response_bytes;
+    responder = it->first;
+  } else if (!view.empty()) {
+    responder = view.leader();
+  }
+  if (network_.is_up(g.issuer)) {
+    auto cb = std::move(g.on_response);
+    network_.send(responder, g.issuer, g.tag + "/resp", bytes,
+                  [cb = std::move(cb), body = std::move(body)] {
+                    if (cb) cb(std::make_optional(std::move(body)));
+                  });
+  }
+  ++gcasts_completed_;
+  complete_active(name);
+}
+
+// ---------------------------------------------------------------------------
+// join / leave
+
+void GroupService::dispatch_join(const GroupName& name, Op& op) {
+  JoinOp& j = op.join;
+  const bool can_join = network_.is_up(j.joiner) &&
+                        endpoints_[j.joiner.value] != nullptr &&
+                        !is_member(name, j.joiner);
+  if (!can_join) {
+    if (j.done) j.done(false);
+    complete_active(name);
+    return;
+  }
+  const View view = view_of(name);
+  if (view.empty()) {
+    // First member: nothing to transfer.
+    install_view(name, {j.joiner});
+    if (j.done) j.done(true);
+    complete_active(name);
+    return;
+  }
+
+  // Donor state transfer (Section 4.2): one member — the leader — captures
+  // its state for this group and ships it to the joiner. The group's queue
+  // stays blocked until the transfer completes, so "no communication to
+  // g-name is processed by any of g-name's members" during the transfer.
+  const MachineId donor = view.leader();
+  j.donor = donor;
+  j.transfer_in_flight = true;
+  GroupEndpoint* donor_ep = endpoints_[donor.value];
+  PASO_REQUIRE(donor_ep != nullptr, "donor without endpoint");
+  StateBlob blob = donor_ep->capture_state(name);
+  const Cost copy_cost =
+      options_.install_cost_per_byte * static_cast<Cost>(blob.bytes);
+  network_.ledger().charge_work(donor, copy_cost);
+
+  const std::uint64_t op_id = op.id;
+  network_.send(
+      donor, j.joiner, "state-xfer", blob.bytes,
+      [this, name, op_id, donor, copy_cost, blob = std::move(blob)] {
+        Op* active = active_op(name, op_id);
+        if (active == nullptr || active->kind != Op::Kind::kJoin) return;
+        JoinOp& join = active->join;
+        if (!join.transfer_in_flight || join.donor != donor) return;  // stale
+        join.transfer_in_flight = false;  // donor crash can no longer abort
+        GroupEndpoint* joiner_ep = endpoints_[join.joiner.value];
+        PASO_REQUIRE(joiner_ep != nullptr, "joiner without endpoint");
+        joiner_ep->install_state(name, blob);
+        network_.ledger().charge_work(join.joiner, copy_cost);
+        // Installation takes time proportional to the state size; the view
+        // change is installed when it finishes.
+        network_.simulator().schedule_after(copy_cost, [this, name, op_id] {
+          Op* done_op = active_op(name, op_id);
+          if (done_op == nullptr || done_op->kind != Op::Kind::kJoin) return;
+          finish_join(name, *done_op);
+        });
+      });
+}
+
+void GroupService::finish_join(const GroupName& name, Op& op) {
+  JoinOp& j = op.join;
+  if (!network_.is_up(j.joiner)) {
+    // Joiner crashed between transfer and installation.
+    complete_active(name);
+    return;
+  }
+  std::vector<MachineId> members = view_of(name).members;
+  members.push_back(j.joiner);
+  install_view(name, std::move(members));
+  if (j.done) j.done(true);
+  complete_active(name);
+}
+
+void GroupService::dispatch_leave(const GroupName& name, Op& op) {
+  LeaveOp& l = op.leave;
+  if (!is_member(name, l.leaver)) {
+    if (l.done) l.done(false);
+    complete_active(name);
+    return;
+  }
+  std::vector<MachineId> members = view_of(name).members;
+  std::erase(members, l.leaver);
+  install_view(name, std::move(members));
+  GroupEndpoint* endpoint = endpoints_[l.leaver.value];
+  if (endpoint != nullptr && network_.is_up(l.leaver)) {
+    endpoint->erase_state(name);
+  }
+  if (l.done) l.done(true);
+  complete_active(name);
+}
+
+void GroupService::install_view(const GroupName& name,
+                                std::vector<MachineId> members) {
+  std::sort(members.begin(), members.end());
+  Group& group = group_record(name);
+  group.view.members = std::move(members);
+  group.view.id = ViewId{next_view_id_++};
+  PASO_TRACE("vsync") << "group " << name << " view " << group.view;
+  for (const MachineId member : group.view.members) {
+    GroupEndpoint* endpoint = endpoints_[member.value];
+    if (endpoint != nullptr && network_.is_up(member)) {
+      endpoint->on_view_change(name, group.view);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// crash plane
+
+void GroupService::machine_crashed(MachineId machine) {
+  if (!network_.is_up(machine)) return;
+  network_.set_up(machine, false);
+  network_.simulator().schedule_after(
+      options_.failure_detection_delay,
+      [this, machine] { on_failure_detected(machine); });
+}
+
+void GroupService::machine_recovered(MachineId machine) {
+  PASO_REQUIRE(!network_.is_up(machine), "machine is already up");
+  // The failure detector must have expelled the machine from its groups by
+  // now; a machine cannot serve group traffic with erased memory. The fault
+  // injector keeps downtime above the detection delay.
+  PASO_REQUIRE(groups_of(machine).empty(),
+               "machine recovered before failure detection completed");
+  network_.set_up(machine, true);
+}
+
+void GroupService::on_failure_detected(MachineId machine) {
+  if (network_.is_up(machine)) return;  // raced with recovery (not expected)
+  for (auto& [name, group] : groups_) {
+    if (!group.view.contains(machine)) continue;
+    std::vector<MachineId> members = group.view.members;
+    std::erase(members, machine);
+    install_view(name, std::move(members));
+
+    if (!group.busy || group.queue.empty()) continue;
+    Op& op = *group.queue.front();
+    switch (op.kind) {
+      case Op::Kind::kGcast: {
+        GcastOp& g = op.gcast;
+        if (!g.dispatched) break;
+        // Re-gather: acks are now needed only from targets that are still in
+        // the view and have not produced a result.
+        std::set<MachineId> pending;
+        for (const MachineId m : g.targets) {
+          if (group.view.contains(m) && !g.results.contains(m)) {
+            pending.insert(m);
+          }
+        }
+        g.pending_acks = std::move(pending);
+        maybe_complete_gcast(name, op);
+        break;
+      }
+      case Op::Kind::kJoin: {
+        JoinOp& j = op.join;
+        if (j.joiner == machine) {
+          complete_active(name);
+        } else if (j.transfer_in_flight && j.donor == machine) {
+          // Donor died mid-transfer: restart with a new donor.
+          j.transfer_in_flight = false;
+          dispatch_join(name, op);
+        }
+        break;
+      }
+      case Op::Kind::kLeave:
+        break;  // leaves are atomic at dispatch
+    }
+  }
+}
+
+}  // namespace paso::vsync

@@ -1,0 +1,180 @@
+// View-synchronous group communication (the ISIS model of Section 3.2).
+//
+// GroupService provides exactly the guarantees the paper assumes of ISIS:
+//   * named groups with dynamic membership (`g-join` / `g-leave`),
+//   * reliable, totally-ordered `gcast` with per-sender FIFO,
+//   * groups are stable while a gcast is in flight (no membership change
+//     interleaves with a delivery),
+//   * all members observe joins, leaves and messages in one common order,
+//   * joins perform a donor state transfer during which no communication to
+//     the group is processed (Section 4.2's initiation procedure).
+//
+// The implementation serializes each group's operations through a per-group
+// queue, which realizes total order and stability directly. Membership
+// bookkeeping and ack gathering are performed by the service itself; this
+// stands in for ISIS's internal fault-tolerant protocol machinery (which the
+// paper treats as a given), while every data-plane byte — fan-out
+// transmissions, done-acks to the leader, the single gathered response, and
+// join state transfers — crosses the simulated bus and is charged to the
+// cost ledger exactly as Section 3.3 prescribes. Control-plane view
+// notifications are free, matching the paper's cost accounting, which never
+// charges for group maintenance.
+//
+// Crash faults: a crashed machine stops sending and receiving instantly; the
+// failure detector notices after a configurable delay, removes the machine
+// from every view, and unblocks any operation that was waiting on it.
+#pragma once
+
+#include <any>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "net/bus_network.hpp"
+#include "vsync/endpoint.hpp"
+#include "vsync/view.hpp"
+
+namespace paso::vsync {
+
+struct GroupServiceOptions {
+  /// Delay between a crash and the membership service expelling the
+  /// machine from its groups (models ISIS failure detection).
+  sim::SimTime failure_detection_delay = 50.0;
+  /// Server-side time charged per transferred byte when a joiner installs
+  /// donated state; together with the bus cost of the transfer this makes
+  /// time(g-join) = Theta(l), the paper's join cost K.
+  Cost install_cost_per_byte = 1.0;
+};
+
+class GroupService {
+ public:
+  using Options = GroupServiceOptions;
+
+  using CompletionCallback = std::function<void(bool ok)>;
+  /// Receives the gathered response body, or nullopt when the group was
+  /// empty or the operation was abandoned. An empty std::any inside the
+  /// optional is a member-produced "fail".
+  using ResponseCallback = std::function<void(std::optional<std::any>)>;
+
+  GroupService(net::BusNetwork& network, Options options = {});
+
+  /// Register the machine's endpoint (its memory server). Must be called
+  /// before the machine joins any group.
+  void register_endpoint(MachineId machine, GroupEndpoint& endpoint);
+
+  /// g-join(g-name, done): enqueue a join. The donor state transfer happens
+  /// when the join reaches the head of the group's operation queue.
+  void g_join(const GroupName& group, MachineId joiner,
+              CompletionCallback done = {});
+
+  /// g-leave(g-name, done): enqueue a voluntary leave.
+  void g_leave(const GroupName& group, MachineId leaver,
+               CompletionCallback done = {});
+
+  /// gcast(g-name, msg, resp): deliver `message` to every member, gather
+  /// done-acks at the leader, and return one response to the issuer.
+  /// `tag` labels the traffic in the cost ledger.
+  void gcast(const GroupName& group, MachineId issuer, Payload message,
+             std::string tag, ResponseCallback on_response = {});
+
+  /// Read-group gcast (Section 4.3): reads entail no state change, so it
+  /// suffices to deliver them to a subset rg ⊆ wg with |rg| ≤ lambda+1.
+  /// Delivery goes to the members of `preferred` that are currently in the
+  /// view, topped up with further view members until `max_targets`. The
+  /// operation still serializes with the group's other operations, so total
+  /// order with respect to updates is preserved.
+  void gcast_to(const GroupName& group, MachineId issuer, Payload message,
+                std::string tag, std::vector<MachineId> preferred,
+                std::size_t max_targets, ResponseCallback on_response = {});
+
+  /// Current view of a group (empty view with the latest id if no members).
+  View view_of(const GroupName& group) const;
+  bool is_member(const GroupName& group, MachineId machine) const;
+  std::size_t group_size(const GroupName& group) const;
+  /// All groups this machine currently belongs to (the `group` function of
+  /// Section 3.2 restricted to one machine).
+  std::vector<GroupName> groups_of(MachineId machine) const;
+
+  /// Crash plane. `machine_crashed` takes the machine off the network
+  /// immediately and schedules failure detection; `machine_recovered` brings
+  /// the network interface back (the server must re-join groups itself).
+  void machine_crashed(MachineId machine);
+  void machine_recovered(MachineId machine);
+  bool is_up(MachineId machine) const { return network_.is_up(machine); }
+
+  net::BusNetwork& network() { return network_; }
+  const Options& options() const { return options_; }
+
+  /// Number of completed gcasts (for tests).
+  std::uint64_t gcasts_completed() const { return gcasts_completed_; }
+
+ private:
+  struct GcastOp {
+    MachineId issuer;
+    Payload message;
+    std::string tag;
+    ResponseCallback on_response;
+    // Read-group restriction; empty preferred + max SIZE_MAX = full group.
+    std::vector<MachineId> preferred;
+    std::size_t max_targets = SIZE_MAX;
+    // In-flight bookkeeping.
+    std::set<MachineId> targets;
+    std::set<MachineId> pending_acks;
+    std::map<MachineId, GcastResult> results;
+    bool dispatched = false;
+  };
+  struct JoinOp {
+    MachineId joiner;
+    CompletionCallback done;
+    bool transfer_in_flight = false;
+    MachineId donor;
+  };
+  struct LeaveOp {
+    MachineId leaver;
+    CompletionCallback done;
+  };
+  struct Op {
+    enum class Kind { kGcast, kJoin, kLeave } kind;
+    std::uint64_t id;
+    GcastOp gcast;
+    JoinOp join;
+    LeaveOp leave;
+  };
+  struct Group {
+    View view;
+    std::deque<std::unique_ptr<Op>> queue;
+    bool busy = false;
+  };
+
+  Group& group_record(const GroupName& name);
+  void pump(const GroupName& name);
+  void dispatch_gcast(const GroupName& name, Op& op);
+  void dispatch_join(const GroupName& name, Op& op);
+  void dispatch_leave(const GroupName& name, Op& op);
+  void member_deliver(const GroupName& name, std::uint64_t op_id,
+                      MachineId member);
+  void member_acked(const GroupName& name, std::uint64_t op_id,
+                    MachineId member);
+  void maybe_complete_gcast(const GroupName& name, Op& op);
+  void complete_active(const GroupName& name);
+  void finish_join(const GroupName& name, Op& op);
+  void install_view(const GroupName& name, std::vector<MachineId> members);
+  void on_failure_detected(MachineId machine);
+  Op* active_op(const GroupName& name, std::uint64_t op_id);
+
+  net::BusNetwork& network_;
+  Options options_;
+  std::map<GroupName, Group> groups_;
+  std::vector<GroupEndpoint*> endpoints_;
+  std::uint64_t next_op_id_ = 1;
+  std::uint64_t next_view_id_ = 1;
+  std::uint64_t gcasts_completed_ = 0;
+};
+
+}  // namespace paso::vsync

@@ -1,0 +1,41 @@
+// Group views.
+//
+// A view is one epoch of a group's membership (Section 3.2). The ISIS model
+// guarantees that all members observe the same sequence of views and that
+// message deliveries are consistently ordered with respect to view changes
+// ("virtual synchrony"); GroupService enforces both.
+#pragma once
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace paso::vsync {
+
+struct View {
+  ViewId id;
+  std::vector<MachineId> members;  // kept sorted ascending
+
+  bool contains(MachineId m) const {
+    return std::binary_search(members.begin(), members.end(), m);
+  }
+  std::size_t size() const { return members.size(); }
+  bool empty() const { return members.empty(); }
+
+  /// The group leader: lowest-id member. Gathers gcast acks and sends the
+  /// single response back to the issuer (Section 3.3).
+  MachineId leader() const { return members.front(); }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const View& v) {
+  os << v.id << "{";
+  for (std::size_t i = 0; i < v.members.size(); ++i) {
+    if (i) os << ",";
+    os << v.members[i];
+  }
+  return os << "}";
+}
+
+}  // namespace paso::vsync

@@ -1,0 +1,160 @@
+// End-to-end tests of the Basic replication policy running inside the live
+// system: machines join write groups under read pressure, leave under update
+// pressure, and the whole dance stays semantically clean.
+#include <gtest/gtest.h>
+
+#include "adaptive/basic_policy.hpp"
+#include "semantics/checker.hpp"
+
+namespace paso::adaptive {
+namespace {
+
+Schema task_schema() {
+  return Schema({
+      ClassSpec{"task", {FieldType::kInt, FieldType::kText}, 0, 1},
+  });
+}
+
+Tuple task(std::int64_t key) { return {Value{key}, Value{std::string{"v"}}}; }
+
+SearchCriterion by_key(std::int64_t key) {
+  return criterion(Exact{Value{key}}, TypedAny{FieldType::kText});
+}
+
+class AdaptivePolicyTest : public ::testing::Test {
+ protected:
+  AdaptivePolicyTest() : cluster_(task_schema(), config()) {
+    cluster_.assign_basic_support();
+    install_basic_policies(cluster_, BasicPolicyOptions{8, 1, false});
+  }
+
+  static ClusterConfig config() {
+    ClusterConfig cfg;
+    cfg.machines = 6;
+    cfg.lambda = 1;  // basic support {M0, M1} for the single class
+    return cfg;
+  }
+
+  MachineId outsider() const { return MachineId{4}; }
+
+  Cluster cluster_;
+};
+
+TEST_F(AdaptivePolicyTest, ReadPressureTriggersJoin) {
+  const ClassId cls{0};
+  const ProcessId writer = cluster_.process(MachineId{0});
+  ASSERT_TRUE(cluster_.insert_sync(writer, task(1)));
+
+  const ProcessId reader = cluster_.process(outsider());
+  EXPECT_FALSE(cluster_.runtime(outsider()).is_member(cls));
+  // Each remote read adds rg = lambda+1 = 2 to the counter; K = 8, so the
+  // 4th read crosses the threshold and the machine joins.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(cluster_.read_sync(reader, by_key(1)).has_value());
+  }
+  cluster_.settle();
+  EXPECT_TRUE(cluster_.runtime(outsider()).is_member(cls));
+  // Subsequent reads are local: zero message cost.
+  const auto before = cluster_.ledger().snapshot();
+  ASSERT_TRUE(cluster_.read_sync(reader, by_key(1)).has_value());
+  EXPECT_DOUBLE_EQ(cluster_.ledger().since(before).msg_cost, 0.0);
+}
+
+TEST_F(AdaptivePolicyTest, UpdatePressureTriggersLeave) {
+  const ClassId cls{0};
+  const ProcessId writer = cluster_.process(MachineId{0});
+  ASSERT_TRUE(cluster_.insert_sync(writer, task(1)));
+  const ProcessId reader = cluster_.process(outsider());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(cluster_.read_sync(reader, by_key(1)).has_value());
+  }
+  cluster_.settle();
+  ASSERT_TRUE(cluster_.runtime(outsider()).is_member(cls));
+
+  // A run of updates (served by the outsider as a member) drains the
+  // counter from K = 8 to 0; the machine then leaves.
+  for (int k = 10; k < 20; ++k) {
+    ASSERT_TRUE(cluster_.insert_sync(writer, task(k)));
+  }
+  cluster_.settle();
+  EXPECT_FALSE(cluster_.runtime(outsider()).is_member(cls));
+}
+
+TEST_F(AdaptivePolicyTest, BasicSupportNeverLeaves) {
+  const ClassId cls{0};
+  const ProcessId writer = cluster_.process(MachineId{5});
+  for (int k = 0; k < 30; ++k) {
+    ASSERT_TRUE(cluster_.insert_sync(writer, task(k)));
+  }
+  cluster_.settle();
+  EXPECT_TRUE(cluster_.runtime(MachineId{0}).is_member(cls));
+  EXPECT_TRUE(cluster_.runtime(MachineId{1}).is_member(cls));
+}
+
+TEST_F(AdaptivePolicyTest, JoinedReplicaServesConsistentData) {
+  const ProcessId writer = cluster_.process(MachineId{0});
+  for (int k = 0; k < 10; ++k) {
+    ASSERT_TRUE(cluster_.insert_sync(writer, task(k)));
+  }
+  const ProcessId reader = cluster_.process(outsider());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(cluster_.read_sync(reader, by_key(i)).has_value());
+  }
+  cluster_.settle();
+  ASSERT_TRUE(cluster_.runtime(outsider()).is_member(ClassId{0}));
+  // The adaptively joined replica holds the full class state.
+  EXPECT_EQ(cluster_.server(outsider()).live_count(ClassId{0}), 10u);
+  const auto check = semantics::check_history(cluster_.history());
+  EXPECT_TRUE(check.ok()) << check.violations.front();
+}
+
+TEST_F(AdaptivePolicyTest, CrashResetsAdaptiveMembership) {
+  const ProcessId writer = cluster_.process(MachineId{0});
+  ASSERT_TRUE(cluster_.insert_sync(writer, task(1)));
+  const ProcessId reader = cluster_.process(outsider());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(cluster_.read_sync(reader, by_key(1)).has_value());
+  }
+  cluster_.settle();
+  ASSERT_TRUE(cluster_.runtime(outsider()).is_member(ClassId{0}));
+
+  cluster_.crash(outsider());
+  cluster_.settle();
+  cluster_.recover(outsider());
+  cluster_.settle();
+  // Not basic support: the recovered machine stays out until read pressure
+  // builds again.
+  EXPECT_FALSE(cluster_.runtime(outsider()).is_member(ClassId{0}));
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(cluster_.read_sync(reader, by_key(1)).has_value());
+  }
+  cluster_.settle();
+  EXPECT_TRUE(cluster_.runtime(outsider()).is_member(ClassId{0}));
+}
+
+TEST_F(AdaptivePolicyTest, AdaptiveReplicationReducesTotalWorkOnReadHeavy) {
+  // Read-heavy phase from one outsider machine: adaptive join must beat the
+  // static configuration on total work. Run the same workload on a static
+  // cluster (no policies) and compare ledgers.
+  Cluster static_cluster(task_schema(), config());
+  static_cluster.assign_basic_support();
+
+  auto run_workload = [](Cluster& cluster) {
+    const ProcessId writer = cluster.process(MachineId{0});
+    const ProcessId reader = cluster.process(MachineId{4});
+    EXPECT_TRUE(cluster.insert_sync(writer, task(1)));
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_TRUE(cluster.read_sync(reader, by_key(1)).has_value());
+    }
+    cluster.settle();
+    return cluster.ledger().total_work() +
+           cluster.ledger().total_msg_cost();
+  };
+
+  const Cost adaptive_cost = run_workload(cluster_);
+  const Cost static_cost = run_workload(static_cluster);
+  EXPECT_LT(adaptive_cost, static_cost / 2);
+}
+
+}  // namespace
+}  // namespace paso::adaptive

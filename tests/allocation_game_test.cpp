@@ -1,0 +1,267 @@
+// Tests for the allocation game: the exact DP optimum (validated against
+// brute force), the online runners, and the competitive bounds of
+// Theorems 2 and 3 measured across workload families and parameter sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "analysis/allocation_game.hpp"
+#include "analysis/potential_audit.hpp"
+#include "analysis/workloads.hpp"
+#include "common/rng.hpp"
+
+namespace paso::analysis {
+namespace {
+
+/// Brute-force optimum: try all 2^T membership trajectories.
+Cost brute_force_opt(const RequestSequence& requests, const GameCosts& costs,
+                     bool start_in) {
+  const std::size_t n = requests.size();
+  Cost best = std::numeric_limits<Cost>::infinity();
+  for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    Cost total = 0;
+    bool prev_in = start_in;
+    for (std::size_t t = 0; t < n; ++t) {
+      const bool now_in = (mask >> t) & 1;
+      if (now_in && !prev_in) total += requests[t].join_cost;
+      if (requests[t].kind == ReqKind::kRead) {
+        total += now_in ? costs.read_in() : costs.read_out();
+      } else {
+        total += now_in ? GameCosts::update_in() : GameCosts::update_out();
+      }
+      prev_in = now_in;
+    }
+    best = std::min(best, total);
+  }
+  return best;
+}
+
+TEST(AllocationOptTest, MatchesBruteForceOnRandomSmallInstances) {
+  Rng rng(31337);
+  const GameCosts costs{1, 3};
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t len = 1 + rng.index(12);
+    RequestSequence requests;
+    for (std::size_t i = 0; i < len; ++i) {
+      requests.push_back(Request{
+          rng.chance(0.5) ? ReqKind::kRead : ReqKind::kUpdate,
+          static_cast<Cost>(1 + rng.index(6))});
+    }
+    const bool start_in = rng.chance(0.3);
+    const Cost dp = optimal_allocation(requests, costs, start_in).total;
+    const Cost brute = brute_force_opt(requests, costs, start_in);
+    ASSERT_NEAR(dp, brute, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(AllocationOptTest, TraceIsConsistentWithTotal) {
+  Rng rng(7);
+  const GameCosts costs{1, 2};
+  const auto requests = random_sequence(300, 0.6, 8, rng);
+  const OptResult opt = optimal_allocation(requests, costs, false);
+  // Recompute the cost of the traced trajectory; it must equal the DP total.
+  Cost total = 0;
+  bool prev_in = false;
+  for (std::size_t t = 0; t < requests.size(); ++t) {
+    const bool now_in = opt.in_group[t];
+    if (now_in && !prev_in) total += requests[t].join_cost;
+    if (requests[t].kind == ReqKind::kRead) {
+      total += now_in ? costs.read_in() : costs.read_out();
+    } else {
+      total += now_in ? GameCosts::update_in() : GameCosts::update_out();
+    }
+    prev_in = now_in;
+  }
+  EXPECT_NEAR(total, opt.total, 1e-9);
+}
+
+TEST(AllocationOptTest, PureReadsMeanJoinOnce) {
+  const GameCosts costs{1, 4};
+  RequestSequence requests(100, Request{ReqKind::kRead, 10});
+  const Cost opt = optimal_allocation(requests, costs, false).total;
+  // Join immediately (10) then read locally (100 * 1).
+  EXPECT_DOUBLE_EQ(opt, 110);
+}
+
+TEST(AllocationOptTest, PureUpdatesMeanStayOut) {
+  const GameCosts costs{1, 4};
+  RequestSequence requests(100, Request{ReqKind::kUpdate, 10});
+  EXPECT_DOUBLE_EQ(optimal_allocation(requests, costs, false).total, 0);
+}
+
+/// Independent reference implementation of the Basic counter's run, written
+/// from the paper's prose (not from the library code), to cross-check
+/// run_basic's cost accounting.
+Cost reference_basic_cost(const RequestSequence& requests,
+                          const GameCosts& costs, Cost k, Cost q) {
+  Cost total = 0;
+  Cost counter = 0;
+  bool in = false;
+  for (const Request& request : requests) {
+    if (request.kind == ReqKind::kRead) {
+      if (in) {
+        total += q;
+        counter = std::min(counter + q, k);
+      } else {
+        total += q * static_cast<Cost>(costs.read_group);
+        counter += q * static_cast<Cost>(costs.read_group);
+        if (counter >= k) {
+          total += request.join_cost;
+          counter = k;
+          in = true;
+        }
+      }
+    } else {
+      if (in) {
+        total += 1;
+        counter = std::max<Cost>(counter - 1, 0);
+        if (counter <= 0) in = false;
+      }
+    }
+  }
+  return total;
+}
+
+TEST(OnlineRunnerTest, MatchesIndependentReferenceImplementation) {
+  Rng rng(777);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t lambda = 1 + rng.index(4);
+    const Cost k = static_cast<Cost>(2 + rng.index(30));
+    const Cost q = static_cast<Cost>(1 + rng.index(4));
+    const GameCosts costs{q, lambda + 1};
+    const auto seq = random_sequence(3000, 0.3 + rng.uniform01() * 0.5, k,
+                                     rng);
+    const OnlineResult run = run_basic(
+        seq, costs, adaptive::CounterConfig{k, q, false, false});
+    const Cost reference = reference_basic_cost(seq, costs, k, q);
+    ASSERT_NEAR(run.total, reference, 1e-9)
+        << "trial " << trial << " lambda=" << lambda << " K=" << k
+        << " q=" << q;
+  }
+}
+
+TEST(OnlineRunnerTest, BasicPaysRemoteReadsUntilJoin) {
+  const GameCosts costs{1, 2};
+  RequestSequence requests(5, Request{ReqKind::kRead, 4});
+  const OnlineResult run =
+      run_basic(requests, costs, adaptive::CounterConfig{4, 1, false, false});
+  // Reads 1-2 remote (2 each, counter hits 4 -> join on read 2, +K), then
+  // local reads at 1.
+  EXPECT_EQ(run.joins, 1u);
+  EXPECT_DOUBLE_EQ(run.total, 2 + (2 + 4) + 1 + 1 + 1);
+}
+
+// --- competitive sweeps (Theorem 2) -----------------------------------------
+
+using SweepParam = std::tuple<std::size_t /*lambda*/, int /*K*/>;
+
+class Theorem2Sweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(Theorem2Sweep, RandomWorkloadsRespectTheBound) {
+  const auto [lambda, k] = GetParam();
+  const GameCosts costs{1, lambda + 1};
+  const adaptive::CounterConfig config{static_cast<Cost>(k), 1, false, false};
+  const double bound = theorem2_bound(lambda, k);
+  Rng rng(1000 + lambda * 31 + k);
+  for (double p_read : {0.2, 0.5, 0.8, 0.95}) {
+    const auto requests = random_sequence(4000, p_read, k, rng);
+    const auto cmp = compare_basic(requests, costs, config);
+    EXPECT_LE(cmp.ratio, bound + 1e-9)
+        << "lambda=" << lambda << " K=" << k << " p=" << p_read;
+  }
+}
+
+TEST_P(Theorem2Sweep, PhasedWorkloadsRespectTheBound) {
+  const auto [lambda, k] = GetParam();
+  const GameCosts costs{1, lambda + 1};
+  const adaptive::CounterConfig config{static_cast<Cost>(k), 1, false, false};
+  Rng rng(77 + lambda + k);
+  const auto requests = phased_sequence(PhasedOptions{}, k, rng);
+  const auto cmp = compare_basic(requests, costs, config);
+  EXPECT_LE(cmp.ratio, theorem2_bound(lambda, k) + 1e-9);
+}
+
+TEST_P(Theorem2Sweep, AdversaryStaysWithinButApproachesTheBound) {
+  const auto [lambda, k] = GetParam();
+  const GameCosts costs{1, lambda + 1};
+  const adaptive::CounterConfig config{static_cast<Cost>(k), 1, false, false};
+  const auto requests = adversarial_basic_sequence(50, k, costs);
+  const auto cmp = compare_basic(requests, costs, config);
+  EXPECT_LE(cmp.ratio, theorem2_bound(lambda, k) + 1e-9);
+  // The adversary should extract a decent fraction of the bound.
+  EXPECT_GE(cmp.ratio, 1.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LambdaK, Theorem2Sweep,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3),
+                       ::testing::Values(2, 4, 8, 16, 32)),
+    [](const auto& info) {
+      return "lambda" + std::to_string(std::get<0>(info.param)) + "_K" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// --- doubling/halving (Theorem 3) --------------------------------------------
+
+class Theorem3Sweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Theorem3Sweep, GrowthWorkloadsRespectTheBound) {
+  const std::size_t lambda = GetParam();
+  const GameCosts costs{1, lambda + 1};
+  Rng rng(555 + lambda);
+  GrowthOptions options;
+  options.initial_objects = 8;
+  const auto requests = growth_sequence(options, rng);
+  const adaptive::DoublingAutomaton::Config config{8, 1, false, false};
+  const auto cmp = compare_doubling(requests, costs, config);
+  // Theorem 3: 6 + 2*lambda/K with K the (smallest) tracked join cost; use
+  // K = 1 for the most conservative reading of the bound.
+  EXPECT_LE(cmp.ratio, theorem3_bound(lambda, 1) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambda, Theorem3Sweep,
+                         ::testing::Values<std::size_t>(1, 2, 3),
+                         [](const auto& info) {
+                           return "lambda" + std::to_string(info.param);
+                         });
+
+// --- potential audit ------------------------------------------------------------
+
+class AuditSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(AuditSweep, EventWiseAmortizedInequalityHolds) {
+  const auto [lambda, k] = GetParam();
+  const GameCosts costs{1, lambda + 1};
+  const adaptive::CounterConfig config{static_cast<Cost>(k), 1, false, false};
+  Rng rng(31 * lambda + k);
+  for (double p_read : {0.3, 0.7}) {
+    const auto requests = random_sequence(2000, p_read, k, rng);
+    const AuditResult audit = audit_potential(requests, costs, config);
+    EXPECT_TRUE(audit.ok) << audit.first_violation;
+    EXPECT_EQ(audit.events_checked, requests.size());
+  }
+  const auto adversarial = adversarial_basic_sequence(40, k, costs);
+  const AuditResult audit = audit_potential(adversarial, costs, config);
+  EXPECT_TRUE(audit.ok) << audit.first_violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LambdaK, AuditSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3),
+                       ::testing::Values(2, 4, 8, 16)),
+    [](const auto& info) {
+      return "lambda" + std::to_string(std::get<0>(info.param)) + "_K" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(AuditTest, RejectsMixedJoinCosts) {
+  RequestSequence requests{Request{ReqKind::kRead, 4},
+                           Request{ReqKind::kRead, 8}};
+  EXPECT_THROW(audit_potential(requests, GameCosts{1, 2},
+                               adaptive::CounterConfig{4, 1, false, false}),
+               InvariantViolation);
+}
+
+}  // namespace
+}  // namespace paso::analysis

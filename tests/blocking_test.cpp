@@ -1,0 +1,189 @@
+// Tests for the blocking read / read&del variants (Section 4.3): busy-wait
+// polling, read markers with the hybrid expiry scheme, and the claim/retry
+// realization of marker-based read&del.
+#include <gtest/gtest.h>
+
+#include "paso/cluster.hpp"
+#include "semantics/checker.hpp"
+
+namespace paso {
+namespace {
+
+Schema task_schema() {
+  return Schema({
+      ClassSpec{"task", {FieldType::kInt, FieldType::kText}, 0, 1},
+  });
+}
+
+Tuple task(std::int64_t key, const std::string& text) {
+  return {Value{key}, Value{text}};
+}
+
+SearchCriterion by_key(std::int64_t key) {
+  return criterion(Exact{Value{key}}, TypedAny{FieldType::kText});
+}
+
+class BlockingTest : public ::testing::TestWithParam<BlockingMode> {
+ protected:
+  BlockingTest() : cluster_(task_schema(), config()) {
+    cluster_.assign_basic_support();
+  }
+
+  static ClusterConfig config() {
+    ClusterConfig cfg;
+    cfg.machines = 5;
+    cfg.lambda = 1;
+    cfg.runtime.poll_interval = 50;
+    cfg.runtime.marker_ttl = 1000;
+    return cfg;
+  }
+
+  Cluster cluster_;
+};
+
+TEST_P(BlockingTest, ReturnsImmediatelyWhenObjectPresent) {
+  const ProcessId p = cluster_.process(MachineId{4});
+  ASSERT_TRUE(cluster_.insert_sync(p, task(1, "ready")));
+  const auto found =
+      cluster_.read_blocking_sync(p, by_key(1), GetParam(), 1e9);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(std::get<std::string>(found->fields[1]), "ready");
+}
+
+TEST_P(BlockingTest, WakesUpOnLaterInsert) {
+  const ProcessId reader = cluster_.process(MachineId{4});
+  const ProcessId writer = cluster_.process(MachineId{0});
+
+  SearchResponse result;
+  bool done = false;
+  cluster_.runtime(reader.machine)
+      .read_blocking(reader, by_key(7),
+                     [&](SearchResponse r) {
+                       result = std::move(r);
+                       done = true;
+                     },
+                     GetParam(), 1e9);
+  // Let the blocking machinery arm itself, then insert.
+  cluster_.settle_for(5000);
+  EXPECT_FALSE(done);
+  cluster_.runtime(writer.machine).insert(writer, task(7, "late"), {});
+  cluster_.simulator().run_while_pending([&] { return done; });
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(std::get<std::string>(result->fields[1]), "late");
+
+  const auto check = semantics::check_history(cluster_.history());
+  EXPECT_TRUE(check.ok()) << check.violations.front();
+}
+
+TEST_P(BlockingTest, DeadlineExpiresWithFail) {
+  const ProcessId p = cluster_.process(MachineId{2});
+  const auto deadline = cluster_.simulator().now() + 3000;
+  const auto result =
+      cluster_.read_blocking_sync(p, by_key(404), GetParam(), deadline);
+  EXPECT_FALSE(result.has_value());
+  EXPECT_GE(cluster_.simulator().now(), 3000.0);
+}
+
+TEST_P(BlockingTest, BlockingReadDelConsumesExactlyOnce) {
+  const ProcessId a = cluster_.process(MachineId{3});
+  const ProcessId b = cluster_.process(MachineId{4});
+  const ProcessId writer = cluster_.process(MachineId{0});
+
+  SearchResponse ra, rb;
+  int done = 0;
+  cluster_.runtime(a.machine)
+      .read_del_blocking(a, by_key(5),
+                         [&](SearchResponse r) {
+                           ra = std::move(r);
+                           ++done;
+                         },
+                         GetParam(), 1e9);
+  cluster_.runtime(b.machine)
+      .read_del_blocking(b, by_key(5),
+                         [&](SearchResponse r) {
+                           rb = std::move(r);
+                           ++done;
+                         },
+                         GetParam(), 1e9);
+  cluster_.settle_for(2000);
+  EXPECT_EQ(done, 0);
+
+  // One object: exactly one waiter may win it.
+  cluster_.runtime(writer.machine).insert(writer, task(5, "prize"), {});
+  cluster_.simulator().run_while_pending([&] { return done == 1; });
+  EXPECT_EQ(done, 1);
+  EXPECT_TRUE(ra.has_value() != rb.has_value());
+
+  // A second object satisfies the loser.
+  cluster_.runtime(writer.machine).insert(writer, task(5, "consolation"), {});
+  cluster_.simulator().run_while_pending([&] { return done == 2; });
+  EXPECT_EQ(done, 2);
+  EXPECT_TRUE(ra.has_value() && rb.has_value());
+  EXPECT_NE(ra->id, rb->id);
+
+  const auto check = semantics::check_history(cluster_.history());
+  EXPECT_TRUE(check.ok()) << check.violations.front();
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, BlockingTest,
+                         ::testing::Values(BlockingMode::kPoll,
+                                           BlockingMode::kMarker),
+                         [](const auto& info) {
+                           return info.param == BlockingMode::kPoll
+                                      ? "Poll"
+                                      : "Marker";
+                         });
+
+TEST(BlockingMarkerTest, MarkerSurvivesExpiryViaRearm) {
+  ClusterConfig cfg;
+  cfg.machines = 4;
+  cfg.lambda = 1;
+  cfg.runtime.marker_ttl = 200;  // short TTL: several re-arm rounds
+  Cluster cluster(task_schema(), cfg);
+  cluster.assign_basic_support();
+
+  const ProcessId reader = cluster.process(MachineId{3});
+  const ProcessId writer = cluster.process(MachineId{0});
+  SearchResponse result;
+  bool done = false;
+  cluster.runtime(reader.machine)
+      .read_blocking(reader, by_key(1),
+                     [&](SearchResponse r) {
+                       result = std::move(r);
+                       done = true;
+                     },
+                     BlockingMode::kMarker, 1e9);
+  cluster.settle_for(1500);  // many TTL periods pass
+  EXPECT_FALSE(done);
+  cluster.runtime(writer.machine).insert(writer, task(1, "finally"), {});
+  cluster.simulator().run_while_pending([&] { return done; });
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(result.has_value());
+}
+
+TEST(BlockingMarkerTest, CancelledMarkersDoNotFireAgain) {
+  ClusterConfig cfg;
+  cfg.machines = 4;
+  cfg.lambda = 1;
+  Cluster cluster(task_schema(), cfg);
+  cluster.assign_basic_support();
+
+  const ProcessId reader = cluster.process(MachineId{3});
+  const ProcessId writer = cluster.process(MachineId{0});
+  int completions = 0;
+  cluster.runtime(reader.machine)
+      .read_blocking(reader, by_key(1),
+                     [&](SearchResponse) { ++completions; },
+                     BlockingMode::kMarker, 1e9);
+  cluster.settle_for(500);
+  // Two inserts; the blocking read completes once, markers are cancelled,
+  // and the second matching insert must not re-trigger the callback.
+  ASSERT_TRUE(cluster.insert_sync(writer, task(1, "a")));
+  ASSERT_TRUE(cluster.insert_sync(writer, task(1, "b")));
+  cluster.settle_for(5000);
+  EXPECT_EQ(completions, 1);
+}
+
+}  // namespace
+}  // namespace paso

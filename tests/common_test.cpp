@@ -1,0 +1,86 @@
+// Tests for the small common utilities: the cost model and triple
+// arithmetic, invariant macro behaviour, id ordering/hashing, logging.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/cost.hpp"
+#include "common/ids.hpp"
+#include "common/logging.hpp"
+#include "common/require.hpp"
+
+namespace paso {
+namespace {
+
+TEST(CostTripleTest, AdditionIsComponentwise) {
+  CostTriple a{10, 2, 5};
+  const CostTriple b{1, 3, 4};
+  a += b;
+  EXPECT_EQ(a, (CostTriple{11, 5, 9}));
+  EXPECT_EQ(a + b, (CostTriple{12, 8, 13}));
+}
+
+TEST(CostTripleTest, StreamsReadably) {
+  std::ostringstream os;
+  os << CostTriple{1, 2, 3};
+  EXPECT_EQ(os.str(), "{msg=1, time=2, work=3}");
+}
+
+TEST(CostModelTest, ZeroBetaMakesCostLengthIndependent) {
+  const CostModel model{5.0, 0.0};
+  EXPECT_DOUBLE_EQ(model.message(0), model.message(100000));
+}
+
+TEST(CostModelTest, GcastOfEmptyGroupIsJustTheResponse) {
+  const CostModel model{10.0, 1.0};
+  EXPECT_DOUBLE_EQ(model.gcast(0, 50, 20), 10.0 + 20.0);
+}
+
+TEST(RequireTest, PassesSilentlyAndThrowsWithContext) {
+  EXPECT_NO_THROW(PASO_REQUIRE(1 + 1 == 2, "math"));
+  try {
+    PASO_REQUIRE(false, "the message");
+    FAIL() << "should have thrown";
+  } catch (const InvariantViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("the message"), std::string::npos);
+    EXPECT_NE(what.find("common_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(IdsTest, OrderingIsLexicographic) {
+  EXPECT_LT(MachineId{1}, MachineId{2});
+  EXPECT_LT((ProcessId{MachineId{1}, 9}), (ProcessId{MachineId{2}, 0}));
+  EXPECT_LT((ObjectId{ProcessId{MachineId{1}, 0}, 5}),
+            (ObjectId{ProcessId{MachineId{1}, 0}, 6}));
+}
+
+TEST(IdsTest, HashesDistinguishNearbyIds) {
+  std::unordered_set<ObjectId> ids;
+  for (std::uint32_t m = 0; m < 8; ++m) {
+    for (std::uint32_t p = 0; p < 4; ++p) {
+      for (std::uint64_t s = 0; s < 32; ++s) {
+        ids.insert(ObjectId{ProcessId{MachineId{m}, p}, s});
+      }
+    }
+  }
+  EXPECT_EQ(ids.size(), 8u * 4u * 32u);
+}
+
+TEST(IdsTest, StreamFormats) {
+  std::ostringstream os;
+  os << ObjectId{ProcessId{MachineId{3}, 1}, 42};
+  EXPECT_EQ(os.str(), "M3.p1#42");
+}
+
+TEST(LoggingTest, LevelGatesOutput) {
+  Logger::instance().set_level(LogLevel::kOff);
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  Logger::instance().set_level(LogLevel::kInfo);
+  EXPECT_TRUE(log_enabled(LogLevel::kWarn));
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  Logger::instance().set_level(LogLevel::kOff);  // restore
+}
+
+}  // namespace
+}  // namespace paso

@@ -1,0 +1,115 @@
+// Tests for the CompositeStore: index twin consistency, query routing, and
+// end-to-end use as a class store.
+#include <gtest/gtest.h>
+
+#include "paso/cluster.hpp"
+#include "storage/composite_store.hpp"
+
+namespace paso::storage {
+namespace {
+
+PasoObject make_object(std::uint64_t seq, std::int64_t key) {
+  PasoObject o;
+  o.id = ObjectId{ProcessId{MachineId{0}, 0}, seq};
+  o.fields = {Value{key}, Value{std::string{"v"}}};
+  return o;
+}
+
+TEST(CompositeStoreTest, ServesExactRangeAndScanQueries) {
+  CompositeStore store(0);
+  for (std::int64_t k = 0; k < 20; ++k) {
+    store.store(make_object(static_cast<std::uint64_t>(k), k * 10), k);
+  }
+  EXPECT_TRUE(
+      store.find(criterion(Exact{Value{std::int64_t{50}}}, AnyField{}))
+          .has_value());
+  EXPECT_TRUE(
+      store.find(criterion(IntRange{44, 52}, AnyField{})).has_value());
+  EXPECT_TRUE(store.find(criterion(TypedAny{FieldType::kInt},
+                                   TextPrefix{"v"}))
+                  .has_value());
+  EXPECT_FALSE(
+      store.find(criterion(Exact{Value{std::int64_t{55}}}, AnyField{}))
+          .has_value());
+}
+
+TEST(CompositeStoreTest, QueryRoutingPicksTheCheapIndex) {
+  CompositeStore store(0);
+  for (std::int64_t k = 0; k < 1000; ++k) {
+    store.store(make_object(static_cast<std::uint64_t>(k), k), k);
+  }
+  // Exact: hash cost 1. Range: ordered cost log.
+  EXPECT_DOUBLE_EQ(
+      store.query_cost_for(criterion(Exact{Value{std::int64_t{5}}},
+                                     AnyField{})),
+      1.0);
+  EXPECT_GE(store.query_cost_for(criterion(IntRange{1, 5}, AnyField{})),
+            9.0);
+  // Updates pay both indexes.
+  EXPECT_DOUBLE_EQ(store.insert_cost(), 2.0);
+}
+
+TEST(CompositeStoreTest, RemoveKeepsIndexesAligned) {
+  CompositeStore store(0);
+  store.store(make_object(1, 5), 0);
+  store.store(make_object(2, 5), 1);
+  const auto removed =
+      store.remove(criterion(IntRange{0, 10}, AnyField{}));
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(removed->id.sequence, 1u);  // oldest
+  // The other index must agree the object is gone.
+  const auto via_hash =
+      store.find(criterion(Exact{Value{std::int64_t{5}}}, AnyField{}));
+  ASSERT_TRUE(via_hash.has_value());
+  EXPECT_EQ(via_hash->id.sequence, 2u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(CompositeStoreTest, SnapshotLoadRebuildsBothIndexes) {
+  CompositeStore store(0);
+  for (std::int64_t k = 0; k < 10; ++k) {
+    store.store(make_object(static_cast<std::uint64_t>(k), k), k);
+  }
+  CompositeStore twin(0);
+  twin.load(store.snapshot());
+  EXPECT_EQ(twin.size(), 10u);
+  EXPECT_TRUE(twin.find(criterion(IntRange{3, 4}, AnyField{})).has_value());
+  EXPECT_TRUE(
+      twin.find(criterion(Exact{Value{std::int64_t{7}}}, AnyField{}))
+          .has_value());
+}
+
+TEST(CompositeStoreTest, EndToEndAsClassStore) {
+  Schema schema({ClassSpec{"kv", {FieldType::kInt, FieldType::kText}, 0, 1}});
+  ClusterConfig cfg;
+  cfg.machines = 4;
+  cfg.lambda = 1;
+  cfg.store_factory = [](ClassId) {
+    return std::make_unique<CompositeStore>(0);
+  };
+  Cluster cluster(std::move(schema), cfg);
+  cluster.assign_basic_support();
+  const ProcessId p = cluster.process(MachineId{0});
+  for (int k = 0; k < 25; ++k) {
+    ASSERT_TRUE(cluster.insert_sync(
+        p, {Value{std::int64_t{k}}, Value{std::string{"x"}}}));
+  }
+  EXPECT_TRUE(cluster
+                  .read_sync(p, criterion(IntRange{20, 30},
+                                          TypedAny{FieldType::kText}))
+                  .has_value());
+  EXPECT_TRUE(cluster
+                  .read_del_sync(p, criterion(Exact{Value{std::int64_t{3}}},
+                                              TypedAny{FieldType::kText}))
+                  .has_value());
+  // Survives crash/recovery like any other store kind.
+  const auto support = cluster.basic_support(ClassId{0});
+  cluster.crash(support[0]);
+  cluster.settle();
+  cluster.recover(support[0]);
+  cluster.settle();
+  EXPECT_EQ(cluster.server(support[0]).live_count(ClassId{0}), 24u);
+}
+
+}  // namespace
+}  // namespace paso::storage

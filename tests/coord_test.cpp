@@ -1,0 +1,261 @@
+// Tests for the coordination library: locks, semaphores, barriers, atomic
+// counters and FIFO queues built purely on the PASO primitives — including
+// their behaviour under crashes (the structures live in replicated memory).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "coord/coord.hpp"
+#include "semantics/checker.hpp"
+
+namespace paso::coord {
+namespace {
+
+class CoordTest : public ::testing::Test {
+ protected:
+  CoordTest() : cluster_(Schema(schema_specs()), config()) {
+    cluster_.assign_basic_support();
+  }
+
+  static ClusterConfig config() {
+    ClusterConfig cfg;
+    cfg.machines = 6;
+    cfg.lambda = 1;
+    return cfg;
+  }
+
+  ProcessId process(std::uint32_t machine, std::uint32_t ordinal = 0) {
+    return cluster_.process(MachineId{machine}, ordinal);
+  }
+
+  void run_until(const std::function<bool()>& done) {
+    ASSERT_TRUE(cluster_.simulator().run_while_pending(done));
+  }
+
+  void expect_clean_history() {
+    const auto check = semantics::check_history(cluster_.history());
+    EXPECT_TRUE(check.ok()) << check.violations.front();
+  }
+
+  Cluster cluster_;
+};
+
+TEST_F(CoordTest, LockProvidesMutualExclusion) {
+  DistributedLock lock(cluster_, "m");
+  lock.create(process(0));
+
+  int holders = 0;
+  int max_holders = 0;
+  int completed = 0;
+  // Five contenders on five machines; each holds the lock over a few
+  // simulated milliseconds of "work" and releases.
+  for (std::uint32_t m = 1; m <= 5; ++m) {
+    const ProcessId p = process(m);
+    lock.acquire(p, [&, p](bool ok) {
+      ASSERT_TRUE(ok);
+      ++holders;
+      max_holders = std::max(max_holders, holders);
+      cluster_.simulator().schedule_after(500, [&, p] {
+        --holders;
+        ++completed;
+        lock.release(p);
+      });
+    });
+  }
+  run_until([&] { return completed == 5; });
+  EXPECT_EQ(max_holders, 1);  // never two holders at once
+  expect_clean_history();
+}
+
+TEST_F(CoordTest, LockAcquireRespectsDeadline) {
+  DistributedLock lock(cluster_, "m");
+  lock.create(process(0));
+  bool first = false;
+  lock.acquire(process(1), [&first](bool ok) { first = ok; });
+  run_until([&] { return first; });
+  // Second acquire with a deadline while the lock is held: must fail.
+  std::optional<bool> second;
+  lock.acquire(process(2), [&second](bool ok) { second = ok; },
+               cluster_.simulator().now() + 2000);
+  run_until([&] { return second.has_value(); });
+  EXPECT_FALSE(*second);
+}
+
+TEST_F(CoordTest, SemaphoreAdmitsAtMostPermits) {
+  Semaphore sem(cluster_, "s");
+  sem.create(process(0), 2);
+  int inside = 0;
+  int max_inside = 0;
+  int completed = 0;
+  for (std::uint32_t m = 1; m <= 5; ++m) {
+    const ProcessId p = process(m);
+    sem.acquire(p, [&, p](bool ok) {
+      ASSERT_TRUE(ok);
+      ++inside;
+      max_inside = std::max(max_inside, inside);
+      cluster_.simulator().schedule_after(400, [&, p] {
+        --inside;
+        ++completed;
+        sem.release(p);
+      });
+    });
+  }
+  run_until([&] { return completed == 5; });
+  EXPECT_LE(max_inside, 2);
+  EXPECT_GE(max_inside, 2);  // with 5 contenders both permits get used
+}
+
+TEST_F(CoordTest, BarrierReleasesAllPartiesTogether) {
+  constexpr std::size_t kParties = 4;
+  Barrier barrier(cluster_, "b", kParties);
+  barrier.create(process(0));
+
+  int released = 0;
+  for (std::uint32_t m = 1; m <= 3; ++m) {
+    barrier.arrive(process(m), [&released] { ++released; });
+  }
+  cluster_.settle_for(3000);
+  EXPECT_EQ(released, 0);  // three of four arrived: nobody released
+  barrier.arrive(process(4), [&released] { ++released; });
+  run_until([&] { return released == 4; });
+  EXPECT_EQ(released, 4);
+}
+
+TEST_F(CoordTest, BarrierIsReusableAcrossGenerations) {
+  constexpr std::size_t kParties = 3;
+  Barrier barrier(cluster_, "b", kParties);
+  barrier.create(process(0));
+  for (int generation = 0; generation < 4; ++generation) {
+    int released = 0;
+    for (std::uint32_t m = 1; m <= 3; ++m) {
+      barrier.arrive(process(m), [&released] { ++released; });
+    }
+    run_until([&] { return released == 3; });
+  }
+  expect_clean_history();
+}
+
+TEST_F(CoordTest, AtomicCounterSerializesFetchAdds) {
+  AtomicCounter counter(cluster_, "c");
+  counter.create(process(0), 100);
+
+  std::multiset<std::int64_t> olds;
+  int done = 0;
+  for (std::uint32_t m = 1; m <= 5; ++m) {
+    counter.fetch_add(process(m), 1, [&](std::int64_t old) {
+      olds.insert(old);
+      ++done;
+    });
+  }
+  run_until([&] { return done == 5; });
+  // Every fetch_add observed a distinct previous value 100..104.
+  EXPECT_EQ(olds, (std::multiset<std::int64_t>{100, 101, 102, 103, 104}));
+  std::optional<std::int64_t> final_value;
+  counter.read(process(0), [&](std::int64_t v) { final_value = v; });
+  run_until([&] { return final_value.has_value(); });
+  EXPECT_EQ(*final_value, 105);
+}
+
+TEST_F(CoordTest, QueuePreservesPerProducerOrder) {
+  TupleQueue queue(cluster_, "q");
+  queue.create(process(0));
+
+  // Two producers, each pushing its items *sequentially* (chained on the
+  // push completion). The queue's total order may interleave the producers
+  // arbitrarily, but each producer's own items must come out in order.
+  int pushed = 0;
+  std::function<void(std::uint32_t, int)> push_chain =
+      [&](std::uint32_t machine, int index) {
+        if (index == 3) return;
+        queue.push(process(machine),
+                   "p" + std::to_string(machine) + "-" + std::to_string(index),
+                   [&, machine, index] {
+                     ++pushed;
+                     push_chain(machine, index + 1);
+                   });
+      };
+  push_chain(1, 0);
+  push_chain(2, 0);
+  run_until([&] { return pushed == 6; });
+
+  std::vector<std::string> popped;
+  int pops = 0;
+  for (int i = 0; i < 6; ++i) {
+    queue.pop(process(3 + (i % 3)), [&](std::optional<std::string> item) {
+      ASSERT_TRUE(item.has_value());
+      popped.push_back(*item);
+      ++pops;
+    });
+  }
+  run_until([&] { return pops == 6; });
+  ASSERT_EQ(popped.size(), 6u);
+  for (const std::uint32_t producer : {1u, 2u}) {
+    std::vector<std::string> mine;
+    const std::string prefix = "p" + std::to_string(producer) + "-";
+    for (const std::string& item : popped) {
+      if (item.starts_with(prefix)) mine.push_back(item);
+    }
+    ASSERT_EQ(mine.size(), 3u);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(mine[static_cast<std::size_t>(i)],
+                prefix + std::to_string(i));
+    }
+  }
+}
+
+TEST_F(CoordTest, QueuePopBlocksUntilPush) {
+  TupleQueue queue(cluster_, "q");
+  queue.create(process(0));
+  std::optional<std::string> item;
+  bool done = false;
+  queue.pop(process(4), [&](std::optional<std::string> payload) {
+    item = std::move(payload);
+    done = true;
+  });
+  cluster_.settle_for(2000);
+  EXPECT_FALSE(done);
+  queue.push(process(1), "late-arrival");
+  run_until([&] { return done; });
+  EXPECT_EQ(*item, "late-arrival");
+}
+
+TEST_F(CoordTest, StructuresSurviveAReplicaCrash) {
+  AtomicCounter counter(cluster_, "c");
+  counter.create(process(0), 0);
+  cluster_.settle();
+
+  // Find a write-group member of the counter's class and crash it.
+  const Tuple probe = {Value{std::string{"ctr/c"}}, Value{std::int64_t{0}},
+                       Value{std::int64_t{0}}, Value{std::string{}}};
+  const auto cls = cluster_.schema().classify(probe);
+  ASSERT_TRUE(cls.has_value());
+  const auto support = cluster_.basic_support(*cls);
+  cluster_.crash(support[0]);
+  cluster_.settle();
+
+  // Issue from machines that are still up (a crashed machine's processes
+  // died with it).
+  std::vector<std::uint32_t> up;
+  for (std::uint32_t m = 0; m < cluster_.machine_count() && up.size() < 4;
+       ++m) {
+    if (cluster_.is_up(MachineId{m})) up.push_back(m);
+  }
+  ASSERT_GE(up.size(), 4u);
+  int done = 0;
+  for (int i = 0; i < 3; ++i) {
+    counter.fetch_add(process(up[static_cast<std::size_t>(i)]), 10,
+                      [&done](std::int64_t) { ++done; });
+  }
+  run_until([&] { return done == 3; });
+  std::optional<std::int64_t> value;
+  counter.read(process(up[3]), [&](std::int64_t v) { value = v; });
+  run_until([&] { return value.has_value(); });
+  EXPECT_EQ(*value, 30);
+
+  cluster_.recover(support[0]);
+  cluster_.settle();
+  expect_clean_history();
+}
+
+}  // namespace
+}  // namespace paso::coord

@@ -1,0 +1,121 @@
+// Tests for the Basic counter automaton and its doubling/halving extension
+// (Section 5.1).
+#include <gtest/gtest.h>
+
+#include "adaptive/counter.hpp"
+#include "adaptive/doubling.hpp"
+
+namespace paso::adaptive {
+namespace {
+
+TEST(CounterTest, NonMemberJoinsWhenCounterReachesK) {
+  CounterAutomaton automaton(CounterConfig{6, 1, false, false});
+  EXPECT_FALSE(automaton.in_group());
+  // Each remote read with rg = 2 adds 2; the third read crosses K = 6.
+  EXPECT_EQ(automaton.on_read(2), CounterAction::kNone);
+  EXPECT_EQ(automaton.on_read(2), CounterAction::kNone);
+  EXPECT_EQ(automaton.on_read(2), CounterAction::kJoin);
+  EXPECT_TRUE(automaton.in_group());
+  EXPECT_DOUBLE_EQ(automaton.counter(), 6);
+}
+
+TEST(CounterTest, MemberLeavesAfterKUpdates) {
+  CounterAutomaton automaton(CounterConfig{3, 1, false, true});
+  EXPECT_TRUE(automaton.in_group());
+  EXPECT_EQ(automaton.on_update(), CounterAction::kNone);
+  EXPECT_EQ(automaton.on_update(), CounterAction::kNone);
+  EXPECT_EQ(automaton.on_update(), CounterAction::kLeave);
+  EXPECT_FALSE(automaton.in_group());
+}
+
+TEST(CounterTest, LocalReadsCapAtK) {
+  CounterAutomaton automaton(CounterConfig{4, 1, false, true});
+  for (int i = 0; i < 10; ++i) automaton.on_read(0);
+  EXPECT_DOUBLE_EQ(automaton.counter(), 4);  // min{c+1, K}, not max
+}
+
+TEST(CounterTest, UpdatesFloorAtZeroForBasicMembers) {
+  CounterAutomaton automaton(CounterConfig{4, 1, /*is_basic=*/true, false});
+  EXPECT_TRUE(automaton.in_group());  // basic members are always in
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(automaton.on_update(), CounterAction::kNone);  // never leaves
+  }
+  EXPECT_DOUBLE_EQ(automaton.counter(), 0);  // max{c-1, 0}, not min
+  EXPECT_TRUE(automaton.in_group());
+}
+
+TEST(CounterTest, ReadsRechargeAMemberTowardStaying) {
+  CounterAutomaton automaton(CounterConfig{4, 1, false, true});
+  automaton.on_update();
+  automaton.on_update();
+  automaton.on_update();  // c = 1
+  automaton.on_read(0);   // local read recharges: c = 2
+  automaton.on_update();
+  EXPECT_EQ(automaton.on_update(), CounterAction::kLeave);
+}
+
+TEST(CounterTest, QueryCostScalesIncrements) {
+  // Data-structure extension: q = 3, rg = 2 -> each remote read adds 6.
+  CounterAutomaton automaton(CounterConfig{12, 3, false, false});
+  EXPECT_EQ(automaton.on_read(2), CounterAction::kNone);
+  EXPECT_EQ(automaton.on_read(2), CounterAction::kJoin);
+}
+
+TEST(CounterTest, ForceMembershipResyncsState) {
+  CounterAutomaton automaton(CounterConfig{4, 1, false, true});
+  automaton.force_membership(false);  // crash evicted the machine
+  EXPECT_FALSE(automaton.in_group());
+  EXPECT_DOUBLE_EQ(automaton.counter(), 0);
+}
+
+TEST(CounterTest, RejectsNonPositiveParameters) {
+  EXPECT_THROW(CounterAutomaton(CounterConfig{0, 1, false, false}),
+               InvariantViolation);
+  EXPECT_THROW(CounterAutomaton(CounterConfig{4, 0, false, false}),
+               InvariantViolation);
+}
+
+TEST(DoublingTest, TracksJoinCostWithinFactorTwo) {
+  DoublingAutomaton automaton({8, 1, false, false});
+  automaton.observe_join_cost(8);
+  EXPECT_DOUBLE_EQ(automaton.tracked_join_cost(), 8);
+  automaton.observe_join_cost(40);  // grew by 5x: doubles to 16 then 32
+  EXPECT_DOUBLE_EQ(automaton.tracked_join_cost(), 32);
+  automaton.observe_join_cost(3);  // shrank: halves to 16, 8, then 4
+  EXPECT_DOUBLE_EQ(automaton.tracked_join_cost(), 4);
+}
+
+TEST(DoublingTest, TrackedKStaysWithinFactorTwoOfObserved) {
+  DoublingAutomaton automaton({8, 1, false, false});
+  for (const Cost k : {1.0, 5.0, 17.0, 200.0, 30.0, 2.0, 1000.0}) {
+    automaton.observe_join_cost(k);
+    EXPECT_LE(automaton.tracked_join_cost(), 2 * k);
+    EXPECT_GT(automaton.tracked_join_cost(), k / 2);
+  }
+}
+
+TEST(DoublingTest, HalvingClampsTheCounter) {
+  DoublingAutomaton automaton({16, 1, false, false});
+  // Build the counter up to 14 with remote reads (rg = 2).
+  for (int i = 0; i < 7; ++i) automaton.on_read(2, 16);
+  EXPECT_DOUBLE_EQ(automaton.counter(), 14);
+  // K collapses to ~4: the counter must clamp to the new K...
+  automaton.on_read(2, 4);
+  // ...which also means the read crosses the threshold and joins.
+  EXPECT_TRUE(automaton.in_group());
+  EXPECT_LE(automaton.counter(), 8);
+}
+
+TEST(DoublingTest, JoinsAndLeavesLikeBasicWhenKIsStable) {
+  DoublingAutomaton automaton({6, 1, false, false});
+  EXPECT_EQ(automaton.on_read(2, 6), CounterAction::kNone);
+  EXPECT_EQ(automaton.on_read(2, 6), CounterAction::kNone);
+  EXPECT_EQ(automaton.on_read(2, 6), CounterAction::kJoin);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(automaton.on_update(6), CounterAction::kNone);
+  }
+  EXPECT_EQ(automaton.on_update(6), CounterAction::kLeave);
+}
+
+}  // namespace
+}  // namespace paso::adaptive

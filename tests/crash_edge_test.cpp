@@ -1,0 +1,167 @@
+// Edge cases at the crash boundary: notifications to dead owners, blocking
+// ops orphaned by their machine's death, lock token recovery, and inserts
+// racing a support member's crash.
+#include <gtest/gtest.h>
+
+#include "coord/coord.hpp"
+#include "paso/cluster.hpp"
+#include "semantics/checker.hpp"
+
+namespace paso {
+namespace {
+
+Schema task_schema() {
+  return Schema({ClassSpec{"t", {FieldType::kInt, FieldType::kText}, 0, 1}});
+}
+
+SearchCriterion by_key(std::int64_t key) {
+  return criterion(Exact{Value{key}}, TypedAny{FieldType::kText});
+}
+
+TEST(CrashEdgeTest, MarkerNotificationToDeadOwnerIsDropped) {
+  ClusterConfig cfg;
+  cfg.machines = 5;
+  cfg.lambda = 1;
+  Cluster cluster(task_schema(), cfg);
+  cluster.assign_basic_support();
+
+  // M4 blocks on a key, then dies. A matching insert must not blow up the
+  // system when the notification finds no live owner.
+  const ProcessId waiter = cluster.process(MachineId{4});
+  bool fired = false;
+  cluster.runtime(MachineId{4}).read_blocking(
+      waiter, by_key(7), [&fired](SearchResponse) { fired = true; },
+      BlockingMode::kMarker, 1e9);
+  cluster.settle_for(500);
+  cluster.crash(MachineId{4});
+  cluster.settle();
+
+  const ProcessId writer = cluster.process(MachineId{0});
+  ASSERT_TRUE(cluster.insert_sync(
+      writer, {Value{std::int64_t{7}}, Value{std::string{"x"}}}));
+  cluster.settle_for(10000);
+  EXPECT_FALSE(fired);  // the waiting process died with its machine
+  // The object is untouched (a read marker does not consume).
+  EXPECT_TRUE(cluster.read_sync(writer, by_key(7)).has_value());
+  const auto check = semantics::check_history(cluster.history());
+  EXPECT_TRUE(check.ok()) << check.violations.front();
+}
+
+TEST(CrashEdgeTest, RecoveredMachineCanBlockAgain) {
+  ClusterConfig cfg;
+  cfg.machines = 5;
+  cfg.lambda = 1;
+  Cluster cluster(task_schema(), cfg);
+  cluster.assign_basic_support();
+  const MachineId m{4};
+  bool orphan_fired = false;
+  cluster.runtime(m).read_blocking(
+      cluster.process(m), by_key(1),
+      [&orphan_fired](SearchResponse) { orphan_fired = true; },
+      BlockingMode::kMarker, 1e9);
+  cluster.settle_for(200);
+  cluster.crash(m);
+  cluster.settle();
+  cluster.recover(m);
+  cluster.settle();
+
+  // A fresh blocking op on the restarted machine works; the orphaned one
+  // never fires.
+  SearchResponse result;
+  cluster.runtime(m).read_blocking(
+      cluster.process(m), by_key(2),
+      [&result](SearchResponse r) { result = std::move(r); },
+      BlockingMode::kMarker, 1e9);
+  cluster.settle_for(200);
+  const ProcessId writer = cluster.process(MachineId{0});
+  cluster.runtime(MachineId{0})
+      .insert(writer, {Value{std::int64_t{2}}, Value{std::string{"y"}}}, {});
+  cluster.simulator().run_while_pending(
+      [&result] { return result.has_value(); });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(orphan_fired);
+}
+
+TEST(CrashEdgeTest, LockTokenLostWithHolderCanBeForceReleased) {
+  Cluster cluster(Schema(coord::schema_specs()), [] {
+    ClusterConfig cfg;
+    cfg.machines = 6;
+    cfg.lambda = 1;
+    return cfg;
+  }());
+  cluster.assign_basic_support();
+  coord::DistributedLock lock(cluster, "m");
+  lock.create(cluster.process(MachineId{0}));
+
+  // M4 acquires and dies holding the lock.
+  bool held = false;
+  lock.acquire(cluster.process(MachineId{4}),
+               [&held](bool ok) { held = ok; });
+  cluster.simulator().run_while_pending([&held] { return held; });
+  cluster.crash(MachineId{4});
+  cluster.settle();
+
+  // Waiters starve (the token died with the holder) until an administrative
+  // force-release re-mints it.
+  std::optional<bool> second;
+  lock.acquire(cluster.process(MachineId{2}),
+               [&second](bool ok) { second = ok; },
+               cluster.simulator().now() + 3000);
+  cluster.simulator().run_while_pending(
+      [&second] { return second.has_value(); });
+  EXPECT_FALSE(*second);
+
+  lock.force_release(cluster.process(MachineId{0}));
+  std::optional<bool> third;
+  lock.acquire(cluster.process(MachineId{2}),
+               [&third](bool ok) { third = ok; },
+               cluster.simulator().now() + 3000);
+  cluster.simulator().run_while_pending(
+      [&third] { return third.has_value(); });
+  EXPECT_TRUE(*third);
+}
+
+TEST(CrashEdgeTest, InsertRacingSupportCrashStillReplicates) {
+  ClusterConfig cfg;
+  cfg.machines = 5;
+  cfg.lambda = 1;
+  Cluster cluster(task_schema(), cfg);
+  cluster.assign_basic_support();
+  const auto support = cluster.basic_support(ClassId{0});
+  const ProcessId writer = cluster.process(MachineId{4});
+
+  // Issue the insert and crash a support member before the gcast settles.
+  bool done = false;
+  cluster.runtime(MachineId{4})
+      .insert(writer, {Value{std::int64_t{1}}, Value{std::string{"x"}}},
+              [&done] { done = true; });
+  cluster.crash(support[0]);
+  cluster.simulator().run_while_pending([&done] { return done; });
+  ASSERT_TRUE(done);  // completes once the detector prunes the dead member
+
+  // The survivor holds the object; the recovered machine re-replicates it.
+  EXPECT_TRUE(cluster.read_sync(writer, by_key(1)).has_value());
+  cluster.settle();
+  cluster.recover(support[0]);
+  cluster.settle();
+  EXPECT_EQ(cluster.server(support[0]).live_count(ClassId{0}), 1u);
+  const auto check = semantics::check_history(cluster.history());
+  EXPECT_TRUE(check.ok()) << check.violations.front();
+}
+
+TEST(CrashEdgeTest, DoubleCrashIsRejected) {
+  ClusterConfig cfg;
+  cfg.machines = 4;
+  cfg.lambda = 1;
+  Cluster cluster(task_schema(), cfg);
+  cluster.assign_basic_support();
+  cluster.crash(MachineId{3});
+  EXPECT_THROW(cluster.crash(MachineId{3}), InvariantViolation);
+  cluster.settle();
+  cluster.recover(MachineId{3});
+  cluster.settle();
+  EXPECT_TRUE(cluster.is_up(MachineId{3}));
+}
+
+}  // namespace
+}  // namespace paso

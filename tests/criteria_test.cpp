@@ -1,0 +1,181 @@
+// Tests for values, tuples, search criteria (Section 2's predicates) and the
+// object-class schema (Section 4.1's obj-clss / sc-list).
+#include <gtest/gtest.h>
+
+#include "paso/classes.hpp"
+#include "paso/criteria.hpp"
+
+namespace paso {
+namespace {
+
+Tuple tuple_of(std::int64_t a, const std::string& b) {
+  return {Value{a}, Value{b}};
+}
+
+TEST(ValueTest, TypesAndWireSizes) {
+  EXPECT_EQ(type_of(Value{std::int64_t{1}}), FieldType::kInt);
+  EXPECT_EQ(type_of(Value{1.5}), FieldType::kReal);
+  EXPECT_EQ(type_of(Value{std::string{"x"}}), FieldType::kText);
+  EXPECT_EQ(type_of(Value{true}), FieldType::kBool);
+  EXPECT_EQ(wire_size(Value{std::int64_t{1}}), 8u);
+  EXPECT_EQ(wire_size(Value{1.5}), 8u);
+  EXPECT_EQ(wire_size(Value{true}), 1u);
+  EXPECT_EQ(wire_size(Value{std::string{"abc"}}), 7u);
+}
+
+TEST(PatternTest, ExactMatchesValueAndTypeOnly) {
+  const FieldPattern p = Exact{Value{std::int64_t{5}}};
+  EXPECT_TRUE(pattern_matches(p, Value{std::int64_t{5}}));
+  EXPECT_FALSE(pattern_matches(p, Value{std::int64_t{6}}));
+  EXPECT_FALSE(pattern_matches(p, Value{5.0}));  // real 5.0 != int 5
+}
+
+TEST(PatternTest, WildcardsMatchByType) {
+  EXPECT_TRUE(pattern_matches(AnyField{}, Value{true}));
+  EXPECT_TRUE(pattern_matches(TypedAny{FieldType::kText},
+                              Value{std::string{"hi"}}));
+  EXPECT_FALSE(pattern_matches(TypedAny{FieldType::kText}, Value{1.0}));
+}
+
+TEST(PatternTest, RangesAreInclusive) {
+  const FieldPattern p = IntRange{3, 7};
+  EXPECT_TRUE(pattern_matches(p, Value{std::int64_t{3}}));
+  EXPECT_TRUE(pattern_matches(p, Value{std::int64_t{7}}));
+  EXPECT_FALSE(pattern_matches(p, Value{std::int64_t{8}}));
+  EXPECT_FALSE(pattern_matches(p, Value{5.0}));  // wrong type
+}
+
+TEST(PatternTest, TextPrefix) {
+  const FieldPattern p = TextPrefix{"task/"};
+  EXPECT_TRUE(pattern_matches(p, Value{std::string{"task/42"}}));
+  EXPECT_FALSE(pattern_matches(p, Value{std::string{"result/42"}}));
+}
+
+TEST(CriterionTest, ArityMustAgree) {
+  const SearchCriterion sc = criterion(AnyField{});
+  EXPECT_FALSE(sc.matches(tuple_of(1, "x")));
+  EXPECT_TRUE(criterion(AnyField{}, AnyField{}).matches(tuple_of(1, "x")));
+}
+
+TEST(CriterionTest, AllFieldsMustMatch) {
+  const SearchCriterion sc =
+      criterion(Exact{Value{std::int64_t{1}}}, TextPrefix{"a"});
+  EXPECT_TRUE(sc.matches(tuple_of(1, "abc")));
+  EXPECT_FALSE(sc.matches(tuple_of(1, "xyz")));
+  EXPECT_FALSE(sc.matches(tuple_of(2, "abc")));
+}
+
+TEST(CriterionTest, ExactCriterionMatchesExactTuple) {
+  const Tuple t = tuple_of(9, "hello");
+  EXPECT_TRUE(exact_criterion(t).matches(t));
+  EXPECT_FALSE(exact_criterion(t).matches(tuple_of(9, "other")));
+}
+
+TEST(CriterionTest, WireSizeCountsPatterns) {
+  const SearchCriterion sc =
+      criterion(Exact{Value{std::int64_t{1}}}, TextPrefix{"abc"});
+  // 4 header + (1 + 8) exact-int + (1 + 4 + 3) prefix.
+  EXPECT_EQ(sc.wire_size(), 4u + 9u + 8u);
+}
+
+TEST(CriterionTest, ToStringIsReadable) {
+  const SearchCriterion sc = criterion(IntRange{1, 5}, AnyField{});
+  EXPECT_EQ(sc.to_string(), "[[1..5], ?]");
+}
+
+// --- schema: obj-clss and sc-list -------------------------------------------
+
+Schema two_spec_schema(std::size_t partitions = 1) {
+  return Schema({
+      ClassSpec{"task", {FieldType::kInt, FieldType::kText}, 0, partitions},
+      ClassSpec{"score", {FieldType::kInt, FieldType::kReal}, 0, 1},
+  });
+}
+
+TEST(SchemaTest, ClassifiesBySignature) {
+  const Schema schema = two_spec_schema();
+  EXPECT_EQ(schema.class_count(), 2u);
+  const auto task = schema.classify(tuple_of(1, "x"));
+  ASSERT_TRUE(task.has_value());
+  EXPECT_EQ(task->value, 0u);
+  const auto score = schema.classify({Value{std::int64_t{1}}, Value{2.0}});
+  ASSERT_TRUE(score.has_value());
+  EXPECT_EQ(score->value, 1u);
+  EXPECT_FALSE(schema.classify({Value{true}}).has_value());
+}
+
+TEST(SchemaTest, ScListCoversExactlyAdmittedSignatures) {
+  const Schema schema = two_spec_schema();
+  // [int, text-prefix] only fits the task spec.
+  const auto c1 = schema.candidate_classes(
+      criterion(TypedAny{FieldType::kInt}, TextPrefix{"a"}));
+  ASSERT_EQ(c1.size(), 1u);
+  EXPECT_EQ(c1[0].value, 0u);
+  // [int, any] fits both specs: the sc-list must be exhaustive.
+  const auto c2 = schema.candidate_classes(
+      criterion(TypedAny{FieldType::kInt}, AnyField{}));
+  EXPECT_EQ(c2.size(), 2u);
+  // Wrong arity fits nothing.
+  EXPECT_TRUE(schema.candidate_classes(criterion(AnyField{})).empty());
+}
+
+TEST(SchemaTest, PartitionsSplitByKeyHash) {
+  const Schema schema = two_spec_schema(4);
+  EXPECT_EQ(schema.class_count(), 5u);  // 4 task partitions + 1 score
+  // Every tuple lands in exactly one partition, stable across calls.
+  const auto cls = schema.classify(tuple_of(123, "x"));
+  ASSERT_TRUE(cls.has_value());
+  EXPECT_EQ(schema.classify(tuple_of(123, "y")), cls);  // same key
+  EXPECT_LT(cls->value, 4u);
+}
+
+TEST(SchemaTest, ExactKeyPinsThePartition) {
+  const Schema schema = two_spec_schema(4);
+  const auto cls = schema.classify(tuple_of(123, "x"));
+  const auto candidates = schema.candidate_classes(criterion(
+      Exact{Value{std::int64_t{123}}}, TypedAny{FieldType::kText}));
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0], *cls);
+}
+
+TEST(SchemaTest, NonExactKeyFansOutToAllPartitions) {
+  const Schema schema = two_spec_schema(4);
+  const auto candidates = schema.candidate_classes(
+      criterion(IntRange{0, 1000}, TypedAny{FieldType::kText}));
+  EXPECT_EQ(candidates.size(), 4u);
+}
+
+TEST(SchemaTest, ScListContractHolds) {
+  // For any tuple matching a criterion, the tuple's class must appear in the
+  // criterion's candidate list (sc ⊆ ∪ obj-clss^-1(C_i)).
+  const Schema schema = two_spec_schema(8);
+  for (std::int64_t key = 0; key < 64; ++key) {
+    const Tuple t = tuple_of(key, "payload");
+    const SearchCriterion sc =
+        criterion(Exact{Value{key}}, TextPrefix{"pay"});
+    ASSERT_TRUE(sc.matches(t));
+    const auto cls = schema.classify(t);
+    ASSERT_TRUE(cls.has_value());
+    const auto candidates = schema.candidate_classes(sc);
+    EXPECT_NE(std::find(candidates.begin(), candidates.end(), *cls),
+              candidates.end())
+        << "key " << key;
+  }
+}
+
+TEST(SchemaTest, GroupNamesAreStableAndDistinct) {
+  const Schema schema = two_spec_schema(2);
+  EXPECT_EQ(schema.group_name(ClassId{0}), "wg/task/0");
+  EXPECT_EQ(schema.group_name(ClassId{1}), "wg/task/1");
+  EXPECT_EQ(schema.group_name(ClassId{2}), "wg/score/0");
+}
+
+TEST(SchemaTest, LocateInvertsClassIds) {
+  const Schema schema = two_spec_schema(3);
+  EXPECT_EQ(schema.locate(ClassId{0}), (std::pair<std::size_t, std::size_t>{0, 0}));
+  EXPECT_EQ(schema.locate(ClassId{2}), (std::pair<std::size_t, std::size_t>{0, 2}));
+  EXPECT_EQ(schema.locate(ClassId{3}), (std::pair<std::size_t, std::size_t>{1, 0}));
+}
+
+}  // namespace
+}  // namespace paso

@@ -1,0 +1,133 @@
+// System-level cost regressions: the bench harness's headline claims,
+// asserted so they are continuously checked.
+//   1. Total message cost lower-bounds completion time (Section 5's bus
+//      premise), measured over a real mixed workload.
+//   2. State-transfer bytes scale linearly in l (Section 3.1/4.2).
+//   3. Adaptive replication beats static policies on a locality workload
+//      and never loses to the better static policy by more than a small
+//      constant factor (the Theorem 2 story end to end).
+#include <gtest/gtest.h>
+
+#include "adaptive/basic_policy.hpp"
+#include "common/rng.hpp"
+#include "paso/cluster.hpp"
+
+namespace paso {
+namespace {
+
+Schema task_schema() {
+  return Schema({ClassSpec{"t", {FieldType::kInt, FieldType::kText}, 0, 1}});
+}
+
+Tuple payload(std::int64_t key) {
+  return {Value{key}, Value{std::string{"payload"}}};
+}
+
+SearchCriterion by_key(std::int64_t key) {
+  return criterion(Exact{Value{key}}, TypedAny{FieldType::kText});
+}
+
+TEST(E2eCostTest, MessageCostLowerBoundsCompletionTime) {
+  ClusterConfig cfg;
+  cfg.machines = 6;
+  cfg.lambda = 2;
+  Cluster cluster(task_schema(), cfg);
+  cluster.assign_basic_support();
+  Rng rng(8);
+  const sim::SimTime start = cluster.simulator().now();
+  cluster.ledger().reset();
+  for (int i = 0; i < 200; ++i) {
+    const ProcessId p = cluster.process(
+        MachineId{static_cast<std::uint32_t>(rng.index(6))});
+    const std::int64_t key = static_cast<std::int64_t>(rng.index(20));
+    if (rng.chance(0.5)) {
+      cluster.insert_sync(p, payload(key));
+    } else if (rng.chance(0.6)) {
+      cluster.read_sync(p, by_key(key));
+    } else {
+      cluster.read_del_sync(p, by_key(key));
+    }
+  }
+  const sim::SimTime elapsed = cluster.simulator().now() - start;
+  EXPECT_GE(elapsed + 1e-9, cluster.ledger().total_msg_cost());
+  EXPECT_GT(cluster.ledger().total_msg_cost(), 0.0);
+}
+
+TEST(E2eCostTest, StateTransferBytesAreLinearInLiveCount) {
+  auto transfer_bytes = [](std::size_t live) -> double {
+    ClusterConfig cfg;
+    cfg.machines = 4;
+    cfg.lambda = 1;
+    Cluster cluster(task_schema(), cfg);
+    cluster.assign_basic_support();
+    const auto support = cluster.basic_support(ClassId{0});
+    const ProcessId writer = cluster.process(support[1]);
+    for (std::size_t i = 0; i < live; ++i) {
+      cluster.insert_sync(writer, payload(static_cast<std::int64_t>(i)));
+    }
+    cluster.crash(support[0]);
+    cluster.settle();
+    cluster.ledger().reset();
+    cluster.recover(support[0]);
+    cluster.settle();
+    return static_cast<double>(
+        cluster.ledger().per_tag().at("state-xfer").bytes);
+  };
+  const double at_100 = transfer_bytes(100);
+  const double at_1000 = transfer_bytes(1000);
+  // Linear: 10x the objects => ~10x the bytes (within header slack).
+  EXPECT_NEAR(at_1000 / at_100, 10.0, 0.5);
+}
+
+TEST(E2eCostTest, AdaptiveTracksTheBetterStaticPolicy) {
+  // Locality phases: reads from one hot machine alternate with update
+  // churn. Compare total (work + msg) across the three policies.
+  auto run = [](int policy) -> Cost {
+    ClusterConfig cfg;
+    cfg.machines = 6;
+    cfg.lambda = 1;
+    cfg.record_history = false;
+    Cluster cluster(task_schema(), cfg);
+    cluster.assign_basic_support();
+    if (policy == 2) {
+      adaptive::install_basic_policies(
+          cluster, adaptive::BasicPolicyOptions{8, 1, false});
+    } else if (policy == 1) {
+      for (std::uint32_t m = 0; m < cluster.machine_count(); ++m) {
+        cluster.runtime(MachineId{m}).request_join(ClassId{0});
+      }
+      cluster.settle();
+    }
+    const ProcessId writer = cluster.process(MachineId{0});
+    const ProcessId reader = cluster.process(MachineId{4});
+    std::int64_t next = 100;
+    std::int64_t oldest = 100;
+    cluster.insert_sync(writer, payload(7));
+    cluster.insert_sync(writer, payload(next++));
+    cluster.ledger().reset();
+    for (int phase = 0; phase < 4; ++phase) {
+      for (int op = 0; op < 60; ++op) {
+        if (phase % 2 == 0) {
+          cluster.read_sync(reader, by_key(7));
+        } else {
+          cluster.read_del_sync(writer, by_key(oldest++));
+          cluster.insert_sync(writer, payload(next++));
+        }
+      }
+      cluster.settle();
+    }
+    return cluster.ledger().total_msg_cost() + cluster.ledger().total_work();
+  };
+  const Cost minimal = run(0);
+  const Cost eager = run(1);
+  const Cost adaptive_cost = run(2);
+  const Cost better_static = std::min(minimal, eager);
+  // Adaptive beats both statics outright on the mixed workload...
+  EXPECT_LT(adaptive_cost, minimal);
+  EXPECT_LT(adaptive_cost, eager);
+  // ...and in any case stays within a small constant of the better one.
+  EXPECT_LT(adaptive_cost, 4.0 * better_static);
+}
+
+}  // namespace
+}  // namespace paso

@@ -1,0 +1,139 @@
+// Tests for the stochastic fault injector: it must respect the lambda
+// fault model, the detection-delay floor, and immunity lists — and a soak
+// run under it must keep the system semantically sound.
+#include <gtest/gtest.h>
+
+#include "adaptive/basic_policy.hpp"
+#include "paso/fault_injector.hpp"
+#include "semantics/checker.hpp"
+
+namespace paso {
+namespace {
+
+Schema task_schema() {
+  return Schema({
+      ClassSpec{"task", {FieldType::kInt, FieldType::kText}, 0, 2},
+  });
+}
+
+Tuple task(std::int64_t key) { return {Value{key}, Value{std::string{"v"}}}; }
+
+TEST(FaultInjectorTest, NeverExceedsLambdaSimultaneousFailures) {
+  ClusterConfig cfg;
+  cfg.machines = 8;
+  cfg.lambda = 2;
+  Cluster cluster(task_schema(), cfg);
+  cluster.assign_basic_support();
+
+  FaultInjector::Options options;
+  options.mean_time_between_failures = 300;  // aggressive
+  options.mean_repair_time = 2000;           // slow repairs: pressure on cap
+  options.seed = 7;
+  FaultInjector injector(cluster, options);
+  injector.start();
+
+  for (int step = 0; step < 200; ++step) {
+    cluster.settle_for(250);
+    std::size_t down = 0;
+    for (std::uint32_t m = 0; m < cluster.machine_count(); ++m) {
+      if (!cluster.is_up(MachineId{m})) ++down;
+    }
+    ASSERT_LE(down, cfg.lambda) << "step " << step;
+    ASSERT_TRUE(cluster.fault_tolerance_condition_holds()) << "step " << step;
+  }
+  injector.stop();
+  cluster.settle();
+  EXPECT_GT(injector.crashes(), 10u);
+  EXPECT_EQ(injector.crashes(), injector.recoveries());
+}
+
+TEST(FaultInjectorTest, ImmuneMachinesNeverCrash) {
+  ClusterConfig cfg;
+  cfg.machines = 6;
+  cfg.lambda = 1;
+  Cluster cluster(task_schema(), cfg);
+  cluster.assign_basic_support();
+
+  FaultInjector::Options options;
+  options.mean_time_between_failures = 200;
+  options.immune = {0, 1};
+  options.seed = 3;
+  FaultInjector injector(cluster, options);
+  injector.start();
+  bool immune_stayed_up = true;
+  for (int step = 0; step < 100; ++step) {
+    cluster.settle_for(300);
+    immune_stayed_up = immune_stayed_up && cluster.is_up(MachineId{0}) &&
+                       cluster.is_up(MachineId{1});
+  }
+  injector.stop();
+  cluster.settle();
+  EXPECT_TRUE(immune_stayed_up);
+  EXPECT_GT(injector.crashes(), 5u);
+}
+
+TEST(FaultInjectorTest, RejectsMaxDownBeyondLambda) {
+  ClusterConfig cfg;
+  cfg.machines = 6;
+  cfg.lambda = 1;
+  Cluster cluster(task_schema(), cfg);
+  FaultInjector::Options options;
+  options.max_down = 3;
+  EXPECT_THROW(FaultInjector(cluster, options), InvariantViolation);
+}
+
+/// Soak: continuous workload + continuous fault injection, then the axioms.
+class SoakTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SoakTest, WorkloadUnderContinuousFaultsStaysSound) {
+  ClusterConfig cfg;
+  cfg.machines = 7;
+  cfg.lambda = 2;
+  Cluster cluster(task_schema(), cfg);
+  cluster.assign_basic_support();
+  adaptive::install_basic_policies(cluster,
+                                   adaptive::BasicPolicyOptions{8, 1, false});
+
+  FaultInjector::Options options;
+  options.mean_time_between_failures = 800;
+  options.mean_repair_time = 500;
+  options.immune = {6};  // the workload driver's machine stays up
+  options.seed = GetParam();
+  FaultInjector injector(cluster, options);
+  injector.start();
+
+  Rng rng(GetParam() * 31 + 5);
+  const ProcessId driver = cluster.process(MachineId{6});
+  int ops = 0;
+  for (int round = 0; round < 120; ++round) {
+    const std::int64_t key = static_cast<std::int64_t>(rng.index(10));
+    const double dice = rng.uniform01();
+    if (dice < 0.5) {
+      cluster.insert_sync(driver, task(key));
+    } else if (dice < 0.8) {
+      cluster.read_sync(driver,
+                        criterion(Exact{Value{key}}, AnyField{}));
+    } else {
+      cluster.read_del_sync(driver,
+                            criterion(Exact{Value{key}}, AnyField{}));
+    }
+    ++ops;
+    cluster.settle_for(rng.index(200));
+  }
+  injector.stop();
+  cluster.settle();
+
+  EXPECT_GT(injector.crashes(), 0u);
+  const auto check = semantics::check_history(cluster.history());
+  EXPECT_TRUE(check.ok()) << "seed " << GetParam() << ": "
+                          << (check.violations.empty()
+                                  ? ""
+                                  : check.violations.front());
+  EXPECT_EQ(ops, 120);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoakTest,
+                         ::testing::Values<std::uint64_t>(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace paso

@@ -1,0 +1,214 @@
+// Direct tests of the MemoryServer: gcast handling, age assignment, marker
+// lifecycle, state capture/install, and the update/view hooks.
+#include <gtest/gtest.h>
+
+#include "net/bus_network.hpp"
+#include "paso/memory_server.hpp"
+#include "sim/simulator.hpp"
+#include "storage/hash_store.hpp"
+
+namespace paso {
+namespace {
+
+Schema simple_schema() {
+  return Schema({
+      ClassSpec{"t", {FieldType::kInt, FieldType::kText}, 0, 1},
+  });
+}
+
+class MemoryServerTest : public ::testing::Test {
+ protected:
+  MemoryServerTest()
+      : schema_(simple_schema()),
+        network_(simulator_, CostModel{10, 1}, 2),
+        server_(MachineId{0}, schema_,
+                [](ClassId) { return std::make_unique<storage::HashStore>(0); },
+                network_) {}
+
+  PasoObject object(std::uint64_t seq, std::int64_t key,
+                    const std::string& text = "v") {
+    PasoObject o;
+    o.id = ObjectId{ProcessId{MachineId{1}, 0}, seq};
+    o.fields = {Value{key}, Value{text}};
+    return o;
+  }
+
+  vsync::GcastResult deliver(const ServerMessage& msg) {
+    vsync::Payload payload{ServerMessage{msg}, message_wire_size(msg)};
+    return server_.handle_gcast(schema_.group_name(ClassId{0}), payload);
+  }
+
+  SearchResponse unwrap(const vsync::GcastResult& result) {
+    const auto* r = std::any_cast<SearchResponse>(&result.response);
+    return r ? *r : std::nullopt;
+  }
+
+  Schema schema_;
+  sim::Simulator simulator_;
+  net::BusNetwork network_;
+  MemoryServer server_;
+};
+
+TEST_F(MemoryServerTest, StoreThenReadServesObject) {
+  deliver(StoreMsg{ClassId{0}, object(1, 7)});
+  const auto result = deliver(MemReadMsg{
+      ClassId{0}, criterion(Exact{Value{std::int64_t{7}}}, AnyField{})});
+  const SearchResponse found = unwrap(result);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->id.sequence, 1u);
+  EXPECT_EQ(result.response_bytes, found->wire_size());
+  EXPECT_DOUBLE_EQ(result.processing, 1.0);  // Q(l) on a hash store
+}
+
+TEST_F(MemoryServerTest, RemoveTakesOldestAndReportsCost) {
+  deliver(StoreMsg{ClassId{0}, object(1, 7, "first")});
+  deliver(StoreMsg{ClassId{0}, object(2, 7, "second")});
+  const auto removed = unwrap(deliver(RemoveMsg{
+      ClassId{0}, criterion(Exact{Value{std::int64_t{7}}}, AnyField{})}));
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(std::get<std::string>(removed->fields[1]), "first");
+  EXPECT_EQ(server_.live_count(ClassId{0}), 1u);
+}
+
+TEST_F(MemoryServerTest, FailedRemoveChargesQueryCost) {
+  const auto result = deliver(RemoveMsg{
+      ClassId{0}, criterion(Exact{Value{std::int64_t{9}}}, AnyField{})});
+  EXPECT_FALSE(unwrap(result).has_value());
+  EXPECT_EQ(result.response_bytes, 0u);
+  EXPECT_DOUBLE_EQ(result.processing, 1.0);
+}
+
+TEST_F(MemoryServerTest, UpdateHookDistinguishesApplied) {
+  int stores = 0;
+  int removes_applied = 0;
+  int removes_failed = 0;
+  server_.set_update_hook([&](ClassId, bool is_store, bool applied) {
+    if (is_store) {
+      ++stores;
+    } else if (applied) {
+      ++removes_applied;
+    } else {
+      ++removes_failed;
+    }
+  });
+  deliver(StoreMsg{ClassId{0}, object(1, 7)});
+  deliver(RemoveMsg{ClassId{0},
+                    criterion(Exact{Value{std::int64_t{7}}}, AnyField{})});
+  deliver(RemoveMsg{ClassId{0},
+                    criterion(Exact{Value{std::int64_t{7}}}, AnyField{})});
+  EXPECT_EQ(stores, 1);
+  EXPECT_EQ(removes_applied, 1);
+  EXPECT_EQ(removes_failed, 1);
+}
+
+TEST_F(MemoryServerTest, MarkersFireOnMatchingStores) {
+  std::vector<std::uint64_t> fired;
+  server_.set_marker_hook(
+      [&fired](MachineId, std::uint64_t marker_id, const PasoObject&) {
+        fired.push_back(marker_id);
+      });
+  deliver(PlaceMarkerMsg{ClassId{0},
+                         criterion(Exact{Value{std::int64_t{5}}}, AnyField{}),
+                         42, MachineId{1}, 1e9});
+  deliver(StoreMsg{ClassId{0}, object(1, 4)});  // no match
+  EXPECT_TRUE(fired.empty());
+  deliver(StoreMsg{ClassId{0}, object(2, 5)});  // match
+  EXPECT_EQ(fired, (std::vector<std::uint64_t>{42}));
+}
+
+TEST_F(MemoryServerTest, PlaceMarkerResponseIsImmediateProbe) {
+  deliver(StoreMsg{ClassId{0}, object(1, 5)});
+  const auto result = deliver(PlaceMarkerMsg{
+      ClassId{0}, criterion(Exact{Value{std::int64_t{5}}}, AnyField{}), 42,
+      MachineId{1}, 1e9});
+  EXPECT_TRUE(unwrap(result).has_value());  // found the existing object
+}
+
+TEST_F(MemoryServerTest, CancelledMarkerStopsFiring) {
+  int fired = 0;
+  server_.set_marker_hook(
+      [&fired](MachineId, std::uint64_t, const PasoObject&) { ++fired; });
+  deliver(PlaceMarkerMsg{ClassId{0},
+                         criterion(TypedAny{FieldType::kInt}, AnyField{}), 1,
+                         MachineId{1}, 1e9});
+  deliver(CancelMarkerMsg{ClassId{0}, 1, MachineId{1}});
+  deliver(StoreMsg{ClassId{0}, object(1, 5)});
+  EXPECT_EQ(fired, 0);
+}
+
+TEST_F(MemoryServerTest, ExpiredMarkersAreDroppedLazily) {
+  int fired = 0;
+  server_.set_marker_hook(
+      [&fired](MachineId, std::uint64_t, const PasoObject&) { ++fired; });
+  deliver(PlaceMarkerMsg{ClassId{0},
+                         criterion(TypedAny{FieldType::kInt}, AnyField{}), 1,
+                         MachineId{1}, /*expires_at=*/50});
+  simulator_.run_until(100);  // past expiry
+  deliver(StoreMsg{ClassId{0}, object(1, 5)});
+  EXPECT_EQ(fired, 0);
+}
+
+TEST_F(MemoryServerTest, StateRoundTripPreservesAgesAndMarkers) {
+  deliver(StoreMsg{ClassId{0}, object(1, 5)});
+  deliver(StoreMsg{ClassId{0}, object(2, 6)});
+  deliver(PlaceMarkerMsg{ClassId{0},
+                         criterion(Exact{Value{std::int64_t{9}}}, AnyField{}),
+                         7, MachineId{1}, 1e9});
+  const auto blob =
+      server_.capture_state(schema_.group_name(ClassId{0}));
+  EXPECT_GT(blob.bytes, 0u);
+
+  MemoryServer twin(MachineId{1}, schema_,
+                    [](ClassId) {
+                      return std::make_unique<storage::HashStore>(0);
+                    },
+                    network_);
+  twin.install_state(schema_.group_name(ClassId{0}), blob);
+  EXPECT_EQ(twin.live_count(ClassId{0}), 2u);
+
+  // The transferred marker fires on the twin too.
+  int fired = 0;
+  twin.set_marker_hook(
+      [&fired](MachineId, std::uint64_t, const PasoObject&) { ++fired; });
+  vsync::Payload payload{
+      ServerMessage{StoreMsg{ClassId{0}, object(3, 9)}}, 32};
+  twin.handle_gcast(schema_.group_name(ClassId{0}), payload);
+  EXPECT_EQ(fired, 1);
+
+  // Ages survived: the twin's next store continues the sequence, so removal
+  // order stays globally consistent.
+  const auto removed = twin.handle_gcast(
+      schema_.group_name(ClassId{0}),
+      vsync::Payload{
+          ServerMessage{RemoveMsg{
+              ClassId{0},
+              criterion(TypedAny{FieldType::kInt}, AnyField{})}},
+          16});
+  const auto* taken = std::any_cast<SearchResponse>(&removed.response);
+  ASSERT_NE(taken, nullptr);
+  ASSERT_TRUE(taken->has_value());
+  EXPECT_EQ((*taken)->id.sequence, 1u);  // oldest by transferred age
+}
+
+TEST_F(MemoryServerTest, EraseStateDropsTheClass) {
+  deliver(StoreMsg{ClassId{0}, object(1, 5)});
+  EXPECT_TRUE(server_.supports(ClassId{0}));
+  server_.erase_state(schema_.group_name(ClassId{0}));
+  EXPECT_FALSE(server_.supports(ClassId{0}));
+  EXPECT_EQ(server_.live_count(ClassId{0}), 0u);
+}
+
+TEST_F(MemoryServerTest, CrashResetErasesEverything) {
+  deliver(StoreMsg{ClassId{0}, object(1, 5)});
+  server_.crash_reset();
+  EXPECT_EQ(server_.total_objects(), 0u);
+}
+
+TEST_F(MemoryServerTest, DuplicateStoreIsIdempotent) {
+  deliver(StoreMsg{ClassId{0}, object(1, 5)});
+  deliver(StoreMsg{ClassId{0}, object(1, 5)});
+  EXPECT_EQ(server_.live_count(ClassId{0}), 1u);
+}
+
+}  // namespace
+}  // namespace paso

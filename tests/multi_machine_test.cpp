@@ -1,0 +1,118 @@
+// Tests for the whole-cluster allocation game: projection correctness,
+// additivity of the per-machine decomposition, and the global competitive
+// bound on rotating hot-spot workloads.
+#include <gtest/gtest.h>
+
+#include "analysis/multi_machine.hpp"
+
+namespace paso::analysis {
+namespace {
+
+TEST(ProjectionTest, KeepsUpdatesAndOwnReadsInOrder) {
+  GlobalSequence global{
+      {ReqKind::kRead, 0, 8},  {ReqKind::kUpdate, 0, 8},
+      {ReqKind::kRead, 1, 8},  {ReqKind::kRead, 0, 8},
+      {ReqKind::kUpdate, 0, 8},
+  };
+  const RequestSequence m0 = project(global, 0);
+  ASSERT_EQ(m0.size(), 4u);
+  EXPECT_EQ(m0[0].kind, ReqKind::kRead);
+  EXPECT_EQ(m0[1].kind, ReqKind::kUpdate);
+  EXPECT_EQ(m0[2].kind, ReqKind::kRead);
+  EXPECT_EQ(m0[3].kind, ReqKind::kUpdate);
+  const RequestSequence m1 = project(global, 1);
+  ASSERT_EQ(m1.size(), 3u);
+  EXPECT_EQ(m1[0].kind, ReqKind::kUpdate);
+  EXPECT_EQ(m1[1].kind, ReqKind::kRead);
+}
+
+TEST(GlobalGameTest, SingleMachineReducesToBasicGame) {
+  Rng rng(3);
+  const GameCosts costs{1, 2};
+  const adaptive::CounterConfig config{8, 1, false, false};
+  GlobalSequence global;
+  for (int i = 0; i < 2000; ++i) {
+    global.push_back(GlobalRequest{
+        rng.chance(0.6) ? ReqKind::kRead : ReqKind::kUpdate, 0, 8});
+  }
+  const GlobalComparison whole =
+      compare_basic_global(global, 1, costs, config);
+  const CompetitiveComparison single =
+      compare_basic(project(global, 0), costs, config);
+  EXPECT_DOUBLE_EQ(whole.online, single.online);
+  EXPECT_DOUBLE_EQ(whole.opt, single.opt);
+}
+
+TEST(GlobalGameTest, TotalsAreSumsOfProjections) {
+  Rng rng(5);
+  const GameCosts costs{1, 3};
+  const adaptive::CounterConfig config{8, 1, false, false};
+  HotSpotOptions options;
+  options.machines = 4;
+  const GlobalSequence global = hotspot_sequence(options, 8, rng);
+  const GlobalComparison whole =
+      compare_basic_global(global, 4, costs, config);
+  Cost online_sum = 0;
+  Cost opt_sum = 0;
+  for (std::size_t m = 0; m < 4; ++m) {
+    const auto cmp = compare_basic(project(global, m), costs, config);
+    online_sum += cmp.online;
+    opt_sum += cmp.opt;
+  }
+  EXPECT_DOUBLE_EQ(whole.online, online_sum);
+  EXPECT_DOUBLE_EQ(whole.opt, opt_sum);
+  EXPECT_EQ(whole.per_machine_ratio.size(), 4u);
+}
+
+class GlobalBoundSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GlobalBoundSweep, HotspotWorkloadsRespectTheorem2Globally) {
+  const std::size_t lambda = GetParam();
+  Rng rng(911 + lambda);
+  const GameCosts costs{1, lambda + 1};
+  for (const int k : {4, 16}) {
+    const adaptive::CounterConfig config{static_cast<Cost>(k), 1, false,
+                                         false};
+    HotSpotOptions options;
+    options.machines = 6;
+    const GlobalSequence global =
+        hotspot_sequence(options, static_cast<Cost>(k), rng);
+    const GlobalComparison whole =
+        compare_basic_global(global, options.machines, costs, config);
+    EXPECT_LE(whole.ratio, theorem2_bound(lambda, k) + 1e-9)
+        << "lambda=" << lambda << " K=" << k;
+    // Every individual machine also respects the bound.
+    for (const double ratio : whole.per_machine_ratio) {
+      EXPECT_LE(ratio, theorem2_bound(lambda, k) + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambda, GlobalBoundSweep,
+                         ::testing::Values<std::size_t>(1, 2, 3),
+                         [](const auto& info) {
+                           return "lambda" + std::to_string(info.param);
+                         });
+
+TEST(HotspotTest, LocalityConcentratesReadsOnTheHotMachine) {
+  Rng rng(17);
+  HotSpotOptions options;
+  options.machines = 5;
+  options.phases = 1;
+  options.phase_length = 5000;
+  options.locality = 0.9;
+  const GlobalSequence seq = hotspot_sequence(options, 8, rng);
+  std::size_t hot_reads = 0;
+  std::size_t reads = 0;
+  for (const GlobalRequest& r : seq) {
+    if (r.kind != ReqKind::kRead) continue;
+    ++reads;
+    if (r.machine == 0) ++hot_reads;  // phase 0's hot machine is 0
+  }
+  EXPECT_GT(reads, 3000u);
+  EXPECT_GT(static_cast<double>(hot_reads) / static_cast<double>(reads),
+            0.85);
+}
+
+}  // namespace
+}  // namespace paso::analysis

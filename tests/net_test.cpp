@@ -1,0 +1,133 @@
+// Unit tests for the bus network and cost ledger (Section 3.3 model).
+#include <gtest/gtest.h>
+
+#include "net/bus_network.hpp"
+#include "sim/simulator.hpp"
+
+namespace paso::net {
+namespace {
+
+TEST(CostModelTest, MessageCostIsAlphaPlusBetaTimesLength) {
+  CostModel model{10.0, 2.0};
+  EXPECT_DOUBLE_EQ(model.message(0), 10.0);
+  EXPECT_DOUBLE_EQ(model.message(5), 20.0);
+}
+
+TEST(CostModelTest, GcastMatchesSectionThreeThreeDerivation) {
+  CostModel model{7.0, 1.5};
+  // |g|(alpha + beta|msg|) + |g| alpha + alpha + beta|resp|
+  const Cost expected = 4 * (7.0 + 1.5 * 100) + 4 * 7.0 + 7.0 + 1.5 * 20;
+  EXPECT_DOUBLE_EQ(model.gcast(4, 100, 20), expected);
+}
+
+TEST(CostModelTest, GcastApproxIsTheReportedClosedForm) {
+  CostModel model{7.0, 1.5};
+  EXPECT_DOUBLE_EQ(model.gcast_approx(4, 100, 20),
+                   4 * (2 * 7.0 + 1.5 * (100 + 20)));
+}
+
+TEST(CostModelTest, ApproxOvercountsByResponseFanout) {
+  // The paper's closed form |g|(2a + b(|msg|+|resp|)) charges the single
+  // response once per member; the exact sum charges it once. The gap is
+  // exactly (g-1) * b * |resp| - a.
+  CostModel model{10.0, 1.0};
+  for (std::size_t g = 1; g <= 16; ++g) {
+    const Cost exact = model.gcast(g, 64, 16);
+    const Cost approx = model.gcast_approx(g, 64, 16);
+    const Cost gap = static_cast<Cost>(g - 1) * 1.0 * 16 - 10.0;
+    EXPECT_DOUBLE_EQ(approx - exact, gap) << "group size " << g;
+  }
+}
+
+class BusNetworkTest : public ::testing::Test {
+ protected:
+  sim::Simulator simulator_;
+  BusNetwork net_{simulator_, CostModel{10.0, 1.0}, 4};
+};
+
+TEST_F(BusNetworkTest, DeliversAndCharges) {
+  bool delivered = false;
+  net_.send(MachineId{0}, MachineId{1}, "data", 32, [&] { delivered = true; });
+  simulator_.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_DOUBLE_EQ(net_.ledger().total_msg_cost(), 42.0);
+  const auto& tags = net_.ledger().per_tag();
+  ASSERT_TRUE(tags.contains("data"));
+  EXPECT_EQ(tags.at("data").messages, 1u);
+  EXPECT_EQ(tags.at("data").bytes, 32u);
+}
+
+TEST_F(BusNetworkTest, SelfSendIsFreeAndImmediate) {
+  bool delivered = false;
+  net_.send(MachineId{2}, MachineId{2}, "loop", 999, [&] { delivered = true; });
+  simulator_.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_DOUBLE_EQ(net_.ledger().total_msg_cost(), 0.0);
+}
+
+TEST_F(BusNetworkTest, BusSerializesTransmissions) {
+  // Two messages sent at t=0 must occupy the bus back to back: the second
+  // delivery lands at the sum of both transmission times.
+  sim::SimTime first = -1;
+  sim::SimTime second = -1;
+  net_.send(MachineId{0}, MachineId{1}, "a", 10,
+            [&] { first = simulator_.now(); });
+  net_.send(MachineId{0}, MachineId{2}, "b", 10,
+            [&] { second = simulator_.now(); });
+  simulator_.run();
+  EXPECT_DOUBLE_EQ(first, 20.0);
+  EXPECT_DOUBLE_EQ(second, 40.0);
+}
+
+TEST_F(BusNetworkTest, TotalMessageCostLowerBoundsCompletionTime) {
+  // Section 5: "the total message cost is a lower bound on the time to
+  // complete the run, since messages must be sent one-at-a-time".
+  for (int i = 0; i < 5; ++i) {
+    net_.send(MachineId{0}, MachineId{1}, "burst", 7, [] {});
+  }
+  simulator_.run();
+  EXPECT_GE(simulator_.now(), net_.ledger().total_msg_cost());
+}
+
+TEST_F(BusNetworkTest, DownDestinationDropsDelivery) {
+  bool delivered = false;
+  net_.set_up(MachineId{1}, false);
+  net_.send(MachineId{0}, MachineId{1}, "lost", 8, [&] { delivered = true; });
+  simulator_.run();
+  EXPECT_FALSE(delivered);
+  // The transmission itself still happened (and is charged): the sender
+  // cannot know the receiver is dead.
+  EXPECT_DOUBLE_EQ(net_.ledger().total_msg_cost(), 18.0);
+}
+
+TEST_F(BusNetworkTest, DownSenderSendsNothing) {
+  bool delivered = false;
+  net_.set_up(MachineId{0}, false);
+  net_.send(MachineId{0}, MachineId{1}, "dead", 8, [&] { delivered = true; });
+  simulator_.run();
+  EXPECT_FALSE(delivered);
+  EXPECT_DOUBLE_EQ(net_.ledger().total_msg_cost(), 0.0);
+}
+
+TEST_F(BusNetworkTest, SnapshotDiffYieldsCostTriple) {
+  const auto before = net_.ledger().snapshot();
+  net_.send(MachineId{0}, MachineId{1}, "op", 10, [] {});
+  net_.ledger().charge_work(MachineId{1}, 3.0);
+  net_.ledger().charge_work(MachineId{2}, 5.0);
+  simulator_.run();
+  const CostTriple triple = net_.ledger().since(before);
+  EXPECT_DOUBLE_EQ(triple.msg_cost, 20.0);
+  EXPECT_DOUBLE_EQ(triple.work, 8.0);
+  EXPECT_DOUBLE_EQ(triple.time, 5.0);  // max single-server work
+}
+
+TEST_F(BusNetworkTest, WorkLedgerAccumulatesPerMachine) {
+  net_.ledger().charge_work(MachineId{3}, 2.0);
+  net_.ledger().charge_work(MachineId{3}, 4.0);
+  EXPECT_DOUBLE_EQ(net_.ledger().work_of(MachineId{3}), 6.0);
+  EXPECT_DOUBLE_EQ(net_.ledger().work_of(MachineId{0}), 0.0);
+  EXPECT_DOUBLE_EQ(net_.ledger().total_work(), 6.0);
+}
+
+}  // namespace
+}  // namespace paso::net

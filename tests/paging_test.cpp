@@ -1,0 +1,181 @@
+// Tests for the paging toolbox behind the support-selection reduction
+// (Section 5.2 / Theorem 4).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adaptive/paging.hpp"
+
+namespace paso::adaptive {
+namespace {
+
+std::uint64_t run(PagingAlgorithm& algorithm, const std::vector<Page>& seq) {
+  for (const Page p : seq) algorithm.access(p);
+  return algorithm.faults();
+}
+
+TEST(PagingTest, ColdMissesThenHits) {
+  LruPaging lru(3);
+  EXPECT_TRUE(lru.access(1));
+  EXPECT_TRUE(lru.access(2));
+  EXPECT_FALSE(lru.access(1));
+  EXPECT_EQ(lru.faults(), 2u);
+}
+
+TEST(PagingTest, LruEvictsLeastRecentlyUsed) {
+  LruPaging lru(2);
+  lru.access(1);
+  lru.access(2);
+  lru.access(1);  // 2 is now the LRU page
+  lru.access(3);  // evicts 2
+  EXPECT_EQ(lru.last_evicted(), Page{2});
+  EXPECT_TRUE(lru.cached(1));
+  EXPECT_FALSE(lru.cached(2));
+}
+
+TEST(PagingTest, FifoEvictsOldestLoad) {
+  FifoPaging fifo(2);
+  fifo.access(1);
+  fifo.access(2);
+  fifo.access(1);  // hit: does not refresh FIFO position
+  fifo.access(3);  // evicts 1 (oldest load), unlike LRU
+  EXPECT_EQ(fifo.last_evicted(), Page{1});
+}
+
+TEST(PagingTest, BeladyOnSmallKnownCase) {
+  // Cache of 2, sequence 1 2 3 1 2: OPT faults 1,2,3 (evict 2 keeping 1) and
+  // then 2 again -> 4 faults; keeping the farthest-used page is forced.
+  const std::vector<Page> seq{1, 2, 3, 1, 2};
+  EXPECT_EQ(belady_faults(seq, 2), 4u);
+}
+
+TEST(PagingTest, BeladyNeverExceedsOnlineAlgorithms) {
+  Rng rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto seq = zipf_sequence(20, 2000, 0.8, rng);
+    const std::uint64_t opt = belady_faults(seq, 5);
+    LruPaging lru(5);
+    FifoPaging fifo(5);
+    MarkingPaging marking(5, rng.split());
+    RandomPaging random(5, rng.split());
+    EXPECT_LE(opt, run(lru, seq));
+    EXPECT_LE(opt, run(fifo, seq));
+    EXPECT_LE(opt, run(marking, seq));
+    EXPECT_LE(opt, run(random, seq));
+  }
+}
+
+TEST(PagingTest, CyclicAdversaryForcesLruToFaultAlways) {
+  const std::size_t k = 4;
+  const auto seq = cyclic_adversary_sequence(k, 400);
+  LruPaging lru(k);
+  EXPECT_EQ(run(lru, seq), 400u);  // every access faults
+  // OPT faults at most once per k accesses after warm-up.
+  const std::uint64_t opt = belady_faults(seq, k);
+  EXPECT_LE(opt, 400 / k + k + 1);
+  // So the empirical ratio approaches the Theorem 4 bound k.
+  const double ratio = static_cast<double>(run(lru, seq)) /
+                       static_cast<double>(opt);
+  EXPECT_GE(ratio, static_cast<double>(k) * 0.8);
+}
+
+TEST(PagingTest, MarkingBeatsDeterministicOnTheAdversary) {
+  const std::size_t k = 8;
+  const auto seq = cyclic_adversary_sequence(k, 2000);
+  LruPaging lru(k);
+  Rng rng(7);
+  MarkingPaging marking(k, rng);
+  const std::uint64_t lru_faults = run(lru, seq);
+  const std::uint64_t marking_faults = run(marking, seq);
+  // Randomization defeats the oblivious cyclic adversary decisively.
+  EXPECT_LT(marking_faults, lru_faults / 2);
+}
+
+TEST(PagingTest, LruIsWithinKTimesOptEverywhere) {
+  Rng rng(99);
+  const std::size_t k = 6;
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto seq = zipf_sequence(25, 3000, 1.1, rng);
+    LruPaging lru(k);
+    const double online = static_cast<double>(run(lru, seq));
+    const double opt =
+        static_cast<double>(std::max<std::uint64_t>(belady_faults(seq, k), 1));
+    EXPECT_LE(online / opt, static_cast<double>(k) + 1e-9);
+  }
+}
+
+/// Exhaustive optimal paging by DP over (position, cache-subset) states —
+/// only feasible for tiny instances, and exactly what anchors Belady.
+std::uint64_t exhaustive_opt(const std::vector<Page>& seq,
+                             std::size_t cache_size, std::size_t universe) {
+  PASO_REQUIRE(universe <= 10, "exhaustive OPT only for tiny universes");
+  const std::size_t masks = 1u << universe;
+  constexpr std::uint64_t kInf = ~0ULL;
+  std::vector<std::uint64_t> cost(masks, kInf);
+  cost[0] = 0;
+  for (const Page page : seq) {
+    std::vector<std::uint64_t> next(masks, kInf);
+    for (std::size_t mask = 0; mask < masks; ++mask) {
+      if (cost[mask] == kInf) continue;
+      if (mask & (1u << page)) {
+        next[mask] = std::min(next[mask], cost[mask]);  // hit
+        continue;
+      }
+      // Fault: load page, evicting any resident page if full.
+      const std::size_t with = mask | (1u << page);
+      if (static_cast<std::size_t>(__builtin_popcount(
+              static_cast<unsigned>(mask))) < cache_size) {
+        next[with] = std::min(next[with], cost[mask] + 1);
+      } else {
+        for (std::size_t victim = 0; victim < universe; ++victim) {
+          if (!(mask & (1u << victim))) continue;
+          const std::size_t after = with & ~(1u << victim);
+          next[after] = std::min(next[after], cost[mask] + 1);
+        }
+      }
+    }
+    cost.swap(next);
+  }
+  std::uint64_t best = kInf;
+  for (const std::uint64_t c : cost) best = std::min(best, c);
+  return best;
+}
+
+TEST(PagingTest, BeladyMatchesExhaustiveOptimum) {
+  Rng rng(314);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t universe = 4 + rng.index(2);  // 4..5 pages
+    const std::size_t cache = 2 + rng.index(2);     // 2..3 frames
+    std::vector<Page> seq;
+    const std::size_t len = 6 + rng.index(10);
+    for (std::size_t i = 0; i < len; ++i) seq.push_back(rng.index(universe));
+    ASSERT_EQ(belady_faults(seq, cache),
+              exhaustive_opt(seq, cache, universe))
+        << "trial " << trial;
+  }
+}
+
+TEST(PagingTest, ResetClearsState) {
+  LruPaging lru(2);
+  lru.access(1);
+  lru.access(2);
+  lru.reset();
+  EXPECT_EQ(lru.faults(), 0u);
+  EXPECT_FALSE(lru.cached(1));
+  EXPECT_TRUE(lru.access(1));
+}
+
+TEST(PagingTest, CacheNeverOverflows) {
+  Rng rng(5);
+  MarkingPaging marking(4, rng.split());
+  const auto seq = zipf_sequence(30, 500, 0.5, rng);
+  for (const Page p : seq) {
+    marking.access(p);
+    std::size_t resident = 0;
+    for (Page q = 0; q < 30; ++q) resident += marking.cached(q) ? 1 : 0;
+    ASSERT_LE(resident, 4u);
+  }
+}
+
+}  // namespace
+}  // namespace paso::adaptive

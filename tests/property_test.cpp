@@ -1,0 +1,128 @@
+// Randomized property tests: drive the whole system with random workloads
+// and crash/recovery injection across many seeds, then verify
+//   (a) the Section 2 axioms hold on the recorded history (Theorem 1,
+//       checked mechanically),
+//   (b) write-group replicas are byte-for-byte consistent,
+//   (c) the fault-tolerance condition holds whenever k <= lambda.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "adaptive/basic_policy.hpp"
+#include "common/rng.hpp"
+#include "paso/cluster.hpp"
+#include "semantics/checker.hpp"
+
+namespace paso {
+namespace {
+
+Schema mixed_schema() {
+  return Schema({
+      ClassSpec{"task", {FieldType::kInt, FieldType::kText}, 0, 2},
+      ClassSpec{"score", {FieldType::kInt, FieldType::kInt}, 0, 1},
+  });
+}
+
+class PropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// All write-group members of every class hold identical object sets.
+void expect_replica_consistency(Cluster& cluster) {
+  for (std::uint32_t c = 0; c < cluster.schema().class_count(); ++c) {
+    const ClassId cls{c};
+    const auto view = cluster.groups().view_of(cluster.schema().group_name(cls));
+    std::optional<std::size_t> size;
+    for (const MachineId m : view.members) {
+      if (!cluster.is_up(m)) continue;
+      const std::size_t count = cluster.server(m).live_count(cls);
+      if (!size) {
+        size = count;
+      } else {
+        ASSERT_EQ(*size, count)
+            << "replica divergence in class " << c << " at " << m;
+      }
+    }
+  }
+}
+
+TEST_P(PropertyTest, RandomWorkloadWithCrashesStaysSound) {
+  Rng rng(GetParam());
+  ClusterConfig cfg;
+  cfg.machines = 5 + rng.index(4);  // 5..8
+  cfg.lambda = 1 + rng.index(2);    // 1..2
+  Cluster cluster(mixed_schema(), cfg);
+  cluster.assign_basic_support();
+  if (rng.chance(0.5)) {
+    adaptive::install_basic_policies(
+        cluster, adaptive::BasicPolicyOptions{4 + rng.index(12) * 1.0, 1,
+                                              rng.chance(0.3)});
+  }
+
+  std::set<std::uint32_t> down;
+  const std::size_t rounds = 30;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    // A concurrent batch of random operations from random up machines.
+    const std::size_t batch = 1 + rng.index(6);
+    int completed = 0;
+    int expected = 0;
+    for (std::size_t i = 0; i < batch; ++i) {
+      const MachineId m{static_cast<std::uint32_t>(
+          rng.index(cluster.machine_count()))};
+      if (down.contains(m.value)) continue;
+      const ProcessId p = cluster.process(m, 0);
+      const std::int64_t key = static_cast<std::int64_t>(rng.index(8));
+      const double dice = rng.uniform01();
+      ++expected;
+      if (dice < 0.45) {
+        Tuple tuple = rng.chance(0.7)
+                          ? Tuple{Value{key}, Value{std::string{"payload"}}}
+                          : Tuple{Value{key}, Value{key * 10}};
+        cluster.runtime(m).insert(p, std::move(tuple),
+                                  [&completed] { ++completed; });
+      } else if (dice < 0.75) {
+        cluster.runtime(m).read(
+            p, criterion(Exact{Value{key}}, AnyField{}),
+            [&completed](SearchResponse) { ++completed; });
+      } else {
+        cluster.runtime(m).read_del(
+            p, criterion(Exact{Value{key}}, AnyField{}),
+            [&completed](SearchResponse) { ++completed; });
+      }
+    }
+    cluster.simulator().run_while_pending(
+        [&] { return completed == expected; });
+    cluster.settle();
+
+    // Crash/recover between batches, staying within the fault model.
+    if (!down.empty() && rng.chance(0.6)) {
+      const auto it = down.begin();
+      cluster.recover(MachineId{*it});
+      down.erase(it);
+      cluster.settle();
+    }
+    if (down.size() < cluster.lambda() && rng.chance(0.35)) {
+      const std::uint32_t victim =
+          static_cast<std::uint32_t>(rng.index(cluster.machine_count()));
+      if (!down.contains(victim)) {
+        cluster.crash(MachineId{victim});
+        down.insert(victim);
+        cluster.settle();  // detection completes
+      }
+    }
+    ASSERT_TRUE(cluster.fault_tolerance_condition_holds())
+        << "round " << round;
+    expect_replica_consistency(cluster);
+  }
+
+  const auto result = semantics::check_history(cluster.history());
+  EXPECT_TRUE(result.ok()) << "seed " << GetParam() << ": "
+                           << (result.violations.empty()
+                                   ? ""
+                                   : result.violations.front());
+  EXPECT_GT(cluster.history().size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace paso

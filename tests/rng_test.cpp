@@ -1,0 +1,128 @@
+// Tests for the deterministic RNG: reproducibility, range contracts, and
+// rough distribution sanity for the workload-shaping helpers.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+
+namespace paso {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform(10, 20);
+    ASSERT_GE(v, 10u);
+    ASSERT_LE(v, 20u);
+  }
+}
+
+TEST(RngTest, UniformSingletonRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform(5, 5), 5u);
+}
+
+TEST(RngTest, UniformRejectsEmptyRange) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform(6, 5), InvariantViolation);
+}
+
+TEST(RngTest, Uniform01InHalfOpenInterval) {
+  Rng rng(11);
+  double min = 1;
+  double max = -1;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    min = std::min(min, u);
+    max = std::max(max, u);
+  }
+  EXPECT_LT(min, 0.01);
+  EXPECT_GT(max, 0.99);
+}
+
+TEST(RngTest, ChanceMatchesProbabilityRoughly) {
+  Rng rng(13);
+  int hits = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.02);
+}
+
+TEST(RngTest, IndexCoversSupport) {
+  Rng rng(17);
+  std::map<std::size_t, int> seen;
+  for (int i = 0; i < 5000; ++i) ++seen[rng.index(7)];
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_THROW(rng.index(0), InvariantViolation);
+}
+
+TEST(RngTest, PickReturnsElements) {
+  Rng rng(19);
+  const std::vector<int> items{10, 20, 30};
+  for (int i = 0; i < 100; ++i) {
+    const int v = rng.pick(items);
+    EXPECT_TRUE(v == 10 || v == 20 || v == 30);
+  }
+}
+
+TEST(RngTest, ZipfIsSkewedtowardLowRanks) {
+  Rng rng(23);
+  std::vector<int> counts(20, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const std::size_t r = rng.zipf(20, 1.1);
+    ASSERT_LT(r, 20u);
+    ++counts[r];
+  }
+  // Rank 0 must dominate the tail decisively.
+  EXPECT_GT(counts[0], counts[10] * 3);
+  EXPECT_GT(counts[0], counts[19] * 5);
+}
+
+TEST(RngTest, ZipfSingleton) {
+  Rng rng(29);
+  EXPECT_EQ(rng.zipf(1, 1.0), 0u);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, BurstRespectsCap) {
+  Rng rng(37);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_LE(rng.burst(0.9, 5), 5u);
+    ASSERT_GE(rng.burst(0.9, 5), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace paso

@@ -1,0 +1,221 @@
+// Tests for the Section 2 axiom checker: it must accept legal histories and
+// flag each class of violation with no false positives.
+#include <gtest/gtest.h>
+
+#include "semantics/checker.hpp"
+
+namespace paso::semantics {
+namespace {
+
+const ProcessId kP0{MachineId{0}, 0};
+const ProcessId kP1{MachineId{1}, 0};
+
+PasoObject object(std::uint64_t seq, std::int64_t key) {
+  return PasoObject{ObjectId{kP0, seq}, {Value{key}}};
+}
+
+SearchCriterion any_int() { return criterion(TypedAny{FieldType::kInt}); }
+
+TEST(CheckerTest, EmptyHistoryIsClean) {
+  HistoryRecorder recorder;
+  EXPECT_TRUE(check_history(recorder).ok());
+}
+
+TEST(CheckerTest, SimpleInsertReadDeleteIsClean) {
+  HistoryRecorder recorder;
+  const PasoObject o = object(1, 5);
+  const auto ins = recorder.insert_issued(kP0, 0, o);
+  recorder.op_returned(ins, 10, std::nullopt);
+  const auto rd = recorder.search_issued(kP1, 20, OpKind::kRead, any_int());
+  recorder.op_returned(rd, 30, o);
+  const auto del = recorder.search_issued(kP1, 40, OpKind::kReadDel, any_int());
+  recorder.op_returned(del, 50, o);
+  const auto result = check_history(recorder);
+  EXPECT_TRUE(result.ok()) << result.violations.front();
+}
+
+TEST(CheckerTest, DoubleInsertViolatesA2) {
+  HistoryRecorder recorder;
+  const PasoObject o = object(1, 5);
+  recorder.op_returned(recorder.insert_issued(kP0, 0, o), 1, std::nullopt);
+  recorder.op_returned(recorder.insert_issued(kP0, 2, o), 3, std::nullopt);
+  const auto result = check_history(recorder);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.violations.front().find("A2"), std::string::npos);
+}
+
+TEST(CheckerTest, DoubleReadDelViolatesA2) {
+  HistoryRecorder recorder;
+  const PasoObject o = object(1, 5);
+  recorder.op_returned(recorder.insert_issued(kP0, 0, o), 1, std::nullopt);
+  recorder.op_returned(
+      recorder.search_issued(kP0, 2, OpKind::kReadDel, any_int()), 3, o);
+  recorder.op_returned(
+      recorder.search_issued(kP1, 4, OpKind::kReadDel, any_int()), 5, o);
+  EXPECT_FALSE(check_history(recorder).ok());
+}
+
+TEST(CheckerTest, ReadOfNeverInsertedObjectIsFlagged) {
+  HistoryRecorder recorder;
+  recorder.op_returned(
+      recorder.search_issued(kP0, 0, OpKind::kRead, any_int()), 1,
+      object(9, 1));
+  const auto result = check_history(recorder);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.violations.front().find("never inserted"),
+            std::string::npos);
+}
+
+TEST(CheckerTest, ReadReturningNonMatchingObjectIsFlagged) {
+  HistoryRecorder recorder;
+  const PasoObject o = object(1, 5);
+  recorder.op_returned(recorder.insert_issued(kP0, 0, o), 1, std::nullopt);
+  const auto rd = recorder.search_issued(
+      kP1, 2, OpKind::kRead, criterion(Exact{Value{std::int64_t{99}}}));
+  recorder.op_returned(rd, 3, o);
+  EXPECT_FALSE(check_history(recorder).ok());
+}
+
+TEST(CheckerTest, ReadCompletingBeforeInsertIssueIsFlagged) {
+  HistoryRecorder recorder;
+  const PasoObject o = object(1, 5);
+  const auto rd = recorder.search_issued(kP1, 0, OpKind::kRead, any_int());
+  recorder.op_returned(rd, 5, o);  // returns o before its insert is issued
+  recorder.op_returned(recorder.insert_issued(kP0, 10, o), 12, std::nullopt);
+  EXPECT_FALSE(check_history(recorder).ok());
+}
+
+TEST(CheckerTest, ReadOfDeadObjectIsFlagged) {
+  HistoryRecorder recorder;
+  const PasoObject o = object(1, 5);
+  recorder.op_returned(recorder.insert_issued(kP0, 0, o), 1, std::nullopt);
+  recorder.op_returned(
+      recorder.search_issued(kP0, 2, OpKind::kReadDel, any_int()), 3, o);
+  // Read issued strictly after the read&del returned: o is certainly dead.
+  const auto rd = recorder.search_issued(kP1, 10, OpKind::kRead, any_int());
+  recorder.op_returned(rd, 11, o);
+  const auto result = check_history(recorder);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.violations.front().find("dead"), std::string::npos);
+}
+
+TEST(CheckerTest, ConcurrentReadAndReadDelIsLegal) {
+  HistoryRecorder recorder;
+  const PasoObject o = object(1, 5);
+  recorder.op_returned(recorder.insert_issued(kP0, 0, o), 1, std::nullopt);
+  // read overlaps the read&del: both may return o.
+  const auto rd = recorder.search_issued(kP1, 10, OpKind::kRead, any_int());
+  const auto del =
+      recorder.search_issued(kP0, 11, OpKind::kReadDel, any_int());
+  recorder.op_returned(del, 20, o);
+  recorder.op_returned(rd, 21, o);
+  const auto result = check_history(recorder);
+  EXPECT_TRUE(result.ok()) << result.violations.front();
+}
+
+TEST(CheckerTest, IllegitimateFailIsFlagged) {
+  HistoryRecorder recorder;
+  const PasoObject o = object(1, 5);
+  recorder.op_returned(recorder.insert_issued(kP0, 0, o), 1, std::nullopt);
+  // o is continuously alive over [10, 20], yet the read fails.
+  const auto rd = recorder.search_issued(kP1, 10, OpKind::kRead, any_int());
+  recorder.op_returned(rd, 20, std::nullopt);
+  const auto result = check_history(recorder);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.violations.front().find("fail"), std::string::npos);
+}
+
+TEST(CheckerTest, FailIsLegalWhileInsertInFlight) {
+  HistoryRecorder recorder;
+  const PasoObject o = object(1, 5);
+  // Insert overlaps the read: the object is not certainly alive at the
+  // read's issue, so fail is allowed.
+  recorder.op_returned(recorder.insert_issued(kP0, 8, o), 15, std::nullopt);
+  const auto rd = recorder.search_issued(kP1, 10, OpKind::kRead, any_int());
+  recorder.op_returned(rd, 20, std::nullopt);
+  EXPECT_TRUE(check_history(recorder).ok());
+}
+
+TEST(CheckerTest, FailIsLegalWhenReadDelOverlaps) {
+  HistoryRecorder recorder;
+  const PasoObject o = object(1, 5);
+  recorder.op_returned(recorder.insert_issued(kP0, 0, o), 1, std::nullopt);
+  const auto del =
+      recorder.search_issued(kP0, 12, OpKind::kReadDel, any_int());
+  const auto rd = recorder.search_issued(kP1, 10, OpKind::kRead, any_int());
+  recorder.op_returned(del, 14, o);
+  recorder.op_returned(rd, 20, std::nullopt);  // o may have died at 13
+  EXPECT_TRUE(check_history(recorder).ok());
+}
+
+TEST(CheckerTest, FailIsLegalWhenCriterionDoesNotMatch) {
+  HistoryRecorder recorder;
+  recorder.op_returned(recorder.insert_issued(kP0, 0, object(1, 5)), 1,
+                       std::nullopt);
+  const auto rd = recorder.search_issued(
+      kP1, 10, OpKind::kRead, criterion(Exact{Value{std::int64_t{6}}}));
+  recorder.op_returned(rd, 20, std::nullopt);
+  EXPECT_TRUE(check_history(recorder).ok());
+}
+
+TEST(CheckerTest, MutatedFieldsAreFlagged) {
+  HistoryRecorder recorder;
+  const PasoObject o = object(1, 5);
+  recorder.op_returned(recorder.insert_issued(kP0, 0, o), 1, std::nullopt);
+  PasoObject tampered = o;
+  tampered.fields[0] = Value{std::int64_t{5}};
+  // Same identity, different payload (here same value; make it differ).
+  tampered.fields[0] = Value{std::int64_t{6}};
+  const auto rd = recorder.search_issued(kP1, 2, OpKind::kRead, any_int());
+  recorder.op_returned(rd, 3, tampered);
+  EXPECT_FALSE(check_history(recorder).ok());
+}
+
+TEST(CheckerTest, FailIsLegalWhenPendingReadDelMayHaveKilledTheObject) {
+  // A read&del whose issuer crashed never returns, but its replicated
+  // removal may have been applied: any matching object is possibly dead
+  // from then on, so a later read may legally fail.
+  HistoryRecorder recorder;
+  const PasoObject o = object(1, 5);
+  recorder.op_returned(recorder.insert_issued(kP0, 0, o), 1, std::nullopt);
+  recorder.search_issued(kP0, 5, OpKind::kReadDel, any_int());  // pending
+  const auto rd = recorder.search_issued(kP1, 10, OpKind::kRead, any_int());
+  recorder.op_returned(rd, 20, std::nullopt);
+  EXPECT_TRUE(check_history(recorder).ok());
+}
+
+TEST(CheckerTest, PendingReadDelOfOtherCriterionDoesNotExcuseFail) {
+  HistoryRecorder recorder;
+  const PasoObject o = object(1, 5);
+  recorder.op_returned(recorder.insert_issued(kP0, 0, o), 1, std::nullopt);
+  // Pending read&del that can never match o (different key).
+  recorder.search_issued(kP0, 5, OpKind::kReadDel,
+                         criterion(Exact{Value{std::int64_t{99}}}));
+  const auto rd = recorder.search_issued(kP1, 10, OpKind::kRead, any_int());
+  recorder.op_returned(rd, 20, std::nullopt);
+  EXPECT_FALSE(check_history(recorder).ok());
+}
+
+TEST(CheckerTest, PendingOperationsAreUnconstrained) {
+  HistoryRecorder recorder;
+  const PasoObject o = object(1, 5);
+  recorder.insert_issued(kP0, 0, o);  // never returns (issuer crashed)
+  recorder.search_issued(kP1, 5, OpKind::kRead, any_int());  // pending read
+  EXPECT_TRUE(check_history(recorder).ok());
+}
+
+TEST(CheckerTest, ReturnBeforeIssueIsRejectedByRecorder) {
+  HistoryRecorder recorder;
+  const auto id = recorder.search_issued(kP0, 10, OpKind::kRead, any_int());
+  EXPECT_THROW(recorder.op_returned(id, 5, std::nullopt), InvariantViolation);
+}
+
+TEST(CheckerTest, DoubleReturnIsRejectedByRecorder) {
+  HistoryRecorder recorder;
+  const auto id = recorder.search_issued(kP0, 0, OpKind::kRead, any_int());
+  recorder.op_returned(id, 1, std::nullopt);
+  EXPECT_THROW(recorder.op_returned(id, 2, std::nullopt), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace paso::semantics

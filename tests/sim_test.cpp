@@ -1,0 +1,116 @@
+// Unit tests for the discrete-event simulation engine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace paso::sim {
+namespace {
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.schedule_at(30, [&] { order.push_back(3); });
+  simulator.schedule_at(10, [&] { order.push_back(1); });
+  simulator.schedule_at(20, [&] { order.push_back(2); });
+  simulator.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(simulator.now(), 30);
+}
+
+TEST(SimulatorTest, TiesBreakByInsertionOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.schedule_at(5, [&] { order.push_back(1); });
+  simulator.schedule_at(5, [&] { order.push_back(2); });
+  simulator.schedule_at(5, [&] { order.push_back(3); });
+  simulator.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator simulator;
+  SimTime fired_at = -1;
+  simulator.schedule_at(10, [&] {
+    simulator.schedule_after(5, [&] { fired_at = simulator.now(); });
+  });
+  simulator.run();
+  EXPECT_EQ(fired_at, 15);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator simulator;
+  bool fired = false;
+  const EventId id = simulator.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(simulator.cancel(id));
+  EXPECT_FALSE(simulator.cancel(id));  // second cancel is a no-op
+  simulator.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.schedule_at(10, [&] { ++fired; });
+  simulator.schedule_at(20, [&] { ++fired; });
+  simulator.schedule_at(30, [&] { ++fired; });
+  simulator.run_until(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(simulator.now(), 20);
+  EXPECT_EQ(simulator.pending(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesTimeWithEmptyQueue) {
+  Simulator simulator;
+  simulator.run_until(100);
+  EXPECT_EQ(simulator.now(), 100);
+}
+
+TEST(SimulatorTest, RunWhilePendingStopsOnPredicate) {
+  Simulator simulator;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    simulator.schedule_at(i, [&] { ++count; });
+  }
+  const bool fired = simulator.run_while_pending([&] { return count == 4; });
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(count, 4);
+}
+
+TEST(SimulatorTest, RunWhilePendingReportsDrain) {
+  Simulator simulator;
+  simulator.schedule_at(1, [] {});
+  const bool fired = simulator.run_while_pending([] { return false; });
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, SchedulingIntoThePastThrows) {
+  Simulator simulator;
+  simulator.schedule_at(10, [] {});
+  simulator.run();
+  EXPECT_THROW(simulator.schedule_at(5, [] {}), InvariantViolation);
+}
+
+TEST(SimulatorTest, EventsCanScheduleAtSameTime) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.schedule_at(10, [&] {
+    order.push_back(1);
+    simulator.schedule_at(10, [&] { order.push_back(2); });
+  });
+  simulator.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulatorTest, PendingCountsUncancelledOnly) {
+  Simulator simulator;
+  const EventId a = simulator.schedule_at(1, [] {});
+  simulator.schedule_at(2, [] {});
+  EXPECT_EQ(simulator.pending(), 2u);
+  simulator.cancel(a);
+  EXPECT_EQ(simulator.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace paso::sim

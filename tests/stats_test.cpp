@@ -1,0 +1,105 @@
+// Tests for Summary statistics and the latency-report helper.
+#include <gtest/gtest.h>
+
+#include "analysis/latency.hpp"
+#include "common/stats.hpp"
+#include "paso/cluster.hpp"
+
+namespace paso {
+namespace {
+
+TEST(SummaryTest, BasicMoments) {
+  Summary s;
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(SummaryTest, PercentilesNearestRank) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+  EXPECT_NEAR(s.median(), 50.0, 1.0);
+  EXPECT_NEAR(s.percentile(0.95), 95.0, 1.0);
+}
+
+TEST(SummaryTest, PercentileInterleavedWithAdds) {
+  Summary s;
+  s.add(10);
+  EXPECT_DOUBLE_EQ(s.median(), 10.0);
+  s.add(20);
+  s.add(0);
+  EXPECT_DOUBLE_EQ(s.median(), 10.0);  // re-sorts after mutation
+}
+
+TEST(SummaryTest, MergeCombinesSamples) {
+  Summary a;
+  Summary b;
+  a.add(1);
+  b.add(3);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(SummaryTest, EmptyThrows) {
+  Summary s;
+  EXPECT_THROW(s.mean(), InvariantViolation);
+  EXPECT_THROW(s.percentile(0.5), InvariantViolation);
+}
+
+TEST(LatencyReportTest, SplitsByKindAndCountsPending) {
+  semantics::HistoryRecorder recorder;
+  const ProcessId p{MachineId{0}, 0};
+  PasoObject o;
+  o.id = ObjectId{p, 1};
+  o.fields = {Value{std::int64_t{1}}};
+
+  const auto ins = recorder.insert_issued(p, 0, o);
+  recorder.op_returned(ins, 10, std::nullopt);
+  const auto rd = recorder.search_issued(p, 20, semantics::OpKind::kRead,
+                                         criterion(AnyField{}));
+  recorder.op_returned(rd, 25, o);
+  recorder.search_issued(p, 30, semantics::OpKind::kReadDel,
+                         criterion(AnyField{}));  // pending forever
+
+  const auto report = analysis::latency_report(recorder);
+  EXPECT_EQ(report.insert.count(), 1u);
+  EXPECT_DOUBLE_EQ(report.insert.mean(), 10.0);
+  EXPECT_EQ(report.read.count(), 1u);
+  EXPECT_DOUBLE_EQ(report.read.mean(), 5.0);
+  EXPECT_TRUE(report.read_del.empty());
+  EXPECT_EQ(report.pending, 1u);
+}
+
+TEST(LatencyReportTest, EndToEndLatenciesAreOrderedSensibly) {
+  Schema schema({ClassSpec{"t", {FieldType::kInt, FieldType::kText}, 0, 1}});
+  ClusterConfig cfg;
+  cfg.machines = 5;
+  cfg.lambda = 1;
+  Cluster cluster(std::move(schema), cfg);
+  cluster.assign_basic_support();
+  const ClassId cls{0};
+  const MachineId member = cluster.basic_support(cls).front();
+  const MachineId outside{4};
+  for (int i = 0; i < 10; ++i) {
+    cluster.insert_sync(cluster.process(member),
+                        {Value{std::int64_t{i}}, Value{std::string{"x"}}});
+    cluster.read_sync(cluster.process(member),
+                      criterion(Exact{Value{std::int64_t{i}}}, AnyField{}));
+    cluster.read_sync(cluster.process(outside),
+                      criterion(Exact{Value{std::int64_t{i}}}, AnyField{}));
+  }
+  const auto report = analysis::latency_report(cluster.history());
+  EXPECT_EQ(report.pending, 0u);
+  // Local reads complete in zero virtual time; remote ones pay the bus.
+  EXPECT_DOUBLE_EQ(report.read.min(), 0.0);
+  EXPECT_GT(report.read.max(), 0.0);
+  EXPECT_GT(report.insert.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace paso

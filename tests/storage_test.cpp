@@ -1,0 +1,203 @@
+// Tests for the three local object stores (Sections 4.2, 5): store_M /
+// mem-read_M / remove_M semantics, oldest-first removal, snapshot/load for
+// state transfer, and the model cost functions I/Q/D.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "storage/hash_store.hpp"
+#include "storage/linear_store.hpp"
+#include "storage/ordered_store.hpp"
+
+namespace paso::storage {
+namespace {
+
+PasoObject make_object(std::uint64_t seq, std::int64_t key,
+                       const std::string& text = "t") {
+  PasoObject object;
+  object.id = ObjectId{ProcessId{MachineId{0}, 0}, seq};
+  object.fields = {Value{key}, Value{text}};
+  return object;
+}
+
+SearchCriterion key_criterion(std::int64_t key) {
+  return criterion(Exact{Value{key}}, AnyField{});
+}
+
+/// Parameterized over the three store kinds: shared behaviour contracts.
+class StoreContractTest
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<ObjectStore> make_store() const {
+    const std::string kind = GetParam();
+    if (kind == "hash") return std::make_unique<HashStore>(0);
+    if (kind == "ordered") return std::make_unique<OrderedStore>(0);
+    return std::make_unique<LinearStore>();
+  }
+};
+
+TEST_P(StoreContractTest, StoreAndFindByExactKey) {
+  auto store = make_store();
+  store->store(make_object(1, 42), 0);
+  store->store(make_object(2, 7), 1);
+  const auto found = store->find(key_criterion(42));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->id.sequence, 1u);
+  EXPECT_FALSE(store->find(key_criterion(99)).has_value());
+}
+
+TEST_P(StoreContractTest, FindReturnsOldestMatch) {
+  auto store = make_store();
+  store->store(make_object(1, 5, "first"), 0);
+  store->store(make_object(2, 5, "second"), 1);
+  const auto found = store->find(key_criterion(5));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->id.sequence, 1u);
+}
+
+TEST_P(StoreContractTest, RemoveReturnsOldestAndDeletes) {
+  auto store = make_store();
+  store->store(make_object(1, 5), 0);
+  store->store(make_object(2, 5), 1);
+  const auto removed = store->remove(key_criterion(5));
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(removed->id.sequence, 1u);
+  EXPECT_EQ(store->size(), 1u);
+  const auto second = store->remove(key_criterion(5));
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->id.sequence, 2u);
+  EXPECT_FALSE(store->remove(key_criterion(5)).has_value());
+  EXPECT_EQ(store->size(), 0u);
+}
+
+TEST_P(StoreContractTest, DuplicateIdentityIsIdempotent) {
+  auto store = make_store();
+  store->store(make_object(1, 5), 0);
+  store->store(make_object(1, 5), 1);  // same identity: A2 idempotence
+  EXPECT_EQ(store->size(), 1u);
+}
+
+TEST_P(StoreContractTest, EraseById) {
+  auto store = make_store();
+  const PasoObject object = make_object(3, 9);
+  store->store(object, 0);
+  EXPECT_TRUE(store->erase(object.id));
+  EXPECT_FALSE(store->erase(object.id));
+  EXPECT_EQ(store->size(), 0u);
+  EXPECT_FALSE(store->find(key_criterion(9)).has_value());
+}
+
+TEST_P(StoreContractTest, GeneralCriterionFallsBackToScan) {
+  auto store = make_store();
+  store->store(make_object(1, 10, "alpha"), 0);
+  store->store(make_object(2, 20, "beta"), 1);
+  // No exact key: a text prefix on the second field forces a scan.
+  const auto found = store->find(criterion(AnyField{}, TextPrefix{"be"}));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->id.sequence, 2u);
+}
+
+TEST_P(StoreContractTest, SnapshotLoadRoundTripsInAgeOrder) {
+  auto store = make_store();
+  store->store(make_object(1, 1), 5);
+  store->store(make_object(2, 2), 9);
+  const auto snapshot = store->snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].age, 5u);
+  EXPECT_EQ(snapshot[1].age, 9u);
+
+  auto other = make_store();
+  other->load(snapshot);
+  EXPECT_EQ(other->size(), 2u);
+  // Removal order (by age) must be preserved across the transfer.
+  const auto oldest = other->remove(criterion(AnyField{}, AnyField{}));
+  ASSERT_TRUE(oldest.has_value());
+  EXPECT_EQ(oldest->id.sequence, 1u);
+}
+
+TEST_P(StoreContractTest, StateBytesTracksContent) {
+  auto store = make_store();
+  const std::size_t empty = store->state_bytes();
+  store->store(make_object(1, 1, "payload"), 0);
+  EXPECT_GT(store->state_bytes(), empty);
+  store->clear();
+  EXPECT_EQ(store->state_bytes(), empty);
+}
+
+TEST_P(StoreContractTest, ClearEmptiesEverything) {
+  auto store = make_store();
+  store->store(make_object(1, 1), 0);
+  store->store(make_object(2, 2), 1);
+  store->clear();
+  EXPECT_EQ(store->size(), 0u);
+  EXPECT_FALSE(store->find(criterion(AnyField{}, AnyField{})).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStores, StoreContractTest,
+                         ::testing::Values("hash", "ordered", "linear"),
+                         [](const auto& info) { return info.param; });
+
+// --- kind-specific behaviour -------------------------------------------------
+
+TEST(HashStoreTest, UnitModelCosts) {
+  HashStore store(0);
+  for (std::uint64_t i = 0; i < 100; ++i) store.store(make_object(i, 1), i);
+  EXPECT_DOUBLE_EQ(store.insert_cost(), 1.0);
+  EXPECT_DOUBLE_EQ(store.query_cost(), 1.0);
+  EXPECT_DOUBLE_EQ(store.remove_cost(), 1.0);
+}
+
+TEST(OrderedStoreTest, RangeQueriesUseTheIndex) {
+  OrderedStore store(0);
+  for (std::int64_t k = 0; k < 50; ++k) {
+    store.store(make_object(static_cast<std::uint64_t>(k), k), k);
+  }
+  const auto found = store.find(criterion(IntRange{10, 12}, AnyField{}));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(std::get<std::int64_t>(found->fields[0]), 10);
+  const auto removed = store.remove(criterion(IntRange{48, 100}, AnyField{}));
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(std::get<std::int64_t>(removed->fields[0]), 48);
+}
+
+TEST(OrderedStoreTest, LogarithmicQueryCostGrowsWithSize) {
+  OrderedStore store(0);
+  EXPECT_DOUBLE_EQ(store.query_cost(), 1.0);
+  for (std::uint64_t i = 0; i < 1024; ++i) store.store(make_object(i, 1), i);
+  EXPECT_GE(store.query_cost(), 10.0);
+  EXPECT_DOUBLE_EQ(store.insert_cost(), 1.0);
+}
+
+TEST(OrderedStoreTest, FixedQueryCostOverride) {
+  OrderedStore store(0, 4.0);
+  for (std::uint64_t i = 0; i < 1000; ++i) store.store(make_object(i, 1), i);
+  EXPECT_DOUBLE_EQ(store.query_cost(), 4.0);
+}
+
+TEST(LinearStoreTest, LinearModelCosts) {
+  LinearStore store;
+  for (std::uint64_t i = 0; i < 37; ++i) store.store(make_object(i, 1), i);
+  EXPECT_DOUBLE_EQ(store.query_cost(), 37.0);
+  EXPECT_DOUBLE_EQ(store.remove_cost(), 37.0);
+  EXPECT_DOUBLE_EQ(store.insert_cost(), 1.0);
+}
+
+TEST(LinearStoreTest, EmptyStoreCostsFloorAtOne) {
+  LinearStore store;
+  EXPECT_DOUBLE_EQ(store.query_cost(), 1.0);
+}
+
+TEST(OrderedStoreTest, RealRangeQueries) {
+  OrderedStore store(0);
+  PasoObject object;
+  object.id = ObjectId{ProcessId{MachineId{0}, 0}, 1};
+  object.fields = {Value{3.25}, Value{std::string{"x"}}};
+  store.store(object, 0);
+  const auto found = store.find(criterion(RealRange{3.0, 3.5}, AnyField{}));
+  EXPECT_TRUE(found.has_value());
+  EXPECT_FALSE(
+      store.find(criterion(RealRange{3.3, 3.5}, AnyField{})).has_value());
+}
+
+}  // namespace
+}  // namespace paso::storage

@@ -1,0 +1,182 @@
+// Tests for the distributed support-selection manager: failed basic-support
+// machines are replaced by recruits that pay the g-join state copy, and the
+// fault-tolerance condition keeps holding.
+#include <gtest/gtest.h>
+
+#include "adaptive/basic_policy.hpp"
+#include "adaptive/support_manager.hpp"
+#include "semantics/checker.hpp"
+
+namespace paso::adaptive {
+namespace {
+
+Schema task_schema() {
+  return Schema({
+      ClassSpec{"task", {FieldType::kInt, FieldType::kText}, 0, 1},
+  });
+}
+
+Tuple task(std::int64_t key) { return {Value{key}, Value{std::string{"v"}}}; }
+
+SearchCriterion by_key(std::int64_t key) {
+  return criterion(Exact{Value{key}}, TypedAny{FieldType::kText});
+}
+
+class SupportManagerTest : public ::testing::Test {
+ protected:
+  static ClusterConfig config() {
+    ClusterConfig cfg;
+    cfg.machines = 6;
+    cfg.lambda = 1;
+    return cfg;
+  }
+};
+
+TEST_F(SupportManagerTest, FailedSupportMemberIsReplaced) {
+  Cluster cluster(task_schema(), config());
+  cluster.assign_basic_support();
+  SupportManager manager(cluster, SupportManager::Rule::kLrf);
+
+  const ClassId cls{0};
+  const auto original = cluster.basic_support(cls);  // {M0, M1}
+  const ProcessId writer = cluster.process(original[1]);
+  for (int k = 0; k < 8; ++k) {
+    ASSERT_TRUE(cluster.insert_sync(writer, task(k)));
+  }
+
+  cluster.crash(original[0]);
+  cluster.settle();  // failure detection completes
+  manager.on_machine_failed(original[0]);
+  cluster.settle();  // recruit joins and receives state
+
+  const auto support = cluster.basic_support(cls);
+  EXPECT_EQ(support.size(), 2u);
+  EXPECT_EQ(std::count(support.begin(), support.end(), original[0]), 0);
+  EXPECT_EQ(manager.recruitments(), 1u);
+  // The recruit holds a full replica.
+  for (const MachineId m : support) {
+    EXPECT_EQ(cluster.server(m).live_count(cls), 8u) << m;
+  }
+  EXPECT_TRUE(cluster.fault_tolerance_condition_holds());
+}
+
+TEST_F(SupportManagerTest, LrfPrefersNeverFailedMachines) {
+  Cluster cluster(task_schema(), config());
+  cluster.assign_basic_support();
+  SupportManager manager(cluster, SupportManager::Rule::kLrf);
+  const ProcessId writer = cluster.process(MachineId{1});
+  ASSERT_TRUE(cluster.insert_sync(writer, task(1)));
+
+  // M2 fails (non-support) and recovers: it is now "recently failed".
+  cluster.crash(MachineId{2});
+  cluster.settle();
+  manager.on_machine_failed(MachineId{2});
+  cluster.recover(MachineId{2});
+  cluster.settle();
+
+  // Support member M0 fails: LRF must recruit a never-failed machine, not M2.
+  cluster.crash(MachineId{0});
+  cluster.settle();
+  manager.on_machine_failed(MachineId{0});
+  cluster.settle();
+  const auto support = cluster.basic_support(ClassId{0});
+  EXPECT_EQ(std::count(support.begin(), support.end(), MachineId{2}), 0);
+}
+
+TEST_F(SupportManagerTest, DataSurvivesRollingFailures) {
+  Cluster cluster(task_schema(), config());
+  cluster.assign_basic_support();
+  SupportManager manager(cluster, SupportManager::Rule::kLrf);
+
+  const ProcessId writer = cluster.process(MachineId{5});
+  for (int k = 0; k < 12; ++k) {
+    ASSERT_TRUE(cluster.insert_sync(writer, task(k)));
+  }
+
+  // Roll failures through four machines, one at a time (k = 1 <= lambda at
+  // every instant), recruiting replacements and recovering the failed one.
+  for (std::uint32_t round = 0; round < 4; ++round) {
+    const auto support = cluster.basic_support(ClassId{0});
+    const MachineId victim = support[round % 2];
+    cluster.crash(victim);
+    cluster.settle();
+    manager.on_machine_failed(victim);
+    cluster.settle();
+    EXPECT_TRUE(cluster.fault_tolerance_condition_holds());
+    cluster.recover(victim);
+    cluster.settle();
+  }
+
+  for (int k = 0; k < 12; ++k) {
+    EXPECT_TRUE(
+        cluster.read_sync(cluster.process(MachineId{5}), by_key(k))
+            .has_value())
+        << k;
+  }
+  const auto check = semantics::check_history(cluster.history());
+  EXPECT_TRUE(check.ok()) << check.violations.front();
+}
+
+TEST_F(SupportManagerTest, ComposesWithAdaptiveReplication) {
+  // The paper notes LRF alone "does not permit expanding the write group";
+  // composition solves it: SupportManager maintains B(C) under failures
+  // while the Basic counter grows/shrinks the non-basic membership.
+  Cluster cluster(task_schema(), config());
+  cluster.assign_basic_support();
+  adaptive::install_basic_policies(cluster,
+                                   adaptive::BasicPolicyOptions{6, 1, false});
+  SupportManager manager(cluster, SupportManager::Rule::kLrf);
+
+  const ClassId cls{0};
+  const ProcessId writer = cluster.process(cluster.basic_support(cls)[1]);
+  for (int k = 0; k < 6; ++k) {
+    ASSERT_TRUE(cluster.insert_sync(writer, task(k)));
+  }
+
+  // Read pressure from M5 (outside the support): the counter joins it.
+  const ProcessId reader = cluster.process(MachineId{5});
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(cluster.read_sync(reader, by_key(1)).has_value());
+  }
+  cluster.settle();
+  ASSERT_TRUE(cluster.runtime(MachineId{5}).is_member(cls));
+
+  // A basic member fails; LRF recruits a replacement. The adaptive member
+  // must survive the reshuffle and keep serving locally.
+  const MachineId victim = cluster.basic_support(cls)[0];
+  cluster.crash(victim);
+  cluster.settle();
+  manager.on_machine_failed(victim);
+  cluster.settle();
+  EXPECT_TRUE(cluster.fault_tolerance_condition_holds());
+  EXPECT_TRUE(cluster.runtime(MachineId{5}).is_member(cls));
+  const auto before = cluster.ledger().snapshot();
+  ASSERT_TRUE(cluster.read_sync(reader, by_key(2)).has_value());
+  EXPECT_DOUBLE_EQ(cluster.ledger().since(before).msg_cost, 0.0);
+
+  // Update pressure: the adaptive member leaves again; B(C) stays intact.
+  for (int k = 10; k < 20; ++k) {
+    ASSERT_TRUE(cluster.insert_sync(writer, task(k)));
+  }
+  cluster.settle();
+  EXPECT_FALSE(cluster.runtime(MachineId{5}).is_member(cls));
+  const auto support = cluster.basic_support(cls);
+  for (const MachineId m : support) {
+    EXPECT_TRUE(cluster.groups().is_member(
+        cluster.schema().group_name(cls), m))
+        << m;
+  }
+  const auto check = semantics::check_history(cluster.history());
+  EXPECT_TRUE(check.ok()) << check.violations.front();
+}
+
+TEST_F(SupportManagerTest, RulesAreAvailableAndNamed) {
+  EXPECT_STREQ(SupportManager::rule_name(SupportManager::Rule::kLrf), "LRF");
+  EXPECT_STREQ(SupportManager::rule_name(SupportManager::Rule::kRoundRobin),
+               "ROUND-ROBIN");
+  EXPECT_STREQ(SupportManager::rule_name(SupportManager::Rule::kRandom),
+               "RANDOM");
+}
+
+}  // namespace
+}  // namespace paso::adaptive

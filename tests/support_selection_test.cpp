@@ -1,0 +1,135 @@
+// Tests for the support-selection reduction (Section 5.2, Theorem 4):
+// LRF must coincide with LRU under the page/machine mapping, OPT must lower
+// bound every rule, and the adversary must drive deterministic rules to the
+// n - lambda - 1 bound.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adaptive/support_selection.hpp"
+
+namespace paso::adaptive {
+namespace {
+
+constexpr std::size_t kMachines = 10;
+constexpr std::size_t kLambda = 2;
+
+std::unique_ptr<PagingBackedSelector> lru_selector() {
+  return std::make_unique<PagingBackedSelector>(
+      kMachines, kLambda,
+      std::make_unique<LruPaging>(kMachines - kLambda - 1));
+}
+
+TEST(SupportSelectionTest, InitialWriteGroupIsBasicSupport) {
+  LrfSelector lrf(kMachines, kLambda);
+  EXPECT_EQ(lrf.write_group(), (std::vector<std::size_t>{0, 1, 2}));
+  auto lru = lru_selector();
+  EXPECT_EQ(lru->write_group(), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(SupportSelectionTest, NonMemberFailureIsFree) {
+  LrfSelector lrf(kMachines, kLambda);
+  EXPECT_FALSE(lrf.on_failure(7));
+  EXPECT_EQ(lrf.copies(), 0u);
+  EXPECT_EQ(lrf.write_group(), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(SupportSelectionTest, MemberFailureForcesOneCopy) {
+  LrfSelector lrf(kMachines, kLambda);
+  EXPECT_TRUE(lrf.on_failure(1));
+  EXPECT_EQ(lrf.copies(), 1u);
+  const auto group = lrf.write_group();
+  EXPECT_EQ(group.size(), kLambda + 1);
+  EXPECT_EQ(std::count(group.begin(), group.end(), 1u), 0);
+}
+
+TEST(SupportSelectionTest, LrfRecruitsLeastRecentlyFailed) {
+  LrfSelector lrf(kMachines, kLambda);
+  lrf.on_failure(5);  // non-member, stamps machine 5
+  lrf.on_failure(0);  // member fails: recruit never-failed lowest index = 3
+  const auto group = lrf.write_group();
+  EXPECT_NE(std::find(group.begin(), group.end(), 3u), group.end());
+  EXPECT_EQ(std::find(group.begin(), group.end(), 5u), group.end());
+}
+
+TEST(SupportSelectionTest, LrfEqualsLruUnderTheReduction) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto trace = uniform_failure_trace(kMachines, 500, rng);
+    LrfSelector lrf(kMachines, kLambda);
+    auto lru = lru_selector();
+    for (const std::size_t m : trace) {
+      const bool lrf_copy = lrf.on_failure(m);
+      const bool lru_copy = lru->on_failure(m);
+      ASSERT_EQ(lrf_copy, lru_copy) << "diverged on machine " << m;
+    }
+    EXPECT_EQ(lrf.copies(), lru->copies());
+    EXPECT_EQ(lrf.write_group(), lru->write_group());
+  }
+}
+
+TEST(SupportSelectionTest, OptimalLowerBoundsEveryRule) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto trace = flaky_failure_trace(kMachines, 800, 1.0, rng);
+    const std::uint64_t opt = optimal_copies(trace, kMachines, kLambda);
+    LrfSelector lrf(kMachines, kLambda);
+    PagingBackedSelector fifo(
+        kMachines, kLambda,
+        std::make_unique<FifoPaging>(kMachines - kLambda - 1));
+    PagingBackedSelector marking(
+        kMachines, kLambda,
+        std::make_unique<MarkingPaging>(kMachines - kLambda - 1, rng.split()));
+    EXPECT_LE(opt, run_selector(lrf, trace));
+    EXPECT_LE(opt, run_selector(fifo, trace));
+    EXPECT_LE(opt, run_selector(marking, trace));
+  }
+}
+
+TEST(SupportSelectionTest, CyclicAdversaryApproachesTheoremFourBound) {
+  // n - lambda machines cycle failures; LRF copies on every member failure
+  // while OPT copies ~ once per cache_size failures.
+  const std::size_t n = 8;
+  const std::size_t lambda = 2;
+  const auto trace = cyclic_failure_trace(n, lambda, 1200);
+  LrfSelector lrf(n, lambda);
+  const std::uint64_t online = run_selector(lrf, trace);
+  const std::uint64_t opt =
+      std::max<std::uint64_t>(optimal_copies(trace, n, lambda), 1);
+  const double ratio =
+      static_cast<double>(online) / static_cast<double>(opt);
+  const double bound = static_cast<double>(n - lambda - 1);
+  EXPECT_GE(ratio, bound * 0.7);   // approaches the lower bound...
+  EXPECT_LE(ratio, bound + 1e-9);  // ...and LRU/LRF never exceeds k * OPT
+}
+
+TEST(SupportSelectionTest, WriteGroupSizeIsInvariant) {
+  Rng rng(11);
+  const auto trace = uniform_failure_trace(kMachines, 300, rng);
+  LrfSelector lrf(kMachines, kLambda);
+  for (const std::size_t m : trace) {
+    lrf.on_failure(m);
+    ASSERT_EQ(lrf.write_group().size(), kLambda + 1);
+  }
+}
+
+TEST(SupportSelectionTest, FlakyTraceFavorsLrfOverFifo) {
+  // With a few chronically flaky machines, LRF keeps them out of the write
+  // group; FIFO cycles them back in. LRF should do no worse on average.
+  Rng rng(123);
+  std::uint64_t lrf_total = 0;
+  std::uint64_t fifo_total = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto trace = flaky_failure_trace(kMachines, 1000, 1.4, rng);
+    LrfSelector lrf(kMachines, kLambda);
+    PagingBackedSelector fifo(
+        kMachines, kLambda,
+        std::make_unique<FifoPaging>(kMachines - kLambda - 1));
+    lrf_total += run_selector(lrf, trace);
+    fifo_total += run_selector(fifo, trace);
+  }
+  EXPECT_LE(lrf_total, fifo_total);
+}
+
+}  // namespace
+}  // namespace paso::adaptive

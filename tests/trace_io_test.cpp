@@ -1,0 +1,104 @@
+// Tests for CSV trace I/O: round-trips, format validation, and replaying a
+// saved trace through the competitive machinery.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/trace_io.hpp"
+#include "analysis/workloads.hpp"
+#include "common/rng.hpp"
+
+namespace paso::analysis {
+namespace {
+
+TEST(TraceIoTest, RequestsRoundTrip) {
+  Rng rng(1);
+  const RequestSequence original = random_sequence(200, 0.6, 8, rng);
+  std::stringstream buffer;
+  write_requests(buffer, original);
+  const RequestSequence back = read_requests(buffer);
+  ASSERT_EQ(back.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(back[i].kind, original[i].kind);
+    EXPECT_DOUBLE_EQ(back[i].join_cost, original[i].join_cost);
+  }
+}
+
+TEST(TraceIoTest, GlobalRoundTrip) {
+  Rng rng(2);
+  const GlobalSequence original = hotspot_sequence(HotSpotOptions{}, 8, rng);
+  std::stringstream buffer;
+  write_global(buffer, original);
+  const GlobalSequence back = read_global(buffer);
+  ASSERT_EQ(back.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); i += 97) {
+    EXPECT_EQ(back[i].kind, original[i].kind);
+    EXPECT_EQ(back[i].machine, original[i].machine);
+  }
+}
+
+TEST(TraceIoTest, FailuresRoundTrip) {
+  Rng rng(3);
+  const adaptive::FailureTrace original =
+      adaptive::uniform_failure_trace(16, 500, rng);
+  std::stringstream buffer;
+  write_failures(buffer, original);
+  EXPECT_EQ(read_failures(buffer), original);
+}
+
+TEST(TraceIoTest, RejectsBadHeader) {
+  std::stringstream buffer("nope\nread,8\n");
+  EXPECT_THROW(read_requests(buffer), InvariantViolation);
+}
+
+TEST(TraceIoTest, RejectsBadKind) {
+  std::stringstream buffer("kind,join_cost\nwrite,8\n");
+  EXPECT_THROW(read_requests(buffer), InvariantViolation);
+}
+
+TEST(TraceIoTest, RejectsShortRow) {
+  std::stringstream buffer("kind,join_cost\nread\n");
+  EXPECT_THROW(read_requests(buffer), InvariantViolation);
+}
+
+TEST(TraceIoTest, SkipsBlankLines) {
+  std::stringstream buffer("kind,join_cost\nread,4\n\nupdate,4\n");
+  EXPECT_EQ(read_requests(buffer).size(), 2u);
+}
+
+TEST(TraceIoTest, ReplayedTraceGivesIdenticalResults) {
+  Rng rng(4);
+  const GameCosts costs{1, 2};
+  const adaptive::CounterConfig config{8, 1, false, false};
+  const RequestSequence original =
+      adversarial_basic_sequence(30, 8, costs);
+  std::stringstream buffer;
+  write_requests(buffer, original);
+  const RequestSequence replayed = read_requests(buffer);
+  const auto a = compare_basic(original, costs, config);
+  const auto b = compare_basic(replayed, costs, config);
+  EXPECT_DOUBLE_EQ(a.online, b.online);
+  EXPECT_DOUBLE_EQ(a.opt, b.opt);
+}
+
+TEST(TraceIoTest, FileRoundTripViaTempDir) {
+  Rng rng(5);
+  const std::string path = ::testing::TempDir() + "/paso_trace.csv";
+  const RequestSequence original = random_sequence(50, 0.5, 4, rng);
+  save_requests(path, original);
+  const RequestSequence back = load_requests(path);
+  EXPECT_EQ(back.size(), original.size());
+
+  const std::string failures_path =
+      ::testing::TempDir() + "/paso_failures.csv";
+  const adaptive::FailureTrace trace{1, 4, 2, 2, 0};
+  save_failures(failures_path, trace);
+  EXPECT_EQ(load_failures(failures_path), trace);
+}
+
+TEST(TraceIoTest, MissingFileThrows) {
+  EXPECT_THROW(load_requests("/nonexistent/paso.csv"), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace paso::analysis

@@ -1,0 +1,184 @@
+// Tests for the wire codec. The central property: every declared
+// wire_size() equals the length of the real encoding — the cost model's
+// message sizes are honest — plus exact round-tripping of all types.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "paso/wire.hpp"
+
+namespace paso::wire {
+namespace {
+
+const std::vector<FieldType> kSignature{FieldType::kInt, FieldType::kText,
+                                        FieldType::kReal, FieldType::kBool};
+
+PasoObject sample_object(std::uint64_t seq, const std::string& text) {
+  PasoObject object;
+  object.id = ObjectId{ProcessId{MachineId{3}, 2}, seq};
+  object.fields = {Value{std::int64_t{-99}}, Value{text}, Value{2.75},
+                   Value{true}};
+  return object;
+}
+
+Value random_value(Rng& rng, FieldType type) {
+  switch (type) {
+    case FieldType::kInt:
+      return Value{static_cast<std::int64_t>(rng()) >> 3};
+    case FieldType::kReal:
+      return Value{rng.uniform01() * 1e6 - 5e5};
+    case FieldType::kText:
+      return Value{std::string(rng.index(40), 'a' + rng.index(26) % 26)};
+    case FieldType::kBool:
+      return Value{rng.chance(0.5)};
+  }
+  return Value{};
+}
+
+TEST(WireValueTest, RoundTripsEveryType) {
+  const std::vector<Value> values{Value{std::int64_t{-7}}, Value{3.5},
+                                  Value{std::string{"hello"}}, Value{false}};
+  for (const Value& v : values) {
+    ByteWriter w;
+    encode_value(w, v);
+    EXPECT_EQ(w.size(), wire_size(v)) << value_to_string(v);
+    ByteReader r(w.bytes());
+    EXPECT_EQ(decode_value(r, type_of(v)), v);
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+TEST(WireObjectTest, RoundTripAndSizeAgree) {
+  const PasoObject object = sample_object(42, "some payload text");
+  ByteWriter w;
+  encode_object(w, object);
+  EXPECT_EQ(w.size(), object.wire_size());
+  ByteReader r(w.bytes());
+  const PasoObject decoded = decode_object(r, kSignature);
+  EXPECT_EQ(decoded, object);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(WireObjectTest, RandomObjectsRoundTrip) {
+  Rng rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    PasoObject object;
+    object.id = ObjectId{
+        ProcessId{MachineId{static_cast<std::uint32_t>(rng.index(64))},
+                  static_cast<std::uint32_t>(rng.index(8))},
+        rng()};
+    std::vector<FieldType> signature;
+    const std::size_t arity = 1 + rng.index(6);
+    for (std::size_t i = 0; i < arity; ++i) {
+      signature.push_back(static_cast<FieldType>(rng.index(4)));
+      object.fields.push_back(random_value(rng, signature.back()));
+    }
+    ByteWriter w;
+    encode_object(w, object);
+    ASSERT_EQ(w.size(), object.wire_size());
+    ByteReader r(w.bytes());
+    ASSERT_EQ(decode_object(r, signature), object);
+  }
+}
+
+TEST(WireCriterionTest, AllPatternKindsRoundTrip) {
+  const SearchCriterion sc = criterion(
+      AnyField{}, TypedAny{FieldType::kReal},
+      Exact{Value{std::string{"needle"}}}, IntRange{-5, 5},
+      RealRange{0.25, 0.75}, TextPrefix{"pre"});
+  ByteWriter w;
+  encode_criterion(w, sc);
+  EXPECT_EQ(w.size(), sc.wire_size());
+  ByteReader r(w.bytes());
+  EXPECT_EQ(decode_criterion(r), sc);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(WireCriterionTest, EmptyCriterionRoundTrips) {
+  const SearchCriterion sc;
+  ByteWriter w;
+  encode_criterion(w, sc);
+  EXPECT_EQ(w.size(), sc.wire_size());
+  ByteReader r(w.bytes());
+  EXPECT_EQ(decode_criterion(r), sc);
+}
+
+class WireMessageTest : public ::testing::Test {
+ protected:
+  static std::vector<FieldType> resolve(ClassId) { return kSignature; }
+
+  void expect_round_trip(const ServerMessage& message) {
+    const auto bytes = encode_message(message);
+    EXPECT_EQ(bytes.size(), message_wire_size(message));
+    const ServerMessage decoded = decode_message(bytes, resolve);
+    EXPECT_EQ(decoded.index(), message.index());
+    std::visit(
+        [&decoded](const auto& original) {
+          using M = std::decay_t<decltype(original)>;
+          const auto* back = std::get_if<M>(&decoded);
+          ASSERT_NE(back, nullptr);
+          if constexpr (std::is_same_v<M, StoreMsg>) {
+            EXPECT_EQ(back->cls, original.cls);
+            EXPECT_EQ(back->object, original.object);
+          } else if constexpr (std::is_same_v<M, MemReadMsg> ||
+                               std::is_same_v<M, RemoveMsg>) {
+            EXPECT_EQ(back->cls, original.cls);
+            EXPECT_EQ(back->criterion, original.criterion);
+          } else if constexpr (std::is_same_v<M, PlaceMarkerMsg>) {
+            EXPECT_EQ(back->cls, original.cls);
+            EXPECT_EQ(back->criterion, original.criterion);
+            EXPECT_EQ(back->marker_id, original.marker_id);
+            EXPECT_EQ(back->owner, original.owner);
+            EXPECT_EQ(back->expires_at, original.expires_at);
+          } else {
+            static_assert(std::is_same_v<M, CancelMarkerMsg>);
+            EXPECT_EQ(back->cls, original.cls);
+            EXPECT_EQ(back->marker_id, original.marker_id);
+            EXPECT_EQ(back->owner, original.owner);
+          }
+        },
+        message);
+  }
+};
+
+TEST_F(WireMessageTest, StoreMessage) {
+  expect_round_trip(StoreMsg{ClassId{5}, sample_object(7, "abc")});
+}
+
+TEST_F(WireMessageTest, MemReadMessage) {
+  expect_round_trip(
+      MemReadMsg{ClassId{2}, criterion(IntRange{1, 9}, AnyField{},
+                                       TypedAny{FieldType::kReal},
+                                       AnyField{})});
+}
+
+TEST_F(WireMessageTest, RemoveMessage) {
+  expect_round_trip(RemoveMsg{
+      ClassId{0}, criterion(Exact{Value{std::int64_t{12}}}, AnyField{},
+                            AnyField{}, AnyField{})});
+}
+
+TEST_F(WireMessageTest, MarkerMessages) {
+  expect_round_trip(PlaceMarkerMsg{
+      ClassId{1},
+      criterion(TextPrefix{"task/"}, AnyField{}, AnyField{}, AnyField{}),
+      991, MachineId{6}, 12345.5});
+  expect_round_trip(CancelMarkerMsg{ClassId{1}, 991, MachineId{6}});
+}
+
+TEST(WireReaderTest, OverrunThrows) {
+  ByteWriter w;
+  w.u32(7);
+  ByteReader r(w.bytes());
+  r.u32();
+  EXPECT_THROW(r.u8(), InvariantViolation);
+}
+
+TEST(WireReaderTest, TruncatedTextThrows) {
+  ByteWriter w;
+  w.u32(100);  // length prefix promising 100 bytes that are absent
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.text(), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace paso::wire

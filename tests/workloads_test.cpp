@@ -1,0 +1,106 @@
+// Tests for the workload generators: shape properties the competitive
+// experiments rely on.
+#include <gtest/gtest.h>
+
+#include "analysis/workloads.hpp"
+
+namespace paso::analysis {
+namespace {
+
+TEST(WorkloadTest, RandomSequenceMatchesMixAndLength) {
+  Rng rng(1);
+  const auto seq = random_sequence(10000, 0.7, 8, rng);
+  ASSERT_EQ(seq.size(), 10000u);
+  std::size_t reads = 0;
+  for (const Request& r : seq) {
+    EXPECT_DOUBLE_EQ(r.join_cost, 8.0);
+    if (r.kind == ReqKind::kRead) ++reads;
+  }
+  EXPECT_NEAR(static_cast<double>(reads) / 10000.0, 0.7, 0.03);
+}
+
+TEST(WorkloadTest, PhasedSequenceAlternatesMixes) {
+  Rng rng(2);
+  PhasedOptions options;
+  options.phases = 2;
+  options.phase_length = 5000;
+  options.read_heavy_probability = 0.95;
+  options.update_heavy_probability = 0.05;
+  const auto seq = phased_sequence(options, 8, rng);
+  ASSERT_EQ(seq.size(), 10000u);
+  auto reads_in = [&seq](std::size_t from, std::size_t to) {
+    std::size_t reads = 0;
+    for (std::size_t i = from; i < to; ++i) {
+      if (seq[i].kind == ReqKind::kRead) ++reads;
+    }
+    return static_cast<double>(reads) / static_cast<double>(to - from);
+  };
+  EXPECT_GT(reads_in(0, 5000), 0.9);
+  EXPECT_LT(reads_in(5000, 10000), 0.1);
+}
+
+TEST(WorkloadTest, AdversaryHasExactRentOrBuyShape) {
+  const GameCosts costs{1, 3};  // r = 3
+  const auto seq = adversarial_basic_sequence(2, 9, costs);
+  // ceil(9/3) = 3 reads then 9 updates, twice.
+  ASSERT_EQ(seq.size(), 2 * (3 + 9));
+  for (std::size_t cycle = 0; cycle < 2; ++cycle) {
+    const std::size_t base = cycle * 12;
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(seq[base + i].kind, ReqKind::kRead);
+    }
+    for (std::size_t i = 3; i < 12; ++i) {
+      EXPECT_EQ(seq[base + i].kind, ReqKind::kUpdate);
+    }
+  }
+}
+
+TEST(WorkloadTest, AdversaryForcesJoinLeaveOscillation) {
+  const GameCosts costs{1, 3};
+  const adaptive::CounterConfig config{9, 1, false, false};
+  const auto seq = adversarial_basic_sequence(10, 9, costs);
+  const OnlineResult run = run_basic(seq, costs, config);
+  EXPECT_EQ(run.joins, 10u);
+  EXPECT_EQ(run.leaves, 10u);
+}
+
+TEST(WorkloadTest, GrowthSequenceSwingsJoinCost) {
+  Rng rng(3);
+  GrowthOptions options;
+  options.phases = 2;
+  options.phase_length = 4000;
+  options.growth_insert_fraction = 0.95;
+  options.read_probability = 0.2;
+  options.initial_objects = 4;
+  const auto seq = growth_sequence(options, rng);
+  Cost max_k = 0;
+  for (const Request& r : seq) max_k = std::max(max_k, r.join_cost);
+  // Growth phase pushes l (and K) far above the initial value...
+  EXPECT_GT(max_k, 100.0);
+  // ...and the shrink phase brings the final K well below the peak.
+  EXPECT_LT(seq.back().join_cost, max_k / 2);
+}
+
+TEST(WorkloadTest, GrowthJoinCostsNeverBelowOne) {
+  Rng rng(4);
+  GrowthOptions options;
+  options.initial_objects = 1;
+  options.growth_insert_fraction = 0.05;  // shrink-dominated from the start
+  const auto seq = growth_sequence(options, rng);
+  for (const Request& r : seq) {
+    ASSERT_GE(r.join_cost, 1.0);
+  }
+}
+
+TEST(WorkloadTest, GeneratorsAreDeterministicPerSeed) {
+  Rng a(42);
+  Rng b(42);
+  const auto sa = random_sequence(500, 0.5, 8, a);
+  const auto sb = random_sequence(500, 0.5, 8, b);
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    ASSERT_EQ(sa[i].kind, sb[i].kind);
+  }
+}
+
+}  // namespace
+}  // namespace paso::analysis
