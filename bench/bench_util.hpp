@@ -21,6 +21,33 @@ inline void print_rule() {
   std::printf("----------------------------------------------------------------\n");
 }
 
+/// Accumulates one flat JSON object and prints it as a single line, so
+/// benches can emit machine-readable results next to the human table.
+class JsonLine {
+ public:
+  explicit JsonLine(const std::string& bench) {
+    body_ = "{\"bench\":\"" + bench + "\"";
+  }
+  JsonLine& field(const std::string& name, double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.6g", value);
+    body_ += ",\"" + name + "\":" + buffer;
+    return *this;
+  }
+  JsonLine& field(const std::string& name, std::uint64_t value) {
+    body_ += ",\"" + name + "\":" + std::to_string(value);
+    return *this;
+  }
+  JsonLine& field(const std::string& name, const std::string& value) {
+    body_ += ",\"" + name + "\":\"" + value + "\"";
+    return *this;
+  }
+  void emit() const { std::printf("%s}\n", body_.c_str()); }
+
+ private:
+  std::string body_;
+};
+
 /// A cluster preloaded with one (int, text) class and basic support joined.
 struct TaskCluster {
   static Schema schema() {

@@ -27,8 +27,23 @@ void BusNetwork::send(MachineId from, MachineId to, const std::string& tag,
   const sim::SimTime end = start + cost;
   bus_free_at_ = end;
 
-  simulator_.schedule_at(end, [this, to, deliver = std::move(deliver)] {
-    if (up_[to.value]) deliver();
+  // Receiver-side delay window: the bus frees at `end` regardless, only the
+  // delivery at `to` is pushed out (e.g. a machine with a clogged inbound
+  // queue).
+  sim::SimTime deliver_at = end;
+  const Disturbance& d = chaos_[to.value];
+  if (start < d.delay_until) {
+    deliver_at += d.extra_delay;
+    ++chaos_delayed_;
+  }
+
+  simulator_.schedule_at(deliver_at, [this, to, deliver = std::move(deliver)] {
+    if (!up_[to.value]) return;
+    if (simulator_.now() < chaos_[to.value].drop_until) {
+      ++chaos_dropped_;
+      return;
+    }
+    deliver();
   });
 }
 

@@ -12,6 +12,7 @@
 // accounting uses the declared size, never sizeof.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -45,6 +46,15 @@ class CostLedger {
     stats.cost += cost;
   }
 
+  /// Pre-size the per-machine work table so `work_of` is defined for every
+  /// machine from the start of the run, not just machines that happened to
+  /// be charged already. Crash/recover cycles must not change the table
+  /// shape: a machine's work survives its crashes (the ledger meters the
+  /// whole experiment, not a single incarnation).
+  void ensure_machines(std::size_t n) {
+    if (work_per_machine_.size() < n) work_per_machine_.resize(n, 0);
+  }
+
   void charge_work(MachineId machine, Cost amount) {
     total_work_ += amount;
     if (machine.value >= work_per_machine_.size()) {
@@ -67,7 +77,9 @@ class CostLedger {
   void reset() {
     total_msg_cost_ = 0;
     total_work_ = 0;
-    work_per_machine_.clear();
+    // Keep the table shape: zero the counters without forgetting machines,
+    // so `work_of` stays in-range across resets and recover epochs.
+    std::fill(work_per_machine_.begin(), work_per_machine_.end(), 0);
     per_tag_.clear();
   }
 
@@ -106,7 +118,9 @@ class BusNetwork {
   using Delivery = std::function<void()>;
 
   BusNetwork(sim::Simulator& simulator, CostModel model, std::size_t n)
-      : simulator_(simulator), model_(model), up_(n, true) {}
+      : simulator_(simulator), model_(model), up_(n, true), chaos_(n) {
+    ledger_.ensure_machines(n);
+  }
 
   /// Point-to-point send. The message occupies the bus for its msg-cost;
   /// `deliver` runs at the destination when transmission completes, unless
@@ -126,6 +140,25 @@ class BusNetwork {
     return up_[machine.value];
   }
 
+  /// Chaos plane (driven by paso::ChaosEngine). Disturbance windows model
+  /// receiver-side trouble: while `now < until`, inbound messages to the
+  /// machine are dropped at delivery time (but the bus transmission still
+  /// happened, so it is still charged — lost messages cost real bandwidth)
+  /// or delayed by `extra` beyond their transmission end. Self-sends are
+  /// local hand-offs and bypass the chaos plane, like they bypass the bus.
+  void set_drop_window(MachineId to, sim::SimTime until) {
+    PASO_REQUIRE(to.value < chaos_.size(), "unknown machine");
+    chaos_[to.value].drop_until = std::max(chaos_[to.value].drop_until, until);
+  }
+  void set_delay_window(MachineId to, sim::SimTime until, sim::SimTime extra) {
+    PASO_REQUIRE(to.value < chaos_.size(), "unknown machine");
+    PASO_REQUIRE(extra >= 0, "negative delay");
+    chaos_[to.value].delay_until = until;
+    chaos_[to.value].extra_delay = extra;
+  }
+  std::uint64_t chaos_dropped() const { return chaos_dropped_; }
+  std::uint64_t chaos_delayed() const { return chaos_delayed_; }
+
   std::size_t machine_count() const { return up_.size(); }
   const CostModel& cost_model() const { return model_; }
   CostLedger& ledger() { return ledger_; }
@@ -137,11 +170,20 @@ class BusNetwork {
   sim::SimTime bus_free_at() const { return bus_free_at_; }
 
  private:
+  struct Disturbance {
+    sim::SimTime drop_until = 0;
+    sim::SimTime delay_until = 0;
+    sim::SimTime extra_delay = 0;
+  };
+
   sim::Simulator& simulator_;
   CostModel model_;
   std::vector<bool> up_;
+  std::vector<Disturbance> chaos_;
   CostLedger ledger_;
   sim::SimTime bus_free_at_ = 0;
+  std::uint64_t chaos_dropped_ = 0;
+  std::uint64_t chaos_delayed_ = 0;
 };
 
 }  // namespace paso::net

@@ -36,6 +36,15 @@ Cluster::Cluster(Schema schema, ClusterConfig config)
     groups_->register_endpoint(machine, *servers_.back());
     wire_machine(machine);
   }
+
+  // Every view installation — in particular the one ending a recovery's
+  // state transfer — re-routes each runtime's in-flight robust operations.
+  groups_->add_view_listener(
+      [this](const GroupName& group, const vsync::View& view) {
+        for (const auto& runtime : runtimes_) {
+          runtime->on_group_view_change(group, view);
+        }
+      });
 }
 
 void Cluster::wire_machine(MachineId m) {
@@ -122,6 +131,7 @@ void Cluster::crash(MachineId m) {
   servers_[m.value]->crash_reset();
   runtimes_[m.value]->on_machine_crash();
   initializing_[m.value] = false;  // crashing mid-init is just down again
+  crash_log_.push_back({m, simulator_.now()});
 }
 
 void Cluster::recover(MachineId m, std::function<void()> initialized) {

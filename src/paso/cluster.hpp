@@ -17,6 +17,7 @@
 #include "paso/classes.hpp"
 #include "paso/memory_server.hpp"
 #include "paso/runtime.hpp"
+#include "semantics/checker.hpp"
 #include "semantics/history.hpp"
 #include "sim/simulator.hpp"
 #include "storage/object_store.hpp"
@@ -88,6 +89,18 @@ class Cluster {
   /// every class keeps more than lambda - k operational write-group members.
   bool fault_tolerance_condition_holds() const;
 
+  /// Every crash this cluster has executed, in time order (crash epochs for
+  /// the checker's RunContext).
+  const std::vector<semantics::RunContext::CrashEvent>& crash_log() const {
+    return crash_log_;
+  }
+  /// Fault context of the run so far, with hung-op detection armed at the
+  /// current virtual time. Pass to semantics::check_history to validate
+  /// A1–A3 over a run containing crash/recovery epochs.
+  semantics::RunContext run_context() const {
+    return semantics::RunContext{crash_log_, simulator_.now()};
+  }
+
   // --- synchronous wrappers ---------------------------------------------------
   /// Run the simulator until the operation's callback fires. Returns false /
   /// nullopt if the event queue drained first (e.g. the issuer crashed).
@@ -118,6 +131,7 @@ class Cluster {
   std::vector<std::vector<MachineId>> basic_support_;
   std::vector<bool> initializing_;
   std::vector<std::uint64_t> init_epoch_;
+  std::vector<semantics::RunContext::CrashEvent> crash_log_;
 };
 
 }  // namespace paso

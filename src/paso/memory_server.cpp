@@ -50,6 +50,16 @@ vsync::GcastResult MemoryServer::handle_gcast(const GroupName& group,
   ClassState& state = state_of(*cls);
 
   if (const auto* store_msg = std::get_if<StoreMsg>(message)) {
+    if (state.applied_inserts.contains(store_msg->object.id)) {
+      // Duplicate delivery of a store already applied (and possibly since
+      // removed): refuse silently so retransmission cannot violate A2.
+      ++duplicates_refused_;
+      result.processing = 0;
+      result.response = std::any{};
+      result.response_bytes = 0;
+      return result;
+    }
+    state.applied_inserts.insert(store_msg->object.id);
     result.processing = state.store->insert_cost();
     state.store->store(store_msg->object, state.next_age++);
     fire_markers(state, store_msg->object);
@@ -63,12 +73,32 @@ vsync::GcastResult MemoryServer::handle_gcast(const GroupName& group,
     result.response_bytes = response_wire_size(response);
     result.response = std::move(response);
   } else if (const auto* remove_msg = std::get_if<RemoveMsg>(message)) {
+    if (remove_msg->token != 0) {
+      auto cached = state.remove_cache.find(remove_msg->token);
+      if (cached != state.remove_cache.end()) {
+        // Replay of a remove this replica already decided: return the
+        // original decision without touching the store (exactly-once).
+        ++duplicates_refused_;
+        result.processing = 0;
+        result.response_bytes = response_wire_size(cached->second);
+        result.response = cached->second;
+        return result;
+      }
+    }
     SearchResponse response = state.store->remove(remove_msg->criterion);
     result.processing = response.has_value() ? state.store->remove_cost()
                                              : state.store->query_cost();
     result.response_bytes = response_wire_size(response);
     if (update_hook_) {
       update_hook_(*cls, /*is_store=*/false, /*applied=*/response.has_value());
+    }
+    if (remove_msg->token != 0) {
+      state.remove_cache.emplace(remove_msg->token, response);
+      state.remove_cache_order.push_back(remove_msg->token);
+      while (state.remove_cache_order.size() > kRemoveCacheCap) {
+        state.remove_cache.erase(state.remove_cache_order.front());
+        state.remove_cache_order.pop_front();
+      }
     }
     result.response = std::move(response);
   } else if (const auto* marker_msg = std::get_if<PlaceMarkerMsg>(message)) {
@@ -114,8 +144,16 @@ vsync::StateBlob MemoryServer::capture_state(const GroupName& group) {
   snapshot->objects = state.store->snapshot();
   snapshot->next_age = state.next_age;
   snapshot->markers = state.markers;
+  snapshot->applied_inserts = state.applied_inserts;
+  snapshot->remove_cache = state.remove_cache;
+  snapshot->remove_cache_order = state.remove_cache_order;
   vsync::StateBlob blob;
-  blob.bytes = state.store->state_bytes() + 8;
+  // Store payload + next_age + the dedup tables (16 bytes per insert
+  // identity, 16 per cached remove token): the joiner must refuse the same
+  // duplicates its donor would, so the tables are real transferred state.
+  blob.bytes = state.store->state_bytes() + 8 +
+               16 * state.applied_inserts.size() +
+               16 * state.remove_cache.size();
   blob.state = snapshot;
   return blob;
 }
@@ -132,6 +170,9 @@ void MemoryServer::install_state(const GroupName& group,
   state.store->load((*snapshot)->objects);
   state.next_age = (*snapshot)->next_age;
   state.markers = (*snapshot)->markers;
+  state.applied_inserts = (*snapshot)->applied_inserts;
+  state.remove_cache = (*snapshot)->remove_cache;
+  state.remove_cache_order = (*snapshot)->remove_cache_order;
   PASO_TRACE("server") << self_ << " installed " << (*snapshot)->objects.size()
                        << " objects for " << group;
 }

@@ -14,10 +14,12 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "net/bus_network.hpp"
@@ -75,6 +77,10 @@ class MemoryServer final : public vsync::GroupEndpoint {
   /// Total objects across all supported classes (diagnostics).
   std::size_t total_objects() const;
 
+  /// Duplicate store/remove deliveries refused by the idempotence layer
+  /// (retransmissions and retries that were already applied).
+  std::uint64_t duplicates_refused() const { return duplicates_refused_; }
+
   /// Crash: local memory is erased (Section 3.1).
   void crash_reset() { classes_.clear(); }
 
@@ -95,13 +101,28 @@ class MemoryServer final : public vsync::GroupEndpoint {
     std::unique_ptr<storage::ObjectStore> store;
     std::uint64_t next_age = 0;
     std::vector<Marker> markers;
+    /// Every identity ever stored here — including since-removed ones — so a
+    /// retransmitted store(o) neither duplicates a live object nor
+    /// resurrects a removed one (A2: at-most-one insert per identity).
+    std::unordered_set<ObjectId> applied_inserts;
+    /// Remove decisions by operation token, in insertion order for eviction.
+    std::unordered_map<std::uint64_t, SearchResponse> remove_cache;
+    std::deque<std::uint64_t> remove_cache_order;
   };
-  /// What travels in a state-transfer blob.
+  /// What travels in a state-transfer blob. The dedup state rides along:
+  /// a joiner must refuse the same duplicates its donor would.
   struct ClassSnapshot {
     std::vector<storage::StoredObject> objects;
     std::uint64_t next_age = 0;
     std::vector<Marker> markers;
+    std::unordered_set<ObjectId> applied_inserts;
+    std::unordered_map<std::uint64_t, SearchResponse> remove_cache;
+    std::deque<std::uint64_t> remove_cache_order;
   };
+
+  /// Cap on cached remove decisions per class (FIFO eviction). Retries only
+  /// ever replay recent tokens, so a small bound suffices.
+  static constexpr std::size_t kRemoveCacheCap = 4096;
 
   ClassState& state_of(ClassId cls);
   std::optional<ClassId> class_of_group(const GroupName& group) const;
@@ -116,6 +137,7 @@ class MemoryServer final : public vsync::GroupEndpoint {
   UpdateHook update_hook_;
   ViewHook view_hook_;
   MarkerHook marker_hook_;
+  std::uint64_t duplicates_refused_ = 0;
 };
 
 }  // namespace paso

@@ -19,6 +19,20 @@ SearchResponse unwrap_search(const std::optional<std::any>& response) {
 
 }  // namespace
 
+const char* op_status_name(OpStatus status) {
+  switch (status) {
+    case OpStatus::kOk:
+      return "ok";
+    case OpStatus::kFail:
+      return "fail";
+    case OpStatus::kTimeout:
+      return "timeout";
+    case OpStatus::kDegraded:
+      return "degraded";
+  }
+  return "?";
+}
+
 PasoRuntime::PasoRuntime(MachineId self, const Schema& schema,
                          vsync::GroupService& groups, MemoryServer& server,
                          RuntimeConfig config,
@@ -196,6 +210,7 @@ void PasoRuntime::read_del(ProcessId process, SearchCriterion sc,
   }
   ++inflight_;
   read_del_class_chain(process, std::move(sc), std::move(classes), 0,
+                       /*token=*/0,
                        [this, history_id, has_history,
                         cb = std::move(cb)](SearchResponse result) {
                          record_return(history_id, has_history, result);
@@ -206,7 +221,8 @@ void PasoRuntime::read_del(ProcessId process, SearchCriterion sc,
 
 void PasoRuntime::read_del_class_chain(ProcessId process, SearchCriterion sc,
                                        std::vector<ClassId> classes,
-                                       std::size_t index, SearchCallback cb) {
+                                       std::size_t index, std::uint64_t token,
+                                       SearchCallback cb) {
   if (index >= classes.size()) {
     cb(std::nullopt);
     return;
@@ -214,20 +230,20 @@ void PasoRuntime::read_del_class_chain(ProcessId process, SearchCriterion sc,
   const ClassId cls = classes[index];
   // Every write-group member must apply the removal, so there is no local
   // shortcut and no read-group restriction (Section 4.3).
-  RemoveMsg msg{cls, sc};
+  RemoveMsg msg{cls, sc, token};
   const std::size_t bytes = msg.wire_size();
   groups_.gcast(
       group_of(cls), self_,
       vsync::Payload{ServerMessage{std::move(msg)}, bytes}, "remove",
       [this, process, sc = std::move(sc), classes = std::move(classes), index,
-       cb = std::move(cb)](std::optional<std::any> response) mutable {
+       token, cb = std::move(cb)](std::optional<std::any> response) mutable {
         SearchResponse result = unwrap_search(response);
         if (result) {
           cb(std::move(result));
           return;
         }
         read_del_class_chain(process, std::move(sc), std::move(classes),
-                             index + 1, std::move(cb));
+                             index + 1, token, std::move(cb));
       });
 }
 
@@ -283,7 +299,7 @@ void PasoRuntime::blocking_poll(std::uint64_t op_id) {
   BlockingOp& op = it->second;
   const sim::SimTime now = groups_.network().simulator().now();
   if (now >= op.deadline) {
-    finish_blocking(op_id, std::nullopt);
+    finish_blocking(op_id, std::nullopt, /*timed_out=*/true);
     return;
   }
   auto retry = [this, op_id](SearchResponse result) {
@@ -301,7 +317,7 @@ void PasoRuntime::blocking_poll(std::uint64_t op_id) {
                      std::move(retry));
   } else {
     read_del_class_chain(op.process, op.criterion, op.classes, 0,
-                         std::move(retry));
+                         /*token=*/0, std::move(retry));
   }
 }
 
@@ -311,7 +327,7 @@ void PasoRuntime::place_markers(std::uint64_t op_id) {
   BlockingOp& op = it->second;
   const sim::SimTime now = groups_.network().simulator().now();
   if (now >= op.deadline) {
-    finish_blocking(op_id, std::nullopt);
+    finish_blocking(op_id, std::nullopt, /*timed_out=*/true);
     return;
   }
   const sim::SimTime expires = now + config_.marker_ttl;
@@ -351,6 +367,7 @@ void PasoRuntime::blocking_candidate(std::uint64_t op_id,
   if (op.claiming) return;
   op.claiming = true;
   read_del_class_chain(op.process, op.criterion, op.classes, 0,
+                       /*token=*/0,
                        [this, op_id](SearchResponse result) {
                          auto again = blocking_.find(op_id);
                          if (again == blocking_.end()) return;
@@ -372,13 +389,31 @@ void PasoRuntime::cancel_markers(const BlockingOp& op) {
   }
 }
 
-void PasoRuntime::finish_blocking(std::uint64_t op_id, SearchResponse result) {
+void PasoRuntime::finish_blocking(std::uint64_t op_id, SearchResponse result,
+                                  bool timed_out) {
   auto it = blocking_.find(op_id);
   if (it == blocking_.end()) return;
   BlockingOp op = std::move(it->second);
   blocking_.erase(it);
   if (op.mode == BlockingMode::kMarker) cancel_markers(op);
-  record_return(op.history_id, op.has_history, result);
+  // A deadline expiry is not a definitive "fail": a probe's response — or,
+  // worse, a claim's replicated removal — may still be in flight. Recording
+  // a clean fail there would overclaim, so under `pessimistic_timeouts`
+  // (and always when a claim is outstanding, where the removal may land
+  // after this return) the op is abandoned instead: the record stays
+  // pending and the checker applies crash-grade pessimism.
+  const bool abandon =
+      timed_out && !result && (config_.pessimistic_timeouts || op.claiming);
+  if (abandon) {
+    ++timeouts_;
+    if (op.has_history && history_ != nullptr) {
+      history_->op_abandoned(op.history_id,
+                             groups_.network().simulator().now());
+    }
+  } else {
+    if (timed_out && !result) ++timeouts_;
+    record_return(op.history_id, op.has_history, result);
+  }
   if (inflight_ > 0) --inflight_;
   if (op.cb) op.cb(std::move(result));
 }
@@ -386,6 +421,286 @@ void PasoRuntime::finish_blocking(std::uint64_t op_id, SearchResponse result) {
 void PasoRuntime::on_marker_notification(std::uint64_t marker_id,
                                          const PasoObject& object) {
   blocking_candidate(marker_id, object);
+}
+
+// ---------------------------------------------------------------------------
+// robust operations (crash-recovery hardening)
+
+bool PasoRuntime::degraded(ClassId cls) const {
+  // k = number of machines currently down; the fault-tolerance condition of
+  // §4.1 requires |wg(C)| > λ−k operational members. (A machine still in
+  // its initialization phase also counts faulty per §3.1, but it is not in
+  // any view yet, so the operational count below already excludes it.)
+  std::size_t down = 0;
+  const std::size_t n = groups_.network().machine_count();
+  for (std::size_t m = 0; m < n; ++m) {
+    if (!groups_.is_up(MachineId{static_cast<std::uint32_t>(m)})) ++down;
+  }
+  std::size_t operational = 0;
+  for (const MachineId m : groups_.view_of(group_of(cls)).members) {
+    if (groups_.is_up(m)) ++operational;
+  }
+  return operational + down <= config_.lambda;
+}
+
+sim::SimTime PasoRuntime::resolve_deadline(sim::SimTime deadline) const {
+  if (deadline != kNoDeadline) return deadline;
+  if (config_.op_deadline == sim::kNever) return kNoDeadline;
+  return groups_.network().simulator().now() + config_.op_deadline;
+}
+
+std::uint64_t PasoRuntime::next_remove_token() {
+  // Unique system-wide: machine id in the high bits, a local sequence that
+  // survives crashes (like insert_seq_) below. Token 0 stays reserved for
+  // "untracked".
+  return ((static_cast<std::uint64_t>(self_.value) + 1) << 40) |
+         next_remove_seq_++;
+}
+
+ObjectId PasoRuntime::insert_robust(ProcessId process, Tuple fields,
+                                    ReportCallback report,
+                                    sim::SimTime deadline) {
+  PASO_REQUIRE(groups_.is_up(self_), "insert issued from a crashed machine");
+  const auto cls = schema_.classify(fields);
+  PASO_REQUIRE(cls.has_value(), "tuple matches no declared object class");
+
+  // The identity is allocated exactly once; every retry re-sends the same
+  // StoreMsg, so A2 (at-most-one insert per identity) holds by construction
+  // and the servers' insert dedup makes the retries harmless.
+  PasoObject object;
+  object.id = ObjectId{process, insert_seq_[process]++};
+  object.fields = std::move(fields);
+
+  RobustOp op;
+  op.classes = {*cls};
+  op.store = StoreMsg{*cls, object};
+  op.report = std::move(report);
+  if (history_ != nullptr) {
+    op.history_id = history_->insert_issued(
+        process, groups_.network().simulator().now(), object);
+    op.has_history = true;
+  }
+  start_robust(process, semantics::OpKind::kInsert, std::move(op), deadline);
+  return object.id;
+}
+
+void PasoRuntime::read_robust(ProcessId process, SearchCriterion sc,
+                              ReportCallback report, sim::SimTime deadline) {
+  PASO_REQUIRE(groups_.is_up(self_), "read issued from a crashed machine");
+  RobustOp op;
+  op.criterion = sc;
+  op.classes = schema_.candidate_classes(sc);
+  op.report = std::move(report);
+  if (history_ != nullptr) {
+    op.history_id =
+        history_->search_issued(process, groups_.network().simulator().now(),
+                                semantics::OpKind::kRead, sc);
+    op.has_history = true;
+  }
+  start_robust(process, semantics::OpKind::kRead, std::move(op), deadline);
+}
+
+void PasoRuntime::read_del_robust(ProcessId process, SearchCriterion sc,
+                                  ReportCallback report,
+                                  sim::SimTime deadline) {
+  PASO_REQUIRE(groups_.is_up(self_),
+               "read&del issued from a crashed machine");
+  RobustOp op;
+  op.criterion = sc;
+  op.classes = schema_.candidate_classes(sc);
+  op.remove_token = next_remove_token();
+  op.report = std::move(report);
+  if (history_ != nullptr) {
+    op.history_id =
+        history_->search_issued(process, groups_.network().simulator().now(),
+                                semantics::OpKind::kReadDel, sc);
+    op.has_history = true;
+  }
+  start_robust(process, semantics::OpKind::kReadDel, std::move(op), deadline);
+}
+
+std::uint64_t PasoRuntime::start_robust(ProcessId process,
+                                        semantics::OpKind kind, RobustOp op,
+                                        sim::SimTime deadline) {
+  op.id = next_robust_id_++;
+  op.process = process;
+  op.kind = kind;
+  op.deadline = resolve_deadline(deadline);
+  op.backoff = config_.retry_backoff;
+  const std::uint64_t op_id = op.id;
+  robust_.emplace(op_id, std::move(op));
+  ++inflight_;
+  robust_attempt(op_id);
+  return op_id;
+}
+
+void PasoRuntime::robust_attempt(std::uint64_t op_id) {
+  auto it = robust_.find(op_id);
+  if (it == robust_.end()) return;
+  RobustOp& op = it->second;
+
+  // Graceful degradation at the λ−k boundary: surface an explicit error
+  // instead of issuing an update that could be lost (or hanging on a group
+  // that cannot answer).
+  for (const ClassId cls : op.classes) {
+    if (degraded(cls)) {
+      ++degraded_rejections_;
+      robust_finish(op_id, OpStatus::kDegraded, std::nullopt);
+      return;
+    }
+  }
+
+  ++op.attempts;
+  switch (op.kind) {
+    case semantics::OpKind::kInsert: {
+      StoreMsg msg = *op.store;
+      const GroupName group = group_of(msg.cls);
+      const std::size_t bytes = msg.wire_size();
+      groups_.gcast(group, self_,
+                    vsync::Payload{ServerMessage{std::move(msg)}, bytes},
+                    "store", [this, op_id](std::optional<std::any> response) {
+                      if (!robust_.contains(op_id)) return;  // superseded
+                      if (response.has_value()) {
+                        robust_finish(op_id, OpStatus::kOk, std::nullopt);
+                      }
+                      // nullopt = the group emptied under us: stay pending,
+                      // the timer retries or times out.
+                    });
+      break;
+    }
+    case semantics::OpKind::kRead:
+      read_class_chain(op.process, op.criterion, op.classes, 0,
+                       [this, op_id](SearchResponse result) {
+                         if (!robust_.contains(op_id)) return;
+                         robust_finish(
+                             op_id, result ? OpStatus::kOk : OpStatus::kFail,
+                             std::move(result));
+                       });
+      break;
+    case semantics::OpKind::kReadDel:
+      read_del_class_chain(op.process, op.criterion, op.classes, 0,
+                           op.remove_token,
+                           [this, op_id](SearchResponse result) {
+                             if (!robust_.contains(op_id)) return;
+                             robust_finish(
+                                 op_id,
+                                 result ? OpStatus::kOk : OpStatus::kFail,
+                                 std::move(result));
+                           });
+      break;
+  }
+  // The attempt may have finished synchronously (local fast path); arming is
+  // a no-op then.
+  robust_arm_timer(op_id);
+}
+
+void PasoRuntime::robust_arm_timer(std::uint64_t op_id) {
+  auto it = robust_.find(op_id);
+  if (it == robust_.end()) return;
+  RobustOp& op = it->second;
+  sim::Simulator& sim = groups_.network().simulator();
+  if (op.timer_armed) {
+    sim.cancel(op.timer);
+    op.timer_armed = false;
+  }
+  sim::SimTime next = op.deadline;
+  const bool may_retry =
+      op.backoff != sim::kNever &&
+      (config_.max_attempts == 0 || op.attempts < config_.max_attempts);
+  if (may_retry) next = std::min(next, sim.now() + op.backoff);
+  if (next == sim::kNever) return;  // no deadline, no retries
+  op.timer = sim.schedule_at(std::max(next, sim.now()),
+                             [this, op_id] { robust_timer_fired(op_id); });
+  op.timer_armed = true;
+}
+
+void PasoRuntime::robust_timer_fired(std::uint64_t op_id) {
+  auto it = robust_.find(op_id);
+  if (it == robust_.end()) return;
+  RobustOp& op = it->second;
+  op.timer_armed = false;
+  const sim::SimTime now = groups_.network().simulator().now();
+  if (now >= op.deadline) {
+    robust_finish(op_id, OpStatus::kTimeout, std::nullopt);
+    return;
+  }
+  if (config_.max_attempts != 0 && op.attempts >= config_.max_attempts) {
+    robust_arm_timer(op_id);  // retry budget spent: wait out the deadline
+    return;
+  }
+  ++retries_;
+  op.backoff *= config_.retry_backoff_factor;
+  robust_attempt(op_id);
+}
+
+void PasoRuntime::robust_finish(std::uint64_t op_id, OpStatus status,
+                                SearchResponse object) {
+  auto it = robust_.find(op_id);
+  if (it == robust_.end()) return;
+  RobustOp op = std::move(it->second);
+  robust_.erase(it);
+  sim::Simulator& sim = groups_.network().simulator();
+  if (op.timer_armed) sim.cancel(op.timer);
+  switch (status) {
+    case OpStatus::kOk:
+      record_return(op.history_id, op.has_history, object);
+      break;
+    case OpStatus::kFail:
+      record_return(op.history_id, op.has_history, std::nullopt);
+      break;
+    case OpStatus::kTimeout:
+    case OpStatus::kDegraded:
+      // The op's replicated effect may or may not have been applied (a
+      // retry could still be in flight); leave the record pending but
+      // abandoned, which the checker treats with crash-grade pessimism.
+      if (status == OpStatus::kTimeout) ++timeouts_;
+      if (op.has_history && history_ != nullptr) {
+        history_->op_abandoned(op.history_id, sim.now());
+      }
+      break;
+  }
+  if (inflight_ > 0) --inflight_;
+  if (op.report) {
+    OpReport report;
+    report.status = status;
+    report.object = status == OpStatus::kOk ? std::move(object) : std::nullopt;
+    report.attempts = op.attempts;
+    op.report(std::move(report));
+  }
+}
+
+void PasoRuntime::on_group_view_change(const GroupName& group,
+                                       const vsync::View& /*view*/) {
+  if (!groups_.is_up(self_)) return;
+  if (robust_.empty()) return;
+  // A membership change — typically a completed state transfer after a
+  // recovery, or an expulsion after a crash — is fresh routing information:
+  // ops orphaned by the previous view retry promptly instead of waiting out
+  // their exponential backoff.
+  std::vector<std::uint64_t> rerouted;
+  for (const auto& [op_id, op] : robust_) {
+    if (op.backoff == sim::kNever) continue;  // retries disabled
+    for (const ClassId cls : op.classes) {
+      if (group_of(cls) == group) {
+        rerouted.push_back(op_id);
+        break;
+      }
+    }
+  }
+  sim::Simulator& sim = groups_.network().simulator();
+  for (const std::uint64_t op_id : rerouted) {
+    auto it = robust_.find(op_id);
+    if (it == robust_.end()) continue;
+    RobustOp& op = it->second;
+    op.backoff = config_.retry_backoff;
+    if (op.timer_armed) {
+      sim.cancel(op.timer);
+      op.timer_armed = false;
+    }
+    // Decoupled from the view-installation call stack: the retry gcast is
+    // enqueued from a fresh event.
+    sim.schedule_after(0, [this, op_id] { robust_timer_fired(op_id); });
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -431,9 +746,15 @@ std::size_t PasoRuntime::live_count(ClassId cls) const {
 
 void PasoRuntime::on_machine_crash() {
   blocking_.clear();
+  sim::Simulator& sim = groups_.network().simulator();
+  for (auto& [op_id, op] : robust_) {
+    if (op.timer_armed) sim.cancel(op.timer);
+  }
+  robust_.clear();
   join_pending_.clear();
   leave_pending_.clear();
   inflight_ = 0;
+  ++crash_epoch_;
   if (policy_) policy_->on_machine_reset();
 }
 

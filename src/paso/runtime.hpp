@@ -45,6 +45,44 @@ struct RuntimeConfig {
   /// Marker lifetime in the hybrid blocking scheme; markers are re-placed
   /// (which re-probes the class) when they expire.
   sim::SimTime marker_ttl = 5000;
+
+  // --- robust-operation machinery (crash-recovery hardening) ---------------
+
+  /// Default deadline for the *_robust entry points, measured from issue;
+  /// kNever = wait forever. When the deadline passes, the op fails over to
+  /// an explicit kTimeout report — it never blocks its caller forever.
+  sim::SimTime op_deadline = sim::kNever;
+  /// Delay before a robust op re-issues its gcast when no response arrived
+  /// (e.g. the response was orphaned by a crash or lost in a drop window).
+  /// kNever disables retries; the deadline alone still applies.
+  sim::SimTime retry_backoff = sim::kNever;
+  /// Multiplier applied to the backoff after every retry.
+  double retry_backoff_factor = 2.0;
+  /// Retry budget per robust op (attempts = 1 initial + retries);
+  /// 0 = unbounded.
+  std::size_t max_attempts = 0;
+  /// When true, a blocking op that hits its deadline is recorded in the
+  /// history as *abandoned* (maximal pessimism) instead of as a clean fail.
+  /// Required under chaos: at the deadline a probe's response — or a claim's
+  /// removal — may still be in flight, so "fail" would overclaim. Off by
+  /// default to preserve the fault-free accounting exactly.
+  bool pessimistic_timeouts = false;
+};
+
+/// Outcome of a robust operation.
+enum class OpStatus {
+  kOk,        ///< completed; `object` holds the result for read/read&del
+  kFail,      ///< servers answered definitively: no matching object
+  kTimeout,   ///< deadline passed with no definitive answer (explicit error)
+  kDegraded,  ///< refused: write group at/below the λ−k boundary (§4.1)
+};
+
+const char* op_status_name(OpStatus status);
+
+struct OpReport {
+  OpStatus status = OpStatus::kFail;
+  SearchResponse object;      ///< engaged iff status == kOk on a search
+  std::size_t attempts = 0;   ///< gcast attempts issued (1 = no retries)
 };
 
 enum class BlockingMode {
@@ -56,6 +94,7 @@ class PasoRuntime final : public GroupControl {
  public:
   using InsertCallback = std::function<void()>;
   using SearchCallback = std::function<void(SearchResponse)>;
+  using ReportCallback = std::function<void(OpReport)>;
   /// Provider of B(C), the basic support of a class (used as read group).
   using BasicSupportProvider =
       std::function<std::vector<MachineId>(ClassId)>;
@@ -82,6 +121,35 @@ class PasoRuntime final : public GroupControl {
   /// read&del(sc): gcast remove(sc, C) along sc-list(sc); no local shortcut
   /// because every write-group member must apply the removal.
   void read_del(ProcessId process, SearchCriterion sc, SearchCallback cb);
+
+  // --- robust variants (crash-recovery hardening) ---------------------------
+  //
+  // Same semantics as the primitives above, plus: a per-operation deadline
+  // (absolute sim time; kNoDeadline = now + RuntimeConfig::op_deadline),
+  // retry-with-backoff when the gcast is orphaned by a view change or lost
+  // in a chaos window, and an explicit kDegraded refusal when the target
+  // write group no longer satisfies |wg(C)| > λ−k. The report callback
+  // always fires exactly once (unless this machine crashes first): robust
+  // operations never block forever. Retries are idempotent end to end — an
+  // insert re-sends the *same* identity and the servers dedup it; a
+  // read&del re-uses one removal token, so replicas replay their original
+  // decision instead of deleting a second object.
+
+  ObjectId insert_robust(ProcessId process, Tuple fields,
+                         ReportCallback report = {},
+                         sim::SimTime deadline = kNoDeadline);
+  void read_robust(ProcessId process, SearchCriterion sc,
+                   ReportCallback report,
+                   sim::SimTime deadline = kNoDeadline);
+  void read_del_robust(ProcessId process, SearchCriterion sc,
+                       ReportCallback report,
+                       sim::SimTime deadline = kNoDeadline);
+
+  /// λ−k degradation test (§4.1): true when the class's write group has at
+  /// most λ−k operational members, k being the number of machines currently
+  /// down — i.e. the fault-tolerance condition no longer holds for C and
+  /// further updates risk data loss. Robust ops are refused while degraded.
+  bool degraded(ClassId cls) const;
 
   // --- blocking variants (Section 4.3) --------------------------------------
 
@@ -116,6 +184,12 @@ class PasoRuntime final : public GroupControl {
   void on_marker_notification(std::uint64_t marker_id,
                               const PasoObject& object);
 
+  /// View-change hook (wired to GroupService::add_view_listener by the
+  /// cluster): a membership change — in particular a completed state
+  /// transfer after recovery — re-routes this runtime's in-flight robust
+  /// operations by resetting their backoff and retrying promptly.
+  void on_group_view_change(const GroupName& group, const vsync::View& view);
+
   /// Crash: all client-side state of in-flight operations dies with the
   /// machine. Insert sequence counters survive — they model the epoch
   /// component of object identities, which must stay unique across restarts
@@ -130,6 +204,11 @@ class PasoRuntime final : public GroupControl {
 
   /// Outstanding operations (non-blocking in flight + active blocking).
   std::size_t inflight() const { return inflight_; }
+
+  /// Robustness counters (for tests and the chaos bench).
+  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t degraded_rejections() const { return degraded_rejections_; }
 
  private:
   struct BlockingOp {
@@ -146,12 +225,30 @@ class PasoRuntime final : public GroupControl {
     bool claiming = false;  ///< read&del claim gcast in flight
   };
 
+  struct RobustOp {
+    std::uint64_t id = 0;
+    ProcessId process;
+    semantics::OpKind kind = semantics::OpKind::kRead;
+    std::vector<ClassId> classes;
+    std::optional<StoreMsg> store;  ///< insert: re-sent verbatim on retry
+    SearchCriterion criterion;      ///< read / read&del
+    std::uint64_t remove_token = 0;  ///< read&del: one token across retries
+    sim::SimTime deadline = kNoDeadline;
+    sim::SimTime backoff = kNoDeadline;
+    std::size_t attempts = 0;
+    std::uint64_t history_id = 0;
+    bool has_history = false;
+    ReportCallback report;
+    sim::EventId timer{};
+    bool timer_armed = false;
+  };
+
   void read_class_chain(ProcessId process, SearchCriterion sc,
                         std::vector<ClassId> classes, std::size_t index,
                         SearchCallback cb);
   void read_del_class_chain(ProcessId process, SearchCriterion sc,
                             std::vector<ClassId> classes, std::size_t index,
-                            SearchCallback cb);
+                            std::uint64_t token, SearchCallback cb);
   std::vector<MachineId> read_group_of(ClassId cls) const;
   GroupName group_of(ClassId cls) const { return schema_.group_name(cls); }
 
@@ -162,7 +259,18 @@ class PasoRuntime final : public GroupControl {
   void place_markers(std::uint64_t op_id);
   void cancel_markers(const BlockingOp& op);
   void blocking_candidate(std::uint64_t op_id, const PasoObject& object);
-  void finish_blocking(std::uint64_t op_id, SearchResponse result);
+  void finish_blocking(std::uint64_t op_id, SearchResponse result,
+                       bool timed_out = false);
+
+  std::uint64_t start_robust(ProcessId process, semantics::OpKind kind,
+                             RobustOp op, sim::SimTime deadline);
+  void robust_attempt(std::uint64_t op_id);
+  void robust_arm_timer(std::uint64_t op_id);
+  void robust_timer_fired(std::uint64_t op_id);
+  void robust_finish(std::uint64_t op_id, OpStatus status,
+                     SearchResponse object);
+  std::uint64_t next_remove_token();
+  sim::SimTime resolve_deadline(sim::SimTime deadline) const;
 
   void record_return(std::uint64_t history_id, bool has_history,
                      SearchResponse result);
@@ -182,8 +290,14 @@ class PasoRuntime final : public GroupControl {
   std::set<std::uint32_t> leave_pending_;
   std::map<std::uint64_t, BlockingOp> blocking_;
   std::uint64_t next_blocking_id_ = 1;
+  std::map<std::uint64_t, RobustOp> robust_;
+  std::uint64_t next_robust_id_ = 1;
+  std::uint64_t next_remove_seq_ = 1;
   std::size_t inflight_ = 0;
   std::uint64_t crash_epoch_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t degraded_rejections_ = 0;
 };
 
 }  // namespace paso

@@ -205,6 +205,7 @@ std::vector<std::uint8_t> encode_message(const ServerMessage& message) {
         } else if constexpr (std::is_same_v<M, RemoveMsg>) {
           w.u32((static_cast<std::uint32_t>(MessageTag::kRemove) << 28) |
                 m.cls.value);
+          w.u64(m.token);
           encode_criterion(w, m.criterion);
         } else if constexpr (std::is_same_v<M, PlaceMarkerMsg>) {
           w.u32((static_cast<std::uint32_t>(MessageTag::kPlaceMarker) << 28) |
@@ -248,6 +249,7 @@ ServerMessage decode_message(const std::vector<std::uint8_t>& bytes,
     case MessageTag::kRemove: {
       RemoveMsg msg;
       msg.cls = cls;
+      msg.token = r.u64();
       msg.criterion = decode_criterion(r);
       return msg;
     }

@@ -42,6 +42,11 @@ std::string describe(const OpRecord& r) {
 }  // namespace
 
 CheckResult check_history(const std::vector<OpRecord>& records) {
+  return check_history(records, RunContext{});
+}
+
+CheckResult check_history(const std::vector<OpRecord>& records,
+                          const RunContext& context) {
   CheckResult result;
   auto violation = [&result](const std::string& text) {
     result.violations.push_back(text);
@@ -98,6 +103,38 @@ CheckResult check_history(const std::vector<OpRecord>& records) {
   for (const OpRecord& r : records) {
     if (r.kind == OpKind::kReadDel && !r.return_time) {
       pending_removals.push_back(PendingRemoval{&*r.criterion, r.issue_time});
+    }
+  }
+
+  // Liveness across crash/recovery epochs: at the end of a settled run,
+  // every operation must have been resolved — returned, abandoned with an
+  // explicit error surfaced to its caller, or orphaned because its issuing
+  // machine crashed after the issue (the client-side state died with the
+  // machine; §3.1's erased-memory model). Anything else pending is a hang.
+  if (context.end_time.has_value()) {
+    for (const OpRecord& r : records) {
+      if (r.return_time || r.abandoned) continue;
+      bool orphaned = false;
+      for (const RunContext::CrashEvent& crash : context.crashes) {
+        if (crash.machine == r.process.machine && crash.at >= r.issue_time) {
+          orphaned = true;
+          break;
+        }
+      }
+      if (!orphaned) {
+        violation(describe(r) + ": hung — still pending at run end " +
+                  std::to_string(*context.end_time) +
+                  " with no crash of its issuer and no surfaced timeout");
+      }
+    }
+  }
+
+  // A1-style sanity over the event sequence: a command's return never
+  // precedes its issue (the recorder enforces this on entry; re-checked here
+  // so externally constructed histories are validated too).
+  for (const OpRecord& r : records) {
+    if (r.return_time && *r.return_time < r.issue_time) {
+      violation(describe(r) + ": return precedes issue");
     }
   }
 

@@ -36,10 +36,32 @@ struct CheckResult {
   bool ok() const { return violations.empty(); }
 };
 
+/// Fault context of a run, enabling the crash/recovery-epoch checks:
+///   * every crash event, so a pending op whose issuer machine crashed after
+///     the issue is recognised as legitimately orphaned;
+///   * the run's end time, which arms liveness checking — any op still
+///     pending at `end_time` that was neither abandoned (timeout surfaced to
+///     the caller) nor orphaned by a crash is flagged as *hung*.
+struct RunContext {
+  struct CrashEvent {
+    MachineId machine;
+    sim::SimTime at = 0;
+  };
+  std::vector<CrashEvent> crashes;
+  std::optional<sim::SimTime> end_time;
+};
+
 CheckResult check_history(const std::vector<OpRecord>& records);
+CheckResult check_history(const std::vector<OpRecord>& records,
+                          const RunContext& context);
 
 inline CheckResult check_history(const HistoryRecorder& recorder) {
   return check_history(recorder.records());
+}
+
+inline CheckResult check_history(const HistoryRecorder& recorder,
+                                 const RunContext& context) {
+  return check_history(recorder.records(), context);
 }
 
 }  // namespace paso::semantics

@@ -43,4 +43,11 @@ void HistoryRecorder::op_returned(std::uint64_t op_id, sim::SimTime now,
   record.result = std::move(result);
 }
 
+void HistoryRecorder::op_abandoned(std::uint64_t op_id, sim::SimTime now) {
+  OpRecord& record = record_of(op_id);
+  PASO_REQUIRE(!record.return_time.has_value(), "abandoning a returned op");
+  PASO_REQUIRE(now >= record.issue_time, "abandon precedes issue");
+  record.abandoned = true;
+}
+
 }  // namespace paso::semantics

@@ -39,6 +39,12 @@ struct OpRecord {
   sim::SimTime issue_time = 0;
   /// nullopt while pending (e.g. the issuer crashed before the response).
   std::optional<sim::SimTime> return_time;
+  /// The runtime gave up on this operation (deadline / degradation) and told
+  /// its caller so. The record stays pending — the replicated effect may or
+  /// may not have been applied, and the checker treats it with the same
+  /// maximal pessimism as a crash-orphaned op — but, unlike a genuinely hung
+  /// op, an abandoned op is accounted for and must not be flagged as a hang.
+  bool abandoned = false;
 
   // Insert payload.
   std::optional<PasoObject> inserted;
@@ -58,6 +64,9 @@ class HistoryRecorder {
                               const SearchCriterion& criterion);
   void op_returned(std::uint64_t op_id, sim::SimTime now,
                    std::optional<PasoObject> result);
+  /// Mark a pending op as deliberately given up (timeout / degradation
+  /// surfaced to the caller). Mutually exclusive with op_returned.
+  void op_abandoned(std::uint64_t op_id, sim::SimTime now);
 
   const std::vector<OpRecord>& records() const { return records_; }
   std::size_t size() const { return records_.size(); }

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
@@ -21,6 +22,9 @@ namespace paso::sim {
 /// alpha/beta, so "total message cost lower-bounds completion time" holds by
 /// construction on the simulated bus).
 using SimTime = double;
+
+/// Sentinel for "no deadline / disabled timer": later than every event.
+inline constexpr SimTime kNever = std::numeric_limits<SimTime>::infinity();
 
 /// Handle for cancelling a scheduled event.
 struct EventId {

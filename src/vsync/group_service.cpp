@@ -167,6 +167,34 @@ void GroupService::dispatch_gcast(const GroupName& name, Op& op) {
                     member_deliver(name, op_id, member);
                   });
   }
+  if (options_.retransmit_timeout < sim::kNever) {
+    schedule_retransmit(name, op_id, options_.retransmit_timeout);
+  }
+}
+
+void GroupService::schedule_retransmit(const GroupName& name,
+                                       std::uint64_t op_id,
+                                       sim::SimTime delay) {
+  network_.simulator().schedule_after(delay, [this, name, op_id, delay] {
+    Op* op = active_op(name, op_id);
+    if (op == nullptr || op->kind != Op::Kind::kGcast) return;  // done
+    GcastOp& g = op->gcast;
+    if (!g.dispatched || g.pending_acks.empty()) return;
+    if (!network_.is_up(g.issuer)) return;  // detector will settle this op
+    // Re-send the message to every target whose ack is still outstanding.
+    // Members that already processed it re-ack without re-processing
+    // (member_deliver dedups on `results`), so delivery stays exactly-once
+    // even though transmission is at-least-once.
+    for (const MachineId member : g.pending_acks) {
+      if (!network_.is_up(member)) continue;
+      ++retransmits_;
+      network_.send(g.issuer, member, g.tag, g.message.bytes,
+                    [this, name, op_id, member] {
+                      member_deliver(name, op_id, member);
+                    });
+    }
+    schedule_retransmit(name, op_id, delay * options_.retransmit_backoff);
+  });
 }
 
 void GroupService::member_deliver(const GroupName& name, std::uint64_t op_id,
@@ -174,7 +202,13 @@ void GroupService::member_deliver(const GroupName& name, std::uint64_t op_id,
   Op* op = active_op(name, op_id);
   if (op == nullptr || op->kind != Op::Kind::kGcast) return;  // superseded
   GcastOp& g = op->gcast;
-  if (!g.pending_acks.contains(member)) return;  // pruned by view change
+  if (!g.pending_acks.contains(member)) return;  // acked or pruned
+  if (g.results.contains(member)) {
+    // Duplicate delivery (retransmission after the first ack was lost):
+    // the member already processed the message — just re-ack.
+    send_ack(name, op_id, member);
+    return;
+  }
 
   GroupEndpoint* endpoint = endpoints_[member.value];
   PASO_REQUIRE(endpoint != nullptr, "member without endpoint");
@@ -187,17 +221,20 @@ void GroupService::member_deliver(const GroupName& name, std::uint64_t op_id,
   // (Section 3.3: "each of g-name's members sends an empty message to some
   // designated server"). Ack bookkeeping is service-side, standing in for
   // ISIS's internal re-gathering when leaders fail.
+  network_.simulator().schedule_after(processing,
+                                      [this, name, op_id, member] {
+                                        send_ack(name, op_id, member);
+                                      });
+}
+
+void GroupService::send_ack(const GroupName& name, std::uint64_t op_id,
+                            MachineId member) {
+  if (!network_.is_up(member)) return;  // crashed before acking
   const View view = view_of(name);
-  const MachineId leader =
-      view.empty() ? member : view.leader();
-  network_.simulator().schedule_after(
-      processing, [this, name, op_id, member, leader] {
-        if (!network_.is_up(member)) return;  // crashed before acking
-        network_.send(member, leader, "gcast-ack", 0,
-                      [this, name, op_id, member] {
-                        member_acked(name, op_id, member);
-                      });
-      });
+  const MachineId leader = view.empty() ? member : view.leader();
+  network_.send(member, leader, "gcast-ack", 0, [this, name, op_id, member] {
+    member_acked(name, op_id, member);
+  });
 }
 
 void GroupService::member_acked(const GroupName& name, std::uint64_t op_id,
@@ -338,11 +375,15 @@ void GroupService::install_view(const GroupName& name,
   group.view.members = std::move(members);
   group.view.id = ViewId{next_view_id_++};
   PASO_TRACE("vsync") << "group " << name << " view " << group.view;
-  for (const MachineId member : group.view.members) {
+  const View installed = group.view;  // listeners may mutate groups_
+  for (const MachineId member : installed.members) {
     GroupEndpoint* endpoint = endpoints_[member.value];
     if (endpoint != nullptr && network_.is_up(member)) {
-      endpoint->on_view_change(name, group.view);
+      endpoint->on_view_change(name, installed);
     }
+  }
+  for (const ViewListener& listener : view_listeners_) {
+    listener(name, installed);
   }
 }
 

@@ -50,6 +50,14 @@ struct GroupServiceOptions {
   /// donated state; together with the bus cost of the transfer this makes
   /// time(g-join) = Theta(l), the paper's join cost K.
   Cost install_cost_per_byte = 1.0;
+  /// Ack timeout after which a gcast's undelivered targets are re-sent the
+  /// message (ISIS reliable delivery over a lossy link). Infinity — the
+  /// default — disables retransmission entirely: the fault-free bus never
+  /// loses a message, and the Table 1 cost assertions rely on exact message
+  /// counts. Chaos runs with drop windows must set this finite.
+  sim::SimTime retransmit_timeout = sim::kNever;
+  /// Multiplier applied to the timeout after each retransmission round.
+  double retransmit_backoff = 2.0;
 };
 
 class GroupService {
@@ -61,6 +69,10 @@ class GroupService {
   /// empty or the operation was abandoned. An empty std::any inside the
   /// optional is a member-produced "fail".
   using ResponseCallback = std::function<void(std::optional<std::any>)>;
+  /// Observer invoked after every view installation (joins, leaves, and
+  /// failure-detector expulsions). Runtimes use this to re-route in-flight
+  /// operations after a membership change / state transfer.
+  using ViewListener = std::function<void(const GroupName&, const View&)>;
 
   GroupService(net::BusNetwork& network, Options options = {});
 
@@ -109,10 +121,19 @@ class GroupService {
   bool is_up(MachineId machine) const { return network_.is_up(machine); }
 
   net::BusNetwork& network() { return network_; }
+  const net::BusNetwork& network() const { return network_; }
   const Options& options() const { return options_; }
+
+  /// Subscribe to view installations (never unsubscribed; listeners must
+  /// outlive the service, which holds for the per-cluster wiring).
+  void add_view_listener(ViewListener listener) {
+    view_listeners_.push_back(std::move(listener));
+  }
 
   /// Number of completed gcasts (for tests).
   std::uint64_t gcasts_completed() const { return gcasts_completed_; }
+  /// Messages re-sent by the ack-timeout retransmission machinery.
+  std::uint64_t retransmits() const { return retransmits_; }
 
  private:
   struct GcastOp {
@@ -159,6 +180,9 @@ class GroupService {
   void dispatch_leave(const GroupName& name, Op& op);
   void member_deliver(const GroupName& name, std::uint64_t op_id,
                       MachineId member);
+  void send_ack(const GroupName& name, std::uint64_t op_id, MachineId member);
+  void schedule_retransmit(const GroupName& name, std::uint64_t op_id,
+                           sim::SimTime delay);
   void member_acked(const GroupName& name, std::uint64_t op_id,
                     MachineId member);
   void maybe_complete_gcast(const GroupName& name, Op& op);
@@ -172,9 +196,11 @@ class GroupService {
   Options options_;
   std::map<GroupName, Group> groups_;
   std::vector<GroupEndpoint*> endpoints_;
+  std::vector<ViewListener> view_listeners_;
   std::uint64_t next_op_id_ = 1;
   std::uint64_t next_view_id_ = 1;
   std::uint64_t gcasts_completed_ = 0;
+  std::uint64_t retransmits_ = 0;
 };
 
 }  // namespace paso::vsync

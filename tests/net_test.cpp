@@ -129,5 +129,62 @@ TEST_F(BusNetworkTest, WorkLedgerAccumulatesPerMachine) {
   EXPECT_DOUBLE_EQ(net_.ledger().total_work(), 6.0);
 }
 
+// Regression: the work table used to be grown only by charge_work, so after
+// a reset() (which cleared it) work_of was answering from an empty table
+// while charge_work silently regrew it — the shape of the per-machine view
+// depended on charge order. The table is now pre-sized to the machine count
+// and reset() zeroes it in place.
+TEST_F(BusNetworkTest, WorkTableIsPreSizedAndSurvivesReset) {
+  // Defined (zero) for every machine before any charge.
+  const auto before = net_.ledger().snapshot();
+  EXPECT_EQ(before.work.size(), 4u);
+  EXPECT_DOUBLE_EQ(net_.ledger().work_of(MachineId{3}), 0.0);
+
+  net_.ledger().charge_work(MachineId{1}, 5.0);
+  net_.ledger().reset();
+  const auto after = net_.ledger().snapshot();
+  EXPECT_EQ(after.work.size(), 4u) << "reset changed the table shape";
+  EXPECT_DOUBLE_EQ(net_.ledger().work_of(MachineId{1}), 0.0);
+  EXPECT_DOUBLE_EQ(net_.ledger().total_work(), 0.0);
+
+  // since() across a reset must not read out of range in either direction.
+  net_.ledger().charge_work(MachineId{2}, 7.0);
+  const CostTriple triple = net_.ledger().since(after);
+  EXPECT_DOUBLE_EQ(triple.work, 7.0);
+  EXPECT_DOUBLE_EQ(triple.time, 7.0);
+}
+
+TEST_F(BusNetworkTest, DropWindowLosesDeliveryButChargesTransmission) {
+  net_.set_drop_window(MachineId{1}, 100.0);
+  bool lost_delivered = false;
+  bool late_delivered = false;
+  net_.send(MachineId{0}, MachineId{1}, "lost", 8,
+            [&] { lost_delivered = true; });
+  simulator_.run();
+  EXPECT_FALSE(lost_delivered);
+  EXPECT_EQ(net_.chaos_dropped(), 1u);
+  // Lost messages still cost bandwidth: the transmission happened.
+  EXPECT_DOUBLE_EQ(net_.ledger().total_msg_cost(), 18.0);
+
+  // After the window closes, deliveries resume.
+  simulator_.schedule_at(200.0, [] {});
+  simulator_.run();
+  net_.send(MachineId{0}, MachineId{1}, "late", 8,
+            [&] { late_delivered = true; });
+  simulator_.run();
+  EXPECT_TRUE(late_delivered);
+}
+
+TEST_F(BusNetworkTest, DelayWindowAddsLatencyWithoutExtraCost) {
+  net_.set_delay_window(MachineId{1}, 100.0, 33.0);
+  sim::SimTime delivered_at = -1;
+  net_.send(MachineId{0}, MachineId{1}, "slow", 10,
+            [&] { delivered_at = simulator_.now(); });
+  simulator_.run();
+  EXPECT_DOUBLE_EQ(delivered_at, 20.0 + 33.0);
+  EXPECT_EQ(net_.chaos_delayed(), 1u);
+  EXPECT_DOUBLE_EQ(net_.ledger().total_msg_cost(), 20.0);
+}
+
 }  // namespace
 }  // namespace paso::net

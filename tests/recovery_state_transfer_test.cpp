@@ -1,0 +1,235 @@
+// Crash-recovery state transfer and the retry/timeout machinery.
+//
+// A write-group member crashes mid-insert, recovers, and must come back
+// byte-for-byte equal to the survivor (objects, ages and the idempotence
+// tables all travel in the state-transfer blob). Operations issued while
+// the group is unreachable either retry to completion or fail with an
+// explicit timeout — never block forever — and retries are end-to-end
+// idempotent: a re-sent insert keeps one object, a re-sent read&del removes
+// one object.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "paso/cluster.hpp"
+#include "semantics/checker.hpp"
+
+namespace paso {
+namespace {
+
+Schema task_schema() {
+  // One partition: a single class, so wg(task) = {m0, m1} exactly and the
+  // replica-equality assertions below have a fixed target.
+  return Schema({
+      ClassSpec{"task", {FieldType::kInt, FieldType::kText}, 0, 1},
+  });
+}
+
+Tuple task(std::int64_t key, const std::string& payload = "v") {
+  return {Value{key}, Value{payload}};
+}
+
+/// Compare two replicas of a class store field by field: same size, same
+/// state-transfer footprint, and the same oldest match for every probe key.
+void expect_replicas_equal(MemoryServer& a, MemoryServer& b, ClassId cls,
+                           std::int64_t max_key) {
+  ASSERT_TRUE(a.supports(cls));
+  ASSERT_TRUE(b.supports(cls));
+  EXPECT_EQ(a.live_count(cls), b.live_count(cls));
+  EXPECT_EQ(a.class_state_bytes(cls), b.class_state_bytes(cls));
+  for (std::int64_t key = 0; key <= max_key; ++key) {
+    const SearchCriterion sc = criterion(Exact{Value{key}}, AnyField{});
+    auto from_a = a.local_find(cls, sc);
+    auto from_b = b.local_find(cls, sc);
+    ASSERT_EQ(from_a.has_value(), from_b.has_value()) << "key " << key;
+    if (from_a) {
+      EXPECT_EQ(from_a->id, from_b->id) << "key " << key;
+      EXPECT_TRUE(from_a->fields == from_b->fields) << "key " << key;
+    }
+  }
+}
+
+TEST(RecoveryStateTransferTest, RecoveredMemberMatchesSurvivorByteForByte) {
+  ClusterConfig cfg;
+  cfg.machines = 4;
+  cfg.lambda = 1;
+  Cluster cluster(task_schema(), cfg);
+  cluster.assign_basic_support();  // wg(task) = {m0, m1}
+  const ClassId cls{0};
+  const MachineId survivor{0};
+  const MachineId victim{1};
+  const ProcessId driver = cluster.process(MachineId{3});
+
+  for (std::int64_t key = 0; key < 6; ++key) {
+    ASSERT_TRUE(cluster.insert_sync(driver, task(key)));
+  }
+  ASSERT_TRUE(cluster.read_del_sync(driver, criterion(Exact{Value{2ll}},
+                                                      AnyField{}))
+                  .has_value());
+
+  // Crash the member mid-insert: the store gcast is in flight when the
+  // replica dies, so the survivor finishes the operation alone.
+  cluster.runtime(MachineId{3}).insert(driver, task(100));
+  cluster.crash(victim);
+  cluster.settle_for(200);  // failure detection expels the victim
+  ASSERT_FALSE(cluster.server(victim).supports(cls));
+  ASSERT_EQ(cluster.server(survivor).live_count(cls), 6u);
+
+  // More traffic while the victim is down — all of it must reach the joiner
+  // through the state transfer, not through missed gcasts.
+  for (std::int64_t key = 6; key < 9; ++key) {
+    ASSERT_TRUE(cluster.insert_sync(driver, task(key)));
+  }
+  ASSERT_TRUE(cluster.read_del_sync(driver, criterion(Exact{Value{7ll}},
+                                                      AnyField{}))
+                  .has_value());
+
+  bool initialized = false;
+  cluster.recover(victim, [&initialized] { initialized = true; });
+  cluster.settle();
+  ASSERT_TRUE(initialized);
+  ASSERT_FALSE(cluster.is_initializing(victim));
+
+  expect_replicas_equal(cluster.server(survivor), cluster.server(victim),
+                        cls, 100);
+  const auto check =
+      semantics::check_history(cluster.history(), cluster.run_context());
+  EXPECT_TRUE(check.ok()) << (check.violations.empty()
+                                  ? ""
+                                  : check.violations.front());
+}
+
+TEST(RecoveryStateTransferTest, OpsDuringOutageRetryOrTimeoutExplicitly) {
+  ClusterConfig cfg;
+  cfg.machines = 3;
+  cfg.lambda = 1;
+  cfg.vsync.retransmit_timeout = 100;
+  cfg.runtime.retry_backoff = 150;
+  Cluster cluster(task_schema(), cfg);
+  cluster.assign_basic_support();  // wg(task) = {m0, m1}
+  const ProcessId driver = cluster.process(MachineId{2});
+  PasoRuntime& home = cluster.runtime(MachineId{2});
+
+  // Blackout: every message *to* both write-group members vanishes for a
+  // while. An op with a deadline inside the window must surface kTimeout —
+  // after having retried — instead of hanging.
+  const sim::SimTime now = cluster.simulator().now();
+  cluster.network().set_drop_window(MachineId{0}, now + 1500);
+  cluster.network().set_drop_window(MachineId{1}, now + 1500);
+
+  std::vector<OpReport> reports;
+  home.insert_robust(driver, task(1),
+                     [&reports](OpReport r) { reports.push_back(r); },
+                     now + 600);
+  cluster.settle_for(700);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].status, OpStatus::kTimeout);
+  EXPECT_GE(reports[0].attempts, 2u) << "op never retried inside the window";
+  EXPECT_EQ(home.inflight(), 0u) << "timed-out op still in flight";
+  EXPECT_GE(home.timeouts(), 1u);
+
+  // An op whose deadline reaches past the window retries until the group is
+  // reachable again and completes.
+  home.insert_robust(driver, task(2),
+                     [&reports](OpReport r) { reports.push_back(r); },
+                     now + 4000);
+  cluster.settle_for(3000);
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[1].status, OpStatus::kOk);
+  EXPECT_GE(reports[1].attempts, 2u);
+  EXPECT_EQ(home.inflight(), 0u);
+
+  cluster.settle();
+  const auto check =
+      semantics::check_history(cluster.history(), cluster.run_context());
+  EXPECT_TRUE(check.ok()) << (check.violations.empty()
+                                  ? ""
+                                  : check.violations.front());
+}
+
+TEST(RecoveryStateTransferTest, InsertRetriesAreIdempotent) {
+  ClusterConfig cfg;
+  cfg.machines = 3;
+  cfg.lambda = 1;
+  cfg.runtime.retry_backoff = 50;  // retry long before the response arrives
+  Cluster cluster(task_schema(), cfg);
+  cluster.assign_basic_support();
+  const ClassId cls{0};
+  const ProcessId driver = cluster.process(MachineId{2});
+  PasoRuntime& home = cluster.runtime(MachineId{2});
+
+  // Slow the response path back to the issuer so the runtime re-sends the
+  // same StoreMsg; the write group must refuse the duplicate.
+  cluster.network().set_delay_window(MachineId{2},
+                                     cluster.simulator().now() + 500, 400);
+
+  std::vector<OpReport> reports;
+  home.insert_robust(driver, task(7),
+                     [&reports](OpReport r) { reports.push_back(r); });
+  cluster.settle();
+
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].status, OpStatus::kOk);
+  EXPECT_GE(reports[0].attempts, 2u) << "delay window never forced a retry";
+  std::uint64_t refused = 0;
+  for (std::uint32_t m = 0; m < cfg.machines; ++m) {
+    refused += cluster.server(MachineId{m}).duplicates_refused();
+  }
+  EXPECT_GE(refused, 1u) << "no server saw the duplicate store";
+  EXPECT_EQ(cluster.server(MachineId{0}).live_count(cls), 1u);
+  EXPECT_EQ(cluster.server(MachineId{1}).live_count(cls), 1u);
+
+  const auto check =
+      semantics::check_history(cluster.history(), cluster.run_context());
+  EXPECT_TRUE(check.ok()) << (check.violations.empty()
+                                  ? ""
+                                  : check.violations.front());
+}
+
+TEST(RecoveryStateTransferTest, ReadDelRetriesRemoveExactlyOneObject) {
+  ClusterConfig cfg;
+  cfg.machines = 3;
+  cfg.lambda = 1;
+  cfg.runtime.retry_backoff = 50;
+  Cluster cluster(task_schema(), cfg);
+  cluster.assign_basic_support();
+  const ClassId cls{0};
+  const ProcessId driver = cluster.process(MachineId{2});
+  PasoRuntime& home = cluster.runtime(MachineId{2});
+
+  // Two objects match the criterion; a retried removal with the same token
+  // must replay the cached decision, not delete the second one.
+  ASSERT_TRUE(cluster.insert_sync(driver, task(5, "first")));
+  ASSERT_TRUE(cluster.insert_sync(driver, task(5, "second")));
+
+  cluster.network().set_delay_window(MachineId{2},
+                                     cluster.simulator().now() + 500, 400);
+  std::vector<OpReport> reports;
+  home.read_del_robust(driver, criterion(Exact{Value{5ll}}, AnyField{}),
+                       [&reports](OpReport r) { reports.push_back(r); });
+  cluster.settle();
+
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].status, OpStatus::kOk);
+  ASSERT_TRUE(reports[0].object.has_value());
+  EXPECT_GE(reports[0].attempts, 2u) << "delay window never forced a retry";
+  EXPECT_EQ(cluster.server(MachineId{0}).live_count(cls), 1u)
+      << "retried read&del removed both matching objects";
+  EXPECT_EQ(cluster.server(MachineId{1}).live_count(cls), 1u);
+  std::uint64_t refused = 0;
+  for (std::uint32_t m = 0; m < cfg.machines; ++m) {
+    refused += cluster.server(MachineId{m}).duplicates_refused();
+  }
+  EXPECT_GE(refused, 1u) << "no server replayed a cached remove decision";
+
+  const auto check =
+      semantics::check_history(cluster.history(), cluster.run_context());
+  EXPECT_TRUE(check.ok()) << (check.violations.empty()
+                                  ? ""
+                                  : check.violations.front());
+}
+
+}  // namespace
+}  // namespace paso

@@ -120,7 +120,9 @@ TEST_P(Table1Regression, ReadDelRow) {
   const CostTriple cost = cluster->ledger().since(before);
   EXPECT_DOUBLE_EQ(cost.work, static_cast<Cost>(g));  // g * D(l)
   EXPECT_DOUBLE_EQ(cost.time, 1.0);
-  const Cost fan = g * (kAlpha + kBeta * (sc.wire_size() + 4));
+  // The remove header is 12 bytes: class id plus the 8-byte idempotence
+  // token replicas use to dedup retried removals.
+  const Cost fan = g * (kAlpha + kBeta * (sc.wire_size() + 12));
   const Cost acks = (g - 1) * kAlpha;
   const Cost resp = kAlpha + kBeta * taken->wire_size();
   EXPECT_DOUBLE_EQ(cost.msg_cost, fan + acks + resp);

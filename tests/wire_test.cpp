@@ -119,10 +119,13 @@ class WireMessageTest : public ::testing::Test {
           if constexpr (std::is_same_v<M, StoreMsg>) {
             EXPECT_EQ(back->cls, original.cls);
             EXPECT_EQ(back->object, original.object);
-          } else if constexpr (std::is_same_v<M, MemReadMsg> ||
-                               std::is_same_v<M, RemoveMsg>) {
+          } else if constexpr (std::is_same_v<M, MemReadMsg>) {
             EXPECT_EQ(back->cls, original.cls);
             EXPECT_EQ(back->criterion, original.criterion);
+          } else if constexpr (std::is_same_v<M, RemoveMsg>) {
+            EXPECT_EQ(back->cls, original.cls);
+            EXPECT_EQ(back->criterion, original.criterion);
+            EXPECT_EQ(back->token, original.token);
           } else if constexpr (std::is_same_v<M, PlaceMarkerMsg>) {
             EXPECT_EQ(back->cls, original.cls);
             EXPECT_EQ(back->criterion, original.criterion);
@@ -153,8 +156,10 @@ TEST_F(WireMessageTest, MemReadMessage) {
 
 TEST_F(WireMessageTest, RemoveMessage) {
   expect_round_trip(RemoveMsg{
-      ClassId{0}, criterion(Exact{Value{std::int64_t{12}}}, AnyField{},
-                            AnyField{}, AnyField{})});
+      ClassId{0},
+      criterion(Exact{Value{std::int64_t{12}}}, AnyField{}, AnyField{},
+                AnyField{}),
+      0x1122334455667788ULL});
 }
 
 TEST_F(WireMessageTest, MarkerMessages) {
