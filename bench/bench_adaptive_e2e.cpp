@@ -106,6 +106,14 @@ int main() {
                 totals[0].combined(), totals[1].combined(),
                 totals[2].combined(),
                 policy_name(static_cast<Policy>(winner)));
+    for (int i = 0; i < 3; ++i) {
+      char share[16];
+      std::snprintf(share, sizeof share, "%.2f", update_share);
+      result_line("adaptive_e2e",
+                  std::string(policy_name(static_cast<Policy>(i))) +
+                      "/update_share=" + share,
+                  900, 0, totals[i].msg, 0);
+    }
   }
 
   std::printf(

@@ -84,6 +84,12 @@ int main() {
           wait, interval, poll.msg_cost, poll.wakeup_latency,
           hybrid.msg_cost, hybrid.wakeup_latency, marker.msg_cost,
           marker.wakeup_latency);
+      const std::string base = "wait=" + std::to_string(wait) +
+                               "/interval=" + std::to_string(interval);
+      result_line("blocking_ablation", base + "/poll", 4, 0, poll.msg_cost,
+                  0);
+      result_line("blocking_ablation", base + "/marker", 4, 0,
+                  marker.msg_cost, 0);
     }
   }
   std::printf(

@@ -124,7 +124,9 @@ int main() {
       "retries across outages, and the state transfers behind each\n"
       "recovery; duplicate suppression keeps the retries harmless.\n");
 
-  JsonLine json("chaos_overhead");
+  result_line("chaos_overhead", "fault-free", 1, 0, clean.msg_cost, 0);
+  result_line("chaos_overhead", "chaos", 1, 0, chaos.msg_cost, 0);
+  JsonLine json("chaos_overhead_detail");
   json.field("seed", kScheduleSeed)
       .field("clean_msg_cost", clean.msg_cost)
       .field("clean_work", clean.work)

@@ -61,6 +61,15 @@ int main() {
     const Outcome o = run(delay);
     std::printf("%12.0f | %12.1f %14.1f %14.1f\n", delay,
                 o.steady_read_latency, o.read_latency, o.insert_latency);
+    JsonLine("detection_ablation")
+        .field("config", "delay=" + std::to_string(delay))
+        .field("ops", std::uint64_t{2})
+        .field("ns_per_op", 0.0)
+        .field("msg_cost", 0.0)
+        .field("bytes", std::uint64_t{0})
+        .field("read_latency", o.read_latency)
+        .field("insert_latency", o.insert_latency)
+        .emit();
   }
   std::printf(
       "\nOperations that hit the dead member stall for ~the detection delay\n"

@@ -26,6 +26,7 @@ int main() {
 
   Rng rng(31415);
   bool all_within = true;
+  double overall_worst = 0;
   for (const std::size_t lambda : {1u, 2u, 3u}) {
     for (const std::size_t phase_length : {256u, 1024u, 4096u}) {
       for (const double insert_fraction : {0.75, 0.95}) {
@@ -45,6 +46,7 @@ int main() {
         const double bound = theorem3_bound(lambda, 1);
         const bool ok = doubling.ratio <= bound + 1e-9;
         all_within = all_within && ok;
+        overall_worst = std::max(overall_worst, doubling.ratio);
         std::printf("%7zu %7zu %8.2f | %10.3f %10.3f | %10.3f%s\n", lambda,
                     phase_length, insert_fraction, doubling.ratio,
                     fixed.ratio, bound, ok ? "" : "  !!");
@@ -76,6 +78,14 @@ int main() {
                 fixed.ratio, bound, ok ? "" : "  !!");
   }
 
+  JsonLine("doubling_halving")
+      .field("config", std::string{"theorem3_sweep"})
+      .field("ops", std::uint64_t{18})
+      .field("ns_per_op", 0.0)
+      .field("msg_cost", 0.0)
+      .field("bytes", std::uint64_t{0})
+      .field("worst_ratio", overall_worst)
+      .emit();
   std::printf("\n%s\n",
               all_within
                   ? "Doubling/halving stays within the Theorem 3 bound on "

@@ -58,10 +58,12 @@ int main() {
 
   Rng rng(424242);
   bool all_within = true;
+  double overall_worst = 0;
   for (const std::size_t lambda : {1u, 2u, 3u}) {
     for (const Cost k : {4.0, 8.0, 16.0, 32.0}) {
       for (const Cost q : {1.0, 2.0, 4.0, 8.0}) {
         const double worst = worst_ratio(lambda, k, q, rng);
+        overall_worst = std::max(overall_worst, worst);
         const double ext = extension_bound(lambda, k);
         const bool ok = worst <= ext + 1e-9;
         all_within = all_within && ok;
@@ -78,6 +80,14 @@ int main() {
   std::printf("  search tree:  I=1 D=1 Q=log l  -> this extension, q=log l\n");
   std::printf("  linear list:  I=1 D=l Q=l      -> scan regime (q=l)\n");
 
+  JsonLine("dstruct_competitive")
+      .field("config", std::string{"extension_sweep"})
+      .field("ops", std::uint64_t{48})
+      .field("ns_per_op", 0.0)
+      .field("msg_cost", 0.0)
+      .field("bytes", std::uint64_t{0})
+      .field("worst_ratio", overall_worst)
+      .emit();
   std::printf("\n%s\n",
               all_within
                   ? "All measured ratios within the 3 + 2*lambda/K bound."

@@ -67,6 +67,14 @@ int main() {
     std::printf("%6zu | %12.0f %12.0f %10.2f | %12.0f %12.0f %10.2f\n", wg,
                 fixed.total, fixed.max_server, fixed.imbalance,
                 rotated.total, rotated.max_server, rotated.imbalance);
+    JsonLine("load_balance")
+        .field("config", "wg=" + std::to_string(wg) + "/rotate")
+        .field("ops", std::uint64_t{300})
+        .field("ns_per_op", 0.0)
+        .field("msg_cost", 0.0)
+        .field("bytes", std::uint64_t{0})
+        .field("imbalance", rotated.imbalance)
+        .emit();
   }
   std::printf(
       "\nTotal work is identical (the read group size is still lambda+1);\n"

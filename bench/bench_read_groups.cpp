@@ -68,6 +68,10 @@ int main() {
     const Measurement without = read_cost(wg, false, kMachines, kLambda);
     std::printf("%6zu | %14.1f %10.2f | %14.1f %10.2f\n", wg, with_rg.msg,
                 with_rg.work, without.msg, without.work);
+    result_line("read_groups", "wg=" + std::to_string(wg) + "/rg=on", 1, 0,
+                with_rg.msg, 0);
+    result_line("read_groups", "wg=" + std::to_string(wg) + "/rg=off", 1, 0,
+                without.msg, 0);
   }
   std::printf(
       "\nWith read groups the per-read cost is flat in |wg| (the request\n"

@@ -52,6 +52,8 @@ int main() {
     std::printf("%6zu | %12llu %12.0f %10.0f %12.0f | %12.2f\n", live,
                 static_cast<unsigned long long>(xfer.bytes), cost.msg_cost,
                 cost.time, duration, bytes_per_l);
+    result_line("recovery", "transfer/l=" + std::to_string(live), 1, 0,
+                cost.msg_cost, xfer.bytes);
     if (prev_bytes_per_l > 0 &&
         (bytes_per_l > prev_bytes_per_l * 1.5 ||
          bytes_per_l < prev_bytes_per_l / 1.5)) {

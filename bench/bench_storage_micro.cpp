@@ -1,120 +1,162 @@
-// Micro-benchmarks (google-benchmark) of the three local stores backing the
-// memory servers: real wall-clock cost of store_M / mem-read_M / remove_M at
-// various sizes. These are the I/Q/D of Figure 1 measured on real hardware
-// rather than in model units — the model costs (1, log l, l) should be
-// visible in the scaling of each store family.
-#include <benchmark/benchmark.h>
-
+// Micro-benchmarks of the local stores backing the memory servers: real
+// wall-clock cost of store_M / mem-read_M / remove_M at various sizes, plus
+// the criterion-match probe counts that the multi-field index is supposed to
+// crush. The model costs (1, log l, l) should be visible in the scaling of
+// each store family, and IndexedStore must answer non-key-field criteria
+// with far fewer probes than an age scan.
+#include <chrono>
+#include <cstdint>
 #include <memory>
+#include <string>
 
+#include "bench/bench_util.hpp"
 #include "storage/hash_store.hpp"
+#include "storage/indexed_store.hpp"
 #include "storage/linear_store.hpp"
 #include "storage/ordered_store.hpp"
 
-namespace {
-
 using namespace paso;
+using namespace paso::bench;
 using namespace paso::storage;
 
-std::unique_ptr<ObjectStore> make_store(int kind) {
-  switch (kind) {
-    case 0:
-      return std::make_unique<HashStore>(0);
-    case 1:
-      return std::make_unique<OrderedStore>(0);
-    default:
-      return std::make_unique<LinearStore>();
+namespace {
+
+constexpr const char* kKinds[] = {"hash", "ordered", "linear", "indexed"};
+
+std::unique_ptr<ObjectStore> make_store(const std::string& kind) {
+  if (kind == "hash") return std::make_unique<HashStore>(0);
+  if (kind == "ordered") return std::make_unique<OrderedStore>(0);
+  if (kind == "indexed") {
+    return std::make_unique<IndexedStore>(std::vector<std::size_t>{0, 1});
   }
+  return std::make_unique<LinearStore>();
 }
 
-const char* kind_name(int kind) {
-  return kind == 0 ? "hash" : kind == 1 ? "ordered" : "linear";
-}
-
-PasoObject object_for(std::int64_t key) {
+PasoObject object_for(std::int64_t key, std::int64_t text_key) {
   PasoObject object;
   object.id = ObjectId{ProcessId{MachineId{0}, 0},
                        static_cast<std::uint64_t>(key)};
-  object.fields = {Value{key}, Value{std::string{"payload-payload"}}};
+  object.fields = {Value{key},
+                   Value{"tag-" + std::to_string(text_key)}};
   return object;
 }
 
 void fill(ObjectStore& store, std::int64_t count) {
   for (std::int64_t i = 0; i < count; ++i) {
-    store.store(object_for(i), static_cast<std::uint64_t>(i));
+    // Field 1 cycles through count/8 distinct tags: selective but not unique.
+    store.store(object_for(i, i % (count / 8 + 1)),
+                static_cast<std::uint64_t>(i));
   }
 }
 
-void BM_StoreInsert(benchmark::State& state) {
-  const int kind = static_cast<int>(state.range(0));
-  const std::int64_t size = state.range(1);
-  auto store = make_store(kind);
-  fill(*store, size);
-  std::int64_t next = size;
-  for (auto _ : state) {
-    store->store(object_for(next), static_cast<std::uint64_t>(next));
-    ++next;
-  }
-  state.SetLabel(kind_name(kind));
+using Clock = std::chrono::steady_clock;
+
+double time_ns_per_op(std::uint64_t ops, const std::function<void()>& body) {
+  const auto start = Clock::now();
+  body();
+  const auto elapsed = Clock::now() - start;
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                 .count()) /
+         static_cast<double>(ops);
 }
 
-void BM_StoreQueryByKey(benchmark::State& state) {
-  const int kind = static_cast<int>(state.range(0));
-  const std::int64_t size = state.range(1);
-  auto store = make_store(kind);
-  fill(*store, size);
-  const SearchCriterion sc =
-      criterion(Exact{Value{size / 2}}, TypedAny{FieldType::kText});
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(store->find(sc));
-  }
-  state.SetLabel(kind_name(kind));
-}
+struct ProbeRow {
+  double ns_per_op = 0;
+  std::uint64_t probes_per_op = 0;
+};
 
-void BM_StoreQueryByRange(benchmark::State& state) {
-  const int kind = static_cast<int>(state.range(0));
-  const std::int64_t size = state.range(1);
-  auto store = make_store(kind);
-  fill(*store, size);
-  const SearchCriterion sc =
-      criterion(IntRange{size / 2, size / 2 + 3}, TypedAny{FieldType::kText});
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(store->find(sc));
-  }
-  state.SetLabel(kind_name(kind));
-}
-
-void BM_StoreRemoveInsertPair(benchmark::State& state) {
-  const int kind = static_cast<int>(state.range(0));
-  const std::int64_t size = state.range(1);
-  auto store = make_store(kind);
-  fill(*store, size);
-  std::int64_t next = size;
-  for (auto _ : state) {
-    auto removed = store->remove(
-        criterion(TypedAny{FieldType::kInt}, TypedAny{FieldType::kText}));
-    benchmark::DoNotOptimize(removed);
-    store->store(object_for(next), static_cast<std::uint64_t>(next));
-    ++next;
-  }
-  state.SetLabel(kind_name(kind));
-}
-
-void StoreArgs(benchmark::internal::Benchmark* bench) {
-  for (int kind = 0; kind < 3; ++kind) {
-    for (const std::int64_t size : {100, 1000, 10000}) {
-      // Linear scan at 10k is slow by design; cap its size.
-      if (kind == 2 && size > 1000) continue;
-      bench->Args({kind, size});
+/// Query by a non-key-field criterion (field 1, which only IndexedStore
+/// indexes): the case the age scan pays for dearly.
+ProbeRow bench_non_key_query(ObjectStore& store, std::int64_t size,
+                             std::uint64_t ops) {
+  const SearchCriterion sc = criterion(
+      TypedAny{FieldType::kInt},
+      Exact{Value{"tag-" + std::to_string(size / 16)}});
+  const std::uint64_t before = store.match_probes();
+  ProbeRow row;
+  row.ns_per_op = time_ns_per_op(ops, [&] {
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      volatile bool hit = store.find(sc).has_value();
+      (void)hit;
     }
-  }
+  });
+  row.probes_per_op = (store.match_probes() - before) / ops;
+  return row;
 }
-
-BENCHMARK(BM_StoreInsert)->Apply(StoreArgs);
-BENCHMARK(BM_StoreQueryByKey)->Apply(StoreArgs);
-BENCHMARK(BM_StoreQueryByRange)->Apply(StoreArgs);
-BENCHMARK(BM_StoreRemoveInsertPair)->Apply(StoreArgs);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  print_header("Storage micro-bench: wall-clock I/Q/D + match probes");
+  std::printf("%-8s %6s | %10s %10s %10s | %12s %10s\n", "store", "size",
+              "insert", "key-query", "rm+ins", "nonkey-q", "probes/op");
+  print_rule();
+
+  for (const char* kind : kKinds) {
+    for (const std::int64_t size : {100ll, 1000ll, 10000ll}) {
+      // Linear scans at 10k are slow by design; cap their size.
+      if (std::string(kind) == "linear" && size > 1000) continue;
+      const std::uint64_t ops = size >= 10000 ? 2000 : 20000;
+
+      auto store = make_store(kind);
+      fill(*store, size);
+      std::int64_t next = size;
+      const double insert_ns = time_ns_per_op(ops, [&] {
+        for (std::uint64_t i = 0; i < ops; ++i, ++next) {
+          store->store(object_for(next, next % (size / 8 + 1)),
+                       static_cast<std::uint64_t>(next));
+        }
+      });
+
+      const SearchCriterion by_key =
+          criterion(Exact{Value{size / 2}}, TypedAny{FieldType::kText});
+      const double key_query_ns = time_ns_per_op(ops, [&] {
+        for (std::uint64_t i = 0; i < ops; ++i) {
+          volatile bool hit = store->find(by_key).has_value();
+          (void)hit;
+        }
+      });
+
+      std::int64_t churn = next;
+      const double remove_insert_ns = time_ns_per_op(ops, [&] {
+        for (std::uint64_t i = 0; i < ops; ++i, ++churn) {
+          auto removed = store->remove(criterion(TypedAny{FieldType::kInt},
+                                                 TypedAny{FieldType::kText}));
+          store->store(object_for(churn, churn % (size / 8 + 1)),
+                       static_cast<std::uint64_t>(churn));
+        }
+      });
+
+      // Fresh store for the probe-counting row so churn doesn't skew it.
+      auto probe_store = make_store(kind);
+      fill(*probe_store, size);
+      const ProbeRow non_key =
+          bench_non_key_query(*probe_store, size, ops / 4);
+
+      std::printf("%-8s %6lld | %8.0fns %8.0fns %8.0fns | %10.0fns %10llu\n",
+                  kind, static_cast<long long>(size), insert_ns, key_query_ns,
+                  remove_insert_ns, non_key.ns_per_op,
+                  static_cast<unsigned long long>(non_key.probes_per_op));
+
+      const std::string base =
+          std::string(kind) + "/size=" + std::to_string(size);
+      result_line("storage_micro", base + "/insert", ops, insert_ns, 0, 0);
+      result_line("storage_micro", base + "/key_query", ops, key_query_ns, 0,
+                  0);
+      result_line("storage_micro", base + "/nonkey_query", ops / 4,
+                  non_key.ns_per_op, 0, 0);
+      JsonLine("storage_micro_probes")
+          .field("config", base + "/nonkey_query")
+          .field("ops", ops / 4)
+          .field("probes_per_op", non_key.probes_per_op)
+          .emit();
+    }
+  }
+
+  std::printf(
+      "\nnonkey-q filters on field 1, which only the multi-field index\n"
+      "covers: hash and ordered fall back to the age scan (probes/op tracks\n"
+      "the store size) while indexed goes straight to the field-1 bucket.\n");
+  return 0;
+}

@@ -127,6 +127,11 @@ int main() {
                   static_cast<unsigned long long>(manager.recruitments()),
                   static_cast<unsigned long long>(xfer.bytes),
                   cluster.ledger().total_msg_cost());
+      result_line("support_selection",
+                  std::string(SupportManager::rule_name(rule)) +
+                      "/l=" + std::to_string(live),
+                  manager.recruitments(), 0,
+                  cluster.ledger().total_msg_cost(), xfer.bytes);
     }
   }
   std::printf(

@@ -163,6 +163,8 @@ void print_row(const Row& row) {
               row.measured.msg_cost - row.predicted.msg_cost,
               row.predicted.time, row.measured.time, row.predicted.work,
               row.measured.work);
+  result_line("table1_costs", row.op + "/g=" + std::to_string(row.g), 1, 0,
+              row.measured.msg_cost, 0);
 }
 
 }  // namespace

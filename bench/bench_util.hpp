@@ -48,6 +48,28 @@ class JsonLine {
   std::string body_;
 };
 
+/// The standard machine-readable result row every bench emits at least once:
+///   {"bench":...,"config":...,"ops":...,"ns_per_op":...,"msg_cost":...,
+///    "bytes":...}
+/// `config` names the measured variant (e.g. "indexed/size=10000"), `ops` is
+/// how many operations the row aggregates, `ns_per_op` the measured
+/// wall-clock per op (0 when the bench only meters model cost), `msg_cost`
+/// the model's message cost (0 for wall-clock-only micro benches) and
+/// `bytes` the wire bytes moved (0 when not metered). The baseline pipeline
+/// greps stdout for lines starting `{"bench"` — keep this the only JSON the
+/// benches print.
+inline void result_line(const std::string& bench, const std::string& config,
+                        std::uint64_t ops, double ns_per_op, double msg_cost,
+                        std::uint64_t bytes) {
+  JsonLine(bench)
+      .field("config", config)
+      .field("ops", ops)
+      .field("ns_per_op", ns_per_op)
+      .field("msg_cost", msg_cost)
+      .field("bytes", bytes)
+      .emit();
+}
+
 /// A cluster preloaded with one (int, text) class and basic support joined.
 struct TaskCluster {
   static Schema schema() {

@@ -1,0 +1,56 @@
+#include "paso/batching.hpp"
+
+#include "common/require.hpp"
+#include "paso/messages.hpp"
+
+namespace paso {
+
+vsync::GcastBatcher::Combiner server_batch_combiner() {
+  return [](const std::vector<vsync::Payload>& payloads) {
+    PASO_REQUIRE(payloads.size() >= 2, "combining a non-batch");
+    BatchMsg batch;
+    batch.ops.reserve(payloads.size());
+    for (const vsync::Payload& payload : payloads) {
+      const auto& message = std::any_cast<const ServerMessage&>(payload.body);
+      std::visit(
+          [&batch](const auto& m) {
+            using M = std::decay_t<decltype(m)>;
+            if constexpr (std::is_same_v<M, StoreMsg> ||
+                          std::is_same_v<M, MemReadMsg> ||
+                          std::is_same_v<M, RemoveMsg>) {
+              if (batch.ops.empty()) batch.cls = m.cls;
+              PASO_REQUIRE(batch.cls == m.cls,
+                           "batch mixes object classes");
+              batch.ops.emplace_back(m);
+            } else {
+              PASO_REQUIRE(false, "unbatchable message reached the batcher");
+            }
+          },
+          message);
+    }
+    const std::size_t bytes = batch.wire_size();
+    return vsync::Payload{ServerMessage{std::move(batch)}, bytes};
+  };
+}
+
+vsync::GcastBatcher::Splitter server_batch_splitter() {
+  return [](const std::optional<std::any>& response, std::size_t count) {
+    std::vector<std::optional<std::any>> slots;
+    slots.reserve(count);
+    if (!response) {
+      // Whole batch abandoned: every op sees the abandoned-gcast signal.
+      slots.assign(count, std::nullopt);
+      return slots;
+    }
+    const auto* batch = std::any_cast<BatchResponse>(&*response);
+    PASO_REQUIRE(batch != nullptr, "batch response of unexpected type");
+    PASO_REQUIRE(batch->slots.size() == count,
+                 "batch response slot count mismatch");
+    for (const SearchResponse& slot : batch->slots) {
+      slots.emplace_back(std::any{slot});
+    }
+    return slots;
+  };
+}
+
+}  // namespace paso

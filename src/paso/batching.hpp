@@ -1,0 +1,30 @@
+// ServerMessage instantiation of the generic vsync batching layer.
+//
+// The batcher coalesces Payloads whose bodies are ServerMessages; the
+// combiner here folds them into one BatchMsg (all ops in a batch share a
+// route, and the runtime routes per class, so they share a class too), and
+// the splitter fans a gathered BatchResponse back out into one
+// SearchResponse per op — exactly the std::any shape each op's callback
+// would have received had it gone out alone.
+//
+// Slot conventions (see BatchResponse in messages.hpp):
+//   * store op    -> slot is a disengaged SearchResponse; the robust-insert
+//                    path treats any arrived response as the ack, matching
+//                    the unbatched store whose response body is empty.
+//   * read/remove -> slot carries the found object or nullopt.
+//   * whole batch abandoned (nullopt from the group layer, e.g. empty view
+//     or issuer expelled) -> every op's callback gets nullopt, the same
+//     signal an abandoned lone gcast produces.
+#pragma once
+
+#include "vsync/batcher.hpp"
+
+namespace paso {
+
+/// Combiner: fold ServerMessage payloads into one BatchMsg payload.
+vsync::GcastBatcher::Combiner server_batch_combiner();
+
+/// Splitter: fan a BatchResponse out into per-op SearchResponse anys.
+vsync::GcastBatcher::Splitter server_batch_splitter();
+
+}  // namespace paso

@@ -50,73 +50,66 @@ vsync::GcastResult MemoryServer::handle_gcast(const GroupName& group,
   ClassState& state = state_of(*cls);
 
   if (const auto* store_msg = std::get_if<StoreMsg>(message)) {
-    if (state.applied_inserts.contains(store_msg->object.id)) {
-      // Duplicate delivery of a store already applied (and possibly since
-      // removed): refuse silently so retransmission cannot violate A2.
-      ++duplicates_refused_;
-      result.processing = 0;
-      result.response = std::any{};
-      result.response_bytes = 0;
-      return result;
-    }
-    state.applied_inserts.insert(store_msg->object.id);
-    result.processing = state.store->insert_cost();
-    state.store->store(store_msg->object, state.next_age++);
-    fire_markers(state, store_msg->object);
-    if (update_hook_) update_hook_(*cls, /*is_store=*/true, /*applied=*/true);
+    apply_store(*cls, state, *store_msg, result.processing);
     // store(o) expects no response payload: the gathered response is empty.
     result.response = std::any{};
     result.response_bytes = 0;
   } else if (const auto* read_msg = std::get_if<MemReadMsg>(message)) {
-    result.processing = state.store->query_cost();
-    SearchResponse response = state.store->find(read_msg->criterion);
+    SearchResponse response = apply_read(state, *read_msg, result.processing);
     result.response_bytes = response_wire_size(response);
     result.response = std::move(response);
   } else if (const auto* remove_msg = std::get_if<RemoveMsg>(message)) {
-    if (remove_msg->token != 0) {
-      auto cached = state.remove_cache.find(remove_msg->token);
-      if (cached != state.remove_cache.end()) {
-        // Replay of a remove this replica already decided: return the
-        // original decision without touching the store (exactly-once).
-        ++duplicates_refused_;
-        result.processing = 0;
-        result.response_bytes = response_wire_size(cached->second);
-        result.response = cached->second;
-        return result;
-      }
-    }
-    SearchResponse response = state.store->remove(remove_msg->criterion);
-    result.processing = response.has_value() ? state.store->remove_cost()
-                                             : state.store->query_cost();
+    SearchResponse response =
+        apply_remove(*cls, state, *remove_msg, result.processing);
     result.response_bytes = response_wire_size(response);
-    if (update_hook_) {
-      update_hook_(*cls, /*is_store=*/false, /*applied=*/response.has_value());
+    result.response = std::move(response);
+  } else if (const auto* batch_msg = std::get_if<BatchMsg>(message)) {
+    // A batch is its member operations applied in order, sharing one gcast.
+    // Each op runs through the same apply helper a lone message would, so
+    // dedup, token replay and marker firing are identical per op.
+    BatchResponse response;
+    response.slots.reserve(batch_msg->ops.size());
+    for (const BatchableOp& op : batch_msg->ops) {
+      std::visit(
+          [&](const auto& sub) {
+            using S = std::decay_t<decltype(sub)>;
+            if constexpr (std::is_same_v<S, StoreMsg>) {
+              apply_store(*cls, state, sub, result.processing);
+              response.slots.emplace_back(std::nullopt);
+            } else if constexpr (std::is_same_v<S, MemReadMsg>) {
+              response.slots.push_back(
+                  apply_read(state, sub, result.processing));
+            } else {
+              static_assert(std::is_same_v<S, RemoveMsg>);
+              response.slots.push_back(
+                  apply_remove(*cls, state, sub, result.processing));
+            }
+          },
+          op);
     }
-    if (remove_msg->token != 0) {
-      state.remove_cache.emplace(remove_msg->token, response);
-      state.remove_cache_order.push_back(remove_msg->token);
-      while (state.remove_cache_order.size() > kRemoveCacheCap) {
-        state.remove_cache.erase(state.remove_cache_order.front());
-        state.remove_cache_order.pop_front();
-      }
-    }
+    result.response_bytes = response.wire_size();
     result.response = std::move(response);
   } else if (const auto* marker_msg = std::get_if<PlaceMarkerMsg>(message)) {
     // Install the marker, then answer the embedded immediate probe: the
     // response doubles as a mem-read so the issuer learns about an object
     // that was already present (no insert will re-announce it).
+    sweep_expired_markers(state);
     state.markers.push_back(Marker{marker_msg->marker_id, marker_msg->owner,
                                    marker_msg->criterion,
                                    marker_msg->expires_at});
+    state.marker_index_dirty = true;
     result.processing = state.store->query_cost();
     SearchResponse response = state.store->find(marker_msg->criterion);
     result.response_bytes = response_wire_size(response);
     result.response = std::move(response);
   } else if (const auto* cancel_msg = std::get_if<CancelMarkerMsg>(message)) {
+    const std::size_t before = state.markers.size();
     std::erase_if(state.markers, [cancel_msg](const Marker& m) {
       return m.marker_id == cancel_msg->marker_id &&
              m.owner == cancel_msg->owner;
     });
+    if (state.markers.size() != before) state.marker_index_dirty = true;
+    sweep_expired_markers(state);
     result.processing = 0;
     result.response = std::any{};
     result.response_bytes = 0;
@@ -124,22 +117,126 @@ vsync::GcastResult MemoryServer::handle_gcast(const GroupName& group,
   return result;
 }
 
+void MemoryServer::apply_store(ClassId cls, ClassState& state,
+                               const StoreMsg& msg, Cost& processing) {
+  if (state.applied_inserts.contains(msg.object.id)) {
+    // Duplicate delivery of a store already applied (and possibly since
+    // removed): refuse silently so retransmission cannot violate A2.
+    ++duplicates_refused_;
+    return;
+  }
+  state.applied_inserts.insert(msg.object.id);
+  processing += state.store->insert_cost();
+  state.store->store(msg.object, state.next_age++);
+  fire_markers(state, msg.object);
+  if (update_hook_) update_hook_(cls, /*is_store=*/true, /*applied=*/true);
+}
+
+SearchResponse MemoryServer::apply_read(ClassState& state,
+                                        const MemReadMsg& msg,
+                                        Cost& processing) {
+  processing += state.store->query_cost();
+  return state.store->find(msg.criterion);
+}
+
+SearchResponse MemoryServer::apply_remove(ClassId cls, ClassState& state,
+                                          const RemoveMsg& msg,
+                                          Cost& processing) {
+  if (msg.token != 0) {
+    auto cached = state.remove_cache.find(msg.token);
+    if (cached != state.remove_cache.end()) {
+      // Replay of a remove this replica already decided: return the
+      // original decision without touching the store (exactly-once).
+      ++duplicates_refused_;
+      return cached->second;
+    }
+  }
+  SearchResponse response = state.store->remove(msg.criterion);
+  processing += response.has_value() ? state.store->remove_cost()
+                                     : state.store->query_cost();
+  if (update_hook_) {
+    update_hook_(cls, /*is_store=*/false, /*applied=*/response.has_value());
+  }
+  if (msg.token != 0) {
+    state.remove_cache.emplace(msg.token, response);
+    state.remove_cache_order.push_back(msg.token);
+    while (state.remove_cache_order.size() > kRemoveCacheCap) {
+      state.remove_cache.erase(state.remove_cache_order.front());
+      state.remove_cache_order.pop_front();
+    }
+  }
+  return response;
+}
+
+void MemoryServer::rebuild_marker_index(ClassState& state) {
+  state.marker_buckets.clear();
+  state.marker_catch_all.clear();
+  for (std::size_t i = 0; i < state.markers.size(); ++i) {
+    const SearchCriterion& sc = state.markers[i].criterion;
+    // Bucket by the first Exact-constrained field: an object can only match
+    // this marker if it carries exactly that value there. Markers without an
+    // Exact pattern stay in the catch-all and are tested on every insert.
+    const Exact* exact = nullptr;
+    std::size_t field = 0;
+    for (std::size_t f = 0; f < sc.fields.size(); ++f) {
+      if ((exact = std::get_if<Exact>(&sc.fields[f])) != nullptr) {
+        field = f;
+        break;
+      }
+    }
+    if (exact != nullptr) {
+      state.marker_buckets[field][value_hash(exact->value)].push_back(i);
+    } else {
+      state.marker_catch_all.push_back(i);
+    }
+  }
+  state.marker_index_dirty = false;
+}
+
 void MemoryServer::fire_markers(ClassState& state, const PasoObject& object) {
   if (state.markers.empty()) return;
+  if (state.marker_index_dirty) rebuild_marker_index(state);
+  // Candidates: catch-all markers plus, per bucketed field, the markers
+  // demanding exactly this object's value there.
+  std::vector<std::size_t> candidates = state.marker_catch_all;
+  for (const auto& [field, buckets] : state.marker_buckets) {
+    if (field >= object.fields.size()) continue;
+    auto it = buckets.find(value_hash(object.fields[field]));
+    if (it == buckets.end()) continue;
+    candidates.insert(candidates.end(), it->second.begin(), it->second.end());
+  }
+  // Fire in placement order — the order the old linear scan used — so
+  // replicas and tests observe identical notification sequences.
+  std::sort(candidates.begin(), candidates.end());
   const sim::SimTime now = network_.simulator().now();
-  // Drop expired markers lazily (the hybrid scheme of Section 4.3).
-  std::erase_if(state.markers,
-                [now](const Marker& m) { return m.expires_at < now; });
-  for (const Marker& marker : state.markers) {
+  for (const std::size_t i : candidates) {
+    const Marker& marker = state.markers[i];
+    // Expired markers never fire; they are erased by the sweeps on the
+    // marker-management and state-capture paths, not here, so the insert
+    // hot path stays index-sized.
+    if (marker.expires_at < now) continue;
+    ++marker_probes_;
     if (!marker.criterion.matches(object)) continue;
     if (marker_hook_) marker_hook_(marker.owner, marker.marker_id, object);
   }
+}
+
+void MemoryServer::sweep_expired_markers(ClassState& state) {
+  if (state.markers.empty()) return;
+  const sim::SimTime now = network_.simulator().now();
+  const std::size_t before = state.markers.size();
+  std::erase_if(state.markers,
+                [now](const Marker& m) { return m.expires_at < now; });
+  if (state.markers.size() != before) state.marker_index_dirty = true;
 }
 
 vsync::StateBlob MemoryServer::capture_state(const GroupName& group) {
   const auto cls = class_of_group(group);
   PASO_REQUIRE(cls.has_value(), "capture on unknown group");
   ClassState& state = state_of(*cls);
+  // Don't donate dead markers: the blob (and its byte cost) carries only
+  // live ones.
+  sweep_expired_markers(state);
   auto snapshot = std::make_shared<ClassSnapshot>();
   snapshot->objects = state.store->snapshot();
   snapshot->next_age = state.next_age;
@@ -170,6 +267,7 @@ void MemoryServer::install_state(const GroupName& group,
   state.store->load((*snapshot)->objects);
   state.next_age = (*snapshot)->next_age;
   state.markers = (*snapshot)->markers;
+  state.marker_index_dirty = true;
   state.applied_inserts = (*snapshot)->applied_inserts;
   state.remove_cache = (*snapshot)->remove_cache;
   state.remove_cache_order = (*snapshot)->remove_cache_order;
@@ -201,6 +299,11 @@ std::optional<PasoObject> MemoryServer::local_find(ClassId cls,
   PASO_REQUIRE(it != classes_.end(), "local_find on unsupported class");
   network_.ledger().charge_work(self_, it->second.store->query_cost());
   return it->second.store->find(sc);
+}
+
+std::size_t MemoryServer::marker_count(ClassId cls) const {
+  auto it = classes_.find(cls.value);
+  return it == classes_.end() ? 0 : it->second.markers.size();
 }
 
 std::size_t MemoryServer::live_count(ClassId cls) const {

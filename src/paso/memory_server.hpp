@@ -81,6 +81,14 @@ class MemoryServer final : public vsync::GroupEndpoint {
   /// (retransmissions and retries that were already applied).
   std::uint64_t duplicates_refused() const { return duplicates_refused_; }
 
+  /// Live (placed, not cancelled, not yet swept) markers for a class.
+  std::size_t marker_count(ClassId cls) const;
+
+  /// Markers actually tested against an inserted object (candidates the
+  /// marker index could not rule out). The index's analogue of
+  /// ObjectStore::match_probes.
+  std::uint64_t marker_probes() const { return marker_probes_; }
+
   /// Crash: local memory is erased (Section 3.1).
   void crash_reset() { classes_.clear(); }
 
@@ -101,6 +109,15 @@ class MemoryServer final : public vsync::GroupEndpoint {
     std::unique_ptr<storage::ObjectStore> store;
     std::uint64_t next_age = 0;
     std::vector<Marker> markers;
+    /// Marker index: markers whose criterion Exact-constrains some field are
+    /// bucketed by (field, value hash); the rest go to the catch-all. An
+    /// insert then only tests markers its field values can possibly satisfy.
+    /// Rebuilt lazily — any mutation of `markers` just flips the dirty bit.
+    std::unordered_map<std::size_t,
+                       std::unordered_map<std::size_t, std::vector<std::size_t>>>
+        marker_buckets;
+    std::vector<std::size_t> marker_catch_all;
+    bool marker_index_dirty = true;
     /// Every identity ever stored here — including since-removed ones — so a
     /// retransmitted store(o) neither duplicates a live object nor
     /// resurrects a removed one (A2: at-most-one insert per identity).
@@ -126,7 +143,24 @@ class MemoryServer final : public vsync::GroupEndpoint {
 
   ClassState& state_of(ClassId cls);
   std::optional<ClassId> class_of_group(const GroupName& group) const;
+
+  // Per-operation apply helpers: one replicated operation against one class,
+  // accumulating server time into `processing`. handle_gcast dispatches lone
+  // messages straight to these; a BatchMsg loops over them, so a batched op
+  // is byte-for-byte the same state transition as an unbatched one.
+  void apply_store(ClassId cls, ClassState& state, const StoreMsg& msg,
+                   Cost& processing);
+  SearchResponse apply_read(ClassState& state, const MemReadMsg& msg,
+                            Cost& processing);
+  SearchResponse apply_remove(ClassId cls, ClassState& state,
+                              const RemoveMsg& msg, Cost& processing);
+
   void fire_markers(ClassState& state, const PasoObject& object);
+  void rebuild_marker_index(ClassState& state);
+  /// Drop expired markers (and dirty the index if any went). Called outside
+  /// the insert path — on marker placement/cancellation and state capture —
+  /// so a class with markers but no inserts doesn't hoard dead ones.
+  void sweep_expired_markers(ClassState& state);
 
   MachineId self_;
   const Schema& schema_;
@@ -138,6 +172,7 @@ class MemoryServer final : public vsync::GroupEndpoint {
   ViewHook view_hook_;
   MarkerHook marker_hook_;
   std::uint64_t duplicates_refused_ = 0;
+  std::uint64_t marker_probes_ = 0;
 };
 
 }  // namespace paso

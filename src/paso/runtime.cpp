@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.hpp"
+#include "paso/batching.hpp"
 
 namespace paso {
 
@@ -42,6 +43,9 @@ PasoRuntime::PasoRuntime(MachineId self, const Schema& schema,
       groups_(groups),
       server_(server),
       config_(config),
+      batcher_(groups, self,
+               vsync::BatcherOptions{config.batch_window, config.max_batch},
+               server_batch_combiner(), server_batch_splitter()),
       history_(history) {}
 
 void PasoRuntime::set_policy(std::unique_ptr<ReplicationPolicy> policy) {
@@ -85,9 +89,8 @@ ObjectId PasoRuntime::insert(ProcessId process, Tuple fields,
   StoreMsg msg{*cls, object};
   const std::size_t bytes = msg.wire_size();
   ++inflight_;
-  groups_.gcast(
-      group, self_, vsync::Payload{ServerMessage{std::move(msg)}, bytes},
-      "store",
+  batcher_.gcast(
+      group, vsync::Payload{ServerMessage{std::move(msg)}, bytes}, "store",
       [this, history_id, has_history,
        done = std::move(done)](std::optional<std::any>) {
         record_return(history_id, has_history, std::nullopt);
@@ -177,8 +180,8 @@ void PasoRuntime::read_class_chain(ProcessId process, SearchCriterion sc,
 
   MemReadMsg msg{cls, sc};
   const std::size_t bytes = msg.wire_size();
-  groups_.gcast_to(
-      group, self_, vsync::Payload{ServerMessage{std::move(msg)}, bytes},
+  batcher_.gcast_to(
+      group, vsync::Payload{ServerMessage{std::move(msg)}, bytes},
       "mem-read", std::move(preferred), max_targets,
       [this, process, sc = std::move(sc), classes = std::move(classes), index,
        cb = std::move(cb)](std::optional<std::any> response) mutable {
@@ -232,8 +235,8 @@ void PasoRuntime::read_del_class_chain(ProcessId process, SearchCriterion sc,
   // shortcut and no read-group restriction (Section 4.3).
   RemoveMsg msg{cls, sc, token};
   const std::size_t bytes = msg.wire_size();
-  groups_.gcast(
-      group_of(cls), self_,
+  batcher_.gcast(
+      group_of(cls),
       vsync::Payload{ServerMessage{std::move(msg)}, bytes}, "remove",
       [this, process, sc = std::move(sc), classes = std::move(classes), index,
        token, cb = std::move(cb)](std::optional<std::any> response) mutable {
@@ -556,16 +559,20 @@ void PasoRuntime::robust_attempt(std::uint64_t op_id) {
       StoreMsg msg = *op.store;
       const GroupName group = group_of(msg.cls);
       const std::size_t bytes = msg.wire_size();
-      groups_.gcast(group, self_,
-                    vsync::Payload{ServerMessage{std::move(msg)}, bytes},
-                    "store", [this, op_id](std::optional<std::any> response) {
-                      if (!robust_.contains(op_id)) return;  // superseded
-                      if (response.has_value()) {
-                        robust_finish(op_id, OpStatus::kOk, std::nullopt);
-                      }
-                      // nullopt = the group emptied under us: stay pending,
-                      // the timer retries or times out.
-                    });
+      // The deadline caps how long the batcher may hold the op: a retry
+      // issued near the deadline dispatches immediately instead of waiting
+      // out the coalescing window.
+      batcher_.gcast(group,
+                     vsync::Payload{ServerMessage{std::move(msg)}, bytes},
+                     "store", [this, op_id](std::optional<std::any> response) {
+                       if (!robust_.contains(op_id)) return;  // superseded
+                       if (response.has_value()) {
+                         robust_finish(op_id, OpStatus::kOk, std::nullopt);
+                       }
+                       // nullopt = the group emptied under us: stay pending,
+                       // the timer retries or times out.
+                     },
+                     /*latest_dispatch=*/op.deadline);
       break;
     }
     case semantics::OpKind::kRead:
@@ -745,6 +752,9 @@ std::size_t PasoRuntime::live_count(ClassId cls) const {
 }
 
 void PasoRuntime::on_machine_crash() {
+  // Queued-but-undispatched batched ops die with the machine, like every
+  // other piece of in-flight client state.
+  batcher_.clear();
   blocking_.clear();
   sim::Simulator& sim = groups_.network().simulator();
   for (auto& [op_id, op] : robust_) {

@@ -24,6 +24,7 @@
 #include "paso/messages.hpp"
 #include "paso/replication_policy.hpp"
 #include "semantics/history.hpp"
+#include "vsync/batcher.hpp"
 #include "vsync/group_service.hpp"
 
 namespace paso {
@@ -45,6 +46,17 @@ struct RuntimeConfig {
   /// Marker lifetime in the hybrid blocking scheme; markers are re-placed
   /// (which re-probes the class) when they expire.
   sim::SimTime marker_ttl = 5000;
+
+  // --- gcast operation batching ---------------------------------------------
+
+  /// Coalescing window for same-route store/mem-read/remove gcasts: ops
+  /// issued within this much simulated time share one gcast (one 2*alpha).
+  /// 0 — the default — disables batching; every op is its own gcast, the
+  /// exact pre-batching behavior.
+  sim::SimTime batch_window = 0;
+  /// A route's pending ops are dispatched as soon as this many accumulate,
+  /// without waiting out the window.
+  std::size_t max_batch = 16;
 
   // --- robust-operation machinery (crash-recovery hardening) ---------------
 
@@ -201,6 +213,9 @@ class PasoRuntime final : public GroupControl {
   vsync::GroupService& groups() { return groups_; }
   MemoryServer& server() { return server_; }
   const RuntimeConfig& config() const { return config_; }
+  /// The batching layer store/mem-read/remove gcasts route through (markers
+  /// go to `groups()` directly).
+  vsync::GcastBatcher& batcher() { return batcher_; }
 
   /// Outstanding operations (non-blocking in flight + active blocking).
   std::size_t inflight() const { return inflight_; }
@@ -280,6 +295,7 @@ class PasoRuntime final : public GroupControl {
   vsync::GroupService& groups_;
   MemoryServer& server_;
   RuntimeConfig config_;
+  vsync::GcastBatcher batcher_;
   semantics::HistoryRecorder* history_;
   std::unique_ptr<ReplicationPolicy> policy_;
   BasicSupportProvider basic_support_;

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <variant>
 
@@ -31,6 +32,18 @@ inline const char* field_type_name(FieldType t) {
       return "bool";
   }
   return "?";
+}
+
+/// Hash of a value, used by the hash-indexed stores and the marker index.
+/// Distinct types never collide on purpose — the variant index is not mixed
+/// in — because index probes verify with a full match anyway.
+inline std::size_t value_hash(const Value& v) {
+  return std::visit(
+      [](const auto& x) -> std::size_t {
+        using X = std::decay_t<decltype(x)>;
+        return std::hash<X>{}(x);
+      },
+      v);
 }
 
 /// Declared wire size of a value, used by the cost model (alpha + beta*|msg|).

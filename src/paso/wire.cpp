@@ -20,6 +20,15 @@ enum class MessageTag : std::uint8_t {
   kRemove = 2,
   kPlaceMarker = 3,
   kCancelMarker = 4,
+  kBatch = 5,
+};
+
+// Sub-tags for ops inside a BatchMsg (one byte each; the ops shed their own
+// class headers since the batch header names the class once).
+enum class BatchOpTag : std::uint8_t {
+  kStore = 0,
+  kMemRead = 1,
+  kRemove = 2,
 };
 
 void encode_object_id(ByteWriter& w, const ObjectId& id) {
@@ -214,12 +223,35 @@ std::vector<std::uint8_t> encode_message(const ServerMessage& message) {
           w.u32(m.owner.value);
           w.f64(m.expires_at);
           encode_criterion(w, m.criterion);
-        } else {
-          static_assert(std::is_same_v<M, CancelMarkerMsg>);
+        } else if constexpr (std::is_same_v<M, CancelMarkerMsg>) {
           w.u32((static_cast<std::uint32_t>(MessageTag::kCancelMarker) << 28) |
                 m.cls.value);
           w.u64(m.marker_id);
           w.u32(m.owner.value);
+        } else {
+          static_assert(std::is_same_v<M, BatchMsg>);
+          w.u32((static_cast<std::uint32_t>(MessageTag::kBatch) << 28) |
+                m.cls.value);
+          w.u32(static_cast<std::uint32_t>(m.ops.size()));
+          for (const BatchableOp& op : m.ops) {
+            std::visit(
+                [&w](const auto& sub) {
+                  using S = std::decay_t<decltype(sub)>;
+                  if constexpr (std::is_same_v<S, StoreMsg>) {
+                    w.u8(static_cast<std::uint8_t>(BatchOpTag::kStore));
+                    encode_object(w, sub.object);
+                  } else if constexpr (std::is_same_v<S, MemReadMsg>) {
+                    w.u8(static_cast<std::uint8_t>(BatchOpTag::kMemRead));
+                    encode_criterion(w, sub.criterion);
+                  } else {
+                    static_assert(std::is_same_v<S, RemoveMsg>);
+                    w.u8(static_cast<std::uint8_t>(BatchOpTag::kRemove));
+                    w.u64(sub.token);
+                    encode_criterion(w, sub.criterion);
+                  }
+                },
+                op);
+          }
         }
       },
       message);
@@ -267,6 +299,43 @@ ServerMessage decode_message(const std::vector<std::uint8_t>& bytes,
       msg.cls = cls;
       msg.marker_id = r.u64();
       msg.owner.value = r.u32();
+      return msg;
+    }
+    case MessageTag::kBatch: {
+      BatchMsg msg;
+      msg.cls = cls;
+      const std::uint32_t count = r.u32();
+      msg.ops.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const auto sub = static_cast<BatchOpTag>(r.u8());
+        switch (sub) {
+          case BatchOpTag::kStore: {
+            PASO_REQUIRE(resolver != nullptr, "store decode needs a schema");
+            StoreMsg op;
+            op.cls = cls;
+            op.object = decode_object(r, resolver(cls));
+            msg.ops.emplace_back(std::move(op));
+            break;
+          }
+          case BatchOpTag::kMemRead: {
+            MemReadMsg op;
+            op.cls = cls;
+            op.criterion = decode_criterion(r);
+            msg.ops.emplace_back(std::move(op));
+            break;
+          }
+          case BatchOpTag::kRemove: {
+            RemoveMsg op;
+            op.cls = cls;
+            op.token = r.u64();
+            op.criterion = decode_criterion(r);
+            msg.ops.emplace_back(std::move(op));
+            break;
+          }
+          default:
+            PASO_REQUIRE(false, "unknown batch op tag");
+        }
+      }
       return msg;
     }
   }

@@ -84,6 +84,10 @@ class CompositeStore final : public ObjectStore {
     return route(sc).query_cost();
   }
 
+  std::uint64_t match_probes() const override {
+    return hash_.match_probes() + ordered_.match_probes();
+  }
+
   const char* kind() const override { return "composite"; }
 
  private:

@@ -4,22 +4,9 @@
 
 namespace paso::storage {
 
-namespace {
-
-std::size_t hash_value(const Value& v) {
-  return std::visit(
-      [](const auto& x) -> std::size_t {
-        using X = std::decay_t<decltype(x)>;
-        return std::hash<X>{}(x);
-      },
-      v);
-}
-
-}  // namespace
-
 void HashStore::store(PasoObject object, std::uint64_t age) {
   if (key_field_ < object.fields.size()) {
-    const std::size_t bucket = hash_value(object.fields[key_field_]);
+    const std::size_t bucket = value_hash(object.fields[key_field_]);
     if (base_store(std::move(object), age)) {
       buckets_[bucket].push_back(age);
     }
@@ -36,11 +23,16 @@ std::optional<std::uint64_t> HashStore::oldest_match(
     const FieldPattern& key_pattern = sc.fields[key_field_];
     std::vector<std::size_t> bucket_keys;
     if (const auto* exact = std::get_if<Exact>(&key_pattern)) {
-      bucket_keys.push_back(hash_value(exact->value));
+      bucket_keys.push_back(value_hash(exact->value));
     } else if (const auto* one_of = std::get_if<OneOf>(&key_pattern)) {
       for (const Value& v : one_of->values) {
-        bucket_keys.push_back(hash_value(v));
+        bucket_keys.push_back(value_hash(v));
       }
+      // A OneOf with repeated values (or hash-colliding ones) must not
+      // rescan the same bucket.
+      std::sort(bucket_keys.begin(), bucket_keys.end());
+      bucket_keys.erase(std::unique(bucket_keys.begin(), bucket_keys.end()),
+                        bucket_keys.end());
     }
     if (!bucket_keys.empty()) {
       std::optional<std::uint64_t> best;
@@ -50,7 +42,7 @@ std::optional<std::uint64_t> HashStore::oldest_match(
         for (const std::uint64_t age : it->second) {
           auto obj = by_age_.find(age);
           if (obj == by_age_.end()) continue;
-          if (!sc.matches(obj->second)) continue;
+          if (!probe(sc, obj->second)) continue;
           if (!best || age < *best) best = age;
         }
       }
@@ -59,7 +51,7 @@ std::optional<std::uint64_t> HashStore::oldest_match(
   }
   // General criterion: age-ordered scan.
   for (const auto& [age, object] : by_age_) {
-    if (sc.matches(object)) return age;
+    if (probe(sc, object)) return age;
   }
   return std::nullopt;
 }
@@ -88,7 +80,7 @@ bool HashStore::erase(ObjectId id) {
 
 void HashStore::drop_from_bucket(const PasoObject& object, std::uint64_t age) {
   if (key_field_ >= object.fields.size()) return;
-  auto it = buckets_.find(hash_value(object.fields[key_field_]));
+  auto it = buckets_.find(value_hash(object.fields[key_field_]));
   if (it == buckets_.end()) return;
   std::erase(it->second, age);
   if (it->second.empty()) buckets_.erase(it);

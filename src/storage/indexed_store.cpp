@@ -1,0 +1,137 @@
+#include "storage/indexed_store.hpp"
+
+#include <algorithm>
+
+namespace paso::storage {
+
+IndexedStore::IndexedStore(std::vector<std::size_t> indexed_fields) {
+  std::sort(indexed_fields.begin(), indexed_fields.end());
+  indexed_fields.erase(
+      std::unique(indexed_fields.begin(), indexed_fields.end()),
+      indexed_fields.end());
+  PASO_REQUIRE(!indexed_fields.empty(), "IndexedStore needs >= 1 field");
+  indexes_.reserve(indexed_fields.size());
+  for (const std::size_t field : indexed_fields) {
+    indexes_.push_back(FieldIndex{field, {}});
+  }
+}
+
+std::vector<std::size_t> IndexedStore::indexed_fields() const {
+  std::vector<std::size_t> out;
+  out.reserve(indexes_.size());
+  for (const FieldIndex& index : indexes_) out.push_back(index.field);
+  return out;
+}
+
+void IndexedStore::store(PasoObject object, std::uint64_t age) {
+  // Hash the indexed fields before the object is moved into the backbone.
+  std::vector<std::pair<std::size_t, std::size_t>> entries;  // index#, hash
+  entries.reserve(indexes_.size());
+  for (std::size_t i = 0; i < indexes_.size(); ++i) {
+    if (indexes_[i].field < object.fields.size()) {
+      entries.emplace_back(i, value_hash(object.fields[indexes_[i].field]));
+    }
+  }
+  if (!base_store(std::move(object), age)) return;
+  for (const auto& [i, hash] : entries) {
+    indexes_[i].buckets[hash].push_back(age);
+  }
+}
+
+std::optional<std::uint64_t> IndexedStore::oldest_match(
+    const SearchCriterion& sc) const {
+  // Every matching object has exactly sc.fields.size() fields (matches
+  // requires arity equality), so for any indexed field f < arity with an
+  // Exact/OneOf pattern, every match sits in one of that field's buckets
+  // named by the pattern's value hashes. Pick the field with the fewest
+  // candidates.
+  const FieldIndex* best_index = nullptr;
+  std::vector<std::size_t> best_keys;
+  std::size_t best_candidates = 0;
+  for (const FieldIndex& index : indexes_) {
+    if (index.field >= sc.fields.size()) continue;
+    const FieldPattern& pattern = sc.fields[index.field];
+    std::vector<std::size_t> keys;
+    if (const auto* exact = std::get_if<Exact>(&pattern)) {
+      keys.push_back(value_hash(exact->value));
+    } else if (const auto* one_of = std::get_if<OneOf>(&pattern)) {
+      for (const Value& v : one_of->values) keys.push_back(value_hash(v));
+      std::sort(keys.begin(), keys.end());
+      keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    } else {
+      continue;
+    }
+    std::size_t candidates = 0;
+    for (const std::size_t key : keys) {
+      auto it = index.buckets.find(key);
+      if (it != index.buckets.end()) candidates += it->second.size();
+    }
+    if (candidates == 0) return std::nullopt;  // provably no match
+    if (!best_index || candidates < best_candidates) {
+      best_index = &index;
+      best_keys = std::move(keys);
+      best_candidates = candidates;
+    }
+  }
+  if (best_index) {
+    std::optional<std::uint64_t> best;
+    for (const std::size_t key : best_keys) {
+      auto it = best_index->buckets.find(key);
+      if (it == best_index->buckets.end()) continue;
+      // Buckets are age-ascending: the first verified hit is the bucket's
+      // oldest match; take the minimum across buckets.
+      for (const std::uint64_t age : it->second) {
+        auto obj = by_age_.find(age);
+        if (obj == by_age_.end()) continue;
+        if (!probe(sc, obj->second)) continue;
+        if (!best || age < *best) best = age;
+        break;
+      }
+    }
+    return best;
+  }
+  // No indexed field constrains the criterion: age-ordered scan.
+  for (const auto& [age, object] : by_age_) {
+    if (probe(sc, object)) return age;
+  }
+  return std::nullopt;
+}
+
+std::optional<PasoObject> IndexedStore::find(const SearchCriterion& sc) const {
+  const auto age = oldest_match(sc);
+  if (!age) return std::nullopt;
+  return by_age_.at(*age);
+}
+
+std::optional<PasoObject> IndexedStore::remove(const SearchCriterion& sc) {
+  const auto age = oldest_match(sc);
+  if (!age) return std::nullopt;
+  PasoObject object = base_erase(*age);
+  drop_from_indexes(object, *age);
+  return object;
+}
+
+bool IndexedStore::erase(ObjectId id) {
+  const auto age = age_of(id);
+  if (!age) return false;
+  PasoObject object = base_erase(*age);
+  drop_from_indexes(object, *age);
+  return true;
+}
+
+void IndexedStore::drop_from_indexes(const PasoObject& object,
+                                     std::uint64_t age) {
+  for (FieldIndex& index : indexes_) {
+    if (index.field >= object.fields.size()) continue;
+    auto it = index.buckets.find(value_hash(object.fields[index.field]));
+    if (it == index.buckets.end()) continue;
+    std::erase(it->second, age);
+    if (it->second.empty()) index.buckets.erase(it);
+  }
+}
+
+void IndexedStore::index_cleared() {
+  for (FieldIndex& index : indexes_) index.buckets.clear();
+}
+
+}  // namespace paso::storage

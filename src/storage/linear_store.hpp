@@ -17,14 +17,14 @@ class LinearStore final : public StoreBase {
 
   std::optional<PasoObject> find(const SearchCriterion& sc) const override {
     for (const auto& [age, object] : by_age_) {
-      if (sc.matches(object)) return object;
+      if (probe(sc, object)) return object;
     }
     return std::nullopt;
   }
 
   std::optional<PasoObject> remove(const SearchCriterion& sc) override {
     for (const auto& [age, object] : by_age_) {
-      if (sc.matches(object)) return base_erase(age);
+      if (probe(sc, object)) return base_erase(age);
     }
     return std::nullopt;
   }

@@ -72,6 +72,12 @@ class ObjectStore {
   virtual Cost query_cost() const = 0;
   virtual Cost remove_cost() const = 0;
 
+  /// Criterion-match probes performed so far: candidate objects tested with
+  /// SearchCriterion::matches across all queries and removals. The whole
+  /// point of an index is fewer probes per query; benches compare this
+  /// counter across store kinds.
+  virtual std::uint64_t match_probes() const { return 0; }
+
   /// Short name for diagnostics ("hash", "ordered", "linear").
   virtual const char* kind() const = 0;
 };

@@ -44,14 +44,14 @@ std::optional<std::uint64_t> OrderedStore::oldest_match(
       for (auto it = lo; it != hi; ++it) {
         auto obj = by_age_.find(it->second);
         if (obj == by_age_.end()) continue;
-        if (!sc.matches(obj->second)) continue;
+        if (!probe(sc, obj->second)) continue;
         if (!best || it->second < *best) best = it->second;
       }
       return best;
     }
   }
   for (const auto& [age, object] : by_age_) {
-    if (sc.matches(object)) return age;
+    if (probe(sc, object)) return age;
   }
   return std::nullopt;
 }

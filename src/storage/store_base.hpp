@@ -40,6 +40,8 @@ class StoreBase : public ObjectStore {
     index_cleared();
   }
 
+  std::uint64_t match_probes() const override { return probes_; }
+
  protected:
   /// Insert into the backbone; derived classes call this from store() and
   /// then update their index. Returns false (and stores nothing) on a
@@ -74,6 +76,14 @@ class StoreBase : public ObjectStore {
   /// Derived stores reset their index here.
   virtual void index_cleared() = 0;
 
+  /// Candidate test with probe accounting: derived stores funnel every
+  /// criterion evaluation through this so match_probes() stays honest.
+  bool probe(const SearchCriterion& sc, const PasoObject& object) const {
+    ++probes_;
+    return sc.matches(object);
+  }
+
+  mutable std::uint64_t probes_ = 0;
   std::map<std::uint64_t, PasoObject> by_age_;
   std::unordered_map<ObjectId, std::uint64_t> age_of_;
   std::size_t content_bytes_ = 0;

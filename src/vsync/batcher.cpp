@@ -1,0 +1,95 @@
+#include "vsync/batcher.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace paso::vsync {
+
+void GcastBatcher::gcast_to(const GroupName& group, Payload message,
+                            std::string tag,
+                            std::vector<MachineId> preferred,
+                            std::size_t max_targets,
+                            GroupService::ResponseCallback on_response,
+                            sim::SimTime latest_dispatch) {
+  if (options_.window <= 0) {
+    // Batching off: exact pass-through, byte-for-byte the unbatched path.
+    groups_.gcast_to(group, self_, std::move(message), std::move(tag),
+                     std::move(preferred), max_targets,
+                     std::move(on_response));
+    return;
+  }
+  RouteKey key{group, std::move(preferred), max_targets};
+  RouteQueue& queue = queues_[key];
+  queue.ops.push_back(
+      PendingOp{std::move(message), std::move(tag), std::move(on_response)});
+  if (queue.ops.size() >= options_.max_batch) {
+    flush(key);
+    return;
+  }
+  const sim::SimTime now = simulator().now();
+  sim::SimTime due = std::min(queue.due, now + options_.window);
+  due = std::min(due, std::max(latest_dispatch, now));
+  if (due < queue.due) {
+    queue.due = due;
+    if (queue.timer) simulator().cancel(*queue.timer);
+    queue.timer = simulator().schedule_at(
+        due, [this, key = std::move(key)] { flush(key); });
+  }
+}
+
+void GcastBatcher::flush(const RouteKey& key) {
+  auto it = queues_.find(key);
+  if (it == queues_.end() || it->second.ops.empty()) return;
+  std::vector<PendingOp> ops = std::move(it->second.ops);
+  if (it->second.timer) simulator().cancel(*it->second.timer);
+  queues_.erase(it);
+
+  if (ops.size() == 1) {
+    // A lone op pays no batch framing: dispatch it as itself.
+    PendingOp& op = ops.front();
+    groups_.gcast_to(key.group, self_, std::move(op.message),
+                     std::move(op.tag), key.preferred, key.max_targets,
+                     std::move(op.on_response));
+    return;
+  }
+
+  std::vector<Payload> payloads;
+  payloads.reserve(ops.size());
+  for (const PendingOp& op : ops) payloads.push_back(op.message);
+  Payload combined = combiner_(payloads);
+  ++batches_;
+  batched_ops_ += ops.size();
+
+  // The wrapper splits the gathered batch response back into per-op
+  // responses. `ops` moves into the closure so each op's callback survives
+  // until the batch completes.
+  auto fan_out = [this, ops = std::move(ops)](
+                     std::optional<std::any> response) mutable {
+    std::vector<std::optional<std::any>> slots =
+        splitter_(response, ops.size());
+    PASO_REQUIRE(slots.size() == ops.size(), "splitter slot count mismatch");
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].on_response) ops[i].on_response(std::move(slots[i]));
+    }
+  };
+  groups_.gcast_to(key.group, self_, std::move(combined), "batch",
+                   key.preferred, key.max_targets, std::move(fan_out));
+}
+
+void GcastBatcher::flush_all() {
+  // flush() erases map entries; snapshot the keys first.
+  std::vector<RouteKey> keys;
+  keys.reserve(queues_.size());
+  for (const auto& [key, queue] : queues_) keys.push_back(key);
+  for (const RouteKey& key : keys) flush(key);
+}
+
+void GcastBatcher::clear() {
+  for (auto& [key, queue] : queues_) {
+    if (queue.timer) simulator().cancel(*queue.timer);
+  }
+  queues_.clear();
+}
+
+}  // namespace paso::vsync

@@ -1,0 +1,134 @@
+// Gcast operation batching: amortizing the per-gcast 2*alpha.
+//
+// Every gcast pays |g|*(2*alpha + beta*(|msg|+|resp|)) (Section 3), so a
+// burst of small operations is alpha-dominated. GcastBatcher sits between an
+// issuer and the GroupService and coalesces operations bound for the same
+// route (group + read-group restriction) issued within a configurable window
+// into ONE gcast whose payload is the combined batch — one 2*alpha per batch
+// instead of per operation.
+//
+// The layer is payload-agnostic: callers supply a Combiner that folds queued
+// payloads into one batch payload, and a Splitter that fans the gathered
+// batch response back out into per-operation responses (in queue order).
+// paso/batching.hpp provides the ServerMessage instantiations.
+//
+// Semantics preserved:
+//   * window == 0 (the default) is exact pass-through — every call forwards
+//     to GroupService unchanged, so all existing behavior and cost
+//     accounting is untouched until the knob is turned.
+//   * A flush holding a single operation dispatches the ORIGINAL payload and
+//     tag, not a one-element batch, so a lone op never pays batch framing.
+//   * Operations only combine within a route: same group AND same
+//     preferred/max_targets restriction, so read-group routing (Section 4.3)
+//     is unaffected.
+//   * `latest_dispatch` lets deadline-driven callers cap how long an op may
+//     sit in the queue (a retry about to expire must not wait the window
+//     out).
+//   * Total order: ops inside a batch are delivered in enqueue order at
+//     every member, and batches serialize through the group queue like any
+//     other gcast.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vsync/group_service.hpp"
+
+namespace paso::vsync {
+
+struct BatcherOptions {
+  /// Coalescing window: an enqueued op is dispatched at most this much
+  /// simulated time after it was issued. 0 disables batching entirely.
+  sim::SimTime window = 0;
+  /// A route's queue is flushed as soon as it holds this many ops.
+  std::size_t max_batch = 16;
+};
+
+class GcastBatcher {
+ public:
+  /// Folds the payloads of the queued ops (in order) into one batch payload.
+  using Combiner = std::function<Payload(const std::vector<Payload>&)>;
+  /// Fans a gathered batch response out into one response per op, in the
+  /// same order. A nullopt input (abandoned gcast / empty view) must yield
+  /// nullopt for every slot.
+  using Splitter = std::function<std::vector<std::optional<std::any>>(
+      const std::optional<std::any>&, std::size_t)>;
+
+  GcastBatcher(GroupService& groups, MachineId self, BatcherOptions options,
+               Combiner combiner, Splitter splitter)
+      : groups_(groups),
+        self_(self),
+        options_(options),
+        combiner_(std::move(combiner)),
+        splitter_(std::move(splitter)) {}
+
+  ~GcastBatcher() { clear(); }
+
+  GcastBatcher(const GcastBatcher&) = delete;
+  GcastBatcher& operator=(const GcastBatcher&) = delete;
+
+  /// Full-group gcast through the batcher.
+  void gcast(const GroupName& group, Payload message, std::string tag,
+             GroupService::ResponseCallback on_response = {},
+             sim::SimTime latest_dispatch = sim::kNever) {
+    gcast_to(group, std::move(message), std::move(tag), {}, SIZE_MAX,
+             std::move(on_response), latest_dispatch);
+  }
+
+  /// Read-group-restricted gcast through the batcher.
+  void gcast_to(const GroupName& group, Payload message, std::string tag,
+                std::vector<MachineId> preferred, std::size_t max_targets,
+                GroupService::ResponseCallback on_response = {},
+                sim::SimTime latest_dispatch = sim::kNever);
+
+  /// Dispatch every queued op now (view change, shutdown, tests).
+  void flush_all();
+
+  /// Drop all queued ops WITHOUT dispatching or invoking callbacks — crash
+  /// semantics: the issuer machine died, its pending ops die with it.
+  void clear();
+
+  const BatcherOptions& options() const { return options_; }
+  /// Multi-op gcasts dispatched so far.
+  std::uint64_t batches() const { return batches_; }
+  /// Ops that traveled inside those multi-op gcasts.
+  std::uint64_t batched_ops() const { return batched_ops_; }
+
+ private:
+  struct PendingOp {
+    Payload message;
+    std::string tag;
+    GroupService::ResponseCallback on_response;
+  };
+  /// Ops may only combine when they'd produce the very same gcast routing.
+  struct RouteKey {
+    GroupName group;
+    std::vector<MachineId> preferred;
+    std::size_t max_targets = SIZE_MAX;
+    auto operator<=>(const RouteKey&) const = default;
+  };
+  struct RouteQueue {
+    std::vector<PendingOp> ops;
+    sim::SimTime due = sim::kNever;
+    std::optional<sim::EventId> timer;
+  };
+
+  void flush(const RouteKey& key);
+  sim::Simulator& simulator() { return groups_.network().simulator(); }
+
+  GroupService& groups_;
+  MachineId self_;
+  BatcherOptions options_;
+  Combiner combiner_;
+  Splitter splitter_;
+  std::map<RouteKey, RouteQueue> queues_;
+  std::uint64_t batches_ = 0;
+  std::uint64_t batched_ops_ = 0;
+};
+
+}  // namespace paso::vsync

@@ -67,6 +67,10 @@ RunResult run_chaos(std::uint64_t seed, Workload workload) {
   cfg.runtime.op_deadline = 4000;
   cfg.runtime.retry_backoff = 500;
   cfg.runtime.pessimistic_timeouts = true;
+  // Batching on: the chaos sweep is the acceptance bar for coalesced gcasts
+  // surviving crashes, drop windows and recovery epochs.
+  cfg.runtime.batch_window = 40;
+  cfg.runtime.max_batch = 8;
   Cluster cluster(task_schema(), cfg);
   cluster.assign_basic_support();
 

@@ -148,6 +148,126 @@ TEST_F(MemoryServerTest, ExpiredMarkersAreDroppedLazily) {
   EXPECT_EQ(fired, 0);
 }
 
+TEST_F(MemoryServerTest, ExpiredMarkersAreSweptWithoutAnyInsert) {
+  // Dead markers must not linger until the next store happens to scan them:
+  // capture_state (the state-transfer path) sweeps them out, so a joiner
+  // never inherits garbage and the donor's footprint shrinks.
+  deliver(PlaceMarkerMsg{ClassId{0},
+                         criterion(Exact{Value{std::int64_t{1}}}, AnyField{}),
+                         1, MachineId{1}, /*expires_at=*/50});
+  deliver(PlaceMarkerMsg{ClassId{0},
+                         criterion(Exact{Value{std::int64_t{2}}}, AnyField{}),
+                         2, MachineId{1}, /*expires_at=*/60});
+  deliver(PlaceMarkerMsg{ClassId{0},
+                         criterion(Exact{Value{std::int64_t{3}}}, AnyField{}),
+                         3, MachineId{1}, /*expires_at=*/1e9});
+  EXPECT_EQ(server_.marker_count(ClassId{0}), 3u);
+  simulator_.run_until(100);  // two of the three are now dead
+  const auto blob = server_.capture_state(schema_.group_name(ClassId{0}));
+  EXPECT_EQ(server_.marker_count(ClassId{0}), 1u);
+
+  MemoryServer twin(MachineId{1}, schema_,
+                    [](ClassId) {
+                      return std::make_unique<storage::HashStore>(0);
+                    },
+                    network_);
+  twin.install_state(schema_.group_name(ClassId{0}), blob);
+  EXPECT_EQ(twin.marker_count(ClassId{0}), 1u);
+}
+
+TEST_F(MemoryServerTest, CancellingOneMarkerSweepsOtherExpiredOnes) {
+  deliver(PlaceMarkerMsg{ClassId{0},
+                         criterion(Exact{Value{std::int64_t{1}}}, AnyField{}),
+                         1, MachineId{1}, /*expires_at=*/50});
+  deliver(PlaceMarkerMsg{ClassId{0},
+                         criterion(Exact{Value{std::int64_t{2}}}, AnyField{}),
+                         2, MachineId{1}, /*expires_at=*/1e9});
+  simulator_.run_until(100);
+  deliver(CancelMarkerMsg{ClassId{0}, 2, MachineId{1}});
+  EXPECT_EQ(server_.marker_count(ClassId{0}), 0u)
+      << "cancel path did not sweep the expired marker";
+}
+
+TEST_F(MemoryServerTest, MarkerIndexProbesOnlyTheMatchingBucket) {
+  // Five Exact markers on distinct keys plus one wildcard: a store must test
+  // the wildcard (catch-all) and the one bucketed marker for its key — not
+  // all six.
+  for (std::int64_t key = 1; key <= 5; ++key) {
+    deliver(PlaceMarkerMsg{
+        ClassId{0}, criterion(Exact{Value{key}}, AnyField{}),
+        static_cast<std::uint64_t>(key), MachineId{1}, 1e9});
+  }
+  deliver(PlaceMarkerMsg{ClassId{0},
+                         criterion(TypedAny{FieldType::kInt}, AnyField{}), 99,
+                         MachineId{1}, 1e9});
+  std::vector<std::uint64_t> fired;
+  server_.set_marker_hook(
+      [&fired](MachineId, std::uint64_t marker_id, const PasoObject&) {
+        fired.push_back(marker_id);
+      });
+  const std::uint64_t before = server_.marker_probes();
+  deliver(StoreMsg{ClassId{0}, object(1, 3)});
+  EXPECT_EQ(server_.marker_probes() - before, 2u)
+      << "store probed markers outside its key bucket";
+  ASSERT_EQ(fired.size(), 2u);
+  // Placement order is preserved across the index: marker 3 before 99.
+  EXPECT_EQ(fired[0], 3u);
+  EXPECT_EQ(fired[1], 99u);
+}
+
+TEST_F(MemoryServerTest, BatchAppliesOpsInOrderWithPerOpSlots) {
+  BatchMsg batch;
+  batch.cls = ClassId{0};
+  batch.ops.emplace_back(StoreMsg{ClassId{0}, object(1, 7, "first")});
+  batch.ops.emplace_back(StoreMsg{ClassId{0}, object(2, 7, "second")});
+  batch.ops.emplace_back(MemReadMsg{
+      ClassId{0}, criterion(Exact{Value{std::int64_t{7}}}, AnyField{})});
+  batch.ops.emplace_back(RemoveMsg{
+      ClassId{0}, criterion(Exact{Value{std::int64_t{7}}}, AnyField{}), 5});
+  const auto result = deliver(ServerMessage{batch});
+  const auto* response = std::any_cast<BatchResponse>(&result.response);
+  ASSERT_NE(response, nullptr);
+  ASSERT_EQ(response->slots.size(), 4u);
+  EXPECT_FALSE(response->slots[0].has_value());  // store acks are empty
+  EXPECT_FALSE(response->slots[1].has_value());
+  ASSERT_TRUE(response->slots[2].has_value());   // read saw the stores
+  EXPECT_EQ(response->slots[2]->id.sequence, 1u);
+  ASSERT_TRUE(response->slots[3].has_value());   // remove took the oldest
+  EXPECT_EQ(response->slots[3]->id.sequence, 1u);
+  EXPECT_EQ(server_.live_count(ClassId{0}), 1u);
+  EXPECT_EQ(result.response_bytes, response->wire_size());
+}
+
+TEST_F(MemoryServerTest, BatchedDuplicatesAreRefusedLikeLoneOnes) {
+  // A retry may re-send an op inside a different batch: the identity/token
+  // dedup must behave exactly as for lone messages.
+  deliver(StoreMsg{ClassId{0}, object(1, 7, "first")});
+  deliver(StoreMsg{ClassId{0}, object(2, 7, "second")});
+  BatchMsg first;
+  first.cls = ClassId{0};
+  first.ops.emplace_back(RemoveMsg{
+      ClassId{0}, criterion(Exact{Value{std::int64_t{7}}}, AnyField{}), 33});
+  const auto first_result = deliver(ServerMessage{first});
+  const auto* r1 = std::any_cast<BatchResponse>(&first_result.response);
+  ASSERT_NE(r1, nullptr);
+  ASSERT_TRUE(r1->slots[0].has_value());
+
+  BatchMsg retry;
+  retry.cls = ClassId{0};
+  retry.ops.emplace_back(StoreMsg{ClassId{0}, object(1, 7, "first")});
+  retry.ops.emplace_back(RemoveMsg{
+      ClassId{0}, criterion(Exact{Value{std::int64_t{7}}}, AnyField{}), 33});
+  const auto retry_result = deliver(ServerMessage{retry});
+  const auto* r2 = std::any_cast<BatchResponse>(&retry_result.response);
+  ASSERT_NE(r2, nullptr);
+  ASSERT_TRUE(r2->slots[1].has_value());
+  EXPECT_EQ(r2->slots[1]->id.sequence, r1->slots[0]->id.sequence)
+      << "retried remove did not replay the cached decision";
+  EXPECT_EQ(server_.live_count(ClassId{0}), 1u)
+      << "batched retry deleted a second object or resurrected the first";
+  EXPECT_GE(server_.duplicates_refused(), 2u);
+}
+
 TEST_F(MemoryServerTest, StateRoundTripPreservesAgesAndMarkers) {
   deliver(StoreMsg{ClassId{0}, object(1, 5)});
   deliver(StoreMsg{ClassId{0}, object(2, 6)});

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "storage/hash_store.hpp"
+#include "storage/indexed_store.hpp"
 #include "storage/linear_store.hpp"
 #include "storage/ordered_store.hpp"
 
@@ -32,6 +33,9 @@ class StoreContractTest
     const std::string kind = GetParam();
     if (kind == "hash") return std::make_unique<HashStore>(0);
     if (kind == "ordered") return std::make_unique<OrderedStore>(0);
+    if (kind == "indexed") {
+      return std::make_unique<IndexedStore>(std::vector<std::size_t>{0, 1});
+    }
     return std::make_unique<LinearStore>();
   }
 };
@@ -134,7 +138,8 @@ TEST_P(StoreContractTest, ClearEmptiesEverything) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllStores, StoreContractTest,
-                         ::testing::Values("hash", "ordered", "linear"),
+                         ::testing::Values("hash", "ordered", "linear",
+                                           "indexed"),
                          [](const auto& info) { return info.param; });
 
 // --- kind-specific behaviour -------------------------------------------------
@@ -145,6 +150,74 @@ TEST(HashStoreTest, UnitModelCosts) {
   EXPECT_DOUBLE_EQ(store.insert_cost(), 1.0);
   EXPECT_DOUBLE_EQ(store.query_cost(), 1.0);
   EXPECT_DOUBLE_EQ(store.remove_cost(), 1.0);
+}
+
+TEST(HashStoreTest, OneOfWithRepeatedValuesProbesEachBucketOnce) {
+  HashStore store(0);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    store.store(make_object(i, static_cast<std::int64_t>(i % 2)), i);
+  }
+  const std::uint64_t before = store.match_probes();
+  // The value 1 appears three times; a correct OneOf path scans its bucket
+  // once, so the probe count equals the distinct buckets' sizes (4 + 4).
+  const auto found = store.find(criterion(
+      OneOf{{Value{1ll}, Value{1ll}, Value{0ll}, Value{1ll}}}, AnyField{}));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(store.match_probes() - before, 8u)
+      << "repeated OneOf values rescanned a bucket";
+}
+
+TEST(IndexedStoreTest, NonFirstFieldCriterionUsesItsIndex) {
+  IndexedStore store(std::vector<std::size_t>{0, 1});
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    store.store(make_object(i, static_cast<std::int64_t>(i),
+                            i == 73 ? "needle" : "hay"),
+                i);
+  }
+  const std::uint64_t before = store.match_probes();
+  // Field 1 is indexed: an Exact text criterion must go straight to its
+  // bucket (1 candidate) instead of scanning 74 objects by age.
+  const auto found =
+      store.find(criterion(AnyField{}, Exact{Value{std::string{"needle"}}}));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->id.sequence, 73u);
+  EXPECT_EQ(store.match_probes() - before, 1u);
+}
+
+TEST(IndexedStoreTest, PicksTheMostSelectiveIndexedField) {
+  IndexedStore store(std::vector<std::size_t>{0, 1});
+  // Field 0 has 2 distinct values (huge buckets), field 1 is unique.
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    store.store(
+        make_object(i, static_cast<std::int64_t>(i % 2), std::to_string(i)),
+        i);
+  }
+  const std::uint64_t before = store.match_probes();
+  const auto found = store.find(criterion(
+      Exact{Value{1ll}}, Exact{Value{std::string{"41"}}}));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->id.sequence, 41u);
+  EXPECT_EQ(store.match_probes() - before, 1u)
+      << "selectivity rule did not pick the unique field-1 bucket";
+}
+
+TEST(IndexedStoreTest, EmptyBucketShortCircuitsToNoMatch) {
+  IndexedStore store(std::vector<std::size_t>{0});
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    store.store(make_object(i, 7), i);
+  }
+  const std::uint64_t before = store.match_probes();
+  EXPECT_FALSE(store.find(key_criterion(8)).has_value());
+  EXPECT_EQ(store.match_probes() - before, 0u)
+      << "an empty bucket proves no match; nothing should be probed";
+}
+
+TEST(IndexedStoreTest, ModelCostsScaleWithIndexCount) {
+  IndexedStore one(std::vector<std::size_t>{0});
+  IndexedStore three(std::vector<std::size_t>{0, 1, 2});
+  EXPECT_DOUBLE_EQ(one.insert_cost(), 1.0);
+  EXPECT_DOUBLE_EQ(three.insert_cost(), 3.0);
+  EXPECT_DOUBLE_EQ(three.query_cost(), 1.0);
 }
 
 TEST(OrderedStoreTest, RangeQueriesUseTheIndex) {

@@ -132,11 +132,17 @@ class WireMessageTest : public ::testing::Test {
             EXPECT_EQ(back->marker_id, original.marker_id);
             EXPECT_EQ(back->owner, original.owner);
             EXPECT_EQ(back->expires_at, original.expires_at);
-          } else {
-            static_assert(std::is_same_v<M, CancelMarkerMsg>);
+          } else if constexpr (std::is_same_v<M, CancelMarkerMsg>) {
             EXPECT_EQ(back->cls, original.cls);
             EXPECT_EQ(back->marker_id, original.marker_id);
             EXPECT_EQ(back->owner, original.owner);
+          } else {
+            static_assert(std::is_same_v<M, BatchMsg>);
+            EXPECT_EQ(back->cls, original.cls);
+            ASSERT_EQ(back->ops.size(), original.ops.size());
+            for (std::size_t i = 0; i < original.ops.size(); ++i) {
+              EXPECT_EQ(back->ops[i], original.ops[i]) << "op " << i;
+            }
           }
         },
         message);
@@ -168,6 +174,32 @@ TEST_F(WireMessageTest, MarkerMessages) {
       criterion(TextPrefix{"task/"}, AnyField{}, AnyField{}, AnyField{}),
       991, MachineId{6}, 12345.5});
   expect_round_trip(CancelMarkerMsg{ClassId{1}, 991, MachineId{6}});
+}
+
+TEST_F(WireMessageTest, BatchMessage) {
+  // A mixed batch: store + read + remove over one class. The declared size
+  // must charge the shared class header once and a 1-byte subtag per op.
+  BatchMsg batch;
+  batch.cls = ClassId{3};
+  batch.ops.emplace_back(StoreMsg{ClassId{3}, sample_object(11, "x")});
+  batch.ops.emplace_back(
+      MemReadMsg{ClassId{3}, criterion(IntRange{0, 4}, AnyField{},
+                                       AnyField{}, AnyField{})});
+  batch.ops.emplace_back(RemoveMsg{
+      ClassId{3},
+      criterion(Exact{Value{std::int64_t{9}}}, AnyField{}, AnyField{},
+                AnyField{}),
+      77});
+  std::size_t op_sizes = 0;
+  for (const BatchableOp& op : batch.ops) {
+    op_sizes += batchable_wire_size(op) - 3;  // shed header, add subtag
+  }
+  EXPECT_EQ(batch.wire_size(), 8 + op_sizes);
+  expect_round_trip(ServerMessage{batch});
+}
+
+TEST_F(WireMessageTest, EmptyBatchRoundTrips) {
+  expect_round_trip(ServerMessage{BatchMsg{ClassId{0}, {}}});
 }
 
 TEST(WireReaderTest, OverrunThrows) {
