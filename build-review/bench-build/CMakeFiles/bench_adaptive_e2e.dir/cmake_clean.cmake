@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_adaptive_e2e"
+  "../bench/bench_adaptive_e2e.pdb"
+  "CMakeFiles/bench_adaptive_e2e.dir/bench_adaptive_e2e.cpp.o"
+  "CMakeFiles/bench_adaptive_e2e.dir/bench_adaptive_e2e.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptive_e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

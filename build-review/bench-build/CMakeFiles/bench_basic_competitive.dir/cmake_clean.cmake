@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_basic_competitive"
+  "../bench/bench_basic_competitive.pdb"
+  "CMakeFiles/bench_basic_competitive.dir/bench_basic_competitive.cpp.o"
+  "CMakeFiles/bench_basic_competitive.dir/bench_basic_competitive.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_basic_competitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

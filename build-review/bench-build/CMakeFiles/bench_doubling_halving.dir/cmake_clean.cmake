@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_doubling_halving"
+  "../bench/bench_doubling_halving.pdb"
+  "CMakeFiles/bench_doubling_halving.dir/bench_doubling_halving.cpp.o"
+  "CMakeFiles/bench_doubling_halving.dir/bench_doubling_halving.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_doubling_halving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dstruct_competitive"
+  "../bench/bench_dstruct_competitive.pdb"
+  "CMakeFiles/bench_dstruct_competitive.dir/bench_dstruct_competitive.cpp.o"
+  "CMakeFiles/bench_dstruct_competitive.dir/bench_dstruct_competitive.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dstruct_competitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

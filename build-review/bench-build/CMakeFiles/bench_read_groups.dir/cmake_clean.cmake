@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_read_groups"
+  "../bench/bench_read_groups.pdb"
+  "CMakeFiles/bench_read_groups.dir/bench_read_groups.cpp.o"
+  "CMakeFiles/bench_read_groups.dir/bench_read_groups.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_read_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_storage_micro"
+  "../bench/bench_storage_micro.pdb"
+  "CMakeFiles/bench_storage_micro.dir/bench_storage_micro.cpp.o"
+  "CMakeFiles/bench_storage_micro.dir/bench_storage_micro.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_storage_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

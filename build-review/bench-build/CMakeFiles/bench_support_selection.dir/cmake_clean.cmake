@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_support_selection"
+  "../bench/bench_support_selection.pdb"
+  "CMakeFiles/bench_support_selection.dir/bench_support_selection.cpp.o"
+  "CMakeFiles/bench_support_selection.dir/bench_support_selection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_support_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

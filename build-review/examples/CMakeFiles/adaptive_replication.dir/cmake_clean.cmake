@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_replication.dir/adaptive_replication.cpp.o"
+  "CMakeFiles/adaptive_replication.dir/adaptive_replication.cpp.o.d"
+  "adaptive_replication"
+  "adaptive_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bag_of_tasks.dir/bag_of_tasks.cpp.o"
+  "CMakeFiles/bag_of_tasks.dir/bag_of_tasks.cpp.o.d"
+  "bag_of_tasks"
+  "bag_of_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bag_of_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coordination.dir/coordination.cpp.o"
+  "CMakeFiles/coordination.dir/coordination.cpp.o.d"
+  "coordination"
+  "coordination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coordination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tolerant_kv.dir/fault_tolerant_kv.cpp.o"
+  "CMakeFiles/fault_tolerant_kv.dir/fault_tolerant_kv.cpp.o.d"
+  "fault_tolerant_kv"
+  "fault_tolerant_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tolerant_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

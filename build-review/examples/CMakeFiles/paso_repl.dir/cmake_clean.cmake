@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paso_repl.dir/paso_repl.cpp.o"
+  "CMakeFiles/paso_repl.dir/paso_repl.cpp.o.d"
+  "paso_repl"
+  "paso_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paso_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

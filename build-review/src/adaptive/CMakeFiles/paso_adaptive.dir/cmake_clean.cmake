@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paso_adaptive.dir/basic_policy.cpp.o"
+  "CMakeFiles/paso_adaptive.dir/basic_policy.cpp.o.d"
+  "CMakeFiles/paso_adaptive.dir/paging.cpp.o"
+  "CMakeFiles/paso_adaptive.dir/paging.cpp.o.d"
+  "CMakeFiles/paso_adaptive.dir/support_manager.cpp.o"
+  "CMakeFiles/paso_adaptive.dir/support_manager.cpp.o.d"
+  "CMakeFiles/paso_adaptive.dir/support_selection.cpp.o"
+  "CMakeFiles/paso_adaptive.dir/support_selection.cpp.o.d"
+  "libpaso_adaptive.a"
+  "libpaso_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paso_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

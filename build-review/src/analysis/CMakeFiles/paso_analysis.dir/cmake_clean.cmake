@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paso_analysis.dir/allocation_game.cpp.o"
+  "CMakeFiles/paso_analysis.dir/allocation_game.cpp.o.d"
+  "CMakeFiles/paso_analysis.dir/multi_machine.cpp.o"
+  "CMakeFiles/paso_analysis.dir/multi_machine.cpp.o.d"
+  "CMakeFiles/paso_analysis.dir/potential_audit.cpp.o"
+  "CMakeFiles/paso_analysis.dir/potential_audit.cpp.o.d"
+  "CMakeFiles/paso_analysis.dir/trace_io.cpp.o"
+  "CMakeFiles/paso_analysis.dir/trace_io.cpp.o.d"
+  "CMakeFiles/paso_analysis.dir/workloads.cpp.o"
+  "CMakeFiles/paso_analysis.dir/workloads.cpp.o.d"
+  "libpaso_analysis.a"
+  "libpaso_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paso_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paso_common.dir/logging.cpp.o"
+  "CMakeFiles/paso_common.dir/logging.cpp.o.d"
+  "CMakeFiles/paso_common.dir/require.cpp.o"
+  "CMakeFiles/paso_common.dir/require.cpp.o.d"
+  "CMakeFiles/paso_common.dir/rng.cpp.o"
+  "CMakeFiles/paso_common.dir/rng.cpp.o.d"
+  "libpaso_common.a"
+  "libpaso_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paso_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

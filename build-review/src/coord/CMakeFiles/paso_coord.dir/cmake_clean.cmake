@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paso_coord.dir/coord.cpp.o"
+  "CMakeFiles/paso_coord.dir/coord.cpp.o.d"
+  "libpaso_coord.a"
+  "libpaso_coord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paso_coord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

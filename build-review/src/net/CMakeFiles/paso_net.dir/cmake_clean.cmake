@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paso_net.dir/bus_network.cpp.o"
+  "CMakeFiles/paso_net.dir/bus_network.cpp.o.d"
+  "libpaso_net.a"
+  "libpaso_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paso_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

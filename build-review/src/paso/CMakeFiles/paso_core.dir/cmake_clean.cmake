@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paso_core.dir/batching.cpp.o"
+  "CMakeFiles/paso_core.dir/batching.cpp.o.d"
+  "CMakeFiles/paso_core.dir/cluster.cpp.o"
+  "CMakeFiles/paso_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/paso_core.dir/fault_injector.cpp.o"
+  "CMakeFiles/paso_core.dir/fault_injector.cpp.o.d"
+  "CMakeFiles/paso_core.dir/memory_server.cpp.o"
+  "CMakeFiles/paso_core.dir/memory_server.cpp.o.d"
+  "CMakeFiles/paso_core.dir/runtime.cpp.o"
+  "CMakeFiles/paso_core.dir/runtime.cpp.o.d"
+  "libpaso_core.a"
+  "libpaso_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paso_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/paso/classes.cpp" "src/paso/CMakeFiles/paso_object.dir/classes.cpp.o" "gcc" "src/paso/CMakeFiles/paso_object.dir/classes.cpp.o.d"
+  "/root/repo/src/paso/criteria.cpp" "src/paso/CMakeFiles/paso_object.dir/criteria.cpp.o" "gcc" "src/paso/CMakeFiles/paso_object.dir/criteria.cpp.o.d"
+  "/root/repo/src/paso/wire.cpp" "src/paso/CMakeFiles/paso_object.dir/wire.cpp.o" "gcc" "src/paso/CMakeFiles/paso_object.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/paso_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

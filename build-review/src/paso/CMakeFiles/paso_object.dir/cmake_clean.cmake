@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paso_object.dir/classes.cpp.o"
+  "CMakeFiles/paso_object.dir/classes.cpp.o.d"
+  "CMakeFiles/paso_object.dir/criteria.cpp.o"
+  "CMakeFiles/paso_object.dir/criteria.cpp.o.d"
+  "CMakeFiles/paso_object.dir/wire.cpp.o"
+  "CMakeFiles/paso_object.dir/wire.cpp.o.d"
+  "libpaso_object.a"
+  "libpaso_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paso_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/semantics/checker.cpp" "src/semantics/CMakeFiles/paso_semantics.dir/checker.cpp.o" "gcc" "src/semantics/CMakeFiles/paso_semantics.dir/checker.cpp.o.d"
+  "/root/repo/src/semantics/history.cpp" "src/semantics/CMakeFiles/paso_semantics.dir/history.cpp.o" "gcc" "src/semantics/CMakeFiles/paso_semantics.dir/history.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/paso_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/paso_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/paso/CMakeFiles/paso_object.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

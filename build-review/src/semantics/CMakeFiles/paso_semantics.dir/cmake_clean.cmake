@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paso_semantics.dir/checker.cpp.o"
+  "CMakeFiles/paso_semantics.dir/checker.cpp.o.d"
+  "CMakeFiles/paso_semantics.dir/history.cpp.o"
+  "CMakeFiles/paso_semantics.dir/history.cpp.o.d"
+  "libpaso_semantics.a"
+  "libpaso_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paso_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

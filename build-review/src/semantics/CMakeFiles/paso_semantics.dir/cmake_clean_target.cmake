@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpaso_semantics.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paso_sim.dir/simulator.cpp.o"
+  "CMakeFiles/paso_sim.dir/simulator.cpp.o.d"
+  "libpaso_sim.a"
+  "libpaso_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paso_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/hash_store.cpp" "src/storage/CMakeFiles/paso_storage.dir/hash_store.cpp.o" "gcc" "src/storage/CMakeFiles/paso_storage.dir/hash_store.cpp.o.d"
+  "/root/repo/src/storage/indexed_store.cpp" "src/storage/CMakeFiles/paso_storage.dir/indexed_store.cpp.o" "gcc" "src/storage/CMakeFiles/paso_storage.dir/indexed_store.cpp.o.d"
+  "/root/repo/src/storage/ordered_store.cpp" "src/storage/CMakeFiles/paso_storage.dir/ordered_store.cpp.o" "gcc" "src/storage/CMakeFiles/paso_storage.dir/ordered_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/paso_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/paso/CMakeFiles/paso_object.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paso_storage.dir/hash_store.cpp.o"
+  "CMakeFiles/paso_storage.dir/hash_store.cpp.o.d"
+  "CMakeFiles/paso_storage.dir/indexed_store.cpp.o"
+  "CMakeFiles/paso_storage.dir/indexed_store.cpp.o.d"
+  "CMakeFiles/paso_storage.dir/ordered_store.cpp.o"
+  "CMakeFiles/paso_storage.dir/ordered_store.cpp.o.d"
+  "libpaso_storage.a"
+  "libpaso_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paso_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paso_vsync.dir/batcher.cpp.o"
+  "CMakeFiles/paso_vsync.dir/batcher.cpp.o.d"
+  "CMakeFiles/paso_vsync.dir/group_service.cpp.o"
+  "CMakeFiles/paso_vsync.dir/group_service.cpp.o.d"
+  "libpaso_vsync.a"
+  "libpaso_vsync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paso_vsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

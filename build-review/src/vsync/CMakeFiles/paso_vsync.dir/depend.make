@@ -1,0 +1,2 @@
+# Empty dependencies file for paso_vsync.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocation_game_test.dir/allocation_game_test.cpp.o"
+  "CMakeFiles/allocation_game_test.dir/allocation_game_test.cpp.o.d"
+  "allocation_game_test"
+  "allocation_game_test.pdb"
+  "allocation_game_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocation_game_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

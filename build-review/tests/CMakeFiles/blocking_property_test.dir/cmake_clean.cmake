@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocking_property_test.dir/blocking_property_test.cpp.o"
+  "CMakeFiles/blocking_property_test.dir/blocking_property_test.cpp.o.d"
+  "blocking_property_test"
+  "blocking_property_test.pdb"
+  "blocking_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocking_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

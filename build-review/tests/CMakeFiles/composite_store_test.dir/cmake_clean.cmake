@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composite_store_test.dir/composite_store_test.cpp.o"
+  "CMakeFiles/composite_store_test.dir/composite_store_test.cpp.o.d"
+  "composite_store_test"
+  "composite_store_test.pdb"
+  "composite_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composite_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

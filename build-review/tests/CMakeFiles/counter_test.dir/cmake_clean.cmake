@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counter_test.dir/counter_test.cpp.o"
+  "CMakeFiles/counter_test.dir/counter_test.cpp.o.d"
+  "counter_test"
+  "counter_test.pdb"
+  "counter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

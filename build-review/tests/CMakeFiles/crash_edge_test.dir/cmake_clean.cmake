@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_edge_test.dir/crash_edge_test.cpp.o"
+  "CMakeFiles/crash_edge_test.dir/crash_edge_test.cpp.o.d"
+  "crash_edge_test"
+  "crash_edge_test.pdb"
+  "crash_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

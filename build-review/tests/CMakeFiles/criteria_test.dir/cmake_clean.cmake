@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/criteria_test.dir/criteria_test.cpp.o"
+  "CMakeFiles/criteria_test.dir/criteria_test.cpp.o.d"
+  "criteria_test"
+  "criteria_test.pdb"
+  "criteria_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/criteria_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

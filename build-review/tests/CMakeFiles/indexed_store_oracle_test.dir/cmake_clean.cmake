@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indexed_store_oracle_test.dir/indexed_store_oracle_test.cpp.o"
+  "CMakeFiles/indexed_store_oracle_test.dir/indexed_store_oracle_test.cpp.o.d"
+  "indexed_store_oracle_test"
+  "indexed_store_oracle_test.pdb"
+  "indexed_store_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indexed_store_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_server_test.dir/memory_server_test.cpp.o"
+  "CMakeFiles/memory_server_test.dir/memory_server_test.cpp.o.d"
+  "memory_server_test"
+  "memory_server_test.pdb"
+  "memory_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

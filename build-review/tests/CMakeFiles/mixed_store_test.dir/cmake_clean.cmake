@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_store_test.dir/mixed_store_test.cpp.o"
+  "CMakeFiles/mixed_store_test.dir/mixed_store_test.cpp.o.d"
+  "mixed_store_test"
+  "mixed_store_test.pdb"
+  "mixed_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oneof_test.dir/oneof_test.cpp.o"
+  "CMakeFiles/oneof_test.dir/oneof_test.cpp.o.d"
+  "oneof_test"
+  "oneof_test.pdb"
+  "oneof_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oneof_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paging_test.dir/paging_test.cpp.o"
+  "CMakeFiles/paging_test.dir/paging_test.cpp.o.d"
+  "paging_test"
+  "paging_test.pdb"
+  "paging_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

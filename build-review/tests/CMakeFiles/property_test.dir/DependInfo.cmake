@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/property_test.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/property_test.dir/property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/analysis/CMakeFiles/paso_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/adaptive/CMakeFiles/paso_adaptive.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/coord/CMakeFiles/paso_coord.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/paso/CMakeFiles/paso_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/semantics/CMakeFiles/paso_semantics.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/storage/CMakeFiles/paso_storage.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/vsync/CMakeFiles/paso_vsync.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/paso_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/paso_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/paso/CMakeFiles/paso_object.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/paso_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

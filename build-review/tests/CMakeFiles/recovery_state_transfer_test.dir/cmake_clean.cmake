@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_state_transfer_test.dir/recovery_state_transfer_test.cpp.o"
+  "CMakeFiles/recovery_state_transfer_test.dir/recovery_state_transfer_test.cpp.o.d"
+  "recovery_state_transfer_test"
+  "recovery_state_transfer_test.pdb"
+  "recovery_state_transfer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_state_transfer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

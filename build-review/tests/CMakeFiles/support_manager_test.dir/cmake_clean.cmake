@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_manager_test.dir/support_manager_test.cpp.o"
+  "CMakeFiles/support_manager_test.dir/support_manager_test.cpp.o.d"
+  "support_manager_test"
+  "support_manager_test.pdb"
+  "support_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

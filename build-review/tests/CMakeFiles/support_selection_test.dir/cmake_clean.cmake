@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_selection_test.dir/support_selection_test.cpp.o"
+  "CMakeFiles/support_selection_test.dir/support_selection_test.cpp.o.d"
+  "support_selection_test"
+  "support_selection_test.pdb"
+  "support_selection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsync_ordering_test.dir/vsync_ordering_test.cpp.o"
+  "CMakeFiles/vsync_ordering_test.dir/vsync_ordering_test.cpp.o.d"
+  "vsync_ordering_test"
+  "vsync_ordering_test.pdb"
+  "vsync_ordering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsync_ordering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

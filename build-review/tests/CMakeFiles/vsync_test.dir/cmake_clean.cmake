@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsync_test.dir/vsync_test.cpp.o"
+  "CMakeFiles/vsync_test.dir/vsync_test.cpp.o.d"
+  "vsync_test"
+  "vsync_test.pdb"
+  "vsync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
