@@ -39,12 +39,16 @@ struct Totals {
 
 /// Phased workload: in each phase one "hot" machine reads intensely while a
 /// writer churns with read&del/insert pairs at the given update share. The
-/// hot machine rotates between phases (locality shifts).
-Totals run_workload(Policy policy, double update_share, std::uint64_t seed) {
+/// hot machine rotates between phases (locality shifts). A non-empty
+/// `sidecar` turns observability on and writes the metric/span/msg JSONL
+/// there afterwards (tools/trace_report consumes it).
+Totals run_workload(Policy policy, double update_share, std::uint64_t seed,
+                    const std::string& sidecar = {}) {
   ClusterConfig config;
   config.machines = 8;
   config.lambda = 1;
   config.record_history = false;  // long run: skip history accounting
+  config.observe = !sidecar.empty();
   Cluster cluster(TaskCluster::schema(), config);
   cluster.assign_basic_support();
   if (policy == Policy::kAdaptive) {
@@ -66,6 +70,9 @@ Totals run_workload(Policy policy, double update_share, std::uint64_t seed) {
   }
   cluster.insert_sync(writer, TaskCluster::tuple(7));
   cluster.ledger().reset();
+  // The sidecar's reconciliation needs the tracer and the ledger to cover
+  // the same interval: drop the warm-up traffic from both.
+  if (cluster.observing()) cluster.tracer().clear();
 
   for (int phase = 0; phase < 6; ++phase) {
     const MachineId hot{static_cast<std::uint32_t>(2 + phase % 5)};
@@ -80,6 +87,7 @@ Totals run_workload(Policy policy, double update_share, std::uint64_t seed) {
     }
     cluster.settle();
   }
+  if (cluster.observing()) write_obs_sidecar(cluster, sidecar);
   return Totals{cluster.ledger().total_msg_cost(),
                 cluster.ledger().total_work()};
 }
@@ -115,6 +123,13 @@ int main() {
                   900, 0, totals[i].msg, 0);
     }
   }
+
+  // One instrumented re-run of a mixed regime: full per-op tracing + metrics
+  // into a sidecar that tools/trace_report decomposes and reconciles against
+  // the CostLedger.
+  run_workload(Policy::kAdaptive, 0.2, 1, "bench_adaptive_e2e.obs.jsonl");
+  std::printf("\nobservability sidecar: bench_adaptive_e2e.obs.jsonl "
+              "(feed to tools/trace_report)\n");
 
   std::printf(
       "\nThe crossover: eager wins only at update share ~0 (pure reads),\n"

@@ -22,10 +22,15 @@ int main() {
   print_rule();
 
   double prev_bytes_per_l = 0;
+  const std::size_t largest = 5000u;
   for (const std::size_t live : {10u, 100u, 1000u, 5000u}) {
     ClusterConfig config;
     config.machines = 5;
     config.lambda = 1;
+    // Meter the largest transfer with full observability: the sidecar's
+    // vsync.state_transfer_* metrics give the recovery's byte/duration story
+    // and trace_report reconciles its message cost against the ledger.
+    config.observe = live == largest;
     Cluster cluster(TaskCluster::schema(), config);
     cluster.assign_basic_support();
     const auto support = cluster.basic_support(ClassId{0});
@@ -38,6 +43,7 @@ int main() {
     cluster.crash(support[0]);
     cluster.settle();
     cluster.ledger().reset();
+    if (cluster.observing()) cluster.tracer().clear();
     const auto before = cluster.ledger().snapshot();
     const sim::SimTime start = cluster.simulator().now();
     cluster.recover(support[0]);
@@ -66,6 +72,10 @@ int main() {
     if (cluster.server(support[0]).live_count(ClassId{0}) != live) {
       std::printf("  !! recovered replica incomplete\n");
       return 1;
+    }
+    if (cluster.observing()) {
+      write_obs_sidecar(cluster, "bench_recovery.obs.jsonl");
+      std::printf("observability sidecar: bench_recovery.obs.jsonl\n");
     }
   }
 

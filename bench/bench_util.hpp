@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -68,6 +69,28 @@ inline void result_line(const std::string& bench, const std::string& config,
       .field("msg_cost", msg_cost)
       .field("bytes", bytes)
       .emit();
+}
+
+/// Dump the cluster's observability data as a JSONL sidecar next to the
+/// bench's stdout: every `{"metric",...}` row, every `{"span",...}` /
+/// `{"msg",...}` row, and a closing `{"metric":"ledger.msg_cost",...}` row
+/// with the CostLedger's total so tools/trace_report can reconcile the
+/// traced + untraced message cost against the ledger exactly. Requires the
+/// cluster to have been built with `ClusterConfig::observe = true`; pair a
+/// mid-run `ledger().reset()` with `tracer().clear()` so both cover the same
+/// interval.
+inline void write_obs_sidecar(Cluster& cluster, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot write sidecar %s\n", path.c_str());
+    return;
+  }
+  cluster.metrics().write_jsonl(os);
+  cluster.tracer().write_jsonl(os);
+  char total[64];
+  std::snprintf(total, sizeof total, "%.6f", cluster.ledger().total_msg_cost());
+  os << "{\"metric\":\"ledger.msg_cost\",\"machine\":-1,\"type\":\"gauge\","
+     << "\"value\":" << total << "}\n";
 }
 
 /// A cluster preloaded with one (int, text) class and basic support joined.

@@ -20,6 +20,16 @@ void BusNetwork::send(MachineId from, MachineId to, const std::string& tag,
 
   const Cost cost = model_.message(bytes);
   ledger_.charge_message(tag, bytes, cost);
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->counter("net.messages").inc();
+    obs_.metrics->counter("net.bytes").inc(bytes);
+    obs_.metrics->gauge("net.cost.alpha").add(model_.alpha);
+    obs_.metrics->gauge("net.cost.beta").add(cost - model_.alpha);
+  }
+  if (obs_.tracer != nullptr) {
+    obs_.tracer->record_message(tag, bytes, model_.alpha, cost - model_.alpha,
+                                simulator_.now());
+  }
 
   // The bus carries one message at a time: transmission begins when the bus
   // frees up, and delivery happens at transmission end.

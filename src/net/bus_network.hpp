@@ -21,6 +21,7 @@
 
 #include "common/cost.hpp"
 #include "common/ids.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 
 namespace paso::net {
@@ -165,6 +166,12 @@ class BusNetwork {
   const CostLedger& ledger() const { return ledger_; }
   sim::Simulator& simulator() { return simulator_; }
 
+  /// Install (or clear) the observability handle. The bus is the single
+  /// charge site for msg-cost, so this is where every transmission gets its
+  /// alpha/beta decomposition recorded and attributed to the active traces.
+  void set_obs(obs::Obs o) { obs_ = o; }
+  obs::Obs observability() const { return obs_; }
+
   /// Virtual time at which the bus next becomes free (for tests asserting
   /// the serialization property).
   sim::SimTime bus_free_at() const { return bus_free_at_; }
@@ -178,6 +185,7 @@ class BusNetwork {
 
   sim::Simulator& simulator_;
   CostModel model_;
+  obs::Obs obs_;
   std::vector<bool> up_;
   std::vector<Disturbance> chaos_;
   CostLedger ledger_;

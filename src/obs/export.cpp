@@ -1,0 +1,125 @@
+#include "obs/export.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace paso::obs {
+
+std::string JsonRow::str(const std::string& key) const {
+  auto it = strings.find(key);
+  return it == strings.end() ? std::string{} : it->second;
+}
+
+double JsonRow::num(const std::string& key) const {
+  auto it = numbers.find(key);
+  return it == numbers.end() ? 0.0 : it->second;
+}
+
+std::vector<double> JsonRow::array(const std::string& key) const {
+  auto it = arrays.find(key);
+  return it == arrays.end() ? std::vector<double>{} : it->second;
+}
+
+namespace {
+
+void skip_ws(const std::string& s, std::size_t& i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+}
+
+bool parse_string(const std::string& s, std::size_t& i, std::string& out) {
+  if (i >= s.size() || s[i] != '"') return false;
+  ++i;
+  out.clear();
+  while (i < s.size() && s[i] != '"') {
+    if (s[i] == '\\' && i + 1 < s.size()) ++i;  // \" and \\ only
+    out.push_back(s[i++]);
+  }
+  if (i >= s.size()) return false;
+  ++i;  // closing quote
+  return true;
+}
+
+bool parse_number(const std::string& s, std::size_t& i, double& out) {
+  const char* begin = s.c_str() + i;
+  char* end = nullptr;
+  out = std::strtod(begin, &end);
+  if (end == begin) return false;
+  i += static_cast<std::size_t>(end - begin);
+  return true;
+}
+
+}  // namespace
+
+std::optional<JsonRow> parse_json_row(const std::string& line) {
+  std::size_t i = 0;
+  skip_ws(line, i);
+  if (i >= line.size() || line[i] != '{') return std::nullopt;
+  ++i;
+  JsonRow row;
+  skip_ws(line, i);
+  if (i < line.size() && line[i] == '}') return row;  // empty object
+  while (true) {
+    skip_ws(line, i);
+    std::string key;
+    if (!parse_string(line, i, key)) return std::nullopt;
+    skip_ws(line, i);
+    if (i >= line.size() || line[i] != ':') return std::nullopt;
+    ++i;
+    skip_ws(line, i);
+    if (i >= line.size()) return std::nullopt;
+    if (line[i] == '"') {
+      std::string value;
+      if (!parse_string(line, i, value)) return std::nullopt;
+      row.strings[key] = std::move(value);
+    } else if (line[i] == '[') {
+      ++i;
+      std::vector<double> values;
+      skip_ws(line, i);
+      if (i < line.size() && line[i] == ']') {
+        ++i;
+      } else {
+        while (true) {
+          skip_ws(line, i);
+          double v = 0;
+          if (!parse_number(line, i, v)) return std::nullopt;
+          values.push_back(v);
+          skip_ws(line, i);
+          if (i >= line.size()) return std::nullopt;
+          if (line[i] == ',') {
+            ++i;
+            continue;
+          }
+          if (line[i] == ']') {
+            ++i;
+            break;
+          }
+          return std::nullopt;
+        }
+      }
+      row.arrays[key] = std::move(values);
+    } else {
+      double v = 0;
+      if (!parse_number(line, i, v)) return std::nullopt;
+      row.numbers[key] = v;
+    }
+    skip_ws(line, i);
+    if (i >= line.size()) return std::nullopt;
+    if (line[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (line[i] == '}') return row;
+    return std::nullopt;
+  }
+}
+
+std::vector<JsonRow> read_json_rows(std::istream& is) {
+  std::vector<JsonRow> rows;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (auto row = parse_json_row(line)) rows.push_back(std::move(*row));
+  }
+  return rows;
+}
+
+}  // namespace paso::obs

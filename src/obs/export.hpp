@@ -1,0 +1,43 @@
+// Minimal reader for the flat JSON rows this repo emits.
+//
+// Everything the stack exports — `{"bench",...}` from bench_util,
+// `{"metric",...}` from MetricsRegistry, `{"span",...}`/`{"msg",...}` from
+// OpTracer — is one flat JSON object per line whose values are strings,
+// numbers, or arrays of numbers. This parser covers exactly that subset (no
+// nesting, no escapes beyond \" and \\, no booleans) so tools/trace_report
+// and the tests can consume sidecar files without an external JSON
+// dependency.
+#pragma once
+
+#include <istream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace paso::obs {
+
+/// One parsed line: field -> scalar, plus field -> numeric array.
+struct JsonRow {
+  std::map<std::string, std::string> strings;
+  std::map<std::string, double> numbers;
+  std::map<std::string, std::vector<double>> arrays;
+
+  bool has(const std::string& key) const {
+    return strings.count(key) || numbers.count(key) || arrays.count(key);
+  }
+  /// Missing keys return "" / 0 / empty — callers check has() when absence
+  /// matters.
+  std::string str(const std::string& key) const;
+  double num(const std::string& key) const;
+  std::vector<double> array(const std::string& key) const;
+};
+
+/// Parse one `{...}` line. Returns nullopt on anything outside the flat
+/// subset (including non-JSON lines, so callers can feed mixed output).
+std::optional<JsonRow> parse_json_row(const std::string& line);
+
+/// All parseable rows in a stream; silently skips non-row lines.
+std::vector<JsonRow> read_json_rows(std::istream& is);
+
+}  // namespace paso::obs

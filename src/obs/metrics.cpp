@@ -1,0 +1,136 @@
+#include "obs/metrics.hpp"
+
+#include <utility>
+
+#include "common/require.hpp"
+
+namespace paso::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    PASO_REQUIRE(bounds_[i - 1] < bounds_[i],
+                 "histogram bounds must be ascending");
+  }
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  ++buckets_[i];
+  ++count_;
+  sum_ += v;
+}
+
+void Histogram::reset() {
+  buckets_.assign(bounds_.size() + 1, 0);
+  count_ = 0;
+  sum_ = 0;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[Key{name, kClusterScope}];
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, MachineId machine) {
+  return counters_[Key{name, static_cast<int>(machine.value)}];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[Key{name, kClusterScope}];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, MachineId machine) {
+  return gauges_[Key{name, static_cast<int>(machine.value)}];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  auto it = histograms_.find(Key{name, kClusterScope});
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(Key{name, kClusterScope}, Histogram(std::move(bounds)))
+             .first;
+  }
+  return it->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      MachineId machine,
+                                      std::vector<double> bounds) {
+  const Key key{name, static_cast<int>(machine.value)};
+  auto it = histograms_.find(key);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(key, Histogram(std::move(bounds))).first;
+  }
+  return it->second;
+}
+
+void MetricsRegistry::on_machine_crash(MachineId machine) {
+  const int scope = static_cast<int>(machine.value);
+  for (auto& [key, c] : counters_) {
+    if (key.machine == scope) c.value = 0;
+  }
+  for (auto& [key, g] : gauges_) {
+    if (key.machine == scope) g.value = 0;
+  }
+  for (auto& [key, h] : histograms_) {
+    if (key.machine == scope) h.reset();
+  }
+  counter("cluster.restarts").inc();
+}
+
+std::uint64_t MetricsRegistry::restarts() const {
+  auto it = counters_.find(Key{"cluster.restarts", kClusterScope});
+  return it == counters_.end() ? 0 : it->second.value;
+}
+
+namespace {
+
+void row_head(std::ostream& os, const std::string& name, int machine,
+              const char* type) {
+  os << "{\"metric\":\"" << name << "\",\"machine\":" << machine
+     << ",\"type\":\"" << type << "\"";
+}
+
+}  // namespace
+
+void MetricsRegistry::write_jsonl(std::ostream& os) const {
+  for (const auto& [key, c] : counters_) {
+    row_head(os, key.name, key.machine, "counter");
+    os << ",\"value\":" << c.value << "}\n";
+  }
+  for (const auto& [key, g] : gauges_) {
+    row_head(os, key.name, key.machine, "gauge");
+    os << ",\"value\":" << g.value << "}\n";
+  }
+  for (const auto& [key, h] : histograms_) {
+    row_head(os, key.name, key.machine, "histogram");
+    os << ",\"count\":" << h.count() << ",\"sum\":" << h.sum()
+       << ",\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+      os << (i ? "," : "") << h.bounds()[i];
+    }
+    os << "],\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets().size(); ++i) {
+      os << (i ? "," : "") << h.buckets()[i];
+    }
+    os << "]}\n";
+  }
+}
+
+void MetricsRegistry::write_csv(std::ostream& os) const {
+  os << "name,machine,type,value,count,sum\n";
+  for (const auto& [key, c] : counters_) {
+    os << key.name << "," << key.machine << ",counter," << c.value << ",,\n";
+  }
+  for (const auto& [key, g] : gauges_) {
+    os << key.name << "," << key.machine << ",gauge," << g.value << ",,\n";
+  }
+  for (const auto& [key, h] : histograms_) {
+    os << key.name << "," << key.machine << ",histogram,," << h.count() << ","
+       << h.sum() << "\n";
+  }
+}
+
+}  // namespace paso::obs

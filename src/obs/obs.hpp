@@ -1,0 +1,32 @@
+// The handle the instrumented layers hold.
+//
+// Every layer that publishes telemetry keeps an `Obs` by value: two raw
+// pointers, both usually null. Call sites guard with `if (obs_.metrics)` /
+// `if (obs_.tracer)`, so with observability disabled the instrumentation is
+// one pointer test per site — no allocation, no virtual dispatch, no change
+// to costs or event scheduling. `Observability` is the owning bundle the
+// Cluster creates when observation is switched on.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace paso::obs {
+
+/// Non-owning, nullable handle. Default-constructed == disabled.
+struct Obs {
+  MetricsRegistry* metrics = nullptr;
+  OpTracer* tracer = nullptr;
+
+  bool enabled() const { return metrics != nullptr || tracer != nullptr; }
+};
+
+/// Owning bundle; lives on the Cluster when observability is enabled.
+struct Observability {
+  MetricsRegistry metrics;
+  OpTracer tracer;
+
+  Obs handle() { return Obs{&metrics, &tracer}; }
+};
+
+}  // namespace paso::obs

@@ -1,0 +1,119 @@
+#include "obs/trace.hpp"
+
+#include <utility>
+
+namespace paso::obs {
+
+const char* span_kind_name(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kIssue:
+      return "issue";
+    case SpanKind::kEnqueue:
+      return "enqueue";
+    case SpanKind::kCoalesce:
+      return "coalesce";
+    case SpanKind::kDispatch:
+      return "dispatch";
+    case SpanKind::kServe:
+      return "serve";
+    case SpanKind::kResponse:
+      return "response";
+    case SpanKind::kRetry:
+      return "retry";
+    case SpanKind::kDeadline:
+      return "deadline";
+    case SpanKind::kReroute:
+      return "reroute";
+    case SpanKind::kFinish:
+      return "finish";
+  }
+  return "?";
+}
+
+TraceId OpTracer::begin(std::string op, MachineId issuer, sim::SimTime at) {
+  const TraceId id = next_trace_++;
+  events_.push_back(
+      SpanEvent{id, SpanKind::kIssue, issuer, at, std::move(op), 0});
+  return id;
+}
+
+void OpTracer::span(TraceId trace, SpanKind kind, MachineId machine,
+                    sim::SimTime at, std::string note, double value) {
+  if (trace == 0) return;
+  events_.push_back(SpanEvent{trace, kind, machine, at, std::move(note), value});
+}
+
+void OpTracer::finish(TraceId trace, std::string status, MachineId machine,
+                      sim::SimTime at) {
+  span(trace, SpanKind::kFinish, machine, at, std::move(status));
+}
+
+void OpTracer::record_message(const std::string& tag, std::size_t bytes,
+                              Cost alpha, Cost beta, sim::SimTime at) {
+  messages_.push_back(MessageRecord{context_, tag, bytes, alpha, beta, at});
+}
+
+OpTracer::Scope::Scope(OpTracer* tracer, TraceId trace) : tracer_(tracer) {
+  if (tracer_ == nullptr || trace == 0) {
+    tracer_ = nullptr;
+    return;
+  }
+  saved_ = std::move(tracer_->context_);
+  tracer_->context_.assign(1, trace);
+}
+
+OpTracer::Scope::Scope(OpTracer* tracer, const std::vector<TraceId>& traces)
+    : tracer_(tracer) {
+  if (tracer_ == nullptr || traces.empty()) {
+    tracer_ = nullptr;
+    return;
+  }
+  saved_ = std::move(tracer_->context_);
+  tracer_->context_ = traces;
+}
+
+OpTracer::Scope::~Scope() {
+  if (tracer_ != nullptr) tracer_->context_ = std::move(saved_);
+}
+
+Cost OpTracer::traced_msg_cost() const {
+  Cost total = 0;
+  for (const auto& m : messages_) {
+    if (!m.traces.empty()) total += m.alpha_cost + m.beta_cost;
+  }
+  return total;
+}
+
+Cost OpTracer::untraced_msg_cost() const {
+  Cost total = 0;
+  for (const auto& m : messages_) {
+    if (m.traces.empty()) total += m.alpha_cost + m.beta_cost;
+  }
+  return total;
+}
+
+void OpTracer::clear() {
+  events_.clear();
+  messages_.clear();
+}
+
+void OpTracer::write_jsonl(std::ostream& os) const {
+  for (const auto& e : events_) {
+    os << "{\"span\":\"" << span_kind_name(e.kind) << "\",\"trace\":" << e.trace
+       << ",\"machine\":" << e.machine.value << ",\"at\":" << e.at;
+    if (!e.note.empty()) os << ",\"note\":\"" << e.note << "\"";
+    if (e.value != 0) os << ",\"value\":" << e.value;
+    os << "}\n";
+  }
+  for (const auto& m : messages_) {
+    os << "{\"msg\":\"" << m.tag << "\",\"bytes\":" << m.bytes
+       << ",\"alpha\":" << m.alpha_cost << ",\"beta\":" << m.beta_cost
+       << ",\"at\":" << m.at << ",\"traces\":[";
+    for (std::size_t i = 0; i < m.traces.size(); ++i) {
+      os << (i ? "," : "") << m.traces[i];
+    }
+    os << "]}\n";
+  }
+}
+
+}  // namespace paso::obs

@@ -45,6 +45,18 @@ Cluster::Cluster(Schema schema, ClusterConfig config)
           runtime->on_group_view_change(group, view);
         }
       });
+
+  if (config_.observe) enable_observability();
+}
+
+void Cluster::enable_observability() {
+  if (obs_ != nullptr) return;
+  obs_ = std::make_unique<obs::Observability>();
+  const obs::Obs handle = obs_->handle();
+  network_->set_obs(handle);
+  groups_->set_obs(handle);
+  for (const auto& server : servers_) server->set_obs(handle);
+  for (const auto& runtime : runtimes_) runtime->set_obs(handle);
 }
 
 void Cluster::wire_machine(MachineId m) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/bus_network.hpp"
+#include "obs/obs.hpp"
 #include "paso/classes.hpp"
 #include "paso/memory_server.hpp"
 #include "paso/runtime.hpp"
@@ -36,6 +37,10 @@ struct ClusterConfig {
   /// (e.g. OrderedStore for a range-query class).
   MemoryServer::ClassStoreFactory store_factory;
   bool record_history = true;
+  /// Create the metrics registry + op tracer at construction and install
+  /// them across every layer. Off by default: the stack then carries only
+  /// null observability handles and behaves byte-for-byte like before.
+  bool observe = false;
 };
 
 class Cluster {
@@ -54,6 +59,16 @@ class Cluster {
 
   PasoRuntime& runtime(MachineId m);
   MemoryServer& server(MachineId m);
+
+  // --- observability ---------------------------------------------------------
+  /// Switch telemetry on mid-life (idempotent; `ClusterConfig::observe` does
+  /// it at construction). Existing counters start from zero, not from the
+  /// cluster's birth.
+  void enable_observability();
+  bool observing() const { return obs_ != nullptr; }
+  /// Valid only while observing.
+  obs::MetricsRegistry& metrics() { return obs_->metrics; }
+  obs::OpTracer& tracer() { return obs_->tracer; }
   ProcessId process(MachineId m, std::uint32_t ordinal = 0) const {
     return ProcessId{m, ordinal};
   }
@@ -123,6 +138,7 @@ class Cluster {
   Schema schema_;
   ClusterConfig config_;
   sim::Simulator simulator_;
+  std::unique_ptr<obs::Observability> obs_;
   std::unique_ptr<net::BusNetwork> network_;
   std::unique_ptr<vsync::GroupService> groups_;
   semantics::HistoryRecorder history_;

@@ -28,6 +28,22 @@ std::optional<ClassId> MemoryServer::class_of_group(
   return it->second;
 }
 
+MemoryServer::ClassMetrics* MemoryServer::metrics_of(ClassId cls) {
+  if (obs_.metrics == nullptr) return nullptr;
+  auto it = class_metrics_.find(cls.value);
+  if (it == class_metrics_.end()) {
+    const std::string prefix = "server.c" + std::to_string(cls.value) + ".";
+    ClassMetrics m;
+    m.stores = &obs_.metrics->counter(prefix + "stores", self_);
+    m.reads = &obs_.metrics->counter(prefix + "reads", self_);
+    m.removes = &obs_.metrics->counter(prefix + "removes", self_);
+    m.probes = &obs_.metrics->counter(prefix + "probes", self_);
+    m.markers = &obs_.metrics->gauge(prefix + "markers", self_);
+    it = class_metrics_.emplace(cls.value, m).first;
+  }
+  return &it->second;
+}
+
 MemoryServer::ClassState& MemoryServer::state_of(ClassId cls) {
   auto it = classes_.find(cls.value);
   if (it == classes_.end()) {
@@ -48,17 +64,23 @@ vsync::GcastResult MemoryServer::handle_gcast(const GroupName& group,
 
   vsync::GcastResult result;
   ClassState& state = state_of(*cls);
+  ClassMetrics* metrics = metrics_of(*cls);
+  const std::uint64_t probes_before =
+      metrics != nullptr ? state.store->match_probes() : 0;
 
   if (const auto* store_msg = std::get_if<StoreMsg>(message)) {
+    if (metrics != nullptr) metrics->stores->inc();
     apply_store(*cls, state, *store_msg, result.processing);
     // store(o) expects no response payload: the gathered response is empty.
     result.response = std::any{};
     result.response_bytes = 0;
   } else if (const auto* read_msg = std::get_if<MemReadMsg>(message)) {
+    if (metrics != nullptr) metrics->reads->inc();
     SearchResponse response = apply_read(state, *read_msg, result.processing);
     result.response_bytes = response_wire_size(response);
     result.response = std::move(response);
   } else if (const auto* remove_msg = std::get_if<RemoveMsg>(message)) {
+    if (metrics != nullptr) metrics->removes->inc();
     SearchResponse response =
         apply_remove(*cls, state, *remove_msg, result.processing);
     result.response_bytes = response_wire_size(response);
@@ -74,13 +96,16 @@ vsync::GcastResult MemoryServer::handle_gcast(const GroupName& group,
           [&](const auto& sub) {
             using S = std::decay_t<decltype(sub)>;
             if constexpr (std::is_same_v<S, StoreMsg>) {
+              if (metrics != nullptr) metrics->stores->inc();
               apply_store(*cls, state, sub, result.processing);
               response.slots.emplace_back(std::nullopt);
             } else if constexpr (std::is_same_v<S, MemReadMsg>) {
+              if (metrics != nullptr) metrics->reads->inc();
               response.slots.push_back(
                   apply_read(state, sub, result.processing));
             } else {
               static_assert(std::is_same_v<S, RemoveMsg>);
+              if (metrics != nullptr) metrics->removes->inc();
               response.slots.push_back(
                   apply_remove(*cls, state, sub, result.processing));
             }
@@ -98,6 +123,7 @@ vsync::GcastResult MemoryServer::handle_gcast(const GroupName& group,
                                    marker_msg->criterion,
                                    marker_msg->expires_at});
     state.marker_index_dirty = true;
+    schedule_marker_sweep(*cls, marker_msg->expires_at);
     result.processing = state.store->query_cost();
     SearchResponse response = state.store->find(marker_msg->criterion);
     result.response_bytes = response_wire_size(response);
@@ -113,6 +139,10 @@ vsync::GcastResult MemoryServer::handle_gcast(const GroupName& group,
     result.processing = 0;
     result.response = std::any{};
     result.response_bytes = 0;
+  }
+  if (metrics != nullptr) {
+    metrics->probes->inc(state.store->match_probes() - probes_before);
+    metrics->markers->set(static_cast<double>(state.markers.size()));
   }
   return result;
 }
@@ -230,6 +260,23 @@ void MemoryServer::sweep_expired_markers(ClassState& state) {
   if (state.markers.size() != before) state.marker_index_dirty = true;
 }
 
+void MemoryServer::schedule_marker_sweep(ClassId cls, sim::SimTime expires_at) {
+  if (expires_at >= sim::kNever) return;  // never-expiring marker
+  sim::Simulator& simulator = network_.simulator();
+  // The sweep predicate is strict (`expires_at < now`), so fire just past
+  // the expiry. The class is looked up by value at fire time: it may have
+  // been erased by a crash or leave in between, which makes the timer moot.
+  const sim::SimTime at = std::max(simulator.now(), expires_at + 1);
+  simulator.schedule_at(at, [this, cls] {
+    auto it = classes_.find(cls.value);
+    if (it == classes_.end()) return;
+    sweep_expired_markers(it->second);
+    if (ClassMetrics* metrics = metrics_of(cls); metrics != nullptr) {
+      metrics->markers->set(static_cast<double>(it->second.markers.size()));
+    }
+  });
+}
+
 vsync::StateBlob MemoryServer::capture_state(const GroupName& group) {
   const auto cls = class_of_group(group);
   PASO_REQUIRE(cls.has_value(), "capture on unknown group");
@@ -268,6 +315,10 @@ void MemoryServer::install_state(const GroupName& group,
   state.next_age = (*snapshot)->next_age;
   state.markers = (*snapshot)->markers;
   state.marker_index_dirty = true;
+  // Donated markers need their own expiry sweeps on this replica.
+  for (const Marker& marker : state.markers) {
+    schedule_marker_sweep(*cls, marker.expires_at);
+  }
   state.applied_inserts = (*snapshot)->applied_inserts;
   state.remove_cache = (*snapshot)->remove_cache;
   state.remove_cache_order = (*snapshot)->remove_cache_order;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "net/bus_network.hpp"
+#include "obs/obs.hpp"
 #include "paso/classes.hpp"
 #include "paso/messages.hpp"
 #include "storage/object_store.hpp"
@@ -89,8 +90,14 @@ class MemoryServer final : public vsync::GroupEndpoint {
   /// ObjectStore::match_probes.
   std::uint64_t marker_probes() const { return marker_probes_; }
 
-  /// Crash: local memory is erased (Section 3.1).
-  void crash_reset() { classes_.clear(); }
+  /// Crash: local memory is erased (Section 3.1), and with it this server's
+  /// machine-scoped metrics — measurements are state, and state dies here.
+  void crash_reset() {
+    classes_.clear();
+    if (obs_.metrics != nullptr) obs_.metrics->on_machine_crash(self_);
+  }
+
+  void set_obs(obs::Obs o) { obs_ = o; }
 
   void set_update_hook(UpdateHook hook) { update_hook_ = std::move(hook); }
   void set_view_hook(ViewHook hook) { view_hook_ = std::move(hook); }
@@ -161,11 +168,30 @@ class MemoryServer final : public vsync::GroupEndpoint {
   /// the insert path — on marker placement/cancellation and state capture —
   /// so a class with markers but no inserts doesn't hoard dead ones.
   void sweep_expired_markers(ClassState& state);
+  /// Schedule a sweep just past a marker's expiry, so it is reclaimed even
+  /// when no further traffic touches the class (the sweep used to piggyback
+  /// on place/cancel/capture only, leaving a quiet class to hoard the dead
+  /// marker forever — e.g. when the marker's owner crashed).
+  void schedule_marker_sweep(ClassId cls, sim::SimTime expires_at);
+
+  /// Per-class metric handles, resolved once and cached; registry entries
+  /// survive crashes (values are zeroed, registrations kept), so the
+  /// pointers stay valid across crash/recover cycles.
+  struct ClassMetrics {
+    obs::Counter* stores = nullptr;
+    obs::Counter* reads = nullptr;
+    obs::Counter* removes = nullptr;
+    obs::Counter* probes = nullptr;
+    obs::Gauge* markers = nullptr;
+  };
+  ClassMetrics* metrics_of(ClassId cls);
 
   MachineId self_;
   const Schema& schema_;
   ClassStoreFactory factory_;
   net::BusNetwork& network_;
+  obs::Obs obs_;
+  std::unordered_map<std::uint32_t, ClassMetrics> class_metrics_;
   std::unordered_map<std::uint32_t, ClassState> classes_;
   std::unordered_map<GroupName, ClassId> group_to_class_;
   UpdateHook update_hook_;

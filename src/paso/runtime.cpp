@@ -52,6 +52,32 @@ void PasoRuntime::set_policy(std::unique_ptr<ReplicationPolicy> policy) {
   policy_ = std::move(policy);
 }
 
+obs::TraceId PasoRuntime::trace_begin(const char* op) {
+  const sim::SimTime now = groups_.network().simulator().now();
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->counter(std::string("runtime.ops.") + op, self_).inc();
+    obs_.metrics->gauge("runtime.inflight", self_)
+        .set(static_cast<double>(inflight_ + 1));
+  }
+  if (obs_.tracer == nullptr) return 0;
+  return obs_.tracer->begin(op, self_, now);
+}
+
+void PasoRuntime::trace_finish(obs::TraceId trace, const char* status,
+                               sim::SimTime issued_at) {
+  if (!obs_.enabled()) return;
+  const sim::SimTime now = groups_.network().simulator().now();
+  if (obs_.metrics != nullptr) {
+    obs_.metrics
+        ->histogram("runtime.latency", self_,
+                    {10, 25, 50, 100, 250, 500, 1000, 2500, 5000})
+        .observe(now - issued_at);
+    obs_.metrics->gauge("runtime.inflight", self_)
+        .set(static_cast<double>(inflight_ > 0 ? inflight_ - 1 : 0));
+  }
+  if (obs_.tracer != nullptr) obs_.tracer->finish(trace, status, self_, now);
+}
+
 void PasoRuntime::record_return(std::uint64_t history_id, bool has_history,
                                 SearchResponse result) {
   if (!has_history || history_ == nullptr) return;
@@ -88,12 +114,16 @@ ObjectId PasoRuntime::insert(ProcessId process, Tuple fields,
 
   StoreMsg msg{*cls, object};
   const std::size_t bytes = msg.wire_size();
+  const obs::TraceId trace = trace_begin("insert");
+  const sim::SimTime issued_at = groups_.network().simulator().now();
   ++inflight_;
+  obs::OpTracer::Scope scope(obs_.tracer, trace);
   batcher_.gcast(
       group, vsync::Payload{ServerMessage{std::move(msg)}, bytes}, "store",
-      [this, history_id, has_history,
+      [this, history_id, has_history, trace, issued_at,
        done = std::move(done)](std::optional<std::any>) {
         record_return(history_id, has_history, std::nullopt);
+        trace_finish(trace, "ok", issued_at);
         if (inflight_ > 0) --inflight_;
         if (done) done();
       });
@@ -120,19 +150,24 @@ void PasoRuntime::read(ProcessId process, SearchCriterion sc,
                                          semantics::OpKind::kRead, sc);
     has_history = true;
   }
+  const obs::TraceId trace = trace_begin("read");
+  const sim::SimTime issued_at = groups_.network().simulator().now();
   ++inflight_;
   read_class_chain(process, std::move(sc), std::move(classes), 0,
-                   [this, history_id, has_history,
-                    cb = std::move(cb)](SearchResponse result) {
+                   [this, history_id, has_history, trace,
+                    issued_at, cb = std::move(cb)](SearchResponse result) {
                      record_return(history_id, has_history, result);
+                     trace_finish(trace, result ? "ok" : "fail", issued_at);
                      if (inflight_ > 0) --inflight_;
                      if (cb) cb(std::move(result));
-                   });
+                   },
+                   trace);
 }
 
 void PasoRuntime::read_class_chain(ProcessId process, SearchCriterion sc,
                                    std::vector<ClassId> classes,
-                                   std::size_t index, SearchCallback cb) {
+                                   std::size_t index, SearchCallback cb,
+                                   obs::TraceId trace) {
   if (index >= classes.size()) {
     cb(std::nullopt);
     return;
@@ -149,7 +184,7 @@ void PasoRuntime::read_class_chain(ProcessId process, SearchCriterion sc,
       return;
     }
     read_class_chain(process, std::move(sc), std::move(classes), index + 1,
-                     std::move(cb));
+                     std::move(cb), trace);
     return;
   }
 
@@ -180,18 +215,19 @@ void PasoRuntime::read_class_chain(ProcessId process, SearchCriterion sc,
 
   MemReadMsg msg{cls, sc};
   const std::size_t bytes = msg.wire_size();
+  obs::OpTracer::Scope scope(obs_.tracer, trace);
   batcher_.gcast_to(
       group, vsync::Payload{ServerMessage{std::move(msg)}, bytes},
       "mem-read", std::move(preferred), max_targets,
       [this, process, sc = std::move(sc), classes = std::move(classes), index,
-       cb = std::move(cb)](std::optional<std::any> response) mutable {
+       trace, cb = std::move(cb)](std::optional<std::any> response) mutable {
         SearchResponse result = unwrap_search(response);
         if (result) {
           cb(std::move(result));
           return;
         }
         read_class_chain(process, std::move(sc), std::move(classes),
-                         index + 1, std::move(cb));
+                         index + 1, std::move(cb), trace);
       });
 }
 
@@ -211,21 +247,26 @@ void PasoRuntime::read_del(ProcessId process, SearchCriterion sc,
                                          semantics::OpKind::kReadDel, sc);
     has_history = true;
   }
+  const obs::TraceId trace = trace_begin("read_del");
+  const sim::SimTime issued_at = groups_.network().simulator().now();
   ++inflight_;
   read_del_class_chain(process, std::move(sc), std::move(classes), 0,
                        /*token=*/0,
-                       [this, history_id, has_history,
-                        cb = std::move(cb)](SearchResponse result) {
+                       [this, history_id, has_history, trace,
+                        issued_at, cb = std::move(cb)](SearchResponse result) {
                          record_return(history_id, has_history, result);
+                         trace_finish(trace, result ? "ok" : "fail",
+                                      issued_at);
                          if (inflight_ > 0) --inflight_;
                          if (cb) cb(std::move(result));
-                       });
+                       },
+                       trace);
 }
 
 void PasoRuntime::read_del_class_chain(ProcessId process, SearchCriterion sc,
                                        std::vector<ClassId> classes,
                                        std::size_t index, std::uint64_t token,
-                                       SearchCallback cb) {
+                                       SearchCallback cb, obs::TraceId trace) {
   if (index >= classes.size()) {
     cb(std::nullopt);
     return;
@@ -235,18 +276,20 @@ void PasoRuntime::read_del_class_chain(ProcessId process, SearchCriterion sc,
   // shortcut and no read-group restriction (Section 4.3).
   RemoveMsg msg{cls, sc, token};
   const std::size_t bytes = msg.wire_size();
+  obs::OpTracer::Scope scope(obs_.tracer, trace);
   batcher_.gcast(
       group_of(cls),
       vsync::Payload{ServerMessage{std::move(msg)}, bytes}, "remove",
       [this, process, sc = std::move(sc), classes = std::move(classes), index,
-       token, cb = std::move(cb)](std::optional<std::any> response) mutable {
+       token, trace,
+       cb = std::move(cb)](std::optional<std::any> response) mutable {
         SearchResponse result = unwrap_search(response);
         if (result) {
           cb(std::move(result));
           return;
         }
         read_del_class_chain(process, std::move(sc), std::move(classes),
-                             index + 1, token, std::move(cb));
+                             index + 1, token, std::move(cb), trace);
       });
 }
 
@@ -286,6 +329,10 @@ void PasoRuntime::start_blocking(ProcessId process, SearchCriterion sc,
         process, groups_.network().simulator().now(), kind, op.criterion);
     op.has_history = true;
   }
+  op.trace = trace_begin(kind == semantics::OpKind::kRead
+                             ? "read_blocking"
+                             : "read_del_blocking");
+  op.issued_at = groups_.network().simulator().now();
   const std::uint64_t op_id = op.id;
   blocking_.emplace(op_id, std::move(op));
   ++inflight_;
@@ -317,10 +364,10 @@ void PasoRuntime::blocking_poll(std::uint64_t op_id) {
   };
   if (op.kind == semantics::OpKind::kRead) {
     read_class_chain(op.process, op.criterion, op.classes, 0,
-                     std::move(retry));
+                     std::move(retry), op.trace);
   } else {
     read_del_class_chain(op.process, op.criterion, op.classes, 0,
-                         /*token=*/0, std::move(retry));
+                         /*token=*/0, std::move(retry), op.trace);
   }
 }
 
@@ -334,6 +381,7 @@ void PasoRuntime::place_markers(std::uint64_t op_id) {
     return;
   }
   const sim::SimTime expires = now + config_.marker_ttl;
+  obs::OpTracer::Scope scope(obs_.tracer, op.trace);
   for (const ClassId cls : op.classes) {
     PlaceMarkerMsg msg{cls, op.criterion, op_id, self_, expires};
     const std::size_t bytes = msg.wire_size();
@@ -379,10 +427,12 @@ void PasoRuntime::blocking_candidate(std::uint64_t op_id,
                          } else {
                            again->second.claiming = false;
                          }
-                       });
+                       },
+                       op.trace);
 }
 
 void PasoRuntime::cancel_markers(const BlockingOp& op) {
+  obs::OpTracer::Scope scope(obs_.tracer, op.trace);
   for (const ClassId cls : op.classes) {
     CancelMarkerMsg msg{cls, op.id, self_};
     const std::size_t bytes = msg.wire_size();
@@ -417,6 +467,13 @@ void PasoRuntime::finish_blocking(std::uint64_t op_id, SearchResponse result,
     if (timed_out && !result) ++timeouts_;
     record_return(op.history_id, op.has_history, result);
   }
+  if (timed_out && obs_.tracer != nullptr) {
+    obs_.tracer->span(op.trace, obs::SpanKind::kDeadline, self_,
+                      groups_.network().simulator().now());
+  }
+  trace_finish(op.trace,
+               result ? "ok" : (timed_out ? "timeout" : "fail"),
+               op.issued_at);
   if (inflight_ > 0) --inflight_;
   if (op.cb) op.cb(std::move(result));
 }
@@ -530,6 +587,11 @@ std::uint64_t PasoRuntime::start_robust(ProcessId process,
   op.kind = kind;
   op.deadline = resolve_deadline(deadline);
   op.backoff = config_.retry_backoff;
+  op.trace = trace_begin(kind == semantics::OpKind::kInsert ? "insert_robust"
+                         : kind == semantics::OpKind::kRead
+                             ? "read_robust"
+                             : "read_del_robust");
+  op.issued_at = groups_.network().simulator().now();
   const std::uint64_t op_id = op.id;
   robust_.emplace(op_id, std::move(op));
   ++inflight_;
@@ -562,6 +624,7 @@ void PasoRuntime::robust_attempt(std::uint64_t op_id) {
       // The deadline caps how long the batcher may hold the op: a retry
       // issued near the deadline dispatches immediately instead of waiting
       // out the coalescing window.
+      obs::OpTracer::Scope scope(obs_.tracer, op.trace);
       batcher_.gcast(group,
                      vsync::Payload{ServerMessage{std::move(msg)}, bytes},
                      "store", [this, op_id](std::optional<std::any> response) {
@@ -582,7 +645,8 @@ void PasoRuntime::robust_attempt(std::uint64_t op_id) {
                          robust_finish(
                              op_id, result ? OpStatus::kOk : OpStatus::kFail,
                              std::move(result));
-                       });
+                       },
+                       op.trace);
       break;
     case semantics::OpKind::kReadDel:
       read_del_class_chain(op.process, op.criterion, op.classes, 0,
@@ -593,7 +657,8 @@ void PasoRuntime::robust_attempt(std::uint64_t op_id) {
                                  op_id,
                                  result ? OpStatus::kOk : OpStatus::kFail,
                                  std::move(result));
-                           });
+                           },
+                           op.trace);
       break;
   }
   // The attempt may have finished synchronously (local fast path); arming is
@@ -636,6 +701,13 @@ void PasoRuntime::robust_timer_fired(std::uint64_t op_id) {
     return;
   }
   ++retries_;
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->counter("runtime.retries", self_).inc();
+  }
+  if (obs_.tracer != nullptr) {
+    obs_.tracer->span(op.trace, obs::SpanKind::kRetry, self_, now, "backoff",
+                      static_cast<double>(op.attempts));
+  }
   op.backoff *= config_.retry_backoff_factor;
   robust_attempt(op_id);
 }
@@ -666,6 +738,10 @@ void PasoRuntime::robust_finish(std::uint64_t op_id, OpStatus status,
       }
       break;
   }
+  if (status == OpStatus::kTimeout && obs_.tracer != nullptr) {
+    obs_.tracer->span(op.trace, obs::SpanKind::kDeadline, self_, sim.now());
+  }
+  trace_finish(op.trace, op_status_name(status), op.issued_at);
   if (inflight_ > 0) --inflight_;
   if (op.report) {
     OpReport report;
@@ -699,6 +775,10 @@ void PasoRuntime::on_group_view_change(const GroupName& group,
     auto it = robust_.find(op_id);
     if (it == robust_.end()) continue;
     RobustOp& op = it->second;
+    if (obs_.tracer != nullptr) {
+      obs_.tracer->span(op.trace, obs::SpanKind::kReroute, self_, sim.now(),
+                        group);
+    }
     op.backoff = config_.retry_backoff;
     if (op.timer_armed) {
       sim.cancel(op.timer);

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "paso/classes.hpp"
 #include "paso/memory_server.hpp"
 #include "paso/messages.hpp"
@@ -188,6 +189,12 @@ class PasoRuntime final : public GroupControl {
 
   void set_policy(std::unique_ptr<ReplicationPolicy> policy);
   ReplicationPolicy* policy() { return policy_.get(); }
+  /// Install the observability handle (forwarded to this runtime's batcher;
+  /// the cluster installs it on the server/groups/network separately).
+  void set_obs(obs::Obs o) {
+    obs_ = o;
+    batcher_.set_obs(o);
+  }
   void set_basic_support_provider(BasicSupportProvider provider) {
     basic_support_ = std::move(provider);
   }
@@ -238,6 +245,8 @@ class PasoRuntime final : public GroupControl {
     std::uint64_t history_id = 0;
     bool has_history = false;
     bool claiming = false;  ///< read&del claim gcast in flight
+    obs::TraceId trace = 0;
+    sim::SimTime issued_at = 0;
   };
 
   struct RobustOp {
@@ -256,14 +265,17 @@ class PasoRuntime final : public GroupControl {
     ReportCallback report;
     sim::EventId timer{};
     bool timer_armed = false;
+    obs::TraceId trace = 0;
+    sim::SimTime issued_at = 0;
   };
 
   void read_class_chain(ProcessId process, SearchCriterion sc,
                         std::vector<ClassId> classes, std::size_t index,
-                        SearchCallback cb);
+                        SearchCallback cb, obs::TraceId trace = 0);
   void read_del_class_chain(ProcessId process, SearchCriterion sc,
                             std::vector<ClassId> classes, std::size_t index,
-                            std::uint64_t token, SearchCallback cb);
+                            std::uint64_t token, SearchCallback cb,
+                            obs::TraceId trace = 0);
   std::vector<MachineId> read_group_of(ClassId cls) const;
   GroupName group_of(ClassId cls) const { return schema_.group_name(cls); }
 
@@ -290,11 +302,17 @@ class PasoRuntime final : public GroupControl {
   void record_return(std::uint64_t history_id, bool has_history,
                      SearchResponse result);
 
+  /// Trace/metric helpers; all no-ops with observability disabled.
+  obs::TraceId trace_begin(const char* op);
+  void trace_finish(obs::TraceId trace, const char* status,
+                    sim::SimTime issued_at);
+
   MachineId self_;
   const Schema& schema_;
   vsync::GroupService& groups_;
   MemoryServer& server_;
   RuntimeConfig config_;
+  obs::Obs obs_;
   vsync::GcastBatcher batcher_;
   semantics::HistoryRecorder* history_;
   std::unique_ptr<ReplicationPolicy> policy_;

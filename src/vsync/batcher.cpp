@@ -19,17 +19,42 @@ void GcastBatcher::gcast_to(const GroupName& group, Payload message,
                      std::move(on_response));
     return;
   }
+  const sim::SimTime now = simulator().now();
   RouteKey key{group, std::move(preferred), max_targets};
   RouteQueue& queue = queues_[key];
-  queue.ops.push_back(
-      PendingOp{std::move(message), std::move(tag), std::move(on_response)});
+  std::vector<obs::TraceId> traces;
+  if (obs_.tracer != nullptr) traces = obs_.tracer->context();
+  queue.ops.push_back(PendingOp{std::move(message), std::move(tag),
+                                std::move(on_response), std::move(traces),
+                                now});
+  if (obs_.tracer != nullptr) {
+    for (obs::TraceId t : queue.ops.back().traces) {
+      obs_.tracer->span(t, obs::SpanKind::kEnqueue, self_, now, {},
+                        static_cast<double>(queue.ops.size()));
+    }
+  }
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->counter("batcher.enqueued", self_).inc();
+    obs_.metrics->gauge("batcher.queue_depth", self_)
+        .set(static_cast<double>(queued()));
+  }
   if (queue.ops.size() >= options_.max_batch) {
     flush(key);
     return;
   }
-  const sim::SimTime now = simulator().now();
+  if (latest_dispatch <= now) {
+    // The op's dispatch deadline has already arrived (typically a robust
+    // retry whose remaining budget is gone). Parking it behind a timer at
+    // `now` would add a spurious event hop before it moves; dispatch the
+    // route synchronously instead.
+    if (obs_.metrics != nullptr) {
+      obs_.metrics->counter("batcher.deadline_flushes", self_).inc();
+    }
+    flush(key);
+    return;
+  }
   sim::SimTime due = std::min(queue.due, now + options_.window);
-  due = std::min(due, std::max(latest_dispatch, now));
+  due = std::min(due, latest_dispatch);
   if (due < queue.due) {
     queue.due = due;
     if (queue.timer) simulator().cancel(*queue.timer);
@@ -45,9 +70,27 @@ void GcastBatcher::flush(const RouteKey& key) {
   if (it->second.timer) simulator().cancel(*it->second.timer);
   queues_.erase(it);
 
+  const sim::SimTime now = simulator().now();
+  std::vector<obs::TraceId> batch_traces;
+  for (const PendingOp& op : ops) {
+    batch_traces.insert(batch_traces.end(), op.traces.begin(),
+                        op.traces.end());
+  }
+  if (obs_.metrics != nullptr) {
+    auto& waits = obs_.metrics->histogram(
+        "batcher.window_wait", self_, {0, 1, 5, 10, 25, 50, 100, 250});
+    for (const PendingOp& op : ops) waits.observe(now - op.enqueued_at);
+    obs_.metrics
+        ->histogram("batcher.batch_size", self_, {1, 2, 4, 8, 16, 32})
+        .observe(static_cast<double>(ops.size()));
+    obs_.metrics->gauge("batcher.queue_depth", self_)
+        .set(static_cast<double>(queued()));
+  }
+
   if (ops.size() == 1) {
     // A lone op pays no batch framing: dispatch it as itself.
     PendingOp& op = ops.front();
+    obs::OpTracer::Scope scope(obs_.tracer, op.traces);
     groups_.gcast_to(key.group, self_, std::move(op.message),
                      std::move(op.tag), key.preferred, key.max_targets,
                      std::move(op.on_response));
@@ -60,6 +103,12 @@ void GcastBatcher::flush(const RouteKey& key) {
   Payload combined = combiner_(payloads);
   ++batches_;
   batched_ops_ += ops.size();
+  if (obs_.tracer != nullptr) {
+    for (obs::TraceId t : batch_traces) {
+      obs_.tracer->span(t, obs::SpanKind::kCoalesce, self_, now, {},
+                        static_cast<double>(ops.size()));
+    }
+  }
 
   // The wrapper splits the gathered batch response back into per-op
   // responses. `ops` moves into the closure so each op's callback survives
@@ -73,6 +122,7 @@ void GcastBatcher::flush(const RouteKey& key) {
       if (ops[i].on_response) ops[i].on_response(std::move(slots[i]));
     }
   };
+  obs::OpTracer::Scope scope(obs_.tracer, batch_traces);
   groups_.gcast_to(key.group, self_, std::move(combined), "batch",
                    key.preferred, key.max_targets, std::move(fan_out));
 }

@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "vsync/group_service.hpp"
 
 namespace paso::vsync {
@@ -98,12 +99,24 @@ class GcastBatcher {
   std::uint64_t batches() const { return batches_; }
   /// Ops that traveled inside those multi-op gcasts.
   std::uint64_t batched_ops() const { return batched_ops_; }
+  /// Ops currently parked across all route queues.
+  std::size_t queued() const {
+    std::size_t n = 0;
+    for (const auto& [key, queue] : queues_) n += queue.ops.size();
+    return n;
+  }
+
+  void set_obs(obs::Obs o) { obs_ = o; }
 
  private:
   struct PendingOp {
     Payload message;
     std::string tag;
     GroupService::ResponseCallback on_response;
+    /// Traces riding on this op, captured from the tracer context at enqueue
+    /// so the eventual (often timer-driven) dispatch re-attributes correctly.
+    std::vector<obs::TraceId> traces;
+    sim::SimTime enqueued_at = 0;
   };
   /// Ops may only combine when they'd produce the very same gcast routing.
   struct RouteKey {
@@ -124,6 +137,7 @@ class GcastBatcher {
   GroupService& groups_;
   MachineId self_;
   BatcherOptions options_;
+  obs::Obs obs_;
   Combiner combiner_;
   Splitter splitter_;
   std::map<RouteKey, RouteQueue> queues_;

@@ -88,6 +88,7 @@ void GroupService::gcast_to(const GroupName& name, MachineId issuer,
   op->gcast.on_response = std::move(on_response);
   op->gcast.preferred = std::move(preferred);
   op->gcast.max_targets = max_targets;
+  if (obs_.tracer != nullptr) op->gcast.traces = obs_.tracer->context();
   group_record(name).queue.push_back(std::move(op));
   pump(name);
 }
@@ -161,6 +162,14 @@ void GroupService::dispatch_gcast(const GroupName& name, Op& op) {
   }
   g.pending_acks = g.targets;
   const std::uint64_t op_id = op.id;
+  if (obs_.tracer != nullptr) {
+    for (const obs::TraceId t : g.traces) {
+      obs_.tracer->span(t, obs::SpanKind::kDispatch, g.issuer,
+                        network_.simulator().now(), g.tag,
+                        static_cast<double>(g.targets.size()));
+    }
+  }
+  obs::OpTracer::Scope scope(obs_.tracer, g.traces);
   for (const MachineId member : g.targets) {
     network_.send(g.issuer, member, g.tag, g.message.bytes,
                   [this, name, op_id, member] {
@@ -185,9 +194,19 @@ void GroupService::schedule_retransmit(const GroupName& name,
     // Members that already processed it re-ack without re-processing
     // (member_deliver dedups on `results`), so delivery stays exactly-once
     // even though transmission is at-least-once.
+    obs::OpTracer::Scope scope(obs_.tracer, g.traces);
     for (const MachineId member : g.pending_acks) {
       if (!network_.is_up(member)) continue;
       ++retransmits_;
+      if (obs_.metrics != nullptr) {
+        obs_.metrics->counter("vsync.retransmits").inc();
+      }
+      if (obs_.tracer != nullptr) {
+        for (const obs::TraceId t : g.traces) {
+          obs_.tracer->span(t, obs::SpanKind::kRetry, g.issuer,
+                            network_.simulator().now(), "retransmit");
+        }
+      }
       network_.send(g.issuer, member, g.tag, g.message.bytes,
                     [this, name, op_id, member] {
                       member_deliver(name, op_id, member);
@@ -212,9 +231,21 @@ void GroupService::member_deliver(const GroupName& name, std::uint64_t op_id,
 
   GroupEndpoint* endpoint = endpoints_[member.value];
   PASO_REQUIRE(endpoint != nullptr, "member without endpoint");
-  GcastResult result = endpoint->handle_gcast(name, g.message);
+  GcastResult result;
+  {
+    // Marker notifications and other sends the server makes while serving
+    // count against the ops this gcast carries.
+    obs::OpTracer::Scope scope(obs_.tracer, g.traces);
+    result = endpoint->handle_gcast(name, g.message);
+  }
   network_.ledger().charge_work(member, result.processing);
   const Cost processing = result.processing;
+  if (obs_.tracer != nullptr) {
+    for (const obs::TraceId t : g.traces) {
+      obs_.tracer->span(t, obs::SpanKind::kServe, member,
+                        network_.simulator().now(), {}, processing);
+    }
+  }
   g.results.emplace(member, std::move(result));
 
   // After processing, the member sends an empty done-ack to the leader
@@ -232,6 +263,11 @@ void GroupService::send_ack(const GroupName& name, std::uint64_t op_id,
   if (!network_.is_up(member)) return;  // crashed before acking
   const View view = view_of(name);
   const MachineId leader = view.empty() ? member : view.leader();
+  const Op* op = active_op(name, op_id);
+  obs::OpTracer::Scope scope(
+      obs_.tracer, op != nullptr && op->kind == Op::Kind::kGcast
+                       ? op->gcast.traces
+                       : std::vector<obs::TraceId>{});
   network_.send(member, leader, "gcast-ack", 0, [this, name, op_id, member] {
     member_acked(name, op_id, member);
   });
@@ -267,6 +303,14 @@ void GroupService::maybe_complete_gcast(const GroupName& name, Op& op) {
     responder = view.leader();
   }
   if (network_.is_up(g.issuer)) {
+    if (obs_.tracer != nullptr) {
+      for (const obs::TraceId t : g.traces) {
+        obs_.tracer->span(t, obs::SpanKind::kResponse, responder,
+                          network_.simulator().now(), {},
+                          static_cast<double>(bytes));
+      }
+    }
+    obs::OpTracer::Scope scope(obs_.tracer, g.traces);
     auto cb = std::move(g.on_response);
     network_.send(responder, g.issuer, g.tag + "/resp", bytes,
                   [cb = std::move(cb), body = std::move(body)] {
@@ -306,12 +350,17 @@ void GroupService::dispatch_join(const GroupName& name, Op& op) {
   const MachineId donor = view.leader();
   j.donor = donor;
   j.transfer_in_flight = true;
+  if (j.started_at < 0) j.started_at = network_.simulator().now();
   GroupEndpoint* donor_ep = endpoints_[donor.value];
   PASO_REQUIRE(donor_ep != nullptr, "donor without endpoint");
   StateBlob blob = donor_ep->capture_state(name);
   const Cost copy_cost =
       options_.install_cost_per_byte * static_cast<Cost>(blob.bytes);
   network_.ledger().charge_work(donor, copy_cost);
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->counter("vsync.state_transfers").inc();
+    obs_.metrics->counter("vsync.state_transfer_bytes").inc(blob.bytes);
+  }
 
   const std::uint64_t op_id = op.id;
   network_.send(
@@ -342,6 +391,12 @@ void GroupService::finish_join(const GroupName& name, Op& op) {
     // Joiner crashed between transfer and installation.
     complete_active(name);
     return;
+  }
+  if (obs_.metrics != nullptr && j.started_at >= 0) {
+    obs_.metrics
+        ->histogram("vsync.state_transfer_duration",
+                    {10, 50, 100, 500, 1000, 5000, 10000})
+        .observe(network_.simulator().now() - j.started_at);
   }
   std::vector<MachineId> members = view_of(name).members;
   members.push_back(j.joiner);
@@ -374,6 +429,9 @@ void GroupService::install_view(const GroupName& name,
   Group& group = group_record(name);
   group.view.members = std::move(members);
   group.view.id = ViewId{next_view_id_++};
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->counter("vsync.view_changes").inc();
+  }
   PASO_TRACE("vsync") << "group " << name << " view " << group.view;
   const View installed = group.view;  // listeners may mutate groups_
   for (const MachineId member : installed.members) {

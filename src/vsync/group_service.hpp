@@ -37,6 +37,7 @@
 
 #include "common/ids.hpp"
 #include "net/bus_network.hpp"
+#include "obs/obs.hpp"
 #include "vsync/endpoint.hpp"
 #include "vsync/view.hpp"
 
@@ -135,6 +136,8 @@ class GroupService {
   /// Messages re-sent by the ack-timeout retransmission machinery.
   std::uint64_t retransmits() const { return retransmits_; }
 
+  void set_obs(obs::Obs o) { obs_ = o; }
+
  private:
   struct GcastOp {
     MachineId issuer;
@@ -149,12 +152,17 @@ class GroupService {
     std::set<MachineId> pending_acks;
     std::map<MachineId, GcastResult> results;
     bool dispatched = false;
+    /// Traces riding on this gcast (a batch carries one per member op),
+    /// captured from the tracer context at enqueue; dispatch/serve/response
+    /// sends re-establish them so later-event cost lands on the right ops.
+    std::vector<obs::TraceId> traces;
   };
   struct JoinOp {
     MachineId joiner;
     CompletionCallback done;
     bool transfer_in_flight = false;
     MachineId donor;
+    sim::SimTime started_at = -1;
   };
   struct LeaveOp {
     MachineId leaver;
@@ -194,6 +202,7 @@ class GroupService {
 
   net::BusNetwork& network_;
   Options options_;
+  obs::Obs obs_;
   std::map<GroupName, Group> groups_;
   std::vector<GroupEndpoint*> endpoints_;
   std::vector<ViewListener> view_listeners_;

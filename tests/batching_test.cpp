@@ -108,6 +108,43 @@ TEST(BatchingTest, BatchingReducesMsgCostOnABurst) {
       << "batching saved less than a third of the burst's msg-cost";
 }
 
+TEST(BatchingTest, DeadlineAlreadyDueDispatchesSynchronously) {
+  ClusterConfig cfg;
+  cfg.machines = 4;
+  cfg.runtime.batch_window = 100;
+  Cluster cluster(task_schema(), cfg);
+  cluster.assign_basic_support();
+  PasoRuntime& home = cluster.runtime(MachineId{3});
+  const std::string group = cluster.schema().group_name(ClassId{0});
+  const auto payload_for = [&](std::uint64_t seq) {
+    PasoObject object;
+    object.id = ObjectId{cluster.process(MachineId{3}), seq};
+    object.fields = task(static_cast<std::int64_t>(seq));
+    StoreMsg msg{ClassId{0}, object};
+    const std::size_t bytes = msg.wire_size();
+    return vsync::Payload{ServerMessage{std::move(msg)}, bytes};
+  };
+
+  // An op whose latest_dispatch has already arrived (a deadline-driven retry
+  // re-issued at or past its cap) must go out synchronously. The regression:
+  // the window clamp parked it behind a timer scheduled at `now`, so it sat
+  // queued — and collected later ops into its batch — until the simulator
+  // processed another event.
+  home.batcher().gcast(group, payload_for(900), "store", {},
+                       cluster.simulator().now());
+  EXPECT_EQ(home.batcher().queued(), 0u)
+      << "due op parked behind a timer instead of dispatching";
+  EXPECT_EQ(cluster.ledger().per_tag().count("store"), 1u)
+      << "store gcast never left the machine synchronously";
+
+  // Companion: the same op with no deadline waits out the window.
+  home.batcher().gcast(group, payload_for(901), "store");
+  EXPECT_EQ(home.batcher().queued(), 1u);
+  cluster.settle();
+  EXPECT_EQ(home.batcher().queued(), 0u);
+  EXPECT_EQ(cluster.server(MachineId{0}).live_count(ClassId{0}), 2u);
+}
+
 TEST(BatchingTest, OpsInOneBatchApplyInIssueOrder) {
   ClusterConfig cfg;
   cfg.machines = 4;

@@ -185,5 +185,38 @@ TEST(BlockingMarkerTest, CancelledMarkersDoNotFireAgain) {
   EXPECT_EQ(completions, 1);
 }
 
+TEST(BlockingMarkerTest, ExpiredMarkersAreSweptWithoutFurtherTraffic) {
+  ClusterConfig cfg;
+  cfg.machines = 4;
+  cfg.lambda = 1;
+  cfg.runtime.marker_ttl = 200;
+  Cluster cluster(task_schema(), cfg);
+  cluster.assign_basic_support();
+
+  const ProcessId reader = cluster.process(MachineId{3});
+  cluster.runtime(reader.machine)
+      .read_blocking(reader, by_key(1), [](SearchResponse) {},
+                     BlockingMode::kMarker, 1e9);
+  cluster.settle_for(100);  // markers placed, TTL not yet expired
+  const auto support = cluster.basic_support(ClassId{0});
+  std::size_t placed = 0;
+  for (const MachineId m : support) {
+    placed += cluster.server(m).marker_count(ClassId{0});
+  }
+  ASSERT_GT(placed, 0u) << "blocking read never placed markers";
+
+  // The owner dies, so no cancel and no TTL re-arm will ever arrive — and
+  // from here on NOTHING else touches the class. The regression: expired
+  // markers were only swept from the place/cancel/capture paths, so a class
+  // whose only traffic was the blocked op itself hoarded them forever. The
+  // holders' sweep timers must reclaim them on TTL expiry alone.
+  cluster.crash(MachineId{3});
+  cluster.settle();
+  for (const MachineId m : support) {
+    EXPECT_EQ(cluster.server(m).marker_count(ClassId{0}), 0u)
+        << "expired marker hoarded on machine " << m.value;
+  }
+}
+
 }  // namespace
 }  // namespace paso

@@ -56,10 +56,14 @@ struct RunResult {
   int reports = 0;
   int timeouts = 0;
   int degraded = 0;
+  double traced_cost = 0;
+  double untraced_cost = 0;
+  std::uint64_t spans = 0;
   std::vector<std::string> violations;
 };
 
-RunResult run_chaos(std::uint64_t seed, Workload workload) {
+RunResult run_chaos(std::uint64_t seed, Workload workload,
+                    bool observe = false) {
   ClusterConfig cfg;
   cfg.machines = kMachines;
   cfg.lambda = 2;
@@ -71,6 +75,7 @@ RunResult run_chaos(std::uint64_t seed, Workload workload) {
   // surviving crashes, drop windows and recovery epochs.
   cfg.runtime.batch_window = 40;
   cfg.runtime.max_batch = 8;
+  cfg.observe = observe;
   Cluster cluster(task_schema(), cfg);
   cluster.assign_basic_support();
 
@@ -158,6 +163,11 @@ RunResult run_chaos(std::uint64_t seed, Workload workload) {
   out.violations =
       semantics::check_history(cluster.history(), cluster.run_context())
           .violations;
+  if (observe) {
+    out.traced_cost = cluster.tracer().traced_msg_cost();
+    out.untraced_cost = cluster.tracer().untraced_msg_cost();
+    out.spans = cluster.tracer().events().size();
+  }
   return out;
 }
 
@@ -204,6 +214,32 @@ TEST(ChaosDeterminismTest, SameSeedReplaysIdenticalTimelineAndLedger) {
       EXPECT_EQ(a.retries, b.retries);
       EXPECT_EQ(a.reports, b.reports);
       EXPECT_EQ(a.timeouts, b.timeouts);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Observability under chaos: tracing is pure observation, and its message
+// records partition the ledger's cost exactly — nothing lost to a crash,
+// retransmission or re-route, nothing double-counted by a shared batch.
+
+TEST(ChaosObservabilityTest, TraceRecordsReconcileWithLedgerExactly) {
+  for (const std::uint64_t seed : {5ull, 23ull, 41ull}) {
+    for (const Workload w :
+         {Workload::kBagOfTasks, Workload::kKv, Workload::kCoordination}) {
+      const RunResult base = run_chaos(seed, w);
+      const RunResult traced = run_chaos(seed, w, /*observe=*/true);
+      // Observation must not perturb the run: same timeline, same ledger.
+      EXPECT_EQ(base.timeline, traced.timeline)
+          << "seed " << seed << " workload " << workload_name(w);
+      EXPECT_EQ(base.msg_cost, traced.msg_cost);
+      EXPECT_EQ(base.history_size, traced.history_size);
+      // Every charged transmission is in exactly one bucket.
+      EXPECT_EQ(traced.traced_cost + traced.untraced_cost, traced.msg_cost)
+          << "seed " << seed << " workload " << workload_name(w)
+          << ": cost lost or double-counted";
+      EXPECT_GT(traced.traced_cost, 0.0) << "no message attributed to any op";
+      EXPECT_GT(traced.spans, 0u);
     }
   }
 }

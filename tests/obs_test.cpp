@@ -1,0 +1,251 @@
+// Observability layer: metrics registry semantics (scoping, crash erasure),
+// OpTracer context attribution, the JSONL export round-trip, and end-to-end
+// trace-id propagation through a batched gcast with exact CostLedger
+// reconciliation.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "paso/cluster.hpp"
+
+namespace paso {
+namespace {
+
+Schema task_schema() {
+  return Schema({
+      ClassSpec{"task", {FieldType::kInt, FieldType::kText}, 0, 1},
+  });
+}
+
+Tuple task(std::int64_t key) { return {Value{key}, Value{std::string("v")}}; }
+
+TEST(MetricsRegistryTest, CounterAndGaugeSemantics) {
+  obs::MetricsRegistry reg;
+  reg.counter("ops").inc();
+  reg.counter("ops").inc(4);
+  EXPECT_EQ(reg.counter("ops").value, 5u);
+
+  // Machine scope and cluster scope are distinct metrics under one name.
+  reg.counter("ops", MachineId{2}).inc(3);
+  EXPECT_EQ(reg.counter("ops").value, 5u);
+  EXPECT_EQ(reg.counter("ops", MachineId{2}).value, 3u);
+
+  reg.gauge("depth").set(7);
+  reg.gauge("depth").add(-2.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("depth").value, 4.5);
+
+  // References are stable: hot paths resolve once and keep the handle.
+  obs::Counter& cached = reg.counter("ops");
+  reg.counter("unrelated.a").inc();
+  reg.counter("unrelated.b").inc();
+  cached.inc();
+  EXPECT_EQ(reg.counter("ops").value, 6u);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsCountAndSum) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("lat", {10, 20});
+  h.observe(10);  // at the bound: first bucket (<= 10)
+  h.observe(15);
+  h.observe(25);  // past every bound: overflow
+  ASSERT_EQ(h.buckets().size(), 3u);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[2], 1u);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 50.0);
+
+  // Bounds apply on first creation only; later lookups reuse the metric.
+  EXPECT_EQ(reg.histogram("lat", {1, 2, 3}).count(), 3u);
+
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.buckets()[1], 0u);
+}
+
+TEST(MetricsRegistryTest, CrashErasesMachineScopeAndCountsRestarts) {
+  obs::MetricsRegistry reg;
+  obs::Counter& victim = reg.counter("server.stores", MachineId{2});
+  obs::Counter& bystander = reg.counter("server.stores", MachineId{1});
+  obs::Counter& global = reg.counter("total.stores");
+  obs::Gauge& depth = reg.gauge("server.depth", MachineId{2});
+  obs::Histogram& lat = reg.histogram("server.lat", MachineId{2}, {1, 10});
+  victim.inc(7);
+  bystander.inc(2);
+  global.inc(9);
+  depth.set(3);
+  lat.observe(5);
+
+  reg.on_machine_crash(MachineId{2});
+
+  // The crashed machine's metrics die with its memory; everything else —
+  // including the same name on another machine — survives.
+  EXPECT_EQ(victim.value, 0u);
+  EXPECT_DOUBLE_EQ(depth.value, 0.0);
+  EXPECT_EQ(lat.count(), 0u);
+  EXPECT_EQ(bystander.value, 2u);
+  EXPECT_EQ(global.value, 9u);
+  EXPECT_EQ(reg.restarts(), 1u);
+
+  // Registrations are kept, so handles cached before the crash stay valid.
+  victim.inc();
+  EXPECT_EQ(reg.counter("server.stores", MachineId{2}).value, 1u);
+}
+
+TEST(ObsExportTest, JsonlRoundTripsThroughTheParser) {
+  obs::MetricsRegistry reg;
+  reg.counter("ops", MachineId{1}).inc(3);
+  reg.gauge("depth").set(2.5);
+  reg.histogram("lat", {1, 10}).observe(4);
+
+  std::ostringstream os;
+  reg.write_jsonl(os);
+  std::istringstream is(os.str());
+  const auto rows = obs::read_json_rows(is);
+  ASSERT_EQ(rows.size(), 3u);
+
+  for (const auto& row : rows) {
+    ASSERT_TRUE(row.has("metric"));
+    const std::string name = row.str("metric");
+    if (name == "ops") {
+      EXPECT_EQ(row.str("type"), "counter");
+      EXPECT_DOUBLE_EQ(row.num("machine"), 1.0);
+      EXPECT_DOUBLE_EQ(row.num("value"), 3.0);
+    } else if (name == "depth") {
+      EXPECT_EQ(row.str("type"), "gauge");
+      EXPECT_DOUBLE_EQ(row.num("machine"), -1.0);
+      EXPECT_DOUBLE_EQ(row.num("value"), 2.5);
+    } else if (name == "lat") {
+      EXPECT_EQ(row.str("type"), "histogram");
+      EXPECT_EQ(row.array("bounds"), (std::vector<double>{1, 10}));
+      EXPECT_EQ(row.array("buckets"), (std::vector<double>{0, 1, 0}));
+      EXPECT_DOUBLE_EQ(row.num("sum"), 4.0);
+    } else {
+      ADD_FAILURE() << "unexpected metric row: " << name;
+    }
+  }
+}
+
+TEST(OpTracerTest, ScopeReplacesContextAndAttributesMessages) {
+  obs::OpTracer tracer;
+  const obs::TraceId a = tracer.begin("insert", MachineId{0}, 1);
+  const obs::TraceId b = tracer.begin("read", MachineId{1}, 2);
+  {
+    obs::OpTracer::Scope outer(&tracer, a);
+    tracer.record_message("store", 10, 10, 10, 3);
+    {
+      // Inner work belongs to b alone — the scope REPLACES the context, it
+      // does not stack a's id on top.
+      obs::OpTracer::Scope inner(&tracer, b);
+      tracer.record_message("mem-read", 5, 10, 5, 4);
+    }
+    tracer.record_message("store", 10, 10, 10, 5);
+  }
+  tracer.record_message("heartbeat", 1, 10, 1, 6);  // no context: untraced
+
+  ASSERT_EQ(tracer.messages().size(), 4u);
+  EXPECT_EQ(tracer.messages()[0].traces, std::vector<obs::TraceId>{a});
+  EXPECT_EQ(tracer.messages()[1].traces, std::vector<obs::TraceId>{b});
+  EXPECT_EQ(tracer.messages()[2].traces, std::vector<obs::TraceId>{a});
+  EXPECT_TRUE(tracer.messages()[3].traces.empty());
+  EXPECT_DOUBLE_EQ(tracer.traced_msg_cost(), 55.0);
+  EXPECT_DOUBLE_EQ(tracer.untraced_msg_cost(), 11.0);
+
+  tracer.finish(a, "ok", MachineId{0}, 7);
+  tracer.clear();
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_TRUE(tracer.messages().empty());
+  // Ids stay unique across clear(): the next trace does not reuse a or b.
+  EXPECT_GT(tracer.begin("read", MachineId{0}, 8), b);
+}
+
+TEST(ObsClusterTest, TraceIdsPropagateThroughABatchedGcast) {
+  ClusterConfig cfg;
+  cfg.machines = 4;
+  cfg.runtime.batch_window = 50;
+  cfg.runtime.max_batch = 8;
+  cfg.observe = true;
+  Cluster cluster(task_schema(), cfg);
+  cluster.assign_basic_support();
+  PasoRuntime& home = cluster.runtime(MachineId{3});
+  const ProcessId driver = cluster.process(MachineId{3});
+
+  std::size_t done = 0;
+  for (std::int64_t key = 0; key < 4; ++key) {
+    home.insert(driver, task(key), [&done] { ++done; });
+  }
+  cluster.settle();
+  ASSERT_EQ(done, 4u);
+
+  obs::OpTracer& tracer = cluster.tracer();
+  std::set<obs::TraceId> inserts;
+  std::set<obs::TraceId> finished;
+  for (const auto& e : tracer.events()) {
+    if (e.kind == obs::SpanKind::kIssue && e.note == "insert") {
+      inserts.insert(e.trace);
+    }
+    if (e.kind == obs::SpanKind::kFinish) finished.insert(e.trace);
+  }
+  EXPECT_EQ(inserts.size(), 4u);
+  for (const obs::TraceId t : inserts) {
+    EXPECT_TRUE(finished.count(t)) << "insert trace " << t << " never finished";
+  }
+
+  // The four inserts coalesced: the batch gcast's bus messages must list
+  // every member op's trace id, not just the head-of-queue op's.
+  bool saw_batch = false;
+  for (const auto& m : tracer.messages()) {
+    if (m.tag != "batch") continue;
+    saw_batch = true;
+    EXPECT_EQ(m.traces.size(), 4u);
+    for (const obs::TraceId t : m.traces) {
+      EXPECT_TRUE(inserts.count(t)) << "batch message carries alien trace";
+    }
+  }
+  EXPECT_TRUE(saw_batch) << "burst never coalesced into a batch gcast";
+
+  // Every charged transmission since construction landed in exactly one of
+  // the traced/untraced buckets: the partition reconciles with the ledger.
+  EXPECT_DOUBLE_EQ(tracer.traced_msg_cost() + tracer.untraced_msg_cost(),
+                   cluster.ledger().total_msg_cost());
+
+  // The metric side rode along.
+  EXPECT_EQ(cluster.metrics().counter("runtime.ops.insert", MachineId{3}).value,
+            4u);
+  EXPECT_GT(cluster.metrics().counter("net.messages").value, 0u);
+  EXPECT_GT(cluster.metrics().counter("batcher.enqueued", MachineId{3}).value,
+            0u);
+}
+
+TEST(ObsClusterTest, ServerCrashErasesItsMetricsLikeItsMemory) {
+  ClusterConfig cfg;
+  cfg.machines = 4;
+  cfg.lambda = 1;
+  cfg.observe = true;
+  Cluster cluster(task_schema(), cfg);
+  cluster.assign_basic_support();  // wg(task) = {m0, m1}
+  const ProcessId driver = cluster.process(MachineId{3});
+  for (std::int64_t key = 0; key < 5; ++key) {
+    ASSERT_TRUE(cluster.insert_sync(driver, task(key)));
+  }
+  obs::Counter& stores =
+      cluster.metrics().counter("server.c0.stores", MachineId{0});
+  ASSERT_EQ(stores.value, 5u);
+
+  cluster.crash(MachineId{0});
+  EXPECT_EQ(stores.value, 0u) << "crash must erase the server's metrics";
+  EXPECT_EQ(cluster.metrics().restarts(), 1u);
+  EXPECT_EQ(cluster.metrics().counter("server.c0.stores", MachineId{1}).value,
+            5u)
+      << "surviving member's metrics must not be touched";
+}
+
+}  // namespace
+}  // namespace paso

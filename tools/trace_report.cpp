@@ -1,0 +1,207 @@
+// trace_report — per-operation cost breakdown from an observability sidecar.
+//
+// Reads the `{"span",...}` / `{"msg",...}` / `{"metric",...}` JSONL a bench
+// writes (bench_util::write_obs_sidecar), rebuilds each trace's timeline,
+// splits every charged bus message's alpha/beta cost equally across the
+// traces that shared it, and prints:
+//
+//   * a per-op-kind table: count, mean latency, mean alpha / beta share —
+//     the msg-cost(m) = alpha + beta|m| decomposition of Section 2 per
+//     primitive instead of per ledger tag,
+//   * anomalies by trace id: unfinished traces, non-ok finishes, retries,
+//     deadline expiries and view-change re-routes,
+//   * the reconciliation check: traced + untraced message cost must equal
+//     the ledger total recorded in the sidecar's `ledger.msg_cost` row.
+//
+// Exits 1 when the reconciliation fails (cost was lost or double-counted)
+// or the sidecar is unreadable — CI runs this after bench_adaptive_e2e.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+
+namespace {
+
+using paso::obs::JsonRow;
+
+struct TraceInfo {
+  std::string op;          // kIssue note: "insert", "read", ...
+  std::string status;      // kFinish note; empty = never finished
+  double issued_at = 0;
+  double finished_at = 0;
+  bool issued = false;
+  bool finished = false;
+  double alpha_share = 0;  // equal split of shared messages
+  double beta_share = 0;
+  int messages = 0;        // messages this trace had a share of
+  int retries = 0;
+  int deadlines = 0;
+  int reroutes = 0;
+  int coalesces = 0;
+};
+
+struct OpKindStats {
+  int count = 0;
+  double latency_sum = 0;
+  double alpha_sum = 0;
+  double beta_sum = 0;
+  double messages_sum = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: trace_report <sidecar.obs.jsonl>\n");
+    return 1;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "trace_report: cannot open %s\n", argv[1]);
+    return 1;
+  }
+  const std::vector<JsonRow> rows = paso::obs::read_json_rows(in);
+
+  std::map<std::uint64_t, TraceInfo> traces;
+  double traced_cost = 0;
+  double untraced_cost = 0;
+  std::uint64_t untraced_messages = 0;
+  double ledger_total = -1;
+
+  for (const JsonRow& row : rows) {
+    if (row.has("span")) {
+      const auto id = static_cast<std::uint64_t>(row.num("trace"));
+      TraceInfo& t = traces[id];
+      const std::string kind = row.str("span");
+      if (kind == "issue") {
+        t.issued = true;
+        t.op = row.str("note");
+        t.issued_at = row.num("at");
+      } else if (kind == "finish") {
+        t.finished = true;
+        t.status = row.str("note");
+        t.finished_at = row.num("at");
+      } else if (kind == "retry") {
+        ++t.retries;
+      } else if (kind == "deadline") {
+        ++t.deadlines;
+      } else if (kind == "reroute") {
+        ++t.reroutes;
+      } else if (kind == "coalesce") {
+        ++t.coalesces;
+      }
+    } else if (row.has("msg")) {
+      const double alpha = row.num("alpha");
+      const double beta = row.num("beta");
+      const std::vector<double> sharers = row.array("traces");
+      if (sharers.empty()) {
+        untraced_cost += alpha + beta;
+        ++untraced_messages;
+        continue;
+      }
+      traced_cost += alpha + beta;
+      const double n = static_cast<double>(sharers.size());
+      for (const double sharer : sharers) {
+        TraceInfo& t = traces[static_cast<std::uint64_t>(sharer)];
+        t.alpha_share += alpha / n;
+        t.beta_share += beta / n;
+        ++t.messages;
+      }
+    } else if (row.has("metric") && row.str("metric") == "ledger.msg_cost") {
+      ledger_total = row.num("value");
+    }
+  }
+
+  // --- per-op-kind breakdown -------------------------------------------------
+  std::map<std::string, OpKindStats> by_kind;
+  for (const auto& [id, t] : traces) {
+    (void)id;
+    if (!t.issued) continue;
+    OpKindStats& s = by_kind[t.op];
+    ++s.count;
+    if (t.finished) s.latency_sum += t.finished_at - t.issued_at;
+    s.alpha_sum += t.alpha_share;
+    s.beta_sum += t.beta_share;
+    s.messages_sum += t.messages;
+  }
+
+  std::printf("per-op cost breakdown (%s)\n", argv[1]);
+  std::printf("%-20s %8s %10s %10s %10s %8s\n", "op", "count", "latency",
+              "alpha", "beta", "msgs");
+  std::printf("%s\n", std::string(70, '-').c_str());
+  for (const auto& [op, s] : by_kind) {
+    const double n = s.count > 0 ? s.count : 1;
+    std::printf("%-20s %8d %10.1f %10.2f %10.2f %8.2f\n", op.c_str(), s.count,
+                s.latency_sum / n, s.alpha_sum / n, s.beta_sum / n,
+                s.messages_sum / n);
+  }
+
+  // --- anomalies -------------------------------------------------------------
+  std::vector<std::string> anomalies;
+  for (const auto& [id, t] : traces) {
+    char line[160];
+    if (t.issued && !t.finished) {
+      std::snprintf(line, sizeof line, "trace %llu (%s): never finished",
+                    static_cast<unsigned long long>(id), t.op.c_str());
+      anomalies.push_back(line);
+    } else if (t.finished && t.status != "ok") {
+      std::snprintf(line, sizeof line, "trace %llu (%s): finished '%s'",
+                    static_cast<unsigned long long>(id), t.op.c_str(),
+                    t.status.c_str());
+      anomalies.push_back(line);
+    }
+    if (t.retries > 0) {
+      std::snprintf(line, sizeof line, "trace %llu (%s): %d retries",
+                    static_cast<unsigned long long>(id), t.op.c_str(),
+                    t.retries);
+      anomalies.push_back(line);
+    }
+    if (t.deadlines > 0) {
+      std::snprintf(line, sizeof line, "trace %llu (%s): deadline expired",
+                    static_cast<unsigned long long>(id), t.op.c_str());
+      anomalies.push_back(line);
+    }
+    if (t.reroutes > 0) {
+      std::snprintf(line, sizeof line,
+                    "trace %llu (%s): re-routed by %d view change(s)",
+                    static_cast<unsigned long long>(id), t.op.c_str(),
+                    t.reroutes);
+      anomalies.push_back(line);
+    }
+  }
+  std::printf("\nanomalies: %zu\n", anomalies.size());
+  const std::size_t shown = std::min<std::size_t>(anomalies.size(), 25);
+  for (std::size_t i = 0; i < shown; ++i) {
+    std::printf("  %s\n", anomalies[i].c_str());
+  }
+  if (anomalies.size() > shown) {
+    std::printf("  ... %zu more\n", anomalies.size() - shown);
+  }
+
+  // --- reconciliation --------------------------------------------------------
+  std::printf("\ntraced msg cost   %14.2f\n", traced_cost);
+  std::printf("untraced msg cost %14.2f  (%llu background messages)\n",
+              untraced_cost,
+              static_cast<unsigned long long>(untraced_messages));
+  const double total = traced_cost + untraced_cost;
+  if (ledger_total < 0) {
+    std::printf("ledger total      %14s  (no ledger.msg_cost row: skipped)\n",
+                "-");
+    return 0;
+  }
+  std::printf("ledger total      %14.2f\n", ledger_total);
+  const double scale = std::max({std::fabs(total), std::fabs(ledger_total), 1.0});
+  if (std::fabs(total - ledger_total) > 1e-6 * scale) {
+    std::printf("RECONCILIATION FAILED: traced+untraced=%.6f != ledger=%.6f\n",
+                total, ledger_total);
+    return 1;
+  }
+  std::printf("reconciliation: OK (traced + untraced == ledger total)\n");
+  return 0;
+}
