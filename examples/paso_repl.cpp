@@ -40,6 +40,7 @@ void print_help() {
       "  settle [duration]                  run the simulator\n"
       "  members                            write-group membership per class\n"
       "  stats                              cost ledger + latency summary\n"
+      "  persist-stats                      per-machine WAL/checkpoint totals\n"
       "  check                              run the semantics checker\n"
       "  help | quit\n";
 }
@@ -71,11 +72,14 @@ int main() {
   ClusterConfig config;
   config.machines = 6;
   config.lambda = 1;
+  // Durable disks on: a `crash` + `recover` here replays the machine's WAL
+  // and rejoins via a delta transfer — watch it with `persist-stats`.
+  config.persistence.enabled = true;
   Cluster cluster(std::move(schema), config);
   cluster.assign_basic_support();
   std::cout << "PASO repl: " << config.machines
             << " machines, lambda=" << config.lambda
-            << ". Type `help` for commands.\n";
+            << ", persistence on. Type `help` for commands.\n";
 
   std::string line;
   while (std::cout << "> " << std::flush, std::getline(std::cin, line)) {
@@ -168,6 +172,28 @@ int main() {
           std::cout << "  [" << tag << "] n=" << stats.messages
                     << " bytes=" << stats.bytes << " cost=" << stats.cost
                     << "\n";
+        }
+      } else if (cmd == "persist-stats") {
+        for (std::uint32_t m = 0; m < config.machines; ++m) {
+          auto& manager = cluster.persistence(MachineId{m});
+          const auto& s = manager.stats();
+          std::cout << "M" << m << ": appends=" << s.appends << " ("
+                    << s.append_bytes << "B) checkpoints=" << s.checkpoints
+                    << " compactions=" << s.compactions
+                    << " replays=" << s.replays << " ("
+                    << s.replayed_records << " records)"
+                    << " deltas=" << s.delta_captures << "/"
+                    << s.delta_refusals << " refused"
+                    << " corruptions=" << s.corruptions_detected << "\n";
+          for (std::uint32_t c = 0; c < cluster.schema().class_count(); ++c) {
+            const ClassId cls{c};
+            const std::size_t log = manager.log_bytes(cls);
+            const std::size_t ckpt = manager.checkpoint_bytes_on_disk(cls);
+            if (log == 0 && ckpt == 0) continue;
+            std::cout << "    c" << c << ": log=" << log << "B ckpt=" << ckpt
+                      << "B lsn=" << manager.durable_lsn(cls) << " epoch="
+                      << manager.checkpoint_epoch(cls) << "\n";
+          }
         }
       } else if (cmd == "check") {
         const auto result = semantics::check_history(cluster.history());

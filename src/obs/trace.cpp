@@ -26,6 +26,8 @@ const char* span_kind_name(SpanKind kind) {
       return "reroute";
     case SpanKind::kFinish:
       return "finish";
+    case SpanKind::kPersist:
+      return "persist";
   }
   return "?";
 }

@@ -50,6 +50,8 @@ enum class SpanKind {
   kDeadline,  ///< deadline expired before a definitive answer
   kReroute,   ///< view change re-routed the pending operation
   kFinish,    ///< operation resolved (note = status)
+  kPersist,   ///< durable-persistence event (note = append / checkpoint /
+              ///< replay / delta / full; value = bytes or records)
 };
 
 const char* span_kind_name(SpanKind kind);

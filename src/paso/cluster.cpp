@@ -28,8 +28,11 @@ Cluster::Cluster(Schema schema, ClusterConfig config)
 
   for (std::uint32_t m = 0; m < config_.machines; ++m) {
     const MachineId machine{m};
+    persistence_.push_back(std::make_unique<persist::PersistenceManager>(
+        machine, schema_, config_.persistence));
     servers_.push_back(std::make_unique<MemoryServer>(
         machine, schema_, config_.store_factory, *network_));
+    servers_.back()->set_persistence(persistence_.back().get());
     runtimes_.push_back(std::make_unique<PasoRuntime>(
         machine, schema_, *groups_, *servers_.back(), config_.runtime,
         config_.record_history ? &history_ : nullptr));
@@ -55,6 +58,7 @@ void Cluster::enable_observability() {
   const obs::Obs handle = obs_->handle();
   network_->set_obs(handle);
   groups_->set_obs(handle);
+  for (const auto& manager : persistence_) manager->set_obs(handle);
   for (const auto& server : servers_) server->set_obs(handle);
   for (const auto& runtime : runtimes_) runtime->set_obs(handle);
 }
@@ -99,6 +103,11 @@ PasoRuntime& Cluster::runtime(MachineId m) {
 MemoryServer& Cluster::server(MachineId m) {
   PASO_REQUIRE(m.value < servers_.size(), "unknown machine");
   return *servers_[m.value];
+}
+
+persist::PersistenceManager& Cluster::persistence(MachineId m) {
+  PASO_REQUIRE(m.value < persistence_.size(), "unknown machine");
+  return *persistence_[m.value];
 }
 
 // ---------------------------------------------------------------------------
@@ -148,6 +157,13 @@ void Cluster::crash(MachineId m) {
 
 void Cluster::recover(MachineId m, std::function<void()> initialized) {
   groups_->machine_recovered(m);
+  // With persistence on, the machine first rebuilds class state from its
+  // local checkpoint + log (cost already charged to its ledger row); the
+  // re-joins below start only after that replay time has elapsed, and each
+  // g-join then advertises the replayed durable position so the donor can
+  // ship a delta instead of the full state. Disabled, this is free and the
+  // recovery timeline is byte-identical to the non-persistent baseline.
+  const Cost replay_cost = servers_[m.value]->recover_from_disk();
   // Initialization phase: determine which groups this server belongs to —
   // the classes whose basic support contains it — and re-join them one by
   // one (Section 4.2). The machine counts as faulty until all joins finish.
@@ -177,8 +193,15 @@ void Cluster::recover(MachineId m, std::function<void()> initialized) {
       if (initialized) initialized();
     }
   };
-  for (const ClassId cls : to_join) {
-    runtimes_[m.value]->request_join(cls, note_done);
+  auto start_joins = [this, m, to_join, note_done] {
+    for (const ClassId cls : to_join) {
+      runtimes_[m.value]->request_join(cls, note_done);
+    }
+  };
+  if (replay_cost > 0) {
+    simulator_.schedule_after(replay_cost, std::move(start_joins));
+  } else {
+    start_joins();
   }
 }
 

@@ -18,6 +18,7 @@
 #include "paso/classes.hpp"
 #include "paso/memory_server.hpp"
 #include "paso/runtime.hpp"
+#include "persist/manager.hpp"
 #include "semantics/checker.hpp"
 #include "semantics/history.hpp"
 #include "sim/simulator.hpp"
@@ -41,6 +42,10 @@ struct ClusterConfig {
   /// them across every layer. Off by default: the stack then carries only
   /// null observability handles and behaves byte-for-byte like before.
   bool observe = false;
+  /// Durable persistence (per-machine WAL + checkpoints, delta state
+  /// transfer on re-join). Off by default: disabled runs perform no disk
+  /// I/O and reproduce the non-persistent baseline byte-for-byte.
+  persist::PersistenceConfig persistence{};
 };
 
 class Cluster {
@@ -59,6 +64,12 @@ class Cluster {
 
   PasoRuntime& runtime(MachineId m);
   MemoryServer& server(MachineId m);
+
+  /// The machine's persistence manager (always constructed; enabled per
+  /// `ClusterConfig::persistence`). Its disk survives crashes — only
+  /// `recover` reads it back.
+  persist::PersistenceManager& persistence(MachineId m);
+  bool persistence_enabled() const { return config_.persistence.enabled; }
 
   // --- observability ---------------------------------------------------------
   /// Switch telemetry on mid-life (idempotent; `ClusterConfig::observe` does
@@ -142,6 +153,9 @@ class Cluster {
   std::unique_ptr<net::BusNetwork> network_;
   std::unique_ptr<vsync::GroupService> groups_;
   semantics::HistoryRecorder history_;
+  /// Owned here, not by the servers: crash_reset wipes a server's memory,
+  /// but the machine's disk (and its stats) must survive into recovery.
+  std::vector<std::unique_ptr<persist::PersistenceManager>> persistence_;
   std::vector<std::unique_ptr<MemoryServer>> servers_;
   std::vector<std::unique_ptr<PasoRuntime>> runtimes_;
   std::vector<std::vector<MachineId>> basic_support_;

@@ -111,6 +111,12 @@ const char* chaos_kind_name(ChaosEvent::Kind kind) {
       return "delay";
     case ChaosEvent::Kind::kDrop:
       return "drop";
+    case ChaosEvent::Kind::kTornTail:
+      return "torn-tail";
+    case ChaosEvent::Kind::kCorruptRecord:
+      return "corrupt-record";
+    case ChaosEvent::Kind::kLostFsync:
+      return "lost-fsync";
   }
   return "?";
 }
@@ -162,6 +168,21 @@ ChaosSchedule ChaosSchedule::generate(std::uint64_t seed, std::size_t machines,
     if (!drop) {
       ev.extra_delay = 5 + rng.uniform01() * options.max_extra_delay;
     }
+    schedule.events.push_back(ev);
+  }
+
+  // Disk faults last: their draws extend the stream past everything above,
+  // so (seed, machines, pre-existing options) keep producing the exact
+  // timeline they always did when disk_fault_count is zero.
+  for (std::size_t i = 0; i < options.disk_fault_count; ++i) {
+    ChaosEvent ev;
+    const double kind_draw = rng.uniform01();
+    ev.kind = kind_draw < 1.0 / 3   ? ChaosEvent::Kind::kTornTail
+              : kind_draw < 2.0 / 3 ? ChaosEvent::Kind::kCorruptRecord
+                                    : ChaosEvent::Kind::kLostFsync;
+    ev.machine = rng.pick(candidates);
+    ev.at = rng.uniform01() * options.horizon * 0.8;
+    ev.salt = rng.uniform(0, std::numeric_limits<std::uint32_t>::max());
     schedule.events.push_back(ev);
   }
 
@@ -262,6 +283,34 @@ void ChaosEngine::apply(std::size_t index) {
       note(now, "delay to " + who + " until " + fmt_time(now + ev.duration) +
                     " +" + fmt_time(ev.extra_delay));
       return;
+    case ChaosEvent::Kind::kTornTail:
+    case ChaosEvent::Kind::kCorruptRecord:
+    case ChaosEvent::Kind::kLostFsync: {
+      const char* name = chaos_kind_name(ev.kind);
+      if (!cluster_.persistence_enabled()) {
+        ++skipped_;
+        note(now, std::string("skip ") + name + " " + who +
+                      " (persistence off)");
+        return;
+      }
+      using FaultKind = persist::PersistenceManager::FaultKind;
+      const FaultKind fault =
+          ev.kind == ChaosEvent::Kind::kTornTail ? FaultKind::kTornTail
+          : ev.kind == ChaosEvent::Kind::kCorruptRecord
+              ? FaultKind::kCorruptRecord
+              : FaultKind::kLostFsync;
+      const auto damage =
+          cluster_.persistence(machine).inject_fault(fault, ev.salt);
+      if (!damage) {
+        ++skipped_;
+        note(now,
+             std::string("skip ") + name + " " + who + " (nothing durable)");
+        return;
+      }
+      ++disk_faults_;
+      note(now, std::string(name) + " " + who + " (" + *damage + ")");
+      return;
+    }
   }
 }
 

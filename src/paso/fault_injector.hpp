@@ -75,12 +75,16 @@ struct ChaosEvent {
     kRecover,  ///< bring `machine` back through its initialization phase
     kDelay,    ///< messages *to* `machine` gain extra_delay until at+duration
     kDrop,     ///< messages *to* `machine` vanish on delivery until at+duration
+    kTornTail,       ///< chop bytes off a WAL tail on `machine`'s disk
+    kCorruptRecord,  ///< flip a byte inside a WAL on `machine`'s disk
+    kLostFsync,      ///< drop the last whole WAL record (write never landed)
   };
   Kind kind = Kind::kCrash;
   sim::SimTime at = 0;
   std::uint32_t machine = 0;
   sim::SimTime duration = 0;     ///< window length (kDelay / kDrop only)
   sim::SimTime extra_delay = 0;  ///< added latency (kDelay only)
+  std::uint64_t salt = 0;        ///< disk faults: picks the victim class/byte
 };
 
 const char* chaos_kind_name(ChaosEvent::Kind kind);
@@ -103,6 +107,11 @@ struct ChaosSchedule {
     sim::SimTime detection_delay = 50;
     /// Machines never crashed, dropped or delayed (e.g. the test driver's).
     std::set<std::uint32_t> immune;
+    /// Disk faults (torn tail / corrupt record / lost fsync) against
+    /// machines' durable files. Zero by default — and the draws for these
+    /// come after every pre-existing draw, so schedules generated without
+    /// disk faults are identical to what earlier versions produced.
+    std::size_t disk_fault_count = 0;
   };
 
   /// Deterministic: the same (seed, machines, options) always yields the
@@ -142,6 +151,7 @@ class ChaosEngine {
   std::uint64_t windows() const { return windows_; }
   std::uint64_t skipped() const { return skipped_; }
   std::uint64_t deferred() const { return deferred_; }
+  std::uint64_t disk_faults() const { return disk_faults_; }
   const ChaosSchedule& schedule() const { return schedule_; }
   /// Applied-event log, one line per decision, in virtual-time order.
   const std::vector<std::string>& log() const { return log_; }
@@ -162,6 +172,7 @@ class ChaosEngine {
   std::uint64_t windows_ = 0;
   std::uint64_t skipped_ = 0;
   std::uint64_t deferred_ = 0;
+  std::uint64_t disk_faults_ = 0;
 };
 
 }  // namespace paso

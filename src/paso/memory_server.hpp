@@ -26,6 +26,7 @@
 #include "obs/obs.hpp"
 #include "paso/classes.hpp"
 #include "paso/messages.hpp"
+#include "persist/manager.hpp"
 #include "storage/object_store.hpp"
 #include "vsync/endpoint.hpp"
 
@@ -63,6 +64,29 @@ class MemoryServer final : public vsync::GroupEndpoint {
                      const vsync::StateBlob& blob) override;
   void erase_state(const GroupName& group) override;
   void on_view_change(const GroupName& group, const vsync::View& view) override;
+  vsync::DurablePosition durable_position(const GroupName& group) override;
+  std::optional<vsync::StateBlob> capture_delta(
+      const GroupName& group, const vsync::DurablePosition& position) override;
+  bool install_delta(const GroupName& group,
+                     const vsync::StateBlob& blob) override;
+
+  // --- durable persistence (optional; see src/persist) ----------------------
+  /// Attach the machine's persistence manager (owned by the Cluster: the
+  /// disk survives the crashes that erase this server's memory).
+  void set_persistence(persist::PersistenceManager* manager) {
+    persist_ = manager;
+  }
+  persist::PersistenceManager* persistence() { return persist_; }
+
+  /// Rebuild class state from local checkpoint + log after a crash. Returns
+  /// the total replay cost (disk reads plus re-apply work), already charged
+  /// to this machine's ledger row; the caller delays re-joins by it.
+  Cost recover_from_disk();
+
+  /// Write a checkpoint of a class's current state now (policy checkpoints
+  /// happen automatically on the apply path). Returns the disk cost,
+  /// already charged. No-op without enabled persistence or class state.
+  Cost checkpoint_class(ClassId cls);
 
   // --- local fast path (Section 4.3: a member machine serves its own reads
   // locally, msg-cost 0, and charges Q(l) work) -----------------------------
@@ -90,6 +114,11 @@ class MemoryServer final : public vsync::GroupEndpoint {
   /// ObjectStore::match_probes.
   std::uint64_t marker_probes() const { return marker_probes_; }
 
+  /// Marker-sweep timers that fired against a class incarnation that no
+  /// longer exists (scheduled before a crash or leave, fired after). They
+  /// no-op; this counts them so tests can pin that down.
+  std::uint64_t stale_timer_hits() const { return stale_timer_hits_; }
+
   /// Crash: local memory is erased (Section 3.1), and with it this server's
   /// machine-scoped metrics — measurements are state, and state dies here.
   void crash_reset() {
@@ -115,6 +144,17 @@ class MemoryServer final : public vsync::GroupEndpoint {
   struct ClassState {
     std::unique_ptr<storage::ObjectStore> store;
     std::uint64_t next_age = 0;
+    /// Log sequence number of the last applied replicated mutation (stores,
+    /// removes and marker ops — everything delivered to the full write
+    /// group in total order, so every replica assigns identical lsns).
+    /// Maintained even without persistence: it costs nothing and keeps
+    /// state-transfer blobs position-stamped.
+    std::uint64_t lsn = 0;
+    /// Distinguishes this lifetime of the class from earlier ones on the
+    /// same machine. Timers capture it; a timer whose incarnation no longer
+    /// matches fired across a crash/leave boundary and must not touch the
+    /// reborn class.
+    std::uint64_t incarnation = 0;
     std::vector<Marker> markers;
     /// Marker index: markers whose criterion Exact-constrains some field are
     /// bucketed by (field, value hash); the rest go to the catch-all. An
@@ -138,18 +178,56 @@ class MemoryServer final : public vsync::GroupEndpoint {
   struct ClassSnapshot {
     std::vector<storage::StoredObject> objects;
     std::uint64_t next_age = 0;
+    std::uint64_t lsn = 0;
     std::vector<Marker> markers;
     std::unordered_set<ObjectId> applied_inserts;
     std::unordered_map<std::uint64_t, SearchResponse> remove_cache;
     std::deque<std::uint64_t> remove_cache_order;
+  };
+  /// A delta state-transfer blob: the donor's log suffix past the joiner's
+  /// durable position, plus the donor's live markers (transient state that
+  /// never reaches disk, so it always travels whole). The dedup tables need
+  /// no copy — replaying the suffix regrows them deterministically.
+  struct DeltaSnapshot {
+    std::uint64_t from_lsn = 0;
+    std::uint64_t to_lsn = 0;
+    std::uint64_t next_age = 0;  ///< donor's, to cross-check the replay
+    std::vector<persist::WalRecord> records;
+    std::vector<Marker> markers;
   };
 
   /// Cap on cached remove decisions per class (FIFO eviction). Retries only
   /// ever replay recent tokens, so a small bound suffices.
   static constexpr std::size_t kRemoveCacheCap = 4096;
 
+  /// How an operation is being applied. Replays re-execute the exact
+  /// delivered prefix, so they must neither fire hooks (the notifications
+  /// already happened in a previous life) nor re-log to the WAL they came
+  /// from; delta installs re-log (the joiner's own disk must catch up) but
+  /// stay silent otherwise.
+  enum class ApplyMode { kLive, kReplay, kDeltaInstall };
+
   ClassState& state_of(ClassId cls);
   std::optional<ClassId> class_of_group(const GroupName& group) const;
+
+  /// Advance the class lsn for one applied mutation and, when persistence
+  /// is on, append it to the WAL + run the checkpoint policy. Called for
+  /// every store / remove / marker op in every mode (replay included — the
+  /// lsn must track the stream), before the op mutates state.
+  void note_op(ClassId cls, ClassState& state, const ServerMessage& op,
+               Cost& processing);
+  /// Apply one WAL-recorded operation during replay or delta install.
+  void apply_replayed(ClassId cls, ClassState& state, const ServerMessage& op,
+                      Cost& processing);
+  /// Snapshot the class's current in-memory state as a checkpoint image.
+  persist::CheckpointImage checkpoint_image(ClassState& state) const;
+  /// Run the checkpoint policy (bytes-since-last / age) for the class,
+  /// folding any checkpoint's disk cost into `processing`.
+  void maybe_checkpoint(ClassId cls, ClassState& state, Cost& processing);
+  /// Schema signature lookup for the wire decoder.
+  std::vector<FieldType> signature_of(ClassId cls) const;
+  /// Record a kPersist span against the active trace context.
+  void persist_span(const char* what, double value);
 
   // Per-operation apply helpers: one replicated operation against one class,
   // accumulating server time into `processing`. handle_gcast dispatches lone
@@ -197,6 +275,10 @@ class MemoryServer final : public vsync::GroupEndpoint {
   UpdateHook update_hook_;
   ViewHook view_hook_;
   MarkerHook marker_hook_;
+  persist::PersistenceManager* persist_ = nullptr;
+  ApplyMode apply_mode_ = ApplyMode::kLive;
+  std::uint64_t next_incarnation_ = 1;
+  std::uint64_t stale_timer_hits_ = 0;
   std::uint64_t duplicates_refused_ = 0;
   std::uint64_t marker_probes_ = 0;
 };

@@ -1,0 +1,106 @@
+#include "persist/checkpoint.hpp"
+
+#include "common/bytes.hpp"
+#include "common/require.hpp"
+#include "paso/wire.hpp"
+#include "persist/wal.hpp"
+
+namespace paso::persist {
+
+namespace {
+
+void encode_id(ByteWriter& w, const ObjectId& id) {
+  w.u32(id.creator.machine.value);
+  w.u32(id.creator.ordinal);
+  w.u64(id.sequence);
+}
+
+ObjectId decode_id(ByteReader& r) {
+  ObjectId id;
+  id.creator.machine.value = r.u32();
+  id.creator.ordinal = r.u32();
+  id.sequence = r.u64();
+  return id;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_checkpoint(const CheckpointImage& image) {
+  ByteWriter w;
+  w.u64(image.epoch);
+  w.u64(image.lsn);
+  w.u64(image.next_age);
+  w.u32(static_cast<std::uint32_t>(image.objects.size()));
+  for (const storage::StoredObject& stored : image.objects) {
+    w.u64(stored.age);
+    wire::encode_object(w, stored.object);
+  }
+  w.u32(static_cast<std::uint32_t>(image.applied_inserts.size()));
+  for (const ObjectId& id : image.applied_inserts) encode_id(w, id);
+  w.u32(static_cast<std::uint32_t>(image.remove_cache.size()));
+  for (const auto& [token, response] : image.remove_cache) {
+    w.u64(token);
+    w.u8(response.has_value() ? 1 : 0);
+    if (response.has_value()) wire::encode_object(w, *response);
+  }
+  std::vector<std::uint8_t> body = w.take();
+  // Seal the image with the WAL checksum primitive (seeded by the lsn).
+  const std::uint32_t sum = wal_checksum(image.lsn, body);
+  ByteWriter tail;
+  tail.u32(sum);
+  const std::vector<std::uint8_t> sealed = tail.take();
+  body.insert(body.end(), sealed.begin(), sealed.end());
+  return body;
+}
+
+std::optional<CheckpointImage> decode_checkpoint(
+    const std::vector<std::uint8_t>& bytes,
+    const std::vector<FieldType>& signature) {
+  if (bytes.size() < 4) return std::nullopt;
+  std::vector<std::uint8_t> body(bytes.begin(), bytes.end() - 4);
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= std::uint32_t{bytes[bytes.size() - 4 + i]} << (8 * i);
+  }
+  // The checksum is seeded with the lsn, which sits at a fixed offset.
+  if (body.size() < 24) return std::nullopt;
+  std::uint64_t lsn = 0;
+  for (int i = 0; i < 8; ++i) lsn |= std::uint64_t{body[8 + i]} << (8 * i);
+  if (stored != wal_checksum(lsn, body)) return std::nullopt;
+  try {
+    ByteReader r(body);
+    CheckpointImage image;
+    image.epoch = r.u64();
+    image.lsn = r.u64();
+    image.next_age = r.u64();
+    const std::uint32_t objects = r.u32();
+    image.objects.reserve(objects);
+    for (std::uint32_t i = 0; i < objects; ++i) {
+      storage::StoredObject stored_obj;
+      stored_obj.age = r.u64();
+      stored_obj.object = wire::decode_object(r, signature);
+      image.objects.push_back(std::move(stored_obj));
+    }
+    const std::uint32_t inserts = r.u32();
+    image.applied_inserts.reserve(inserts);
+    for (std::uint32_t i = 0; i < inserts; ++i) {
+      image.applied_inserts.push_back(decode_id(r));
+    }
+    const std::uint32_t removes = r.u32();
+    image.remove_cache.reserve(removes);
+    for (std::uint32_t i = 0; i < removes; ++i) {
+      const std::uint64_t token = r.u64();
+      SearchResponse response;
+      if (r.u8() != 0) response = wire::decode_object(r, signature);
+      image.remove_cache.emplace_back(token, std::move(response));
+    }
+    if (!r.exhausted()) return std::nullopt;
+    return image;
+  } catch (const InvariantViolation&) {
+    // Checksum passed but the structure decodes past the end — treat as
+    // corruption, not a programming error: the bytes came off a faulty disk.
+    return std::nullopt;
+  }
+}
+
+}  // namespace paso::persist

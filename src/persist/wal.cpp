@@ -1,0 +1,60 @@
+#include "persist/wal.hpp"
+
+#include "common/bytes.hpp"
+
+namespace paso::persist {
+
+std::uint32_t wal_checksum(std::uint64_t lsn,
+                           const std::vector<std::uint8_t>& payload) {
+  std::uint32_t h = 2166136261u;
+  const auto mix = [&h](std::uint8_t b) {
+    h ^= b;
+    h *= 16777619u;
+  };
+  for (int i = 0; i < 8; ++i) mix(static_cast<std::uint8_t>(lsn >> (8 * i)));
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) mix(static_cast<std::uint8_t>(len >> (8 * i)));
+  for (const std::uint8_t b : payload) mix(b);
+  return h;
+}
+
+std::vector<std::uint8_t> encode_record(const WalRecord& record) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(record.payload.size()));
+  w.u64(record.lsn);
+  for (const std::uint8_t b : record.payload) w.u8(b);
+  w.u32(wal_checksum(record.lsn, record.payload));
+  return w.take();
+}
+
+WalScan scan_log(const std::vector<std::uint8_t>& bytes) {
+  WalScan scan;
+  std::size_t pos = 0;
+  const auto read_u32 = [&bytes](std::size_t at) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{bytes[at + i]} << (8 * i);
+    return v;
+  };
+  const auto read_u64 = [&bytes](std::size_t at) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{bytes[at + i]} << (8 * i);
+    return v;
+  };
+  while (pos + kWalFrameBytes <= bytes.size()) {
+    const std::size_t len = read_u32(pos);
+    if (pos + kWalFrameBytes + len > bytes.size()) break;  // torn tail
+    WalRecord record;
+    record.lsn = read_u64(pos + 4);
+    record.payload.assign(bytes.begin() + pos + 12,
+                          bytes.begin() + pos + 12 + len);
+    const std::uint32_t stored = read_u32(pos + 12 + len);
+    if (stored != wal_checksum(record.lsn, record.payload)) break;
+    scan.records.push_back(std::move(record));
+    pos += kWalFrameBytes + len;
+  }
+  scan.valid_bytes = pos;
+  scan.corrupt = pos != bytes.size();
+  return scan;
+}
+
+}  // namespace paso::persist

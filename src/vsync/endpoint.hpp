@@ -38,6 +38,16 @@ struct StateBlob {
   std::size_t bytes = 0;
 };
 
+/// What a joiner with local durable state advertises in g-join: the
+/// checkpoint generation and last log sequence number it recovered to. A
+/// donor that still holds the log suffix past `lsn` can ship a delta instead
+/// of the full blob, shrinking the transfer from O(l) to O(delta).
+struct DurablePosition {
+  bool valid = false;
+  std::uint64_t epoch = 0;
+  std::uint64_t lsn = 0;
+};
+
 class GroupEndpoint {
  public:
   virtual ~GroupEndpoint() = default;
@@ -58,6 +68,35 @@ class GroupEndpoint {
   /// group's data ("for sake of space efficiency, servers should erase all
   /// information when leaving a group").
   virtual void erase_state(const GroupName& group) = 0;
+
+  // --- delta state transfer (optional; endpoints without local durability
+  // keep the defaults and always receive full transfers) ---------------------
+
+  /// Joiner side: the durable position this member recovered to, or invalid
+  /// when it has nothing durable for the group.
+  virtual DurablePosition durable_position(const GroupName& group) {
+    (void)group;
+    return {};
+  }
+
+  /// Donor side: capture only the changes past `position`, or nullopt when
+  /// the delta cannot be served (position too stale, local log damaged,
+  /// persistence off) — the service then falls back to capture_state.
+  virtual std::optional<StateBlob> capture_delta(
+      const GroupName& group, const DurablePosition& position) {
+    (void)group;
+    (void)position;
+    return std::nullopt;
+  }
+
+  /// Joiner side: apply a delta blob on top of locally recovered state.
+  /// Returning false aborts the delta (the blob did not line up with the
+  /// local state); the service restarts the join as a full transfer.
+  virtual bool install_delta(const GroupName& group, const StateBlob& blob) {
+    (void)group;
+    (void)blob;
+    return false;
+  }
 
   /// Membership notification: every member observes the same sequence of
   /// views, consistently ordered with message deliveries.

@@ -353,19 +353,37 @@ void GroupService::dispatch_join(const GroupName& name, Op& op) {
   if (j.started_at < 0) j.started_at = network_.simulator().now();
   GroupEndpoint* donor_ep = endpoints_[donor.value];
   PASO_REQUIRE(donor_ep != nullptr, "donor without endpoint");
-  StateBlob blob = donor_ep->capture_state(name);
+
+  // Delta negotiation: a joiner that recovered local durable state
+  // advertises its (checkpoint epoch, lsn); if the donor's log still covers
+  // the gap it ships only the suffix. Any refusal — persistence off, joiner
+  // too stale, donor log damaged — silently degrades to the full blob.
+  GroupEndpoint* joiner_ep = endpoints_[j.joiner.value];
+  PASO_REQUIRE(joiner_ep != nullptr, "joiner without endpoint");
+  std::optional<StateBlob> delta;
+  if (!j.force_full) {
+    const DurablePosition position = joiner_ep->durable_position(name);
+    if (position.valid) delta = donor_ep->capture_delta(name, position);
+  }
+  const bool is_delta = delta.has_value();
+  StateBlob blob = is_delta ? std::move(*delta) : donor_ep->capture_state(name);
   const Cost copy_cost =
       options_.install_cost_per_byte * static_cast<Cost>(blob.bytes);
   network_.ledger().charge_work(donor, copy_cost);
   if (obs_.metrics != nullptr) {
-    obs_.metrics->counter("vsync.state_transfers").inc();
-    obs_.metrics->counter("vsync.state_transfer_bytes").inc(blob.bytes);
+    if (is_delta) {
+      obs_.metrics->counter("vsync.delta_transfers").inc();
+      obs_.metrics->counter("vsync.delta_transfer_bytes").inc(blob.bytes);
+    } else {
+      obs_.metrics->counter("vsync.state_transfers").inc();
+      obs_.metrics->counter("vsync.state_transfer_bytes").inc(blob.bytes);
+    }
   }
 
   const std::uint64_t op_id = op.id;
   network_.send(
-      donor, j.joiner, "state-xfer", blob.bytes,
-      [this, name, op_id, donor, copy_cost, blob = std::move(blob)] {
+      donor, j.joiner, is_delta ? "state-xfer-delta" : "state-xfer", blob.bytes,
+      [this, name, op_id, donor, copy_cost, is_delta, blob = std::move(blob)] {
         Op* active = active_op(name, op_id);
         if (active == nullptr || active->kind != Op::Kind::kJoin) return;
         JoinOp& join = active->join;
@@ -373,7 +391,20 @@ void GroupService::dispatch_join(const GroupName& name, Op& op) {
         join.transfer_in_flight = false;  // donor crash can no longer abort
         GroupEndpoint* joiner_ep = endpoints_[join.joiner.value];
         PASO_REQUIRE(joiner_ep != nullptr, "joiner without endpoint");
-        joiner_ep->install_state(name, blob);
+        if (is_delta) {
+          if (!joiner_ep->install_delta(name, blob)) {
+            // The suffix did not line up with the joiner's recovered state:
+            // abandon the delta and restart this join as a full transfer.
+            if (obs_.metrics != nullptr) {
+              obs_.metrics->counter("vsync.delta_fallbacks").inc();
+            }
+            join.force_full = true;
+            dispatch_join(name, *active);
+            return;
+          }
+        } else {
+          joiner_ep->install_state(name, blob);
+        }
         network_.ledger().charge_work(join.joiner, copy_cost);
         // Installation takes time proportional to the state size; the view
         // change is installed when it finishes.

@@ -163,6 +163,10 @@ class GroupService {
     bool transfer_in_flight = false;
     MachineId donor;
     sim::SimTime started_at = -1;
+    /// Set after a delta install fails mid-join: the retry (and any donor
+    /// failover) must ship the full blob, not renegotiate a delta against
+    /// state the aborted install may have touched.
+    bool force_full = false;
   };
   struct LeaveOp {
     MachineId leaver;

@@ -1,0 +1,125 @@
+// Regression: marker-sweep timers outliving the class they were armed for.
+//
+// Sweep timers are plain simulator events; nothing cancels them when a crash
+// (crash_reset) or a voluntary leave (erase_state) destroys the class state
+// they reference. Before the incarnation guard, such a timer firing after
+// the machine recovered and re-joined would sweep the *reborn* class —
+// potentially expiring re-placed markers early and double-counting sweeps in
+// the marker metrics. Now each class lifetime carries an incarnation number,
+// timers capture it, and a mismatch makes the timer a counted no-op
+// (MemoryServer::stale_timer_hits).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "paso/cluster.hpp"
+#include "semantics/checker.hpp"
+
+namespace paso {
+namespace {
+
+Schema task_schema() {
+  return Schema({
+      ClassSpec{"task", {FieldType::kInt, FieldType::kText}, 0, 1},
+  });
+}
+
+SearchCriterion by_key(std::int64_t key) {
+  return criterion(Exact{Value{key}}, AnyField{});
+}
+
+TEST(MarkerTimerTest, PreCrashSweepTimerIsHarmlessAfterRecovery) {
+  ClusterConfig cfg;
+  cfg.machines = 4;
+  cfg.lambda = 1;
+  cfg.runtime.marker_ttl = 600;
+  Cluster cluster(task_schema(), cfg);
+  cluster.assign_basic_support();  // wg(task) = {m0, m1}
+  const ClassId cls{0};
+  const MachineId victim{1};
+  const ProcessId reader = cluster.process(MachineId{3});
+
+  // A blocking read for a key nobody will insert: markers land on both
+  // write-group members, each arming a sweep timer at the marker's expiry.
+  // The deadline sits inside the first TTL period, so the read gives up
+  // before any re-arm round muddies the marker population.
+  const sim::SimTime deadline = cluster.simulator().now() + 550;
+  bool done = false;
+  cluster.runtime(reader.machine)
+      .read_blocking(reader, by_key(404),
+                     [&done](SearchResponse r) {
+                       done = true;
+                       EXPECT_FALSE(r.has_value());
+                     },
+                     BlockingMode::kMarker, deadline);
+  cluster.settle_for(100);
+  ASSERT_GT(cluster.server(victim).marker_count(cls), 0u)
+      << "blocking read never placed a marker on the victim";
+
+  // Crash after the timer is armed but long before it fires; the recovery
+  // completes first, re-creating the class (markers included, via the state
+  // blob) under a fresh incarnation.
+  cluster.crash(victim);
+  cluster.settle_for(250);  // failure detection expels the victim
+  ASSERT_FALSE(cluster.server(victim).supports(cls));
+  cluster.recover(victim);
+  cluster.settle_for(150);
+  ASSERT_TRUE(cluster.server(victim).supports(cls));
+  ASSERT_GT(cluster.server(victim).marker_count(cls), 0u)
+      << "donated markers did not travel in the state transfer";
+
+  // Let the pre-crash timer (and everything else) fire.
+  cluster.settle();
+  EXPECT_TRUE(done);
+  EXPECT_GE(cluster.server(victim).stale_timer_hits(), 1u)
+      << "the pre-crash sweep timer should have hit the incarnation guard";
+  // The reborn class is intact: the reader's deadline cancelled its marker,
+  // the fresh sweep timer handled expiry, and no sweep ran twice.
+  EXPECT_EQ(cluster.server(victim).marker_count(cls), 0u);
+  EXPECT_EQ(cluster.server(MachineId{0}).marker_count(cls), 0u);
+  EXPECT_EQ(cluster.server(MachineId{0}).stale_timer_hits(), 0u)
+      << "the survivor's timers all matched their incarnation";
+
+  const auto check =
+      semantics::check_history(cluster.history(), cluster.run_context());
+  EXPECT_TRUE(check.ok()) << (check.violations.empty()
+                                  ? ""
+                                  : check.violations.front());
+}
+
+TEST(MarkerTimerTest, LeaveAndRejoinGetsAFreshIncarnation) {
+  ClusterConfig cfg;
+  cfg.machines = 4;
+  cfg.lambda = 1;
+  cfg.runtime.marker_ttl = 600;
+  Cluster cluster(task_schema(), cfg);
+  cluster.assign_basic_support();
+  const ClassId cls{0};
+  const MachineId leaver{1};
+  const ProcessId reader = cluster.process(MachineId{3});
+
+  const sim::SimTime deadline = cluster.simulator().now() + 550;
+  cluster.runtime(reader.machine)
+      .read_blocking(reader, by_key(404), [](SearchResponse) {},
+                     BlockingMode::kMarker, deadline);
+  cluster.settle_for(100);
+  ASSERT_GT(cluster.server(leaver).marker_count(cls), 0u);
+
+  // erase_state path: the machine renounces the class while the sweep timer
+  // is still pending, then re-joins immediately.
+  cluster.runtime(leaver).request_leave(cls);
+  cluster.settle_for(100);
+  ASSERT_FALSE(cluster.server(leaver).supports(cls));
+  cluster.runtime(leaver).request_join(cls);
+  cluster.settle_for(100);
+  ASSERT_TRUE(cluster.server(leaver).supports(cls));
+
+  cluster.settle();
+  EXPECT_GE(cluster.server(leaver).stale_timer_hits(), 1u)
+      << "the pre-leave sweep timer should have hit the incarnation guard";
+  EXPECT_EQ(cluster.server(leaver).marker_count(cls), 0u);
+}
+
+}  // namespace
+}  // namespace paso

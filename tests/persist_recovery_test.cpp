@@ -1,0 +1,340 @@
+// End-to-end durable recovery: WAL + checkpoints under the full cluster.
+//
+// A write-group member with persistence enabled crashes, replays its disk on
+// recovery and rejoins via a *delta* transfer — the donor ships only the log
+// suffix past the joiner's durable position, not the whole class. The tests
+// pin the negotiation's three outcomes (delta, too-stale fallback to full,
+// damaged-disk repair + delta from the shortened position), the case no live
+// donor can serve (the whole write group wiped, state rebuilt from disk
+// alone), and the base invariant that persistence stays off the bus: the
+// same workload costs the same msg-cost with the subsystem on or off, save
+// for the 8-byte lsn stamp each state-transfer blob carries.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "paso/cluster.hpp"
+#include "persist/manager.hpp"
+#include "semantics/checker.hpp"
+
+namespace paso {
+namespace {
+
+Schema task_schema() {
+  return Schema({
+      ClassSpec{"task", {FieldType::kInt, FieldType::kText}, 0, 1},
+  });
+}
+
+Tuple task(std::int64_t key, const std::string& payload = "v") {
+  return {Value{key}, Value{payload}};
+}
+
+persist::PersistenceConfig persistence_on() {
+  persist::PersistenceConfig config;
+  config.enabled = true;
+  return config;
+}
+
+void expect_replicas_equal(MemoryServer& a, MemoryServer& b, ClassId cls,
+                           std::int64_t max_key) {
+  ASSERT_TRUE(a.supports(cls));
+  ASSERT_TRUE(b.supports(cls));
+  EXPECT_EQ(a.live_count(cls), b.live_count(cls));
+  EXPECT_EQ(a.class_state_bytes(cls), b.class_state_bytes(cls));
+  for (std::int64_t key = 0; key <= max_key; ++key) {
+    const SearchCriterion sc = criterion(Exact{Value{key}}, AnyField{});
+    auto from_a = a.local_find(cls, sc);
+    auto from_b = b.local_find(cls, sc);
+    ASSERT_EQ(from_a.has_value(), from_b.has_value()) << "key " << key;
+    if (from_a) {
+      EXPECT_EQ(from_a->id, from_b->id) << "key " << key;
+      EXPECT_TRUE(from_a->fields == from_b->fields) << "key " << key;
+    }
+  }
+}
+
+void expect_axioms_hold(Cluster& cluster) {
+  const auto check =
+      semantics::check_history(cluster.history(), cluster.run_context());
+  EXPECT_TRUE(check.ok()) << (check.violations.empty()
+                                  ? ""
+                                  : check.violations.front());
+}
+
+paso::net::TrafficStats tag_stats(Cluster& cluster, const std::string& tag) {
+  const auto& per_tag = cluster.ledger().per_tag();
+  const auto it = per_tag.find(tag);
+  return it == per_tag.end() ? paso::net::TrafficStats{} : it->second;
+}
+
+TEST(PersistRecoveryTest, RejoinUsesDeltaTransferAndMatchesSurvivor) {
+  ClusterConfig cfg;
+  cfg.machines = 4;
+  cfg.lambda = 1;
+  cfg.persistence = persistence_on();
+  Cluster cluster(task_schema(), cfg);
+  cluster.assign_basic_support();  // wg(task) = {m0, m1}
+  const ClassId cls{0};
+  const MachineId survivor{0};
+  const MachineId victim{1};
+  const ProcessId driver = cluster.process(MachineId{3});
+
+  for (std::int64_t key = 0; key < 50; ++key) {
+    ASSERT_TRUE(cluster.insert_sync(driver, task(key)));
+  }
+  ASSERT_TRUE(cluster.read_del_sync(driver, criterion(Exact{Value{3ll}},
+                                                      AnyField{}))
+                  .has_value());
+
+  cluster.crash(victim);
+  cluster.settle_for(200);  // failure detection expels the victim
+  ASSERT_FALSE(cluster.server(victim).supports(cls));
+
+  // The joiner missed only these few operations; they are all the delta
+  // needs to carry.
+  for (std::int64_t key = 50; key < 53; ++key) {
+    ASSERT_TRUE(cluster.insert_sync(driver, task(key)));
+  }
+
+  cluster.ledger().reset();  // meter the recovery alone
+  bool initialized = false;
+  cluster.recover(victim, [&initialized] { initialized = true; });
+  cluster.settle();
+  ASSERT_TRUE(initialized);
+
+  const auto delta = tag_stats(cluster, "state-xfer-delta");
+  const auto full = tag_stats(cluster, "state-xfer");
+  EXPECT_EQ(delta.messages, 1u) << "rejoin did not negotiate a delta";
+  EXPECT_EQ(full.messages, 0u) << "rejoin fell back to a full transfer";
+  EXPECT_GT(delta.bytes, 0u);
+  EXPECT_LT(delta.bytes,
+            cluster.server(survivor).class_state_bytes(cls))
+      << "the delta should be far smaller than the full blob";
+
+  const auto& stats = cluster.persistence(victim).stats();
+  EXPECT_GE(stats.replays, 1u);
+  EXPECT_GE(stats.replayed_records, 50u) << "local log replay did not run";
+  EXPECT_GE(cluster.persistence(survivor).stats().delta_captures, 1u);
+
+  expect_replicas_equal(cluster.server(survivor), cluster.server(victim), cls,
+                        60);
+  expect_axioms_hold(cluster);
+}
+
+TEST(PersistRecoveryTest, StaleJoinerFallsBackToFullTransfer) {
+  ClusterConfig cfg;
+  cfg.machines = 4;
+  cfg.lambda = 1;
+  cfg.persistence = persistence_on();
+  // Aggressive compaction: the survivor checkpoints (and truncates its log)
+  // every ~10 records, so the joiner's position falls behind the donor's
+  // compaction horizon while it is down.
+  cfg.persistence.checkpoint_every_bytes = 512;
+  Cluster cluster(task_schema(), cfg);
+  cluster.assign_basic_support();
+  const ClassId cls{0};
+  const MachineId survivor{0};
+  const MachineId victim{1};
+  const ProcessId driver = cluster.process(MachineId{3});
+
+  for (std::int64_t key = 0; key < 10; ++key) {
+    ASSERT_TRUE(cluster.insert_sync(driver, task(key)));
+  }
+  cluster.crash(victim);
+  cluster.settle_for(200);
+  for (std::int64_t key = 10; key < 60; ++key) {
+    ASSERT_TRUE(cluster.insert_sync(driver, task(key)));
+  }
+  ASSERT_GE(cluster.persistence(survivor).stats().compactions, 1u)
+      << "survivor never compacted; the stale path is not being exercised";
+
+  cluster.ledger().reset();
+  cluster.recover(victim);
+  cluster.settle();
+
+  const auto delta = tag_stats(cluster, "state-xfer-delta");
+  const auto full = tag_stats(cluster, "state-xfer");
+  EXPECT_EQ(delta.messages, 0u);
+  EXPECT_EQ(full.messages, 1u) << "too-stale joiner must get the full blob";
+  EXPECT_GE(cluster.persistence(survivor).stats().delta_refusals, 1u);
+  // The full install rebases the joiner's disk: fresh checkpoint, empty log.
+  EXPECT_GE(cluster.persistence(victim).stats().resets, 1u);
+  EXPECT_EQ(cluster.persistence(victim).log_bytes(cls), 0u);
+
+  expect_replicas_equal(cluster.server(survivor), cluster.server(victim), cls,
+                        60);
+  expect_axioms_hold(cluster);
+}
+
+TEST(PersistRecoveryTest, WholeGroupWipeRecoversFromDiskAlone) {
+  ClusterConfig cfg;
+  cfg.machines = 4;
+  cfg.lambda = 1;
+  cfg.persistence = persistence_on();
+  Cluster cluster(task_schema(), cfg);
+  cluster.assign_basic_support();
+  const ClassId cls{0};
+  const ProcessId driver = cluster.process(MachineId{3});
+
+  for (std::int64_t key = 0; key < 20; ++key) {
+    ASSERT_TRUE(cluster.insert_sync(driver, task(key)));
+  }
+  ASSERT_TRUE(cluster.read_del_sync(driver, criterion(Exact{Value{4ll}},
+                                                      AnyField{}))
+                  .has_value());
+
+  // Kill the entire write group: no live replica holds the class anywhere.
+  cluster.crash(MachineId{0});
+  cluster.crash(MachineId{1});
+  cluster.settle_for(300);
+
+  // The first member back re-creates the group from its replayed disk state;
+  // the second joins off it as usual.
+  cluster.recover(MachineId{0});
+  cluster.settle();
+  cluster.recover(MachineId{1});
+  cluster.settle();
+
+  EXPECT_EQ(cluster.server(MachineId{0}).live_count(cls), 19u)
+      << "durable state did not survive a whole-group wipe";
+  expect_replicas_equal(cluster.server(MachineId{0}),
+                        cluster.server(MachineId{1}), cls, 30);
+  // The data is reachable again through the normal read path.
+  const auto found =
+      cluster.read_sync(driver, criterion(Exact{Value{17ll}}, AnyField{}));
+  ASSERT_TRUE(found.has_value());
+  // ...and the removed object stayed removed across the wipe.
+  EXPECT_FALSE(
+      cluster.read_sync(driver, criterion(Exact{Value{4ll}}, AnyField{}))
+          .has_value());
+  expect_axioms_hold(cluster);
+}
+
+TEST(PersistRecoveryTest, DamagedLogIsRepairedAndDeltaCoversTheGap) {
+  ClusterConfig cfg;
+  cfg.machines = 4;
+  cfg.lambda = 1;
+  cfg.persistence = persistence_on();
+  Cluster cluster(task_schema(), cfg);
+  cluster.assign_basic_support();
+  const ClassId cls{0};
+  const MachineId survivor{0};
+  const MachineId victim{1};
+  const ProcessId driver = cluster.process(MachineId{3});
+
+  for (std::int64_t key = 0; key < 30; ++key) {
+    ASSERT_TRUE(cluster.insert_sync(driver, task(key)));
+  }
+  cluster.crash(victim);
+  cluster.settle_for(200);
+
+  // The crash tore the victim's last log write. Recovery detects it via the
+  // checksum, truncates to the clean prefix, and advertises the (lower)
+  // surviving position — the donor's delta covers the difference.
+  ASSERT_TRUE(cluster.persistence(victim)
+                  .inject_fault(
+                      persist::PersistenceManager::FaultKind::kTornTail, 7)
+                  .has_value());
+
+  cluster.ledger().reset();
+  cluster.recover(victim);
+  cluster.settle();
+
+  EXPECT_GE(cluster.persistence(victim).stats().corruptions_detected, 1u);
+  EXPECT_GT(cluster.persistence(victim).stats().truncated_bytes, 0u);
+  const auto delta = tag_stats(cluster, "state-xfer-delta");
+  EXPECT_EQ(delta.messages, 1u)
+      << "a repaired log should still qualify for a delta";
+  expect_replicas_equal(cluster.server(survivor), cluster.server(victim), cls,
+                        40);
+  expect_axioms_hold(cluster);
+}
+
+// Persistence charges disk latency as server-side *work*; the only bytes it
+// may add to the bus are the 8-byte lsn stamps riding state-transfer blobs
+// (so joiners can seed their log position). Every other message must cost
+// exactly the same with the subsystem on or off — the guarantee behind
+// "persistence off reproduces the baseline exactly".
+TEST(PersistRecoveryTest, PersistenceLeavesTheBusUntouched) {
+  struct BusSample {
+    Cost msg_cost_sans_xfer = 0;
+    paso::net::TrafficStats xfer;
+    Cost work = 0;
+  };
+  const auto run_workload =
+      [](const persist::PersistenceConfig& persistence) {
+    ClusterConfig cfg;
+    cfg.machines = 4;
+    cfg.lambda = 1;
+    cfg.persistence = persistence;
+    Cluster cluster(task_schema(), cfg);
+    cluster.assign_basic_support();
+    const ProcessId driver = cluster.process(MachineId{3});
+    for (std::int64_t key = 0; key < 25; ++key) {
+      EXPECT_TRUE(cluster.insert_sync(driver, task(key)));
+    }
+    EXPECT_TRUE(cluster.read_sync(driver, criterion(Exact{Value{11ll}},
+                                                    AnyField{}))
+                    .has_value());
+    EXPECT_TRUE(cluster.read_del_sync(driver, criterion(Exact{Value{12ll}},
+                                                        AnyField{}))
+                    .has_value());
+    cluster.settle();
+    BusSample sample;
+    sample.xfer = tag_stats(cluster, "state-xfer");
+    const auto delta = tag_stats(cluster, "state-xfer-delta");
+    sample.xfer.messages += delta.messages;
+    sample.xfer.bytes += delta.bytes;
+    sample.xfer.cost += delta.cost;
+    sample.msg_cost_sans_xfer =
+        cluster.ledger().total_msg_cost() - sample.xfer.cost;
+    sample.work = cluster.ledger().total_work();
+    return sample;
+  };
+
+  const auto off = run_workload(persist::PersistenceConfig{});
+  const auto on = run_workload(persistence_on());
+  EXPECT_DOUBLE_EQ(on.msg_cost_sans_xfer, off.msg_cost_sans_xfer)
+      << "persistence changed non-transfer bus traffic";
+  // The initial joins ship the same transfers, each 8 bytes heavier for the
+  // lsn stamp — and nothing else.
+  EXPECT_EQ(on.xfer.messages, off.xfer.messages);
+  EXPECT_EQ(on.xfer.bytes, off.xfer.bytes + 8 * off.xfer.messages);
+  EXPECT_GT(on.work, off.work)
+      << "disk latency should surface as extra server work";
+}
+
+TEST(PersistRecoveryTest, DisabledSubsystemDoesNoDiskIO) {
+  ClusterConfig cfg;
+  cfg.machines = 4;
+  cfg.lambda = 1;  // persistence left at its default: off
+  Cluster cluster(task_schema(), cfg);
+  cluster.assign_basic_support();
+  const ProcessId driver = cluster.process(MachineId{3});
+  for (std::int64_t key = 0; key < 10; ++key) {
+    ASSERT_TRUE(cluster.insert_sync(driver, task(key)));
+  }
+  cluster.crash(MachineId{1});
+  cluster.settle_for(200);
+  cluster.ledger().reset();
+  cluster.recover(MachineId{1});
+  cluster.settle();
+
+  for (std::uint32_t m = 0; m < cfg.machines; ++m) {
+    auto& manager = cluster.persistence(MachineId{m});
+    EXPECT_FALSE(manager.enabled());
+    EXPECT_EQ(manager.disk().writes(), 0u);
+    EXPECT_EQ(manager.disk().reads(), 0u);
+    EXPECT_EQ(manager.stats().replays, 0u);
+  }
+  // Without durable positions the rejoin is the classic full transfer.
+  EXPECT_EQ(tag_stats(cluster, "state-xfer").messages, 1u);
+  EXPECT_EQ(tag_stats(cluster, "state-xfer-delta").messages, 0u);
+  expect_axioms_hold(cluster);
+}
+
+}  // namespace
+}  // namespace paso

@@ -1,0 +1,378 @@
+// Unit tests for the persistence subsystem (src/persist): SimDisk cost
+// accounting and fault plane, WAL framing + damage detection, checkpoint
+// image round-trips, and the PersistenceManager's append / checkpoint /
+// recover / delta-suffix life cycle.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "paso/wire.hpp"
+#include "persist/checkpoint.hpp"
+#include "persist/disk.hpp"
+#include "persist/manager.hpp"
+#include "persist/wal.hpp"
+
+namespace paso::persist {
+namespace {
+
+Schema task_schema() {
+  return Schema({
+      ClassSpec{"task", {FieldType::kInt, FieldType::kText}, 0, 1},
+  });
+}
+
+ServerMessage store_msg(std::uint32_t cls, std::int64_t key,
+                        std::uint64_t seq) {
+  PasoObject object;
+  object.id = ObjectId{ProcessId{MachineId{9}, 0}, seq};
+  object.fields = {Value{key}, Value{std::string("payload")}};
+  return StoreMsg{ClassId{cls}, object};
+}
+
+// --- SimDisk ---------------------------------------------------------------
+
+TEST(SimDiskTest, ChargesSeekPlusBytes) {
+  DiskCostModel model;
+  model.seek = 10;
+  model.byte = 1;
+  SimDisk disk(model);
+  EXPECT_DOUBLE_EQ(disk.append("f", {1, 2, 3}), 13.0);
+  EXPECT_DOUBLE_EQ(disk.append("f", {4}), 11.0);
+  EXPECT_EQ(disk.size("f"), 4u);
+  std::vector<std::uint8_t> out;
+  EXPECT_DOUBLE_EQ(disk.read("f", out), 14.0);
+  EXPECT_EQ(out, (std::vector<std::uint8_t>{1, 2, 3, 4}));
+  // Truncate charges seek only, and a missing file reads free.
+  EXPECT_DOUBLE_EQ(disk.truncate("f", 2), 10.0);
+  EXPECT_EQ(disk.size("f"), 2u);
+  EXPECT_DOUBLE_EQ(disk.read("missing", out), 0.0);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(disk.writes(), 3u);  // 2 appends + 1 truncate
+  EXPECT_EQ(disk.reads(), 1u);
+}
+
+TEST(SimDiskTest, FaultPlaneMutatesWithoutCost) {
+  SimDisk disk;
+  disk.append("f", {1, 2, 3, 4});
+  const Cost before = disk.total_cost();
+  EXPECT_TRUE(disk.chop("f", 2));
+  EXPECT_EQ(disk.size("f"), 2u);
+  EXPECT_TRUE(disk.flip("f", 1));
+  EXPECT_NE((*disk.peek("f"))[1], 2);
+  EXPECT_DOUBLE_EQ(disk.total_cost(), before);
+  EXPECT_FALSE(disk.chop("missing", 1));
+  EXPECT_FALSE(disk.flip("missing", 0));
+}
+
+// --- WAL framing ------------------------------------------------------------
+
+TEST(WalTest, RoundTripsRecords) {
+  std::vector<std::uint8_t> log;
+  for (std::uint64_t lsn = 1; lsn <= 3; ++lsn) {
+    WalRecord record{lsn, {std::uint8_t(lsn), 0xAB}};
+    const auto framed = encode_record(record);
+    EXPECT_EQ(framed.size(), kWalFrameBytes + record.payload.size());
+    log.insert(log.end(), framed.begin(), framed.end());
+  }
+  const WalScan scan = scan_log(log);
+  EXPECT_FALSE(scan.corrupt);
+  EXPECT_EQ(scan.valid_bytes, log.size());
+  ASSERT_EQ(scan.records.size(), 3u);
+  EXPECT_EQ(scan.records[2].lsn, 3u);
+  EXPECT_EQ(scan.records[2].payload[0], 3u);
+}
+
+TEST(WalTest, TornTailKeepsCleanPrefix) {
+  std::vector<std::uint8_t> log;
+  for (std::uint64_t lsn = 1; lsn <= 2; ++lsn) {
+    const auto framed = encode_record(WalRecord{lsn, {1, 2, 3, 4}});
+    log.insert(log.end(), framed.begin(), framed.end());
+  }
+  const std::size_t full = log.size();
+  log.resize(full - 3);  // tear the last record's checksum
+  const WalScan scan = scan_log(log);
+  EXPECT_TRUE(scan.corrupt);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.valid_bytes, full / 2);
+}
+
+TEST(WalTest, FlippedByteFailsChecksum) {
+  auto log = encode_record(WalRecord{7, {9, 9, 9}});
+  log[kWalFrameBytes - 4 + 1] ^= 0x10;  // inside the payload
+  const WalScan scan = scan_log(log);
+  EXPECT_TRUE(scan.corrupt);
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_EQ(scan.valid_bytes, 0u);
+}
+
+TEST(WalTest, ChecksumIsPositionBound) {
+  // The same payload at a different lsn must not validate: the checksum is
+  // seeded with the lsn, so spliced records are detected.
+  const std::vector<std::uint8_t> payload{1, 2, 3};
+  EXPECT_NE(wal_checksum(1, payload), wal_checksum(2, payload));
+}
+
+// --- checkpoint images -------------------------------------------------------
+
+TEST(CheckpointTest, RoundTripsImage) {
+  const Schema schema = task_schema();
+  const auto signature = schema.specs()[0].signature;
+  CheckpointImage image;
+  image.epoch = 3;
+  image.lsn = 41;
+  image.next_age = 7;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    PasoObject object;
+    object.id = ObjectId{ProcessId{MachineId{1}, 0}, i};
+    object.fields = {Value{std::int64_t(i)}, Value{std::string("v")}};
+    image.objects.push_back({i, object});
+    image.applied_inserts.push_back(object.id);
+  }
+  image.remove_cache.emplace_back(99, std::nullopt);
+  PasoObject removed;
+  removed.id = ObjectId{ProcessId{MachineId{2}, 0}, 50};
+  removed.fields = {Value{std::int64_t(50)}, Value{std::string("gone")}};
+  image.remove_cache.emplace_back(100, SearchResponse{removed});
+
+  const auto bytes = encode_checkpoint(image);
+  const auto decoded = decode_checkpoint(bytes, signature);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->epoch, 3u);
+  EXPECT_EQ(decoded->lsn, 41u);
+  EXPECT_EQ(decoded->next_age, 7u);
+  ASSERT_EQ(decoded->objects.size(), 5u);
+  EXPECT_EQ(decoded->objects[4].age, 4u);
+  EXPECT_TRUE(decoded->objects[4].object == image.objects[4].object);
+  EXPECT_EQ(decoded->applied_inserts, image.applied_inserts);
+  ASSERT_EQ(decoded->remove_cache.size(), 2u);
+  EXPECT_FALSE(decoded->remove_cache[0].second.has_value());
+  ASSERT_TRUE(decoded->remove_cache[1].second.has_value());
+  EXPECT_TRUE(decoded->remove_cache[1].second->id == removed.id);
+}
+
+TEST(CheckpointTest, DamagedImageIsRejected) {
+  const Schema schema = task_schema();
+  CheckpointImage image;
+  image.lsn = 5;
+  auto bytes = encode_checkpoint(image);
+  auto flipped = bytes;
+  flipped[bytes.size() / 2] ^= 0x40;
+  EXPECT_FALSE(
+      decode_checkpoint(flipped, schema.specs()[0].signature).has_value());
+  auto torn = bytes;
+  torn.resize(torn.size() - 2);
+  EXPECT_FALSE(
+      decode_checkpoint(torn, schema.specs()[0].signature).has_value());
+}
+
+// --- PersistenceManager ------------------------------------------------------
+
+PersistenceConfig enabled_config() {
+  PersistenceConfig config;
+  config.enabled = true;
+  return config;
+}
+
+/// The manager keeps a reference to the schema, so own both together.
+struct ManagerFixture {
+  explicit ManagerFixture(PersistenceConfig config = enabled_config())
+      : schema(task_schema()), manager(MachineId{0}, schema, config) {}
+  Schema schema;
+  PersistenceManager manager;
+};
+
+TEST(PersistenceManagerTest, DisabledManagerDoesNoIO) {
+  ManagerFixture fx{PersistenceConfig{}};
+  PersistenceManager& manager = fx.manager;
+  EXPECT_FALSE(manager.enabled());
+  EXPECT_DOUBLE_EQ(manager.log_op(ClassId{0}, 1, store_msg(0, 1, 1)), 0.0);
+  EXPECT_EQ(manager.disk().writes(), 0u);
+  EXPECT_TRUE(manager.durable_classes().empty());
+}
+
+TEST(PersistenceManagerTest, AppendsThenRecovers) {
+  const Schema schema = task_schema();
+  PersistenceManager manager(MachineId{0}, schema, enabled_config());
+  for (std::uint64_t lsn = 1; lsn <= 4; ++lsn) {
+    EXPECT_GT(manager.log_op(ClassId{0}, lsn, store_msg(0, 10 + lsn, lsn)),
+              0.0);
+  }
+  EXPECT_EQ(manager.durable_lsn(ClassId{0}), 4u);
+  ASSERT_EQ(manager.durable_classes().size(), 1u);
+
+  const auto recovered = manager.recover(ClassId{0});
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_FALSE(recovered->checkpoint.has_value());
+  ASSERT_EQ(recovered->tail.size(), 4u);
+  EXPECT_EQ(recovered->tail[0].lsn, 1u);
+  EXPECT_EQ(recovered->tail[3].lsn, 4u);
+  EXPECT_FALSE(recovered->corruption_detected);
+  EXPECT_GT(recovered->cost, 0.0);
+  // The recovered payloads decode back to the logged messages.
+  const auto resolver = [&schema](ClassId cls) {
+    return schema.specs()[schema.locate(cls).first].signature;
+  };
+  const ServerMessage round =
+      wire::decode_message(recovered->tail[2].payload, resolver);
+  const auto* store = std::get_if<StoreMsg>(&round);
+  ASSERT_NE(store, nullptr);
+  EXPECT_TRUE(*store == std::get<StoreMsg>(store_msg(0, 13, 3)));
+}
+
+TEST(PersistenceManagerTest, CheckpointCompactsAndBoundsDeltas) {
+  ManagerFixture fx;
+  PersistenceManager& manager = fx.manager;
+  for (std::uint64_t lsn = 1; lsn <= 3; ++lsn) {
+    manager.log_op(ClassId{0}, lsn, store_msg(0, lsn, lsn));
+  }
+  CheckpointImage image;
+  image.lsn = 3;
+  EXPECT_GT(manager.write_checkpoint(ClassId{0}, image, /*now=*/100.0), 0.0);
+  EXPECT_EQ(manager.checkpoint_epoch(ClassId{0}), 1u);
+  EXPECT_EQ(manager.log_bytes(ClassId{0}), 0u) << "checkpoint must compact";
+  for (std::uint64_t lsn = 4; lsn <= 6; ++lsn) {
+    manager.log_op(ClassId{0}, lsn, store_msg(0, lsn, lsn));
+  }
+
+  Cost cost = 0;
+  // In range: suffix past lsn 4 is records 5..6.
+  auto suffix = manager.capture_suffix(ClassId{0}, 4, &cost);
+  ASSERT_TRUE(suffix.has_value());
+  ASSERT_EQ(suffix->size(), 2u);
+  EXPECT_EQ(suffix->front().lsn, 5u);
+  // At the horizon: everything after the checkpoint.
+  suffix = manager.capture_suffix(ClassId{0}, 3, &cost);
+  ASSERT_TRUE(suffix.has_value());
+  EXPECT_EQ(suffix->size(), 3u);
+  // Behind the compaction horizon: refused (caller falls back to full).
+  EXPECT_FALSE(manager.capture_suffix(ClassId{0}, 2, &cost).has_value());
+  // Ahead of the log: refused.
+  EXPECT_FALSE(manager.capture_suffix(ClassId{0}, 7, &cost).has_value());
+  EXPECT_GE(manager.stats().delta_refusals, 2u);
+
+  // Recovery = checkpoint + contiguous tail.
+  const auto recovered = manager.recover(ClassId{0});
+  ASSERT_TRUE(recovered.has_value());
+  ASSERT_TRUE(recovered->checkpoint.has_value());
+  EXPECT_EQ(recovered->checkpoint->lsn, 3u);
+  ASSERT_EQ(recovered->tail.size(), 3u);
+  EXPECT_EQ(recovered->tail.front().lsn, 4u);
+}
+
+TEST(PersistenceManagerTest, CheckpointPolicyTriggers) {
+  PersistenceConfig config = enabled_config();
+  config.checkpoint_every_bytes = 200;
+  config.checkpoint_interval = 1000;
+  ManagerFixture fx{config};
+  PersistenceManager& manager = fx.manager;
+  EXPECT_FALSE(manager.checkpoint_due(ClassId{0}, 0.0)) << "empty log";
+  manager.log_op(ClassId{0}, 1, store_msg(0, 1, 1));
+  EXPECT_FALSE(manager.checkpoint_due(ClassId{0}, 10.0));
+  // Age trigger.
+  EXPECT_TRUE(manager.checkpoint_due(ClassId{0}, 2000.0));
+  // Bytes trigger.
+  for (std::uint64_t lsn = 2; lsn <= 8; ++lsn) {
+    manager.log_op(ClassId{0}, lsn, store_msg(0, lsn, lsn));
+  }
+  EXPECT_TRUE(manager.checkpoint_due(ClassId{0}, 10.0));
+}
+
+TEST(PersistenceManagerTest, TornTailIsDetectedAndRepaired) {
+  ManagerFixture fx;
+  PersistenceManager& manager = fx.manager;
+  for (std::uint64_t lsn = 1; lsn <= 5; ++lsn) {
+    manager.log_op(ClassId{0}, lsn, store_msg(0, lsn, lsn));
+  }
+  const auto damage =
+      manager.inject_fault(PersistenceManager::FaultKind::kTornTail, 7);
+  ASSERT_TRUE(damage.has_value());
+  EXPECT_EQ(manager.stats().faults_injected, 1u);
+
+  const auto recovered = manager.recover(ClassId{0});
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_TRUE(recovered->corruption_detected);
+  EXPECT_EQ(recovered->tail.size(), 4u) << "clean prefix survives";
+  EXPECT_GE(manager.stats().corruptions_detected, 1u);
+  EXPECT_GT(manager.stats().truncated_bytes, 0u);
+  // The repair truncated the file: a second recovery is clean.
+  const auto again = manager.recover(ClassId{0});
+  ASSERT_TRUE(again.has_value());
+  EXPECT_FALSE(again->corruption_detected);
+  EXPECT_EQ(again->tail.size(), 4u);
+}
+
+TEST(PersistenceManagerTest, LostFsyncDropsExactlyLastRecord) {
+  ManagerFixture fx;
+  PersistenceManager& manager = fx.manager;
+  for (std::uint64_t lsn = 1; lsn <= 3; ++lsn) {
+    manager.log_op(ClassId{0}, lsn, store_msg(0, lsn, lsn));
+  }
+  const auto damage =
+      manager.inject_fault(PersistenceManager::FaultKind::kLostFsync, 0);
+  ASSERT_TRUE(damage.has_value());
+  const auto recovered = manager.recover(ClassId{0});
+  ASSERT_TRUE(recovered.has_value());
+  ASSERT_EQ(recovered->tail.size(), 2u);
+  EXPECT_EQ(recovered->tail.back().lsn, 2u);
+  EXPECT_FALSE(recovered->corruption_detected)
+      << "a cleanly missing record is not corruption";
+}
+
+TEST(PersistenceManagerTest, CorruptRecordTruncatesFromDamage) {
+  ManagerFixture fx;
+  PersistenceManager& manager = fx.manager;
+  for (std::uint64_t lsn = 1; lsn <= 6; ++lsn) {
+    manager.log_op(ClassId{0}, lsn, store_msg(0, lsn, lsn));
+  }
+  const auto damage = manager.inject_fault(
+      PersistenceManager::FaultKind::kCorruptRecord, /*salt=*/123);
+  ASSERT_TRUE(damage.has_value());
+  const auto recovered = manager.recover(ClassId{0});
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_TRUE(recovered->corruption_detected);
+  EXPECT_LT(recovered->tail.size(), 6u);
+  // Contiguity from the base: whatever survives is the exact prefix.
+  for (std::size_t i = 0; i < recovered->tail.size(); ++i) {
+    EXPECT_EQ(recovered->tail[i].lsn, i + 1);
+  }
+}
+
+TEST(PersistenceManagerTest, CorruptCheckpointFallsBackToNothing) {
+  ManagerFixture fx;
+  PersistenceManager& manager = fx.manager;
+  manager.log_op(ClassId{0}, 1, store_msg(0, 1, 1));
+  CheckpointImage image;
+  image.lsn = 1;
+  manager.write_checkpoint(ClassId{0}, image, 0.0);
+  // Flip a byte inside the checkpoint file.
+  manager.disk().flip("c0.ckpt", 5);
+  EXPECT_FALSE(manager.recover(ClassId{0}).has_value())
+      << "corrupt checkpoint + compacted log leaves nothing durable";
+  EXPECT_TRUE(manager.durable_classes().empty())
+      << "recover() discards the damaged files";
+}
+
+TEST(PersistenceManagerTest, EraseAndResetClass) {
+  ManagerFixture fx;
+  PersistenceManager& manager = fx.manager;
+  manager.log_op(ClassId{0}, 1, store_msg(0, 1, 1));
+  CheckpointImage image;
+  image.lsn = 10;
+  manager.reset_class(ClassId{0}, image, 0.0);
+  EXPECT_EQ(manager.log_bytes(ClassId{0}), 0u);
+  EXPECT_EQ(manager.durable_lsn(ClassId{0}), 10u);
+  const auto recovered = manager.recover(ClassId{0});
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_TRUE(recovered->tail.empty());
+  ASSERT_TRUE(recovered->checkpoint.has_value());
+  EXPECT_EQ(recovered->checkpoint->lsn, 10u);
+
+  manager.erase_class(ClassId{0});
+  EXPECT_TRUE(manager.durable_classes().empty());
+  EXPECT_FALSE(manager.recover(ClassId{0}).has_value());
+}
+
+}  // namespace
+}  // namespace paso::persist

@@ -1,0 +1,108 @@
+// bench_diff — compare fresh bench results against the committed baseline.
+//
+// Both inputs are files of `{"bench":...,"config":...,"msg_cost":...}` rows
+// (bench_util's result_line format; non-row lines are skipped, so raw bench
+// stdout works too). Rows are matched on (bench, config). A fresh row whose
+// model msg_cost exceeds the baseline's by more than the tolerance (default
+// 10%) is a regression and fails the run with exit 1. Rows present on only
+// one side are listed as warnings — new benches aren't regressions, and
+// removed benches should be dropped from the baseline deliberately — so CI
+// catches cost drift the moment a PR introduces it.
+//
+// Usage: bench_diff BASELINE FRESH [--tolerance=0.10]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "obs/export.hpp"
+
+namespace {
+
+using RowKey = std::pair<std::string, std::string>;  // (bench, config)
+
+std::map<RowKey, paso::obs::JsonRow> load_rows(const char* path) {
+  std::ifstream is(path);
+  if (!is) {
+    std::fprintf(stderr, "bench_diff: cannot open %s\n", path);
+    std::exit(2);
+  }
+  std::map<RowKey, paso::obs::JsonRow> rows;
+  for (paso::obs::JsonRow& row : paso::obs::read_json_rows(is)) {
+    if (!row.has("bench") || !row.has("config")) continue;
+    rows.emplace(RowKey{row.str("bench"), row.str("config")}, std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double tolerance = 0.10;
+  const char* paths[2] = {nullptr, nullptr};
+  int path_count = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--tolerance=", 12) == 0) {
+      tolerance = std::atof(argv[i] + 12);
+    } else if (path_count < 2) {
+      paths[path_count++] = argv[i];
+    }
+  }
+  if (path_count != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_diff BASELINE FRESH [--tolerance=0.10]\n");
+    return 2;
+  }
+
+  const auto baseline = load_rows(paths[0]);
+  const auto fresh = load_rows(paths[1]);
+  if (baseline.empty() || fresh.empty()) {
+    std::fprintf(stderr, "bench_diff: no result rows in %s\n",
+                 baseline.empty() ? paths[0] : paths[1]);
+    return 2;
+  }
+
+  int regressions = 0;
+  int compared = 0;
+  int improved = 0;
+  for (const auto& [key, base_row] : baseline) {
+    const auto it = fresh.find(key);
+    if (it == fresh.end()) {
+      std::printf("warn: missing from fresh run: %s / %s\n", key.first.c_str(),
+                  key.second.c_str());
+      continue;
+    }
+    const double base = base_row.num("msg_cost");
+    const double now = it->second.num("msg_cost");
+    // Rows that meter only wall clock (msg_cost 0) have no model cost to
+    // regress; wall-clock is machine-dependent and not gated here.
+    if (base <= 0) continue;
+    ++compared;
+    const double ratio = now / base;
+    if (ratio > 1.0 + tolerance) {
+      std::printf("FAIL %s / %s: msg_cost %.6g -> %.6g (+%.1f%% > %.0f%%)\n",
+                  key.first.c_str(), key.second.c_str(), base, now,
+                  (ratio - 1.0) * 100, tolerance * 100);
+      ++regressions;
+    } else if (ratio < 1.0 - tolerance) {
+      std::printf("note: improved %s / %s: msg_cost %.6g -> %.6g (%.1f%%)\n",
+                  key.first.c_str(), key.second.c_str(), base, now,
+                  (ratio - 1.0) * 100);
+      ++improved;
+    }
+  }
+  for (const auto& [key, row] : fresh) {
+    if (!baseline.contains(key)) {
+      std::printf("warn: new row (not in baseline): %s / %s\n",
+                  key.first.c_str(), key.second.c_str());
+    }
+  }
+
+  std::printf("bench_diff: %d rows compared, %d regressions, %d improved "
+              "(tolerance %.0f%%)\n",
+              compared, regressions, improved, tolerance * 100);
+  return regressions > 0 ? 1 : 0;
+}
