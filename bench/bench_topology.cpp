@@ -1,0 +1,140 @@
+// Topology — multi-segment bus, placement-aware replication.
+//
+// Two experiments over a segmented LAN (src/net/topology.hpp):
+//
+//  1. Crossing overhead: the same insert+read workload on 1, 2 and 3
+//     segments with the *same* naive placement. Every added bridge hop
+//     shows up directly in the model msg cost — the price a segment-blind
+//     placement pays.
+//
+//  2. Placement: a two-segment hot spot (writer and readers all on the far
+//     segment) served by (a) basic support — the lowest-id machines, which
+//     all sit on segment 0 — versus (b) placement-aware support seeded with
+//     the readers' weights. The aware group co-locates with the hot segment
+//     (keeping one replica across the bridge for segment-level fault
+//     tolerance), which must cut the model msg cost by >= 2x.
+//
+// Rows are committed to BENCH_baseline.json and gated by bench_diff on
+// msg_cost and bytes, so a placement or topology-cost regression fails CI.
+#include "bench/bench_util.hpp"
+
+using namespace paso;
+using namespace paso::bench;
+
+namespace {
+
+constexpr std::size_t kMachines = 6;
+constexpr std::size_t kLambda = 1;
+constexpr int kInserts = 40;
+constexpr int kReads = 160;
+// Blob-heavy tuples: the payload-bearing messages (stores, read responses)
+// dominate, which is the regime where response locality pays. Small tuples
+// shift the balance toward the fixed alpha terms and the win shrinks.
+constexpr std::size_t kPayloadBytes = 2048;
+
+struct Result {
+  Cost msg = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t crossings = 0;
+};
+
+/// Hot-spot workload: machine 4 inserts, machine 5 reads. On every
+/// multi-segment topology in this bench those two sit on the last segment.
+Result run(const net::Topology& topology, bool aware) {
+  ClusterConfig config;
+  config.machines = kMachines;
+  config.lambda = kLambda;
+  config.topology = topology;
+  Cluster cluster(TaskCluster::schema(), config);
+  if (aware) {
+    // The workload's read locality, as a per-class weight vector (what
+    // observed_read_weights would converge to).
+    std::vector<double> weights(kMachines, 0.0);
+    weights[4] = 0.2;  // writer re-reads occasionally
+    weights[5] = 1.0;  // the hot reader
+    cluster.assign_placement_aware_support({weights});
+  } else {
+    cluster.assign_basic_support();
+  }
+
+  const ProcessId writer = cluster.process(MachineId{4});
+  const ProcessId reader = cluster.process(MachineId{5});
+  cluster.insert_sync(writer, TaskCluster::tuple(0, kPayloadBytes));
+  cluster.ledger().reset();
+
+  for (int i = 1; i <= kInserts; ++i) {
+    cluster.insert_sync(writer, TaskCluster::tuple(i, kPayloadBytes));
+  }
+  for (int i = 0; i < kReads; ++i) {
+    cluster.read_sync(reader, TaskCluster::by_key(i % (kInserts + 1)));
+  }
+
+  Result r;
+  r.msg = cluster.ledger().total_msg_cost();
+  for (const auto& [tag, stats] : cluster.ledger().per_tag()) {
+    r.bytes += stats.bytes;
+  }
+  r.crossings = cluster.network().crossings();
+  return r;
+}
+
+net::Topology segmented(std::size_t segments) {
+  // Per-segment buses match the classic defaults; crossing a bridge costs a
+  // stiff store-and-forward latency plus a full per-byte copy, as on a
+  // real multi-LAN with store-and-forward bridging.
+  return net::Topology::even(segments, kMachines, CostModel{},
+                             /*bridge_alpha=*/60, /*bridge_beta=*/1.0);
+}
+
+}  // namespace
+
+int main() {
+  print_header("Topology: segmented bus + placement-aware replication (n=6, "
+               "lambda=1)");
+
+  std::printf("-- crossing overhead (naive basic-support placement) --\n");
+  std::printf("%8s | %12s %10s %10s\n", "segs", "msg cost", "bytes",
+              "crossings");
+  print_rule();
+  for (const std::size_t segs : {1u, 2u, 3u}) {
+    const Result r =
+        run(segs == 1 ? net::Topology{} : segmented(segs), false);
+    std::printf("%8zu | %12.1f %10llu %10llu\n", segs, r.msg,
+                static_cast<unsigned long long>(r.bytes),
+                static_cast<unsigned long long>(r.crossings));
+    result_line("topology", "segs=" + std::to_string(segs) + "/basic",
+                kInserts + kReads, 0, r.msg, r.bytes);
+  }
+
+  std::printf("\n-- two-segment hot spot: basic vs placement-aware --\n");
+  const Result basic = run(segmented(2), false);
+  const Result aware = run(segmented(2), true);
+  const double speedup = basic.msg / aware.msg;
+  std::printf("%8s | %12s %10s %10s\n", "support", "msg cost", "bytes",
+              "crossings");
+  print_rule();
+  std::printf("%8s | %12.1f %10llu %10llu\n", "basic", basic.msg,
+              static_cast<unsigned long long>(basic.bytes),
+              static_cast<unsigned long long>(basic.crossings));
+  std::printf("%8s | %12.1f %10llu %10llu\n", "aware", aware.msg,
+              static_cast<unsigned long long>(aware.bytes),
+              static_cast<unsigned long long>(aware.crossings));
+  std::printf("placement-aware msg-cost advantage: %.2fx\n", speedup);
+  result_line("topology", "segs=2/placement=basic", kInserts + kReads, 0,
+              basic.msg, basic.bytes);
+  result_line("topology", "segs=2/placement=aware", kInserts + kReads, 0,
+              aware.msg, aware.bytes);
+  PASO_REQUIRE(speedup >= 2.0,
+               "placement-aware support must beat basic placement 2x on the "
+               "hot-spot workload");
+
+  std::printf(
+      "\nBasic support pins the write group to the lowest-id machines —\n"
+      "segment 0 — so the far segment's writer and reader pay bridge\n"
+      "crossings on every message, payloads included. Placement-aware\n"
+      "support co-locates one replica with the hot segment (keeping the\n"
+      "other across the bridge: no segment holds the whole group), and\n"
+      "the nearest-responder rule serves every payload-bearing response\n"
+      "bus-locally; only the fault-tolerance copy still crosses.\n");
+  return 0;
+}

@@ -56,19 +56,23 @@ class JsonLine {
 /// how many operations the row aggregates, `ns_per_op` the measured
 /// wall-clock per op (0 when the bench only meters model cost), `msg_cost`
 /// the model's message cost (0 for wall-clock-only micro benches) and
-/// `bytes` the wire bytes moved (0 when not metered). The baseline pipeline
-/// greps stdout for lines starting `{"bench"` — keep this the only JSON the
-/// benches print.
+/// `bytes` the wire bytes moved (0 when not metered). A nonzero `work` adds
+/// a `"work":...` field — the model's server-work total (or whatever work
+/// scalar the bench gates, e.g. max per-replica load for balance benches);
+/// bench_diff gates every one of msg_cost/work/bytes that a baseline row
+/// carries as > 0. The baseline pipeline greps stdout for lines starting
+/// `{"bench"` — keep this the only JSON the benches print.
 inline void result_line(const std::string& bench, const std::string& config,
                         std::uint64_t ops, double ns_per_op, double msg_cost,
-                        std::uint64_t bytes) {
-  JsonLine(bench)
-      .field("config", config)
+                        std::uint64_t bytes, double work = 0) {
+  JsonLine line(bench);
+  line.field("config", config)
       .field("ops", ops)
       .field("ns_per_op", ns_per_op)
       .field("msg_cost", msg_cost)
-      .field("bytes", bytes)
-      .emit();
+      .field("bytes", bytes);
+  if (work > 0) line.field("work", work);
+  line.emit();
 }
 
 /// Dump the cluster's observability data as a JSONL sidecar next to the

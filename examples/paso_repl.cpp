@@ -39,6 +39,7 @@ void print_help() {
       "  recover <machine>                  recover a crashed machine\n"
       "  settle [duration]                  run the simulator\n"
       "  members                            write-group membership per class\n"
+      "  topology                           segment map, per-bus load, crossings\n"
       "  stats                              cost ledger + latency summary\n"
       "  persist-stats                      per-machine WAL/checkpoint totals\n"
       "  check                              run the semantics checker\n"
@@ -67,7 +68,7 @@ SearchCriterion make_criterion(const std::string& key_token,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Schema schema({ClassSpec{"kv", {FieldType::kInt, FieldType::kText}, 0, 4}});
   ClusterConfig config;
   config.machines = 6;
@@ -75,10 +76,29 @@ int main() {
   // Durable disks on: a `crash` + `recover` here replays the machine's WAL
   // and rejoins via a delta transfer — watch it with `persist-stats`.
   config.persistence.enabled = true;
+  // `--segments N` splits the bus into N bridged segments (try 2 and watch
+  // `topology` after a few cross-segment reads).
+  std::size_t segments = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--segments" && i + 1 < argc) {
+      segments = static_cast<std::size_t>(std::stoul(argv[++i]));
+    }
+  }
+  if (segments > 1) {
+    config.topology = net::Topology::even(segments, config.machines,
+                                          config.cost_model,
+                                          /*bridge_alpha=*/60,
+                                          /*bridge_beta=*/0.5);
+  }
   Cluster cluster(std::move(schema), config);
-  cluster.assign_basic_support();
+  if (segments > 1) {
+    cluster.assign_placement_aware_support();
+  } else {
+    cluster.assign_basic_support();
+  }
   std::cout << "PASO repl: " << config.machines
-            << " machines, lambda=" << config.lambda
+            << " machines, lambda=" << config.lambda << ", " << segments
+            << " bus segment" << (segments == 1 ? "" : "s")
             << ", persistence on. Type `help` for commands.\n";
 
   std::string line;
@@ -153,6 +173,34 @@ int main() {
             std::cout << member << (cluster.is_up(member) ? " " : "(down) ");
           }
           std::cout << "\n";
+        }
+      } else if (cmd == "topology") {
+        const auto& net = cluster.network();
+        const auto& topo = net.topology();
+        const double now = cluster.simulator().now();
+        for (std::uint32_t s = 0; s < net.segment_count(); ++s) {
+          const auto& seg = net.segment_stats(s);
+          const CostModel& model = topo.segment_model(s);
+          std::cout << "seg " << s << ": alpha=" << model.alpha
+                    << " beta=" << model.beta << " machines=[";
+          bool first = true;
+          for (std::uint32_t m = 0; m < config.machines; ++m) {
+            if (topo.segment_of(MachineId{m}) != s) continue;
+            std::cout << (first ? "" : " ") << m;
+            first = false;
+          }
+          std::cout << "] msgs=" << seg.messages << " bytes=" << seg.bytes
+                    << " util=" << (now > 0 ? seg.busy / now : 0.0) << "\n";
+        }
+        if (net.bridge_count() > 0) {
+          std::cout << "bridges: " << net.bridge_count()
+                    << " (alpha=" << topo.bridge_alpha()
+                    << " beta=" << topo.bridge_beta() << ")"
+                    << " crossings=" << net.crossings()
+                    << " partition-dropped=" << net.partition_dropped()
+                    << "\n";
+        } else {
+          std::cout << "single bus, no bridges\n";
         }
       } else if (cmd == "stats") {
         std::cout << "msg cost: " << cluster.ledger().total_msg_cost()

@@ -74,6 +74,60 @@ std::vector<std::size_t> LrfSelector::write_group() const {
   return {write_group_.begin(), write_group_.end()};
 }
 
+SegmentAwareLrfSelector::SegmentAwareLrfSelector(
+    std::size_t machines, std::size_t lambda,
+    std::vector<std::uint32_t> machine_segment, std::uint32_t reader_segment)
+    : machines_(machines),
+      machine_segment_(std::move(machine_segment)),
+      reader_segment_(reader_segment),
+      last_failure_(machines, -1) {
+  PASO_REQUIRE(machines_ > lambda + 1, "need non-support machines");
+  PASO_REQUIRE(machine_segment_.size() == machines_,
+               "segment map must cover every machine");
+  for (std::size_t m = 0; m <= lambda; ++m) write_group_.insert(m);
+}
+
+std::size_t SegmentAwareLrfSelector::hops_to_reader(std::size_t m) const {
+  const std::uint32_t seg = machine_segment_[m];
+  return seg < reader_segment_ ? reader_segment_ - seg : seg - reader_segment_;
+}
+
+bool SegmentAwareLrfSelector::on_failure(std::size_t m) {
+  PASO_REQUIRE(m < machines_, "unknown machine");
+  ++clock_;
+  const std::int64_t failure_time = clock_;
+  if (!write_group_.contains(m)) {
+    last_failure_[m] = failure_time;
+    return false;
+  }
+  // Replace m by the candidate minimizing (hops-to-reader, last failure,
+  // index). With every machine on one segment the hop term is constant and
+  // this is exactly LrfSelector's choice.
+  std::size_t replacement = machines_;
+  std::size_t best_hops = std::numeric_limits<std::size_t>::max();
+  std::int64_t oldest = std::numeric_limits<std::int64_t>::max();
+  for (std::size_t candidate = 0; candidate < machines_; ++candidate) {
+    if (candidate == m || write_group_.contains(candidate)) continue;
+    const std::size_t hops = hops_to_reader(candidate);
+    if (hops < best_hops ||
+        (hops == best_hops && last_failure_[candidate] < oldest)) {
+      best_hops = hops;
+      oldest = last_failure_[candidate];
+      replacement = candidate;
+    }
+  }
+  PASO_REQUIRE(replacement < machines_, "no replacement available");
+  write_group_.erase(m);
+  write_group_.insert(replacement);
+  last_failure_[m] = failure_time;
+  ++copies_;
+  return true;
+}
+
+std::vector<std::size_t> SegmentAwareLrfSelector::write_group() const {
+  return {write_group_.begin(), write_group_.end()};
+}
+
 // --- offline optimum ------------------------------------------------------------
 
 std::uint64_t optimal_copies(const FailureTrace& trace, std::size_t machines,

@@ -84,6 +84,39 @@ class LrfSelector final : public SupportSelector {
   std::int64_t clock_ = 0;
 };
 
+/// LRF refined by segment placement: among replacement candidates, prefer
+/// the one with the fewest bridge hops to the class's dominant reader
+/// segment, breaking hop ties by least-recent failure, then index. On a
+/// degenerate topology (all machines on segment 0) every hop distance is 0,
+/// so the selector collapses to plain LRF — same copies, same groups.
+///
+/// The copy count is unchanged versus LRF (every wg-member failure forces
+/// exactly one copy either way); what improves is *where* the group ends up
+/// living, i.e. the per-access gcast cost under the segment map.
+class SegmentAwareLrfSelector final : public SupportSelector {
+ public:
+  /// `machine_segment[m]` is machine m's segment; `reader_segment` is where
+  /// the class's reads come from (e.g. the arg-max of observed read
+  /// weights).
+  SegmentAwareLrfSelector(std::size_t machines, std::size_t lambda,
+                          std::vector<std::uint32_t> machine_segment,
+                          std::uint32_t reader_segment);
+
+  bool on_failure(std::size_t m) override;
+  const char* name() const override { return "LRF/segment"; }
+  std::vector<std::size_t> write_group() const override;
+
+ private:
+  std::size_t hops_to_reader(std::size_t m) const;
+
+  std::size_t machines_;
+  std::vector<std::uint32_t> machine_segment_;
+  std::uint32_t reader_segment_;
+  std::vector<std::int64_t> last_failure_;  // -1 = never failed
+  std::set<std::size_t> write_group_;
+  std::int64_t clock_ = 0;
+};
+
 /// Offline optimum for a failure trace: Belady on the reduced paging
 /// instance.
 std::uint64_t optimal_copies(const FailureTrace& trace, std::size_t machines,

@@ -18,24 +18,83 @@ void BusNetwork::send(MachineId from, MachineId to, const std::string& tag,
     return;
   }
 
-  const Cost cost = model_.message(bytes);
+  const std::uint32_t sf = topology_.segment_of(from);
+  const std::uint32_t st = topology_.segment_of(to);
+  const CostModel& src = topology_.segment_model(sf);
+
+  Cost cost = 0;         // total charged msg-cost
+  Cost alpha_part = 0;   // fixed-overhead share (for the alpha/beta split)
+  sim::SimTime start = 0;  // transmission begin on the source bus
+  sim::SimTime end = 0;    // arrival at the destination machine
+  std::size_t hops = 0;
+
+  if (sf == st) {
+    // One serializing bus: transmission begins when it frees up, delivery
+    // happens at transmission end — the classic single-bus model.
+    cost = src.message(bytes);
+    alpha_part = src.alpha;
+    start = std::max(simulator_.now(), segment_free_[sf]);
+    end = start + cost;
+    segment_free_[sf] = end;
+    SegmentStats& stats = segment_stats_[sf];
+    ++stats.messages;
+    stats.bytes += bytes;
+    stats.busy += cost;
+  } else {
+    // Crossing: occupy the source bus, pay the per-hop bridge latency, then
+    // occupy the destination bus (store-and-forward, unbounded bridge
+    // buffers — only the shared buses serialize). Both reservations are
+    // made now, deterministically, in send order.
+    const CostModel& dst = topology_.segment_model(st);
+    hops = sf < st ? st - sf : sf - st;
+    const Cost src_cost = src.message(bytes);
+    const Cost dst_cost = dst.message(bytes);
+    const Cost bridge = static_cast<Cost>(hops) * topology_.bridge_cost(bytes);
+    cost = src_cost + bridge + dst_cost;
+    alpha_part = src.alpha + dst.alpha +
+                 static_cast<Cost>(hops) * topology_.bridge_alpha();
+    start = std::max(simulator_.now(), segment_free_[sf]);
+    const sim::SimTime src_end = start + src_cost;
+    segment_free_[sf] = src_end;
+    const sim::SimTime arrive = src_end + bridge;
+    const sim::SimTime dst_start = std::max(arrive, segment_free_[st]);
+    end = dst_start + dst_cost;
+    segment_free_[st] = end;
+    SegmentStats& sstats = segment_stats_[sf];
+    ++sstats.messages;
+    sstats.bytes += bytes;
+    sstats.busy += src_cost;
+    SegmentStats& dstats = segment_stats_[st];
+    ++dstats.messages;
+    dstats.bytes += bytes;
+    dstats.busy += dst_cost;
+    ++crossings_;
+  }
+
   ledger_.charge_message(tag, bytes, cost);
   if (obs_.metrics != nullptr) {
     obs_.metrics->counter("net.messages").inc();
     obs_.metrics->counter("net.bytes").inc(bytes);
-    obs_.metrics->gauge("net.cost.alpha").add(model_.alpha);
-    obs_.metrics->gauge("net.cost.beta").add(cost - model_.alpha);
+    obs_.metrics->gauge("net.cost.alpha").add(alpha_part);
+    obs_.metrics->gauge("net.cost.beta").add(cost - alpha_part);
+    if (segment_count() > 1) {
+      obs_.metrics->counter("net.segment." + std::to_string(sf) + ".messages")
+          .inc();
+      if (hops > 0) obs_.metrics->counter("net.crossings").inc();
+    }
   }
   if (obs_.tracer != nullptr) {
-    obs_.tracer->record_message(tag, bytes, model_.alpha, cost - model_.alpha,
-                                simulator_.now());
+    obs_.tracer->record_message(tag, bytes, alpha_part, cost - alpha_part,
+                                simulator_.now(), sf, st,
+                                static_cast<std::uint32_t>(hops));
   }
 
-  // The bus carries one message at a time: transmission begins when the bus
-  // frees up, and delivery happens at transmission end.
-  const sim::SimTime start = std::max(simulator_.now(), bus_free_at_);
-  const sim::SimTime end = start + cost;
-  bus_free_at_ = end;
+  // Bridge partitions: decided at transmission begin, like the delay
+  // windows, so the decision is independent of event-queue tie-breaking.
+  bool partitioned = false;
+  for (std::uint32_t b = std::min(sf, st); b < std::max(sf, st); ++b) {
+    if (start < bridge_partition_until_[b]) partitioned = true;
+  }
 
   // Receiver-side delay window: the bus frees at `end` regardless, only the
   // delivery at `to` is pushed out (e.g. a machine with a clogged inbound
@@ -47,14 +106,19 @@ void BusNetwork::send(MachineId from, MachineId to, const std::string& tag,
     ++chaos_delayed_;
   }
 
-  simulator_.schedule_at(deliver_at, [this, to, deliver = std::move(deliver)] {
-    if (!up_[to.value]) return;
-    if (simulator_.now() < chaos_[to.value].drop_until) {
-      ++chaos_dropped_;
-      return;
-    }
-    deliver();
-  });
+  simulator_.schedule_at(
+      deliver_at, [this, to, partitioned, deliver = std::move(deliver)] {
+        if (partitioned) {
+          ++partition_dropped_;
+          return;
+        }
+        if (!up_[to.value]) return;
+        if (simulator_.now() < chaos_[to.value].drop_until) {
+          ++chaos_dropped_;
+          return;
+        }
+        deliver();
+      });
 }
 
 }  // namespace paso::net

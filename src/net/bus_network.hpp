@@ -1,11 +1,15 @@
-// Simulated bus-based LAN (Section 3.3).
+// Simulated bus-based LAN (Section 3.3), generalized to a segment Topology.
 //
 // The paper's network model is a standard-Unix-workstation Ethernet: no
 // hardware multicast, messages transmitted one at a time on a shared bus,
 // per-message cost msg-cost(m) = alpha + beta*|m|. We model exactly that:
-// each send occupies the bus for its msg-cost in virtual time units, so the
+// each send occupies its bus for its msg-cost in virtual time units, so the
 // total message cost of a run is, by construction, a lower bound on the time
-// to complete it — the property Section 5 relies on.
+// to complete it — the property Section 5 relies on. With a multi-segment
+// Topology each segment is its own serializing bus; a crossing occupies the
+// source bus, pays per-hop bridge latency, then occupies the destination
+// bus (see topology.hpp). The degenerate topology reproduces the single-bus
+// behavior bit-for-bit.
 //
 // Payloads are delivery closures (the whole system lives in one address
 // space), but every send declares its wire size explicitly; all cost
@@ -21,6 +25,7 @@
 
 #include "common/cost.hpp"
 #include "common/ids.hpp"
+#include "net/topology.hpp"
 #include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 
@@ -36,7 +41,9 @@ struct TrafficStats {
 
 /// Running totals for an experiment. Layers above the network also charge
 /// server-side processing effort here so that the paper's `work` measure
-/// (sum of time spent across servers) is available alongside msg-cost.
+/// (sum of time spent across servers) is available alongside msg-cost, and
+/// the persistence layer reports its durable writes here so disk space is
+/// an accounted resource, not just latency.
 class CostLedger {
  public:
   void charge_message(const std::string& tag, std::size_t bytes, Cost cost) {
@@ -54,6 +61,9 @@ class CostLedger {
   /// whole experiment, not a single incarnation).
   void ensure_machines(std::size_t n) {
     if (work_per_machine_.size() < n) work_per_machine_.resize(n, 0);
+    if (disk_bytes_per_machine_.size() < n) {
+      disk_bytes_per_machine_.resize(n, 0);
+    }
   }
 
   void charge_work(MachineId machine, Cost amount) {
@@ -64,11 +74,28 @@ class CostLedger {
     work_per_machine_[machine.value] += amount;
   }
 
+  /// Durable bytes written by a machine's persistence layer (WAL appends +
+  /// checkpoint images). Like work, the totals survive crashes: disk writes
+  /// happened whether or not the machine lived to use them.
+  void charge_disk(MachineId machine, std::uint64_t bytes) {
+    total_disk_bytes_ += bytes;
+    if (machine.value >= disk_bytes_per_machine_.size()) {
+      disk_bytes_per_machine_.resize(machine.value + 1, 0);
+    }
+    disk_bytes_per_machine_[machine.value] += bytes;
+  }
+
   Cost total_msg_cost() const { return total_msg_cost_; }
   Cost total_work() const { return total_work_; }
   Cost work_of(MachineId machine) const {
     return machine.value < work_per_machine_.size()
                ? work_per_machine_[machine.value]
+               : 0;
+  }
+  std::uint64_t total_disk_bytes_written() const { return total_disk_bytes_; }
+  std::uint64_t disk_bytes_written_of(MachineId machine) const {
+    return machine.value < disk_bytes_per_machine_.size()
+               ? disk_bytes_per_machine_[machine.value]
                : 0;
   }
   const std::map<std::string, TrafficStats>& per_tag() const {
@@ -78,9 +105,12 @@ class CostLedger {
   void reset() {
     total_msg_cost_ = 0;
     total_work_ = 0;
+    total_disk_bytes_ = 0;
     // Keep the table shape: zero the counters without forgetting machines,
     // so `work_of` stays in-range across resets and recover epochs.
     std::fill(work_per_machine_.begin(), work_per_machine_.end(), 0);
+    std::fill(disk_bytes_per_machine_.begin(), disk_bytes_per_machine_.end(),
+              0);
     per_tag_.clear();
   }
 
@@ -109,25 +139,43 @@ class CostLedger {
  private:
   Cost total_msg_cost_ = 0;
   Cost total_work_ = 0;
+  std::uint64_t total_disk_bytes_ = 0;
   std::vector<Cost> work_per_machine_;
+  std::vector<std::uint64_t> disk_bytes_per_machine_;
   std::map<std::string, TrafficStats> per_tag_;
 };
 
-/// A serializing broadcast bus connecting `n` machines.
+/// A serializing broadcast bus (or chain of bridged bus segments)
+/// connecting `n` machines.
 class BusNetwork {
  public:
   using Delivery = std::function<void()>;
 
-  BusNetwork(sim::Simulator& simulator, CostModel model, std::size_t n)
-      : simulator_(simulator), model_(model), up_(n, true), chaos_(n) {
+  /// Per-segment traffic totals (utilization = busy / elapsed time).
+  struct SegmentStats {
+    std::uint64_t messages = 0;  ///< transmissions that occupied this bus
+    std::uint64_t bytes = 0;
+    Cost busy = 0;  ///< total virtual time this bus spent transmitting
+  };
+
+  BusNetwork(sim::Simulator& simulator, CostModel model, std::size_t n,
+             Topology topology = {})
+      : simulator_(simulator),
+        model_(model),
+        topology_(topology.resolve(n, model)),
+        up_(n, true),
+        chaos_(n),
+        segment_free_(topology_.segment_count(), 0),
+        segment_stats_(topology_.segment_count()),
+        bridge_partition_until_(topology_.bridge_count(), 0) {
     ledger_.ensure_machines(n);
   }
 
-  /// Point-to-point send. The message occupies the bus for its msg-cost;
-  /// `deliver` runs at the destination when transmission completes, unless
-  /// the destination is down at that moment (crash => silent drop, matching
-  /// the crash-fault model). Self-sends are free and immediate: the paper's
-  /// cost model charges only for bus transmissions.
+  /// Point-to-point send. The message occupies its bus(es) for its
+  /// msg-cost; `deliver` runs at the destination when transmission
+  /// completes, unless the destination is down at that moment (crash =>
+  /// silent drop, matching the crash-fault model). Self-sends are free and
+  /// immediate: the paper's cost model charges only for bus transmissions.
   void send(MachineId from, MachineId to, const std::string& tag,
             std::size_t bytes, Delivery deliver);
 
@@ -157,8 +205,18 @@ class BusNetwork {
     chaos_[to.value].delay_until = until;
     chaos_[to.value].extra_delay = extra;
   }
+  /// Partition bridge `bridge` (between segments `bridge` and `bridge+1`)
+  /// until `until`: messages whose path crosses it while partitioned are
+  /// dropped at delivery but still charged — the source bus transmitted
+  /// them before the bridge ate them.
+  void set_bridge_partition(std::size_t bridge, sim::SimTime until) {
+    PASO_REQUIRE(bridge < bridge_partition_until_.size(), "unknown bridge");
+    bridge_partition_until_[bridge] =
+        std::max(bridge_partition_until_[bridge], until);
+  }
   std::uint64_t chaos_dropped() const { return chaos_dropped_; }
   std::uint64_t chaos_delayed() const { return chaos_delayed_; }
+  std::uint64_t partition_dropped() const { return partition_dropped_; }
 
   std::size_t machine_count() const { return up_.size(); }
   const CostModel& cost_model() const { return model_; }
@@ -166,15 +224,34 @@ class BusNetwork {
   const CostLedger& ledger() const { return ledger_; }
   sim::Simulator& simulator() { return simulator_; }
 
+  /// The resolved topology (always explicit: a degenerate config becomes a
+  /// one-segment topology over `cost_model()`).
+  const Topology& topology() const { return topology_; }
+  std::size_t segment_count() const { return topology_.segment_count(); }
+  std::size_t bridge_count() const { return topology_.bridge_count(); }
+  const SegmentStats& segment_stats(std::size_t segment) const {
+    PASO_REQUIRE(segment < segment_stats_.size(), "unknown segment");
+    return segment_stats_[segment];
+  }
+  /// Cross-segment transmissions so far.
+  std::uint64_t crossings() const { return crossings_; }
+
   /// Install (or clear) the observability handle. The bus is the single
   /// charge site for msg-cost, so this is where every transmission gets its
   /// alpha/beta decomposition recorded and attributed to the active traces.
   void set_obs(obs::Obs o) { obs_ = o; }
   obs::Obs observability() const { return obs_; }
 
-  /// Virtual time at which the bus next becomes free (for tests asserting
-  /// the serialization property).
-  sim::SimTime bus_free_at() const { return bus_free_at_; }
+  /// Virtual time at which the network next becomes fully free: the max
+  /// over segments (for tests asserting the serialization property; on the
+  /// degenerate topology this is the classic single bus_free_at).
+  sim::SimTime bus_free_at() const {
+    return *std::max_element(segment_free_.begin(), segment_free_.end());
+  }
+  sim::SimTime segment_free_at(std::size_t segment) const {
+    PASO_REQUIRE(segment < segment_free_.size(), "unknown segment");
+    return segment_free_[segment];
+  }
 
  private:
   struct Disturbance {
@@ -185,13 +262,18 @@ class BusNetwork {
 
   sim::Simulator& simulator_;
   CostModel model_;
+  Topology topology_;
   obs::Obs obs_;
   std::vector<bool> up_;
   std::vector<Disturbance> chaos_;
   CostLedger ledger_;
-  sim::SimTime bus_free_at_ = 0;
+  std::vector<sim::SimTime> segment_free_;
+  std::vector<SegmentStats> segment_stats_;
+  std::vector<sim::SimTime> bridge_partition_until_;
   std::uint64_t chaos_dropped_ = 0;
   std::uint64_t chaos_delayed_ = 0;
+  std::uint64_t partition_dropped_ = 0;
+  std::uint64_t crossings_ = 0;
 };
 
 }  // namespace paso::net

@@ -1,0 +1,69 @@
+#include "net/topology.hpp"
+
+#include <utility>
+
+namespace paso::net {
+
+Topology::Topology(std::vector<Segment> segments,
+                   std::vector<std::uint32_t> machine_segment,
+                   Cost bridge_alpha, Cost bridge_beta)
+    : segments_(std::move(segments)),
+      machine_segment_(std::move(machine_segment)),
+      bridge_alpha_(bridge_alpha),
+      bridge_beta_(bridge_beta) {
+  PASO_REQUIRE(!segments_.empty(), "topology needs at least one segment");
+  PASO_REQUIRE(bridge_alpha_ >= 0 && bridge_beta_ >= 0,
+               "negative bridge cost");
+  for (const std::uint32_t s : machine_segment_) {
+    PASO_REQUIRE(s < segments_.size(), "machine assigned to unknown segment");
+  }
+}
+
+Topology Topology::even(std::size_t segment_count, std::size_t machines,
+                        CostModel model, Cost bridge_alpha, Cost bridge_beta) {
+  PASO_REQUIRE(segment_count >= 1, "topology needs at least one segment");
+  PASO_REQUIRE(machines >= segment_count,
+               "fewer machines than segments");
+  std::vector<Segment> segments(segment_count, Segment{model});
+  std::vector<std::uint32_t> assignment(machines);
+  for (std::size_t m = 0; m < machines; ++m) {
+    // Contiguous blocks: machine m lands on floor(m * segments / machines),
+    // so ids stay clustered by segment (matches how basic support spreads).
+    assignment[m] = static_cast<std::uint32_t>(m * segment_count / machines);
+  }
+  return Topology(std::move(segments), std::move(assignment), bridge_alpha,
+                  bridge_beta);
+}
+
+const CostModel& Topology::segment_model(std::uint32_t segment) const {
+  PASO_REQUIRE(!degenerate(), "degenerate topology has no explicit model");
+  PASO_REQUIRE(segment < segments_.size(), "unknown segment");
+  return segments_[segment].model;
+}
+
+Cost Topology::message_cost(MachineId from, MachineId to,
+                            std::size_t bytes) const {
+  if (from == to) return 0;
+  PASO_REQUIRE(!degenerate(),
+               "message_cost needs a resolved topology (see resolve())");
+  const std::uint32_t sf = segment_of(from);
+  const std::uint32_t st = segment_of(to);
+  if (sf == st) return segments_[sf].model.message(bytes);
+  const std::size_t h = sf < st ? st - sf : sf - st;
+  return segments_[sf].model.message(bytes) +
+         static_cast<Cost>(h) * bridge_cost(bytes) +
+         segments_[st].model.message(bytes);
+}
+
+Topology Topology::resolve(std::size_t machines,
+                           const CostModel& default_model) const {
+  if (degenerate()) {
+    return Topology({Segment{default_model}},
+                    std::vector<std::uint32_t>(machines, 0), 0, 0);
+  }
+  PASO_REQUIRE(machine_segment_.size() == machines,
+               "topology machine map does not match the machine count");
+  return *this;
+}
+
+}  // namespace paso::net

@@ -1,0 +1,101 @@
+// Segmented LAN topology (multi-segment bus).
+//
+// The paper's network model (Section 3.3) is one serializing Ethernet; a
+// Topology generalizes it to a *chain* of bus segments, each with its own
+// alpha/beta and its own serialization queue, joined by store-and-forward
+// bridges. A message between machines on segments s and t occupies the
+// source bus for its source-segment msg-cost, crosses |s - t| bridges at
+// bridge_alpha + bridge_beta*|m| each, then occupies the destination bus for
+// its destination-segment msg-cost. Bridges have unbounded buffers and never
+// serialize (only the shared buses do), so the model stays a deterministic
+// lower bound on completion time exactly like the single bus.
+//
+// The default-constructed Topology is *degenerate*: no segments declared,
+// meaning "one bus, use the network's own cost model". BusNetwork's
+// degenerate path is bit-for-bit the classic single-bus behavior, which is
+// what lets every pre-topology BENCH_baseline.json row reproduce exactly.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "common/cost.hpp"
+#include "common/ids.hpp"
+#include "common/require.hpp"
+
+namespace paso::net {
+
+/// One bus segment: an independent serializing Ethernet.
+struct Segment {
+  CostModel model{};
+};
+
+class Topology {
+ public:
+  /// Degenerate single-bus topology (the classic model).
+  Topology() = default;
+
+  /// Explicit topology: `machine_segment[m]` places machine m on a segment.
+  /// Segments form a chain in index order; crossing from segment s to t
+  /// costs |s - t| bridge hops.
+  Topology(std::vector<Segment> segments,
+           std::vector<std::uint32_t> machine_segment, Cost bridge_alpha,
+           Cost bridge_beta);
+
+  /// Split `machines` machines into `segment_count` contiguous blocks of
+  /// (near-)equal size, every segment sharing `model`.
+  static Topology even(std::size_t segment_count, std::size_t machines,
+                       CostModel model, Cost bridge_alpha, Cost bridge_beta);
+
+  bool degenerate() const { return segments_.empty(); }
+  std::size_t segment_count() const {
+    return degenerate() ? 1 : segments_.size();
+  }
+  std::size_t bridge_count() const { return segment_count() - 1; }
+
+  std::uint32_t segment_of(MachineId m) const {
+    return m.value < machine_segment_.size() ? machine_segment_[m.value] : 0;
+  }
+  const CostModel& segment_model(std::uint32_t segment) const;
+  Cost bridge_alpha() const { return bridge_alpha_; }
+  Cost bridge_beta() const { return bridge_beta_; }
+
+  /// Bridge hops between two machines' segments (0 = same segment).
+  std::size_t hops(MachineId a, MachineId b) const {
+    const std::uint32_t sa = segment_of(a);
+    const std::uint32_t sb = segment_of(b);
+    return sa < sb ? sb - sa : sa - sb;
+  }
+
+  /// Per-hop crossing cost for a message of `bytes`.
+  Cost bridge_cost(std::size_t bytes) const {
+    return bridge_alpha_ + bridge_beta_ * static_cast<Cost>(bytes);
+  }
+
+  /// Model msg-cost of a transmission under this topology: the quantity
+  /// BusNetwork charges. Self-sends are free; intra-segment sends cost the
+  /// segment's alpha + beta*|m|; crossings add both end-segments' costs
+  /// plus one bridge cost per hop. Used by placement and support selection
+  /// to score candidates without a live network.
+  Cost message_cost(MachineId from, MachineId to, std::size_t bytes) const;
+
+  /// Concrete copy of this topology for a network of `machines` machines:
+  /// the degenerate form becomes an explicit one-segment topology running
+  /// `default_model`; explicit forms are validated against the machine
+  /// count and returned as-is.
+  Topology resolve(std::size_t machines, const CostModel& default_model) const;
+
+  const std::vector<Segment>& segments() const { return segments_; }
+  const std::vector<std::uint32_t>& machine_segments() const {
+    return machine_segment_;
+  }
+
+ private:
+  std::vector<Segment> segments_;
+  std::vector<std::uint32_t> machine_segment_;
+  Cost bridge_alpha_ = 0;
+  Cost bridge_beta_ = 0;
+};
+
+}  // namespace paso::net

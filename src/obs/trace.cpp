@@ -51,8 +51,11 @@ void OpTracer::finish(TraceId trace, std::string status, MachineId machine,
 }
 
 void OpTracer::record_message(const std::string& tag, std::size_t bytes,
-                              Cost alpha, Cost beta, sim::SimTime at) {
-  messages_.push_back(MessageRecord{context_, tag, bytes, alpha, beta, at});
+                              Cost alpha, Cost beta, sim::SimTime at,
+                              std::uint32_t seg_from, std::uint32_t seg_to,
+                              std::uint32_t hops) {
+  messages_.push_back(MessageRecord{context_, tag, bytes, alpha, beta, at,
+                                    seg_from, seg_to, hops});
 }
 
 OpTracer::Scope::Scope(OpTracer* tracer, TraceId trace) : tracer_(tracer) {
@@ -110,7 +113,14 @@ void OpTracer::write_jsonl(std::ostream& os) const {
   for (const auto& m : messages_) {
     os << "{\"msg\":\"" << m.tag << "\",\"bytes\":" << m.bytes
        << ",\"alpha\":" << m.alpha_cost << ",\"beta\":" << m.beta_cost
-       << ",\"at\":" << m.at << ",\"traces\":[";
+       << ",\"at\":" << m.at;
+    if (m.seg_from != 0 || m.seg_to != 0 || m.hops != 0) {
+      // Route attribution only appears for multi-segment runs, keeping the
+      // single-bus JSONL byte-identical to the pre-topology schema.
+      os << ",\"seg_from\":" << m.seg_from << ",\"seg_to\":" << m.seg_to
+         << ",\"hops\":" << m.hops;
+    }
+    os << ",\"traces\":[";
     for (std::size_t i = 0; i < m.traces.size(); ++i) {
       os << (i ? "," : "") << m.traces[i];
     }

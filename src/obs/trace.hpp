@@ -66,7 +66,10 @@ struct SpanEvent {
 };
 
 /// One charged bus transmission, with its alpha/beta cost decomposition and
-/// every trace that shared it (empty = untraced background traffic).
+/// every trace that shared it (empty = untraced background traffic). On a
+/// multi-segment topology the record also carries its route attribution:
+/// source/destination segment and bridge hops crossed (all zero on the
+/// degenerate single bus).
 struct MessageRecord {
   std::vector<TraceId> traces;
   std::string tag;
@@ -74,6 +77,9 @@ struct MessageRecord {
   Cost alpha_cost = 0;
   Cost beta_cost = 0;
   sim::SimTime at = 0;
+  std::uint32_t seg_from = 0;
+  std::uint32_t seg_to = 0;
+  std::uint32_t hops = 0;
 };
 
 class OpTracer {
@@ -90,9 +96,12 @@ class OpTracer {
               sim::SimTime at);
 
   /// Called by BusNetwork for every charged transmission; attributes the
-  /// message to the currently active trace context.
+  /// message to the currently active trace context. The segment/hop
+  /// arguments carry the route on a multi-segment topology (all zero on
+  /// the single bus).
   void record_message(const std::string& tag, std::size_t bytes, Cost alpha,
-                      Cost beta, sim::SimTime at);
+                      Cost beta, sim::SimTime at, std::uint32_t seg_from = 0,
+                      std::uint32_t seg_to = 0, std::uint32_t hops = 0);
 
   /// The active trace set (what record_message attributes to).
   const std::vector<TraceId>& context() const { return context_; }

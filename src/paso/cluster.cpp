@@ -1,8 +1,10 @@
 #include "paso/cluster.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
+#include "paso/placement.hpp"
 #include "storage/hash_store.hpp"
 
 namespace paso {
@@ -20,7 +22,8 @@ Cluster::Cluster(Schema schema, ClusterConfig config)
   config_.runtime.lambda = config_.lambda;
 
   network_ = std::make_unique<net::BusNetwork>(simulator_, config_.cost_model,
-                                               config_.machines);
+                                               config_.machines,
+                                               config_.topology);
   groups_ = std::make_unique<vsync::GroupService>(*network_, config_.vsync);
   basic_support_.resize(schema_.class_count());
   initializing_.resize(config_.machines, false);
@@ -30,6 +33,17 @@ Cluster::Cluster(Schema schema, ClusterConfig config)
     const MachineId machine{m};
     persistence_.push_back(std::make_unique<persist::PersistenceManager>(
         machine, schema_, config_.persistence));
+    // Disk-space accounting: the manager reports every durable write here;
+    // the ledger gets the bytes (disk is a charged resource, like work) and
+    // the gauge tracks each machine's live footprint when observing.
+    persistence_.back()->set_disk_accounting(
+        [this, machine](std::uint64_t written, std::uint64_t on_disk) {
+          network_->ledger().charge_disk(machine, written);
+          if (obs_ != nullptr) {
+            obs_->metrics.gauge("persist.bytes_on_disk", machine)
+                .set(static_cast<double>(on_disk));
+          }
+        });
     servers_.push_back(std::make_unique<MemoryServer>(
         machine, schema_, config_.store_factory, *network_));
     servers_.back()->set_persistence(persistence_.back().get());
@@ -141,6 +155,98 @@ void Cluster::set_basic_support(ClassId cls, std::vector<MachineId> members) {
 std::vector<MachineId> Cluster::basic_support(ClassId cls) const {
   PASO_REQUIRE(cls.value < basic_support_.size(), "unknown class");
   return basic_support_[cls.value];
+}
+
+// ---------------------------------------------------------------------------
+// placement-aware support (topology locality)
+
+void Cluster::assign_placement_aware_support(
+    const std::vector<std::vector<double>>& weights_per_class) {
+  std::vector<std::size_t> load(config_.machines, 0);
+  for (const auto& support : basic_support_) {
+    for (const MachineId m : support) ++load[m.value];  // overrides count
+  }
+  for (std::uint32_t c = 0; c < schema_.class_count(); ++c) {
+    if (!basic_support_[c].empty()) continue;  // respect overrides
+    PlacementRequest request;
+    request.machines = config_.machines;
+    request.lambda = config_.lambda;
+    if (c < weights_per_class.size()) {
+      request.read_weight = weights_per_class[c];
+    }
+    request.machine_load = load;
+    std::vector<MachineId> members =
+        choose_write_group(network_->topology(), request);
+    for (const MachineId m : members) ++load[m.value];
+    basic_support_[c] = std::move(members);
+  }
+  for (std::uint32_t c = 0; c < schema_.class_count(); ++c) {
+    for (const MachineId m : basic_support_[c]) {
+      runtimes_[m.value]->request_join(ClassId{c});
+    }
+  }
+  settle();
+}
+
+std::vector<double> Cluster::observed_read_weights(ClassId cls) const {
+  std::vector<double> weights(config_.machines, 0);
+  for (std::uint32_t m = 0; m < config_.machines; ++m) {
+    weights[m] = static_cast<double>(runtimes_[m]->reads_issued(cls));
+  }
+  return weights;
+}
+
+void Cluster::rebalance_placement(ClassId cls) {
+  PASO_REQUIRE(cls.value < basic_support_.size(), "unknown class");
+  PlacementRequest request;
+  request.machines = config_.machines;
+  request.lambda = config_.lambda;
+  request.read_weight = observed_read_weights(cls);
+  double total = 0;
+  for (const double w : request.read_weight) total += w;
+  if (total == 0) request.read_weight.clear();  // no signal yet: uniform
+  request.machine_load.assign(config_.machines, 0);
+  for (std::uint32_t c = 0; c < basic_support_.size(); ++c) {
+    if (c == cls.value) continue;
+    for (const MachineId m : basic_support_[c]) {
+      ++request.machine_load[m.value];
+    }
+  }
+  const std::vector<MachineId> target =
+      choose_write_group(network_->topology(), request);
+
+  const std::vector<MachineId> current = basic_support_[cls.value];
+  auto contains = [](const std::vector<MachineId>& v, MachineId m) {
+    return std::find(v.begin(), v.end(), m) != v.end();
+  };
+  std::vector<MachineId> joiners;
+  std::vector<MachineId> leavers;
+  for (const MachineId m : target) {
+    if (!contains(current, m)) joiners.push_back(m);
+  }
+  for (const MachineId m : current) {
+    if (!contains(target, m)) leavers.push_back(m);
+  }
+  if (joiners.empty() && leavers.empty()) return;
+  basic_support_[cls.value] = target;
+  if (joiners.empty()) {
+    for (const MachineId m : leavers) runtimes_[m.value]->request_leave(cls);
+    return;
+  }
+  // Join-before-leave: the group only shrinks back to lambda+1 once every
+  // replacement member holds the state, so |wg(C)| never dips below the
+  // fault-tolerance floor mid-migration.
+  auto pending = std::make_shared<std::size_t>(joiners.size());
+  for (const MachineId m : joiners) {
+    runtimes_[m.value]->request_join(
+        cls, [this, cls, leavers, pending](bool) {
+          if (--*pending == 0) {
+            for (const MachineId l : leavers) {
+              runtimes_[l.value]->request_leave(cls);
+            }
+          }
+        });
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -31,6 +31,13 @@ struct ClusterConfig {
   std::size_t machines = 8;
   std::size_t lambda = 1;
   CostModel cost_model{};
+  /// Bus layout. Default (degenerate) = the classic single serializing bus
+  /// running `cost_model`, byte-for-byte the pre-topology behavior. An
+  /// explicit topology gives each segment its own alpha/beta and bus queue,
+  /// with per-hop bridge costs between segments (net/topology.hpp); build
+  /// one with net::Topology::even(segments, machines, model, bridge_alpha,
+  /// bridge_beta) or the explicit per-machine constructor.
+  net::Topology topology{};
   vsync::GroupService::Options vsync{};
   RuntimeConfig runtime{};
   /// One store per (server, class); defaults to HashStore on field 0.
@@ -92,6 +99,28 @@ class Cluster {
   /// Override B(C) for one class (before or after assign_basic_support).
   void set_basic_support(ClassId cls, std::vector<MachineId> members);
   std::vector<MachineId> basic_support(ClassId cls) const;
+
+  /// Placement-aware alternative to assign_basic_support: choose each
+  /// class's B(C) to minimize the expected bridge-crossing cost of its
+  /// reads under the topology (paso/placement.hpp), keeping the group
+  /// spread across segments for fault tolerance. `weights_per_class[c][m]`
+  /// is the expected read volume class c sees from machine m; missing or
+  /// empty entries mean uniform readers. Ties go to the machine serving the
+  /// fewest classes so far, so a uniform-weight, one-segment call spreads
+  /// classes like round-robin. Joins and settles like
+  /// assign_basic_support; classes with an explicit override keep it.
+  void assign_placement_aware_support(
+      const std::vector<std::vector<double>>& weights_per_class = {});
+
+  /// Re-place one class's write group under its *observed* reader
+  /// population (each runtime's issued-read counters) and migrate: new
+  /// members join first; old members leave only after every join completed,
+  /// so the fault-tolerance condition never weakens mid-migration. The
+  /// caller settles. No-op when the observed-optimal group equals the
+  /// current one.
+  void rebalance_placement(ClassId cls);
+  /// Reads of `cls` issued per machine so far (the rebalance signal).
+  std::vector<double> observed_read_weights(ClassId cls) const;
 
   // --- fault plane (Section 3.1) ---------------------------------------------
   void crash(MachineId m);

@@ -87,10 +87,12 @@ std::string fmt_time(sim::SimTime t) {
 
 std::string describe_event(const ChaosEvent& ev) {
   std::ostringstream os;
-  os << "t=" << fmt_time(ev.at) << " " << chaos_kind_name(ev.kind) << " m"
+  os << "t=" << fmt_time(ev.at) << " " << chaos_kind_name(ev.kind)
+     << (ev.kind == ChaosEvent::Kind::kBridgePartition ? " b" : " m")
      << ev.machine;
   if (ev.kind == ChaosEvent::Kind::kDrop ||
-      ev.kind == ChaosEvent::Kind::kDelay) {
+      ev.kind == ChaosEvent::Kind::kDelay ||
+      ev.kind == ChaosEvent::Kind::kBridgePartition) {
     os << " for " << fmt_time(ev.duration);
   }
   if (ev.kind == ChaosEvent::Kind::kDelay) {
@@ -117,6 +119,8 @@ const char* chaos_kind_name(ChaosEvent::Kind kind) {
       return "corrupt-record";
     case ChaosEvent::Kind::kLostFsync:
       return "lost-fsync";
+    case ChaosEvent::Kind::kBridgePartition:
+      return "bridge-partition";
   }
   return "?";
 }
@@ -184,6 +188,21 @@ ChaosSchedule ChaosSchedule::generate(std::uint64_t seed, std::size_t machines,
     ev.at = rng.uniform01() * options.horizon * 0.8;
     ev.salt = rng.uniform(0, std::numeric_limits<std::uint32_t>::max());
     schedule.events.push_back(ev);
+  }
+
+  // Bridge partitions last of all — same stream-extension contract as the
+  // disk faults above, so pre-partition seeds replay unchanged.
+  if (options.bridges > 0) {
+    for (std::size_t i = 0; i < options.bridge_partition_count; ++i) {
+      ChaosEvent ev;
+      ev.kind = ChaosEvent::Kind::kBridgePartition;
+      ev.machine = static_cast<std::uint32_t>(
+          rng.uniform(0, static_cast<std::uint32_t>(options.bridges - 1)));
+      ev.at = rng.uniform01() * options.horizon * 0.8;
+      ev.duration = 25 + rng.uniform01() *
+                             std::max<sim::SimTime>(0, options.max_window - 25);
+      schedule.events.push_back(ev);
+    }
   }
 
   std::stable_sort(schedule.events.begin(), schedule.events.end(),
@@ -309,6 +328,20 @@ void ChaosEngine::apply(std::size_t index) {
       }
       ++disk_faults_;
       note(now, std::string(name) + " " + who + " (" + *damage + ")");
+      return;
+    }
+    case ChaosEvent::Kind::kBridgePartition: {
+      // `machine` carries the bridge index for this kind.
+      const std::string which = "b" + std::to_string(ev.machine);
+      if (ev.machine >= cluster_.network().bridge_count()) {
+        ++skipped_;
+        note(now, "skip bridge-partition " + which + " (no such bridge)");
+        return;
+      }
+      cluster_.network().set_bridge_partition(ev.machine, now + ev.duration);
+      ++partitions_;
+      note(now, "bridge-partition " + which + " until " +
+                    fmt_time(now + ev.duration));
       return;
     }
   }

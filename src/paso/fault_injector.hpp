@@ -78,11 +78,12 @@ struct ChaosEvent {
     kTornTail,       ///< chop bytes off a WAL tail on `machine`'s disk
     kCorruptRecord,  ///< flip a byte inside a WAL on `machine`'s disk
     kLostFsync,      ///< drop the last whole WAL record (write never landed)
+    kBridgePartition,  ///< bridge `machine` drops crossings until at+duration
   };
   Kind kind = Kind::kCrash;
   sim::SimTime at = 0;
-  std::uint32_t machine = 0;
-  sim::SimTime duration = 0;     ///< window length (kDelay / kDrop only)
+  std::uint32_t machine = 0;  ///< kBridgePartition: the bridge index instead
+  sim::SimTime duration = 0;  ///< window length (kDelay / kDrop / partition)
   sim::SimTime extra_delay = 0;  ///< added latency (kDelay only)
   std::uint64_t salt = 0;        ///< disk faults: picks the victim class/byte
 };
@@ -112,6 +113,13 @@ struct ChaosSchedule {
     /// come after every pre-existing draw, so schedules generated without
     /// disk faults are identical to what earlier versions produced.
     std::size_t disk_fault_count = 0;
+    /// Bridge-partition windows: a bridge of the segmented topology drops
+    /// every message whose transmission crosses it during the window. Zero
+    /// by default, and these draws come after the disk-fault draws — same
+    /// seed-stability contract as above. `bridges` is the target topology's
+    /// bridge count (segments - 1); with 0 bridges no windows are drawn.
+    std::size_t bridge_partition_count = 0;
+    std::size_t bridges = 0;
   };
 
   /// Deterministic: the same (seed, machines, options) always yields the
@@ -152,6 +160,7 @@ class ChaosEngine {
   std::uint64_t skipped() const { return skipped_; }
   std::uint64_t deferred() const { return deferred_; }
   std::uint64_t disk_faults() const { return disk_faults_; }
+  std::uint64_t partitions() const { return partitions_; }
   const ChaosSchedule& schedule() const { return schedule_; }
   /// Applied-event log, one line per decision, in virtual-time order.
   const std::vector<std::string>& log() const { return log_; }
@@ -173,6 +182,7 @@ class ChaosEngine {
   std::uint64_t skipped_ = 0;
   std::uint64_t deferred_ = 0;
   std::uint64_t disk_faults_ = 0;
+  std::uint64_t partitions_ = 0;
 };
 
 }  // namespace paso

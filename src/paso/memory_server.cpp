@@ -449,6 +449,15 @@ vsync::DurablePosition MemoryServer::durable_position(const GroupName& group) {
                                 it->second.lsn};
 }
 
+std::optional<std::uint64_t> MemoryServer::delta_floor(const GroupName& group) {
+  const auto cls = class_of_group(group);
+  if (!cls || persist_ == nullptr || !persist_->enabled()) return std::nullopt;
+  if (!classes_.contains(cls->value)) return std::nullopt;
+  // The retained log starts just past checkpoint_lsn, so that is the oldest
+  // joiner position this member can serve a delta to.
+  return persist_->checkpoint_lsn(*cls);
+}
+
 std::optional<vsync::StateBlob> MemoryServer::capture_delta(
     const GroupName& group, const vsync::DurablePosition& position) {
   const auto cls = class_of_group(group);

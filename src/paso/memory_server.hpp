@@ -65,6 +65,7 @@ class MemoryServer final : public vsync::GroupEndpoint {
   void erase_state(const GroupName& group) override;
   void on_view_change(const GroupName& group, const vsync::View& view) override;
   vsync::DurablePosition durable_position(const GroupName& group) override;
+  std::optional<std::uint64_t> delta_floor(const GroupName& group) override;
   std::optional<vsync::StateBlob> capture_delta(
       const GroupName& group, const vsync::DurablePosition& position) override;
   bool install_delta(const GroupName& group,

@@ -1,0 +1,78 @@
+#include "paso/placement.hpp"
+
+#include <limits>
+
+namespace paso {
+
+std::vector<MachineId> choose_write_group(const net::Topology& topology,
+                                          const PlacementRequest& request) {
+  PASO_REQUIRE(request.machines > 0, "placement needs machines");
+  PASO_REQUIRE(!topology.degenerate(),
+               "placement needs a resolved topology (see Topology::resolve)");
+  const std::size_t size = std::min(request.lambda + 1, request.machines);
+  const std::size_t segments = topology.segment_count();
+
+  // Weighted-hop score: how far (in bridge hops) machine m sits from the
+  // reader population. Lower is better.
+  std::vector<double> score(request.machines, 0);
+  for (std::uint32_t m = 0; m < request.machines; ++m) {
+    if (request.read_weight.empty()) {
+      for (std::uint32_t r = 0; r < request.machines; ++r) {
+        score[m] += static_cast<double>(topology.hops(MachineId{r}, MachineId{m}));
+      }
+    } else {
+      for (std::uint32_t r = 0; r < request.read_weight.size() && r < request.machines; ++r) {
+        score[m] += request.read_weight[r] *
+                    static_cast<double>(topology.hops(MachineId{r}, MachineId{m}));
+      }
+    }
+  }
+
+  // Spread cap: with >=2 segments, the full group may not sit on one
+  // segment (size-1 leaves room for at least one member elsewhere). A
+  // single-member group, or a single segment, has nothing to spread.
+  const std::size_t cap =
+      (segments >= 2 && size >= 2) ? size - 1 : size;
+
+  std::vector<bool> chosen(request.machines, false);
+  std::vector<std::size_t> per_segment(segments, 0);
+  std::vector<MachineId> group;
+  group.reserve(size);
+  // Two passes: first honoring the cap, then — if segment populations made
+  // the cap infeasible (e.g. a segment with one machine) — filling the
+  // remainder unconstrained.
+  for (int pass = 0; pass < 2 && group.size() < size; ++pass) {
+    const bool capped = pass == 0;
+    while (group.size() < size) {
+      std::size_t best = request.machines;
+      for (std::uint32_t m = 0; m < request.machines; ++m) {
+        if (chosen[m]) continue;
+        if (capped && per_segment[topology.segment_of(MachineId{m})] >= cap) {
+          continue;
+        }
+        if (best == request.machines) {
+          best = m;
+          continue;
+        }
+        const double load_m = m < request.machine_load.size()
+                                  ? static_cast<double>(request.machine_load[m])
+                                  : 0;
+        const double load_b =
+            best < request.machine_load.size()
+                ? static_cast<double>(request.machine_load[best])
+                : 0;
+        if (score[m] < score[best] ||
+            (score[m] == score[best] && load_m < load_b)) {
+          best = m;
+        }
+      }
+      if (best == request.machines) break;  // cap exhausted the candidates
+      chosen[best] = true;
+      ++per_segment[topology.segment_of(MachineId{static_cast<std::uint32_t>(best)})];
+      group.push_back(MachineId{static_cast<std::uint32_t>(best)});
+    }
+  }
+  return group;
+}
+
+}  // namespace paso

@@ -1,0 +1,42 @@
+// Placement-aware write-group selection under a segment topology.
+//
+// Section 5.1's round-robin basic support B(C) = {(c+i) mod n} is blind to
+// where a class's readers sit; on a multi-segment bus that can put every
+// replica across a bridge from every reader. choose_write_group picks the
+// lambda+1 members greedily, scoring each candidate by the bridge hops its
+// segment is from the class's (weighted) reader population, subject to a
+// spread constraint: with two or more segments, no single segment may hold
+// the entire write group, so one segment's total loss (a partitioned or
+// powered-off wing) still leaves a live replica elsewhere — the
+// segment-aware reading of the Section 4 fault-tolerance condition
+// (docs/protocol.md).
+#pragma once
+
+#include <vector>
+
+#include "common/ids.hpp"
+#include "net/topology.hpp"
+
+namespace paso {
+
+struct PlacementRequest {
+  std::size_t machines = 0;
+  std::size_t lambda = 0;
+  /// Expected reads issued per machine (the class's observed or predicted
+  /// reader population). Empty = uniform.
+  std::vector<double> read_weight;
+  /// Classes already placed per machine; ties in the locality score go to
+  /// the least-loaded machine so uniform-weight placement still spreads
+  /// classes like round-robin does. Empty = no load tie-break.
+  std::vector<std::size_t> machine_load;
+};
+
+/// Greedy placement: repeatedly take the candidate with the lowest
+/// (weighted-hop score, machine_load, id) whose segment still has room
+/// under the spread cap. The topology must be resolved (every machine
+/// mapped to a segment); on a one-segment topology this degenerates to
+/// least-loaded/lowest-id selection.
+std::vector<MachineId> choose_write_group(const net::Topology& topology,
+                                          const PlacementRequest& request);
+
+}  // namespace paso

@@ -138,6 +138,35 @@ std::vector<MachineId> PasoRuntime::read_group_of(ClassId cls) const {
   return {};
 }
 
+std::size_t PasoRuntime::sticky_start(ClassId cls,
+                                      const std::vector<MachineId>& members,
+                                      std::size_t window) {
+  // Two-choice with stickiness: compare the anchored window against one
+  // rotating probe window per read and move the anchor only when the probe
+  // is measurably lighter. Load of a window is its most-loaded replica (the
+  // max is what tail latency sees), read from the ledger's per-machine work
+  // counters — the signal real servers would piggyback on responses.
+  const net::CostLedger& ledger = groups_.network().ledger();
+  auto window_load = [&](std::size_t start) {
+    Cost load = 0;
+    const std::size_t span = std::min(window, members.size());
+    for (std::size_t i = 0; i < span; ++i) {
+      load = std::max(load,
+                      ledger.work_of(members[(start + i) % members.size()]));
+    }
+    return load;
+  };
+  std::size_t& anchor = sticky_anchor_[cls.value];
+  anchor %= members.size();  // the view may have shrunk since the last read
+  const std::size_t probe = read_rotation_[cls.value]++ % members.size();
+  if (probe != anchor &&
+      window_load(probe) <
+          window_load(anchor) * (1.0 - config_.sticky_margin)) {
+    anchor = probe;
+  }
+  return anchor;
+}
+
 void PasoRuntime::read(ProcessId process, SearchCriterion sc,
                        SearchCallback cb) {
   PASO_REQUIRE(groups_.is_up(self_), "read issued from a crashed machine");
@@ -174,6 +203,9 @@ void PasoRuntime::read_class_chain(ProcessId process, SearchCriterion sc,
   }
   const ClassId cls = classes[index];
   const GroupName group = group_of(cls);
+  // Reader-population signal for placement-aware replication: every class
+  // this read consults counts as reader interest from this machine.
+  ++reads_issued_[cls.value];
 
   if (groups_.is_member(group, self_) && server_.supports(cls)) {
     // Local fast path (Section 4.3): msg-cost 0, Q(l) work on this server.
@@ -195,10 +227,14 @@ void PasoRuntime::read_class_chain(ProcessId process, SearchCriterion sc,
   if (config_.use_read_groups) {
     if (config_.rotate_read_groups) {
       // Load-balancing variant: take lambda+1 members of the current write
-      // group starting at a per-class rotating offset.
+      // group starting at a per-class offset — blindly advanced every read,
+      // or sticky two-choice driven by per-replica load counters.
       const std::vector<MachineId> members = groups_.view_of(group).members;
       if (!members.empty()) {
-        const std::size_t start = read_rotation_[cls.value]++ % members.size();
+        const std::size_t start =
+            config_.sticky_rotation
+                ? sticky_start(cls, members, max_targets)
+                : read_rotation_[cls.value]++ % members.size();
         for (std::size_t i = 0; i < members.size() && preferred.size() < max_targets; ++i) {
           preferred.push_back(members[(start + i) % members.size()]);
         }
@@ -843,6 +879,8 @@ void PasoRuntime::on_machine_crash() {
   robust_.clear();
   join_pending_.clear();
   leave_pending_.clear();
+  sticky_anchor_.clear();
+  reads_issued_.clear();
   inflight_ = 0;
   ++crash_epoch_;
   if (policy_) policy_->on_machine_reset();

@@ -42,6 +42,20 @@ struct RuntimeConfig {
   /// (the response-time concern the paper defers to load balancing [13]);
   /// any lambda+1 subset satisfies the fault-tolerance condition.
   bool rotate_read_groups = false;
+  /// Sticky two-choice rotation (requires rotate_read_groups): instead of
+  /// advancing the read-group window on every read, keep the current
+  /// window and probe one rotating alternative per read, moving only when
+  /// the alternative's most-loaded replica carries measurably less load
+  /// than the current one — the balanced-allocations idea of [13]. Load is
+  /// the per-replica work counter in the cost ledger, standing in for the
+  /// load reports servers would piggyback on responses; blind per-read
+  /// rotation keeps hammering replicas that are hot from *other* classes,
+  /// sticky two-choice steers around them.
+  bool sticky_rotation = false;
+  /// Hysteresis for sticky_rotation: the probed window wins only when its
+  /// load is below current * (1 - sticky_margin), so equal-load windows
+  /// never flap.
+  double sticky_margin = 0.05;
   /// Busy-wait retry interval for blocking operations in polling mode.
   sim::SimTime poll_interval = 200;
   /// Marker lifetime in the hybrid blocking scheme; markers are re-placed
@@ -220,6 +234,15 @@ class PasoRuntime final : public GroupControl {
   vsync::GroupService& groups() { return groups_; }
   MemoryServer& server() { return server_; }
   const RuntimeConfig& config() const { return config_; }
+  /// Per-machine knob overrides (benches/tests mixing rotation modes across
+  /// machines in one cluster). Change knobs between operations only.
+  RuntimeConfig& mutable_config() { return config_; }
+  /// Reads of `cls` this runtime has issued (local or remote) — the
+  /// observed reader population placement-aware replication consumes.
+  std::uint64_t reads_issued(ClassId cls) const {
+    const auto it = reads_issued_.find(cls.value);
+    return it == reads_issued_.end() ? 0 : it->second;
+  }
   /// The batching layer store/mem-read/remove gcasts route through (markers
   /// go to `groups()` directly).
   vsync::GcastBatcher& batcher() { return batcher_; }
@@ -278,6 +301,11 @@ class PasoRuntime final : public GroupControl {
                             obs::TraceId trace = 0);
   std::vector<MachineId> read_group_of(ClassId cls) const;
   GroupName group_of(ClassId cls) const { return schema_.group_name(cls); }
+  /// Sticky two-choice: the rotation offset to read from, given the
+  /// current view members (sorted) and the read-group window size.
+  std::size_t sticky_start(ClassId cls,
+                           const std::vector<MachineId>& members,
+                           std::size_t window);
 
   void start_blocking(ProcessId process, SearchCriterion sc, SearchCallback cb,
                       semantics::OpKind kind, BlockingMode mode,
@@ -320,6 +348,8 @@ class PasoRuntime final : public GroupControl {
 
   std::unordered_map<ProcessId, std::uint64_t> insert_seq_;
   std::unordered_map<std::uint32_t, std::size_t> read_rotation_;
+  std::unordered_map<std::uint32_t, std::size_t> sticky_anchor_;
+  std::unordered_map<std::uint32_t, std::uint64_t> reads_issued_;
   std::set<std::uint32_t> join_pending_;
   std::set<std::uint32_t> leave_pending_;
   std::map<std::uint64_t, BlockingOp> blocking_;

@@ -44,6 +44,19 @@ void PersistenceManager::count(const char* name, double amount) {
   if (obs_.metrics != nullptr) obs_.metrics->counter(name).inc(amount);
 }
 
+std::uint64_t PersistenceManager::bytes_on_disk() const {
+  std::uint64_t total = 0;
+  for (std::uint32_t c = 0; c < schema_.class_count(); ++c) {
+    const ClassId cls{c};
+    total += disk_.size(log_file(cls)) + disk_.size(ckpt_file(cls));
+  }
+  return total;
+}
+
+void PersistenceManager::account_disk(std::uint64_t written) {
+  if (disk_accounting_) disk_accounting_(written, bytes_on_disk());
+}
+
 // ---------------------------------------------------------------------------
 // append path
 
@@ -60,6 +73,7 @@ Cost PersistenceManager::log_op(ClassId cls, std::uint64_t lsn,
   stats_.append_bytes += framed.size();
   count("persist.appends");
   count("persist.append_bytes", static_cast<double>(framed.size()));
+  account_disk(framed.size());
   return cost;
 }
 
@@ -98,6 +112,9 @@ Cost PersistenceManager::write_checkpoint(ClassId cls, CheckpointImage image,
   d.checkpoint_lsn = image.lsn;
   d.durable_lsn = std::max(d.durable_lsn, image.lsn);
   d.last_checkpoint_at = now;
+  // Accounted after compaction so on_disk reflects the post-checkpoint
+  // footprint (image written, log behind it gone).
+  account_disk(bytes.size());
   return cost;
 }
 
@@ -120,6 +137,7 @@ void PersistenceManager::erase_class(ClassId cls) {
   disk_.remove(log_file(cls));
   disk_.remove(ckpt_file(cls));
   classes_.erase(cls.value);
+  account_disk(0);
 }
 
 // ---------------------------------------------------------------------------
@@ -160,6 +178,7 @@ std::optional<RecoveredClass> PersistenceManager::recover(ClassId cls) {
       disk_.remove(ckpt_file(cls));
       disk_.remove(log_file(cls));
       classes_.erase(cls.value);
+      account_disk(0);
       return std::nullopt;
     }
   }
@@ -189,6 +208,7 @@ std::optional<RecoveredClass> PersistenceManager::recover(ClassId cls) {
     count("persist.truncated_bytes",
           static_cast<double>(bytes.size() - keep_bytes));
     out.cost += disk_.truncate(log_file(cls), keep_bytes);
+    account_disk(0);
   }
   out.tail = std::move(tail);
   stats_.replayed_records += out.tail.size();
@@ -214,6 +234,11 @@ std::uint64_t PersistenceManager::checkpoint_epoch(ClassId cls) const {
 std::uint64_t PersistenceManager::durable_lsn(ClassId cls) const {
   auto it = classes_.find(cls.value);
   return it == classes_.end() ? 0 : it->second.durable_lsn;
+}
+
+std::uint64_t PersistenceManager::checkpoint_lsn(ClassId cls) const {
+  auto it = classes_.find(cls.value);
+  return it == classes_.end() ? 0 : it->second.checkpoint_lsn;
 }
 
 std::optional<std::vector<WalRecord>> PersistenceManager::capture_suffix(
@@ -300,6 +325,7 @@ std::optional<std::string> PersistenceManager::inject_fault(
   if (!did) return std::nullopt;
   ++stats_.faults_injected;
   count("persist.faults_injected");
+  account_disk(0);
   return what;
 }
 

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -93,6 +94,22 @@ class PersistenceManager {
   /// Cluster-scoped counters (persist.appends etc.). Optional.
   void set_obs(obs::Obs o) { obs_ = o; }
 
+  /// Disk-space accounting hook, invoked after every durable write (and
+  /// after truncations/erasures, with `written` = 0) with the bytes just
+  /// written and this machine's current bytes-on-disk total. The cluster
+  /// wires it to the CostLedger and the persist.bytes_on_disk gauge; going
+  /// through a hook keeps the manager itself ledger-free (see the file
+  /// comment) and trivially deterministic.
+  using DiskAccounting =
+      std::function<void(std::uint64_t written, std::uint64_t on_disk)>;
+  void set_disk_accounting(DiskAccounting hook) {
+    disk_accounting_ = std::move(hook);
+  }
+
+  /// Total durable bytes currently on this machine's disk (logs +
+  /// checkpoints across all classes).
+  std::uint64_t bytes_on_disk() const;
+
   // --- append path ----------------------------------------------------------
   /// Append one applied operation at `lsn`. Returns the disk cost (0 when
   /// disabled).
@@ -138,6 +155,12 @@ class PersistenceManager {
                                                        std::uint64_t after_lsn,
                                                        Cost* cost);
 
+  /// The compaction horizon: the retained log starts just past this lsn, so
+  /// a delta can be served to any joiner at position >= checkpoint_lsn.
+  /// GroupService uses it as the donor-selection key (prefer the member
+  /// whose log reaches furthest back).
+  std::uint64_t checkpoint_lsn(ClassId cls) const;
+
   // --- chaos ----------------------------------------------------------------
   /// Deterministically damage one class's durable files. Returns a
   /// human-readable description of what was done, or nullopt when there was
@@ -166,6 +189,7 @@ class PersistenceManager {
   std::vector<FieldType> signature_of(ClassId cls) const;
   ClassDurable& durable(ClassId cls);
   void count(const char* name, double amount = 1);
+  void account_disk(std::uint64_t written);
 
   MachineId self_;
   const Schema& schema_;
@@ -174,6 +198,7 @@ class PersistenceManager {
   obs::Obs obs_;
   std::unordered_map<std::uint32_t, ClassDurable> classes_;
   PersistStats stats_;
+  DiskAccounting disk_accounting_;
 };
 
 const char* persist_fault_name(PersistenceManager::FaultKind kind);

@@ -89,6 +89,18 @@ class GroupEndpoint {
     return std::nullopt;
   }
 
+  /// Donor side: how far back this member's retained log reaches for
+  /// `group` (its compaction horizon — the lsn just below the oldest
+  /// retained record). A delta can be served to any joiner whose durable
+  /// lsn is >= this floor. nullopt when this member cannot donate deltas
+  /// at all (persistence off, no local state). GroupService uses it to
+  /// pick the donor whose log reaches furthest back instead of blindly
+  /// asking the leader.
+  virtual std::optional<std::uint64_t> delta_floor(const GroupName& group) {
+    (void)group;
+    return std::nullopt;
+  }
+
   /// Joiner side: apply a delta blob on top of locally recovered state.
   /// Returning false aborts the delta (the blob did not line up with the
   /// local state); the service restarts the join as a full transfer.

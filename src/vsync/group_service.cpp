@@ -287,14 +287,31 @@ void GroupService::maybe_complete_gcast(const GroupName& name, Op& op) {
 
   // All targeted members processed the message; one response is forwarded to
   // the issuer. All responses are equal in this model (replicas), so the
-  // leader's own is used when the leader was a target; otherwise the
-  // lowest-id target's result substitutes.
+  // classic choice — the current leader's result when the leader was a
+  // target, else the lowest-id target's — is overridden only by a target
+  // *strictly nearer* to the issuer (fewer bridge hops; among nearer
+  // targets fewest hops wins, ties to the lowest id). On a single bus every
+  // hop count is equal, so no override ever fires and the pre-topology
+  // behavior is preserved exactly; on a segmented topology the override
+  // keeps the payload-bearing response off the bridges whenever a replica
+  // co-located with the issuer answered.
   const View view = view_of(name);
   std::any body;
   std::size_t bytes = 0;
   MachineId responder = g.issuer;
   auto it = view.empty() ? g.results.begin() : g.results.find(view.leader());
   if (it == g.results.end()) it = g.results.begin();
+  if (it != g.results.end()) {
+    std::size_t best_hops = network_.topology().hops(g.issuer, it->first);
+    for (auto cand = g.results.begin(); cand != g.results.end(); ++cand) {
+      const std::size_t hops =
+          network_.topology().hops(g.issuer, cand->first);
+      if (hops < best_hops) {
+        it = cand;
+        best_hops = hops;
+      }
+    }
+  }
   if (it != g.results.end()) {
     body = it->second.response;
     bytes = it->second.response_bytes;
@@ -343,28 +360,50 @@ void GroupService::dispatch_join(const GroupName& name, Op& op) {
     return;
   }
 
-  // Donor state transfer (Section 4.2): one member — the leader — captures
-  // its state for this group and ships it to the joiner. The group's queue
-  // stays blocked until the transfer completes, so "no communication to
-  // g-name is processed by any of g-name's members" during the transfer.
-  const MachineId donor = view.leader();
-  j.donor = donor;
-  j.transfer_in_flight = true;
-  if (j.started_at < 0) j.started_at = network_.simulator().now();
-  GroupEndpoint* donor_ep = endpoints_[donor.value];
-  PASO_REQUIRE(donor_ep != nullptr, "donor without endpoint");
-
   // Delta negotiation: a joiner that recovered local durable state
   // advertises its (checkpoint epoch, lsn); if the donor's log still covers
   // the gap it ships only the suffix. Any refusal — persistence off, joiner
   // too stale, donor log damaged — silently degrades to the full blob.
   GroupEndpoint* joiner_ep = endpoints_[j.joiner.value];
   PASO_REQUIRE(joiner_ep != nullptr, "joiner without endpoint");
-  std::optional<StateBlob> delta;
-  if (!j.force_full) {
-    const DurablePosition position = joiner_ep->durable_position(name);
-    if (position.valid) delta = donor_ep->capture_delta(name, position);
+  DurablePosition position;
+  if (!j.force_full) position = joiner_ep->durable_position(name);
+
+  // Donor state transfer (Section 4.2): one member captures its state for
+  // this group and ships it to the joiner. The group's queue stays blocked
+  // until the transfer completes, so "no communication to g-name is
+  // processed by any of g-name's members" during the transfer.
+  //
+  // Donor selection by durable position: the leader is the default donor,
+  // but when the joiner advertises a durable position we prefer the member
+  // whose retained log reaches furthest back among those that can still
+  // serve a delta (delta_floor <= joiner lsn) — the leader may have
+  // checkpoint-compacted past the joiner and force a full-blob fallback a
+  // sibling's deeper log could have avoided. Members are scanned in view
+  // order (leader first) with a strict improvement test, so equal floors —
+  // and every run without persistence — keep the classic leader donor.
+  MachineId donor = view.leader();
+  if (position.valid) {
+    std::optional<std::uint64_t> best_floor;
+    for (const MachineId m : view.members) {
+      GroupEndpoint* ep = network_.is_up(m) ? endpoints_[m.value] : nullptr;
+      if (ep == nullptr) continue;
+      const std::optional<std::uint64_t> floor = ep->delta_floor(name);
+      if (!floor.has_value() || *floor > position.lsn) continue;
+      if (!best_floor.has_value() || *floor < *best_floor) {
+        best_floor = floor;
+        donor = m;
+      }
+    }
   }
+  j.donor = donor;
+  j.transfer_in_flight = true;
+  if (j.started_at < 0) j.started_at = network_.simulator().now();
+  GroupEndpoint* donor_ep = endpoints_[donor.value];
+  PASO_REQUIRE(donor_ep != nullptr, "donor without endpoint");
+
+  std::optional<StateBlob> delta;
+  if (position.valid) delta = donor_ep->capture_delta(name, position);
   const bool is_delta = delta.has_value();
   StateBlob blob = is_delta ? std::move(*delta) : donor_ep->capture_state(name);
   const Cost copy_cost =

@@ -1,0 +1,177 @@
+// Donor selection by durable position (GroupService::dispatch_join).
+//
+// The join path used to pick the view leader as the state-transfer donor
+// unconditionally; a leader that had checkpoint-compacted its log past the
+// joiner's durable position then refused the delta and forced a full-blob
+// fallback even when a sibling replica still held the suffix. The service
+// now asks every up member for its delta_floor (compaction horizon) and
+// donates from the member whose log reaches furthest back — leader wins
+// ties, so persistence-off runs and equal-floor cases keep the classic
+// donor. Also covers the disk-space accounting these scenarios exercise.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "paso/cluster.hpp"
+#include "persist/manager.hpp"
+#include "semantics/checker.hpp"
+
+namespace paso {
+namespace {
+
+Schema task_schema() {
+  return Schema({
+      ClassSpec{"task", {FieldType::kInt, FieldType::kText}, 0, 1},
+  });
+}
+
+Tuple task(std::int64_t key) { return {Value{key}, Value{std::string{"v"}}}; }
+
+net::TrafficStats tag_stats(Cluster& cluster, const std::string& tag) {
+  const auto& per_tag = cluster.ledger().per_tag();
+  const auto it = per_tag.find(tag);
+  return it == per_tag.end() ? net::TrafficStats{} : it->second;
+}
+
+struct Fixture {
+  ClusterConfig cfg;
+  Fixture() {
+    cfg.machines = 4;
+    cfg.lambda = 2;  // wg(task) = {0, 1, 2}; driver on 3
+    cfg.persistence.enabled = true;
+  }
+};
+
+TEST(DonorSelectionTest, DeepestLogDonatesTheDeltaWhenTheLeaderCompacted) {
+  Fixture f;
+  Cluster cluster(task_schema(), f.cfg);
+  cluster.assign_basic_support();
+  const ClassId cls{0};
+  const MachineId leader{0};
+  const MachineId sibling{1};
+  const MachineId victim{2};
+  const ProcessId driver = cluster.process(MachineId{3});
+
+  for (std::int64_t key = 0; key < 30; ++key) {
+    ASSERT_TRUE(cluster.insert_sync(driver, task(key)));
+  }
+  cluster.crash(victim);
+  cluster.settle_for(1000);  // failure detection expels the victim
+  for (std::int64_t key = 30; key < 50; ++key) {
+    ASSERT_TRUE(cluster.insert_sync(driver, task(key)));
+  }
+  // The leader compacts past the joiner's position; the sibling's log still
+  // reaches back to the start.
+  ASSERT_GT(cluster.server(leader).checkpoint_class(cls), 0.0);
+  ASSERT_GT(cluster.persistence(leader).checkpoint_lsn(cls), 30u);
+  ASSERT_LE(cluster.persistence(sibling).checkpoint_lsn(cls), 30u);
+
+  const auto full_before = tag_stats(cluster, "state-xfer");
+  const auto delta_before = tag_stats(cluster, "state-xfer-delta");
+  cluster.recover(victim);
+  cluster.settle();
+
+  // The delta came from the sibling — the leader was never asked.
+  EXPECT_EQ(cluster.persistence(sibling).stats().delta_captures, 1u);
+  EXPECT_EQ(cluster.persistence(leader).stats().delta_captures, 0u);
+  EXPECT_EQ(cluster.persistence(leader).stats().delta_refusals, 0u);
+  EXPECT_EQ(tag_stats(cluster, "state-xfer-delta").messages,
+            delta_before.messages + 1);
+  EXPECT_EQ(tag_stats(cluster, "state-xfer").messages, full_before.messages);
+
+  // The rejoined replica matches a survivor.
+  for (std::int64_t key = 0; key < 50; ++key) {
+    if (key == 3) continue;
+    const SearchCriterion sc = criterion(Exact{Value{key}}, AnyField{});
+    const auto from_victim = cluster.server(victim).local_find(cls, sc);
+    const auto from_sibling = cluster.server(sibling).local_find(cls, sc);
+    ASSERT_EQ(from_victim.has_value(), from_sibling.has_value())
+        << "key " << key;
+  }
+  EXPECT_TRUE(
+      semantics::check_history(cluster.history(), cluster.run_context()).ok());
+}
+
+TEST(DonorSelectionTest, AllCompactedFallsBackToFullTransfer) {
+  Fixture f;
+  Cluster cluster(task_schema(), f.cfg);
+  cluster.assign_basic_support();
+  const ClassId cls{0};
+  const MachineId victim{2};
+  const ProcessId driver = cluster.process(MachineId{3});
+
+  for (std::int64_t key = 0; key < 30; ++key) {
+    ASSERT_TRUE(cluster.insert_sync(driver, task(key)));
+  }
+  cluster.crash(victim);
+  cluster.settle_for(1000);
+  for (std::int64_t key = 30; key < 50; ++key) {
+    ASSERT_TRUE(cluster.insert_sync(driver, task(key)));
+  }
+  // Every surviving member compacts past the joiner: no qualifying donor
+  // remains, so the join degrades to the classic leader full blob.
+  ASSERT_GT(cluster.server(MachineId{0}).checkpoint_class(cls), 0.0);
+  ASSERT_GT(cluster.server(MachineId{1}).checkpoint_class(cls), 0.0);
+
+  const auto full_before = tag_stats(cluster, "state-xfer");
+  cluster.recover(victim);
+  cluster.settle();
+
+  EXPECT_EQ(tag_stats(cluster, "state-xfer").messages,
+            full_before.messages + 1);
+  EXPECT_EQ(cluster.persistence(MachineId{0}).stats().delta_captures, 0u);
+  EXPECT_EQ(cluster.persistence(MachineId{1}).stats().delta_captures, 0u);
+  ASSERT_TRUE(cluster.server(victim).supports(cls));
+  EXPECT_EQ(cluster.server(victim).live_count(cls),
+            cluster.server(MachineId{1}).live_count(cls));
+  EXPECT_TRUE(
+      semantics::check_history(cluster.history(), cluster.run_context()).ok());
+}
+
+TEST(DiskAccountingTest, LedgerAndGaugeTrackDurableBytes) {
+  Fixture f;
+  f.cfg.observe = true;
+  Cluster cluster(task_schema(), f.cfg);
+  cluster.assign_basic_support();
+  const ProcessId driver = cluster.process(MachineId{3});
+  for (std::int64_t key = 0; key < 20; ++key) {
+    ASSERT_TRUE(cluster.insert_sync(driver, task(key)));
+  }
+
+  // Every write-group member logged every op: the ledger rows agree with
+  // the managers' own stats, and the gauge mirrors bytes actually on disk.
+  EXPECT_GT(cluster.ledger().total_disk_bytes_written(), 0u);
+  for (std::uint32_t m = 0; m < 3; ++m) {
+    const MachineId machine{m};
+    const auto& stats = cluster.persistence(machine).stats();
+    EXPECT_EQ(cluster.ledger().disk_bytes_written_of(machine),
+              stats.append_bytes + stats.checkpoint_bytes)
+        << "machine " << m;
+    EXPECT_DOUBLE_EQ(
+        cluster.metrics().gauge("persist.bytes_on_disk", machine).value,
+        static_cast<double>(cluster.persistence(machine).bytes_on_disk()))
+        << "machine " << m;
+  }
+  // The driver holds no classes: nothing written, nothing on disk.
+  EXPECT_EQ(cluster.ledger().disk_bytes_written_of(MachineId{3}), 0u);
+
+  // Checkpointing compacts the log behind the image: written bytes grow,
+  // but the on-disk footprint becomes exactly the checkpoint (the log is
+  // gone) — the gauge must follow the disk, not the write counter.
+  const MachineId leader{0};
+  const std::uint64_t written_before =
+      cluster.ledger().disk_bytes_written_of(leader);
+  ASSERT_GT(cluster.persistence(leader).log_bytes(ClassId{0}), 0u);
+  ASSERT_GT(cluster.server(leader).checkpoint_class(ClassId{0}), 0.0);
+  EXPECT_GT(cluster.ledger().disk_bytes_written_of(leader), written_before);
+  EXPECT_EQ(cluster.persistence(leader).log_bytes(ClassId{0}), 0u);
+  EXPECT_EQ(cluster.persistence(leader).bytes_on_disk(),
+            cluster.persistence(leader).checkpoint_bytes_on_disk(ClassId{0}));
+  EXPECT_DOUBLE_EQ(
+      cluster.metrics().gauge("persist.bytes_on_disk", leader).value,
+      static_cast<double>(cluster.persistence(leader).bytes_on_disk()));
+}
+
+}  // namespace
+}  // namespace paso

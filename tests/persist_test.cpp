@@ -221,6 +221,58 @@ TEST(PersistenceManagerTest, AppendsThenRecovers) {
   EXPECT_TRUE(*store == std::get<StoreMsg>(store_msg(0, 13, 3)));
 }
 
+TEST(PersistenceManagerTest, DiskAccountingHookSeesWritesAndCompaction) {
+  ManagerFixture fx;
+  PersistenceManager& manager = fx.manager;
+  std::uint64_t written_total = 0;
+  std::uint64_t last_on_disk = 0;
+  std::size_t calls = 0;
+  manager.set_disk_accounting(
+      [&](std::uint64_t written, std::uint64_t on_disk) {
+        written_total += written;
+        last_on_disk = on_disk;
+        ++calls;
+      });
+
+  for (std::uint64_t lsn = 1; lsn <= 4; ++lsn) {
+    manager.log_op(ClassId{0}, lsn, store_msg(0, lsn, lsn));
+  }
+  EXPECT_EQ(calls, 4u);
+  EXPECT_EQ(written_total, manager.stats().append_bytes);
+  // The on_disk figure is literally the file sizes.
+  EXPECT_EQ(last_on_disk, manager.bytes_on_disk());
+  EXPECT_EQ(last_on_disk, manager.log_bytes(ClassId{0}));
+
+  // A checkpoint reports its own bytes written, but on_disk reflects the
+  // compaction: log gone, checkpoint in its place.
+  CheckpointImage image;
+  image.lsn = 4;
+  manager.write_checkpoint(ClassId{0}, image, /*now=*/50.0);
+  EXPECT_EQ(written_total,
+            manager.stats().append_bytes + manager.stats().checkpoint_bytes);
+  EXPECT_EQ(last_on_disk, manager.bytes_on_disk());
+  EXPECT_EQ(manager.log_bytes(ClassId{0}), 0u);
+
+  // Erasure fires the hook with zero written and an empty disk.
+  manager.erase_class(ClassId{0});
+  EXPECT_EQ(last_on_disk, 0u);
+  EXPECT_EQ(manager.bytes_on_disk(), 0u);
+}
+
+TEST(PersistenceManagerTest, CheckpointLsnIsTheCompactionHorizon) {
+  ManagerFixture fx;
+  PersistenceManager& manager = fx.manager;
+  EXPECT_EQ(manager.checkpoint_lsn(ClassId{0}), 0u);
+  for (std::uint64_t lsn = 1; lsn <= 3; ++lsn) {
+    manager.log_op(ClassId{0}, lsn, store_msg(0, lsn, lsn));
+  }
+  EXPECT_EQ(manager.checkpoint_lsn(ClassId{0}), 0u);
+  CheckpointImage image;
+  image.lsn = 3;
+  manager.write_checkpoint(ClassId{0}, image, /*now=*/50.0);
+  EXPECT_EQ(manager.checkpoint_lsn(ClassId{0}), 3u);
+}
+
 TEST(PersistenceManagerTest, CheckpointCompactsAndBoundsDeltas) {
   ManagerFixture fx;
   PersistenceManager& manager = fx.manager;

@@ -1,0 +1,136 @@
+// Differential oracle for the degenerate topology: a cluster configured
+// with no topology (the classic single bus) and one configured with an
+// explicit one-segment topology over the same cost model must be
+// indistinguishable — identical model costs, identical per-tag traffic,
+// identical per-machine work, identical history. This is the invariant that
+// lets every pre-topology BENCH_baseline.json row keep reproducing exactly.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "paso/cluster.hpp"
+#include "semantics/checker.hpp"
+
+namespace paso {
+namespace {
+
+Schema task_schema() {
+  return Schema({
+      ClassSpec{"task", {FieldType::kInt, FieldType::kText}, 0, 1},
+  });
+}
+
+Tuple task(std::int64_t key) { return {Value{key}, Value{std::string{"v"}}}; }
+
+/// A workload exercising inserts, remote reads, local reads, removals and a
+/// crash/recover cycle (state transfer traffic included).
+void run_workload(Cluster& cluster) {
+  cluster.assign_basic_support();
+  const ProcessId writer = cluster.process(MachineId{0});
+  const ProcessId remote = cluster.process(MachineId{4});
+  for (std::int64_t key = 0; key < 20; ++key) {
+    ASSERT_TRUE(cluster.insert_sync(writer, task(key)));
+  }
+  for (std::int64_t key = 0; key < 20; ++key) {
+    EXPECT_TRUE(cluster
+                    .read_sync(remote, criterion(Exact{Value{key}},
+                                                 TypedAny{FieldType::kText}))
+                    .has_value());
+  }
+  EXPECT_TRUE(cluster
+                  .read_del_sync(remote, criterion(Exact{Value{3ll}},
+                                                   TypedAny{FieldType::kText}))
+                  .has_value());
+  cluster.crash(MachineId{1});
+  cluster.settle_for(500);
+  cluster.recover(MachineId{1});
+  cluster.settle();
+  for (std::int64_t key = 10; key < 15; ++key) {
+    EXPECT_TRUE(cluster
+                    .read_sync(remote, criterion(Exact{Value{key}},
+                                                 TypedAny{FieldType::kText}))
+                    .has_value());
+  }
+}
+
+TEST(TopologyDiffTest, OneSegmentClusterReproducesTheClassicRunExactly) {
+  ClusterConfig classic_cfg;
+  classic_cfg.machines = 5;
+  classic_cfg.lambda = 1;
+  Cluster classic(task_schema(), classic_cfg);
+
+  ClusterConfig topo_cfg;
+  topo_cfg.machines = 5;
+  topo_cfg.lambda = 1;
+  topo_cfg.topology =
+      net::Topology::even(1, 5, topo_cfg.cost_model, 0, 0);
+  Cluster topo(task_schema(), topo_cfg);
+
+  run_workload(classic);
+  run_workload(topo);
+
+  // Model costs: exact equality, not tolerance — the one-segment code path
+  // must be the same arithmetic.
+  EXPECT_DOUBLE_EQ(classic.ledger().total_msg_cost(),
+                   topo.ledger().total_msg_cost());
+  EXPECT_DOUBLE_EQ(classic.ledger().total_work(), topo.ledger().total_work());
+  for (std::uint32_t m = 0; m < 5; ++m) {
+    EXPECT_DOUBLE_EQ(classic.ledger().work_of(MachineId{m}),
+                     topo.ledger().work_of(MachineId{m}))
+        << "machine " << m;
+  }
+
+  // Per-tag traffic: same tags, same message counts, bytes and costs.
+  const auto& classic_tags = classic.ledger().per_tag();
+  const auto& topo_tags = topo.ledger().per_tag();
+  ASSERT_EQ(classic_tags.size(), topo_tags.size());
+  for (const auto& [tag, stats] : classic_tags) {
+    const auto it = topo_tags.find(tag);
+    ASSERT_NE(it, topo_tags.end()) << "missing tag " << tag;
+    EXPECT_EQ(stats.messages, it->second.messages) << tag;
+    EXPECT_EQ(stats.bytes, it->second.bytes) << tag;
+    EXPECT_DOUBLE_EQ(stats.cost, it->second.cost) << tag;
+  }
+
+  // Same histories, both clean.
+  EXPECT_EQ(classic.history().size(), topo.history().size());
+  EXPECT_TRUE(semantics::check_history(classic.history(),
+                                       classic.run_context())
+                  .ok());
+  EXPECT_TRUE(
+      semantics::check_history(topo.history(), topo.run_context()).ok());
+
+  // The one-segment network never crosses.
+  EXPECT_EQ(topo.network().crossings(), 0u);
+  EXPECT_EQ(classic.network().crossings(), 0u);
+}
+
+TEST(TopologyDiffTest, ObserveStaysBehaviorNeutralOnSegmentedTopology) {
+  // The obs invariant extends to topologies: a segmented run with observe
+  // on must cost exactly what the same run costs with observe off.
+  auto run = [](bool observe) {
+    ClusterConfig cfg;
+    cfg.machines = 6;
+    cfg.lambda = 1;
+    cfg.topology = net::Topology::even(3, 6, cfg.cost_model, 60, 0.5);
+    cfg.observe = observe;
+    Cluster cluster(task_schema(), cfg);
+    cluster.assign_basic_support();
+    const ProcessId writer = cluster.process(MachineId{0});
+    const ProcessId reader = cluster.process(MachineId{5});
+    for (std::int64_t key = 0; key < 12; ++key) {
+      EXPECT_TRUE(cluster.insert_sync(writer, task(key)));
+      cluster.read_sync(reader, criterion(Exact{Value{key}},
+                                          TypedAny{FieldType::kText}));
+    }
+    return std::pair<Cost, std::uint64_t>{cluster.ledger().total_msg_cost(),
+                                          cluster.network().crossings()};
+  };
+  const auto with_obs = run(true);
+  const auto without = run(false);
+  EXPECT_DOUBLE_EQ(with_obs.first, without.first);
+  EXPECT_EQ(with_obs.second, without.second);
+}
+
+}  // namespace
+}  // namespace paso

@@ -2,12 +2,16 @@
 //
 // Both inputs are files of `{"bench":...,"config":...,"msg_cost":...}` rows
 // (bench_util's result_line format; non-row lines are skipped, so raw bench
-// stdout works too). Rows are matched on (bench, config). A fresh row whose
-// model msg_cost exceeds the baseline's by more than the tolerance (default
-// 10%) is a regression and fails the run with exit 1. Rows present on only
-// one side are listed as warnings — new benches aren't regressions, and
-// removed benches should be dropped from the baseline deliberately — so CI
-// catches cost drift the moment a PR introduces it.
+// stdout works too). Rows are matched on (bench, config) and gated on every
+// deterministic model axis the row carries: msg_cost, work and bytes. A
+// fresh row whose value on any gated axis exceeds the baseline's by more
+// than the tolerance (default 10%) is a regression and fails the run with
+// exit 1; axes the baseline row lacks (or records as 0 — wall-clock-only
+// rows) are skipped, so old baselines keep gating exactly what they always
+// did. Rows present on only one side are listed as warnings — new benches
+// aren't regressions, and removed benches should be dropped from the
+// baseline deliberately — so CI catches cost drift the moment a PR
+// introduces it.
 //
 // Usage: bench_diff BASELINE FRESH [--tolerance=0.10]
 #include <cstdio>
@@ -65,6 +69,10 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Gated axes, all deterministic model quantities (wall clock — ns_per_op —
+  // is machine-dependent and never gated).
+  static const char* const kAxes[] = {"msg_cost", "work", "bytes"};
+
   int regressions = 0;
   int compared = 0;
   int improved = 0;
@@ -75,23 +83,29 @@ int main(int argc, char** argv) {
                   key.second.c_str());
       continue;
     }
-    const double base = base_row.num("msg_cost");
-    const double now = it->second.num("msg_cost");
-    // Rows that meter only wall clock (msg_cost 0) have no model cost to
-    // regress; wall-clock is machine-dependent and not gated here.
-    if (base <= 0) continue;
-    ++compared;
-    const double ratio = now / base;
-    if (ratio > 1.0 + tolerance) {
-      std::printf("FAIL %s / %s: msg_cost %.6g -> %.6g (+%.1f%% > %.0f%%)\n",
-                  key.first.c_str(), key.second.c_str(), base, now,
-                  (ratio - 1.0) * 100, tolerance * 100);
-      ++regressions;
-    } else if (ratio < 1.0 - tolerance) {
-      std::printf("note: improved %s / %s: msg_cost %.6g -> %.6g (%.1f%%)\n",
-                  key.first.c_str(), key.second.c_str(), base, now,
-                  (ratio - 1.0) * 100);
-      ++improved;
+    bool row_counted = false;
+    for (const char* axis : kAxes) {
+      if (!base_row.has(axis)) continue;
+      const double base = base_row.num(axis);
+      const double now = it->second.num(axis);
+      // Axes the baseline meters as 0 have no model cost to regress.
+      if (base <= 0) continue;
+      if (!row_counted) {
+        ++compared;
+        row_counted = true;
+      }
+      const double ratio = now / base;
+      if (ratio > 1.0 + tolerance) {
+        std::printf("FAIL %s / %s: %s %.6g -> %.6g (+%.1f%% > %.0f%%)\n",
+                    key.first.c_str(), key.second.c_str(), axis, base, now,
+                    (ratio - 1.0) * 100, tolerance * 100);
+        ++regressions;
+      } else if (ratio < 1.0 - tolerance) {
+        std::printf("note: improved %s / %s: %s %.6g -> %.6g (%.1f%%)\n",
+                    key.first.c_str(), key.second.c_str(), axis, base, now,
+                    (ratio - 1.0) * 100);
+        ++improved;
+      }
     }
   }
   for (const auto& [key, row] : fresh) {
