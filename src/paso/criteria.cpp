@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/require.hpp"
+
 namespace paso {
 
 std::string value_to_string(const Value& v) {
@@ -40,6 +42,37 @@ std::string object_to_string(const PasoObject& object) {
   return os.str();
 }
 
+namespace {
+
+// Shared Range logic: a value is inside when it carries the bounds' type and
+// the order comparisons (strict under an exclusive bound) hold. Bounds of
+// disagreeing types make the range empty; no bounds make it universal.
+bool range_types_agree(const Range& range) {
+  return !(range.lo && range.hi &&
+           type_of(range.lo->value) != type_of(range.hi->value));
+}
+
+bool range_contains(const Range& range, const Value& value) {
+  if (!range_types_agree(range)) return false;
+  if (range.lo) {
+    if (type_of(value) != type_of(range.lo->value)) return false;
+    if (range.lo->exclusive ? !(range.lo->value < value)
+                            : value < range.lo->value) {
+      return false;
+    }
+  }
+  if (range.hi) {
+    if (type_of(value) != type_of(range.hi->value)) return false;
+    if (range.hi->exclusive ? !(value < range.hi->value)
+                            : range.hi->value < value) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 bool pattern_matches(const FieldPattern& pattern, const Value& value) {
   return std::visit(
       [&value](const auto& p) -> bool {
@@ -50,6 +83,8 @@ bool pattern_matches(const FieldPattern& pattern, const Value& value) {
           return type_of(value) == p.type;
         } else if constexpr (std::is_same_v<P, Exact>) {
           return value == p.value;
+        } else if constexpr (std::is_same_v<P, Range>) {
+          return range_contains(p, value);
         } else if constexpr (std::is_same_v<P, IntRange>) {
           return type_of(value) == FieldType::kInt &&
                  std::get<std::int64_t>(value) >= p.lo &&
@@ -82,6 +117,11 @@ bool pattern_admits_type(const FieldPattern& pattern, FieldType type) {
           return p.type == type;
         } else if constexpr (std::is_same_v<P, Exact>) {
           return type_of(p.value) == type;
+        } else if constexpr (std::is_same_v<P, Range>) {
+          if (!range_types_agree(p)) return false;
+          if (p.lo) return type_of(p.lo->value) == type;
+          if (p.hi) return type_of(p.hi->value) == type;
+          return true;  // unbounded: an untyped wildcard
         } else if constexpr (std::is_same_v<P, IntRange>) {
           return type == FieldType::kInt;
         } else if constexpr (std::is_same_v<P, RealRange>) {
@@ -109,6 +149,13 @@ std::size_t pattern_wire_size(const FieldPattern& pattern) {
                      return 1;
                    } else if constexpr (std::is_same_v<P, Exact>) {
                      return wire_size(p.value);
+                   } else if constexpr (std::is_same_v<P, Range>) {
+                     // Presence/exclusivity flags byte, then a type byte and
+                     // payload per present bound.
+                     std::size_t total = 1;
+                     if (p.lo) total += 1 + wire_size(p.lo->value);
+                     if (p.hi) total += 1 + wire_size(p.hi->value);
+                     return total;
                    } else if constexpr (std::is_same_v<P, IntRange>) {
                      return 16;
                    } else if constexpr (std::is_same_v<P, RealRange>) {
@@ -144,6 +191,9 @@ std::size_t SearchCriterion::wire_size() const {
   for (const FieldPattern& pattern : fields) {
     total += pattern_wire_size(pattern);
   }
+  // Ranked selector: field (4) + k (4) + direction flag (1) + hook id (1),
+  // signaled by the arity header's top bit so it costs nothing when absent.
+  if (top_k) total += 10;
   return total;
 }
 
@@ -161,6 +211,14 @@ std::string SearchCriterion::to_string() const {
             os << '?' << field_type_name(p.type);
           } else if constexpr (std::is_same_v<P, Exact>) {
             os << value_to_string(p.value);
+          } else if constexpr (std::is_same_v<P, Range>) {
+            os << (p.lo && p.lo->exclusive ? '(' : '[');
+            if (p.lo) os << value_to_string(p.lo->value);
+            else os << '*';
+            os << "..";
+            if (p.hi) os << value_to_string(p.hi->value);
+            else os << '*';
+            os << (p.hi && p.hi->exclusive ? ')' : ']');
           } else if constexpr (std::is_same_v<P, IntRange>) {
             os << '[' << p.lo << ".." << p.hi << ']';
           } else if constexpr (std::is_same_v<P, RealRange>) {
@@ -180,6 +238,13 @@ std::string SearchCriterion::to_string() const {
         fields[i]);
   }
   os << ']';
+  if (top_k) {
+    os << " top" << top_k->k << (top_k->descending ? "v" : "^") << "@f"
+       << top_k->field;
+    if (top_k->score_fn != kNaturalScore) {
+      os << "#" << static_cast<int>(top_k->score_fn);
+    }
+  }
   return os.str();
 }
 
@@ -188,6 +253,77 @@ SearchCriterion exact_criterion(const Tuple& tuple) {
   sc.fields.reserve(tuple.size());
   for (const Value& v : tuple) sc.fields.emplace_back(Exact{v});
   return sc;
+}
+
+Range range_at_least(Value lo, bool exclusive) {
+  return Range{Bound{std::move(lo), exclusive}, std::nullopt};
+}
+
+Range range_at_most(Value hi, bool exclusive) {
+  return Range{std::nullopt, Bound{std::move(hi), exclusive}};
+}
+
+Range range_between(Value lo, Value hi, bool lo_exclusive,
+                    bool hi_exclusive) {
+  return Range{Bound{std::move(lo), lo_exclusive},
+               Bound{std::move(hi), hi_exclusive}};
+}
+
+SearchCriterion ranked(SearchCriterion sc, TopK top_k) {
+  sc.top_k = top_k;
+  return sc;
+}
+
+// --- score hooks ------------------------------------------------------------
+
+namespace {
+
+unsigned type_bit(FieldType type) { return 1u << static_cast<unsigned>(type); }
+
+double natural_score(const Value& value) {
+  switch (type_of(value)) {
+    case FieldType::kInt:
+      return static_cast<double>(std::get<std::int64_t>(value));
+    case FieldType::kReal:
+      return std::get<double>(value);
+    case FieldType::kBool:
+      return std::get<bool>(value) ? 1.0 : 0.0;
+    case FieldType::kText:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+std::vector<ScoreHook>& score_registry() {
+  static std::vector<ScoreHook> hooks{
+      ScoreHook{&natural_score, type_bit(FieldType::kInt) |
+                                    type_bit(FieldType::kReal) |
+                                    type_bit(FieldType::kBool)}};
+  return hooks;
+}
+
+}  // namespace
+
+std::uint8_t register_score_hook(ScoreHook hook) {
+  auto& hooks = score_registry();
+  PASO_REQUIRE(hooks.size() < 256, "score hook registry full");
+  PASO_REQUIRE(hook.fn != nullptr, "score hook needs a function");
+  hooks.push_back(hook);
+  return static_cast<std::uint8_t>(hooks.size() - 1);
+}
+
+const ScoreHook& score_hook(std::uint8_t id) {
+  auto& hooks = score_registry();
+  PASO_REQUIRE(id < hooks.size(), "unknown score hook");
+  return hooks[id];
+}
+
+double score_value(const Value& value, std::uint8_t hook_id) {
+  return score_hook(hook_id).fn(value);
+}
+
+bool score_monotone_for(std::uint8_t hook_id, FieldType type) {
+  return (score_hook(hook_id).monotone_mask & type_bit(type)) != 0;
 }
 
 }  // namespace paso

@@ -65,8 +65,26 @@ struct OneOf {
   friend bool operator==(const OneOf&, const OneOf&) = default;
 };
 
+/// One end of a Range: the bound value and whether it is excluded.
+struct Bound {
+  Value value;
+  bool exclusive = false;
+  friend bool operator==(const Bound&, const Bound&) = default;
+};
+
+/// General ordered-field range with optional, independently open or closed
+/// bounds — the typed IntRange/RealRange kept above are the closed special
+/// cases. A value matches when it carries the bounds' type and lies between
+/// them; a Range whose two bounds disagree on type matches nothing, and a
+/// Range with no bounds matches any value (an untyped wildcard).
+struct Range {
+  std::optional<Bound> lo;
+  std::optional<Bound> hi;
+  friend bool operator==(const Range&, const Range&) = default;
+};
+
 using FieldPattern = std::variant<AnyField, TypedAny, Exact, IntRange,
-                                  RealRange, TextPrefix, OneOf>;
+                                  RealRange, TextPrefix, OneOf, Range>;
 
 bool pattern_matches(const FieldPattern& pattern, const Value& value);
 
@@ -76,13 +94,64 @@ bool pattern_admits_type(const FieldPattern& pattern, FieldType type);
 /// Declared wire size of a pattern (for |sc| in the cost model).
 std::size_t pattern_wire_size(const FieldPattern& pattern);
 
+// --- ranked reads -----------------------------------------------------------
+
+/// Scoring hook for ranked (TopK) reads: maps a field value to a score.
+using ScoreFn = double (*)(const Value&);
+
+/// A registered scoring function plus the field types over which it is
+/// *strictly increasing* in the value order. Index walks may serve a ranked
+/// read only over those types: strict monotonicity makes score order equal
+/// key order, so a sorted-index walk enumerates candidates in rank order.
+struct ScoreHook {
+  ScoreFn fn = nullptr;
+  unsigned monotone_mask = 0;  // bit (1 << FieldType) set when strict
+};
+
+/// Hook id 0: the natural order. Int and real score as themselves, bool as
+/// 0/1 (all strictly increasing; ints above 2^53 may collide in the double
+/// score), text scores 0 — ranked text reads degrade to age order and are
+/// never index-accelerated.
+inline constexpr std::uint8_t kNaturalScore = 0;
+
+/// Registers a hook and returns its id. Ids are process-wide; the wire
+/// format ships only the id, so every machine must register the same hooks
+/// in the same order (like the schema itself).
+std::uint8_t register_score_hook(ScoreHook hook);
+const ScoreHook& score_hook(std::uint8_t id);
+double score_value(const Value& value, std::uint8_t hook_id);
+bool score_monotone_for(std::uint8_t hook_id, FieldType type);
+
+/// Ranked-read selector: restrict the criterion's matches to the k-th best
+/// (1-based) under the scoring hook applied to `field`, ties broken oldest
+/// first. Descending picks the k-th largest score, ascending the smallest.
+struct TopK {
+  std::size_t field = 0;
+  std::uint32_t k = 1;
+  bool descending = true;
+  std::uint8_t score_fn = kNaturalScore;
+  friend bool operator==(const TopK&, const TopK&) = default;
+};
+
 /// A search criterion: a tuple of field patterns. An object matches when the
-/// arity agrees and every field satisfies its pattern.
+/// arity agrees and every field satisfies its pattern. An optional TopK
+/// selector turns the oldest-match read into a ranked read: among all
+/// matches, the k-th in score order is returned. Matching itself (and thus
+/// marker wakeup) ignores the selector — rank is a selection policy over
+/// matches, not a per-object predicate.
 struct SearchCriterion {
   std::vector<FieldPattern> fields;
+  std::optional<TopK> top_k;
 
   bool matches(const PasoObject& object) const;
   bool matches(const Tuple& tuple) const;
+
+  /// True when the ranked selector can ever pick anything: the rank field
+  /// exists at this arity and k >= 1. Stores answer invalid selectors with
+  /// "no match".
+  bool ranked_valid() const {
+    return top_k && top_k->field < fields.size() && top_k->k >= 1;
+  }
 
   /// |sc| for the cost model.
   std::size_t wire_size() const;
@@ -104,5 +173,14 @@ SearchCriterion criterion(Patterns&&... patterns) {
 
 /// Exact-match criterion for a whole tuple.
 SearchCriterion exact_criterion(const Tuple& tuple);
+
+/// Builder shorthands for the common Range shapes.
+Range range_at_least(Value lo, bool exclusive = false);
+Range range_at_most(Value hi, bool exclusive = false);
+Range range_between(Value lo, Value hi, bool lo_exclusive = false,
+                    bool hi_exclusive = false);
+
+/// Attaches a ranked selector to a criterion (fluent form for call sites).
+SearchCriterion ranked(SearchCriterion sc, TopK top_k);
 
 }  // namespace paso

@@ -268,18 +268,38 @@ void MemoryServer::rebuild_marker_index(ClassState& state) {
   for (std::size_t i = 0; i < state.markers.size(); ++i) {
     const SearchCriterion& sc = state.markers[i].criterion;
     // Bucket by the first Exact-constrained field: an object can only match
-    // this marker if it carries exactly that value there. Markers without an
-    // Exact pattern stay in the catch-all and are tested on every insert.
+    // this marker if it carries exactly that value there. A marker whose
+    // first value-pinning pattern is a OneOf is filed under each of the
+    // set's value hashes — an object carries one value at that field, so it
+    // still meets the marker in at most one bucket. Range/Prefix and other
+    // open patterns stay in the catch-all and are tested on every insert:
+    // blocked Range/Prefix reads must wake on any matching insert.
     const Exact* exact = nullptr;
+    const OneOf* one_of = nullptr;
     std::size_t field = 0;
     for (std::size_t f = 0; f < sc.fields.size(); ++f) {
       if ((exact = std::get_if<Exact>(&sc.fields[f])) != nullptr) {
         field = f;
         break;
       }
+      if (one_of == nullptr &&
+          (one_of = std::get_if<OneOf>(&sc.fields[f])) != nullptr) {
+        field = f;
+      }
     }
     if (exact != nullptr) {
       state.marker_buckets[field][value_hash(exact->value)].push_back(i);
+    } else if (one_of != nullptr && !one_of->values.empty()) {
+      // Dedup the hashes so a repeated value cannot file the marker twice
+      // in one bucket.
+      std::vector<std::size_t> hashes;
+      hashes.reserve(one_of->values.size());
+      for (const Value& v : one_of->values) hashes.push_back(value_hash(v));
+      std::sort(hashes.begin(), hashes.end());
+      hashes.erase(std::unique(hashes.begin(), hashes.end()), hashes.end());
+      for (const std::size_t hash : hashes) {
+        state.marker_buckets[field][hash].push_back(i);
+      }
     } else {
       state.marker_catch_all.push_back(i);
     }
@@ -304,8 +324,12 @@ void MemoryServer::fire_markers(ClassState& state, const PasoObject& object) {
     candidates.insert(candidates.end(), it->second.begin(), it->second.end());
   }
   // Fire in placement order — the order the old linear scan used — so
-  // replicas and tests observe identical notification sequences.
+  // replicas and tests observe identical notification sequences. The unique
+  // pass keeps each marker to one probe even if a future bucketing scheme
+  // lists it under several candidates' paths.
   std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
   const sim::SimTime now = network_.simulator().now();
   for (const std::size_t i : candidates) {
     const Marker& marker = state.markers[i];

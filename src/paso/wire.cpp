@@ -12,7 +12,18 @@ enum class PatternTag : std::uint8_t {
   kRealRange = 4,
   kTextPrefix = 5,
   kOneOf = 6,
+  kRange = 7,
 };
+
+// Range bound flags packed into one byte after the tag.
+constexpr std::uint8_t kRangeLoPresent = 1 << 0;
+constexpr std::uint8_t kRangeLoExclusive = 1 << 1;
+constexpr std::uint8_t kRangeHiPresent = 1 << 2;
+constexpr std::uint8_t kRangeHiExclusive = 1 << 3;
+
+// Criterion arity header: the top bit signals a trailing TopK selector, so
+// a plain criterion's encoding is unchanged. 2^31 fields remain plenty.
+constexpr std::uint32_t kArityTopK = 0x80000000u;
 
 enum class MessageTag : std::uint8_t {
   kStore = 0,
@@ -99,8 +110,10 @@ PasoObject decode_object(ByteReader& r,
 }
 
 void encode_criterion(ByteWriter& w, const SearchCriterion& sc) {
-  // 4-byte header: arity (matches the criterion's declared 4-byte header).
-  w.u32(static_cast<std::uint32_t>(sc.fields.size()));
+  // 4-byte header: arity (matches the criterion's declared 4-byte header),
+  // top bit flags a trailing ranked selector.
+  w.u32(static_cast<std::uint32_t>(sc.fields.size()) |
+        (sc.top_k ? kArityTopK : 0));
   for (const FieldPattern& pattern : sc.fields) {
     std::visit(
         [&w](const auto& p) {
@@ -125,6 +138,26 @@ void encode_criterion(ByteWriter& w, const SearchCriterion& sc) {
             w.u8(static_cast<std::uint8_t>(PatternTag::kRealRange) << 4);
             w.f64(p.lo);
             w.f64(p.hi);
+          } else if constexpr (std::is_same_v<P, Range>) {
+            w.u8(static_cast<std::uint8_t>(PatternTag::kRange) << 4);
+            std::uint8_t flags = 0;
+            if (p.lo) {
+              flags |= kRangeLoPresent;
+              if (p.lo->exclusive) flags |= kRangeLoExclusive;
+            }
+            if (p.hi) {
+              flags |= kRangeHiPresent;
+              if (p.hi->exclusive) flags |= kRangeHiExclusive;
+            }
+            w.u8(flags);
+            if (p.lo) {
+              w.u8(static_cast<std::uint8_t>(type_of(p.lo->value)));
+              encode_value(w, p.lo->value);
+            }
+            if (p.hi) {
+              w.u8(static_cast<std::uint8_t>(type_of(p.hi->value)));
+              encode_value(w, p.hi->value);
+            }
           } else if constexpr (std::is_same_v<P, TextPrefix>) {
             w.u8(static_cast<std::uint8_t>(PatternTag::kTextPrefix) << 4);
             w.text(p.prefix);
@@ -140,11 +173,19 @@ void encode_criterion(ByteWriter& w, const SearchCriterion& sc) {
         },
         pattern);
   }
+  if (sc.top_k) {
+    w.u32(static_cast<std::uint32_t>(sc.top_k->field));
+    w.u32(sc.top_k->k);
+    w.u8(sc.top_k->descending ? 1 : 0);
+    w.u8(sc.top_k->score_fn);
+  }
 }
 
 SearchCriterion decode_criterion(ByteReader& r) {
   SearchCriterion sc;
-  const std::uint32_t arity = r.u32();
+  const std::uint32_t header = r.u32();
+  const bool has_top_k = (header & kArityTopK) != 0;
+  const std::uint32_t arity = header & ~kArityTopK;
   sc.fields.reserve(arity);
   for (std::uint32_t i = 0; i < arity; ++i) {
     const std::uint8_t tag_byte = r.u8();
@@ -178,6 +219,22 @@ SearchCriterion decode_criterion(ByteReader& r) {
       case PatternTag::kTextPrefix:
         sc.fields.emplace_back(TextPrefix{r.text()});
         break;
+      case PatternTag::kRange: {
+        Range range;
+        const std::uint8_t flags = r.u8();
+        if (flags & kRangeLoPresent) {
+          const auto type = static_cast<FieldType>(r.u8());
+          range.lo = Bound{decode_value(r, type),
+                           (flags & kRangeLoExclusive) != 0};
+        }
+        if (flags & kRangeHiPresent) {
+          const auto type = static_cast<FieldType>(r.u8());
+          range.hi = Bound{decode_value(r, type),
+                           (flags & kRangeHiExclusive) != 0};
+        }
+        sc.fields.emplace_back(std::move(range));
+        break;
+      }
       case PatternTag::kOneOf: {
         OneOf one_of;
         const std::uint32_t count = r.u32();
@@ -192,6 +249,14 @@ SearchCriterion decode_criterion(ByteReader& r) {
       default:
         PASO_REQUIRE(false, "unknown pattern tag");
     }
+  }
+  if (has_top_k) {
+    TopK top_k;
+    top_k.field = r.u32();
+    top_k.k = r.u32();
+    top_k.descending = (r.u8() & 1) != 0;
+    top_k.score_fn = r.u8();
+    sc.top_k = top_k;
   }
   return sc;
 }

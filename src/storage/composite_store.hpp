@@ -93,6 +93,12 @@ class CompositeStore final : public ObjectStore {
  private:
   /// Pick the index that serves `sc` cheapest.
   const ObjectStore& route(const SearchCriterion& sc) const {
+    if (sc.top_k) {
+      // Ranked reads: the ordered twin walks rank-by-key-field in rank
+      // order; any other rank field degrades to a scan in either twin.
+      if (sc.top_k->field == key_field_) return ordered_;
+      return hash_;
+    }
     if (key_field_ < sc.fields.size()) {
       const FieldPattern& key = sc.fields[key_field_];
       if (std::holds_alternative<Exact>(key) ||
@@ -100,7 +106,9 @@ class CompositeStore final : public ObjectStore {
         return hash_;
       }
       if (std::holds_alternative<IntRange>(key) ||
-          std::holds_alternative<RealRange>(key)) {
+          std::holds_alternative<RealRange>(key) ||
+          std::holds_alternative<Range>(key) ||
+          std::holds_alternative<TextPrefix>(key)) {
         return ordered_;
       }
     }

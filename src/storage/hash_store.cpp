@@ -17,6 +17,12 @@ void HashStore::store(PasoObject object, std::uint64_t age) {
 
 std::optional<std::uint64_t> HashStore::oldest_match(
     const SearchCriterion& sc) const {
+  // Ranked reads: a dictionary structure has no rank order, so they pay the
+  // full scan (the model cost a hash table charges general criteria anyway).
+  if (sc.top_k) {
+    if (!sc.ranked_valid()) return std::nullopt;
+    return ranked_scan(sc);
+  }
   // Fast paths: exact key pattern -> one bucket; an explicit value set
   // (OneOf) -> the union of its buckets.
   if (key_field_ < sc.fields.size()) {

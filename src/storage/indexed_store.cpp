@@ -1,10 +1,17 @@
 #include "storage/indexed_store.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <tuple>
 
 namespace paso::storage {
 
-IndexedStore::IndexedStore(std::vector<std::size_t> indexed_fields) {
+IndexedStore::IndexedStore(std::vector<std::size_t> indexed_fields)
+    : IndexedStore(std::move(indexed_fields), Options()) {}
+
+IndexedStore::IndexedStore(std::vector<std::size_t> indexed_fields,
+                           Options options)
+    : options_(options) {
   std::sort(indexed_fields.begin(), indexed_fields.end());
   indexed_fields.erase(
       std::unique(indexed_fields.begin(), indexed_fields.end()),
@@ -12,7 +19,9 @@ IndexedStore::IndexedStore(std::vector<std::size_t> indexed_fields) {
   PASO_REQUIRE(!indexed_fields.empty(), "IndexedStore needs >= 1 field");
   indexes_.reserve(indexed_fields.size());
   for (const std::size_t field : indexed_fields) {
-    indexes_.push_back(FieldIndex{field, {}});
+    FieldIndex index;
+    index.field = field;
+    indexes_.push_back(std::move(index));
   }
 }
 
@@ -23,61 +32,135 @@ std::vector<std::size_t> IndexedStore::indexed_fields() const {
   return out;
 }
 
+std::vector<IndexedStore::IndexStats> IndexedStore::index_stats() const {
+  std::vector<IndexStats> out;
+  out.reserve(indexes_.size());
+  for (const FieldIndex& index : indexes_) {
+    out.push_back({index.field, index.entries, index.buckets.size()});
+  }
+  return out;
+}
+
+Cost IndexedStore::query_cost() const {
+  if (!options_.ordered) return 1;
+  return 1 + std::floor(std::log2(static_cast<double>(size()) + 1));
+}
+
 void IndexedStore::store(PasoObject object, std::uint64_t age) {
-  // Hash the indexed fields before the object is moved into the backbone.
-  std::vector<std::pair<std::size_t, std::size_t>> entries;  // index#, hash
+  // Capture the indexed values before the object is moved into the backbone.
+  std::vector<std::tuple<std::size_t, std::size_t, Value>> entries;
   entries.reserve(indexes_.size());
   for (std::size_t i = 0; i < indexes_.size(); ++i) {
     if (indexes_[i].field < object.fields.size()) {
-      entries.emplace_back(i, value_hash(object.fields[indexes_[i].field]));
+      const Value& value = object.fields[indexes_[i].field];
+      entries.emplace_back(i, value_hash(value), value);
     }
   }
   if (!base_store(std::move(object), age)) return;
-  for (const auto& [i, hash] : entries) {
-    indexes_[i].buckets[hash].push_back(age);
+  for (auto& [i, hash, value] : entries) {
+    FieldIndex& index = indexes_[i];
+    index.buckets[hash].push_back(age);
+    if (options_.ordered) index.sorted[std::move(value)].push_back(age);
+    ++index.entries;
   }
+}
+
+std::vector<std::size_t> IndexedStore::hash_keys(const FieldPattern& pattern) {
+  std::vector<std::size_t> keys;
+  if (const auto* exact = std::get_if<Exact>(&pattern)) {
+    keys.push_back(value_hash(exact->value));
+  } else if (const auto* one_of = std::get_if<OneOf>(&pattern)) {
+    for (const Value& v : one_of->values) keys.push_back(value_hash(v));
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  }
+  return keys;
+}
+
+const IndexedStore::FieldIndex& IndexedStore::index_of(
+    std::size_t field) const {
+  for (const FieldIndex& index : indexes_) {
+    if (index.field == field) return index;
+  }
+  PASO_REQUIRE(false, "plan step names an unknown index");
+  return indexes_.front();
+}
+
+IndexedStore::SortedIter IndexedStore::region_first(
+    const FieldIndex& index, const SortedRegion& region) const {
+  if (!region.lo) return index.sorted.lower_bound(type_min(region.type));
+  return region.lo_exclusive ? index.sorted.upper_bound(*region.lo)
+                             : index.sorted.lower_bound(*region.lo);
+}
+
+IndexedStore::SortedIter IndexedStore::region_last(
+    const FieldIndex& index, const SortedRegion& region,
+    SortedIter first) const {
+  if (region.hi) {
+    return region.hi_exclusive ? index.sorted.lower_bound(*region.hi)
+                               : index.sorted.upper_bound(*region.hi);
+  }
+  SortedIter it = first;
+  while (it != index.sorted.end() && region_contains_key(region, it->first)) {
+    ++it;
+  }
+  return it;
+}
+
+QueryPlan IndexedStore::plan(const SearchCriterion& sc) const {
+  std::vector<PlanStep> paths;
+  for (const FieldIndex& index : indexes_) {
+    if (index.field >= sc.fields.size()) continue;
+    const FieldPattern& pattern = sc.fields[index.field];
+    const std::vector<std::size_t> keys = hash_keys(pattern);
+    if (!keys.empty()) {
+      // Exact/OneOf: the hash buckets give an exact candidate count.
+      std::size_t candidates = 0;
+      for (const std::size_t key : keys) {
+        auto it = index.buckets.find(key);
+        if (it != index.buckets.end()) candidates += it->second.size();
+      }
+      paths.push_back({index.field, false, candidates});
+      continue;
+    }
+    if (!options_.ordered) continue;
+    const SortedRegion region = sorted_region(pattern);
+    if (region.empty) {
+      paths.push_back({index.field, true, 0});  // provably no match
+      continue;
+    }
+    if (!region.usable) continue;
+    std::size_t candidates = 0;
+    const SortedIter first = region_first(index, region);
+    for (SortedIter it = first; it != index.sorted.end(); ++it) {
+      if (!region_contains_key(region, it->first)) break;
+      candidates += it->second.size();
+    }
+    paths.push_back({index.field, true, candidates});
+  }
+  return finalize_plan(arity_count(sc.fields.size()) > 0, std::move(paths));
 }
 
 std::optional<std::uint64_t> IndexedStore::oldest_match(
     const SearchCriterion& sc) const {
-  // Every matching object has exactly sc.fields.size() fields (matches
-  // requires arity equality), so for any indexed field f < arity with an
-  // Exact/OneOf pattern, every match sits in one of that field's buckets
-  // named by the pattern's value hashes. Pick the field with the fewest
-  // candidates.
-  const FieldIndex* best_index = nullptr;
-  std::vector<std::size_t> best_keys;
-  std::size_t best_candidates = 0;
-  for (const FieldIndex& index : indexes_) {
-    if (index.field >= sc.fields.size()) continue;
-    const FieldPattern& pattern = sc.fields[index.field];
-    std::vector<std::size_t> keys;
-    if (const auto* exact = std::get_if<Exact>(&pattern)) {
-      keys.push_back(value_hash(exact->value));
-    } else if (const auto* one_of = std::get_if<OneOf>(&pattern)) {
-      for (const Value& v : one_of->values) keys.push_back(value_hash(v));
-      std::sort(keys.begin(), keys.end());
-      keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-    } else {
-      continue;
+  if (sc.top_k && !sc.ranked_valid()) return std::nullopt;
+  const QueryPlan query_plan = plan(sc);
+  if (query_plan.access == PlanAccess::kImpossible) return std::nullopt;
+  if (query_plan.access == PlanAccess::kScan) {
+    if (sc.top_k) return ranked_walk_or_scan(sc);
+    for (const auto& [age, object] : by_age_) {
+      if (probe(sc, object)) return age;
     }
-    std::size_t candidates = 0;
-    for (const std::size_t key : keys) {
-      auto it = index.buckets.find(key);
-      if (it != index.buckets.end()) candidates += it->second.size();
-    }
-    if (candidates == 0) return std::nullopt;  // provably no match
-    if (!best_index || candidates < best_candidates) {
-      best_index = &index;
-      best_keys = std::move(keys);
-      best_candidates = candidates;
-    }
+    return std::nullopt;
   }
-  if (best_index) {
-    std::optional<std::uint64_t> best;
-    for (const std::size_t key : best_keys) {
-      auto it = best_index->buckets.find(key);
-      if (it == best_index->buckets.end()) continue;
+  const PlanStep& driver = query_plan.steps.front();
+  if (sc.top_k) return ranked_from_index(sc, driver);
+  const FieldIndex& index = index_of(driver.field);
+  std::optional<std::uint64_t> best;
+  if (!driver.ordered) {
+    for (const std::size_t key : hash_keys(sc.fields[index.field])) {
+      auto it = index.buckets.find(key);
+      if (it == index.buckets.end()) continue;
       // Buckets are age-ascending: the first verified hit is the bucket's
       // oldest match; take the minimum across buckets.
       for (const std::uint64_t age : it->second) {
@@ -90,11 +173,119 @@ std::optional<std::uint64_t> IndexedStore::oldest_match(
     }
     return best;
   }
-  // No indexed field constrains the criterion: age-ordered scan.
-  for (const auto& [age, object] : by_age_) {
-    if (probe(sc, object)) return age;
+  // Sorted walk: same shape — each key's age list is ascending, so the
+  // first verified hit per key is that key's oldest; minimum across keys.
+  const SortedRegion region = sorted_region(sc.fields[index.field]);
+  for (SortedIter it = region_first(index, region);
+       it != index.sorted.end(); ++it) {
+    if (!region_contains_key(region, it->first)) break;
+    for (const std::uint64_t age : it->second) {
+      auto obj = by_age_.find(age);
+      if (obj == by_age_.end()) continue;
+      if (!probe(sc, obj->second)) continue;
+      if (!best || age < *best) best = age;
+      break;
+    }
+  }
+  return best;
+}
+
+std::optional<std::uint64_t> IndexedStore::ranked_from_index(
+    const SearchCriterion& sc, const PlanStep& driver) const {
+  const TopK& top_k = *sc.top_k;
+  const FieldIndex& index = index_of(driver.field);
+  if (driver.ordered && driver.field == top_k.field) {
+    const SortedRegion region = sorted_region(sc.fields[index.field]);
+    if (region.usable && score_monotone_for(top_k.score_fn, region.type)) {
+      return ranked_region_walk(sc, index, region);
+    }
+  }
+  // General ranked path: enumerate the driver's candidates in age order,
+  // probe each, rank the matches.
+  std::vector<std::uint64_t> ages;
+  if (!driver.ordered) {
+    for (const std::size_t key : hash_keys(sc.fields[index.field])) {
+      auto it = index.buckets.find(key);
+      if (it == index.buckets.end()) continue;
+      ages.insert(ages.end(), it->second.begin(), it->second.end());
+    }
+  } else {
+    const SortedRegion region = sorted_region(sc.fields[index.field]);
+    for (SortedIter it = region_first(index, region);
+         it != index.sorted.end(); ++it) {
+      if (!region_contains_key(region, it->first)) break;
+      ages.insert(ages.end(), it->second.begin(), it->second.end());
+    }
+  }
+  std::sort(ages.begin(), ages.end());
+  std::vector<ScoredAge> scored;
+  for (const std::uint64_t age : ages) {
+    auto obj = by_age_.find(age);
+    if (obj == by_age_.end()) continue;
+    if (!probe(sc, obj->second)) continue;
+    scored.push_back(
+        {score_value(obj->second.fields[top_k.field], top_k.score_fn), age});
+  }
+  return ranked_pick(std::move(scored), top_k);
+}
+
+std::optional<std::uint64_t> IndexedStore::ranked_region_walk(
+    const SearchCriterion& sc, const FieldIndex& index,
+    const SortedRegion& region) const {
+  // Rank-ordered walk: key order == score order (strictly monotone hook),
+  // and each key's age list is ascending — exactly the tie order. Stop at
+  // the k-th verified match.
+  const TopK& top_k = *sc.top_k;
+  const SortedIter first = region_first(index, region);
+  const SortedIter last = region_last(index, region, first);
+  std::uint32_t seen = 0;
+  if (!top_k.descending) {
+    for (SortedIter it = first; it != last; ++it) {
+      for (const std::uint64_t age : it->second) {
+        auto obj = by_age_.find(age);
+        if (obj == by_age_.end()) continue;
+        if (!probe(sc, obj->second)) continue;
+        if (++seen == top_k.k) return age;
+      }
+    }
+    return std::nullopt;
+  }
+  for (auto it = std::make_reverse_iterator(last);
+       it != std::make_reverse_iterator(first); ++it) {
+    for (const std::uint64_t age : it->second) {
+      auto obj = by_age_.find(age);
+      if (obj == by_age_.end()) continue;
+      if (!probe(sc, obj->second)) continue;
+      if (++seen == top_k.k) return age;
+    }
   }
   return std::nullopt;
+}
+
+std::optional<std::uint64_t> IndexedStore::ranked_walk_or_scan(
+    const SearchCriterion& sc) const {
+  const TopK& top_k = *sc.top_k;
+  // Leaderboard case: no pattern narrows the criterion, but the rank field
+  // has a sorted twin. Every match has the rank field (arity equality), so
+  // a directional walk of that twin enumerates candidates in rank order
+  // when the hook preserves the value order and one type spans the walk.
+  if (options_.ordered) {
+    for (const FieldIndex& index : indexes_) {
+      if (index.field != top_k.field) continue;
+      SortedRegion region = sorted_region(sc.fields[index.field]);
+      if (region.empty) return std::nullopt;
+      if (!region.usable) {
+        if (index.sorted.empty()) return std::nullopt;
+        const FieldType front = type_of(index.sorted.begin()->first);
+        if (type_of(index.sorted.rbegin()->first) != front) break;
+        region.usable = true;
+        region.type = front;
+      }
+      if (!score_monotone_for(top_k.score_fn, region.type)) break;
+      return ranked_region_walk(sc, index, region);
+    }
+  }
+  return ranked_scan(sc);
 }
 
 std::optional<PasoObject> IndexedStore::find(const SearchCriterion& sc) const {
@@ -123,15 +314,29 @@ void IndexedStore::drop_from_indexes(const PasoObject& object,
                                      std::uint64_t age) {
   for (FieldIndex& index : indexes_) {
     if (index.field >= object.fields.size()) continue;
-    auto it = index.buckets.find(value_hash(object.fields[index.field]));
-    if (it == index.buckets.end()) continue;
-    std::erase(it->second, age);
-    if (it->second.empty()) index.buckets.erase(it);
+    const Value& value = object.fields[index.field];
+    auto it = index.buckets.find(value_hash(value));
+    if (it != index.buckets.end()) {
+      std::erase(it->second, age);
+      if (it->second.empty()) index.buckets.erase(it);
+    }
+    if (options_.ordered) {
+      auto sorted_it = index.sorted.find(value);
+      if (sorted_it != index.sorted.end()) {
+        std::erase(sorted_it->second, age);
+        if (sorted_it->second.empty()) index.sorted.erase(sorted_it);
+      }
+    }
+    if (index.entries > 0) --index.entries;
   }
 }
 
 void IndexedStore::index_cleared() {
-  for (FieldIndex& index : indexes_) index.buckets.clear();
+  for (FieldIndex& index : indexes_) {
+    index.buckets.clear();
+    index.sorted.clear();
+    index.entries = 0;
+  }
 }
 
 }  // namespace paso::storage

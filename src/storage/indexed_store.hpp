@@ -1,17 +1,20 @@
 // Multi-field associative store: HashStore generalized to a configurable
-// set of indexed fields.
+// set of indexed fields, with an optional sorted twin per index.
 //
 // Section 5 allows "several such data structures ... for a single class";
-// IndexedStore takes that to its useful extreme for dictionary workloads.
-// Each indexed field keeps its own hash index (value hash -> age list, kept
-// in age order), and oldest_match picks the most selective indexed field
-// carrying an Exact or OneOf pattern — the one whose candidate list is
-// shortest — instead of scanning the whole age order. Criteria touching no
-// indexed field still fall back to the age scan, so every criterion HashStore
-// answers is answered identically here (the differential-oracle test pins
-// this against LinearStore).
+// IndexedStore takes that to its useful extreme. Each indexed field keeps a
+// hash index (value hash -> age list, kept in age order) serving Exact and
+// OneOf patterns; in ordered mode each field additionally keeps a sorted
+// index (value -> age list) serving Range, IntRange/RealRange, TextPrefix
+// and rank-ordered TopK walks. Query planning — which index drives a
+// compound criterion — is delegated to plan(): paths are ordered by
+// estimated selectivity from the per-index cardinality stats, with an
+// arity-completeness early-out. Criteria touching no indexed field still
+// fall back to the age scan, so every criterion LinearStore answers is
+// answered identically here (the differential-oracle test pins this).
 #pragma once
 
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -21,28 +24,52 @@ namespace paso::storage {
 
 class IndexedStore final : public StoreBase {
  public:
+  struct Options {
+    /// Maintain a sorted twin per indexed field. Costs one extra model unit
+    /// per index on updates; buys Range/Prefix walks and rank-ordered TopK.
+    bool ordered = false;
+  };
+
+  /// Per-index cardinality statistics, maintained on insert/remove; the
+  /// planner's selectivity estimates derive from the underlying buckets.
+  struct IndexStats {
+    std::size_t field = 0;
+    std::size_t entries = 0;   // ages indexed under this field
+    std::size_t distinct = 0;  // distinct values seen
+    friend bool operator==(const IndexStats&, const IndexStats&) = default;
+  };
+
   /// `indexed_fields` lists the field positions to index. The default — just
   /// field 0 — makes IndexedStore a drop-in for HashStore(0). Duplicate
   /// positions are collapsed.
   explicit IndexedStore(std::vector<std::size_t> indexed_fields = {0});
+  IndexedStore(std::vector<std::size_t> indexed_fields, Options options);
 
   void store(PasoObject object, std::uint64_t age) override;
   std::optional<PasoObject> find(const SearchCriterion& sc) const override;
   std::optional<PasoObject> remove(const SearchCriterion& sc) override;
   bool erase(ObjectId id) override;
 
-  /// Model costs: each index is O(1) amortized, so updates cost one unit per
-  /// maintained index and a served query costs one unit.
+  /// Model costs: each hash index is O(1) amortized — one unit per
+  /// maintained index, two in ordered mode (the sorted twin is a tree
+  /// insert). A served query costs one unit, or a log-sized descent when
+  /// sorted twins are consulted.
   Cost insert_cost() const override {
-    return static_cast<Cost>(indexes_.size());
+    return static_cast<Cost>(indexes_.size() * (options_.ordered ? 2 : 1));
   }
-  Cost query_cost() const override { return 1; }
+  Cost query_cost() const override;
   Cost remove_cost() const override {
-    return static_cast<Cost>(indexes_.size());
+    return static_cast<Cost>(indexes_.size() * (options_.ordered ? 2 : 1));
   }
   const char* kind() const override { return "indexed"; }
 
   std::vector<std::size_t> indexed_fields() const;
+  bool ordered() const { return options_.ordered; }
+  std::vector<IndexStats> index_stats() const;
+
+  /// The access path a criterion would take right now (exposed for tests,
+  /// benches and docs; find/remove use exactly this).
+  QueryPlan plan(const SearchCriterion& sc) const;
 
  private:
   struct FieldIndex {
@@ -51,13 +78,41 @@ class IndexedStore final : public StoreBase {
     // (ages only ever grow and load() replays in age order, so push_back
     // preserves the invariant).
     std::unordered_map<std::size_t, std::vector<std::uint64_t>> buckets;
+    // Ordered mode: value -> ages, same age-ascending invariant per key.
+    std::map<Value, std::vector<std::uint64_t>> sorted;
+    std::size_t entries = 0;
   };
+
+  using SortedIter =
+      std::map<Value, std::vector<std::uint64_t>>::const_iterator;
 
   void index_cleared() override;
   std::optional<std::uint64_t> oldest_match(const SearchCriterion& sc) const;
+  /// Ranked read driven by an index path (hash bucket enumeration or a
+  /// rank-ordered sorted walk when the driver is the rank field).
+  std::optional<std::uint64_t> ranked_from_index(const SearchCriterion& sc,
+                                                 const PlanStep& driver) const;
+  /// Directional walk of `index`'s sorted twin over `region` (usable, with
+  /// an order-preserving hook): candidates arrive in rank order, so the
+  /// k-th verified match answers the read.
+  std::optional<std::uint64_t> ranked_region_walk(
+      const SearchCriterion& sc, const FieldIndex& index,
+      const SortedRegion& region) const;
+  /// Ranked read with no driving path: a rank-ordered walk of the rank
+  /// field's sorted twin when order-compatible, else the spec scan.
+  std::optional<std::uint64_t> ranked_walk_or_scan(
+      const SearchCriterion& sc) const;
+  const FieldIndex& index_of(std::size_t field) const;
+  /// Sorted-unique bucket keys for an Exact/OneOf pattern.
+  static std::vector<std::size_t> hash_keys(const FieldPattern& pattern);
+  SortedIter region_first(const FieldIndex& index,
+                          const SortedRegion& region) const;
+  SortedIter region_last(const FieldIndex& index, const SortedRegion& region,
+                         SortedIter first) const;
   void drop_from_indexes(const PasoObject& object, std::uint64_t age);
 
   std::vector<FieldIndex> indexes_;
+  Options options_;
 };
 
 }  // namespace paso::storage

@@ -16,13 +16,16 @@ class LinearStore final : public StoreBase {
   }
 
   std::optional<PasoObject> find(const SearchCriterion& sc) const override {
-    for (const auto& [age, object] : by_age_) {
-      if (probe(sc, object)) return object;
-    }
-    return std::nullopt;
+    return oldest_or_ranked(sc);
   }
 
   std::optional<PasoObject> remove(const SearchCriterion& sc) override {
+    if (sc.top_k) {
+      if (!sc.ranked_valid()) return std::nullopt;
+      const auto age = ranked_scan(sc);
+      if (!age) return std::nullopt;
+      return base_erase(*age);
+    }
     for (const auto& [age, object] : by_age_) {
       if (probe(sc, object)) return base_erase(age);
     }
@@ -47,6 +50,19 @@ class LinearStore final : public StoreBase {
 
  private:
   void index_cleared() override {}
+
+  std::optional<PasoObject> oldest_or_ranked(const SearchCriterion& sc) const {
+    if (sc.top_k) {
+      if (!sc.ranked_valid()) return std::nullopt;
+      const auto age = ranked_scan(sc);
+      if (!age) return std::nullopt;
+      return by_age_.at(*age);
+    }
+    for (const auto& [age, object] : by_age_) {
+      if (probe(sc, object)) return object;
+    }
+    return std::nullopt;
+  }
 };
 
 }  // namespace paso::storage

@@ -18,30 +18,42 @@ Cost OrderedStore::query_cost() const {
   return 1 + std::floor(std::log2(static_cast<double>(size()) + 1));
 }
 
+OrderedStore::Iter OrderedStore::region_first(
+    const SortedRegion& region) const {
+  if (!region.lo) return index_.lower_bound(type_min(region.type));
+  return region.lo_exclusive ? index_.upper_bound(*region.lo)
+                             : index_.lower_bound(*region.lo);
+}
+
+OrderedStore::Iter OrderedStore::region_last(const SortedRegion& region,
+                                             Iter first) const {
+  if (region.hi) {
+    return region.hi_exclusive ? index_.lower_bound(*region.hi)
+                               : index_.upper_bound(*region.hi);
+  }
+  // Prefix or type-open region: advance by key comparisons (not probes)
+  // until the first key outside.
+  Iter it = first;
+  while (it != index_.end() && region_contains_key(region, it->first)) ++it;
+  return it;
+}
+
 std::optional<std::uint64_t> OrderedStore::oldest_match(
     const SearchCriterion& sc) const {
-  // Range/exact patterns on the key field bound the index walk.
+  if (sc.top_k) {
+    if (!sc.ranked_valid()) return std::nullopt;
+    return ranked_match(sc);
+  }
+  // Order-constraining patterns on the key field bound the index walk;
+  // every in-region entry is probed and the oldest verified match wins.
   if (key_field_ < sc.fields.size()) {
-    const FieldPattern& key_pattern = sc.fields[key_field_];
-    auto lo = index_.begin();
-    auto hi = index_.end();
-    bool bounded = false;
-    if (const auto* exact = std::get_if<Exact>(&key_pattern)) {
-      lo = index_.lower_bound(exact->value);
-      hi = index_.upper_bound(exact->value);
-      bounded = true;
-    } else if (const auto* range = std::get_if<IntRange>(&key_pattern)) {
-      lo = index_.lower_bound(Value{range->lo});
-      hi = index_.upper_bound(Value{range->hi});
-      bounded = true;
-    } else if (const auto* rrange = std::get_if<RealRange>(&key_pattern)) {
-      lo = index_.lower_bound(Value{rrange->lo});
-      hi = index_.upper_bound(Value{rrange->hi});
-      bounded = true;
-    }
-    if (bounded) {
+    const SortedRegion region = sorted_region(sc.fields[key_field_]);
+    if (region.empty) return std::nullopt;
+    if (region.usable) {
       std::optional<std::uint64_t> best;
-      for (auto it = lo; it != hi; ++it) {
+      const Iter first = region_first(region);
+      for (Iter it = first; it != index_.end(); ++it) {
+        if (!region_contains_key(region, it->first)) break;
         auto obj = by_age_.find(it->second);
         if (obj == by_age_.end()) continue;
         if (!probe(sc, obj->second)) continue;
@@ -52,6 +64,58 @@ std::optional<std::uint64_t> OrderedStore::oldest_match(
   }
   for (const auto& [age, object] : by_age_) {
     if (probe(sc, object)) return age;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> OrderedStore::ranked_match(
+    const SearchCriterion& sc) const {
+  const TopK& top_k = *sc.top_k;
+  // The sorted index accelerates a ranked read only when it ranks by the
+  // key field, the scoring hook is strictly increasing over the region's
+  // value type (score order == key order), and the region spans one type.
+  // Everything else takes the executable-spec scan.
+  if (top_k.field != key_field_) return ranked_scan(sc);
+  SortedRegion region = sorted_region(sc.fields[key_field_]);
+  if (region.empty) return std::nullopt;
+  if (!region.usable) {
+    // Unconstrained key pattern: the walk would span the whole index, which
+    // is rank-ordered only if a single type lives there.
+    if (index_.empty()) return std::nullopt;
+    const FieldType front = type_of(index_.begin()->first);
+    if (type_of(index_.rbegin()->first) != front) return ranked_scan(sc);
+    region.usable = true;
+    region.type = front;
+  }
+  if (!score_monotone_for(top_k.score_fn, region.type)) {
+    return ranked_scan(sc);
+  }
+  const Iter first = region_first(region);
+  const Iter last = region_last(region, first);
+  std::uint32_t seen = 0;
+  if (!top_k.descending) {
+    // Key-ascending == score-ascending; equal keys arrive age-ascending
+    // (the multimap preserves insertion order), exactly the tie order.
+    for (Iter it = first; it != last; ++it) {
+      auto obj = by_age_.find(it->second);
+      if (obj == by_age_.end()) continue;
+      if (!probe(sc, obj->second)) continue;
+      if (++seen == top_k.k) return it->second;
+    }
+    return std::nullopt;
+  }
+  // Descending: walk key groups high-to-low but ages forward inside each
+  // group, so equal scores still break oldest-first.
+  Iter group_end = last;
+  while (group_end != first) {
+    const Iter group_begin = index_.lower_bound(std::prev(group_end)->first);
+    for (Iter it = group_begin; it != group_end; ++it) {
+      auto obj = by_age_.find(it->second);
+      if (obj == by_age_.end()) continue;
+      if (!probe(sc, obj->second)) continue;
+      if (++seen == top_k.k) return it->second;
+    }
+    group_end = group_begin;
   }
   return std::nullopt;
 }

@@ -29,8 +29,15 @@ class OrderedStore final : public StoreBase {
   const char* kind() const override { return "ordered"; }
 
  private:
+  using Iter = std::multimap<Value, std::uint64_t>::const_iterator;
+
   void index_cleared() override { index_.clear(); }
   std::optional<std::uint64_t> oldest_match(const SearchCriterion& sc) const;
+  /// Serves TopK: a directional region walk when the rank field is the key
+  /// field and the scoring hook is order-preserving, else the spec scan.
+  std::optional<std::uint64_t> ranked_match(const SearchCriterion& sc) const;
+  Iter region_first(const SortedRegion& region) const;
+  Iter region_last(const SortedRegion& region, Iter first) const;
   void drop_from_index(const PasoObject& object, std::uint64_t age);
 
   std::size_t key_field_;

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "storage/object_store.hpp"
+#include "storage/query_plan.hpp"
 
 namespace paso::storage {
 
@@ -36,11 +37,20 @@ class StoreBase : public ObjectStore {
   void clear() override {
     by_age_.clear();
     age_of_.clear();
+    arity_count_.clear();
     content_bytes_ = 0;
     index_cleared();
   }
 
   std::uint64_t match_probes() const override { return probes_; }
+
+  /// Number of live objects with exactly `arity` fields — the planner's
+  /// arity-completeness early-out: a criterion whose arity no object carries
+  /// cannot match, so indexed stores answer it without probing.
+  std::size_t arity_count(std::size_t arity) const {
+    auto it = arity_count_.find(arity);
+    return it == arity_count_.end() ? 0 : it->second;
+  }
 
  protected:
   /// Insert into the backbone; derived classes call this from store() and
@@ -49,6 +59,7 @@ class StoreBase : public ObjectStore {
   bool base_store(PasoObject object, std::uint64_t age) {
     if (age_of_.contains(object.id)) return false;
     content_bytes_ += object.wire_size();
+    ++arity_count_[object.fields.size()];
     age_of_.emplace(object.id, age);
     const auto [it, inserted] = by_age_.emplace(age, std::move(object));
     PASO_REQUIRE(inserted, "duplicate age in store");
@@ -62,6 +73,10 @@ class StoreBase : public ObjectStore {
     PASO_REQUIRE(it != by_age_.end(), "erasing unknown age");
     PasoObject object = std::move(it->second);
     content_bytes_ -= object.wire_size();
+    auto arity_it = arity_count_.find(object.fields.size());
+    if (arity_it != arity_count_.end() && --arity_it->second == 0) {
+      arity_count_.erase(arity_it);
+    }
     age_of_.erase(object.id);
     by_age_.erase(it);
     return object;
@@ -83,9 +98,25 @@ class StoreBase : public ObjectStore {
     return sc.matches(object);
   }
 
+  /// Ranked-read fallback shared by every store: probe the full age order,
+  /// score the matches, pick the k-th (the executable TopK spec — LinearStore
+  /// answers ranked reads exactly this way). Callers guarantee
+  /// sc.ranked_valid().
+  std::optional<std::uint64_t> ranked_scan(const SearchCriterion& sc) const {
+    std::vector<ScoredAge> scored;
+    for (const auto& [age, object] : by_age_) {
+      if (!probe(sc, object)) continue;
+      scored.push_back(
+          {score_value(object.fields[sc.top_k->field], sc.top_k->score_fn),
+           age});
+    }
+    return ranked_pick(std::move(scored), *sc.top_k);
+  }
+
   mutable std::uint64_t probes_ = 0;
   std::map<std::uint64_t, PasoObject> by_age_;
   std::unordered_map<ObjectId, std::uint64_t> age_of_;
+  std::unordered_map<std::size_t, std::size_t> arity_count_;
   std::size_t content_bytes_ = 0;
 };
 

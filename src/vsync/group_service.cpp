@@ -398,6 +398,7 @@ void GroupService::dispatch_join(const GroupName& name, Op& op) {
   }
   j.donor = donor;
   j.transfer_in_flight = true;
+  ++j.transfer_seq;
   if (j.started_at < 0) j.started_at = network_.simulator().now();
   GroupEndpoint* donor_ep = endpoints_[donor.value];
   PASO_REQUIRE(donor_ep != nullptr, "donor without endpoint");
@@ -419,19 +420,34 @@ void GroupService::dispatch_join(const GroupName& name, Op& op) {
     }
   }
 
-  const std::uint64_t op_id = op.id;
+  send_transfer(name, op.id, j.transfer_seq, donor, copy_cost, is_delta,
+                std::make_shared<const StateBlob>(std::move(blob)),
+                options_.retransmit_timeout);
+}
+
+void GroupService::send_transfer(const GroupName& name, std::uint64_t op_id,
+                                 std::uint64_t seq, MachineId donor,
+                                 Cost copy_cost, bool is_delta,
+                                 std::shared_ptr<const StateBlob> blob,
+                                 sim::SimTime retry_delay) {
+  Op* op = active_op(name, op_id);
+  if (op == nullptr || op->kind != Op::Kind::kJoin) return;
   network_.send(
-      donor, j.joiner, is_delta ? "state-xfer-delta" : "state-xfer", blob.bytes,
-      [this, name, op_id, donor, copy_cost, is_delta, blob = std::move(blob)] {
+      donor, op->join.joiner,
+      is_delta ? "state-xfer-delta" : "state-xfer", blob->bytes,
+      [this, name, op_id, seq, donor, copy_cost, is_delta, blob] {
         Op* active = active_op(name, op_id);
         if (active == nullptr || active->kind != Op::Kind::kJoin) return;
         JoinOp& join = active->join;
-        if (!join.transfer_in_flight || join.donor != donor) return;  // stale
+        if (!join.transfer_in_flight || join.transfer_seq != seq ||
+            join.donor != donor) {
+          return;  // stale: duplicate delivery or a restarted transfer
+        }
         join.transfer_in_flight = false;  // donor crash can no longer abort
         GroupEndpoint* joiner_ep = endpoints_[join.joiner.value];
         PASO_REQUIRE(joiner_ep != nullptr, "joiner without endpoint");
         if (is_delta) {
-          if (!joiner_ep->install_delta(name, blob)) {
+          if (!joiner_ep->install_delta(name, *blob)) {
             // The suffix did not line up with the joiner's recovered state:
             // abandon the delta and restart this join as a full transfer.
             if (obs_.metrics != nullptr) {
@@ -442,7 +458,7 @@ void GroupService::dispatch_join(const GroupName& name, Op& op) {
             return;
           }
         } else {
-          joiner_ep->install_state(name, blob);
+          joiner_ep->install_state(name, *blob);
         }
         network_.ledger().charge_work(join.joiner, copy_cost);
         // Installation takes time proportional to the state size; the view
@@ -453,6 +469,30 @@ void GroupService::dispatch_join(const GroupName& name, Op& op) {
           finish_join(name, *done_op);
         });
       });
+  // The transfer is a bare point-to-point send with no ack of its own, and
+  // every later op on this group serializes behind the join — a drop window
+  // that ate the blob would wedge the group queue forever. Re-send on the
+  // gcast retransmit cadence until a copy lands; the arrival handler clears
+  // transfer_in_flight, so duplicates (and retries from a superseded
+  // transfer, via the seq check) are no-ops.
+  if (retry_delay < sim::kNever) {
+    network_.simulator().schedule_after(
+        retry_delay, [this, name, op_id, seq, donor, copy_cost, is_delta,
+                      blob, retry_delay] {
+          Op* again = active_op(name, op_id);
+          if (again == nullptr || again->kind != Op::Kind::kJoin) return;
+          JoinOp& join = again->join;
+          if (!join.transfer_in_flight || join.transfer_seq != seq) return;
+          if (!network_.is_up(donor) || !network_.is_up(join.joiner)) return;
+          ++retransmits_;
+          if (obs_.metrics != nullptr) {
+            obs_.metrics->counter("vsync.retransmits").inc();
+          }
+          send_transfer(name, op_id, seq, donor, copy_cost, is_delta,
+                        std::move(blob),
+                        retry_delay * options_.retransmit_backoff);
+        });
+  }
 }
 
 void GroupService::finish_join(const GroupName& name, Op& op) {

@@ -167,6 +167,11 @@ class GroupService {
     /// failover) must ship the full blob, not renegotiate a delta against
     /// state the aborted install may have touched.
     bool force_full = false;
+    /// Bumped every time dispatch_join ships (or re-ships) a blob. Arrival
+    /// handlers and retransmit timers from a superseded transfer — delta
+    /// fallback, donor failover — carry a stale seq and become no-ops, so a
+    /// late duplicate can never install an outdated blob.
+    std::uint64_t transfer_seq = 0;
   };
   struct LeaveOp {
     MachineId leaver;
@@ -197,6 +202,10 @@ class GroupService {
                            sim::SimTime delay);
   void member_acked(const GroupName& name, std::uint64_t op_id,
                     MachineId member);
+  void send_transfer(const GroupName& name, std::uint64_t op_id,
+                     std::uint64_t seq, MachineId donor, Cost copy_cost,
+                     bool is_delta, std::shared_ptr<const StateBlob> blob,
+                     sim::SimTime retry_delay);
   void maybe_complete_gcast(const GroupName& name, Op& op);
   void complete_active(const GroupName& name);
   void finish_join(const GroupName& name, Op& op);

@@ -51,6 +51,66 @@ TEST(PatternTest, TextPrefix) {
   EXPECT_FALSE(pattern_matches(p, Value{std::string{"result/42"}}));
 }
 
+TEST(PatternTest, RangeBoundsAreOptionalAndExclusive) {
+  const std::int64_t v = 5;
+  // Half-open (5, *): excludes the boundary itself.
+  const FieldPattern above = range_at_least(Value{v}, /*exclusive=*/true);
+  EXPECT_FALSE(pattern_matches(above, Value{v}));
+  EXPECT_TRUE(pattern_matches(above, Value{std::int64_t{6}}));
+  // (*, 5]: unbounded below, inclusive above.
+  const FieldPattern below = range_at_most(Value{v});
+  EXPECT_TRUE(pattern_matches(below, Value{v}));
+  EXPECT_TRUE(pattern_matches(below, Value{std::int64_t{-100}}));
+  EXPECT_FALSE(pattern_matches(below, Value{std::int64_t{6}}));
+  // Fully open range: matches any type, any value.
+  EXPECT_TRUE(pattern_matches(Range{}, Value{true}));
+  EXPECT_TRUE(pattern_matches(Range{}, Value{std::string{"x"}}));
+}
+
+TEST(PatternTest, RangeBoundsMustAgreeWithValueType) {
+  const FieldPattern p = range_between(Value{std::int64_t{1}},
+                                       Value{std::int64_t{9}});
+  EXPECT_FALSE(pattern_matches(p, Value{5.0}));  // real vs int bounds
+  // Cross-typed bounds admit nothing at all.
+  const FieldPattern crossed =
+      Range{Bound{Value{std::int64_t{1}}}, Bound{Value{std::string{"z"}}}};
+  EXPECT_FALSE(pattern_matches(crossed, Value{std::int64_t{1}}));
+  EXPECT_FALSE(pattern_matches(crossed, Value{std::string{"a"}}));
+}
+
+TEST(PatternTest, TextRangeOrdersLexicographically) {
+  const FieldPattern p = range_between(Value{std::string{"apple"}},
+                                       Value{std::string{"mango"}},
+                                       /*lo_exclusive=*/false,
+                                       /*hi_exclusive=*/true);
+  EXPECT_TRUE(pattern_matches(p, Value{std::string{"banana"}}));
+  EXPECT_TRUE(pattern_matches(p, Value{std::string{"apple"}}));
+  EXPECT_FALSE(pattern_matches(p, Value{std::string{"mango"}}));
+  EXPECT_FALSE(pattern_matches(p, Value{std::string{"zebra"}}));
+}
+
+TEST(CriterionTest, RankedValidityRequiresInRangeFieldAndPositiveK) {
+  SearchCriterion sc = ranked(criterion(AnyField{}, AnyField{}), TopK{1, 3});
+  EXPECT_TRUE(sc.ranked_valid());
+  sc.top_k->field = 2;  // past the arity
+  EXPECT_FALSE(sc.ranked_valid());
+  sc.top_k->field = 0;
+  sc.top_k->k = 0;
+  EXPECT_FALSE(sc.ranked_valid());
+  EXPECT_FALSE(criterion(AnyField{}).ranked_valid());  // no selector at all
+}
+
+TEST(CriterionTest, TopKDoesNotAffectMatching) {
+  // Rank is a selection policy over the match set, not a per-object
+  // predicate: the ranked criterion admits exactly what its base admits.
+  const SearchCriterion base =
+      criterion(Exact{Value{std::int64_t{1}}}, AnyField{});
+  const SearchCriterion top =
+      ranked(base, TopK{0, 2, /*descending=*/true});
+  EXPECT_EQ(base.matches(tuple_of(1, "x")), top.matches(tuple_of(1, "x")));
+  EXPECT_EQ(base.matches(tuple_of(2, "x")), top.matches(tuple_of(2, "x")));
+}
+
 TEST(CriterionTest, ArityMustAgree) {
   const SearchCriterion sc = criterion(AnyField{});
   EXPECT_FALSE(sc.matches(tuple_of(1, "x")));
@@ -81,6 +141,38 @@ TEST(CriterionTest, WireSizeCountsPatterns) {
 TEST(CriterionTest, ToStringIsReadable) {
   const SearchCriterion sc = criterion(IntRange{1, 5}, AnyField{});
   EXPECT_EQ(sc.to_string(), "[[1..5], ?]");
+}
+
+TEST(CriterionTest, RangeWireSizeCountsFlagsAndPresentBounds) {
+  // Range = tag + flags byte + (type byte + payload) per present bound.
+  const SearchCriterion both =
+      criterion(range_between(Value{std::int64_t{1}}, Value{std::int64_t{9}}));
+  EXPECT_EQ(both.wire_size(), 4u + (1u + 1u + 9u + 9u));
+  const SearchCriterion half = criterion(range_at_least(Value{std::int64_t{1}}));
+  EXPECT_EQ(half.wire_size(), 4u + (1u + 1u + 9u));
+  const SearchCriterion open = criterion(Range{});
+  EXPECT_EQ(open.wire_size(), 4u + 2u);
+  // A ranked selector adds its fixed 10 bytes on top of any shape.
+  EXPECT_EQ(ranked(open, TopK{0, 1}).wire_size(), open.wire_size() + 10u);
+}
+
+TEST(CriterionTest, RangeAndTopKToString) {
+  EXPECT_EQ(criterion(range_between(Value{std::int64_t{2}},
+                                    Value{std::int64_t{8}},
+                                    /*lo_exclusive=*/true))
+                .to_string(),
+            "[(2..8]]");
+  EXPECT_EQ(criterion(range_at_most(Value{std::int64_t{4}},
+                                    /*exclusive=*/true))
+                .to_string(),
+            "[[*..4)]");
+  EXPECT_EQ(ranked(criterion(AnyField{}, AnyField{}),
+                   TopK{1, 3, /*descending=*/true})
+                .to_string(),
+            "[?, ?] top3v@f1");
+  EXPECT_EQ(ranked(criterion(AnyField{}), TopK{0, 1, /*descending=*/false})
+                .to_string(),
+            "[?] top1^@f0");
 }
 
 // --- schema: obj-clss and sc-list -------------------------------------------

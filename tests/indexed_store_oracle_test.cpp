@@ -1,11 +1,24 @@
-// Differential oracle for IndexedStore: LinearStore — a plain age-ordered
-// scan with no index to get wrong — is the reference semantics. Random
-// operation sequences with random criteria must produce byte-identical
-// results on both stores: same found object, same removed object (the
-// OLDEST match, which pins tie-breaking), same sizes, same snapshots.
-// Covers Exact / OneOf-with-duplicates / IntRange / TextPrefix / TypedAny /
-// AnyField criteria, remove-then-reinsert ordering, erase-by-id,
-// snapshot/load and clear.
+// Differential oracle for the query engine: LinearStore — a plain
+// age-ordered scan with no index or plan to get wrong — is the executable
+// spec. Random operation sequences with random criteria must produce
+// byte-identical results on every other store family: same found object,
+// same removed object (the OLDEST match, or the k-th ranked match for TopK
+// criteria), same sizes, same snapshots.
+//
+// Families checked against the spec, all fed identical workloads:
+//   HashStore(0), OrderedStore(0), CompositeStore(0),
+//   IndexedStore(fields) in plain mode, IndexedStore(fields) in ordered
+//   mode (sorted twins + selectivity planner).
+// Criteria cover Exact / OneOf-with-duplicates / IntRange / RealRange /
+// TextPrefix / TypedAny / AnyField plus the query-engine additions: Range
+// with open and exclusive bounds (including type-mismatched bounds that
+// match nothing) and ranked TopK reads (both directions, k past the match
+// count, rank fields out of range). Compound multi-field criteria exercise
+// the selectivity planner's path ordering and arity early-out.
+//
+// Probe accounting must agree with itself: replaying a seed produces the
+// exact same per-family probe totals (plans are deterministic), pinned by
+// running every workload twice.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -13,13 +26,16 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "storage/composite_store.hpp"
+#include "storage/hash_store.hpp"
 #include "storage/indexed_store.hpp"
 #include "storage/linear_store.hpp"
+#include "storage/ordered_store.hpp"
 
 namespace paso::storage {
 namespace {
 
-constexpr int kSeeds = 220;
+constexpr int kSeeds = 400;
 constexpr int kOpsPerSeed = 120;
 
 /// Objects are (int, text, int): field 0 a small-int key, field 1 a short
@@ -36,24 +52,22 @@ PasoObject random_object(Rng& rng, std::uint64_t seq) {
   return object;
 }
 
+Value random_field_value(Rng& rng, std::size_t field) {
+  if (field == 1) return Value{std::string(1, 'a' + rng.index(4))};
+  return Value{static_cast<std::int64_t>(rng.index(6))};
+}
+
 FieldPattern random_pattern(Rng& rng, std::size_t field) {
-  switch (rng.index(6)) {
-    case 0: {
-      if (field == 1) return Exact{Value{std::string(1, 'a' + rng.index(4))}};
-      return Exact{Value{static_cast<std::int64_t>(rng.index(6))}};
-    }
+  switch (rng.index(7)) {
+    case 0:
+      return Exact{random_field_value(rng, field)};
     case 1: {
       // OneOf with deliberate duplicates: the dedup path must not change
       // which object is oldest.
       OneOf one_of;
       const std::size_t n = 1 + rng.index(4);
       for (std::size_t i = 0; i < n; ++i) {
-        if (field == 1) {
-          one_of.values.push_back(Value{std::string(1, 'a' + rng.index(4))});
-        } else {
-          one_of.values.push_back(
-              Value{static_cast<std::int64_t>(rng.index(6))});
-        }
+        one_of.values.push_back(random_field_value(rng, field));
       }
       if (rng.chance(0.5) && !one_of.values.empty()) {
         one_of.values.push_back(one_of.values.front());
@@ -68,7 +82,25 @@ FieldPattern random_pattern(Rng& rng, std::size_t field) {
       return TextPrefix{rng.chance(0.5)
                             ? std::string(1, 'a' + rng.index(4))
                             : std::string{}};
-    case 4:
+    case 4: {
+      // General Range: open/closed/missing bounds in every combination,
+      // including inverted and type-mismatched (match-nothing) shapes.
+      Range range;
+      if (rng.chance(0.8)) {
+        range.lo = Bound{random_field_value(rng, field), rng.chance(0.3)};
+      }
+      if (rng.chance(0.8)) {
+        range.hi = Bound{random_field_value(rng, field), rng.chance(0.3)};
+      }
+      if (rng.chance(0.1)) {
+        // Cross-typed bounds: provably empty, planner must prove it too.
+        range.hi = Bound{field == 1 ? Value{std::int64_t{3}}
+                                    : Value{std::string{"zz"}},
+                         false};
+      }
+      return range;
+    }
+    case 5:
       return TypedAny{static_cast<FieldType>(rng.index(4))};
     default:
       return AnyField{};
@@ -83,22 +115,57 @@ SearchCriterion random_criterion(Rng& rng) {
   for (std::size_t f = 0; f < arity; ++f) {
     sc.fields.push_back(random_pattern(rng, f));
   }
+  // A quarter of the criteria are ranked reads: any rank field (sometimes
+  // out of range), k occasionally past the match count, both directions.
+  if (rng.chance(0.25)) {
+    TopK top_k;
+    top_k.field = rng.index(4);  // 3 = out of range at arity 3
+    top_k.k = 1 + rng.index(5);
+    top_k.descending = rng.chance(0.5);
+    sc.top_k = top_k;
+  }
   return sc;
 }
 
-void expect_same(const std::optional<PasoObject>& a,
-                 const std::optional<PasoObject>& b, int seed, int op) {
-  ASSERT_EQ(a.has_value(), b.has_value()) << "seed " << seed << " op " << op;
-  if (a) {
-    EXPECT_EQ(a->id, b->id) << "seed " << seed << " op " << op;
-    EXPECT_TRUE(a->fields == b->fields) << "seed " << seed << " op " << op;
+void expect_same(const std::optional<PasoObject>& from_linear,
+                 const std::optional<PasoObject>& from_other,
+                 const char* family, int seed, int op) {
+  ASSERT_EQ(from_linear.has_value(), from_other.has_value())
+      << family << " seed " << seed << " op " << op;
+  if (from_linear) {
+    EXPECT_EQ(from_linear->id, from_other->id)
+        << family << " seed " << seed << " op " << op;
+    EXPECT_TRUE(from_linear->fields == from_other->fields)
+        << family << " seed " << seed << " op " << op;
   }
 }
 
-void run_oracle(int seed, const std::vector<std::size_t>& indexed_fields) {
+struct Family {
+  const char* name;
+  std::unique_ptr<ObjectStore> store;
+};
+
+std::vector<Family> make_families(const std::vector<std::size_t>& fields) {
+  std::vector<Family> families;
+  families.push_back({"hash", std::make_unique<HashStore>(0)});
+  families.push_back({"ordered", std::make_unique<OrderedStore>(0)});
+  families.push_back({"composite", std::make_unique<CompositeStore>(0)});
+  families.push_back({"indexed", std::make_unique<IndexedStore>(fields)});
+  families.push_back(
+      {"indexed+sorted",
+       std::make_unique<IndexedStore>(fields,
+                                      IndexedStore::Options{true})});
+  return families;
+}
+
+/// One seeded workload against the spec store and every family. Fills
+/// `probes_out` with the per-family probe totals so callers can pin replay
+/// determinism. (Out-parameter because ASSERT_* needs a void function.)
+void run_oracle(int seed, const std::vector<std::size_t>& indexed_fields,
+                std::vector<std::uint64_t>* probes_out = nullptr) {
   Rng rng(static_cast<std::uint64_t>(seed) * 2654435761u + 17);
-  IndexedStore indexed(indexed_fields);
   LinearStore linear;
+  std::vector<Family> families = make_families(indexed_fields);
   std::uint64_t next_age = 0;
   std::uint64_t next_seq = 0;
   std::vector<PasoObject> removed_pool;  // candidates for re-insertion
@@ -108,7 +175,7 @@ void run_oracle(int seed, const std::vector<std::size_t>& indexed_fields) {
     if (dice < 0.40) {
       // Insert — sometimes re-inserting a removed object under a NEW
       // identity and age (re-insertion puts it at the back of the age
-      // order; both stores must agree).
+      // order; all stores must agree).
       PasoObject object;
       if (!removed_pool.empty() && rng.chance(0.3)) {
         object = removed_pool[rng.index(removed_pool.size())];
@@ -117,61 +184,101 @@ void run_oracle(int seed, const std::vector<std::size_t>& indexed_fields) {
         object = random_object(rng, next_seq++);
       }
       const std::uint64_t age = next_age++;
-      indexed.store(object, age);
       linear.store(object, age);
+      for (Family& family : families) family.store->store(object, age);
     } else if (dice < 0.65) {
       const SearchCriterion sc = random_criterion(rng);
-      expect_same(indexed.find(sc), linear.find(sc), seed, op);
+      const auto from_linear = linear.find(sc);
+      for (Family& family : families) {
+        expect_same(from_linear, family.store->find(sc), family.name, seed,
+                    op);
+      }
     } else if (dice < 0.90) {
       const SearchCriterion sc = random_criterion(rng);
-      const auto from_indexed = indexed.remove(sc);
       const auto from_linear = linear.remove(sc);
-      expect_same(from_indexed, from_linear, seed, op);
-      if (from_indexed) removed_pool.push_back(*from_indexed);
+      for (Family& family : families) {
+        expect_same(from_linear, family.store->remove(sc), family.name, seed,
+                    op);
+      }
+      if (from_linear) removed_pool.push_back(*from_linear);
     } else if (dice < 0.95) {
       // Erase by identity of a random live object (if any).
       const auto snapshot = linear.snapshot();
       if (!snapshot.empty()) {
         const ObjectId id = snapshot[rng.index(snapshot.size())].object.id;
-        EXPECT_EQ(indexed.erase(id), linear.erase(id)) << "seed " << seed;
+        const bool erased = linear.erase(id);
+        for (Family& family : families) {
+          EXPECT_EQ(family.store->erase(id), erased)
+              << family.name << " seed " << seed;
+        }
       }
     } else {
-      // State-transfer round trip of the indexed store through its own
-      // snapshot: contents and order must survive a load.
-      const auto snapshot = indexed.snapshot();
-      indexed.clear();
-      indexed.load(snapshot);
+      // State-transfer round trip of every family through its own
+      // snapshot: contents, order and every index must survive a load.
+      for (Family& family : families) {
+        const auto snapshot = family.store->snapshot();
+        family.store->clear();
+        family.store->load(snapshot);
+      }
     }
-    ASSERT_EQ(indexed.size(), linear.size()) << "seed " << seed << " op " << op;
+    for (Family& family : families) {
+      ASSERT_EQ(family.store->size(), linear.size())
+          << family.name << " seed " << seed << " op " << op;
+    }
   }
 
   // Final sweep: snapshots agree object-for-object in age order, and
-  // draining both stores with a wildcard yields the same sequence.
-  const auto snap_indexed = indexed.snapshot();
+  // draining every store with a wildcard yields the same sequence.
   const auto snap_linear = linear.snapshot();
-  ASSERT_EQ(snap_indexed.size(), snap_linear.size()) << "seed " << seed;
-  for (std::size_t i = 0; i < snap_indexed.size(); ++i) {
-    EXPECT_EQ(snap_indexed[i].age, snap_linear[i].age) << "seed " << seed;
-    EXPECT_EQ(snap_indexed[i].object.id, snap_linear[i].object.id)
-        << "seed " << seed;
+  for (Family& family : families) {
+    const auto snap = family.store->snapshot();
+    ASSERT_EQ(snap.size(), snap_linear.size())
+        << family.name << " seed " << seed;
+    for (std::size_t i = 0; i < snap.size(); ++i) {
+      EXPECT_EQ(snap[i].age, snap_linear[i].age)
+          << family.name << " seed " << seed;
+      EXPECT_EQ(snap[i].object.id, snap_linear[i].object.id)
+          << family.name << " seed " << seed;
+    }
   }
   const SearchCriterion drain = criterion(AnyField{}, AnyField{}, AnyField{});
   while (true) {
-    const auto a = indexed.remove(drain);
-    const auto b = linear.remove(drain);
-    expect_same(a, b, seed, -1);
-    if (!a) break;
+    const auto from_linear = linear.remove(drain);
+    for (Family& family : families) {
+      expect_same(from_linear, family.store->remove(drain), family.name,
+                  seed, -1);
+    }
+    if (!from_linear) break;
   }
-  EXPECT_EQ(indexed.size(), 0u) << "seed " << seed;
+  for (Family& family : families) {
+    EXPECT_EQ(family.store->size(), 0u) << family.name << " seed " << seed;
+  }
+
+  if (probes_out) {
+    probes_out->clear();
+    probes_out->push_back(linear.match_probes());
+    for (Family& family : families) {
+      probes_out->push_back(family.store->match_probes());
+    }
+  }
 }
 
 TEST(IndexedStoreOracleTest, MatchesLinearStoreAcrossSeeds) {
   // Rotate the indexed field set so single-field, subset and full-arity
-  // configurations all face the same workloads.
+  // configurations all face the same workloads. Each seed runs twice:
+  // identical probe totals pin plan determinism (probe accounting is a
+  // pure function of the workload).
   const std::vector<std::vector<std::size_t>> configs{
       {0}, {0, 2}, {0, 1, 2}};
   for (int seed = 0; seed < kSeeds; ++seed) {
-    run_oracle(seed, configs[static_cast<std::size_t>(seed) % configs.size()]);
+    const auto& config = configs[static_cast<std::size_t>(seed) % configs.size()];
+    std::vector<std::uint64_t> probes;
+    run_oracle(seed, config, &probes);
+    if (::testing::Test::HasFatalFailure()) return;
+    std::vector<std::uint64_t> replay;
+    run_oracle(seed, config, &replay);
+    EXPECT_EQ(probes, replay) << "probe accounting diverged on replay, seed "
+                              << seed;
   }
 }
 

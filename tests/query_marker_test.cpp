@@ -1,0 +1,175 @@
+// Marker wakeup for the query-engine criteria (Section 4.3 extended): a
+// read blocked on a Range or Prefix criterion must capture a later matching
+// insert. These criteria carry no Exact field, so their markers live in the
+// catch-all marker list — every insert consults them — and the regression
+// risk is twofold: a bucketing "optimization" that files them where
+// matching inserts never look, and boundary handling (an exclusive bound
+// must NOT fire on the boundary value). Both are pinned here, plus survival
+// across a crash epoch and across expired-marker TTL sweeps.
+#include <gtest/gtest.h>
+
+#include "paso/cluster.hpp"
+#include "semantics/checker.hpp"
+
+namespace paso {
+namespace {
+
+Schema task_schema() {
+  return Schema({
+      ClassSpec{"task", {FieldType::kInt, FieldType::kText}, 0, 1},
+  });
+}
+
+Tuple task(std::int64_t key, const std::string& text) {
+  return {Value{key}, Value{text}};
+}
+
+ClusterConfig config() {
+  ClusterConfig cfg;
+  cfg.machines = 5;
+  cfg.lambda = 1;
+  cfg.runtime.poll_interval = 50;
+  cfg.runtime.marker_ttl = 1000;
+  return cfg;
+}
+
+class QueryMarkerTest : public ::testing::Test {
+ protected:
+  QueryMarkerTest() : cluster_(task_schema(), config()) {
+    cluster_.assign_basic_support();
+  }
+
+  /// Arms a marker-mode blocking read on `sc` from machine 4 and returns
+  /// a pointer to the completion slot.
+  void block_on(const SearchCriterion& sc) {
+    const ProcessId reader = cluster_.process(MachineId{4});
+    cluster_.runtime(reader.machine)
+        .read_blocking(reader, sc,
+                       [this](SearchResponse r) {
+                         result_ = std::move(r);
+                         done_ = true;
+                       },
+                       BlockingMode::kMarker, 1e9);
+    cluster_.settle_for(2000);  // markers armed, nothing matches yet
+    ASSERT_FALSE(done_);
+  }
+
+  void insert(std::int64_t key, const std::string& text) {
+    const ProcessId writer = cluster_.process(MachineId{0});
+    cluster_.runtime(writer.machine).insert(writer, task(key, text), {});
+  }
+
+  Cluster cluster_;
+  SearchResponse result_;
+  bool done_ = false;
+};
+
+TEST_F(QueryMarkerTest, RangeCriterionWakesOnMatchingInsert) {
+  block_on(criterion(range_between(Value{std::int64_t{10}},
+                                   Value{std::int64_t{20}}),
+                     TypedAny{FieldType::kText}));
+  insert(3, "below");  // outside the range: must not complete the read
+  cluster_.settle_for(2000);
+  EXPECT_FALSE(done_);
+
+  insert(15, "inside");
+  cluster_.simulator().run_while_pending([&] { return done_; });
+  ASSERT_TRUE(done_);
+  ASSERT_TRUE(result_.has_value());
+  EXPECT_EQ(std::get<std::string>(result_->fields[1]), "inside");
+
+  const auto check = semantics::check_history(cluster_.history());
+  EXPECT_TRUE(check.ok()) << check.violations.front();
+}
+
+TEST_F(QueryMarkerTest, PrefixCriterionWakesOnMatchingInsert) {
+  block_on(criterion(TypedAny{FieldType::kInt}, TextPrefix{"job-"}));
+  insert(1, "task-1");  // wrong prefix
+  cluster_.settle_for(2000);
+  EXPECT_FALSE(done_);
+
+  insert(2, "job-42");
+  cluster_.simulator().run_while_pending([&] { return done_; });
+  ASSERT_TRUE(done_);
+  ASSERT_TRUE(result_.has_value());
+  EXPECT_EQ(std::get<std::string>(result_->fields[1]), "job-42");
+}
+
+TEST_F(QueryMarkerTest, ExclusiveBoundaryDoesNotWake) {
+  // (5, ∞): an insert AT the excluded boundary must leave the read blocked;
+  // the first strictly-greater insert completes it.
+  block_on(criterion(range_at_least(Value{std::int64_t{5}},
+                                    /*exclusive=*/true),
+                     TypedAny{FieldType::kText}));
+  insert(5, "boundary");
+  cluster_.settle_for(3000);
+  EXPECT_FALSE(done_) << "exclusive bound fired on its boundary value";
+
+  insert(6, "past");
+  cluster_.simulator().run_while_pending([&] { return done_; });
+  ASSERT_TRUE(done_);
+  ASSERT_TRUE(result_.has_value());
+  EXPECT_EQ(std::get<std::string>(result_->fields[1]), "past");
+}
+
+TEST_F(QueryMarkerTest, RangeMarkerSurvivesCrashEpoch) {
+  // A support holder crashes and recovers while the read is blocked. The
+  // reader re-arms its markers (TTL re-place), so a post-recovery matching
+  // insert must still complete the read.
+  block_on(criterion(range_at_most(Value{std::int64_t{0}}),
+                     TypedAny{FieldType::kText}));
+  const auto support = cluster_.basic_support(ClassId{0});
+  const MachineId victim = support.front();
+  cluster_.crash(victim);
+  cluster_.settle_for(1000);
+  cluster_.recover(victim);
+  cluster_.settle_for(3000);  // recovery + marker re-arm rounds
+  EXPECT_FALSE(done_);
+
+  insert(-7, "negative");
+  cluster_.simulator().run_while_pending([&] { return done_; });
+  ASSERT_TRUE(done_);
+  ASSERT_TRUE(result_.has_value());
+  EXPECT_EQ(std::get<std::string>(result_->fields[1]), "negative");
+
+  cluster_.settle_for(2000);  // drain the insert's ack before the audit
+  const auto check =
+      semantics::check_history(cluster_.history(), cluster_.run_context());
+  EXPECT_TRUE(check.ok()) << check.violations.front();
+}
+
+TEST(QueryMarkerTtlTest, PrefixMarkerSurvivesExpirySweeps) {
+  // TTL far shorter than the wait: the prefix marker expires and is swept
+  // several times over; each re-arm must restore it faithfully (same Range
+  // semantics, same catch-all placement) so the eventual insert still wakes
+  // the reader.
+  ClusterConfig cfg;
+  cfg.machines = 4;
+  cfg.lambda = 1;
+  cfg.runtime.marker_ttl = 200;
+  Cluster cluster(task_schema(), cfg);
+  cluster.assign_basic_support();
+
+  const ProcessId reader = cluster.process(MachineId{3});
+  const ProcessId writer = cluster.process(MachineId{0});
+  SearchResponse result;
+  bool done = false;
+  cluster.runtime(reader.machine)
+      .read_blocking(reader, criterion(TypedAny{FieldType::kInt},
+                                       TextPrefix{"z"}),
+                     [&](SearchResponse r) {
+                       result = std::move(r);
+                       done = true;
+                     },
+                     BlockingMode::kMarker, 1e9);
+  cluster.settle_for(1500);  // many TTL periods
+  EXPECT_FALSE(done);
+  cluster.runtime(writer.machine).insert(writer, task(9, "zebra"), {});
+  cluster.simulator().run_while_pending([&] { return done; });
+  EXPECT_TRUE(done);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(std::get<std::string>(result->fields[1]), "zebra");
+}
+
+}  // namespace
+}  // namespace paso

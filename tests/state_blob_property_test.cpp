@@ -31,14 +31,18 @@
 namespace paso {
 namespace {
 
-// Four families, four distinct signatures so obj-clss and sc-list stay
-// unambiguous: every tuple and every criterion names exactly one class.
+// Five families, five distinct signatures so obj-clss and sc-list stay
+// unambiguous: every tuple and every criterion names exactly one class. The
+// fifth ("rich") runs the full query engine — ordered IndexedStore with
+// sorted twins on both fields — so its blobs carry state that must rebuild
+// hash buckets, sorted indexes and cardinality stats on install.
 Schema family_schema() {
   return Schema({
       ClassSpec{"hash", {FieldType::kInt, FieldType::kText}, 0, 1},
       ClassSpec{"ordered", {FieldType::kReal, FieldType::kInt}, 0, 1},
       ClassSpec{"indexed", {FieldType::kInt, FieldType::kInt}, 0, 1},
       ClassSpec{"composite", {FieldType::kReal, FieldType::kText}, 0, 1},
+      ClassSpec{"rich", {FieldType::kText, FieldType::kInt}, 0, 1},
   });
 }
 
@@ -52,8 +56,12 @@ MemoryServer::ClassStoreFactory family_factory(const Schema& schema) {
       case 2:
         return std::make_unique<storage::IndexedStore>(
             std::vector<std::size_t>{0, 1});
-      default:
+      case 3:
         return std::make_unique<storage::CompositeStore>(0);
+      default:
+        return std::make_unique<storage::IndexedStore>(
+            std::vector<std::size_t>{0, 1},
+            storage::IndexedStore::Options{true});
     }
   };
 }
@@ -77,8 +85,13 @@ Tuple make_tuple(std::size_t spec, std::int64_t key,
       return {Value{static_cast<double>(key)}, Value{key}};
     case 2:
       return {Value{key}, Value{static_cast<std::int64_t>(payload.size())}};
-    default:
+    case 3:
       return {Value{static_cast<double>(key)}, Value{payload}};
+    default:
+      // Zero-padded text keys: lexicographic order == numeric order, so the
+      // rich family's range and prefix probes below stay meaningful.
+      return {Value{(key >= 0 && key < 10 ? "k0" : "k") + std::to_string(key)},
+              Value{key}};
   }
 }
 
@@ -92,9 +105,11 @@ SearchCriterion key_criterion(std::size_t spec, std::int64_t key) {
                        TypedAny{FieldType::kInt});
     case 2:
       return criterion(Exact{Value{key}}, TypedAny{FieldType::kInt});
-    default:
+    case 3:
       return criterion(Exact{Value{static_cast<double>(key)}},
                        TypedAny{FieldType::kText});
+    default:
+      return criterion(TypedAny{FieldType::kText}, Exact{Value{key}});
   }
 }
 
@@ -122,8 +137,10 @@ TEST(StateBlobPropertyTest, BlobAccountingAndRoundTripAcrossFamilies) {
     cluster.assign_basic_support();
     const ProcessId driver = cluster.process(MachineId{4});
 
-    std::vector<FamilyModel> families(4);
-    for (std::size_t spec = 0; spec < 4; ++spec) families[spec].spec = spec;
+    std::vector<FamilyModel> families(5);
+    for (std::size_t spec = 0; spec < families.size(); ++spec) {
+      families[spec].spec = spec;
+    }
 
     // Random workload: mostly inserts (unique keys), some removals of a
     // known live key — so the model below tracks the exact live set.
@@ -204,6 +221,32 @@ TEST(StateBlobPropertyTest, BlobAccountingAndRoundTripAcrossFamilies) {
           EXPECT_TRUE(from_donor->fields == from_joiner->fields);
         }
       }
+      if (family.spec == 4) {
+        // The rich family's installed replica must have rebuilt its sorted
+        // twins and stats, not just the age backbone: query-engine probes
+        // (prefix walk, text range, ranked read) answer like the donor.
+        std::vector<SearchCriterion> probes;
+        probes.push_back(
+            criterion(TextPrefix{"k0"}, TypedAny{FieldType::kInt}));
+        probes.push_back(criterion(
+            range_between(Value{std::string{"k02"}}, Value{std::string{"k2"}},
+                          /*lo_exclusive=*/true),
+            TypedAny{FieldType::kInt}));
+        probes.push_back(ranked(
+            criterion(AnyField{}, range_at_least(Value{std::int64_t{3}})),
+            TopK{1, 2, /*descending=*/true}));
+        probes.push_back(ranked(criterion(AnyField{}, AnyField{}),
+                                TopK{0, 3, /*descending=*/false}));
+        for (std::size_t i = 0; i < probes.size(); ++i) {
+          const auto from_donor = donor.local_find(*cls, probes[i]);
+          const auto from_joiner = joiner.local_find(*cls, probes[i]);
+          ASSERT_EQ(from_donor.has_value(), from_joiner.has_value())
+              << "rich probe " << i;
+          if (from_donor) {
+            EXPECT_EQ(from_donor->id, from_joiner->id) << "rich probe " << i;
+          }
+        }
+      }
     }
 
     const auto check =
@@ -211,6 +254,70 @@ TEST(StateBlobPropertyTest, BlobAccountingAndRoundTripAcrossFamilies) {
     EXPECT_TRUE(check.ok()) << (check.violations.empty()
                                     ? ""
                                     : check.violations.front());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Store-level property: an ordered IndexedStore rebuilt from its own
+// snapshot (the payload a state-transfer blob carries) is structurally
+// identical — same cardinality stats per index, same plan access for any
+// criterion, same answer to random query-engine criteria.
+
+TEST(StateBlobPropertyTest, OrderedIndexSnapshotRebuildsIdentically) {
+  for (const std::uint64_t seed : {3ull, 71ull, 9001ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed);
+    storage::IndexedStore donor({0, 1}, storage::IndexedStore::Options{true});
+    std::uint64_t age = 0;
+    for (int i = 0; i < 80; ++i) {
+      PasoObject object;
+      object.id = ObjectId{ProcessId{MachineId{0}, 0}, age};
+      object.fields = {Value{static_cast<std::int64_t>(rng.index(10))},
+                       Value{std::string(1, 'a' + rng.index(5))}};
+      donor.store(std::move(object), age);
+      ++age;
+      if (rng.chance(0.3)) {
+        donor.remove(criterion(
+            Exact{Value{static_cast<std::int64_t>(rng.index(10))}},
+            AnyField{}));
+      }
+    }
+
+    storage::IndexedStore joiner({0, 1},
+                                 storage::IndexedStore::Options{true});
+    joiner.load(donor.snapshot());
+
+    EXPECT_EQ(joiner.index_stats(), donor.index_stats());
+    for (int i = 0; i < 40; ++i) {
+      SearchCriterion sc;
+      const std::int64_t lo = static_cast<std::int64_t>(rng.index(10));
+      switch (rng.index(4)) {
+        case 0:
+          sc = criterion(range_between(Value{lo}, Value{lo + 3},
+                                       rng.chance(0.5), rng.chance(0.5)),
+                         AnyField{});
+          break;
+        case 1:
+          sc = criterion(AnyField{},
+                         TextPrefix{std::string(1, 'a' + rng.index(5))});
+          break;
+        case 2:
+          sc = ranked(criterion(AnyField{}, AnyField{}),
+                      TopK{rng.index(2),
+                           static_cast<std::uint32_t>(1 + rng.index(3)),
+                           rng.chance(0.5)});
+          break;
+        default:
+          sc = criterion(Exact{Value{lo}}, AnyField{});
+          break;
+      }
+      EXPECT_EQ(joiner.plan(sc).access, donor.plan(sc).access) << "probe " << i;
+      const auto from_donor = donor.find(sc);
+      const auto from_joiner = joiner.find(sc);
+      ASSERT_EQ(from_donor.has_value(), from_joiner.has_value())
+          << "probe " << i;
+      if (from_donor) EXPECT_EQ(from_donor->id, from_joiner->id);
+    }
   }
 }
 

@@ -272,5 +272,175 @@ TEST(OrderedStoreTest, RealRangeQueries) {
       store.find(criterion(RealRange{3.3, 3.5}, AnyField{})).has_value());
 }
 
+// --- query engine: planner, ordered mode, stats, ranked reads ---------------
+
+TEST(QueryPlanTest, OrdersCompoundCriteriaBySelectivity) {
+  IndexedStore store({0, 1}, IndexedStore::Options{true});
+  // Field 0: two fat buckets. Field 1: unique values.
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    store.store(
+        make_object(i, static_cast<std::int64_t>(i % 2), std::to_string(i)),
+        i);
+  }
+  const QueryPlan plan = store.plan(
+      criterion(Exact{Value{0ll}}, Exact{Value{std::string{"12"}}}));
+  ASSERT_EQ(plan.access, PlanAccess::kIndex);
+  ASSERT_EQ(plan.steps.size(), 2u);
+  EXPECT_EQ(plan.steps[0].field, 1u);  // 1 candidate beats 20
+  EXPECT_EQ(plan.steps[0].estimate, 1u);
+  EXPECT_EQ(plan.steps[1].field, 0u);
+  EXPECT_EQ(plan.steps[1].estimate, 20u);
+}
+
+TEST(QueryPlanTest, ArityMismatchIsImpossibleWithoutProbing) {
+  IndexedStore store({0}, IndexedStore::Options{true});
+  for (std::uint64_t i = 0; i < 10; ++i) store.store(make_object(i, 1), i);
+  // No arity-3 object was ever stored: the histogram proves no match.
+  const QueryPlan plan =
+      store.plan(criterion(AnyField{}, AnyField{}, AnyField{}));
+  EXPECT_EQ(plan.access, PlanAccess::kImpossible);
+  EXPECT_STREQ(plan.reason, "arity");
+  const std::uint64_t before = store.match_probes();
+  EXPECT_FALSE(
+      store.find(criterion(AnyField{}, AnyField{}, AnyField{})).has_value());
+  EXPECT_EQ(store.match_probes() - before, 0u);
+}
+
+TEST(QueryPlanTest, ProvablyEmptyRangeIsImpossible) {
+  IndexedStore store({0}, IndexedStore::Options{true});
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    store.store(make_object(i, static_cast<std::int64_t>(i)), i);
+  }
+  // Inverted and out-of-population ranges die in the planner, not the scan.
+  EXPECT_EQ(store
+                .plan(criterion(range_between(Value{5ll}, Value{2ll}),
+                                AnyField{}))
+                .access,
+            PlanAccess::kImpossible);
+  EXPECT_EQ(store
+                .plan(criterion(range_at_least(Value{100ll}), AnyField{}))
+                .access,
+            PlanAccess::kImpossible);
+  const std::uint64_t before = store.match_probes();
+  EXPECT_FALSE(
+      store.find(criterion(range_at_least(Value{100ll}), AnyField{}))
+          .has_value());
+  EXPECT_EQ(store.match_probes() - before, 0u);
+}
+
+TEST(QueryPlanTest, RangeWalkProbesOnlyTheRegion) {
+  IndexedStore store({0}, IndexedStore::Options{true});
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    store.store(make_object(i, static_cast<std::int64_t>(i)), i);
+  }
+  const std::uint64_t before = store.match_probes();
+  // (10, 14]: exactly keys 11..14 are in region — 4 probes, not 100.
+  const auto found = store.find(criterion(
+      range_between(Value{10ll}, Value{14ll}, /*lo_exclusive=*/true),
+      AnyField{}));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(std::get<std::int64_t>(found->fields[0]), 11);
+  EXPECT_EQ(store.match_probes() - before, 4u);
+}
+
+TEST(QueryPlanTest, PrefixWalkProbesOnlyThePrefixRegion) {
+  IndexedStore store({1}, IndexedStore::Options{true});
+  store.store(make_object(0, 0, "apple"), 0);
+  store.store(make_object(1, 0, "apricot"), 1);
+  store.store(make_object(2, 0, "banana"), 2);
+  store.store(make_object(3, 0, "cherry"), 3);
+  const std::uint64_t before = store.match_probes();
+  const auto found = store.find(criterion(AnyField{}, TextPrefix{"ap"}));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->id.sequence, 0u);
+  EXPECT_EQ(store.match_probes() - before, 2u)
+      << "prefix walk left the 'ap' region";
+}
+
+TEST(IndexedStoreTest, OrderedModeCostsDoubleThePlainModel) {
+  IndexedStore plain({0, 1});
+  IndexedStore ordered({0, 1}, IndexedStore::Options{true});
+  EXPECT_DOUBLE_EQ(plain.insert_cost(), 2.0);
+  EXPECT_DOUBLE_EQ(ordered.insert_cost(), 4.0);  // hash + sorted twin each
+  EXPECT_DOUBLE_EQ(plain.query_cost(), 1.0);
+  EXPECT_DOUBLE_EQ(ordered.query_cost(), 1.0);  // empty store floors at 1
+  for (std::uint64_t i = 0; i < 1024; ++i) {
+    ordered.store(make_object(i, 1), i);
+  }
+  EXPECT_GE(ordered.query_cost(), 10.0);  // log-sized descent, like Ordered
+}
+
+TEST(IndexedStoreTest, CardinalityStatsTrackInsertAndRemove) {
+  IndexedStore store({0, 1}, IndexedStore::Options{true});
+  store.store(make_object(0, 7, "a"), 0);
+  store.store(make_object(1, 7, "b"), 1);
+  store.store(make_object(2, 9, "a"), 2);
+  auto stats = store.index_stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0], (IndexedStore::IndexStats{0, 3, 2}));  // keys {7,9}
+  EXPECT_EQ(stats[1], (IndexedStore::IndexStats{1, 3, 2}));  // texts {a,b}
+  ASSERT_TRUE(store.remove(key_criterion(7)).has_value());  // takes (7,"a")
+  stats = store.index_stats();
+  EXPECT_EQ(stats[0], (IndexedStore::IndexStats{0, 2, 2}));  // one 7 left
+  EXPECT_EQ(stats[1], (IndexedStore::IndexStats{1, 2, 2}));  // (9,"a") remains
+  ASSERT_TRUE(store.remove(key_criterion(7)).has_value());  // takes (7,"b")
+  stats = store.index_stats();
+  EXPECT_EQ(stats[0], (IndexedStore::IndexStats{0, 1, 1}));  // key 7 gone
+  EXPECT_EQ(stats[1], (IndexedStore::IndexStats{1, 1, 1}));  // "b" gone
+}
+
+TEST(RankedReadTest, TopKSelectsByRankNotAge) {
+  // Ages and key order deliberately disagree: ranked reads must follow the
+  // score order, ties broken oldest-first — identically on every family.
+  const auto fill = [](ObjectStore& store) {
+    store.store(make_object(0, 30, "old-high"), 0);
+    store.store(make_object(1, 10, "low"), 1);
+    store.store(make_object(2, 30, "new-high"), 2);
+    store.store(make_object(3, 20, "mid"), 3);
+  };
+  LinearStore spec;
+  IndexedStore indexed({0}, IndexedStore::Options{true});
+  OrderedStore ordered(0);
+  fill(spec);
+  fill(indexed);
+  fill(ordered);
+  const SearchCriterion top1 = ranked(
+      criterion(AnyField{}, AnyField{}), TopK{0, 1, /*descending=*/true});
+  const SearchCriterion top2 = ranked(
+      criterion(AnyField{}, AnyField{}), TopK{0, 2, /*descending=*/true});
+  const SearchCriterion bottom = ranked(
+      criterion(AnyField{}, AnyField{}), TopK{0, 1, /*descending=*/false});
+  for (ObjectStore* store :
+       std::initializer_list<ObjectStore*>{&spec, &indexed, &ordered}) {
+    EXPECT_EQ(store->find(top1)->id.sequence, 0u);  // 30, oldest of the tie
+    EXPECT_EQ(store->find(top2)->id.sequence, 2u);  // 30, the newer twin
+    EXPECT_EQ(store->find(bottom)->id.sequence, 1u);  // 10
+  }
+  // k past the match count finds nothing; a ranked remove takes the k-th.
+  EXPECT_FALSE(spec.find(ranked(criterion(AnyField{}, AnyField{}),
+                                TopK{0, 5, true}))
+                   .has_value());
+  const auto removed = indexed.remove(top1);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(removed->id.sequence, 0u);
+  EXPECT_EQ(indexed.find(top1)->id.sequence, 2u);
+}
+
+TEST(RankedReadTest, RankedWalkStopsAtK) {
+  // 100 keyed objects, descending top-1: the sorted walk starts at the top
+  // key and stops at the first verified match instead of scoring everything.
+  IndexedStore store({0}, IndexedStore::Options{true});
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    store.store(make_object(i, static_cast<std::int64_t>(i)), i);
+  }
+  const std::uint64_t before = store.match_probes();
+  const auto found = store.find(
+      ranked(criterion(AnyField{}, AnyField{}), TopK{0, 1, true}));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(std::get<std::int64_t>(found->fields[0]), 99);
+  EXPECT_EQ(store.match_probes() - before, 1u)
+      << "descending top-1 should probe only the top key";
+}
+
 }  // namespace
 }  // namespace paso::storage

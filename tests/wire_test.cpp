@@ -93,6 +93,56 @@ TEST(WireCriterionTest, AllPatternKindsRoundTrip) {
   EXPECT_TRUE(r.exhausted());
 }
 
+TEST(WireCriterionTest, RangeShapesRoundTrip) {
+  // Every presence/exclusivity combination, plus cross-typed bounds (legal
+  // on the wire even though they admit nothing).
+  const std::vector<FieldPattern> shapes{
+      Range{},
+      range_at_least(Value{std::int64_t{-3}}),
+      range_at_least(Value{std::string{"m"}}, /*exclusive=*/true),
+      range_at_most(Value{2.5}),
+      range_at_most(Value{std::int64_t{10}}, /*exclusive=*/true),
+      range_between(Value{std::int64_t{1}}, Value{std::int64_t{9}}),
+      range_between(Value{std::string{"a"}}, Value{std::string{"q"}},
+                    /*lo_exclusive=*/true, /*hi_exclusive=*/true),
+      Range{Bound{Value{std::int64_t{1}}}, Bound{Value{std::string{"z"}}}},
+  };
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    const SearchCriterion sc = criterion(FieldPattern{shapes[i]}, AnyField{});
+    ByteWriter w;
+    encode_criterion(w, sc);
+    EXPECT_EQ(w.size(), sc.wire_size()) << "shape " << i;
+    ByteReader r(w.bytes());
+    EXPECT_EQ(decode_criterion(r), sc) << "shape " << i;
+    EXPECT_TRUE(r.exhausted()) << "shape " << i;
+  }
+}
+
+TEST(WireCriterionTest, RankedCriterionRoundTrips) {
+  // The TopK selector rides the arity header's top bit: ten extra bytes,
+  // every field faithful, and criteria without it decode to top_k == null.
+  SearchCriterion sc = ranked(
+      criterion(range_at_least(Value{std::int64_t{0}}), AnyField{}),
+      TopK{1, 42, /*descending=*/false, /*score_fn=*/kNaturalScore});
+  ByteWriter w;
+  encode_criterion(w, sc);
+  EXPECT_EQ(w.size(), sc.wire_size());
+  ByteReader r(w.bytes());
+  const SearchCriterion decoded = decode_criterion(r);
+  EXPECT_EQ(decoded, sc);
+  ASSERT_TRUE(decoded.top_k.has_value());
+  EXPECT_EQ(decoded.top_k->field, 1u);
+  EXPECT_EQ(decoded.top_k->k, 42u);
+  EXPECT_FALSE(decoded.top_k->descending);
+  EXPECT_TRUE(r.exhausted());
+
+  const SearchCriterion plain = criterion(AnyField{}, AnyField{});
+  ByteWriter w2;
+  encode_criterion(w2, plain);
+  ByteReader r2(w2.bytes());
+  EXPECT_FALSE(decode_criterion(r2).top_k.has_value());
+}
+
 TEST(WireCriterionTest, EmptyCriterionRoundTrips) {
   const SearchCriterion sc;
   ByteWriter w;

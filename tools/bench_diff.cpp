@@ -3,7 +3,8 @@
 // Both inputs are files of `{"bench":...,"config":...,"msg_cost":...}` rows
 // (bench_util's result_line format; non-row lines are skipped, so raw bench
 // stdout works too). Rows are matched on (bench, config) and gated on every
-// deterministic model axis the row carries: msg_cost, work and bytes. A
+// deterministic model axis the row carries: msg_cost, work, bytes and
+// probes_per_op (the query planner's match-probe count). A
 // fresh row whose value on any gated axis exceeds the baseline's by more
 // than the tolerance (default 10%) is a regression and fails the run with
 // exit 1; axes the baseline row lacks (or records as 0 — wall-clock-only
@@ -71,7 +72,8 @@ int main(int argc, char** argv) {
 
   // Gated axes, all deterministic model quantities (wall clock — ns_per_op —
   // is machine-dependent and never gated).
-  static const char* const kAxes[] = {"msg_cost", "work", "bytes"};
+  static const char* const kAxes[] = {"msg_cost", "work", "bytes",
+                                      "probes_per_op"};
 
   int regressions = 0;
   int compared = 0;
