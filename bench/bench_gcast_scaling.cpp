@@ -9,6 +9,7 @@
 #include <any>
 
 #include "bench/bench_util.hpp"
+#include "net/bus_network.hpp"
 #include "vsync/group_service.hpp"
 #include "paso/cluster.hpp"
 
@@ -119,18 +120,21 @@ void batching_section() {
   print_rule();
   for (const Cost alpha : {10.0, 64.0}) {
     for (const std::size_t max_batch : {16u, 64u}) {
-      const BurstResult off = run_burst(alpha, 0, max_batch);
-      const BurstResult on = run_burst(alpha, 50, max_batch);
+      BurstResult off, on;
+      const double ns_off =
+          time_ns_per_op(64, [&] { off = run_burst(alpha, 0, max_batch); });
+      const double ns_on =
+          time_ns_per_op(64, [&] { on = run_burst(alpha, 50, max_batch); });
       const double ratio = off.msg_cost / on.msg_cost;
       std::printf("%6.0f %6zu | %12.0f %12.0f | %6.2fx\n", alpha, max_batch,
                   off.msg_cost, on.msg_cost, ratio);
       const std::string config = "burst64/alpha=" +
                                  std::to_string(static_cast<int>(alpha)) +
                                  "/max_batch=" + std::to_string(max_batch);
-      result_line("gcast_batching", config + "/off", off.ops, 0, off.msg_cost,
-                  off.bytes);
-      result_line("gcast_batching", config + "/on", on.ops, 0, on.msg_cost,
-                  on.bytes);
+      result_line("gcast_batching", config + "/off", off.ops, ns_off,
+                  off.msg_cost, off.bytes);
+      result_line("gcast_batching", config + "/on", on.ops, ns_on,
+                  on.msg_cost, on.bytes);
     }
   }
   std::printf(
@@ -151,7 +155,9 @@ int main() {
   for (const std::size_t g : {1u, 2u, 4u, 8u, 16u, 32u}) {
     for (const std::size_t msg : {16u, 256u}) {
       for (const std::size_t resp : {8u, 64u}) {
-        const Sample sample = run_gcast(g, msg, resp);
+        Sample sample;
+        const double ns_per_op =
+            time_ns_per_op(1, [&] { sample = run_gcast(g, msg, resp); });
         std::printf("%3zu %6zu %6zu | %10.1f %10.1f %10.1f | %10.1f\n", g,
                     msg, resp, model.gcast(g, msg, resp),
                     model.gcast_approx(g, msg, resp), sample.measured,
@@ -159,7 +165,7 @@ int main() {
         result_line("gcast_scaling",
                     "g=" + std::to_string(g) + "/msg=" + std::to_string(msg) +
                         "/resp=" + std::to_string(resp),
-                    1, 0, sample.measured, g * msg + resp);
+                    1, ns_per_op, sample.measured, g * msg + resp);
         // Section 5 premise: bus time >= total message cost.
         if (sample.elapsed + 1e-9 < sample.measured) {
           std::printf("  !! completion time below message cost — model "

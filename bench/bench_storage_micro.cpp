@@ -49,18 +49,6 @@ void fill(ObjectStore& store, std::int64_t count) {
   }
 }
 
-using Clock = std::chrono::steady_clock;
-
-double time_ns_per_op(std::uint64_t ops, const std::function<void()>& body) {
-  const auto start = Clock::now();
-  body();
-  const auto elapsed = Clock::now() - start;
-  return static_cast<double>(
-             std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
-                 .count()) /
-         static_cast<double>(ops);
-}
-
 struct ProbeRow {
   double ns_per_op = 0;
   std::uint64_t probes_per_op = 0;

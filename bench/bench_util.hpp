@@ -3,14 +3,30 @@
 // one table/figure/theorem of the paper and prints predicted vs measured.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "paso/cluster.hpp"
 
 namespace paso::bench {
+
+/// Wall-clock nanoseconds per operation of `body`, which performs `ops`
+/// operations. The shared timing primitive of every bench's ns_per_op
+/// column; steady_clock so NTP slews can't produce negative latencies.
+inline double time_ns_per_op(std::uint64_t ops,
+                             const std::function<void()>& body) {
+  const auto start = std::chrono::steady_clock::now();
+  body();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                 .count()) /
+         static_cast<double>(ops);
+}
 
 inline void print_header(const std::string& title) {
   std::printf("\n================================================================\n");

@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "adaptive/basic_policy.hpp"
+#include "example_util.hpp"
 #include "paso/cluster.hpp"
 
 using namespace paso;
@@ -83,16 +84,23 @@ Cost total(const std::vector<PhaseStats>& phases) {
   return sum;
 }
 
+/// Set once from argv; --transport=threaded runs all three clusters on the
+/// real-clock fabric (model costs are transport-independent, so the
+/// comparison is unchanged).
+TransportKind g_transport = TransportKind::kSim;
+
 ClusterConfig base_config() {
   ClusterConfig cfg;
   cfg.machines = 6;
   cfg.lambda = 1;
+  cfg.transport = g_transport;
   return cfg;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_transport = examples::transport_from_args(argc, argv);
   std::cout << "=== Adaptive (Basic counter, K = 8) ===\n";
   Cluster adaptive(config_schema(), base_config());
   adaptive.assign_basic_support();

@@ -1,0 +1,38 @@
+// Shared bits for the examples: the --transport=sim|threaded flag.
+//
+// Every example defaults to the deterministic virtual-time bus; passing
+// `--transport=threaded` runs the identical program on the real-clock
+// threaded transport (worker threads, SPSC rings, steady_clock timers, 1
+// virtual cost unit = 1 microsecond). Examples driven purely through the
+// Cluster's synchronous wrappers and settle()/settle_for() work unchanged
+// on both; examples that script the simulator directly stay sim-only.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "paso/cluster.hpp"
+
+namespace paso::examples {
+
+/// Parse --transport=sim|threaded from argv (default sim). Any other value
+/// exits with usage; unrelated arguments are left alone for the caller.
+inline TransportKind transport_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--transport=", 12) != 0) continue;
+    const char* value = argv[i] + 12;
+    if (std::strcmp(value, "sim") == 0) return TransportKind::kSim;
+    if (std::strcmp(value, "threaded") == 0) return TransportKind::kThreaded;
+    std::fprintf(stderr, "unknown transport `%s`; use sim or threaded\n",
+                 value);
+    std::exit(2);
+  }
+  return TransportKind::kSim;
+}
+
+inline const char* transport_name(TransportKind kind) {
+  return kind == TransportKind::kThreaded ? "threaded" : "sim";
+}
+
+}  // namespace paso::examples

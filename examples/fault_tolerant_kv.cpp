@@ -12,6 +12,7 @@
 #include <optional>
 #include <string>
 
+#include "example_util.hpp"
 #include "paso/cluster.hpp"
 #include "semantics/checker.hpp"
 
@@ -53,13 +54,15 @@ class Dictionary {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Schema schema({
       ClassSpec{"kv", {FieldType::kText, FieldType::kInt}, 0, 4},
   });
   ClusterConfig config;
   config.machines = 6;
   config.lambda = 1;
+  // --transport=threaded: the same crash/recover story on real threads.
+  config.transport = examples::transport_from_args(argc, argv);
   Cluster cluster(std::move(schema), config);
   cluster.assign_basic_support();
 

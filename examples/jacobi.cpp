@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "example_util.hpp"
 #include "paso/cluster.hpp"
 #include "semantics/checker.hpp"
 
@@ -32,7 +33,7 @@ SearchCriterion x_entry(std::int64_t iteration, std::int64_t index) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   // System: A = tridiagonal (4 on the diagonal, -1 off), b = all ones.
   std::vector<std::vector<double>> a(kN, std::vector<double>(kN, 0.0));
   std::vector<double> b(kN, 1.0);
@@ -50,6 +51,8 @@ int main() {
   ClusterConfig config;
   config.machines = 7;
   config.lambda = 1;
+  // --transport=threaded: identical iteration on the real-clock fabric.
+  config.transport = examples::transport_from_args(argc, argv);
   Cluster cluster(std::move(schema), config);
   cluster.assign_basic_support();
 

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "analysis/latency.hpp"
+#include "example_util.hpp"
 #include "paso/cluster.hpp"
 #include "semantics/checker.hpp"
 
@@ -37,7 +38,7 @@ void print_help() {
       "  readwait <machine> <key> <timeout> blocking read (markers)\n"
       "  crash <machine>                    crash a machine\n"
       "  recover <machine>                  recover a crashed machine\n"
-      "  settle [duration]                  run the simulator\n"
+      "  settle [duration]                  run the simulator / quiesce\n"
       "  members                            write-group membership per class\n"
       "  topology                           segment map, per-bus load, crossings\n"
       "  stats                              cost ledger + latency summary\n"
@@ -76,6 +77,11 @@ int main(int argc, char** argv) {
   // Durable disks on: a `crash` + `recover` here replays the machine's WAL
   // and rejoins via a delta transfer — watch it with `persist-stats`.
   config.persistence.enabled = true;
+  // `--transport=threaded` runs the shell on the real-clock threaded
+  // transport: durations become wall microseconds, ops run on real worker
+  // threads instead of virtual time.
+  config.transport = examples::transport_from_args(argc, argv);
+  const bool threaded = config.transport == TransportKind::kThreaded;
   // `--segments N` splits the bus into N bridged segments (try 2 and watch
   // `topology` after a few cross-segment reads).
   std::size_t segments = 1;
@@ -98,8 +104,9 @@ int main(int argc, char** argv) {
   }
   std::cout << "PASO repl: " << config.machines
             << " machines, lambda=" << config.lambda << ", " << segments
-            << " bus segment" << (segments == 1 ? "" : "s")
-            << ", persistence on. Type `help` for commands.\n";
+            << " bus segment" << (segments == 1 ? "" : "s") << ", "
+            << examples::transport_name(config.transport)
+            << " transport, persistence on. Type `help` for commands.\n";
 
   std::string line;
   while (std::cout << "> " << std::flush, std::getline(std::cin, line)) {
@@ -120,9 +127,21 @@ int main(int argc, char** argv) {
         const ProcessId p = cluster.process(MachineId{m});
         bool done = false;
         ObjectId id{};
-        id = cluster.runtime(p.machine)
-                 .insert(p, {Value{key}, Value{text}}, [&done] { done = true; });
-        cluster.simulator().run_while_pending([&done] { return done; });
+        if (threaded) {
+          // Issue under the stack lock, then wait for the fabric to report
+          // the completion (checked under the same lock).
+          cluster.transport().run_exclusive([&] {
+            id = cluster.runtime(p.machine)
+                     .insert(p, {Value{key}, Value{text}},
+                             [&done] { done = true; });
+          });
+          cluster.threaded_transport().quiesce([&done] { return done; });
+        } else {
+          id = cluster.runtime(p.machine)
+                   .insert(p, {Value{key}, Value{text}},
+                           [&done] { done = true; });
+          cluster.simulator().run_while_pending([&done] { return done; });
+        }
         std::cout << "inserted " << id << "\n";
       } else if (cmd == "read" || cmd == "readdel") {
         std::uint32_t m;
@@ -141,7 +160,7 @@ int main(int argc, char** argv) {
         const ProcessId p = cluster.process(MachineId{m});
         const auto result = cluster.read_blocking_sync(
             p, make_criterion(key_token, ""), BlockingMode::kMarker,
-            cluster.simulator().now() + timeout);
+            cluster.transport().now() + timeout);
         std::cout << (result ? object_to_string(*result) : "fail (timeout)")
                   << "\n";
       } else if (cmd == "crash") {
@@ -163,7 +182,7 @@ int main(int argc, char** argv) {
         } else {
           cluster.settle();
         }
-        std::cout << "t=" << cluster.simulator().now() << "\n";
+        std::cout << "t=" << cluster.transport().now() << "\n";
       } else if (cmd == "members") {
         for (std::uint32_t c = 0; c < cluster.schema().class_count(); ++c) {
           const auto view =
@@ -175,6 +194,13 @@ int main(int argc, char** argv) {
           std::cout << "\n";
         }
       } else if (cmd == "topology") {
+        if (threaded) {
+          std::cout << "per-segment bus stats are sim-transport only; "
+                    << "crossings=" << cluster.threaded_transport().crossings()
+                    << " msgs=" << cluster.threaded_transport().messages()
+                    << "\n";
+          continue;
+        }
         const auto& net = cluster.network();
         const auto& topo = net.topology();
         const double now = cluster.simulator().now();
@@ -203,24 +229,28 @@ int main(int argc, char** argv) {
           std::cout << "single bus, no bridges\n";
         }
       } else if (cmd == "stats") {
-        std::cout << "msg cost: " << cluster.ledger().total_msg_cost()
-                  << ", work: " << cluster.ledger().total_work()
-                  << ", t=" << cluster.simulator().now() << "\n";
-        const auto report = analysis::latency_report(cluster.history());
-        auto line_for = [](const char* name, const Summary& s) {
-          if (s.empty()) return;
-          std::cout << "  " << name << ": n=" << s.count()
-                    << " mean=" << s.mean() << " p95=" << s.percentile(0.95)
-                    << "\n";
-        };
-        line_for("insert  ", report.insert);
-        line_for("read    ", report.read);
-        line_for("read&del", report.read_del);
-        for (const auto& [tag, stats] : cluster.ledger().per_tag()) {
-          std::cout << "  [" << tag << "] n=" << stats.messages
-                    << " bytes=" << stats.bytes << " cost=" << stats.cost
-                    << "\n";
-        }
+        // Under the threaded transport the fabric may be mid-delivery;
+        // snapshot ledger + history under the stack lock (plain call on sim).
+        cluster.transport().run_exclusive([&] {
+          std::cout << "msg cost: " << cluster.ledger().total_msg_cost()
+                    << ", work: " << cluster.ledger().total_work()
+                    << ", t=" << cluster.transport().now() << "\n";
+          const auto report = analysis::latency_report(cluster.history());
+          auto line_for = [](const char* name, const Summary& s) {
+            if (s.empty()) return;
+            std::cout << "  " << name << ": n=" << s.count()
+                      << " mean=" << s.mean() << " p95=" << s.percentile(0.95)
+                      << "\n";
+          };
+          line_for("insert  ", report.insert);
+          line_for("read    ", report.read);
+          line_for("read&del", report.read_del);
+          for (const auto& [tag, stats] : cluster.ledger().per_tag()) {
+            std::cout << "  [" << tag << "] n=" << stats.messages
+                      << " bytes=" << stats.bytes << " cost=" << stats.cost
+                      << "\n";
+          }
+        });
       } else if (cmd == "persist-stats") {
         for (std::uint32_t m = 0; m < config.machines; ++m) {
           auto& manager = cluster.persistence(MachineId{m});

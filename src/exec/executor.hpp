@@ -1,0 +1,64 @@
+// Clock/Executor seam: the scheduling surface the protocol stack runs on.
+//
+// Everything above the network — runtimes, the group service, batchers,
+// marker sweeps, recovery timers — schedules work against this interface
+// instead of a concrete engine. Two implementations exist:
+//
+//   * sim::Simulator (src/sim): the deterministic discrete-event engine.
+//     Time is virtual, in the cost model's units; two events at the same
+//     time fire in scheduling order. The substrate for tests, chaos
+//     schedules, and the differential oracle.
+//   * exec::ThreadedExecutor (this directory): a real-clock timer loop
+//     driven by std::chrono::steady_clock. Time is wall microseconds since
+//     the executor's birth. The substrate for the threaded transport and
+//     wall-clock benchmarks.
+//
+// The same protocol stack compiles against this interface once and runs on
+// either engine; docs/threading.md spells out which determinism guarantees
+// survive the move to real time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace paso::exec {
+
+/// A point in executor time. Virtual cost units on the simulator, wall
+/// microseconds on the threaded executor. Always non-negative.
+using Time = double;
+
+/// Sentinel for "no deadline / disabled timer": later than every event.
+inline constexpr Time kNever = std::numeric_limits<Time>::infinity();
+
+/// Handle for cancelling a scheduled action.
+struct TimerId {
+  std::uint64_t value = 0;
+  friend auto operator<=>(const TimerId&, const TimerId&) = default;
+};
+
+class Executor {
+ public:
+  using Action = std::function<void()>;
+
+  virtual ~Executor() = default;
+
+  /// Current executor time.
+  virtual Time now() const = 0;
+
+  /// Schedule `action` at absolute time `at`. The simulator requires
+  /// `at >= now()`; the threaded executor clamps past times to "as soon as
+  /// possible". Scheduling at kNever parks the action forever (it only runs
+  /// if the simulator's queue drains down to it; the threaded executor never
+  /// fires it).
+  virtual TimerId schedule_at(Time at, Action action) = 0;
+
+  /// Schedule `action` `delay` time units from now (delay >= 0).
+  virtual TimerId schedule_after(Time delay, Action action) = 0;
+
+  /// Cancel a pending action. Cancelling an already-fired or
+  /// already-cancelled action is a harmless no-op (returns false).
+  virtual bool cancel(TimerId id) = 0;
+};
+
+}  // namespace paso::exec

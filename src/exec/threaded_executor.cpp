@@ -1,0 +1,125 @@
+#include "exec/threaded_executor.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace paso::exec {
+
+namespace {
+
+std::chrono::steady_clock::duration to_duration(Time micros) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::micro>(micros));
+}
+
+}  // namespace
+
+ThreadedExecutor::ThreadedExecutor(Runner runner)
+    : epoch_(std::chrono::steady_clock::now()),
+      runner_(runner ? std::move(runner)
+                     : [](Action&& action) { action(); }),
+      thread_([this] { loop(); }) {}
+
+ThreadedExecutor::~ThreadedExecutor() { stop(); }
+
+Time ThreadedExecutor::now() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+TimerId ThreadedExecutor::schedule_at(Time at, Action action) {
+  PASO_REQUIRE(action != nullptr, "null action");
+  PASO_REQUIRE(!std::isnan(at), "NaN deadline");
+  std::uint64_t seq;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seq = next_seq_++;
+    queue_.emplace(Key{at, seq}, std::move(action));
+  }
+  cv_.notify_one();
+  return TimerId{seq};
+}
+
+TimerId ThreadedExecutor::schedule_after(Time delay, Action action) {
+  PASO_REQUIRE(delay >= 0, "negative delay");
+  return schedule_at(now() + delay, std::move(action));
+}
+
+bool ThreadedExecutor::cancel(TimerId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->first.seq == id.value) {
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t ThreadedExecutor::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+bool ThreadedExecutor::running_action() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_action_;
+}
+
+Time ThreadedExecutor::next_due() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.empty() ? kNever : queue_.begin()->first.at;
+}
+
+void ThreadedExecutor::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Already stopped (or stopping on another thread); the join below
+      // must only happen once.
+      return;
+    }
+    stopping_ = true;
+  }
+  cv_.notify_one();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ThreadedExecutor::loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    if (queue_.empty()) {
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      continue;
+    }
+    const Time due = queue_.begin()->first.at;
+    if (due == kNever) {
+      // Parked forever; only a new (finite) action or stop() wakes us.
+      cv_.wait(lock, [this, due] {
+        return stopping_ || queue_.empty() || queue_.begin()->first.at != due;
+      });
+      continue;
+    }
+    if (due > now()) {
+      // Sleep until due — or until an earlier action or stop arrives.
+      cv_.wait_until(lock,
+                     std::chrono::steady_clock::now() + to_duration(due - now()),
+                     [this, due] {
+                       return stopping_ || queue_.empty() ||
+                              queue_.begin()->first.at < due || due <= now();
+                     });
+      continue;
+    }
+    Action action = std::move(queue_.begin()->second);
+    queue_.erase(queue_.begin());
+    in_action_ = true;
+    lock.unlock();
+    runner_(std::move(action));
+    lock.lock();
+    in_action_ = false;
+  }
+}
+
+}  // namespace paso::exec

@@ -1,0 +1,77 @@
+// Real-clock Executor: a steady_clock-driven timer loop on its own thread.
+//
+// Time is wall microseconds since construction (double, like SimTime, so the
+// protocol stack's deadline arithmetic carries over unchanged — one virtual
+// cost unit becomes one microsecond). A dedicated timer thread sleeps until
+// the earliest due action and runs it through the installed runner; the
+// threaded transport supplies a runner that takes the protocol stack lock,
+// so timer callbacks interleave safely with deliveries and client issues.
+//
+// Determinism is explicitly NOT provided: two actions due at the same
+// microsecond run in scheduling order (the tie-break the simulator also
+// uses), but real clocks never reproduce a timeline. See docs/threading.md.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "exec/executor.hpp"
+
+namespace paso::exec {
+
+class ThreadedExecutor final : public Executor {
+ public:
+  /// Wraps every action execution (e.g. in a lock). Defaults to plain call.
+  using Runner = std::function<void(Action&&)>;
+
+  explicit ThreadedExecutor(Runner runner = {});
+  ~ThreadedExecutor() override;
+
+  ThreadedExecutor(const ThreadedExecutor&) = delete;
+  ThreadedExecutor& operator=(const ThreadedExecutor&) = delete;
+
+  Time now() const override;
+  TimerId schedule_at(Time at, Action action) override;
+  TimerId schedule_after(Time delay, Action action) override;
+  bool cancel(TimerId id) override;
+
+  /// Actions waiting to fire (racy snapshot; for quiescence polling).
+  std::size_t pending() const;
+  /// True while the timer thread is inside an action.
+  bool running_action() const;
+  /// Earliest due time among pending actions, kNever when none. Racy
+  /// snapshot, like pending().
+  Time next_due() const;
+
+  /// Stop the loop and join the thread; pending actions are dropped without
+  /// running. Idempotent; the destructor calls it.
+  void stop();
+
+ private:
+  struct Key {
+    Time at;
+    std::uint64_t seq;  // scheduling order breaks same-instant ties
+    bool operator<(const Key& other) const {
+      return at != other.at ? at < other.at : seq < other.seq;
+    }
+  };
+
+  void loop();
+
+  const std::chrono::steady_clock::time_point epoch_;
+  Runner runner_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<Key, Action> queue_;
+  std::uint64_t next_seq_ = 1;
+  bool stopping_ = false;
+  bool in_action_ = false;
+  std::thread thread_;
+};
+
+}  // namespace paso::exec

@@ -11,9 +11,11 @@
 // bus (see topology.hpp). The degenerate topology reproduces the single-bus
 // behavior bit-for-bit.
 //
-// Payloads are delivery closures (the whole system lives in one address
-// space), but every send declares its wire size explicitly; all cost
-// accounting uses the declared size, never sizeof.
+// BusNetwork is the virtual-time implementation of net::Transport; the
+// real-clock counterpart is net::ThreadedTransport. Payloads are delivery
+// closures (the whole system lives in one address space), but every send
+// declares its wire size explicitly; all cost accounting uses the declared
+// size, never sizeof.
 #pragma once
 
 #include <algorithm>
@@ -26,130 +28,17 @@
 #include "common/cost.hpp"
 #include "common/ids.hpp"
 #include "net/topology.hpp"
+#include "net/transport.hpp"
 #include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 
 namespace paso::net {
 
-/// Per-tag traffic statistics (tags are protocol-level message kinds such as
-/// "store", "mem-read", "ack", "state-xfer").
-struct TrafficStats {
-  std::uint64_t messages = 0;
-  std::uint64_t bytes = 0;
-  Cost cost = 0;
-};
-
-/// Running totals for an experiment. Layers above the network also charge
-/// server-side processing effort here so that the paper's `work` measure
-/// (sum of time spent across servers) is available alongside msg-cost, and
-/// the persistence layer reports its durable writes here so disk space is
-/// an accounted resource, not just latency.
-class CostLedger {
- public:
-  void charge_message(const std::string& tag, std::size_t bytes, Cost cost) {
-    total_msg_cost_ += cost;
-    auto& stats = per_tag_[tag];
-    ++stats.messages;
-    stats.bytes += bytes;
-    stats.cost += cost;
-  }
-
-  /// Pre-size the per-machine work table so `work_of` is defined for every
-  /// machine from the start of the run, not just machines that happened to
-  /// be charged already. Crash/recover cycles must not change the table
-  /// shape: a machine's work survives its crashes (the ledger meters the
-  /// whole experiment, not a single incarnation).
-  void ensure_machines(std::size_t n) {
-    if (work_per_machine_.size() < n) work_per_machine_.resize(n, 0);
-    if (disk_bytes_per_machine_.size() < n) {
-      disk_bytes_per_machine_.resize(n, 0);
-    }
-  }
-
-  void charge_work(MachineId machine, Cost amount) {
-    total_work_ += amount;
-    if (machine.value >= work_per_machine_.size()) {
-      work_per_machine_.resize(machine.value + 1, 0);
-    }
-    work_per_machine_[machine.value] += amount;
-  }
-
-  /// Durable bytes written by a machine's persistence layer (WAL appends +
-  /// checkpoint images). Like work, the totals survive crashes: disk writes
-  /// happened whether or not the machine lived to use them.
-  void charge_disk(MachineId machine, std::uint64_t bytes) {
-    total_disk_bytes_ += bytes;
-    if (machine.value >= disk_bytes_per_machine_.size()) {
-      disk_bytes_per_machine_.resize(machine.value + 1, 0);
-    }
-    disk_bytes_per_machine_[machine.value] += bytes;
-  }
-
-  Cost total_msg_cost() const { return total_msg_cost_; }
-  Cost total_work() const { return total_work_; }
-  Cost work_of(MachineId machine) const {
-    return machine.value < work_per_machine_.size()
-               ? work_per_machine_[machine.value]
-               : 0;
-  }
-  std::uint64_t total_disk_bytes_written() const { return total_disk_bytes_; }
-  std::uint64_t disk_bytes_written_of(MachineId machine) const {
-    return machine.value < disk_bytes_per_machine_.size()
-               ? disk_bytes_per_machine_[machine.value]
-               : 0;
-  }
-  const std::map<std::string, TrafficStats>& per_tag() const {
-    return per_tag_;
-  }
-
-  void reset() {
-    total_msg_cost_ = 0;
-    total_work_ = 0;
-    total_disk_bytes_ = 0;
-    // Keep the table shape: zero the counters without forgetting machines,
-    // so `work_of` stays in-range across resets and recover epochs.
-    std::fill(work_per_machine_.begin(), work_per_machine_.end(), 0);
-    std::fill(disk_bytes_per_machine_.begin(), disk_bytes_per_machine_.end(),
-              0);
-    per_tag_.clear();
-  }
-
-  /// Snapshot of the running totals, used to meter a single operation:
-  /// diffing two snapshots yields the paper's (msg-cost, time, work) triple,
-  /// where `time` is the largest single-server work delta.
-  struct Snapshot {
-    Cost msg_cost = 0;
-    std::vector<Cost> work;
-  };
-
-  Snapshot snapshot() const { return {total_msg_cost_, work_per_machine_}; }
-
-  CostTriple since(const Snapshot& s) const {
-    CostTriple t;
-    t.msg_cost = total_msg_cost_ - s.msg_cost;
-    for (std::size_t i = 0; i < work_per_machine_.size(); ++i) {
-      const Cost before = i < s.work.size() ? s.work[i] : 0;
-      const Cost delta = work_per_machine_[i] - before;
-      t.work += delta;
-      if (delta > t.time) t.time = delta;
-    }
-    return t;
-  }
-
- private:
-  Cost total_msg_cost_ = 0;
-  Cost total_work_ = 0;
-  std::uint64_t total_disk_bytes_ = 0;
-  std::vector<Cost> work_per_machine_;
-  std::vector<std::uint64_t> disk_bytes_per_machine_;
-  std::map<std::string, TrafficStats> per_tag_;
-};
-
 /// A serializing broadcast bus (or chain of bridged bus segments)
 /// connecting `n` machines.
-class BusNetwork {
+class BusNetwork final : public Transport {
  public:
-  using Delivery = std::function<void()>;
+  using Delivery = Transport::Delivery;
 
   /// Per-segment traffic totals (utilization = busy / elapsed time).
   struct SegmentStats {
@@ -177,14 +66,14 @@ class BusNetwork {
   /// silent drop, matching the crash-fault model). Self-sends are free and
   /// immediate: the paper's cost model charges only for bus transmissions.
   void send(MachineId from, MachineId to, const std::string& tag,
-            std::size_t bytes, Delivery deliver);
+            std::size_t bytes, Delivery deliver) override;
 
   /// Machine lifecycle, driven by the fault injector.
-  void set_up(MachineId machine, bool up) {
+  void set_up(MachineId machine, bool up) override {
     PASO_REQUIRE(machine.value < up_.size(), "unknown machine");
     up_[machine.value] = up;
   }
-  bool is_up(MachineId machine) const {
+  bool is_up(MachineId machine) const override {
     PASO_REQUIRE(machine.value < up_.size(), "unknown machine");
     return up_[machine.value];
   }
@@ -218,16 +107,17 @@ class BusNetwork {
   std::uint64_t chaos_delayed() const { return chaos_delayed_; }
   std::uint64_t partition_dropped() const { return partition_dropped_; }
 
-  std::size_t machine_count() const { return up_.size(); }
-  const CostModel& cost_model() const { return model_; }
-  CostLedger& ledger() { return ledger_; }
-  const CostLedger& ledger() const { return ledger_; }
+  std::size_t machine_count() const override { return up_.size(); }
+  const CostModel& cost_model() const override { return model_; }
+  CostLedger& ledger() override { return ledger_; }
+  const CostLedger& ledger() const override { return ledger_; }
   sim::Simulator& simulator() { return simulator_; }
+  exec::Executor& executor() override { return simulator_; }
+  const exec::Executor& executor() const override { return simulator_; }
 
   /// The resolved topology (always explicit: a degenerate config becomes a
   /// one-segment topology over `cost_model()`).
-  const Topology& topology() const { return topology_; }
-  std::size_t segment_count() const { return topology_.segment_count(); }
+  const Topology& topology() const override { return topology_; }
   std::size_t bridge_count() const { return topology_.bridge_count(); }
   const SegmentStats& segment_stats(std::size_t segment) const {
     PASO_REQUIRE(segment < segment_stats_.size(), "unknown segment");
@@ -239,8 +129,8 @@ class BusNetwork {
   /// Install (or clear) the observability handle. The bus is the single
   /// charge site for msg-cost, so this is where every transmission gets its
   /// alpha/beta decomposition recorded and attributed to the active traces.
-  void set_obs(obs::Obs o) { obs_ = o; }
-  obs::Obs observability() const { return obs_; }
+  void set_obs(obs::Obs o) override { obs_ = o; }
+  obs::Obs observability() const override { return obs_; }
 
   /// Virtual time at which the network next becomes fully free: the max
   /// over segments (for tests asserting the serialization property; on the

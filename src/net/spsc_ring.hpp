@@ -1,0 +1,103 @@
+// Bounded lock-free single-producer/single-consumer ring.
+//
+// The delivery queue of the threaded transport: for each (segment, machine)
+// pair one ring carries in-flight messages from the segment's transmit-token
+// holder (the single producer — the token serializes the segment, exactly
+// like the simulated bus serializes transmissions) to the destination
+// machine's worker thread (the single consumer).
+//
+// Memory-order contract (documented in docs/threading.md):
+//   * try_push writes the slot, then publishes with tail_.store(release);
+//     try_pop observes tail_.load(acquire) before reading the slot — the
+//     release/acquire pair makes the payload visible to the consumer.
+//   * try_pop clears the slot, then frees it with head_.store(release);
+//     try_push observes head_.load(acquire) — the slot's destruction
+//     happens-before its reuse.
+//   * Each side keeps a plain cached copy of the other side's index and
+//     only re-reads the atomic when the cache says "full"/"empty", so the
+//     steady-state hot path costs one relaxed load + one release store.
+//
+// Capacity is rounded up to a power of two; one slot is sacrificed to
+// distinguish full from empty, so a ring of capacity N holds N-1 items.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace paso::net {
+
+/// Both indices live on their own cache line so producer and consumer don't
+/// false-share; 64 is the common x86/ARM line size (std::
+/// hardware_destructive_interference_size is still patchy across stdlibs).
+inline constexpr std::size_t kCacheLine = 64;
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity) {
+    PASO_REQUIRE(capacity >= 2, "ring needs at least two slots");
+    std::size_t size = 1;
+    while (size < capacity) size <<= 1;
+    slots_.resize(size);
+    mask_ = size - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false when the ring is full (the caller decides
+  /// whether to spin, spill, or drop — the transport spills to a locked
+  /// overflow queue so a send never blocks while holding protocol locks).
+  bool try_push(T&& item) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t next = (tail + 1) & mask_;
+    if (next == cached_head_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (next == cached_head_) return false;  // genuinely full
+    }
+    slots_[tail] = std::move(item);
+    tail_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;  // genuinely empty
+    }
+    out = std::move(slots_[head]);
+    slots_[head] = T{};  // release payload resources inside the slot now
+    head_.store((head + 1) & mask_, std::memory_order_release);
+    return true;
+  }
+
+  /// Racy observer (either side / monitors): may under- or over-count by
+  /// in-flight pushes, never by more.
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+  std::size_t size() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return (tail - head) & mask_;
+  }
+  /// Usable capacity (one slot is the full/empty sentinel).
+  std::size_t capacity() const { return mask_; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};  // consumer owned
+  std::size_t cached_tail_ = 0;                           // consumer cache
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};  // producer owned
+  std::size_t cached_head_ = 0;                           // producer cache
+};
+
+}  // namespace paso::net

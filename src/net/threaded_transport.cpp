@@ -1,0 +1,296 @@
+#include "net/threaded_transport.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace paso::net {
+
+namespace {
+
+/// Tiny scoped spinlock over an atomic_flag — the per-segment transmit
+/// token. Held only for the ring push (no waiting on other locks inside),
+/// so spinning is bounded by the other holder's push.
+class TokenGuard {
+ public:
+  explicit TokenGuard(std::atomic_flag& flag) : flag_(flag) {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      // Busy-wait; pushes are tens of nanoseconds.
+    }
+  }
+  ~TokenGuard() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag& flag_;
+};
+
+}  // namespace
+
+ThreadedTransport::ThreadedTransport(CostModel model, std::size_t n,
+                                     Topology topology,
+                                     ThreadedTransportOptions options)
+    : model_(model),
+      topology_(topology.resolve(n, model)),
+      options_(options),
+      up_(n) {
+  ledger_.ensure_machines(n);
+  for (auto& up : up_) up.store(true, std::memory_order_relaxed);
+  const std::size_t segments = topology_.segment_count();
+  for (std::size_t s = 0; s < segments; ++s) {
+    tokens_.push_back(std::make_unique<std::atomic_flag>());
+  }
+  for (std::size_t s = 0; s < segments; ++s) {
+    for (std::size_t m = 0; m < n; ++m) {
+      rings_.push_back(
+          std::make_unique<SpscRing<Delivery>>(options_.ring_capacity));
+    }
+  }
+  // Timer callbacks are protocol code: run them under the stack lock like
+  // every delivery and client issue.
+  executor_ = std::make_unique<exec::ThreadedExecutor>(
+      [this](exec::Executor::Action&& action) {
+        std::lock_guard<std::mutex> lock(stack_mu_);
+        if (!stopping_.load(std::memory_order_relaxed)) action();
+      });
+  for (std::uint32_t m = 0; m < n; ++m) {
+    workers_.push_back(std::make_unique<Worker>());
+    workers_.back()->overflow.resize(segments);
+  }
+  // Start the worker threads only after every shared structure above is in
+  // place.
+  for (std::uint32_t m = 0; m < n; ++m) {
+    workers_[m]->thread = std::thread([this, m] { worker_loop(m); });
+  }
+}
+
+ThreadedTransport::~ThreadedTransport() { shutdown(); }
+
+void ThreadedTransport::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  // Stop the timer loop first (joins its thread: no more timer actions),
+  // then the workers. Pending deliveries are dropped without running — the
+  // protocol objects they point into may be about to die.
+  stopping_.store(true, std::memory_order_release);
+  executor_->stop();
+  for (auto& worker : workers_) wake(*worker);
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+void ThreadedTransport::set_up(MachineId machine, bool up) {
+  PASO_REQUIRE(machine.value < up_.size(), "unknown machine");
+  up_[machine.value].store(up, std::memory_order_release);
+}
+
+bool ThreadedTransport::is_up(MachineId machine) const {
+  PASO_REQUIRE(machine.value < up_.size(), "unknown machine");
+  return up_[machine.value].load(std::memory_order_acquire);
+}
+
+void ThreadedTransport::set_obs(obs::Obs o) {
+  // Install before traffic starts (the Cluster does it at construction):
+  // the handle is read on the send path without further synchronization.
+  obs_ = o;
+}
+
+obs::Obs ThreadedTransport::observability() const { return obs_; }
+
+void ThreadedTransport::run_exclusive(const std::function<void()>& fn) {
+  std::lock_guard<std::mutex> lock(stack_mu_);
+  fn();
+}
+
+void ThreadedTransport::send(MachineId from, MachineId to,
+                             const std::string& tag, std::size_t bytes,
+                             Delivery deliver) {
+  PASO_REQUIRE(from.value < up_.size() && to.value < up_.size(),
+               "unknown machine");
+  PASO_REQUIRE(deliver != nullptr, "null delivery");
+  if (stopping_.load(std::memory_order_relaxed)) return;
+  if (!is_up(from)) return;  // a crashed machine sends nothing
+
+  if (from == to) {
+    // Local hand-off: no bus transmission, no cost; runs on the timer
+    // thread (under the stack lock) as soon as possible — the threaded
+    // analogue of the simulator's schedule_after(0).
+    executor_->schedule_after(0, std::move(deliver));
+    return;
+  }
+
+  const std::uint32_t sf = topology_.segment_of(from);
+  const std::uint32_t st = topology_.segment_of(to);
+  const CostModel& src = topology_.segment_model(sf);
+
+  // Model-cost accounting, identical to the simulated bus: the ledger (and
+  // the tracer's per-message records) see the same alpha/beta charges on
+  // either transport. The caller holds the stack lock (all sends originate
+  // from protocol code), so the ledger and obs handles are safe to touch.
+  Cost cost = 0;
+  Cost alpha_part = 0;
+  std::size_t hops = 0;
+  if (sf == st) {
+    cost = src.message(bytes);
+    alpha_part = src.alpha;
+  } else {
+    const CostModel& dst = topology_.segment_model(st);
+    hops = sf < st ? st - sf : sf - st;
+    cost = src.message(bytes) +
+           static_cast<Cost>(hops) * topology_.bridge_cost(bytes) +
+           dst.message(bytes);
+    alpha_part = src.alpha + dst.alpha +
+                 static_cast<Cost>(hops) * topology_.bridge_alpha();
+    crossings_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ledger_.charge_message(tag, bytes, cost);
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->counter("net.messages").inc();
+    obs_.metrics->counter("net.bytes").inc(bytes);
+    obs_.metrics->gauge("net.cost.alpha").add(alpha_part);
+    obs_.metrics->gauge("net.cost.beta").add(cost - alpha_part);
+    if (segment_count() > 1) {
+      obs_.metrics->counter("net.segment." + std::to_string(sf) + ".messages")
+          .inc();
+      if (hops > 0) obs_.metrics->counter("net.crossings").inc();
+    }
+  }
+  if (obs_.tracer != nullptr) {
+    obs_.tracer->record_message(tag, bytes, alpha_part, cost - alpha_part,
+                                executor_->now(), sf, st,
+                                static_cast<std::uint32_t>(hops));
+  }
+
+  enqueue(st, to, std::move(deliver));
+}
+
+void ThreadedTransport::enqueue(std::uint32_t segment, MachineId to,
+                                Delivery deliver) {
+  Worker& worker = *workers_[to.value];
+  inflight_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    // The destination segment's transmit token is the single-producer
+    // guarantee for ring (segment, to): one message onto a segment's rings
+    // at a time, like one message on the bus at a time. (A crossing holds
+    // only the destination token — the source bus's serialization has no
+    // delivery-side effect when transmission takes zero wall time.)
+    TokenGuard token(*tokens_[segment]);
+    bool spill;
+    {
+      std::lock_guard<std::mutex> lock(worker.overflow_mu);
+      spill = !worker.overflow[segment].empty();
+    }
+    if (!spill) spill = !ring(segment, to.value).try_push(std::move(deliver));
+    if (spill) {
+      // Ring full (or draining a previous spill): spill to the overflow
+      // lane. FIFO per (segment, machine) survives because the producer
+      // keeps spilling until the worker has emptied the lane, and the
+      // worker always drains ring-then-overflow.
+      overflowed_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(worker.overflow_mu);
+      worker.overflow[segment].push_back(std::move(deliver));
+    }
+  }
+  wake(worker);
+}
+
+void ThreadedTransport::wake(Worker& worker) {
+  if (worker.parked.load(std::memory_order_seq_cst)) {
+    // Briefly entering the worker's mutex pairs with its predicate
+    // re-check under the same mutex, so the notify cannot be missed.
+    std::lock_guard<std::mutex> lock(worker.mu);
+    worker.cv.notify_one();
+  }
+}
+
+bool ThreadedTransport::workers_idle() const {
+  for (const auto& worker : workers_) {
+    if (worker->busy.load(std::memory_order_acquire)) return false;
+  }
+  return true;
+}
+
+void ThreadedTransport::worker_loop(std::uint32_t machine) {
+  Worker& worker = *workers_[machine];
+  const std::size_t segments = topology_.segment_count();
+  std::vector<Delivery> batch;
+  while (true) {
+    batch.clear();
+    // Drain phase (lock-free except the overflow lane): ring first, then
+    // overflow — overflow entries are always newer than every ring entry
+    // present when they spilled.
+    for (std::uint32_t s = 0; s < segments; ++s) {
+      Delivery d;
+      while (ring(s, machine).try_pop(d)) batch.push_back(std::move(d));
+      std::lock_guard<std::mutex> lock(worker.overflow_mu);
+      auto& lane = worker.overflow[s];
+      while (!lane.empty()) {
+        batch.push_back(std::move(lane.front()));
+        lane.pop_front();
+      }
+    }
+
+    if (!batch.empty()) {
+      worker.busy.store(true, std::memory_order_release);
+      {
+        // Execute phase: protocol code runs under the stack lock. The
+        // machine's up check happens at execution time, mirroring the
+        // simulated bus's delivery-time crash drop.
+        std::lock_guard<std::mutex> lock(stack_mu_);
+        for (Delivery& d : batch) {
+          if (!stopping_.load(std::memory_order_relaxed) &&
+              up_[machine].load(std::memory_order_acquire)) {
+            d();
+          }
+        }
+      }
+      // Deliveries leave "in flight" only after their effects are visible
+      // under the stack lock; busy_ drops last so quiesce() cannot observe
+      // inflight==0 with this worker still mid-batch.
+      inflight_.fetch_sub(batch.size(), std::memory_order_acq_rel);
+      batch.clear();
+      worker.busy.store(false, std::memory_order_release);
+      continue;
+    }
+
+    if (stopping_.load(std::memory_order_acquire)) return;
+
+    // Park. The bounded wait covers the classic store/load race between
+    // our parked flag and a producer's push: a missed notify costs at most
+    // the wait_for timeout, never a hang.
+    worker.parked.store(true, std::memory_order_seq_cst);
+    std::unique_lock<std::mutex> lock(worker.mu);
+    worker.cv.wait_for(lock, std::chrono::microseconds(500));
+    worker.parked.store(false, std::memory_order_seq_cst);
+  }
+}
+
+bool ThreadedTransport::quiesce(const std::function<bool()>& done,
+                                exec::Time timeout_us) {
+  const exec::Time deadline = executor_->now() + timeout_us;
+  int stable = 0;
+  while (stable < 3) {
+    // Quiet = nothing moving anywhere: no ring/overflow deliveries, no
+    // worker mid-batch, no executor action running, and an *empty* timer
+    // queue. The last test is deliberately `== kNever`, not `> now()`:
+    // protocol chains hop through future-due timers (processing costs,
+    // install costs), and a poll landing between hops would otherwise call
+    // the fabric idle mid-chain. Nothing in the stack schedules perpetual
+    // timers while idle, so an empty queue is reachable; pathological
+    // pollers (an unsatisfiable blocking read) hit the timeout instead.
+    bool quiet = inflight_deliveries() == 0 && workers_idle() &&
+                 !executor_->running_action() &&
+                 executor_->next_due() == exec::kNever;
+    if (quiet && done) {
+      run_exclusive([&] { quiet = done(); });
+    }
+    stable = quiet ? stable + 1 : 0;
+    if (executor_->now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  return true;
+}
+
+}  // namespace paso::net

@@ -1,0 +1,161 @@
+// Real-clock threaded Transport: the "as fast as the hardware allows" bus.
+//
+// One worker thread per machine consumes bounded lock-free SPSC delivery
+// rings — one ring per (segment, machine) pair — and a per-segment transmit
+// token (spinlock) serializes senders on each segment, preserving the bus's
+// one-message-at-a-time semantics without simulating transmission delay:
+// the clock is std::chrono::steady_clock (via exec::ThreadedExecutor), and
+// a message is delivered as soon as its ring hop and the destination worker
+// allow.
+//
+// Model-cost accounting is unchanged: every transmission is charged
+// alpha + beta*|m| (plus bridge hops) to the CostLedger exactly like the
+// simulated bus, so a threaded run's model costs reconcile against a
+// simulated replay of the same op trace (tools/trace_diff asserts this).
+//
+// Concurrency contract (the full memory-order story is docs/threading.md):
+//   * ALL protocol execution — client issues, deliveries, timer callbacks —
+//     runs under one stack lock (`run_exclusive`). The protocol stack
+//     (GroupService, runtimes, servers, ledger, obs) therefore needs no
+//     internal synchronization, and a delivery observes everything the
+//     send that caused it observed.
+//   * The transport fabric itself is concurrent: ring push/pop are
+//     lock-free, the transmit token is a spinlock held only for the push,
+//     and workers drain rings outside the stack lock.
+//   * A send never blocks: when a ring is full it spills to a small
+//     mutex-guarded overflow queue drained by the same worker (FIFO order
+//     per (segment, machine) is preserved because the worker empties the
+//     overflow first while it is nonempty).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/threaded_executor.hpp"
+#include "net/spsc_ring.hpp"
+#include "net/transport.hpp"
+
+namespace paso::net {
+
+struct ThreadedTransportOptions {
+  /// Slots per (segment, machine) delivery ring (rounded up to a power of
+  /// two; one slot is the full/empty sentinel).
+  std::size_t ring_capacity = 1024;
+};
+
+class ThreadedTransport final : public Transport {
+ public:
+  ThreadedTransport(CostModel model, std::size_t n, Topology topology = {},
+                    ThreadedTransportOptions options = {});
+  ~ThreadedTransport() override;
+
+  ThreadedTransport(const ThreadedTransport&) = delete;
+  ThreadedTransport& operator=(const ThreadedTransport&) = delete;
+
+  // --- Transport -------------------------------------------------------------
+  void send(MachineId from, MachineId to, const std::string& tag,
+            std::size_t bytes, Delivery deliver) override;
+  void set_up(MachineId machine, bool up) override;
+  bool is_up(MachineId machine) const override;
+  std::size_t machine_count() const override { return up_.size(); }
+  const CostModel& cost_model() const override { return model_; }
+  const Topology& topology() const override { return topology_; }
+  CostLedger& ledger() override { return ledger_; }
+  const CostLedger& ledger() const override { return ledger_; }
+  exec::Executor& executor() override { return *executor_; }
+  const exec::Executor& executor() const override { return *executor_; }
+  void set_obs(obs::Obs o) override;
+  obs::Obs observability() const override;
+  void run_exclusive(const std::function<void()>& fn) override;
+  void shutdown() override;
+
+  // --- threaded-specific observers ------------------------------------------
+  /// Messages pushed but not yet executed (rings + overflow + in workers).
+  std::uint64_t inflight_deliveries() const {
+    return inflight_.load(std::memory_order_acquire);
+  }
+  /// True when no worker is executing or holding popped deliveries.
+  bool workers_idle() const;
+  /// Transmissions / bytes / crossings so far (atomic counters, not the
+  /// ledger: readable without the stack lock).
+  std::uint64_t messages() const {
+    return messages_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_sent() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t crossings() const {
+    return crossings_.load(std::memory_order_relaxed);
+  }
+  /// Sends that found their ring full and took the overflow path.
+  std::uint64_t overflowed() const {
+    return overflowed_.load(std::memory_order_relaxed);
+  }
+  const exec::ThreadedExecutor& threaded_executor() const {
+    return *executor_;
+  }
+
+  /// Block until the fabric is quiet: no deliveries in flight, all workers
+  /// idle, no timer action running or pending (the timer queue must drain
+  /// completely — protocol chains hop through future-due timers, so "due
+  /// later" still means "busy"), and `done` (checked under the stack lock;
+  /// may be null) true — stable across a few polls. Returns false on
+  /// timeout (e.g. an unsatisfiable polling blocking read).
+  bool quiesce(const std::function<bool()>& done = {},
+               exec::Time timeout_us = 30'000'000);
+
+ private:
+  struct Worker {
+    std::thread thread;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::atomic<bool> parked{false};
+    std::atomic<bool> busy{false};
+    // Overflow lane for full rings, one deque per source segment to keep
+    // the per-(segment, machine) FIFO contract.
+    std::mutex overflow_mu;
+    std::vector<std::deque<Delivery>> overflow;
+  };
+
+  SpscRing<Delivery>& ring(std::uint32_t segment, std::uint32_t machine) {
+    return *rings_[segment * machine_count() + machine];
+  }
+  void worker_loop(std::uint32_t machine);
+  void enqueue(std::uint32_t segment, MachineId to, Delivery deliver);
+  void wake(Worker& worker);
+
+  CostModel model_;
+  Topology topology_;
+  CostLedger ledger_;
+  obs::Obs obs_;
+  ThreadedTransportOptions options_;
+
+  /// THE stack lock: every protocol step (issue, delivery, timer) holds it.
+  std::mutex stack_mu_;
+
+  std::unique_ptr<exec::ThreadedExecutor> executor_;
+  std::vector<std::atomic<bool>> up_;
+  /// Per-segment transmit token: the single-producer guarantee for each
+  /// (segment, machine) ring — whoever holds segment s's token is the one
+  /// producer for every ring (s, *).
+  std::vector<std::unique_ptr<std::atomic_flag>> tokens_;
+  std::vector<std::unique_ptr<SpscRing<Delivery>>> rings_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::atomic<bool> stopping_{false};
+  bool shut_down_ = false;
+  std::atomic<std::uint64_t> inflight_{0};
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> crossings_{0};
+  std::atomic<std::uint64_t> overflowed_{0};
+};
+
+}  // namespace paso::net

@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/require.hpp"
@@ -26,6 +27,30 @@ void Histogram::reset() {
   buckets_.assign(bounds_.size() + 1, 0);
   count_ = 0;
   sum_ = 0;
+}
+
+double Histogram::quantile(double q) const {
+  PASO_REQUIRE(q >= 0 && q <= 1, "quantile must be in [0, 1]");
+  if (count_ == 0) return 0;
+  const double rank = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const std::uint64_t before = seen;
+    seen += buckets_[i];
+    if (static_cast<double>(seen) < rank) continue;
+    if (i >= bounds_.size()) {
+      // Overflow bucket: no upper edge — report the last finite bound (or
+      // 0 for a boundless histogram, which can't happen in practice).
+      return bounds_.empty() ? 0 : bounds_.back();
+    }
+    const double lo = i == 0 ? 0 : bounds_[i - 1];
+    const double hi = bounds_[i];
+    const double into =
+        (rank - static_cast<double>(before)) / static_cast<double>(buckets_[i]);
+    return lo + (hi - lo) * std::min(1.0, std::max(0.0, into));
+  }
+  return bounds_.empty() ? 0 : bounds_.back();
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {

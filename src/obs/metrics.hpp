@@ -56,6 +56,13 @@ class Histogram {
   /// bounds().size() + 1 entries; the last is the overflow bucket.
   const std::vector<std::uint64_t>& buckets() const { return buckets_; }
 
+  /// Estimated q-quantile (q in [0, 1]), linearly interpolated inside the
+  /// bucket that crosses rank q*count. Observations past the last bound
+  /// yield that bound (the overflow bucket has no upper edge to
+  /// interpolate toward). 0 when empty. The wall-clock benches report
+  /// p50/p99 latency through this.
+  double quantile(double q) const;
+
  private:
   std::vector<double> bounds_;
   std::vector<std::uint64_t> buckets_;

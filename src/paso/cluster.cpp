@@ -1,7 +1,11 @@
 #include "paso/cluster.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <utility>
 
 #include "paso/placement.hpp"
@@ -21,10 +25,19 @@ Cluster::Cluster(Schema schema, ClusterConfig config)
   }
   config_.runtime.lambda = config_.lambda;
 
-  network_ = std::make_unique<net::BusNetwork>(simulator_, config_.cost_model,
-                                               config_.machines,
-                                               config_.topology);
-  groups_ = std::make_unique<vsync::GroupService>(*network_, config_.vsync);
+  if (config_.transport == TransportKind::kThreaded) {
+    auto threaded = std::make_unique<net::ThreadedTransport>(
+        config_.cost_model, config_.machines, config_.topology,
+        config_.threaded);
+    threaded_ = threaded.get();
+    transport_ = std::move(threaded);
+  } else {
+    auto bus = std::make_unique<net::BusNetwork>(
+        simulator_, config_.cost_model, config_.machines, config_.topology);
+    bus_ = bus.get();
+    transport_ = std::move(bus);
+  }
+  groups_ = std::make_unique<vsync::GroupService>(*transport_, config_.vsync);
   basic_support_.resize(schema_.class_count());
   initializing_.resize(config_.machines, false);
   init_epoch_.resize(config_.machines, 0);
@@ -38,14 +51,14 @@ Cluster::Cluster(Schema schema, ClusterConfig config)
     // the gauge tracks each machine's live footprint when observing.
     persistence_.back()->set_disk_accounting(
         [this, machine](std::uint64_t written, std::uint64_t on_disk) {
-          network_->ledger().charge_disk(machine, written);
+          transport_->ledger().charge_disk(machine, written);
           if (obs_ != nullptr) {
             obs_->metrics.gauge("persist.bytes_on_disk", machine)
                 .set(static_cast<double>(on_disk));
           }
         });
     servers_.push_back(std::make_unique<MemoryServer>(
-        machine, schema_, config_.store_factory, *network_));
+        machine, schema_, config_.store_factory, *transport_));
     servers_.back()->set_persistence(persistence_.back().get());
     runtimes_.push_back(std::make_unique<PasoRuntime>(
         machine, schema_, *groups_, *servers_.back(), config_.runtime,
@@ -66,11 +79,18 @@ Cluster::Cluster(Schema schema, ClusterConfig config)
   if (config_.observe) enable_observability();
 }
 
+Cluster::~Cluster() {
+  // Members destroy in reverse declaration order, which would tear down the
+  // runtimes and servers while threaded workers could still be delivering
+  // into them. Stop all transport threads first; a no-op on the sim bus.
+  if (transport_ != nullptr) transport_->shutdown();
+}
+
 void Cluster::enable_observability() {
   if (obs_ != nullptr) return;
   obs_ = std::make_unique<obs::Observability>();
   const obs::Obs handle = obs_->handle();
-  network_->set_obs(handle);
+  transport_->set_obs(handle);
   groups_->set_obs(handle);
   for (const auto& manager : persistence_) manager->set_obs(handle);
   for (const auto& server : servers_) server->set_obs(handle);
@@ -101,7 +121,7 @@ void Cluster::wire_machine(MachineId m) {
   // marker's owner (the runtime that placed it).
   server.set_marker_hook([this, m](MachineId owner, std::uint64_t marker_id,
                                    const PasoObject& object) {
-    network_->send(m, owner, "marker-notify", 8 + object.wire_size(),
+    transport_->send(m, owner, "marker-notify", 8 + object.wire_size(),
                    [this, owner, marker_id, object] {
                      runtimes_[owner.value]->on_marker_notification(marker_id,
                                                                     object);
@@ -137,11 +157,13 @@ void Cluster::assign_basic_support() {
     }
     basic_support_[c] = std::move(members);
   }
-  for (std::uint32_t c = 0; c < schema_.class_count(); ++c) {
-    for (const MachineId m : basic_support_[c]) {
-      runtimes_[m.value]->request_join(ClassId{c});
+  transport_->run_exclusive([this] {
+    for (std::uint32_t c = 0; c < schema_.class_count(); ++c) {
+      for (const MachineId m : basic_support_[c]) {
+        runtimes_[m.value]->request_join(ClassId{c});
+      }
     }
-  }
+  });
   settle();
 }
 
@@ -176,15 +198,17 @@ void Cluster::assign_placement_aware_support(
     }
     request.machine_load = load;
     std::vector<MachineId> members =
-        choose_write_group(network_->topology(), request);
+        choose_write_group(transport_->topology(), request);
     for (const MachineId m : members) ++load[m.value];
     basic_support_[c] = std::move(members);
   }
-  for (std::uint32_t c = 0; c < schema_.class_count(); ++c) {
-    for (const MachineId m : basic_support_[c]) {
-      runtimes_[m.value]->request_join(ClassId{c});
+  transport_->run_exclusive([this] {
+    for (std::uint32_t c = 0; c < schema_.class_count(); ++c) {
+      for (const MachineId m : basic_support_[c]) {
+        runtimes_[m.value]->request_join(ClassId{c});
+      }
     }
-  }
+  });
   settle();
 }
 
@@ -213,7 +237,7 @@ void Cluster::rebalance_placement(ClassId cls) {
     }
   }
   const std::vector<MachineId> target =
-      choose_write_group(network_->topology(), request);
+      choose_write_group(transport_->topology(), request);
 
   const std::vector<MachineId> current = basic_support_[cls.value];
   auto contains = [](const std::vector<MachineId>& v, MachineId m) {
@@ -253,15 +277,26 @@ void Cluster::rebalance_placement(ClassId cls) {
 // fault plane
 
 void Cluster::crash(MachineId m) {
-  PASO_REQUIRE(network_->is_up(m), "machine already down");
-  groups_->machine_crashed(m);
-  servers_[m.value]->crash_reset();
-  runtimes_[m.value]->on_machine_crash();
-  initializing_[m.value] = false;  // crashing mid-init is just down again
-  crash_log_.push_back({m, simulator_.now()});
+  PASO_REQUIRE(transport_->is_up(m), "machine already down");
+  // Mutates protocol state: excluded against deliveries on the threaded
+  // transport (plain call on the sim bus, where everything is one thread).
+  transport_->run_exclusive([this, m] {
+    groups_->machine_crashed(m);
+    servers_[m.value]->crash_reset();
+    runtimes_[m.value]->on_machine_crash();
+    initializing_[m.value] = false;  // crashing mid-init is just down again
+    crash_log_.push_back({m, transport_->now()});
+  });
 }
 
 void Cluster::recover(MachineId m, std::function<void()> initialized) {
+  transport_->run_exclusive([this, m,
+                             initialized = std::move(initialized)]() mutable {
+    recover_locked(m, std::move(initialized));
+  });
+}
+
+void Cluster::recover_locked(MachineId m, std::function<void()> initialized) {
   groups_->machine_recovered(m);
   // With persistence on, the machine first rebuilds class state from its
   // local checkpoint + log (cost already charged to its ledger row); the
@@ -283,7 +318,7 @@ void Cluster::recover(MachineId m, std::function<void()> initialized) {
   if (to_join.empty()) {
     // Nothing to re-replicate: initialization is immediate.
     if (initialized) {
-      simulator_.schedule_after(0, std::move(initialized));
+      transport_->executor().schedule_after(0, std::move(initialized));
     }
     return;
   }
@@ -305,7 +340,7 @@ void Cluster::recover(MachineId m, std::function<void()> initialized) {
     }
   };
   if (replay_cost > 0) {
-    simulator_.schedule_after(replay_cost, std::move(start_joins));
+    transport_->executor().schedule_after(replay_cost, std::move(start_joins));
   } else {
     start_joins();
   }
@@ -314,7 +349,7 @@ void Cluster::recover(MachineId m, std::function<void()> initialized) {
 std::size_t Cluster::failed_count() const {
   std::size_t failed = 0;
   for (std::uint32_t m = 0; m < config_.machines; ++m) {
-    if (!network_->is_up(MachineId{m})) ++failed;
+    if (!transport_->is_up(MachineId{m})) ++failed;
   }
   return failed;
 }
@@ -322,7 +357,7 @@ std::size_t Cluster::failed_count() const {
 std::size_t Cluster::faulty_count() const {
   std::size_t faulty = 0;
   for (std::uint32_t m = 0; m < config_.machines; ++m) {
-    if (!network_->is_up(MachineId{m}) || initializing_[m]) ++faulty;
+    if (!transport_->is_up(MachineId{m}) || initializing_[m]) ++faulty;
   }
   return faulty;
 }
@@ -334,7 +369,7 @@ bool Cluster::fault_tolerance_condition_holds() const {
     const vsync::View view = groups_->view_of(schema_.group_name(ClassId{c}));
     std::size_t operational = 0;
     for (const MachineId m : view.members) {
-      if (network_->is_up(m)) ++operational;
+      if (transport_->is_up(m)) ++operational;
     }
     if (operational + k <= config_.lambda) return false;
   }
@@ -343,31 +378,88 @@ bool Cluster::fault_tolerance_condition_holds() const {
 
 // ---------------------------------------------------------------------------
 // synchronous wrappers
+//
+// One body per wrapper, two driving modes. kSim pumps the simulator until
+// the callback fires (exactly the pre-seam behavior, event for event).
+// kThreaded issues the operation under the transport's stack lock, then
+// blocks the calling thread on a condition variable the completion callback
+// signals; the callback runs under the stack lock and takes the waiter's
+// mutex, which is safe because no thread ever takes the stack lock while
+// holding a waiter mutex.
+
+namespace {
+
+struct SyncWaiter {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool fired = false;
+
+  void signal() {
+    std::lock_guard<std::mutex> lock(mu);
+    fired = true;
+    cv.notify_one();
+  }
+  bool wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    // No timeout: a timed-out return would leave the callback's captured
+    // result slot dangling on this stack frame. A genuinely hung threaded
+    // operation is surfaced by the test harness's process-level timeout.
+    cv.wait(lock, [this] { return fired; });
+    return fired;
+  }
+};
+
+}  // namespace
+
+void Cluster::drive_sync(const std::function<void(std::function<void()>)>& issue) {
+  if (config_.transport == TransportKind::kSim) {
+    bool done = false;
+    issue([&done] { done = true; });
+    simulator_.run_while_pending([&done] { return done; });
+    return;
+  }
+  auto waiter = std::make_shared<SyncWaiter>();
+  transport_->run_exclusive(
+      [&issue, waiter] { issue([waiter] { waiter->signal(); }); });
+  waiter->wait();
+}
 
 bool Cluster::insert_sync(ProcessId process, Tuple fields) {
   bool done = false;
-  runtime(process.machine).insert(process, std::move(fields),
-                                  [&done] { done = true; });
-  simulator_.run_while_pending([&done] { return done; });
+  drive_sync([&](std::function<void()> fire) {
+    runtime(process.machine)
+        .insert(process, std::move(fields), [&done, fire = std::move(fire)] {
+          done = true;
+          fire();
+        });
+  });
   return done;
 }
 
 SearchResponse Cluster::read_sync(ProcessId process, SearchCriterion sc) {
   std::optional<SearchResponse> out;
-  runtime(process.machine)
-      .read(process, std::move(sc),
-            [&out](SearchResponse result) { out = std::move(result); });
-  simulator_.run_while_pending([&out] { return out.has_value(); });
-  return out.value_or(std::nullopt);
+  drive_sync([&](std::function<void()> fire) {
+    runtime(process.machine)
+        .read(process, std::move(sc),
+              [&out, fire = std::move(fire)](SearchResponse result) {
+                out = std::move(result);
+                fire();
+              });
+  });
+  return out.has_value() ? std::move(*out) : SearchResponse{std::nullopt};
 }
 
 SearchResponse Cluster::read_del_sync(ProcessId process, SearchCriterion sc) {
   std::optional<SearchResponse> out;
-  runtime(process.machine)
-      .read_del(process, std::move(sc),
-                [&out](SearchResponse result) { out = std::move(result); });
-  simulator_.run_while_pending([&out] { return out.has_value(); });
-  return out.value_or(std::nullopt);
+  drive_sync([&](std::function<void()> fire) {
+    runtime(process.machine)
+        .read_del(process, std::move(sc),
+                  [&out, fire = std::move(fire)](SearchResponse result) {
+                    out = std::move(result);
+                    fire();
+                  });
+  });
+  return out.has_value() ? std::move(*out) : SearchResponse{std::nullopt};
 }
 
 SearchResponse Cluster::read_blocking_sync(ProcessId process,
@@ -375,12 +467,37 @@ SearchResponse Cluster::read_blocking_sync(ProcessId process,
                                            BlockingMode mode,
                                            sim::SimTime deadline) {
   std::optional<SearchResponse> out;
-  runtime(process.machine)
-      .read_blocking(process, std::move(sc),
-                     [&out](SearchResponse result) { out = std::move(result); },
-                     mode, deadline);
-  simulator_.run_while_pending([&out] { return out.has_value(); });
-  return out.value_or(std::nullopt);
+  drive_sync([&](std::function<void()> fire) {
+    runtime(process.machine)
+        .read_blocking(process, std::move(sc),
+                       [&out, fire = std::move(fire)](SearchResponse result) {
+                         out = std::move(result);
+                         fire();
+                       },
+                       mode, deadline);
+  });
+  return out.has_value() ? std::move(*out) : SearchResponse{std::nullopt};
+}
+
+// ---------------------------------------------------------------------------
+// settling
+
+void Cluster::settle() {
+  if (config_.transport == TransportKind::kSim) {
+    simulator_.run();
+    return;
+  }
+  threaded_->quiesce();
+}
+
+void Cluster::settle_for(sim::SimTime duration) {
+  if (config_.transport == TransportKind::kSim) {
+    simulator_.run_until(simulator_.now() + duration);
+    return;
+  }
+  // 1 virtual unit = 1 microsecond of wall clock on the threaded transport.
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<std::int64_t>(duration)));
 }
 
 }  // namespace paso

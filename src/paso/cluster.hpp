@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/bus_network.hpp"
+#include "net/threaded_transport.hpp"
 #include "obs/obs.hpp"
 #include "paso/classes.hpp"
 #include "paso/memory_server.hpp"
@@ -27,10 +28,21 @@
 
 namespace paso {
 
+/// Which transport carries the cluster's messages. kSim (the default) is the
+/// virtual-time serializing bus driven by sim::Simulator — deterministic,
+/// used by every test and every model-cost baseline. kThreaded is the
+/// real-clock net::ThreadedTransport: one worker thread per machine,
+/// steady_clock timers, 1 virtual cost unit = 1 microsecond for every
+/// protocol interval (poll_interval, marker_ttl, backoff, detection delay).
+enum class TransportKind { kSim, kThreaded };
+
 struct ClusterConfig {
   std::size_t machines = 8;
   std::size_t lambda = 1;
   CostModel cost_model{};
+  TransportKind transport = TransportKind::kSim;
+  /// Ring sizing etc. for TransportKind::kThreaded; ignored under kSim.
+  net::ThreadedTransportOptions threaded{};
   /// Bus layout. Default (degenerate) = the classic single serializing bus
   /// running `cost_model`, byte-for-byte the pre-topology behavior. An
   /// explicit topology gives each segment its own alpha/beta and bus queue,
@@ -58,12 +70,30 @@ struct ClusterConfig {
 class Cluster {
  public:
   Cluster(Schema schema, ClusterConfig config = {});
+  /// Stops the threaded transport's worker/timer threads before any
+  /// protocol object is destroyed; trivial for the simulated bus.
+  ~Cluster();
 
   // --- plumbing -------------------------------------------------------------
+  /// The virtual-time simulator. Meaningful only under TransportKind::kSim
+  /// (chaos schedules, deterministic settle); it exists but is never pumped
+  /// under kThreaded.
   sim::Simulator& simulator() { return simulator_; }
-  net::BusNetwork& network() { return *network_; }
+  /// The transport, whichever kind this cluster runs on.
+  net::Transport& transport() { return *transport_; }
+  TransportKind transport_kind() const { return config_.transport; }
+  /// The simulated bus (chaos windows, segment stats). Sim clusters only.
+  net::BusNetwork& network() {
+    PASO_REQUIRE(bus_ != nullptr, "not a simulated-bus cluster");
+    return *bus_;
+  }
+  /// The threaded transport (quiesce, fabric counters). Threaded only.
+  net::ThreadedTransport& threaded_transport() {
+    PASO_REQUIRE(threaded_ != nullptr, "not a threaded cluster");
+    return *threaded_;
+  }
   vsync::GroupService& groups() { return *groups_; }
-  net::CostLedger& ledger() { return network_->ledger(); }
+  net::CostLedger& ledger() { return transport_->ledger(); }
   const Schema& schema() const { return schema_; }
   semantics::HistoryRecorder& history() { return history_; }
   std::size_t machine_count() const { return config_.machines; }
@@ -130,7 +160,7 @@ class Cluster {
   /// initialization phase. `initialized` fires when every re-join has
   /// completed: per Section 3.1 the machine counts as *faulty until then*.
   void recover(MachineId m, std::function<void()> initialized = {});
-  bool is_up(MachineId m) const { return network_->is_up(m); }
+  bool is_up(MachineId m) const { return transport_->is_up(m); }
   /// Machines whose network interface is down.
   std::size_t failed_count() const;
   /// Section 3.1's faulty count: down machines plus recovered machines that
@@ -153,7 +183,7 @@ class Cluster {
   /// current virtual time. Pass to semantics::check_history to validate
   /// A1–A3 over a run containing crash/recovery epochs.
   semantics::RunContext run_context() const {
-    return semantics::RunContext{crash_log_, simulator_.now()};
+    return semantics::RunContext{crash_log_, transport_->now()};
   }
 
   // --- synchronous wrappers ---------------------------------------------------
@@ -165,21 +195,28 @@ class Cluster {
   SearchResponse read_blocking_sync(ProcessId process, SearchCriterion sc,
                                     BlockingMode mode, sim::SimTime deadline);
 
-  /// Run until the event queue drains.
-  void settle() { simulator_.run(); }
-  /// Run for `duration` virtual time units.
-  void settle_for(sim::SimTime duration) {
-    simulator_.run_until(simulator_.now() + duration);
-  }
+  /// Let the cluster go quiet: drain the simulator's event queue (kSim) or
+  /// block until the threaded fabric has no deliveries in flight
+  /// (kThreaded; bounded wait, see ThreadedTransport::quiesce).
+  void settle();
+  /// Run for `duration` virtual time units (kSim) / microseconds (kThreaded).
+  void settle_for(sim::SimTime duration);
 
  private:
   void wire_machine(MachineId m);
+  void recover_locked(MachineId m, std::function<void()> initialized);
+  /// Issue an async operation and block until its completion fires: pump the
+  /// simulator (kSim) or wait on a condition variable (kThreaded). `issue`
+  /// receives the completion hook to splice into the operation's callback.
+  void drive_sync(const std::function<void(std::function<void()>)>& issue);
 
   Schema schema_;
   ClusterConfig config_;
   sim::Simulator simulator_;
   std::unique_ptr<obs::Observability> obs_;
-  std::unique_ptr<net::BusNetwork> network_;
+  std::unique_ptr<net::Transport> transport_;
+  net::BusNetwork* bus_ = nullptr;            ///< transport_ when kSim
+  net::ThreadedTransport* threaded_ = nullptr;  ///< transport_ when kThreaded
   std::unique_ptr<vsync::GroupService> groups_;
   semantics::HistoryRecorder history_;
   /// Owned here, not by the servers: crash_reset wipes a server's memory,

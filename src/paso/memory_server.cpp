@@ -11,7 +11,7 @@ namespace paso {
 
 MemoryServer::MemoryServer(MachineId self, const Schema& schema,
                            ClassStoreFactory factory,
-                           net::BusNetwork& network)
+                           net::Transport& network)
     : self_(self),
       schema_(schema),
       factory_(std::move(factory)),
@@ -63,7 +63,7 @@ std::vector<FieldType> MemoryServer::signature_of(ClassId cls) const {
 
 void MemoryServer::persist_span(const char* what, double value) {
   if (obs_.tracer == nullptr) return;
-  const sim::SimTime now = network_.simulator().now();
+  const sim::SimTime now = network_.executor().now();
   for (const obs::TraceId t : obs_.tracer->context()) {
     obs_.tracer->span(t, obs::SpanKind::kPersist, self_, now, what, value);
   }
@@ -84,7 +84,7 @@ void MemoryServer::note_op(ClassId cls, ClassState& state,
 void MemoryServer::maybe_checkpoint(ClassId cls, ClassState& state,
                                     Cost& processing) {
   if (persist_ == nullptr || !persist_->enabled()) return;
-  const sim::SimTime now = network_.simulator().now();
+  const sim::SimTime now = network_.executor().now();
   if (!persist_->checkpoint_due(cls, now)) return;
   const Cost cost =
       persist_->write_checkpoint(cls, checkpoint_image(state), now);
@@ -330,7 +330,7 @@ void MemoryServer::fire_markers(ClassState& state, const PasoObject& object) {
   std::sort(candidates.begin(), candidates.end());
   candidates.erase(std::unique(candidates.begin(), candidates.end()),
                    candidates.end());
-  const sim::SimTime now = network_.simulator().now();
+  const sim::SimTime now = network_.executor().now();
   for (const std::size_t i : candidates) {
     const Marker& marker = state.markers[i];
     // Expired markers never fire; they are erased by the sweeps on the
@@ -345,7 +345,7 @@ void MemoryServer::fire_markers(ClassState& state, const PasoObject& object) {
 
 void MemoryServer::sweep_expired_markers(ClassState& state) {
   if (state.markers.empty()) return;
-  const sim::SimTime now = network_.simulator().now();
+  const sim::SimTime now = network_.executor().now();
   const std::size_t before = state.markers.size();
   std::erase_if(state.markers,
                 [now](const Marker& m) { return m.expires_at < now; });
@@ -354,7 +354,7 @@ void MemoryServer::sweep_expired_markers(ClassState& state) {
 
 void MemoryServer::schedule_marker_sweep(ClassId cls, sim::SimTime expires_at) {
   if (expires_at >= sim::kNever) return;  // never-expiring marker
-  sim::Simulator& simulator = network_.simulator();
+  exec::Executor& simulator = network_.executor();
   // The sweep predicate is strict (`expires_at < now`), so fire just past
   // the expiry. The class is looked up by value at fire time: it may have
   // been erased by a crash or leave in between, which makes the timer moot.
@@ -432,7 +432,7 @@ void MemoryServer::install_state(const GroupName& group,
     // appending past it would leave an lsn gap that poisons every later
     // replay. Restart durability from a fresh checkpoint of what we got.
     const Cost cost = persist_->reset_class(*cls, checkpoint_image(state),
-                                            network_.simulator().now());
+                                            network_.executor().now());
     network_.ledger().charge_work(self_, cost);
     persist_span("reset", cost);
   }
@@ -659,7 +659,7 @@ Cost MemoryServer::checkpoint_class(ClassId cls) {
   auto it = classes_.find(cls.value);
   if (it == classes_.end()) return 0;
   const Cost cost = persist_->write_checkpoint(
-      cls, checkpoint_image(it->second), network_.simulator().now());
+      cls, checkpoint_image(it->second), network_.executor().now());
   network_.ledger().charge_work(self_, cost);
   persist_span("checkpoint", cost);
   return cost;

@@ -22,7 +22,8 @@
 #include <unordered_set>
 #include <vector>
 
-#include "net/bus_network.hpp"
+#include "net/transport.hpp"
+#include "sim/simulator.hpp"  // sim::SimTime alias (marker TTL bookkeeping)
 #include "obs/obs.hpp"
 #include "paso/classes.hpp"
 #include "paso/messages.hpp"
@@ -54,7 +55,7 @@ class MemoryServer final : public vsync::GroupEndpoint {
       std::function<std::unique_ptr<storage::ObjectStore>(ClassId)>;
 
   MemoryServer(MachineId self, const Schema& schema,
-               ClassStoreFactory factory, net::BusNetwork& network);
+               ClassStoreFactory factory, net::Transport& network);
 
   // --- vsync::GroupEndpoint -------------------------------------------------
   vsync::GcastResult handle_gcast(const GroupName& group,
@@ -268,7 +269,7 @@ class MemoryServer final : public vsync::GroupEndpoint {
   MachineId self_;
   const Schema& schema_;
   ClassStoreFactory factory_;
-  net::BusNetwork& network_;
+  net::Transport& network_;
   obs::Obs obs_;
   std::unordered_map<std::uint32_t, ClassMetrics> class_metrics_;
   std::unordered_map<std::uint32_t, ClassState> classes_;

@@ -53,7 +53,7 @@ void PasoRuntime::set_policy(std::unique_ptr<ReplicationPolicy> policy) {
 }
 
 obs::TraceId PasoRuntime::trace_begin(const char* op) {
-  const sim::SimTime now = groups_.network().simulator().now();
+  const sim::SimTime now = groups_.network().executor().now();
   if (obs_.metrics != nullptr) {
     obs_.metrics->counter(std::string("runtime.ops.") + op, self_).inc();
     obs_.metrics->gauge("runtime.inflight", self_)
@@ -66,7 +66,7 @@ obs::TraceId PasoRuntime::trace_begin(const char* op) {
 void PasoRuntime::trace_finish(obs::TraceId trace, const char* status,
                                sim::SimTime issued_at) {
   if (!obs_.enabled()) return;
-  const sim::SimTime now = groups_.network().simulator().now();
+  const sim::SimTime now = groups_.network().executor().now();
   if (obs_.metrics != nullptr) {
     obs_.metrics
         ->histogram("runtime.latency", self_,
@@ -81,7 +81,7 @@ void PasoRuntime::trace_finish(obs::TraceId trace, const char* status,
 void PasoRuntime::record_return(std::uint64_t history_id, bool has_history,
                                 SearchResponse result) {
   if (!has_history || history_ == nullptr) return;
-  history_->op_returned(history_id, groups_.network().simulator().now(),
+  history_->op_returned(history_id, groups_.network().executor().now(),
                         std::move(result));
 }
 
@@ -108,14 +108,14 @@ ObjectId PasoRuntime::insert(ProcessId process, Tuple fields,
   bool has_history = false;
   if (history_ != nullptr) {
     history_id = history_->insert_issued(
-        process, groups_.network().simulator().now(), object);
+        process, groups_.network().executor().now(), object);
     has_history = true;
   }
 
   StoreMsg msg{*cls, object};
   const std::size_t bytes = msg.wire_size();
   const obs::TraceId trace = trace_begin("insert");
-  const sim::SimTime issued_at = groups_.network().simulator().now();
+  const sim::SimTime issued_at = groups_.network().executor().now();
   ++inflight_;
   obs::OpTracer::Scope scope(obs_.tracer, trace);
   batcher_.gcast(
@@ -175,12 +175,12 @@ void PasoRuntime::read(ProcessId process, SearchCriterion sc,
   bool has_history = false;
   if (history_ != nullptr) {
     history_id = history_->search_issued(process,
-                                         groups_.network().simulator().now(),
+                                         groups_.network().executor().now(),
                                          semantics::OpKind::kRead, sc);
     has_history = true;
   }
   const obs::TraceId trace = trace_begin("read");
-  const sim::SimTime issued_at = groups_.network().simulator().now();
+  const sim::SimTime issued_at = groups_.network().executor().now();
   ++inflight_;
   read_class_chain(process, std::move(sc), std::move(classes), 0,
                    [this, history_id, has_history, trace,
@@ -279,12 +279,12 @@ void PasoRuntime::read_del(ProcessId process, SearchCriterion sc,
   bool has_history = false;
   if (history_ != nullptr) {
     history_id = history_->search_issued(process,
-                                         groups_.network().simulator().now(),
+                                         groups_.network().executor().now(),
                                          semantics::OpKind::kReadDel, sc);
     has_history = true;
   }
   const obs::TraceId trace = trace_begin("read_del");
-  const sim::SimTime issued_at = groups_.network().simulator().now();
+  const sim::SimTime issued_at = groups_.network().executor().now();
   ++inflight_;
   read_del_class_chain(process, std::move(sc), std::move(classes), 0,
                        /*token=*/0,
@@ -362,13 +362,13 @@ void PasoRuntime::start_blocking(ProcessId process, SearchCriterion sc,
   op.classes = schema_.candidate_classes(op.criterion);
   if (history_ != nullptr) {
     op.history_id = history_->search_issued(
-        process, groups_.network().simulator().now(), kind, op.criterion);
+        process, groups_.network().executor().now(), kind, op.criterion);
     op.has_history = true;
   }
   op.trace = trace_begin(kind == semantics::OpKind::kRead
                              ? "read_blocking"
                              : "read_del_blocking");
-  op.issued_at = groups_.network().simulator().now();
+  op.issued_at = groups_.network().executor().now();
   const std::uint64_t op_id = op.id;
   blocking_.emplace(op_id, std::move(op));
   ++inflight_;
@@ -383,7 +383,7 @@ void PasoRuntime::blocking_poll(std::uint64_t op_id) {
   auto it = blocking_.find(op_id);
   if (it == blocking_.end()) return;
   BlockingOp& op = it->second;
-  const sim::SimTime now = groups_.network().simulator().now();
+  const sim::SimTime now = groups_.network().executor().now();
   if (now >= op.deadline) {
     finish_blocking(op_id, std::nullopt, /*timed_out=*/true);
     return;
@@ -395,7 +395,7 @@ void PasoRuntime::blocking_poll(std::uint64_t op_id) {
       finish_blocking(op_id, std::move(result));
       return;
     }
-    groups_.network().simulator().schedule_after(
+    groups_.network().executor().schedule_after(
         config_.poll_interval, [this, op_id] { blocking_poll(op_id); });
   };
   if (op.kind == semantics::OpKind::kRead) {
@@ -411,7 +411,7 @@ void PasoRuntime::place_markers(std::uint64_t op_id) {
   auto it = blocking_.find(op_id);
   if (it == blocking_.end()) return;
   BlockingOp& op = it->second;
-  const sim::SimTime now = groups_.network().simulator().now();
+  const sim::SimTime now = groups_.network().executor().now();
   if (now >= op.deadline) {
     finish_blocking(op_id, std::nullopt, /*timed_out=*/true);
     return;
@@ -433,7 +433,7 @@ void PasoRuntime::place_markers(std::uint64_t op_id) {
   }
   // Hybrid scheme: markers expire; re-place (and thereby re-probe) while the
   // operation is still waiting.
-  groups_.network().simulator().schedule_after(
+  groups_.network().executor().schedule_after(
       config_.marker_ttl, [this, op_id] { place_markers(op_id); });
 }
 
@@ -497,7 +497,7 @@ void PasoRuntime::finish_blocking(std::uint64_t op_id, SearchResponse result,
     ++timeouts_;
     if (op.has_history && history_ != nullptr) {
       history_->op_abandoned(op.history_id,
-                             groups_.network().simulator().now());
+                             groups_.network().executor().now());
     }
   } else {
     if (timed_out && !result) ++timeouts_;
@@ -505,7 +505,7 @@ void PasoRuntime::finish_blocking(std::uint64_t op_id, SearchResponse result,
   }
   if (timed_out && obs_.tracer != nullptr) {
     obs_.tracer->span(op.trace, obs::SpanKind::kDeadline, self_,
-                      groups_.network().simulator().now());
+                      groups_.network().executor().now());
   }
   trace_finish(op.trace,
                result ? "ok" : (timed_out ? "timeout" : "fail"),
@@ -542,7 +542,7 @@ bool PasoRuntime::degraded(ClassId cls) const {
 sim::SimTime PasoRuntime::resolve_deadline(sim::SimTime deadline) const {
   if (deadline != kNoDeadline) return deadline;
   if (config_.op_deadline == sim::kNever) return kNoDeadline;
-  return groups_.network().simulator().now() + config_.op_deadline;
+  return groups_.network().executor().now() + config_.op_deadline;
 }
 
 std::uint64_t PasoRuntime::next_remove_token() {
@@ -573,7 +573,7 @@ ObjectId PasoRuntime::insert_robust(ProcessId process, Tuple fields,
   op.report = std::move(report);
   if (history_ != nullptr) {
     op.history_id = history_->insert_issued(
-        process, groups_.network().simulator().now(), object);
+        process, groups_.network().executor().now(), object);
     op.has_history = true;
   }
   start_robust(process, semantics::OpKind::kInsert, std::move(op), deadline);
@@ -589,7 +589,7 @@ void PasoRuntime::read_robust(ProcessId process, SearchCriterion sc,
   op.report = std::move(report);
   if (history_ != nullptr) {
     op.history_id =
-        history_->search_issued(process, groups_.network().simulator().now(),
+        history_->search_issued(process, groups_.network().executor().now(),
                                 semantics::OpKind::kRead, sc);
     op.has_history = true;
   }
@@ -608,7 +608,7 @@ void PasoRuntime::read_del_robust(ProcessId process, SearchCriterion sc,
   op.report = std::move(report);
   if (history_ != nullptr) {
     op.history_id =
-        history_->search_issued(process, groups_.network().simulator().now(),
+        history_->search_issued(process, groups_.network().executor().now(),
                                 semantics::OpKind::kReadDel, sc);
     op.has_history = true;
   }
@@ -627,7 +627,7 @@ std::uint64_t PasoRuntime::start_robust(ProcessId process,
                          : kind == semantics::OpKind::kRead
                              ? "read_robust"
                              : "read_del_robust");
-  op.issued_at = groups_.network().simulator().now();
+  op.issued_at = groups_.network().executor().now();
   const std::uint64_t op_id = op.id;
   robust_.emplace(op_id, std::move(op));
   ++inflight_;
@@ -706,7 +706,7 @@ void PasoRuntime::robust_arm_timer(std::uint64_t op_id) {
   auto it = robust_.find(op_id);
   if (it == robust_.end()) return;
   RobustOp& op = it->second;
-  sim::Simulator& sim = groups_.network().simulator();
+  exec::Executor& sim = groups_.network().executor();
   if (op.timer_armed) {
     sim.cancel(op.timer);
     op.timer_armed = false;
@@ -727,7 +727,7 @@ void PasoRuntime::robust_timer_fired(std::uint64_t op_id) {
   if (it == robust_.end()) return;
   RobustOp& op = it->second;
   op.timer_armed = false;
-  const sim::SimTime now = groups_.network().simulator().now();
+  const sim::SimTime now = groups_.network().executor().now();
   if (now >= op.deadline) {
     robust_finish(op_id, OpStatus::kTimeout, std::nullopt);
     return;
@@ -754,7 +754,7 @@ void PasoRuntime::robust_finish(std::uint64_t op_id, OpStatus status,
   if (it == robust_.end()) return;
   RobustOp op = std::move(it->second);
   robust_.erase(it);
-  sim::Simulator& sim = groups_.network().simulator();
+  exec::Executor& sim = groups_.network().executor();
   if (op.timer_armed) sim.cancel(op.timer);
   switch (status) {
     case OpStatus::kOk:
@@ -806,7 +806,7 @@ void PasoRuntime::on_group_view_change(const GroupName& group,
       }
     }
   }
-  sim::Simulator& sim = groups_.network().simulator();
+  exec::Executor& sim = groups_.network().executor();
   for (const std::uint64_t op_id : rerouted) {
     auto it = robust_.find(op_id);
     if (it == robust_.end()) continue;
@@ -872,7 +872,7 @@ void PasoRuntime::on_machine_crash() {
   // other piece of in-flight client state.
   batcher_.clear();
   blocking_.clear();
-  sim::Simulator& sim = groups_.network().simulator();
+  exec::Executor& sim = groups_.network().executor();
   for (auto& [op_id, op] : robust_) {
     if (op.timer_armed) sim.cancel(op.timer);
   }

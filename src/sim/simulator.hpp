@@ -4,6 +4,10 @@
 // virtual-synchrony layer, crashes and recoveries — runs as events on this
 // engine. Determinism comes from (time, insertion-sequence) ordering: two
 // events at the same virtual time fire in the order they were scheduled.
+//
+// The simulator is the virtual-time implementation of exec::Executor; the
+// protocol stack schedules against that interface, so the identical stack
+// also runs on the real-clock exec::ThreadedExecutor (see docs/threading.md).
 #pragma once
 
 #include <cstdint>
@@ -15,39 +19,37 @@
 #include <vector>
 
 #include "common/require.hpp"
+#include "exec/executor.hpp"
 
 namespace paso::sim {
 
 /// Virtual time in abstract units (the same units as the cost model's
 /// alpha/beta, so "total message cost lower-bounds completion time" holds by
 /// construction on the simulated bus).
-using SimTime = double;
+using SimTime = exec::Time;
 
 /// Sentinel for "no deadline / disabled timer": later than every event.
-inline constexpr SimTime kNever = std::numeric_limits<SimTime>::infinity();
+inline constexpr SimTime kNever = exec::kNever;
 
 /// Handle for cancelling a scheduled event.
-struct EventId {
-  std::uint64_t value = 0;
-  friend auto operator<=>(const EventId&, const EventId&) = default;
-};
+using EventId = exec::TimerId;
 
-class Simulator {
+class Simulator final : public exec::Executor {
  public:
-  using Action = std::function<void()>;
+  using Action = exec::Executor::Action;
 
   /// Schedule `action` at absolute virtual time `at` (must be >= now()).
-  EventId schedule_at(SimTime at, Action action);
+  EventId schedule_at(SimTime at, Action action) override;
 
   /// Schedule `action` `delay` time units from now.
-  EventId schedule_after(SimTime delay, Action action) {
+  EventId schedule_after(SimTime delay, Action action) override {
     PASO_REQUIRE(delay >= 0, "negative delay");
     return schedule_at(now_ + delay, std::move(action));
   }
 
   /// Cancel a pending event. Cancelling an already-fired or already-cancelled
   /// event is a harmless no-op (returns false).
-  bool cancel(EventId id);
+  bool cancel(EventId id) override;
 
   /// Run a single event. Returns false if the queue is empty.
   bool step();
@@ -64,7 +66,7 @@ class Simulator {
   /// fired.
   bool run_while_pending(const std::function<bool()>& predicate);
 
-  SimTime now() const { return now_; }
+  SimTime now() const override { return now_; }
   std::size_t pending() const { return actions_.size(); }
   std::uint64_t events_processed() const { return processed_; }
 

@@ -19,7 +19,7 @@ void GcastBatcher::gcast_to(const GroupName& group, Payload message,
                      std::move(on_response));
     return;
   }
-  const sim::SimTime now = simulator().now();
+  const sim::SimTime now = executor().now();
   RouteKey key{group, std::move(preferred), max_targets};
   RouteQueue& queue = queues_[key];
   std::vector<obs::TraceId> traces;
@@ -57,8 +57,8 @@ void GcastBatcher::gcast_to(const GroupName& group, Payload message,
   due = std::min(due, latest_dispatch);
   if (due < queue.due) {
     queue.due = due;
-    if (queue.timer) simulator().cancel(*queue.timer);
-    queue.timer = simulator().schedule_at(
+    if (queue.timer) executor().cancel(*queue.timer);
+    queue.timer = executor().schedule_at(
         due, [this, key = std::move(key)] { flush(key); });
   }
 }
@@ -67,10 +67,10 @@ void GcastBatcher::flush(const RouteKey& key) {
   auto it = queues_.find(key);
   if (it == queues_.end() || it->second.ops.empty()) return;
   std::vector<PendingOp> ops = std::move(it->second.ops);
-  if (it->second.timer) simulator().cancel(*it->second.timer);
+  if (it->second.timer) executor().cancel(*it->second.timer);
   queues_.erase(it);
 
-  const sim::SimTime now = simulator().now();
+  const sim::SimTime now = executor().now();
   std::vector<obs::TraceId> batch_traces;
   for (const PendingOp& op : ops) {
     batch_traces.insert(batch_traces.end(), op.traces.begin(),
@@ -137,7 +137,7 @@ void GcastBatcher::flush_all() {
 
 void GcastBatcher::clear() {
   for (auto& [key, queue] : queues_) {
-    if (queue.timer) simulator().cancel(*queue.timer);
+    if (queue.timer) executor().cancel(*queue.timer);
   }
   queues_.clear();
 }

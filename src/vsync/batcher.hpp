@@ -132,7 +132,7 @@ class GcastBatcher {
   };
 
   void flush(const RouteKey& key);
-  sim::Simulator& simulator() { return groups_.network().simulator(); }
+  exec::Executor& executor() { return groups_.network().executor(); }
 
   GroupService& groups_;
   MachineId self_;

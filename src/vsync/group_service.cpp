@@ -7,7 +7,7 @@
 
 namespace paso::vsync {
 
-GroupService::GroupService(net::BusNetwork& network, Options options)
+GroupService::GroupService(net::Transport& network, Options options)
     : network_(network),
       options_(options),
       endpoints_(network.machine_count(), nullptr) {}
@@ -125,7 +125,7 @@ void GroupService::complete_active(const GroupName& name) {
   group.queue.pop_front();
   group.busy = false;
   // Resume the queue from a fresh event so deep op chains cannot recurse.
-  network_.simulator().schedule_after(0, [this, name] { pump(name); });
+  network_.executor().schedule_after(0, [this, name] { pump(name); });
 }
 
 // ---------------------------------------------------------------------------
@@ -142,7 +142,7 @@ void GroupService::dispatch_gcast(const GroupName& name, Op& op) {
   if (view.empty()) {
     // Nothing to deliver to: the response is "fail" (nullopt).
     auto cb = std::move(g.on_response);
-    network_.simulator().schedule_after(0, [cb = std::move(cb)] {
+    network_.executor().schedule_after(0, [cb = std::move(cb)] {
       if (cb) cb(std::nullopt);
     });
     ++gcasts_completed_;
@@ -165,7 +165,7 @@ void GroupService::dispatch_gcast(const GroupName& name, Op& op) {
   if (obs_.tracer != nullptr) {
     for (const obs::TraceId t : g.traces) {
       obs_.tracer->span(t, obs::SpanKind::kDispatch, g.issuer,
-                        network_.simulator().now(), g.tag,
+                        network_.executor().now(), g.tag,
                         static_cast<double>(g.targets.size()));
     }
   }
@@ -184,7 +184,7 @@ void GroupService::dispatch_gcast(const GroupName& name, Op& op) {
 void GroupService::schedule_retransmit(const GroupName& name,
                                        std::uint64_t op_id,
                                        sim::SimTime delay) {
-  network_.simulator().schedule_after(delay, [this, name, op_id, delay] {
+  network_.executor().schedule_after(delay, [this, name, op_id, delay] {
     Op* op = active_op(name, op_id);
     if (op == nullptr || op->kind != Op::Kind::kGcast) return;  // done
     GcastOp& g = op->gcast;
@@ -204,7 +204,7 @@ void GroupService::schedule_retransmit(const GroupName& name,
       if (obs_.tracer != nullptr) {
         for (const obs::TraceId t : g.traces) {
           obs_.tracer->span(t, obs::SpanKind::kRetry, g.issuer,
-                            network_.simulator().now(), "retransmit");
+                            network_.executor().now(), "retransmit");
         }
       }
       network_.send(g.issuer, member, g.tag, g.message.bytes,
@@ -243,7 +243,7 @@ void GroupService::member_deliver(const GroupName& name, std::uint64_t op_id,
   if (obs_.tracer != nullptr) {
     for (const obs::TraceId t : g.traces) {
       obs_.tracer->span(t, obs::SpanKind::kServe, member,
-                        network_.simulator().now(), {}, processing);
+                        network_.executor().now(), {}, processing);
     }
   }
   g.results.emplace(member, std::move(result));
@@ -252,7 +252,7 @@ void GroupService::member_deliver(const GroupName& name, std::uint64_t op_id,
   // (Section 3.3: "each of g-name's members sends an empty message to some
   // designated server"). Ack bookkeeping is service-side, standing in for
   // ISIS's internal re-gathering when leaders fail.
-  network_.simulator().schedule_after(processing,
+  network_.executor().schedule_after(processing,
                                       [this, name, op_id, member] {
                                         send_ack(name, op_id, member);
                                       });
@@ -323,7 +323,7 @@ void GroupService::maybe_complete_gcast(const GroupName& name, Op& op) {
     if (obs_.tracer != nullptr) {
       for (const obs::TraceId t : g.traces) {
         obs_.tracer->span(t, obs::SpanKind::kResponse, responder,
-                          network_.simulator().now(), {},
+                          network_.executor().now(), {},
                           static_cast<double>(bytes));
       }
     }
@@ -399,7 +399,7 @@ void GroupService::dispatch_join(const GroupName& name, Op& op) {
   j.donor = donor;
   j.transfer_in_flight = true;
   ++j.transfer_seq;
-  if (j.started_at < 0) j.started_at = network_.simulator().now();
+  if (j.started_at < 0) j.started_at = network_.executor().now();
   GroupEndpoint* donor_ep = endpoints_[donor.value];
   PASO_REQUIRE(donor_ep != nullptr, "donor without endpoint");
 
@@ -463,7 +463,7 @@ void GroupService::send_transfer(const GroupName& name, std::uint64_t op_id,
         network_.ledger().charge_work(join.joiner, copy_cost);
         // Installation takes time proportional to the state size; the view
         // change is installed when it finishes.
-        network_.simulator().schedule_after(copy_cost, [this, name, op_id] {
+        network_.executor().schedule_after(copy_cost, [this, name, op_id] {
           Op* done_op = active_op(name, op_id);
           if (done_op == nullptr || done_op->kind != Op::Kind::kJoin) return;
           finish_join(name, *done_op);
@@ -476,7 +476,7 @@ void GroupService::send_transfer(const GroupName& name, std::uint64_t op_id,
   // transfer_in_flight, so duplicates (and retries from a superseded
   // transfer, via the seq check) are no-ops.
   if (retry_delay < sim::kNever) {
-    network_.simulator().schedule_after(
+    network_.executor().schedule_after(
         retry_delay, [this, name, op_id, seq, donor, copy_cost, is_delta,
                       blob, retry_delay] {
           Op* again = active_op(name, op_id);
@@ -506,7 +506,7 @@ void GroupService::finish_join(const GroupName& name, Op& op) {
     obs_.metrics
         ->histogram("vsync.state_transfer_duration",
                     {10, 50, 100, 500, 1000, 5000, 10000})
-        .observe(network_.simulator().now() - j.started_at);
+        .observe(network_.executor().now() - j.started_at);
   }
   std::vector<MachineId> members = view_of(name).members;
   members.push_back(j.joiner);
@@ -561,7 +561,7 @@ void GroupService::install_view(const GroupName& name,
 void GroupService::machine_crashed(MachineId machine) {
   if (!network_.is_up(machine)) return;
   network_.set_up(machine, false);
-  network_.simulator().schedule_after(
+  network_.executor().schedule_after(
       options_.failure_detection_delay,
       [this, machine] { on_failure_detected(machine); });
 }

@@ -36,8 +36,9 @@
 #include <vector>
 
 #include "common/ids.hpp"
-#include "net/bus_network.hpp"
+#include "net/transport.hpp"
 #include "obs/obs.hpp"
+#include "sim/simulator.hpp"  // sim::SimTime/kNever aliases used in Options
 #include "vsync/endpoint.hpp"
 #include "vsync/view.hpp"
 
@@ -75,7 +76,7 @@ class GroupService {
   /// operations after a membership change / state transfer.
   using ViewListener = std::function<void(const GroupName&, const View&)>;
 
-  GroupService(net::BusNetwork& network, Options options = {});
+  GroupService(net::Transport& network, Options options = {});
 
   /// Register the machine's endpoint (its memory server). Must be called
   /// before the machine joins any group.
@@ -121,8 +122,8 @@ class GroupService {
   void machine_recovered(MachineId machine);
   bool is_up(MachineId machine) const { return network_.is_up(machine); }
 
-  net::BusNetwork& network() { return network_; }
-  const net::BusNetwork& network() const { return network_; }
+  net::Transport& network() { return network_; }
+  const net::Transport& network() const { return network_; }
   const Options& options() const { return options_; }
 
   /// Subscribe to view installations (never unsubscribed; listeners must
@@ -213,7 +214,7 @@ class GroupService {
   void on_failure_detected(MachineId machine);
   Op* active_op(const GroupName& name, std::uint64_t op_id);
 
-  net::BusNetwork& network_;
+  net::Transport& network_;
   Options options_;
   obs::Obs obs_;
   std::map<GroupName, Group> groups_;

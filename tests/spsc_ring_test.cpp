@@ -1,0 +1,144 @@
+// SpscRing: wrap-around arithmetic, full/empty boundaries, and cross-thread
+// visibility of pushed payloads (the release/acquire contract the threaded
+// transport's delivery path rests on).
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/spsc_ring.hpp"
+
+namespace paso::net {
+namespace {
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwoMinusSentinel) {
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 1u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 3u);
+  EXPECT_EQ(SpscRing<int>(4).capacity(), 3u);
+  EXPECT_EQ(SpscRing<int>(5).capacity(), 7u);
+  EXPECT_EQ(SpscRing<int>(1024).capacity(), 1023u);
+}
+
+TEST(SpscRing, StartsEmpty) {
+  SpscRing<int> ring(8);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.size(), 0u);
+  int out = -1;
+  EXPECT_FALSE(ring.try_pop(out));
+  EXPECT_EQ(out, -1);
+}
+
+TEST(SpscRing, FillsToCapacityThenRejects) {
+  SpscRing<int> ring(8);  // 7 usable slots
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_TRUE(ring.try_push(std::move(i))) << "push " << i;
+  }
+  int extra = 99;
+  EXPECT_FALSE(ring.try_push(std::move(extra)));
+  EXPECT_EQ(ring.size(), 7u);
+  // Popping one frees exactly one slot.
+  int out = -1;
+  EXPECT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(ring.try_push(std::move(extra)));
+  EXPECT_FALSE(ring.try_push(std::move(extra)));
+}
+
+TEST(SpscRing, FifoAcrossManyWrapArounds) {
+  SpscRing<std::uint64_t> ring(4);  // 3 usable slots, wraps every 4 pushes
+  std::uint64_t next_push = 0;
+  std::uint64_t next_pop = 0;
+  // Interleave pushes and pops so head/tail lap the buffer many times and
+  // the masked indices exercise every slot repeatedly.
+  for (int round = 0; round < 1000; ++round) {
+    while (ring.try_push(std::uint64_t{next_push})) ++next_push;
+    std::uint64_t out = 0;
+    while (ring.try_pop(out)) {
+      EXPECT_EQ(out, next_pop);
+      ++next_pop;
+    }
+  }
+  EXPECT_EQ(next_push, next_pop);
+  EXPECT_GT(next_push, 2000u);  // actually wrapped a lot
+}
+
+TEST(SpscRing, PopClearsTheSlot) {
+  // The ring must not keep moved-out payloads alive until overwrite: the
+  // transport's deliveries capture protocol state that has to die promptly.
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = token;
+  SpscRing<std::shared_ptr<int>> ring(4);
+  ASSERT_TRUE(ring.try_push(std::move(token)));
+  std::shared_ptr<int> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  out.reset();
+  EXPECT_TRUE(watch.expired()) << "slot retained a copy after pop";
+}
+
+TEST(SpscRing, CrossThreadVisibilityUnderLoad) {
+  // One producer, one consumer, small ring => constant wrap pressure. The
+  // consumer asserts strict FIFO and payload integrity; any missing
+  // release/acquire edge shows up as a torn or stale value (and as a TSan
+  // report in the sanitized CI job).
+  constexpr std::uint64_t kItems = 200000;
+  SpscRing<std::uint64_t> ring(8);
+  std::atomic<bool> failed{false};
+  std::thread consumer([&] {
+    std::uint64_t expect = 1;
+    while (expect <= kItems) {
+      std::uint64_t out = 0;
+      if (!ring.try_pop(out)) {
+        std::this_thread::yield();
+        continue;
+      }
+      if (out != expect) {
+        failed.store(true);
+        return;
+      }
+      ++expect;
+    }
+  });
+  for (std::uint64_t i = 1; i <= kItems; ++i) {
+    while (!ring.try_push(std::uint64_t{i})) std::this_thread::yield();
+  }
+  consumer.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, CrossThreadMoveOnlyPayloads) {
+  // Deliveries are std::function closures — move-only-ish payloads with
+  // heap state. Run strings through the ring across threads to make sure
+  // the slot write/clear protocol keeps ownership straight.
+  constexpr int kItems = 20000;
+  SpscRing<std::string> ring(16);
+  std::atomic<int> bad{0};
+  std::thread consumer([&] {
+    int seen = 0;
+    std::string out;
+    while (seen < kItems) {
+      if (!ring.try_pop(out)) {
+        std::this_thread::yield();
+        continue;
+      }
+      if (out != "payload-" + std::to_string(seen)) bad.fetch_add(1);
+      ++seen;
+    }
+  });
+  for (int i = 0; i < kItems; ++i) {
+    std::string item = "payload-" + std::to_string(i);
+    while (!ring.try_push(std::move(item))) {
+      std::this_thread::yield();
+      // item untouched on a failed push; retry with the same value.
+    }
+  }
+  consumer.join();
+  EXPECT_EQ(bad.load(), 0);
+}
+
+}  // namespace
+}  // namespace paso::net

@@ -1,0 +1,179 @@
+// Differential transport harness: replay the same deterministic op trace on
+// the virtual-time simulated bus and on the real-clock threaded transport,
+// then assert the two runs are indistinguishable to a client — identical
+// per-op results (acks, found objects, object identities) and a model-cost
+// ledger that reconciles exactly. A sequential single-client trace with
+// batching off and retransmission disabled produces the same message set on
+// both fabrics, so every gated bench axis (msg_cost, work, bytes) must agree
+// to the last bit; only wall-clock timing may differ.
+//
+// tools/trace_diff is the command-line twin of this test (parameterized
+// machines/ops/seed, prints the reconciliation table).
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "paso/cluster.hpp"
+#include "paso/object.hpp"
+
+namespace paso {
+namespace {
+
+Schema task_schema() {
+  return Schema({
+      ClassSpec{"task", {FieldType::kInt, FieldType::kText}, 0, 1},
+  });
+}
+
+struct TraceOp {
+  enum class Kind { kInsert, kRead, kReadDel };
+  Kind kind;
+  std::uint32_t issuer;  // machine index
+  std::int64_t key;
+};
+
+/// Deterministic single-client trace: inserts seed the keyspace, reads hit
+/// live keys (and sometimes a never-inserted key, exercising the fail
+/// path), read-dels consume live keys so later reads of them must miss on
+/// BOTH transports or the runs diverge visibly.
+std::vector<TraceOp> make_trace(std::uint64_t seed, std::size_t ops,
+                                std::size_t machines) {
+  Rng rng(seed);
+  std::vector<TraceOp> trace;
+  std::vector<std::int64_t> live;
+  std::int64_t next_key = 0;
+  for (std::size_t i = 0; i < ops; ++i) {
+    const std::uint32_t issuer =
+        static_cast<std::uint32_t>(rng.uniform(0, machines - 1));
+    const std::uint64_t roll = rng.uniform(0, 99);
+    if (live.empty() || roll < 45) {
+      trace.push_back({TraceOp::Kind::kInsert, issuer, next_key});
+      live.push_back(next_key++);
+    } else if (roll < 55) {
+      // Read of a key that was never inserted: the miss path.
+      trace.push_back({TraceOp::Kind::kRead, issuer, -1 - next_key});
+    } else if (roll < 85) {
+      const std::size_t pick = rng.uniform(0, live.size() - 1);
+      trace.push_back({TraceOp::Kind::kRead, issuer, live[pick]});
+    } else {
+      const std::size_t pick = rng.uniform(0, live.size() - 1);
+      trace.push_back({TraceOp::Kind::kReadDel, issuer, live[pick]});
+      live.erase(live.begin() + pick);
+    }
+  }
+  return trace;
+}
+
+/// Everything a client can observe from one op. Inserts fill `ok`;
+/// reads/read-dels additionally stringify the found object (identity +
+/// fields) so payload divergence is caught, not just hit/miss divergence.
+struct OpOutcome {
+  bool ok = false;
+  std::string object;
+
+  friend bool operator==(const OpOutcome&, const OpOutcome&) = default;
+};
+
+struct RunResult {
+  std::vector<OpOutcome> outcomes;
+  Cost msg_cost = 0;
+  Cost work = 0;
+  std::map<std::string, net::TrafficStats> per_tag;
+};
+
+RunResult replay(TransportKind kind, const std::vector<TraceOp>& trace,
+                 std::size_t machines) {
+  ClusterConfig config;
+  config.machines = machines;
+  config.lambda = 1;
+  config.transport = kind;
+  Cluster cluster(task_schema(), config);
+  cluster.assign_basic_support();
+
+  RunResult result;
+  for (const TraceOp& op : trace) {
+    const ProcessId process = cluster.process(MachineId{op.issuer});
+    OpOutcome outcome;
+    switch (op.kind) {
+      case TraceOp::Kind::kInsert:
+        outcome.ok = cluster.insert_sync(
+            process, Tuple{Value{op.key}, Value{std::string(16, 'x')}});
+        break;
+      case TraceOp::Kind::kRead:
+      case TraceOp::Kind::kReadDel: {
+        const SearchCriterion sc =
+            criterion(Exact{Value{op.key}}, TypedAny{FieldType::kText});
+        const SearchResponse found = op.kind == TraceOp::Kind::kRead
+                                         ? cluster.read_sync(process, sc)
+                                         : cluster.read_del_sync(process, sc);
+        outcome.ok = found.has_value();
+        if (found) outcome.object = object_to_string(*found);
+        break;
+      }
+    }
+    result.outcomes.push_back(std::move(outcome));
+  }
+  cluster.settle();
+  // Ledger reads happen under the transport's exclusivity guard; trivial
+  // for the bus, the stack lock for the threaded fabric.
+  cluster.transport().run_exclusive([&] {
+    result.msg_cost = cluster.ledger().total_msg_cost();
+    result.work = cluster.ledger().total_work();
+    result.per_tag = cluster.ledger().per_tag();
+  });
+  return result;
+}
+
+void expect_identical(const RunResult& sim, const RunResult& threaded,
+                      const std::vector<TraceOp>& trace) {
+  ASSERT_EQ(sim.outcomes.size(), threaded.outcomes.size());
+  for (std::size_t i = 0; i < sim.outcomes.size(); ++i) {
+    EXPECT_EQ(sim.outcomes[i], threaded.outcomes[i])
+        << "op " << i << " (kind " << static_cast<int>(trace[i].kind)
+        << ", key " << trace[i].key << ") diverged: sim={"
+        << sim.outcomes[i].ok << ", " << sim.outcomes[i].object
+        << "} threaded={" << threaded.outcomes[i].ok << ", "
+        << threaded.outcomes[i].object << "}";
+  }
+  // The model-cost ledger reconciles exactly: same messages, same bytes,
+  // same alpha+beta charges, same per-machine processing work.
+  EXPECT_DOUBLE_EQ(sim.msg_cost, threaded.msg_cost);
+  EXPECT_DOUBLE_EQ(sim.work, threaded.work);
+  ASSERT_EQ(sim.per_tag.size(), threaded.per_tag.size());
+  for (const auto& [tag, stats] : sim.per_tag) {
+    ASSERT_TRUE(threaded.per_tag.contains(tag)) << "tag only in sim: " << tag;
+    const net::TrafficStats& other = threaded.per_tag.at(tag);
+    EXPECT_EQ(stats.messages, other.messages) << "tag " << tag;
+    EXPECT_EQ(stats.bytes, other.bytes) << "tag " << tag;
+    EXPECT_DOUBLE_EQ(stats.cost, other.cost) << "tag " << tag;
+  }
+}
+
+TEST(TransportDiff, MixedTraceMatchesAcrossTransports) {
+  const std::vector<TraceOp> trace = make_trace(0xD1FF, 80, 4);
+  const RunResult sim = replay(TransportKind::kSim, trace, 4);
+  const RunResult threaded = replay(TransportKind::kThreaded, trace, 4);
+  expect_identical(sim, threaded, trace);
+  // Sanity: the trace actually generated traffic and found objects.
+  EXPECT_GT(sim.msg_cost, 0.0);
+  bool any_hit = false;
+  for (const OpOutcome& o : sim.outcomes) any_hit |= !o.object.empty();
+  EXPECT_TRUE(any_hit);
+}
+
+TEST(TransportDiff, SeedSweepLedgersReconcile) {
+  for (const std::uint64_t seed : {7ull, 99ull, 20260809ull}) {
+    const std::vector<TraceOp> trace = make_trace(seed, 40, 3);
+    const RunResult sim = replay(TransportKind::kSim, trace, 3);
+    const RunResult threaded = replay(TransportKind::kThreaded, trace, 3);
+    expect_identical(sim, threaded, trace);
+  }
+}
+
+}  // namespace
+}  // namespace paso

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "net/bus_network.hpp"
 #include "vsync/group_service.hpp"
 
 namespace paso::vsync {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "net/bus_network.hpp"
 #include "vsync/group_service.hpp"
 
 namespace paso::vsync {

@@ -70,10 +70,14 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Gated axes, all deterministic model quantities (wall clock — ns_per_op —
-  // is machine-dependent and never gated).
+  // Gated axes, all deterministic model quantities (wall clock is
+  // machine-dependent and never gated).
   static const char* const kAxes[] = {"msg_cost", "work", "bytes",
                                       "probes_per_op"};
+  // Wall-clock axes: reported for visibility, NEVER gated — they move with
+  // the machine, the load and the scheduler, not with the algorithms.
+  static const char* const kWallAxes[] = {"ns_per_op", "ops_per_sec", "p50_ns",
+                                          "p99_ns"};
 
   int regressions = 0;
   int compared = 0;
@@ -107,6 +111,20 @@ int main(int argc, char** argv) {
                     key.first.c_str(), key.second.c_str(), axis, base, now,
                     (ratio - 1.0) * 100);
         ++improved;
+      }
+    }
+    for (const char* axis : kWallAxes) {
+      if (!base_row.has(axis)) continue;
+      const double base = base_row.num(axis);
+      const double now = it->second.num(axis);
+      if (base <= 0 || now <= 0) continue;
+      const double delta = (now / base - 1.0) * 100;
+      // Informational only: wall-clock drift is worth a glance, never a gate.
+      if (delta > 25.0 || delta < -25.0) {
+        std::printf("info: wall-clock %s / %s: %s %.6g -> %.6g (%+.1f%%, "
+                    "not gated)\n",
+                    key.first.c_str(), key.second.c_str(), axis, base, now,
+                    delta);
       }
     }
   }

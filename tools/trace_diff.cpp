@@ -1,0 +1,236 @@
+// trace_diff — differential replay of one op trace on both transports.
+//
+// Builds a deterministic single-client workload (seeded mix of inserts,
+// reads, misses and read-deletes), replays it once on the virtual-time
+// simulated bus and once on the real-clock threaded transport, and prints a
+// reconciliation report: per-op divergences (first 10), ledger totals, and
+// a per-tag traffic table with MATCH/DIFF markers. Exit 0 when the runs are
+// indistinguishable (identical client-visible results AND an exactly equal
+// model-cost ledger), 1 on any divergence — the same invariant
+// tests/transport_diff_test.cpp locks into the fast tier, here as a tool so
+// a suspect change can be probed with bigger traces and fresh seeds.
+//
+// Usage: trace_diff [--machines=N] [--ops=N] [--seed=S] [--lambda=L]
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "paso/cluster.hpp"
+#include "paso/object.hpp"
+
+namespace {
+
+using namespace paso;
+
+Schema task_schema() {
+  return Schema({
+      ClassSpec{"task", {FieldType::kInt, FieldType::kText}, 0, 1},
+  });
+}
+
+struct TraceOp {
+  enum class Kind { kInsert, kRead, kReadDel };
+  Kind kind;
+  std::uint32_t issuer;
+  std::int64_t key;
+};
+
+const char* kind_name(TraceOp::Kind kind) {
+  switch (kind) {
+    case TraceOp::Kind::kInsert:
+      return "insert";
+    case TraceOp::Kind::kRead:
+      return "read";
+    case TraceOp::Kind::kReadDel:
+      return "read-del";
+  }
+  return "?";
+}
+
+std::vector<TraceOp> make_trace(std::uint64_t seed, std::size_t ops,
+                                std::size_t machines) {
+  Rng rng(seed);
+  std::vector<TraceOp> trace;
+  std::vector<std::int64_t> live;
+  std::int64_t next_key = 0;
+  for (std::size_t i = 0; i < ops; ++i) {
+    const std::uint32_t issuer =
+        static_cast<std::uint32_t>(rng.uniform(0, machines - 1));
+    const std::uint64_t roll = rng.uniform(0, 99);
+    if (live.empty() || roll < 45) {
+      trace.push_back({TraceOp::Kind::kInsert, issuer, next_key});
+      live.push_back(next_key++);
+    } else if (roll < 55) {
+      trace.push_back({TraceOp::Kind::kRead, issuer, -1 - next_key});
+    } else if (roll < 85) {
+      const std::size_t pick = rng.uniform(0, live.size() - 1);
+      trace.push_back({TraceOp::Kind::kRead, issuer, live[pick]});
+    } else {
+      const std::size_t pick = rng.uniform(0, live.size() - 1);
+      trace.push_back({TraceOp::Kind::kReadDel, issuer, live[pick]});
+      live.erase(live.begin() + pick);
+    }
+  }
+  return trace;
+}
+
+struct OpOutcome {
+  bool ok = false;
+  std::string object;
+
+  friend bool operator==(const OpOutcome&, const OpOutcome&) = default;
+};
+
+struct RunResult {
+  std::vector<OpOutcome> outcomes;
+  Cost msg_cost = 0;
+  Cost work = 0;
+  std::map<std::string, net::TrafficStats> per_tag;
+  double wall_ms = 0;
+};
+
+RunResult replay(TransportKind kind, const std::vector<TraceOp>& trace,
+                 std::size_t machines, std::size_t lambda) {
+  const auto start = std::chrono::steady_clock::now();
+  ClusterConfig config;
+  config.machines = machines;
+  config.lambda = lambda;
+  config.transport = kind;
+  Cluster cluster(task_schema(), config);
+  cluster.assign_basic_support();
+
+  RunResult result;
+  for (const TraceOp& op : trace) {
+    const ProcessId process = cluster.process(MachineId{op.issuer});
+    OpOutcome outcome;
+    switch (op.kind) {
+      case TraceOp::Kind::kInsert:
+        outcome.ok = cluster.insert_sync(
+            process, Tuple{Value{op.key}, Value{std::string(16, 'x')}});
+        break;
+      case TraceOp::Kind::kRead:
+      case TraceOp::Kind::kReadDel: {
+        const SearchCriterion sc =
+            criterion(Exact{Value{op.key}}, TypedAny{FieldType::kText});
+        const SearchResponse found = op.kind == TraceOp::Kind::kRead
+                                         ? cluster.read_sync(process, sc)
+                                         : cluster.read_del_sync(process, sc);
+        outcome.ok = found.has_value();
+        if (found) outcome.object = object_to_string(*found);
+        break;
+      }
+    }
+    result.outcomes.push_back(std::move(outcome));
+  }
+  cluster.settle();
+  cluster.transport().run_exclusive([&] {
+    result.msg_cost = cluster.ledger().total_msg_cost();
+    result.work = cluster.ledger().total_work();
+    result.per_tag = cluster.ledger().per_tag();
+  });
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t machines = 4;
+  std::size_t ops = 200;
+  std::size_t lambda = 1;
+  std::uint64_t seed = 0xD1FF;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--machines=", 11) == 0) {
+      machines = std::strtoull(argv[i] + 11, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--ops=", 6) == 0) {
+      ops = std::strtoull(argv[i] + 6, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = std::strtoull(argv[i] + 7, nullptr, 0);
+    } else if (std::strncmp(argv[i], "--lambda=", 9) == 0) {
+      lambda = std::strtoull(argv[i] + 9, nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: trace_diff [--machines=N] [--ops=N] [--seed=S] "
+                   "[--lambda=L]\n");
+      return 2;
+    }
+  }
+  if (machines < lambda + 1 || ops == 0) {
+    std::fprintf(stderr, "trace_diff: need machines > lambda and ops > 0\n");
+    return 2;
+  }
+
+  const std::vector<TraceOp> trace = make_trace(seed, ops, machines);
+  std::printf("trace_diff: %zu ops on %zu machines (lambda %zu, seed %#llx)\n",
+              ops, machines, lambda,
+              static_cast<unsigned long long>(seed));
+  const RunResult sim = replay(TransportKind::kSim, trace, machines, lambda);
+  const RunResult threaded =
+      replay(TransportKind::kThreaded, trace, machines, lambda);
+
+  int divergences = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (sim.outcomes[i] == threaded.outcomes[i]) continue;
+    if (++divergences <= 10) {
+      std::printf("DIFF op %zu (%s key %lld): sim={ok=%d %s} threaded={ok=%d "
+                  "%s}\n",
+                  i, kind_name(trace[i].kind),
+                  static_cast<long long>(trace[i].key), sim.outcomes[i].ok,
+                  sim.outcomes[i].object.c_str(), threaded.outcomes[i].ok,
+                  threaded.outcomes[i].object.c_str());
+    }
+  }
+  if (divergences > 10) {
+    std::printf("... and %d more op divergences\n", divergences - 10);
+  }
+
+  std::printf("\n%-24s %14s %14s  %s\n", "axis", "sim", "threaded", "status");
+  const auto axis = [&](const char* name, double a, double b) {
+    const bool match = a == b;
+    std::printf("%-24s %14.6g %14.6g  %s\n", name, a, b,
+                match ? "MATCH" : "DIFF");
+    if (!match) ++divergences;
+  };
+  axis("msg_cost", sim.msg_cost, threaded.msg_cost);
+  axis("work", sim.work, threaded.work);
+
+  // Per-tag traffic: the union of both runs' tags, so a tag present on only
+  // one side shows up as a DIFF row instead of vanishing.
+  std::map<std::string, net::TrafficStats> tags = sim.per_tag;
+  for (const auto& [tag, stats] : threaded.per_tag) tags.emplace(tag, stats);
+  for (const auto& [tag, unused] : tags) {
+    static const net::TrafficStats kEmpty{};
+    const net::TrafficStats& a =
+        sim.per_tag.contains(tag) ? sim.per_tag.at(tag) : kEmpty;
+    const net::TrafficStats& b =
+        threaded.per_tag.contains(tag) ? threaded.per_tag.at(tag) : kEmpty;
+    const bool match =
+        a.messages == b.messages && a.bytes == b.bytes && a.cost == b.cost;
+    std::printf("tag %-20s %6llu msgs %8llu B %10.6g | %6llu msgs %8llu B "
+                "%10.6g  %s\n",
+                tag.c_str(), static_cast<unsigned long long>(a.messages),
+                static_cast<unsigned long long>(a.bytes), a.cost,
+                static_cast<unsigned long long>(b.messages),
+                static_cast<unsigned long long>(b.bytes), b.cost,
+                match ? "MATCH" : "DIFF");
+    if (!match) ++divergences;
+  }
+
+  std::printf("\nwall clock: sim %.1f ms, threaded %.1f ms (informational)\n",
+              sim.wall_ms, threaded.wall_ms);
+  if (divergences == 0) {
+    std::printf("trace_diff: transports indistinguishable over %zu ops\n",
+                ops);
+    return 0;
+  }
+  std::printf("trace_diff: %d divergences\n", divergences);
+  return 1;
+}
