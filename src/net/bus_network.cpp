@@ -27,6 +27,7 @@ void BusNetwork::send(MachineId from, MachineId to, const std::string& tag,
   sim::SimTime start = 0;  // transmission begin on the source bus
   sim::SimTime end = 0;    // arrival at the destination machine
   std::size_t hops = 0;
+  bool shed = false;       // dropped at a full bounded bridge ingress
 
   if (sf == st) {
     // One serializing bus: transmission begins when it frees up, delivery
@@ -42,33 +43,83 @@ void BusNetwork::send(MachineId from, MachineId to, const std::string& tag,
     stats.busy += cost;
   } else {
     // Crossing: occupy the source bus, pay the per-hop bridge latency, then
-    // occupy the destination bus (store-and-forward, unbounded bridge
-    // buffers — only the shared buses serialize). Both reservations are
-    // made now, deterministically, in send order.
+    // occupy the destination bus (store-and-forward; only the shared buses
+    // serialize). Both reservations are made now, deterministically, in
+    // send order. With Topology::bridge_capacity set, the destination
+    // ingress is a *bounded* buffer: a crossing that would find it full is
+    // shed or back-pressured per the topology's BridgePolicy.
     const CostModel& dst = topology_.segment_model(st);
     hops = sf < st ? st - sf : sf - st;
     const Cost src_cost = src.message(bytes);
     const Cost dst_cost = dst.message(bytes);
     const Cost bridge = static_cast<Cost>(hops) * topology_.bridge_cost(bytes);
-    cost = src_cost + bridge + dst_cost;
-    alpha_part = src.alpha + dst.alpha +
-                 static_cast<Cost>(hops) * topology_.bridge_alpha();
     start = std::max(simulator_.now(), segment_free_[sf]);
+
+    std::deque<sim::SimTime>& queue = ingress_[st];
+    // Reservations whose destination transmission began by `now` can never
+    // count against any future arrival (arrivals are never in the past).
+    while (!queue.empty() && queue.front() <= simulator_.now()) {
+      queue.pop_front();
+    }
+    sim::SimTime arrive = start + src_cost + bridge;
+    if (topology_.bounded_bridges()) {
+      const std::size_t capacity = topology_.bridge_capacity();
+      // Occupancy this crossing finds on arrival: reserved crossings whose
+      // destination transmission has not begun by then (deque is ascending).
+      auto occupancy = [&queue](sim::SimTime at) {
+        return static_cast<std::size_t>(
+            queue.end() -
+            std::upper_bound(queue.begin(), queue.end(), at));
+      };
+      if (occupancy(arrive) >= capacity) {
+        if (topology_.bridge_policy() == BridgePolicy::kBackpressure) {
+          // Stall the source transmission until the ingress has room: the
+          // buffer drains to capacity-1 once the (|q|-capacity)-th queued
+          // departure has begun.
+          const sim::SimTime room = queue[queue.size() - capacity];
+          start = std::max(start, room - bridge - src_cost);
+          arrive = start + src_cost + bridge;
+          ++bridge_backpressured_;
+        } else {
+          shed = true;
+        }
+      }
+    }
+
     const sim::SimTime src_end = start + src_cost;
     segment_free_[sf] = src_end;
-    const sim::SimTime arrive = src_end + bridge;
-    const sim::SimTime dst_start = std::max(arrive, segment_free_[st]);
-    end = dst_start + dst_cost;
-    segment_free_[st] = end;
     SegmentStats& sstats = segment_stats_[sf];
     ++sstats.messages;
     sstats.bytes += bytes;
     sstats.busy += src_cost;
-    SegmentStats& dstats = segment_stats_[st];
-    ++dstats.messages;
-    dstats.bytes += bytes;
-    dstats.busy += dst_cost;
     ++crossings_;
+
+    if (shed) {
+      // The source bus transmitted and the bridge hops were traversed, but
+      // the message died at the full ingress: charge what actually moved,
+      // never touch the destination bus.
+      cost = src_cost + bridge;
+      alpha_part =
+          src.alpha + static_cast<Cost>(hops) * topology_.bridge_alpha();
+      end = arrive;
+      ++bridge_shed_;
+    } else {
+      cost = src_cost + bridge + dst_cost;
+      alpha_part = src.alpha + dst.alpha +
+                   static_cast<Cost>(hops) * topology_.bridge_alpha();
+      const sim::SimTime dst_start = std::max(arrive, segment_free_[st]);
+      end = dst_start + dst_cost;
+      segment_free_[st] = end;
+      SegmentStats& dstats = segment_stats_[st];
+      ++dstats.messages;
+      dstats.bytes += bytes;
+      dstats.busy += dst_cost;
+      queue.push_back(dst_start);
+      const std::size_t depth = static_cast<std::size_t>(
+          queue.end() -
+          std::upper_bound(queue.begin(), queue.end(), arrive));
+      if (depth > ingress_peak_[st]) ingress_peak_[st] = depth;
+    }
   }
 
   ledger_.charge_message(tag, bytes, cost);
@@ -81,6 +132,7 @@ void BusNetwork::send(MachineId from, MachineId to, const std::string& tag,
       obs_.metrics->counter("net.segment." + std::to_string(sf) + ".messages")
           .inc();
       if (hops > 0) obs_.metrics->counter("net.crossings").inc();
+      if (shed) obs_.metrics->counter("net.bridge.shed").inc();
     }
   }
   if (obs_.tracer != nullptr) {
@@ -88,6 +140,9 @@ void BusNetwork::send(MachineId from, MachineId to, const std::string& tag,
                                 simulator_.now(), sf, st,
                                 static_cast<std::uint32_t>(hops));
   }
+
+  // A shed crossing never reaches the destination bus: nothing to deliver.
+  if (shed) return;
 
   // Bridge partitions: decided at transmission begin, like the delay
   // windows, so the decision is independent of event-queue tie-breaking.

@@ -20,6 +20,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <string>
@@ -56,7 +57,9 @@ class BusNetwork final : public Transport {
         chaos_(n),
         segment_free_(topology_.segment_count(), 0),
         segment_stats_(topology_.segment_count()),
-        bridge_partition_until_(topology_.bridge_count(), 0) {
+        bridge_partition_until_(topology_.bridge_count(), 0),
+        ingress_(topology_.segment_count()),
+        ingress_peak_(topology_.segment_count(), 0) {
     ledger_.ensure_machines(n);
   }
 
@@ -106,6 +109,29 @@ class BusNetwork final : public Transport {
   std::uint64_t chaos_dropped() const { return chaos_dropped_; }
   std::uint64_t chaos_delayed() const { return chaos_delayed_; }
   std::uint64_t partition_dropped() const { return partition_dropped_; }
+
+  // --- bounded bridge buffers (Topology::bridge_capacity) -------------------
+  /// Crossings shed at a full destination ingress (BridgePolicy::kShed).
+  std::uint64_t bridge_shed() const { return bridge_shed_; }
+  /// Crossings whose source transmission stalled for ingress room
+  /// (BridgePolicy::kBackpressure).
+  std::uint64_t bridge_backpressured() const { return bridge_backpressured_; }
+  /// Crossings currently queued at `segment`'s bus ingress (reserved but
+  /// their destination-bus transmission has not begun at virtual `now`).
+  std::size_t bridge_queue_depth(std::size_t segment) const {
+    PASO_REQUIRE(segment < ingress_.size(), "unknown segment");
+    std::size_t depth = 0;
+    for (const sim::SimTime start : ingress_[segment]) {
+      if (start > simulator_.now()) ++depth;
+    }
+    return depth;
+  }
+  /// High-water ingress depth seen on `segment` (the quantity a
+  /// bridge_capacity bound caps).
+  std::size_t bridge_queue_peak(std::size_t segment) const {
+    PASO_REQUIRE(segment < ingress_peak_.size(), "unknown segment");
+    return ingress_peak_[segment];
+  }
 
   std::size_t machine_count() const override { return up_.size(); }
   const CostModel& cost_model() const override { return model_; }
@@ -160,10 +186,21 @@ class BusNetwork final : public Transport {
   std::vector<sim::SimTime> segment_free_;
   std::vector<SegmentStats> segment_stats_;
   std::vector<sim::SimTime> bridge_partition_until_;
+  /// Per-segment bridge ingress: destination-bus start times of reserved
+  /// crossings, ascending (each reservation starts no earlier than the
+  /// previous one ended). A crossing is "in the bridge buffer" from its
+  /// arrival until its destination transmission begins; the deque is pruned
+  /// at `now`, so its length tracks the real backlog — which is exactly
+  /// what grows without bound when a segment is flooded and
+  /// bridge_capacity is infinite.
+  std::vector<std::deque<sim::SimTime>> ingress_;
+  std::vector<std::size_t> ingress_peak_;
   std::uint64_t chaos_dropped_ = 0;
   std::uint64_t chaos_delayed_ = 0;
   std::uint64_t partition_dropped_ = 0;
   std::uint64_t crossings_ = 0;
+  std::uint64_t bridge_shed_ = 0;
+  std::uint64_t bridge_backpressured_ = 0;
 };
 
 }  // namespace paso::net

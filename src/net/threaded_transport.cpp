@@ -130,18 +130,37 @@ void ThreadedTransport::send(MachineId from, MachineId to,
   Cost cost = 0;
   Cost alpha_part = 0;
   std::size_t hops = 0;
+  bool shed = false;
   if (sf == st) {
     cost = src.message(bytes);
     alpha_part = src.alpha;
+    enqueue(st, to, std::move(deliver), kUnboundedBridge);
   } else {
     const CostModel& dst = topology_.segment_model(st);
     hops = sf < st ? st - sf : sf - st;
-    cost = src.message(bytes) +
-           static_cast<Cost>(hops) * topology_.bridge_cost(bytes) +
-           dst.message(bytes);
-    alpha_part = src.alpha + dst.alpha +
-                 static_cast<Cost>(hops) * topology_.bridge_alpha();
+    const Cost bridge = static_cast<Cost>(hops) * topology_.bridge_cost(bytes);
     crossings_.fetch_add(1, std::memory_order_relaxed);
+    // Bounded bridge ingress: the destination overflow lane is this
+    // transport's bridge buffer, and it honors the same cap as the sim's
+    // ingress deque. Backpressure degrades to shed here — the sender holds
+    // the stack lock the consuming worker needs for its execute phase, so
+    // blocking for room would deadlock the fabric.
+    const std::size_t cap =
+        topology_.bounded_bridges() ? topology_.bridge_capacity()
+                                    : kUnboundedBridge;
+    shed = !enqueue(st, to, std::move(deliver), cap);
+    if (shed) {
+      // The crossing died at the full ingress: charge the source bus and
+      // the bridge hops that actually carried it, never the destination.
+      cost = src.message(bytes) + bridge;
+      alpha_part =
+          src.alpha + static_cast<Cost>(hops) * topology_.bridge_alpha();
+      bridge_shed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      cost = src.message(bytes) + bridge + dst.message(bytes);
+      alpha_part = src.alpha + dst.alpha +
+                   static_cast<Cost>(hops) * topology_.bridge_alpha();
+    }
   }
   ledger_.charge_message(tag, bytes, cost);
   messages_.fetch_add(1, std::memory_order_relaxed);
@@ -155,6 +174,7 @@ void ThreadedTransport::send(MachineId from, MachineId to,
       obs_.metrics->counter("net.segment." + std::to_string(sf) + ".messages")
           .inc();
       if (hops > 0) obs_.metrics->counter("net.crossings").inc();
+      if (shed) obs_.metrics->counter("net.bridge.shed").inc();
     }
   }
   if (obs_.tracer != nullptr) {
@@ -162,12 +182,10 @@ void ThreadedTransport::send(MachineId from, MachineId to,
                                 executor_->now(), sf, st,
                                 static_cast<std::uint32_t>(hops));
   }
-
-  enqueue(st, to, std::move(deliver));
 }
 
-void ThreadedTransport::enqueue(std::uint32_t segment, MachineId to,
-                                Delivery deliver) {
+bool ThreadedTransport::enqueue(std::uint32_t segment, MachineId to,
+                                Delivery deliver, std::size_t cap) {
   Worker& worker = *workers_[to.value];
   inflight_.fetch_add(1, std::memory_order_acq_rel);
   {
@@ -181,6 +199,13 @@ void ThreadedTransport::enqueue(std::uint32_t segment, MachineId to,
     {
       std::lock_guard<std::mutex> lock(worker.overflow_mu);
       spill = !worker.overflow[segment].empty();
+      if (spill && worker.overflow[segment].size() >= cap) {
+        // Bounded bridge ingress already at capacity: shed. The delivery is
+        // dropped here, under the token, so the lane can never exceed the
+        // cap (the token serializes every producer for this segment).
+        inflight_.fetch_sub(1, std::memory_order_acq_rel);
+        return false;
+      }
     }
     if (!spill) spill = !ring(segment, to.value).try_push(std::move(deliver));
     if (spill) {
@@ -194,6 +219,7 @@ void ThreadedTransport::enqueue(std::uint32_t segment, MachineId to,
     }
   }
   wake(worker);
+  return true;
 }
 
 void ThreadedTransport::wake(Worker& worker) {

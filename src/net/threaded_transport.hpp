@@ -98,6 +98,13 @@ class ThreadedTransport final : public Transport {
   std::uint64_t overflowed() const {
     return overflowed_.load(std::memory_order_relaxed);
   }
+  /// Crossings shed at a full bounded bridge ingress (the overflow lane is
+  /// this transport's bridge buffer; see Topology::with_bridge_limit). Both
+  /// policies shed here — blocking for backpressure would deadlock under
+  /// the stack lock.
+  std::uint64_t bridge_shed() const {
+    return bridge_shed_.load(std::memory_order_relaxed);
+  }
   const exec::ThreadedExecutor& threaded_executor() const {
     return *executor_;
   }
@@ -128,7 +135,11 @@ class ThreadedTransport final : public Transport {
     return *rings_[segment * machine_count() + machine];
   }
   void worker_loop(std::uint32_t machine);
-  void enqueue(std::uint32_t segment, MachineId to, Delivery deliver);
+  /// Push onto the (segment, to) ring, spilling to the overflow lane when
+  /// full. `cap` bounds the lane (kUnboundedBridge = never shed); returns
+  /// false when the delivery was shed at a full lane.
+  bool enqueue(std::uint32_t segment, MachineId to, Delivery deliver,
+               std::size_t cap);
   void wake(Worker& worker);
 
   CostModel model_;
@@ -156,6 +167,7 @@ class ThreadedTransport final : public Transport {
   std::atomic<std::uint64_t> bytes_{0};
   std::atomic<std::uint64_t> crossings_{0};
   std::atomic<std::uint64_t> overflowed_{0};
+  std::atomic<std::uint64_t> bridge_shed_{0};
 };
 
 }  // namespace paso::net

@@ -58,8 +58,11 @@ Cost Topology::message_cost(MachineId from, MachineId to,
 Topology Topology::resolve(std::size_t machines,
                            const CostModel& default_model) const {
   if (degenerate()) {
-    return Topology({Segment{default_model}},
-                    std::vector<std::uint32_t>(machines, 0), 0, 0);
+    Topology resolved({Segment{default_model}},
+                      std::vector<std::uint32_t>(machines, 0), 0, 0);
+    resolved.bridge_capacity_ = bridge_capacity_;
+    resolved.bridge_policy_ = bridge_policy_;
+    return resolved;
   }
   PASO_REQUIRE(machine_segment_.size() == machines,
                "topology machine map does not match the machine count");

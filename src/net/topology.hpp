@@ -6,9 +6,17 @@
 // bridges. A message between machines on segments s and t occupies the
 // source bus for its source-segment msg-cost, crosses |s - t| bridges at
 // bridge_alpha + bridge_beta*|m| each, then occupies the destination bus for
-// its destination-segment msg-cost. Bridges have unbounded buffers and never
-// serialize (only the shared buses do), so the model stays a deterministic
-// lower bound on completion time exactly like the single bus.
+// its destination-segment msg-cost. Bridges never serialize (only the shared
+// buses do), so the model stays a deterministic lower bound on completion
+// time exactly like the single bus.
+//
+// Bridge buffers are *bounded* when `bridge_capacity` is set: a crossing
+// that would find more than `bridge_capacity` crossings already queued at
+// the destination bus's ingress is handled per `bridge_policy` — shed
+// (dropped after its source-bus transmission, like a partition drop) or
+// back-pressured (the source bus stalls, head-of-line, until the ingress
+// drains below the cap). The default capacity is unbounded, which is
+// bit-for-bit the legacy store-and-forward behavior.
 //
 // The default-constructed Topology is *degenerate*: no segments declared,
 // meaning "one bus, use the network's own cost model". BusNetwork's
@@ -30,6 +38,21 @@ namespace paso::net {
 struct Segment {
   CostModel model{};
 };
+
+/// What a bridge does with a crossing that arrives at a full destination
+/// ingress buffer (see Topology::bridge_capacity).
+enum class BridgePolicy {
+  /// Drop the message at the bridge. The source bus already transmitted it
+  /// (and is charged), the destination bus never carries it.
+  kShed,
+  /// Stall the source bus (head-of-line) until the destination ingress has
+  /// room, so the crossing is delayed, never lost. Models a bridge that
+  /// asserts carrier-sense back onto the sending segment.
+  kBackpressure,
+};
+
+/// Sentinel: unbounded bridge buffers (the legacy model).
+inline constexpr std::size_t kUnboundedBridge = SIZE_MAX;
 
 class Topology {
  public:
@@ -60,6 +83,24 @@ class Topology {
   const CostModel& segment_model(std::uint32_t segment) const;
   Cost bridge_alpha() const { return bridge_alpha_; }
   Cost bridge_beta() const { return bridge_beta_; }
+
+  /// Bound the per-segment bridge ingress buffer: at most `capacity`
+  /// crossings may be queued awaiting a destination bus at any moment;
+  /// overflow is handled per `policy`. kUnboundedBridge (the default)
+  /// reproduces the legacy unbounded store-and-forward behavior bit for
+  /// bit. Returns *this so a topology literal can be built fluently.
+  Topology& with_bridge_limit(std::size_t capacity,
+                              BridgePolicy policy = BridgePolicy::kShed) {
+    PASO_REQUIRE(capacity > 0, "bridge capacity must be positive");
+    bridge_capacity_ = capacity;
+    bridge_policy_ = policy;
+    return *this;
+  }
+  std::size_t bridge_capacity() const { return bridge_capacity_; }
+  BridgePolicy bridge_policy() const { return bridge_policy_; }
+  bool bounded_bridges() const {
+    return bridge_capacity_ != kUnboundedBridge;
+  }
 
   /// Bridge hops between two machines' segments (0 = same segment).
   std::size_t hops(MachineId a, MachineId b) const {
@@ -96,6 +137,8 @@ class Topology {
   std::vector<std::uint32_t> machine_segment_;
   Cost bridge_alpha_ = 0;
   Cost bridge_beta_ = 0;
+  std::size_t bridge_capacity_ = kUnboundedBridge;
+  BridgePolicy bridge_policy_ = BridgePolicy::kShed;
 };
 
 }  // namespace paso::net

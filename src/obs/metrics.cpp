@@ -1,6 +1,8 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <utility>
 
 #include "common/require.hpp"
@@ -31,7 +33,9 @@ void Histogram::reset() {
 
 double Histogram::quantile(double q) const {
   PASO_REQUIRE(q >= 0 && q <= 1, "quantile must be in [0, 1]");
-  if (count_ == 0) return 0;
+  // An empty histogram has no quantiles: NaN, not a fabricated 0 a caller
+  // could mistake for a measured latency.
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
   const double rank = q * static_cast<double>(count_);
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {

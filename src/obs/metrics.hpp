@@ -59,8 +59,9 @@ class Histogram {
   /// Estimated q-quantile (q in [0, 1]), linearly interpolated inside the
   /// bucket that crosses rank q*count. Observations past the last bound
   /// yield that bound (the overflow bucket has no upper edge to
-  /// interpolate toward). 0 when empty. The wall-clock benches report
-  /// p50/p99 latency through this.
+  /// interpolate toward). NaN when empty — an empty histogram has no
+  /// quantiles, and a fabricated 0 reads like a measured latency. The
+  /// wall-clock and overload benches report p50/p99/p999 through this.
   double quantile(double q) const;
 
  private:

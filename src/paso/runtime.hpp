@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <limits>
 #include <map>
@@ -29,6 +30,18 @@
 #include "vsync/group_service.hpp"
 
 namespace paso {
+
+/// Client-edge admission control for the robust entry points (SEDA-style
+/// per-stage admission: bound the stage's concurrency, handle the excess
+/// explicitly instead of letting queues grow without limit). The gate
+/// applies only to the *_robust operations — the plain primitives, and
+/// every baseline bench built on them, stay byte-identical.
+enum class AdmissionMode {
+  kOff,      ///< no gate (legacy behavior)
+  kReject,   ///< over-limit ops fail fast with OpStatus::kOverloaded
+  kQueue,    ///< over-limit ops park in a bounded FIFO until capacity frees
+  kDegrade,  ///< over-limit reads shed fan-out to λ−k targets; updates reject
+};
 
 struct RuntimeConfig {
   /// Fault-tolerance degree: write groups must keep more than lambda - k
@@ -94,14 +107,28 @@ struct RuntimeConfig {
   /// removal — may still be in flight, so "fail" would overclaim. Off by
   /// default to preserve the fault-free accounting exactly.
   bool pessimistic_timeouts = false;
+
+  // --- admission control (overload survival) --------------------------------
+
+  /// What to do with a robust op issued while `admission_limit` robust ops
+  /// are already running on this machine. kOff (default) admits everything,
+  /// exactly the legacy behavior.
+  AdmissionMode admission = AdmissionMode::kOff;
+  /// Robust ops this runtime runs concurrently before the gate trips.
+  std::size_t admission_limit = 64;
+  /// kQueue only: parked ops beyond the active limit; when the parking lot
+  /// is also full the op is rejected (queue-then-reject, so the queue is a
+  /// shock absorber, not a second unbounded buffer).
+  std::size_t admission_queue_limit = 256;
 };
 
 /// Outcome of a robust operation.
 enum class OpStatus {
   kOk,        ///< completed; `object` holds the result for read/read&del
   kFail,      ///< servers answered definitively: no matching object
-  kTimeout,   ///< deadline passed with no definitive answer (explicit error)
-  kDegraded,  ///< refused: write group at/below the λ−k boundary (§4.1)
+  kTimeout,     ///< deadline passed with no definitive answer (explicit error)
+  kDegraded,    ///< refused: write group at/below the λ−k boundary (§4.1)
+  kOverloaded,  ///< refused at the client edge by admission control
 };
 
 const char* op_status_name(OpStatus status);
@@ -255,6 +282,12 @@ class PasoRuntime final : public GroupControl {
   std::uint64_t retries() const { return retries_; }
   std::uint64_t degraded_rejections() const { return degraded_rejections_; }
 
+  /// Admission-control counters (see RuntimeConfig::admission).
+  std::uint64_t admission_rejections() const { return admission_rejections_; }
+  std::uint64_t admission_parked() const { return admission_parked_; }
+  std::size_t admission_queue_depth() const { return admission_queue_.size(); }
+  std::size_t admitted_robust() const { return admitted_; }
+
  private:
   struct BlockingOp {
     std::uint64_t id = 0;
@@ -290,11 +323,15 @@ class PasoRuntime final : public GroupControl {
     bool timer_armed = false;
     obs::TraceId trace = 0;
     sim::SimTime issued_at = 0;
+    bool admitted = false;   ///< counts against admission_limit until finish
+    bool parked = false;     ///< waiting in the admission queue (kQueue)
+    std::size_t fanout_cap = 0;  ///< kDegrade: read fan-out cap (0 = none)
   };
 
   void read_class_chain(ProcessId process, SearchCriterion sc,
                         std::vector<ClassId> classes, std::size_t index,
-                        SearchCallback cb, obs::TraceId trace = 0);
+                        SearchCallback cb, obs::TraceId trace = 0,
+                        std::size_t fanout_cap = 0);
   void read_del_class_chain(ProcessId process, SearchCriterion sc,
                             std::vector<ClassId> classes, std::size_t index,
                             std::uint64_t token, SearchCallback cb,
@@ -324,6 +361,10 @@ class PasoRuntime final : public GroupControl {
   void robust_timer_fired(std::uint64_t op_id);
   void robust_finish(std::uint64_t op_id, OpStatus status,
                      SearchResponse object);
+  /// Un-park queued ops while the gate has room (kQueue drain).
+  void admission_drain();
+  /// λ−k read fan-out under AdmissionMode::kDegrade (k = machines down).
+  std::size_t degraded_fanout() const;
   std::uint64_t next_remove_token();
   sim::SimTime resolve_deadline(sim::SimTime deadline) const;
 
@@ -362,6 +403,12 @@ class PasoRuntime final : public GroupControl {
   std::uint64_t timeouts_ = 0;
   std::uint64_t retries_ = 0;
   std::uint64_t degraded_rejections_ = 0;
+  /// Admission gate (RuntimeConfig::admission): robust ops currently
+  /// admitted, the FIFO of parked op ids (kQueue), and totals.
+  std::size_t admitted_ = 0;
+  std::deque<std::uint64_t> admission_queue_;
+  std::uint64_t admission_rejections_ = 0;
+  std::uint64_t admission_parked_ = 0;
 };
 
 }  // namespace paso

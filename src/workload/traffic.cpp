@@ -1,0 +1,168 @@
+#include "workload/traffic.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace paso::workload {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+}  // namespace
+
+double ArrivalModel::rate_at(sim::SimTime t) const {
+  double rate = base_rate;
+  if (diurnal_amplitude > 0 && diurnal_period > 0) {
+    rate *= 1.0 + diurnal_amplitude * std::sin(kTwoPi * t / diurnal_period);
+  }
+  for (const FlashCrowd& crowd : flash_crowds) {
+    if (t >= crowd.start && t < crowd.start + crowd.duration) {
+      rate *= crowd.multiplier;
+    }
+  }
+  return rate;
+}
+
+double ArrivalModel::peak_rate() const {
+  // Conservative majorant: sinusoid at its crest, every flash crowd active
+  // at once. Thinning only needs an upper bound; a loose one costs extra
+  // rejected candidates, never correctness.
+  double peak = base_rate * (1.0 + diurnal_amplitude);
+  for (const FlashCrowd& crowd : flash_crowds) {
+    peak *= std::max(1.0, crowd.multiplier);
+  }
+  return peak;
+}
+
+TrafficEngine::TrafficEngine(Cluster& cluster, TrafficConfig config)
+    : cluster_(cluster),
+      config_(std::move(config)),
+      rng_(config_.seed),
+      latency_(config_.latency_bounds) {
+  PASO_REQUIRE(cluster_.transport_kind() == TransportKind::kSim,
+               "traffic engine needs virtual-time arrivals (sim transport)");
+  PASO_REQUIRE(config_.make_tuple != nullptr && config_.make_criterion != nullptr,
+               "traffic config needs schema adapters (make_tuple/make_criterion)");
+  PASO_REQUIRE(config_.arrivals.base_rate > 0,
+               "arrival base rate must be positive");
+  PASO_REQUIRE(config_.arrivals.diurnal_amplitude >= 0 &&
+                   config_.arrivals.diurnal_amplitude < 1,
+               "diurnal amplitude must be in [0, 1)");
+  for (const ArrivalModel::FlashCrowd& crowd : config_.arrivals.flash_crowds) {
+    PASO_REQUIRE(crowd.multiplier >= 1.0,
+                 "flash crowds amplify (multiplier >= 1)");
+  }
+  PASO_REQUIRE(config_.sessions > 0, "need at least one session");
+  PASO_REQUIRE(config_.key_space > 0, "need a non-empty key space");
+  PASO_REQUIRE(config_.duration > 0, "need a positive horizon");
+}
+
+TrafficReport TrafficEngine::run() {
+  report_ = TrafficReport{};
+  latency_ = obs::Histogram(config_.latency_bounds);
+  rng_.reseed(config_.seed);
+  sim::Simulator& sim = cluster_.simulator();
+  const sim::SimTime horizon = sim.now() + config_.duration;
+  arm_next_arrival(horizon);
+  // Generation and completion interleave on the one event queue; settling
+  // runs the whole open-loop experiment and then drains the stragglers.
+  cluster_.settle();
+  report_.elapsed = config_.duration;
+  // Ops whose completion never fired: their issuing machine crashed with
+  // the op in flight and the crash wiped the client-side state.
+  report_.orphaned =
+      report_.offered - (report_.ok + report_.failed + report_.timed_out +
+                         report_.degraded + report_.overloaded);
+  report_.latency = latency_;
+  return report_;
+}
+
+void TrafficEngine::arm_next_arrival(sim::SimTime horizon) {
+  // Lewis–Shedler thinning: candidate gaps are Exp(peak); a candidate at t
+  // survives with probability lambda(t)/peak. One simulator event per
+  // accepted arrival keeps the queue shallow no matter the horizon.
+  sim::Simulator& sim = cluster_.simulator();
+  const double peak = config_.arrivals.peak_rate();
+  sim::SimTime t = sim.now();
+  while (true) {
+    t += -std::log1p(-rng_.uniform01()) / peak;
+    if (t >= horizon) return;
+    if (rng_.uniform01() * peak <= config_.arrivals.rate_at(t)) {
+      sim.schedule_at(t, [this, horizon] {
+        issue();
+        arm_next_arrival(horizon);
+      });
+      return;
+    }
+  }
+}
+
+void TrafficEngine::issue() {
+  // Attribute the arrival to one of the configured sessions. A session's
+  // home machine is session % n; when the home is down the session lands on
+  // the next live machine (a real client would re-resolve), and only an
+  // all-machines-down arrival is skipped.
+  const std::size_t session =
+      static_cast<std::size_t>(rng_.uniform(0, config_.sessions - 1));
+  const std::size_t n = cluster_.machine_count();
+  MachineId machine{static_cast<std::uint32_t>(session % n)};
+  if (!cluster_.is_up(machine)) {
+    bool found = false;
+    for (std::size_t i = 1; i < n; ++i) {
+      const MachineId next{
+          static_cast<std::uint32_t>((machine.value + i) % n)};
+      if (cluster_.is_up(next)) {
+        machine = next;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      ++report_.skipped;
+      return;
+    }
+  }
+  const ProcessId process{machine,
+                          static_cast<std::uint32_t>(session / n)};
+  const std::uint64_t key =
+      static_cast<std::uint64_t>(rng_.zipf(config_.key_space, config_.zipf_s));
+  const bool is_insert = rng_.chance(config_.insert_fraction);
+  const sim::SimTime issued_at = cluster_.simulator().now();
+  ++report_.offered;
+
+  // Latency is recorded for *completed* ops (ok / definitive fail): a shed
+  // or timed-out op has no service latency, it has an outcome — mixing the
+  // deadline into p99 would hide exactly the tail the bench watches.
+  auto on_report = [this, issued_at](OpReport r) {
+    switch (r.status) {
+      case OpStatus::kOk:
+        ++report_.ok;
+        latency_.observe(cluster_.simulator().now() - issued_at);
+        break;
+      case OpStatus::kFail:
+        ++report_.failed;
+        latency_.observe(cluster_.simulator().now() - issued_at);
+        break;
+      case OpStatus::kTimeout:
+        ++report_.timed_out;
+        break;
+      case OpStatus::kDegraded:
+        ++report_.degraded;
+        break;
+      case OpStatus::kOverloaded:
+        ++report_.overloaded;
+        break;
+    }
+  };
+
+  PasoRuntime& runtime = cluster_.runtime(machine);
+  if (is_insert) {
+    runtime.insert_robust(
+        process, config_.make_tuple(key, config_.payload_bytes),
+        std::move(on_report));
+  } else {
+    runtime.read_robust(process, config_.make_criterion(key),
+                        std::move(on_report));
+  }
+}
+
+}  // namespace paso::workload

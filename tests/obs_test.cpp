@@ -4,6 +4,7 @@
 // reconciliation.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 #include <sstream>
 #include <string>
@@ -68,6 +69,42 @@ TEST(MetricsRegistryTest, HistogramBucketsCountAndSum) {
   EXPECT_EQ(h.count(), 0u);
   EXPECT_DOUBLE_EQ(h.sum(), 0.0);
   EXPECT_EQ(h.buckets()[1], 0u);
+}
+
+TEST(MetricsRegistryTest, QuantileEdgeCases) {
+  obs::Histogram h({10, 20, 40});
+  // Empty histogram: no quantiles exist. NaN, not a fabricated 0 — a zero
+  // would read like a measured latency in a bench report.
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+  EXPECT_TRUE(std::isnan(h.quantile(0.0)));
+  EXPECT_TRUE(std::isnan(h.quantile(1.0)));
+
+  // Single observation: every quantile collapses onto its bucket.
+  h.observe(15);
+  EXPECT_GT(h.quantile(0.0), 0.0);
+  EXPECT_LE(h.quantile(0.5), 20.0);
+  EXPECT_LE(h.quantile(1.0), 20.0);
+
+  // Overflow-only data: the last bound is the best (and only) answer.
+  h.reset();
+  h.observe(1000);
+  h.observe(5000);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 40.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.999), 40.0);
+
+  // Quantiles are monotone in q over a mixed population.
+  h.reset();
+  for (int v : {5, 12, 18, 25, 35, 50, 90}) h.observe(v);
+  double prev = 0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    const double val = h.quantile(q);
+    EXPECT_GE(val, prev) << "q=" << q;
+    prev = val;
+  }
+
+  // Reset returns it to the no-quantiles state.
+  h.reset();
+  EXPECT_TRUE(std::isnan(h.quantile(0.99)));
 }
 
 TEST(MetricsRegistryTest, CrashErasesMachineScopeAndCountsRestarts) {

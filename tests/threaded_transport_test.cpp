@@ -115,6 +115,86 @@ TEST(ThreadedTransport, RingOverflowSpillsWithoutLossOrReorder) {
   transport.shutdown();
 }
 
+TEST(ThreadedTransport, BoundedBridgeShedsCrossingBurstsFifo) {
+  // The overflow lane doubles as this transport's bridge ingress buffer:
+  // with Topology::with_bridge_limit a crossing that finds the lane at
+  // capacity is shed (counted, charged src+bridge, never delivered). The
+  // survivors must still arrive in send order — shedding thins the stream,
+  // it must never reorder it.
+  net::Topology topology({net::Segment{}, net::Segment{}}, {0, 1},
+                         /*bridge_alpha=*/5, /*bridge_beta=*/0.1);
+  topology.with_bridge_limit(4, net::BridgePolicy::kShed);
+  net::ThreadedTransportOptions options;
+  options.ring_capacity = 2;  // 1 usable slot: crossings spill immediately
+  ThreadedTransport transport(CostModel{1.0, 0.0}, 2, topology, options);
+  constexpr int kBurst = 2000;
+  std::vector<int> seen;
+  seen.reserve(kBurst);
+  transport.run_exclusive([&] {
+    for (int i = 0; i < kBurst; ++i) {
+      transport.send(MachineId{0}, MachineId{1}, "burst", 1,
+                     [&seen, i] { seen.push_back(i); });
+    }
+  });
+  ASSERT_TRUE(transport.quiesce());
+  EXPECT_GT(transport.bridge_shed(), 0u) << "cap never bound";
+  EXPECT_EQ(seen.size() + transport.bridge_shed(),
+            static_cast<std::size_t>(kBurst));
+  for (std::size_t i = 1; i < seen.size(); ++i) {
+    ASSERT_GT(seen[i], seen[i - 1]) << "survivor order broke at " << i;
+  }
+  // Shed crossings were still transmitted on the source side: every one of
+  // the kBurst sends was charged and counted as a crossing.
+  EXPECT_EQ(transport.messages(), static_cast<std::uint64_t>(kBurst));
+  EXPECT_EQ(transport.crossings(), static_cast<std::uint64_t>(kBurst));
+  transport.shutdown();
+}
+
+TEST(ThreadedTransport, BridgeCapIgnoresIntraSegmentTraffic) {
+  // The cap governs the bridge, not the local bus: same-segment sends ride
+  // the overflow lane without ever being shed, whatever its depth.
+  net::Topology topology({net::Segment{}, net::Segment{}}, {0, 0, 1},
+                         /*bridge_alpha=*/5, /*bridge_beta=*/0.1);
+  topology.with_bridge_limit(1, net::BridgePolicy::kShed);
+  net::ThreadedTransportOptions options;
+  options.ring_capacity = 2;
+  ThreadedTransport transport(CostModel{1.0, 0.0}, 3, topology, options);
+  std::atomic<int> delivered{0};
+  constexpr int kBurst = 1000;
+  transport.run_exclusive([&] {
+    for (int i = 0; i < kBurst; ++i) {
+      transport.send(MachineId{0}, MachineId{1}, "local", 1,
+                     [&] { delivered.fetch_add(1); });
+    }
+  });
+  ASSERT_TRUE(transport.quiesce());
+  EXPECT_EQ(delivered.load(), kBurst);
+  EXPECT_EQ(transport.bridge_shed(), 0u);
+  transport.shutdown();
+}
+
+TEST(ThreadedTransport, UnboundedBridgeNeverSheds) {
+  // Default topology config: the legacy unbounded lane, bit-for-bit.
+  net::Topology topology({net::Segment{}, net::Segment{}}, {0, 1},
+                         /*bridge_alpha=*/5, /*bridge_beta=*/0.1);
+  net::ThreadedTransportOptions options;
+  options.ring_capacity = 2;
+  ThreadedTransport transport(CostModel{1.0, 0.0}, 2, topology, options);
+  std::atomic<int> delivered{0};
+  constexpr int kBurst = 2000;
+  transport.run_exclusive([&] {
+    for (int i = 0; i < kBurst; ++i) {
+      transport.send(MachineId{0}, MachineId{1}, "burst", 1,
+                     [&] { delivered.fetch_add(1); });
+    }
+  });
+  ASSERT_TRUE(transport.quiesce());
+  EXPECT_EQ(delivered.load(), kBurst);
+  EXPECT_EQ(transport.bridge_shed(), 0u);
+  EXPECT_GT(transport.overflowed(), 0u) << "test never exercised the lane";
+  transport.shutdown();
+}
+
 TEST(ThreadedTransport, ShutdownIsIdempotentAndDropsInflight) {
   ThreadedTransport transport(CostModel{1.0, 0.0}, 2);
   transport.run_exclusive([&] {

@@ -14,7 +14,19 @@
 // baseline deliberately — so CI catches cost drift the moment a PR
 // introduces it.
 //
+// Two gate directions: most axes are costs (more = regression), but
+// `goodput` is useful work (less = regression), so it gates on the
+// *downward* ratio. `shed_rate` and `p99_model` are deterministic
+// sim-model quantities from bench_overload and gate upward like costs.
+//
+// --repeat mode: compare two runs of the *same* benches and fail on ANY
+// difference in any deterministic axis — run-to-run drift means a bench is
+// nondeterministic and its baseline row is untrustworthy (the PR 7
+// chaos_overhead re-pin was exactly this, re-pinned blind). CI runs the
+// gated benches twice and feeds both outputs through this mode.
+//
 // Usage: bench_diff BASELINE FRESH [--tolerance=0.10]
+//        bench_diff --repeat RUN1 RUN2
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,18 +59,22 @@ std::map<RowKey, paso::obs::JsonRow> load_rows(const char* path) {
 
 int main(int argc, char** argv) {
   double tolerance = 0.10;
+  bool repeat_mode = false;
   const char* paths[2] = {nullptr, nullptr};
   int path_count = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--tolerance=", 12) == 0) {
       tolerance = std::atof(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--repeat", 8) == 0) {
+      repeat_mode = true;
     } else if (path_count < 2) {
       paths[path_count++] = argv[i];
     }
   }
   if (path_count != 2) {
     std::fprintf(stderr,
-                 "usage: bench_diff BASELINE FRESH [--tolerance=0.10]\n");
+                 "usage: bench_diff BASELINE FRESH [--tolerance=0.10]\n"
+                 "       bench_diff --repeat RUN1 RUN2\n");
     return 2;
   }
 
@@ -71,13 +87,65 @@ int main(int argc, char** argv) {
   }
 
   // Gated axes, all deterministic model quantities (wall clock is
-  // machine-dependent and never gated).
-  static const char* const kAxes[] = {"msg_cost", "work", "bytes",
-                                      "probes_per_op"};
+  // machine-dependent and never gated). shed_rate and p99_model come from
+  // bench_overload: virtual-time quantities, so exactly reproducible.
+  static const char* const kAxes[] = {"msg_cost",  "work",     "bytes",
+                                      "probes_per_op", "shed_rate",
+                                      "p99_model"};
+  // Axes where *less* is the regression (useful work per time unit).
+  static const char* const kMinAxes[] = {"goodput"};
   // Wall-clock axes: reported for visibility, NEVER gated — they move with
   // the machine, the load and the scheduler, not with the algorithms.
   static const char* const kWallAxes[] = {"ns_per_op", "ops_per_sec", "p50_ns",
                                           "p99_ns"};
+
+  if (repeat_mode) {
+    // Self-consistency: the two inputs are two runs of the same benches.
+    // Any deterministic-axis difference — values, or a row/axis emitted on
+    // one run only — is nondeterminism, and a nondeterministic row must
+    // never be pinned in a baseline.
+    int drift = 0;
+    for (const auto& [key, a] : baseline) {
+      const auto it = fresh.find(key);
+      if (it == fresh.end()) {
+        std::printf("FAIL %s / %s: emitted on run 1 only\n", key.first.c_str(),
+                    key.second.c_str());
+        ++drift;
+        continue;
+      }
+      auto check_axis = [&](const char* axis) {
+        const bool in_a = a.has(axis);
+        const bool in_b = it->second.has(axis);
+        if (in_a != in_b) {
+          std::printf("FAIL %s / %s: %s present on run %d only\n",
+                      key.first.c_str(), key.second.c_str(), axis,
+                      in_a ? 1 : 2);
+          ++drift;
+          return;
+        }
+        if (!in_a) return;
+        const double va = a.num(axis);
+        const double vb = it->second.num(axis);
+        if (va != vb) {
+          std::printf("FAIL %s / %s: %s drifted run-to-run: %.17g != %.17g\n",
+                      key.first.c_str(), key.second.c_str(), axis, va, vb);
+          ++drift;
+        }
+      };
+      for (const char* axis : kAxes) check_axis(axis);
+      for (const char* axis : kMinAxes) check_axis(axis);
+    }
+    for (const auto& [key, row] : fresh) {
+      if (!baseline.contains(key)) {
+        std::printf("FAIL %s / %s: emitted on run 2 only\n", key.first.c_str(),
+                    key.second.c_str());
+        ++drift;
+      }
+    }
+    std::printf("bench_diff --repeat: %zu rows, %d drifting\n",
+                baseline.size(), drift);
+    return drift > 0 ? 1 : 0;
+  }
 
   int regressions = 0;
   int compared = 0;
@@ -108,6 +176,28 @@ int main(int argc, char** argv) {
         ++regressions;
       } else if (ratio < 1.0 - tolerance) {
         std::printf("note: improved %s / %s: %s %.6g -> %.6g (%.1f%%)\n",
+                    key.first.c_str(), key.second.c_str(), axis, base, now,
+                    (ratio - 1.0) * 100);
+        ++improved;
+      }
+    }
+    for (const char* axis : kMinAxes) {
+      if (!base_row.has(axis)) continue;
+      const double base = base_row.num(axis);
+      const double now = it->second.num(axis);
+      if (base <= 0) continue;
+      if (!row_counted) {
+        ++compared;
+        row_counted = true;
+      }
+      const double ratio = now / base;
+      if (ratio < 1.0 - tolerance) {
+        std::printf("FAIL %s / %s: %s %.6g -> %.6g (%.1f%% < -%.0f%%)\n",
+                    key.first.c_str(), key.second.c_str(), axis, base, now,
+                    (ratio - 1.0) * 100, tolerance * 100);
+        ++regressions;
+      } else if (ratio > 1.0 + tolerance) {
+        std::printf("note: improved %s / %s: %s %.6g -> %.6g (+%.1f%%)\n",
                     key.first.c_str(), key.second.c_str(), axis, base, now,
                     (ratio - 1.0) * 100);
         ++improved;
