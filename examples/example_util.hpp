@@ -1,11 +1,13 @@
-// Shared bits for the examples: the --transport=sim|threaded flag.
+// Shared bits for the examples: the --transport=sim|threaded|socket flag.
 //
 // Every example defaults to the deterministic virtual-time bus; passing
 // `--transport=threaded` runs the identical program on the real-clock
 // threaded transport (worker threads, SPSC rings, steady_clock timers, 1
-// virtual cost unit = 1 microsecond). Examples driven purely through the
-// Cluster's synchronous wrappers and settle()/settle_for() work unchanged
-// on both; examples that script the simulator directly stay sim-only.
+// virtual cost unit = 1 microsecond), and `--transport=socket` runs it on
+// the multi-process socket transport (one OS process per machine on a TCP
+// loopback wire). Examples driven purely through the Cluster's synchronous
+// wrappers and settle()/settle_for() work unchanged on all three; examples
+// that script the simulator directly stay sim-only.
 #pragma once
 
 #include <cstdio>
@@ -16,15 +18,18 @@
 
 namespace paso::examples {
 
-/// Parse --transport=sim|threaded from argv (default sim). Any other value
-/// exits with usage; unrelated arguments are left alone for the caller.
+/// Parse --transport=sim|threaded|socket from argv (default sim). Any other
+/// value exits with usage; unrelated arguments are left alone for the
+/// caller.
 inline TransportKind transport_from_args(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--transport=", 12) != 0) continue;
     const char* value = argv[i] + 12;
     if (std::strcmp(value, "sim") == 0) return TransportKind::kSim;
     if (std::strcmp(value, "threaded") == 0) return TransportKind::kThreaded;
-    std::fprintf(stderr, "unknown transport `%s`; use sim or threaded\n",
+    if (std::strcmp(value, "socket") == 0) return TransportKind::kSocket;
+    std::fprintf(stderr,
+                 "unknown transport `%s`; use sim, threaded or socket\n",
                  value);
     std::exit(2);
   }
@@ -32,7 +37,15 @@ inline TransportKind transport_from_args(int argc, char** argv) {
 }
 
 inline const char* transport_name(TransportKind kind) {
-  return kind == TransportKind::kThreaded ? "threaded" : "sim";
+  switch (kind) {
+    case TransportKind::kThreaded:
+      return "threaded";
+    case TransportKind::kSocket:
+      return "socket";
+    case TransportKind::kSim:
+      break;
+  }
+  return "sim";
 }
 
 }  // namespace paso::examples

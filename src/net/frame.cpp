@@ -1,0 +1,145 @@
+#include "net/frame.hpp"
+
+namespace paso::net {
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+std::uint32_t get_u32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+std::uint64_t get_u64(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | b[i];
+  return v;
+}
+
+}  // namespace
+
+bool frame_type_valid(std::uint8_t raw) {
+  return raw >= static_cast<std::uint8_t>(FrameType::kHello) &&
+         raw <= static_cast<std::uint8_t>(FrameType::kBye);
+}
+
+const char* frame_type_name(FrameType type) {
+  switch (type) {
+    case FrameType::kHello:
+      return "hello";
+    case FrameType::kHelloAck:
+      return "hello-ack";
+    case FrameType::kMsg:
+      return "msg";
+    case FrameType::kDeliver:
+      return "deliver";
+    case FrameType::kHeartbeat:
+      return "heartbeat";
+    case FrameType::kShutdown:
+      return "shutdown";
+    case FrameType::kBye:
+      return "bye";
+  }
+  return "?";
+}
+
+const char* frame_error_name(FrameErrorKind kind) {
+  switch (kind) {
+    case FrameErrorKind::kNone:
+      return "none";
+    case FrameErrorKind::kOversizedLength:
+      return "oversized-length-prefix";
+    case FrameErrorKind::kShortLength:
+      return "short-length-prefix";
+    case FrameErrorKind::kBadType:
+      return "bad-frame-type";
+    case FrameErrorKind::kTruncated:
+      return "truncated-frame";
+  }
+  return "?";
+}
+
+void encode_frame(const Frame& frame, std::string& out) {
+  const std::size_t length = kFrameHeaderBytes + frame.payload.size();
+  put_u32(out, static_cast<std::uint32_t>(length));
+  out.push_back(static_cast<char>(frame.type));
+  put_u32(out, frame.machine);
+  put_u64(out, frame.seq);
+  out.append(frame.payload);
+}
+
+void FrameDecoder::feed(const char* data, std::size_t n) {
+  if (error_ != FrameErrorKind::kNone) return;  // poisoned: drop input
+  // Compact the consumed prefix before growing, so a long-lived connection
+  // never accumulates dead bytes.
+  if (offset_ > 0 && offset_ == buffer_.size()) {
+    buffer_.clear();
+    offset_ = 0;
+  } else if (offset_ > (1u << 16)) {
+    buffer_.erase(0, offset_);
+    offset_ = 0;
+  }
+  buffer_.append(data, n);
+}
+
+DecodeResult FrameDecoder::fail(FrameErrorKind kind) {
+  error_ = kind;
+  DecodeResult result;
+  result.error = kind;
+  return result;
+}
+
+DecodeResult FrameDecoder::next() {
+  DecodeResult result;
+  if (error_ != FrameErrorKind::kNone) {
+    result.error = error_;
+    return result;
+  }
+  const std::size_t avail = buffer_.size() - offset_;
+  if (avail < 4) return result;  // need the length prefix
+  const char* base = buffer_.data() + offset_;
+  const std::size_t length = get_u32(base);
+  // Validate the prefix before waiting for the body: a corrupt length must
+  // be rejected now, not after a 4 GiB read "completes" it.
+  if (length > kMaxFrameLength) return fail(FrameErrorKind::kOversizedLength);
+  if (length < kFrameHeaderBytes) return fail(FrameErrorKind::kShortLength);
+  if (avail < 4 + length) return result;  // torn frame: need more bytes
+  const std::uint8_t raw_type = static_cast<std::uint8_t>(base[4]);
+  if (!frame_type_valid(raw_type)) return fail(FrameErrorKind::kBadType);
+  result.has_frame = true;
+  result.frame.type = static_cast<FrameType>(raw_type);
+  result.frame.machine = get_u32(base + 5);
+  result.frame.seq = get_u64(base + 9);
+  result.frame.payload.assign(base + 4 + kFrameHeaderBytes,
+                              length - kFrameHeaderBytes);
+  offset_ += 4 + length;
+  return result;
+}
+
+DecodeResult FrameDecoder::finish() {
+  DecodeResult result;
+  if (error_ != FrameErrorKind::kNone) {
+    result.error = error_;
+    return result;
+  }
+  if (pending_bytes() > 0) return fail(FrameErrorKind::kTruncated);
+  return result;
+}
+
+}  // namespace paso::net

@@ -1,0 +1,110 @@
+// Length-prefixed frame codec for the socket transport's wire protocol.
+//
+// Every byte that crosses the TCP connection between the parent (broker)
+// process and a machine endpoint process is part of exactly one frame:
+//
+//   u32 length | u8 type | u32 machine | u64 seq | payload[length - 13]
+//
+// `length` counts everything after itself (so the minimum valid value is
+// kFrameHeaderBytes = 13) and is capped at kMaxFrameLength — an oversized
+// prefix is a protocol error, not an allocation request. All integers are
+// little-endian fixed-width; the codec never looks at host struct layout.
+//
+// Decoding is incremental (`FrameDecoder::feed` + `next`) so torn writes —
+// a frame arriving one byte at a time, or split anywhere across reads —
+// reassemble correctly, and every malformed input (bad type byte, oversized
+// or undersized length prefix, bytes left over at connection close) is
+// surfaced as a typed FrameError instead of a hang or UB. A decoder that
+// has reported an error is poisoned: the stream position is unknowable, so
+// every later call reports the same error and the connection must die.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace paso::net {
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,      ///< child -> parent: machine id + handshake token in seq
+  kHelloAck = 2,   ///< parent -> child: handshake accepted
+  kMsg = 3,        ///< parent -> child: one bus transmission (payload bytes)
+  kDeliver = 4,    ///< child -> parent: frame `seq` left the ingress buffer
+  kHeartbeat = 5,  ///< child -> parent: liveness beacon
+  kShutdown = 6,   ///< parent -> child: drain and exit cleanly
+  kBye = 7,        ///< child -> parent: drained, exiting
+};
+
+/// True for the types above; anything else on the wire is a protocol error.
+bool frame_type_valid(std::uint8_t raw);
+const char* frame_type_name(FrameType type);
+
+/// Bytes after the u32 length prefix that every frame carries (type +
+/// machine + seq) before its payload.
+inline constexpr std::size_t kFrameHeaderBytes = 1 + 4 + 8;
+
+/// Hard cap on the length prefix: 16 MiB. Far above any declared wire size
+/// in the system; a prefix beyond it is treated as stream corruption.
+inline constexpr std::size_t kMaxFrameLength = (1u << 24) + kFrameHeaderBytes;
+
+struct Frame {
+  FrameType type = FrameType::kHeartbeat;
+  /// kHello: the endpoint's machine id. kMsg/kDeliver: destination machine.
+  std::uint32_t machine = 0;
+  /// kMsg/kDeliver: per-connection transmission sequence (FIFO check).
+  /// kHello: the spawn token proving this connection is the expected child.
+  std::uint64_t seq = 0;
+  /// kMsg: the transmission's declared wire bytes. Other types: empty.
+  std::string payload;
+};
+
+/// Append the encoded frame to `out` (one buffer per connection; callers
+/// batch frames into a single write).
+void encode_frame(const Frame& frame, std::string& out);
+
+enum class FrameErrorKind {
+  kNone = 0,
+  kOversizedLength,  ///< length prefix beyond kMaxFrameLength
+  kShortLength,      ///< length prefix below the fixed header size
+  kBadType,          ///< type byte outside the FrameType enum
+  kTruncated,        ///< stream ended mid-frame (finish() with bytes left)
+};
+
+const char* frame_error_name(FrameErrorKind kind);
+
+struct DecodeResult {
+  /// True when `frame` holds a complete decoded frame.
+  bool has_frame = false;
+  Frame frame;
+  /// kNone while the stream is healthy; anything else poisons the decoder.
+  FrameErrorKind error = FrameErrorKind::kNone;
+};
+
+class FrameDecoder {
+ public:
+  /// Append raw stream bytes. Safe to call with any split, including one
+  /// byte at a time.
+  void feed(const char* data, std::size_t n);
+
+  /// Pull the next complete frame. {has_frame=false, error=kNone} means
+  /// "need more bytes". Once an error is returned the decoder is poisoned
+  /// and every later next()/finish() repeats it.
+  DecodeResult next();
+
+  /// Declare end-of-stream: any buffered partial frame becomes a typed
+  /// kTruncated error (a clean close lands exactly between frames).
+  DecodeResult finish();
+
+  /// Bytes buffered but not yet decoded (0 between frames).
+  std::size_t pending_bytes() const { return buffer_.size() - offset_; }
+  bool poisoned() const { return error_ != FrameErrorKind::kNone; }
+
+ private:
+  DecodeResult fail(FrameErrorKind kind);
+
+  std::string buffer_;
+  std::size_t offset_ = 0;  ///< consumed prefix of buffer_
+  FrameErrorKind error_ = FrameErrorKind::kNone;
+};
+
+}  // namespace paso::net

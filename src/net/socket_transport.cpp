@@ -1,0 +1,835 @@
+#include "net/socket_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <random>
+#include <utility>
+
+#include "common/require.hpp"
+#include "proc/spawn.hpp"
+
+namespace paso::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kInvalidMachine = static_cast<std::size_t>(-1);
+
+std::uint64_t fresh_token() {
+  // Tokens only need to make a stray/stale connection implausible, not be
+  // cryptographic: a respawned machine must not be impersonated by the old
+  // incarnation's half-dead socket.
+  static std::mt19937_64 gen{std::random_device{}() ^
+                             static_cast<std::uint64_t>(::getpid())};
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::uint64_t t = gen();
+  return t == 0 ? 1 : t;
+}
+
+void set_nonblocking_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+int make_listener(std::uint16_t& port_out, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;  // ephemeral: the kernel picks, children get told
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, backlog) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  port_out = ntohs(addr.sin_port);
+  set_nonblocking_nodelay(fd);
+  return fd;
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(CostModel model, std::size_t n,
+                                 Topology topology,
+                                 SocketTransportOptions options)
+    : model_(model),
+      topology_(topology.resolve(n, model)),
+      options_(options),
+      up_(n),
+      crossing_inflight_(topology_.segment_count()) {
+  PASO_REQUIRE(n > 0, "socket transport needs at least one machine");
+  ledger_.ensure_machines(n);
+  for (auto& up : up_) up.store(true, std::memory_order_relaxed);
+  for (auto& c : crossing_inflight_) c.store(0, std::memory_order_relaxed);
+
+  listen_fd_ = make_listener(port_, static_cast<int>(n) + 8);
+  PASO_REQUIRE(listen_fd_ >= 0, "socket transport: cannot listen");
+  PASO_REQUIRE(::pipe(wake_pipe_) == 0, "socket transport: cannot make pipe");
+  set_nonblocking_nodelay(wake_pipe_[0]);
+  set_nonblocking_nodelay(wake_pipe_[1]);
+
+  for (std::size_t m = 0; m < n; ++m) {
+    endpoints_.push_back(std::make_unique<Endpoint>());
+    endpoints_.back()->token.store(fresh_token(), std::memory_order_relaxed);
+    endpoints_.back()->dead.store(true, std::memory_order_relaxed);
+  }
+
+  supervisor_ = std::make_unique<proc::Supervisor>(
+      n, options_.heartbeat_timeout_us);
+  supervisor_->set_death_hook(
+      [this](std::uint32_t machine, const std::string& reason) {
+        handle_peer_death(machine, reason);
+      });
+
+  // Fork every machine process BEFORE this process grows any threads:
+  // fork-only children (no exec) continue from fork() into the endpoint
+  // loop, which is only sound from an effectively single-threaded parent.
+  for (std::uint32_t m = 0; m < n; ++m) {
+    proc::SpawnSpec spec;
+    spec.endpoint.port = port_;
+    spec.endpoint.machine = m;
+    spec.endpoint.token = endpoints_[m]->token.load(std::memory_order_relaxed);
+    spec.endpoint.ingress_capacity = options_.ingress_capacity;
+    spec.endpoint.heartbeat_interval_us = options_.heartbeat_interval_us;
+    spec.exec_path = options_.machined_path;
+    const int pid = proc::spawn_machine_process(spec);
+    PASO_REQUIRE(pid > 0, "socket transport: spawn failed");
+    supervisor_->adopt(m, pid);
+  }
+
+  PASO_REQUIRE(await_handshakes(n, options_.handshake_timeout_us),
+               "socket transport: machine processes failed to hand-shake");
+
+  // Only now (children forked, endpoints attached) does the broker grow
+  // threads: the timer loop, the supervisor monitor, IO and dispatch.
+  executor_ = std::make_unique<exec::ThreadedExecutor>(
+      [this](exec::Executor::Action&& action) {
+        std::lock_guard<std::mutex> lock(stack_mu_);
+        if (!stopping_.load(std::memory_order_relaxed)) action();
+      });
+  supervisor_->start();
+  io_thread_ = std::thread([this] { io_loop(); });
+  dispatch_thread_ = std::thread([this] { dispatch_loop(); });
+}
+
+SocketTransport::~SocketTransport() { shutdown(); }
+
+void SocketTransport::set_peer_death_hook(PeerDeathHook hook) {
+  death_hook_ = std::move(hook);
+}
+
+void SocketTransport::set_up(MachineId machine, bool up) {
+  PASO_REQUIRE(machine.value < up_.size(), "unknown machine");
+  up_[machine.value].store(up, std::memory_order_release);
+}
+
+bool SocketTransport::is_up(MachineId machine) const {
+  PASO_REQUIRE(machine.value < up_.size(), "unknown machine");
+  return up_[machine.value].load(std::memory_order_acquire);
+}
+
+void SocketTransport::set_obs(obs::Obs o) { obs_ = o; }
+
+obs::Obs SocketTransport::observability() const { return obs_; }
+
+void SocketTransport::run_exclusive(const std::function<void()>& fn) {
+  std::lock_guard<std::mutex> lock(stack_mu_);
+  fn();
+}
+
+int SocketTransport::child_pid(MachineId m) const {
+  return supervisor_->pid_of(static_cast<std::uint32_t>(m.value));
+}
+
+bool SocketTransport::endpoint_alive(MachineId m) const {
+  PASO_REQUIRE(m.value < endpoints_.size(), "unknown machine");
+  return !endpoints_[m.value]->dead.load(std::memory_order_acquire);
+}
+
+void SocketTransport::send(MachineId from, MachineId to, const std::string& tag,
+                           std::size_t bytes, Delivery deliver) {
+  PASO_REQUIRE(from.value < up_.size() && to.value < up_.size(),
+               "unknown machine");
+  PASO_REQUIRE(deliver != nullptr, "null delivery");
+  if (stopping_.load(std::memory_order_relaxed)) return;
+  if (!is_up(from)) return;  // a crashed machine sends nothing
+
+  if (from == to) {
+    // Local hand-off: no wire, no cost — the socket analogue of the
+    // simulator's schedule_after(0); runs under the stack lock on the
+    // timer thread.
+    executor_->schedule_after(0, std::move(deliver));
+    return;
+  }
+
+  const std::uint32_t sf = topology_.segment_of(from);
+  const std::uint32_t st = topology_.segment_of(to);
+  const CostModel& src = topology_.segment_model(sf);
+
+  // Model-cost accounting, identical to the simulated bus and the threaded
+  // transport — that identity is what lets trace_diff reconcile a socket
+  // run's CostLedger against a simulated replay exactly. The caller holds
+  // the stack lock (all sends originate from protocol code), so the ledger
+  // and obs handles are safe to touch.
+  Cost cost = 0;
+  Cost alpha_part = 0;
+  std::size_t hops = 0;
+  bool shed = false;
+  if (sf == st) {
+    cost = src.message(bytes);
+    alpha_part = src.alpha;
+    enqueue_msg(to, /*crossing=*/false, st, bytes, std::move(deliver));
+  } else {
+    const CostModel& dst = topology_.segment_model(st);
+    hops = sf < st ? st - sf : sf - st;
+    const Cost bridge = static_cast<Cost>(hops) * topology_.bridge_cost(bytes);
+    crossings_.fetch_add(1, std::memory_order_relaxed);
+    // Bounded bridge ingress: the broker mirrors the destination process's
+    // ingress occupancy as an in-flight crossing credit per segment (frames
+    // sent, ack not yet back). At the cap the crossing is shed at
+    // transmission begin — backpressure degrades to shed on a real-clock
+    // transport for the same reason as the threaded one: the sender holds
+    // the stack lock that delivery needs, so waiting for room would
+    // deadlock the fabric.
+    if (topology_.bounded_bridges() &&
+        crossing_inflight_[st].load(std::memory_order_acquire) >=
+            topology_.bridge_capacity()) {
+      shed = true;
+    }
+    if (shed) {
+      // The crossing died at the full ingress: charge the source bus and
+      // the bridge hops that actually carried it, never the destination.
+      cost = src.message(bytes) + bridge;
+      alpha_part =
+          src.alpha + static_cast<Cost>(hops) * topology_.bridge_alpha();
+      bridge_shed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      cost = src.message(bytes) + bridge + dst.message(bytes);
+      alpha_part = src.alpha + dst.alpha +
+                   static_cast<Cost>(hops) * topology_.bridge_alpha();
+      crossing_inflight_[st].fetch_add(1, std::memory_order_acq_rel);
+      enqueue_msg(to, /*crossing=*/true, st, bytes, std::move(deliver));
+    }
+  }
+  ledger_.charge_message(tag, bytes, cost);
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->counter("net.messages").inc();
+    obs_.metrics->counter("net.bytes").inc(bytes);
+    obs_.metrics->gauge("net.cost.alpha").add(alpha_part);
+    obs_.metrics->gauge("net.cost.beta").add(cost - alpha_part);
+    if (segment_count() > 1) {
+      obs_.metrics->counter("net.segment." + std::to_string(sf) + ".messages")
+          .inc();
+      if (hops > 0) obs_.metrics->counter("net.crossings").inc();
+      if (shed) obs_.metrics->counter("net.bridge.shed").inc();
+    }
+  }
+  if (obs_.tracer != nullptr) {
+    obs_.tracer->record_message(tag, bytes, alpha_part, cost - alpha_part,
+                                executor_->now(), sf, st,
+                                static_cast<std::uint32_t>(hops));
+  }
+}
+
+void SocketTransport::enqueue_msg(MachineId to, bool crossing,
+                                  std::uint32_t dst_segment, std::size_t bytes,
+                                  Delivery deliver) {
+  Endpoint& ep = *endpoints_[to.value];
+  if (ep.dead.load(std::memory_order_acquire)) {
+    // The destination's process is gone but the protocol crash hasn't
+    // propagated yet (or the machine stayed down): the transmission is
+    // charged, the delivery silently dropped — the crash-fault model's
+    // "destination down => drop", surfaced at the wire instead of at
+    // execution time. Undo the crossing credit: nothing is in flight.
+    if (crossing) {
+      crossing_inflight_[dst_segment].fetch_sub(1, std::memory_order_acq_rel);
+    }
+    return;  // `deliver` destroyed here, under the caller's stack lock
+  }
+
+  Frame frame;
+  frame.type = FrameType::kMsg;
+  frame.machine = static_cast<std::uint32_t>(to.value);
+  frame.seq = ep.next_seq++;
+  frame.payload.assign(bytes, '\0');  // the declared wire size, really sent
+
+  inflight_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> lock(io_mu_);
+    ep.pending.push_back(
+        {frame.seq, crossing, dst_segment, std::move(deliver)});
+    encode_frame(frame, ep.outbuf);
+  }
+  wake_io();
+}
+
+void SocketTransport::wake_io() {
+  const char b = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &b, 1);
+}
+
+std::size_t SocketTransport::attach_connection(int fd, const Frame& hello) {
+  const std::size_t m = hello.machine;
+  if (m >= endpoints_.size() ||
+      hello.seq != endpoints_[m]->token.load(std::memory_order_acquire) ||
+      !endpoints_[m]->dead.load(std::memory_order_acquire)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    ::close(fd);
+    return kInvalidMachine;
+  }
+  Endpoint& ep = *endpoints_[m];
+  set_nonblocking_nodelay(fd);
+  Frame ack;
+  ack.type = FrameType::kHelloAck;
+  ack.machine = static_cast<std::uint32_t>(m);
+  {
+    std::lock_guard<std::mutex> lock(io_mu_);
+    ep.fd = fd;
+    ep.decoder = FrameDecoder{};
+    ep.outbuf.clear();
+    ep.out_off = 0;
+    ep.bye_seen = false;
+    encode_frame(ack, ep.outbuf);
+  }
+  supervisor_->beat(static_cast<std::uint32_t>(m));
+  ep.dead.store(false, std::memory_order_release);
+  return m;
+}
+
+bool SocketTransport::await_handshakes(std::size_t expected, long timeout_us) {
+  // Synchronous accept/Hello loop: used by the constructor (no IO thread
+  // yet) to gather every machine process. Respawn handshakes ride the IO
+  // thread's identical accept path instead.
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::microseconds(timeout_us);
+  std::size_t attached = 0;
+  std::vector<PendingConn> conns;
+  while (attached < expected) {
+    if (Clock::now() >= deadline) {
+      for (PendingConn& c : conns) ::close(c.fd);
+      return false;
+    }
+    std::vector<pollfd> fds;
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const PendingConn& c : conns) fds.push_back({c.fd, POLLIN, 0});
+    ::poll(fds.data(), fds.size(), 50);
+    if (fds[0].revents & POLLIN) {
+      for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        conns.push_back({fd, FrameDecoder{}, deadline});
+      }
+    }
+    for (std::size_t i = 0; i < conns.size();) {
+      if (!(fds[i + 1].revents & (POLLIN | POLLHUP | POLLERR))) {
+        ++i;
+        continue;
+      }
+      char buf[256];
+      const ssize_t n = ::recv(conns[i].fd, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        if (n < 0 && (errno == EINTR || errno == EAGAIN)) {
+          ++i;
+          continue;
+        }
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        ::close(conns[i].fd);
+        conns.erase(conns.begin() + static_cast<long>(i));
+        continue;
+      }
+      conns[i].decoder.feed(buf, static_cast<std::size_t>(n));
+      const DecodeResult r = conns[i].decoder.next();
+      if (r.error != FrameErrorKind::kNone ||
+          (r.has_frame && r.frame.type != FrameType::kHello)) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        ::close(conns[i].fd);
+        conns.erase(conns.begin() + static_cast<long>(i));
+        continue;
+      }
+      if (!r.has_frame) {
+        ++i;
+        continue;
+      }
+      if (attach_connection(conns[i].fd, r.frame) != kInvalidMachine) {
+        ++attached;
+      }
+      conns.erase(conns.begin() + static_cast<long>(i));
+    }
+  }
+  for (PendingConn& c : conns) ::close(c.fd);
+  return true;
+}
+
+void SocketTransport::handle_peer_death(std::uint32_t machine,
+                                        const std::string& reason) {
+  Endpoint& ep = *endpoints_[machine];
+  if (ep.dead.exchange(true, std::memory_order_acq_rel)) {
+    return;  // already declared for this incarnation
+  }
+  // Strip the endpoint's transport state. Its fd is closed by the IO
+  // thread (the only thread that may close fds it polls); in-flight
+  // deliveries die with the process.
+  std::deque<Endpoint::Pending> dropped;
+  {
+    std::lock_guard<std::mutex> lock(io_mu_);
+    dropped.swap(ep.pending);
+    ep.outbuf.clear();
+    ep.out_off = 0;
+  }
+  if (!dropped.empty()) {
+    inflight_.fetch_sub(dropped.size(), std::memory_order_acq_rel);
+    for (const Endpoint::Pending& p : dropped) {
+      if (p.crossing) {
+        crossing_inflight_[p.dst_segment].fetch_sub(
+            1, std::memory_order_acq_rel);
+      }
+    }
+    // Dropped deliveries own protocol objects; destroy them under the
+    // stack lock like every other protocol-state mutation.
+    std::lock_guard<std::mutex> lock(stack_mu_);
+    dropped.clear();
+  }
+  wake_io();
+  if (!stopping_.load(std::memory_order_acquire) && death_hook_) {
+    death_hook_(MachineId{machine}, reason);
+  }
+}
+
+void SocketTransport::handle_frames(std::uint32_t machine) {
+  Endpoint& ep = *endpoints_[machine];
+  for (;;) {
+    const DecodeResult r = ep.decoder.next();
+    if (r.error != FrameErrorKind::kNone) {
+      supervisor_->connection_lost(
+          machine, std::string("protocol-error: ") + frame_error_name(r.error));
+      return;
+    }
+    if (!r.has_frame) return;
+    switch (r.frame.type) {
+      case FrameType::kDeliver: {
+        Delivery deliver;
+        bool fifo_ok = false;
+        bool crossing = false;
+        std::uint32_t dst_segment = 0;
+        {
+          std::lock_guard<std::mutex> lock(io_mu_);
+          if (!ep.pending.empty() && ep.pending.front().seq == r.frame.seq) {
+            fifo_ok = true;
+            crossing = ep.pending.front().crossing;
+            dst_segment = ep.pending.front().dst_segment;
+            deliver = std::move(ep.pending.front().deliver);
+            ep.pending.pop_front();
+          }
+        }
+        if (!fifo_ok) {
+          // An ack for a frame we never sent (or out of order): the
+          // connection's FIFO invariant is broken, the stream can't be
+          // trusted.
+          supervisor_->connection_lost(machine, "protocol-error: bad ack seq");
+          return;
+        }
+        acks_.fetch_add(1, std::memory_order_relaxed);
+        if (crossing) {
+          crossing_inflight_[dst_segment].fetch_sub(1,
+                                                    std::memory_order_acq_rel);
+        }
+        supervisor_->beat(machine);
+        {
+          std::lock_guard<std::mutex> lock(dispatch_mu_);
+          dispatch_queue_.emplace_back(machine, std::move(deliver));
+        }
+        dispatch_cv_.notify_one();
+        break;
+      }
+      case FrameType::kHeartbeat:
+        heartbeats_.fetch_add(1, std::memory_order_relaxed);
+        supervisor_->beat(machine);
+        break;
+      case FrameType::kBye: {
+        std::lock_guard<std::mutex> lock(io_mu_);
+        ep.bye_seen = true;
+        break;
+      }
+      default:
+        break;  // stray Hello etc.: harmless
+    }
+  }
+}
+
+void SocketTransport::io_loop() {
+  std::vector<pollfd> fds;
+  std::vector<long> owners;  // >=0: machine; -1: wake; -2: listener; -3-k: conn k
+  while (!io_stop_.load(std::memory_order_acquire)) {
+    // Sweep: close fds of endpoints declared dead (only this thread closes
+    // polled fds), expire stale pending connections.
+    {
+      std::lock_guard<std::mutex> lock(io_mu_);
+      for (auto& ep_ptr : endpoints_) {
+        Endpoint& ep = *ep_ptr;
+        if (ep.dead.load(std::memory_order_acquire) && ep.fd >= 0) {
+          ::close(ep.fd);
+          ep.fd = -1;
+        }
+      }
+      const Clock::time_point now = Clock::now();
+      for (std::size_t i = 0; i < pending_conns_.size();) {
+        if (now >= pending_conns_[i].deadline) {
+          rejected_.fetch_add(1, std::memory_order_relaxed);
+          ::close(pending_conns_[i].fd);
+          pending_conns_.erase(pending_conns_.begin() + static_cast<long>(i));
+        } else {
+          ++i;
+        }
+      }
+    }
+
+    fds.clear();
+    owners.clear();
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    owners.push_back(-1);
+    fds.push_back({listen_fd_, POLLIN, 0});
+    owners.push_back(-2);
+    {
+      std::lock_guard<std::mutex> lock(io_mu_);
+      for (std::size_t m = 0; m < endpoints_.size(); ++m) {
+        Endpoint& ep = *endpoints_[m];
+        if (ep.fd < 0 || ep.dead.load(std::memory_order_acquire)) continue;
+        short events = POLLIN;
+        if (ep.out_off < ep.outbuf.size()) events |= POLLOUT;
+        fds.push_back({ep.fd, events, 0});
+        owners.push_back(static_cast<long>(m));
+      }
+      for (std::size_t i = 0; i < pending_conns_.size(); ++i) {
+        fds.push_back({pending_conns_[i].fd, POLLIN, 0});
+        owners.push_back(-3 - static_cast<long>(i));
+      }
+    }
+
+    const int ready = ::poll(fds.data(), fds.size(), 20);
+    if (ready < 0 && errno != EINTR) break;
+
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      const long owner = owners[i];
+
+      if (owner == -1) {
+        char buf[256];
+        while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
+
+      if (owner == -2) {
+        // A connection here is either a respawned machine's Hello or
+        // garbage (tests point nc at us); it gets one second to present a
+        // valid Hello, then dies counted.
+        for (;;) {
+          const int fd = ::accept(listen_fd_, nullptr, nullptr);
+          if (fd < 0) break;
+          set_nonblocking_nodelay(fd);
+          std::lock_guard<std::mutex> lock(io_mu_);
+          pending_conns_.push_back(
+              {fd, FrameDecoder{}, Clock::now() + std::chrono::seconds(1)});
+        }
+        continue;
+      }
+
+      if (owner <= -3) {
+        // Identify the pending connection by fd, not by index: an earlier
+        // event in this same poll round may have erased a neighbor and
+        // shifted the list.
+        const int fd = fds[i].fd;
+        char buf[256];
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        bool drop = false;
+        Frame hello;
+        bool have_hello = false;
+        if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                       errno != EINTR)) {
+          drop = true;
+        } else if (n > 0) {
+          std::lock_guard<std::mutex> lock(io_mu_);
+          for (PendingConn& c : pending_conns_) {
+            if (c.fd != fd) continue;
+            c.decoder.feed(buf, static_cast<std::size_t>(n));
+            const DecodeResult r = c.decoder.next();
+            if (r.error != FrameErrorKind::kNone ||
+                (r.has_frame && r.frame.type != FrameType::kHello)) {
+              drop = true;
+            } else if (r.has_frame) {
+              hello = r.frame;
+              have_hello = true;
+            }
+            break;
+          }
+        }
+        if (drop || have_hello) {
+          {
+            std::lock_guard<std::mutex> lock(io_mu_);
+            for (std::size_t ci = 0; ci < pending_conns_.size(); ++ci) {
+              if (pending_conns_[ci].fd == fd) {
+                pending_conns_.erase(pending_conns_.begin() +
+                                     static_cast<long>(ci));
+                break;
+              }
+            }
+          }
+          if (drop) {
+            rejected_.fetch_add(1, std::memory_order_relaxed);
+            ::close(fd);
+          } else {
+            attach_connection(fd, hello);  // rejects (and counts) bad Hellos
+          }
+        }
+        continue;
+      }
+
+      // A machine endpoint.
+      const std::uint32_t m = static_cast<std::uint32_t>(owner);
+      Endpoint& ep = *endpoints_[m];
+      if (ep.dead.load(std::memory_order_acquire)) continue;
+
+      if (fds[i].revents & POLLOUT) {
+        std::lock_guard<std::mutex> lock(io_mu_);
+        while (ep.out_off < ep.outbuf.size()) {
+          const ssize_t n =
+              ::send(ep.fd, ep.outbuf.data() + ep.out_off,
+                     ep.outbuf.size() - ep.out_off, MSG_NOSIGNAL);
+          if (n > 0) {
+            ep.out_off += static_cast<std::size_t>(n);
+            continue;
+          }
+          if (n < 0 && errno == EINTR) continue;
+          break;  // EAGAIN (kernel buffer full) or a dying socket — reads
+                  // will deliver the verdict
+        }
+        if (ep.out_off > 0 && ep.out_off == ep.outbuf.size()) {
+          ep.outbuf.clear();
+          ep.out_off = 0;
+        }
+      }
+
+      if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+        bool eof = false;
+        char buf[65536];
+        for (;;) {
+          const ssize_t n = ::recv(ep.fd, buf, sizeof(buf), 0);
+          if (n > 0) {
+            ep.decoder.feed(buf, static_cast<std::size_t>(n));
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          if (n < 0 && errno == EINTR) continue;
+          eof = true;  // 0 = peer closed; other errors: connection is gone
+          break;
+        }
+        handle_frames(m);  // may declare the peer dead on a protocol error
+        if (eof && !ep.dead.load(std::memory_order_acquire)) {
+          // A planned EOF (shutdown drain) also runs the death funnel —
+          // the supervisor's expect-exit marks make it a silent no-op.
+          supervisor_->connection_lost(m, "connection-lost");
+        }
+      }
+    }
+  }
+}
+
+void SocketTransport::dispatch_loop() {
+  std::deque<std::pair<std::uint32_t, Delivery>> batch;
+  std::size_t executed = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(dispatch_mu_);
+      dispatch_cv_.wait_for(lock, std::chrono::milliseconds(50), [this] {
+        return !dispatch_queue_.empty() ||
+               stopping_.load(std::memory_order_acquire);
+      });
+      if (dispatch_queue_.empty()) {
+        if (stopping_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      dispatcher_busy_.store(true, std::memory_order_release);
+      batch.swap(dispatch_queue_);
+    }
+    {
+      // Execute phase: protocol code runs under the stack lock, in ack
+      // order. The machine's up check happens at execution time, mirroring
+      // the simulated bus's delivery-time crash drop.
+      std::lock_guard<std::mutex> lock(stack_mu_);
+      for (auto& [machine, deliver] : batch) {
+        if (!stopping_.load(std::memory_order_relaxed) &&
+            up_[machine].load(std::memory_order_acquire)) {
+          deliver();
+        }
+      }
+      executed = batch.size();
+      batch.clear();  // destroy closures under the stack lock
+    }
+    // Deliveries leave "in flight" only after their effects are visible
+    // under the stack lock; busy drops last so quiesce() cannot observe
+    // inflight==0 with the dispatcher still mid-batch.
+    inflight_.fetch_sub(executed, std::memory_order_acq_rel);
+    dispatcher_busy_.store(false, std::memory_order_release);
+  }
+}
+
+bool SocketTransport::respawn(MachineId machine) {
+  PASO_REQUIRE(machine.value < endpoints_.size(), "unknown machine");
+  const std::uint32_t m = static_cast<std::uint32_t>(machine.value);
+  Endpoint& ep = *endpoints_[m];
+  PASO_REQUIRE(ep.dead.load(std::memory_order_acquire),
+               "respawn of a live endpoint");
+  const std::uint64_t token = fresh_token();
+  ep.token.store(token, std::memory_order_release);
+
+  proc::SpawnSpec spec;
+  spec.endpoint.port = port_;
+  spec.endpoint.machine = m;
+  spec.endpoint.token = token;
+  spec.endpoint.ingress_capacity = options_.ingress_capacity;
+  spec.endpoint.heartbeat_interval_us = options_.heartbeat_interval_us;
+  spec.exec_path = options_.machined_path;
+  const int pid = proc::spawn_machine_process(spec);
+  if (pid <= 0) return false;
+  supervisor_->adopt(m, pid);
+
+  // The IO thread's accept path completes the handshake; wait it out.
+  const Clock::time_point deadline =
+      Clock::now() +
+      std::chrono::microseconds(options_.handshake_timeout_us);
+  while (ep.dead.load(std::memory_order_acquire)) {
+    if (Clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return true;
+}
+
+bool SocketTransport::quiesce(const std::function<bool()>& done,
+                              exec::Time timeout_us) {
+  const exec::Time deadline = executor_->now() + timeout_us;
+  int stable = 0;
+  while (stable < 3) {
+    // Quiet = nothing moving anywhere: no delivery on the wire or in a
+    // child's ingress or awaiting dispatch, no dispatcher mid-batch, no
+    // executor action running, and an *empty* timer queue — same contract
+    // (and same `== kNever` subtlety) as ThreadedTransport::quiesce.
+    bool quiet = inflight_deliveries() == 0 &&
+                 !dispatcher_busy_.load(std::memory_order_acquire) &&
+                 !executor_->running_action() &&
+                 executor_->next_due() == exec::kNever;
+    if (quiet && done) {
+      run_exclusive([&] { quiet = done(); });
+    }
+    stable = quiet ? stable + 1 : 0;
+    if (executor_->now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  return true;
+}
+
+void SocketTransport::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+
+  // Stop the timer loop first (joins its thread: no more timer actions).
+  stopping_.store(true, std::memory_order_release);
+  if (executor_) executor_->stop();
+
+  // Every machine process is now expected to exit: tell them to drain, and
+  // let the supervisor treat the resulting EOFs/exits as planned.
+  supervisor_->expect_all_exits();
+  {
+    std::lock_guard<std::mutex> lock(io_mu_);
+    for (std::size_t m = 0; m < endpoints_.size(); ++m) {
+      Endpoint& ep = *endpoints_[m];
+      if (ep.fd < 0 || ep.dead.load(std::memory_order_acquire)) continue;
+      Frame bye;
+      bye.type = FrameType::kShutdown;
+      bye.machine = static_cast<std::uint32_t>(m);
+      encode_frame(bye, ep.outbuf);
+    }
+  }
+  wake_io();
+
+  // Bounded drain: wait for each child's kBye (or its EOF) so exits are
+  // clean in the common case; stragglers are reaped by supervisor_->stop().
+  const Clock::time_point drain_deadline =
+      Clock::now() + std::chrono::seconds(2);
+  for (;;) {
+    bool all_done = true;
+    {
+      std::lock_guard<std::mutex> lock(io_mu_);
+      for (const auto& ep : endpoints_) {
+        if (!ep->dead.load(std::memory_order_acquire) && !ep->bye_seen) {
+          all_done = false;
+          break;
+        }
+      }
+    }
+    if (all_done || Clock::now() >= drain_deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  io_stop_.store(true, std::memory_order_release);
+  wake_io();
+  dispatch_cv_.notify_all();
+  if (io_thread_.joinable()) io_thread_.join();
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+
+  supervisor_->stop();  // reaps every child (SIGKILL escalation for wedges)
+
+  // Pending deliveries are dropped without running — the protocol objects
+  // they point into may be about to die. Destroy them under the stack lock
+  // for symmetry with the execution path.
+  {
+    std::lock_guard<std::mutex> io_lock(io_mu_);
+    std::lock_guard<std::mutex> stack_lock(stack_mu_);
+    for (auto& ep : endpoints_) {
+      ep->pending.clear();
+      ep->outbuf.clear();
+      if (ep->fd >= 0) {
+        ::close(ep->fd);
+        ep->fd = -1;
+      }
+    }
+    std::lock_guard<std::mutex> dispatch_lock(dispatch_mu_);
+    dispatch_queue_.clear();
+  }
+  for (PendingConn& c : pending_conns_) ::close(c.fd);
+  pending_conns_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+}
+
+}  // namespace paso::net

@@ -1,0 +1,272 @@
+// Socket Transport: machines are real OS processes on a real TCP wire.
+//
+// The third net::Transport implementation, and the phase-2 half of the
+// real-clock runtime: where ThreadedTransport gave each machine a worker
+// thread inside one address space, SocketTransport gives each machine its
+// own *process* (proc::spawn_machine_process), connected to this — the
+// broker — process over a length-prefixed framed codec (net/frame.hpp) on
+// TCP localhost. A transmission physically leaves the broker as a kMsg
+// frame whose payload is the declared wire size, enters the destination
+// machine's process, sits in that process's *bounded* ingress buffer, and
+// comes back as a kDeliver ack; only then does the delivery closure run.
+// Every message therefore round-trips the real wire through the real
+// destination process before the protocol observes it.
+//
+// Bus semantics and cost accounting:
+//   * The broker is the bus arbiter: every send happens under the protocol
+//     stack lock, so frames enter the wire one at a time, in a single
+//     global order, exactly like transmissions on the paper's serializing
+//     bus — the "token" is the broker itself.
+//   * Model costs are charged at transmission begin with the identical
+//     alpha/beta/bridge formula the simulated bus and the threaded
+//     transport use, so a socket run's CostLedger reconciles exactly
+//     against a simulated replay of the same trace (tools/trace_diff
+//     --transport=all asserts this three ways).
+//   * Bounded bridges (Topology::with_bridge_limit): the destination
+//     process's ingress is this transport's bridge buffer. The broker
+//     mirrors its occupancy as a per-destination-segment in-flight credit
+//     (frames sent, ack not yet back); a crossing that finds the credit
+//     exhausted is shed at transmission begin — charged source + bridge
+//     hops only, like the threaded overflow lane (backpressure degrades to
+//     shed for the same reason: the sender holds the stack lock). Within
+//     the unbounded default, real backpressure still exists: a full child
+//     ingress stops reading and TCP flow control stalls the broker's
+//     writes, never the protocol.
+//
+// Failure plane: each machine process beacons heartbeats; a proc::Supervisor
+// turns heartbeat silence, process exit (waitpid), or wire EOF into a
+// single peer-death verdict, and the installed peer-death hook maps it onto
+// the existing crash/view-change path (Cluster does this wiring). kill -9
+// of a machine process is detected within the heartbeat timeout — usually
+// faster, via EOF — and surfaces as a protocol crash, not a wedge.
+//
+// Threads in the broker: one IO thread (poll over all endpoint sockets +
+// the listener + a wake pipe), one dispatcher thread executing delivered
+// closures under the stack lock, and the ThreadedExecutor's timer thread.
+// All protocol execution is serialized under the one stack lock, exactly
+// like the threaded transport; 1 cost unit = 1 microsecond.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/threaded_executor.hpp"
+#include "net/frame.hpp"
+#include "net/transport.hpp"
+#include "proc/supervisor.hpp"
+
+namespace paso::net {
+
+struct SocketTransportOptions {
+  /// Bound on each machine process's ingress buffer (frames read but not
+  /// yet acked); a full ingress stops the child's reads (TCP backpressure).
+  std::size_t ingress_capacity = 1024;
+  /// Child heartbeat beacon interval, microseconds.
+  long heartbeat_interval_us = 25'000;
+  /// Supervisor verdict: silence longer than this is peer death.
+  long heartbeat_timeout_us = 250'000;
+  /// Deadline for all machine processes to connect and complete the
+  /// Hello/HelloAck handshake at construction (and per respawn).
+  long handshake_timeout_us = 10'000'000;
+  /// Nonempty: fork+exec this `paso_machined` binary per machine instead of
+  /// fork-only (see proc/spawn.hpp for the trade-off).
+  std::string machined_path;
+};
+
+class SocketTransport final : public Transport {
+ public:
+  SocketTransport(CostModel model, std::size_t n, Topology topology = {},
+                  SocketTransportOptions options = {});
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  // --- Transport -------------------------------------------------------------
+  void send(MachineId from, MachineId to, const std::string& tag,
+            std::size_t bytes, Delivery deliver) override;
+  void set_up(MachineId machine, bool up) override;
+  bool is_up(MachineId machine) const override;
+  std::size_t machine_count() const override { return up_.size(); }
+  const CostModel& cost_model() const override { return model_; }
+  const Topology& topology() const override { return topology_; }
+  CostLedger& ledger() override { return ledger_; }
+  const CostLedger& ledger() const override { return ledger_; }
+  exec::Executor& executor() override { return *executor_; }
+  const exec::Executor& executor() const override { return *executor_; }
+  void set_obs(obs::Obs o) override;
+  obs::Obs observability() const override;
+  void run_exclusive(const std::function<void()>& fn) override;
+  void shutdown() override;
+
+  // --- process plane ----------------------------------------------------------
+  /// Fired (off every internal lock) when a machine process dies — by
+  /// kill -9, crash, heartbeat silence, or a malformed stream. The cluster
+  /// maps this onto the protocol crash path. Install before traffic.
+  using PeerDeathHook =
+      std::function<void(MachineId machine, const std::string& reason)>;
+  void set_peer_death_hook(PeerDeathHook hook);
+
+  proc::Supervisor& supervisor() { return *supervisor_; }
+  /// The machine process's pid (kill targets for the fault harness).
+  int child_pid(MachineId m) const;
+  /// True while the machine's endpoint process is connected and beating.
+  bool endpoint_alive(MachineId m) const;
+  /// Spawn a replacement process for a dead endpoint and re-handshake.
+  /// Returns false if the handshake deadline passes. The machine's
+  /// protocol-level recovery (Cluster::recover) is the caller's next step.
+  bool respawn(MachineId m);
+
+  // --- fabric observers -------------------------------------------------------
+  std::uint64_t messages() const {
+    return messages_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_sent() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t crossings() const {
+    return crossings_.load(std::memory_order_relaxed);
+  }
+  /// Crossings shed at an exhausted bounded-bridge credit.
+  std::uint64_t bridge_shed() const {
+    return bridge_shed_.load(std::memory_order_relaxed);
+  }
+  /// Frames round-tripped through a machine process and acked back.
+  std::uint64_t acks_received() const {
+    return acks_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t heartbeats_seen() const {
+    return heartbeats_.load(std::memory_order_relaxed);
+  }
+  /// Connections refused at the listener (bad handshake, bad token,
+  /// malformed stream before Hello).
+  std::uint64_t rejected_connections() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  std::uint16_t port() const { return port_; }
+  const exec::ThreadedExecutor& threaded_executor() const {
+    return *executor_;
+  }
+
+  /// Deliveries sent but not yet executed (wire + child ingress + dispatch
+  /// queue + in dispatcher).
+  std::uint64_t inflight_deliveries() const {
+    return inflight_.load(std::memory_order_acquire);
+  }
+
+  /// Block until the fabric is quiet (no in-flight deliveries, dispatcher
+  /// idle, timer queue empty — same contract as ThreadedTransport::quiesce)
+  /// and `done` (under the stack lock; may be null) holds, stable across a
+  /// few polls. False on timeout.
+  bool quiesce(const std::function<bool()>& done = {},
+               exec::Time timeout_us = 30'000'000);
+
+ private:
+  /// Broker-side state of one machine's endpoint connection.
+  struct Endpoint {
+    int fd = -1;
+    std::atomic<bool> dead{false};
+    FrameDecoder decoder;        ///< IO thread only
+    std::string outbuf;          ///< io_mu_
+    std::size_t out_off = 0;     ///< io_mu_
+    /// FIFO of frames on the wire / in the child's ingress: seq, whether
+    /// the transmission was a bridge crossing, and the delivery to run on
+    /// ack. io_mu_.
+    struct Pending {
+      std::uint64_t seq;
+      bool crossing;
+      std::uint32_t dst_segment;
+      Delivery deliver;
+    };
+    std::deque<Pending> pending;
+    std::uint64_t next_seq = 1;  ///< stack lock (send path)
+    /// Expected Hello token; respawn rotates it so a stale incarnation's
+    /// half-dead socket cannot impersonate the replacement.
+    std::atomic<std::uint64_t> token{0};
+    bool bye_seen = false;       ///< io_mu_
+  };
+
+  /// A just-accepted connection whose Hello hasn't arrived yet.
+  struct PendingConn {
+    int fd = -1;
+    FrameDecoder decoder;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  void io_loop();
+  void dispatch_loop();
+  void wake_io();
+  void handle_frames(std::uint32_t machine);
+  /// Funnel for every death signal; idempotent per incarnation.
+  void handle_peer_death(std::uint32_t machine, const std::string& reason);
+  /// Accept + Hello/HelloAck for one expected machine set; used by the
+  /// constructor (all machines) and respawn (one machine). Caller must not
+  /// hold io_mu_. Returns false on deadline.
+  bool await_handshakes(std::size_t expected, long timeout_us);
+  /// Validate a Hello on `fd`; attach as machine endpoint or reject.
+  /// Returns the attached machine or SIZE_MAX.
+  std::size_t attach_connection(int fd, const Frame& hello);
+  /// Frame a transmission toward `to` and queue its delivery on the ack
+  /// FIFO. Caller holds the stack lock (send path).
+  void enqueue_msg(MachineId to, bool crossing, std::uint32_t dst_segment,
+                   std::size_t bytes, Delivery deliver);
+
+  CostModel model_;
+  Topology topology_;
+  CostLedger ledger_;
+  obs::Obs obs_;
+  SocketTransportOptions options_;
+
+  /// THE stack lock: every protocol step (issue, delivery, timer) holds it.
+  std::mutex stack_mu_;
+
+  std::unique_ptr<exec::ThreadedExecutor> executor_;
+  std::unique_ptr<proc::Supervisor> supervisor_;
+  PeerDeathHook death_hook_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  int wake_pipe_[2] = {-1, -1};
+
+  std::vector<std::atomic<bool>> up_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  /// io_mu_ guards every endpoint's outbuf/out_off/pending/bye, the
+  /// pending-conn list, and fd lifecycle transitions.
+  mutable std::mutex io_mu_;
+  std::vector<PendingConn> pending_conns_;
+
+  /// Dispatcher: closures acked back from machine processes, executed under
+  /// the stack lock in ack order.
+  std::mutex dispatch_mu_;
+  std::condition_variable dispatch_cv_;
+  std::deque<std::pair<std::uint32_t, Delivery>> dispatch_queue_;
+  std::atomic<bool> dispatcher_busy_{false};
+
+  /// Bounded-bridge credit: crossings in flight toward each segment.
+  std::vector<std::atomic<std::size_t>> crossing_inflight_;
+
+  std::thread io_thread_;
+  std::thread dispatch_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> io_stop_{false};
+  bool shut_down_ = false;
+
+  std::atomic<std::uint64_t> inflight_{0};
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> crossings_{0};
+  std::atomic<std::uint64_t> bridge_shed_{0};
+  std::atomic<std::uint64_t> acks_{0};
+  std::atomic<std::uint64_t> heartbeats_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+};
+
+}  // namespace paso::net

@@ -31,6 +31,14 @@ Cluster::Cluster(Schema schema, ClusterConfig config)
         config_.threaded);
     threaded_ = threaded.get();
     transport_ = std::move(threaded);
+  } else if (config_.transport == TransportKind::kSocket) {
+    // Forks one process per machine (before this constructor creates any
+    // protocol object, and before the transport itself grows threads).
+    auto socket = std::make_unique<net::SocketTransport>(
+        config_.cost_model, config_.machines, config_.topology,
+        config_.socket);
+    socket_ = socket.get();
+    transport_ = std::move(socket);
   } else {
     auto bus = std::make_unique<net::BusNetwork>(
         simulator_, config_.cost_model, config_.machines, config_.topology);
@@ -77,6 +85,19 @@ Cluster::Cluster(Schema schema, ClusterConfig config)
       });
 
   if (config_.observe) enable_observability();
+
+  if (socket_ != nullptr) {
+    // A machine *process* dying (kill -9, crash, wedge past the heartbeat
+    // timeout) becomes a protocol-level crash on the same path as an
+    // explicit Cluster::crash: view changes expel it, robust operations
+    // re-route, and the crash log records it for the checker. The hook
+    // fires from the transport's IO/monitor threads with no transport
+    // locks held, so taking the stack lock via crash() is safe.
+    socket_->set_peer_death_hook(
+        [this](MachineId machine, const std::string& /*reason*/) {
+          if (transport_->is_up(machine)) crash(machine);
+        });
+  }
 }
 
 Cluster::~Cluster() {
@@ -290,6 +311,13 @@ void Cluster::crash(MachineId m) {
 }
 
 void Cluster::recover(MachineId m, std::function<void()> initialized) {
+  if (socket_ != nullptr && !socket_->endpoint_alive(m)) {
+    // The machine's process is gone (that's usually why it crashed): give
+    // it a fresh one before the protocol-level re-join. Blocks on the
+    // spawn handshake, so it must happen outside the stack lock.
+    PASO_REQUIRE(socket_->respawn(m),
+                 "machine process respawn failed; cannot recover");
+  }
   transport_->run_exclusive([this, m,
                              initialized = std::move(initialized)]() mutable {
     recover_locked(m, std::move(initialized));
@@ -487,7 +515,11 @@ void Cluster::settle() {
     simulator_.run();
     return;
   }
-  threaded_->quiesce();
+  if (threaded_ != nullptr) {
+    threaded_->quiesce();
+  } else {
+    socket_->quiesce();
+  }
 }
 
 void Cluster::settle_for(sim::SimTime duration) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/bus_network.hpp"
+#include "net/socket_transport.hpp"
 #include "net/threaded_transport.hpp"
 #include "obs/obs.hpp"
 #include "paso/classes.hpp"
@@ -34,7 +35,11 @@ namespace paso {
 /// real-clock net::ThreadedTransport: one worker thread per machine,
 /// steady_clock timers, 1 virtual cost unit = 1 microsecond for every
 /// protocol interval (poll_interval, marker_ttl, backoff, detection delay).
-enum class TransportKind { kSim, kThreaded };
+/// kSocket goes one step further out of the address space: each machine is
+/// its own OS process on a real TCP wire (net::SocketTransport); a machine
+/// process dying (kill -9 included) is detected by heartbeat/EOF and mapped
+/// onto the same crash/view-change path as Cluster::crash.
+enum class TransportKind { kSim, kThreaded, kSocket };
 
 struct ClusterConfig {
   std::size_t machines = 8;
@@ -43,6 +48,9 @@ struct ClusterConfig {
   TransportKind transport = TransportKind::kSim;
   /// Ring sizing etc. for TransportKind::kThreaded; ignored under kSim.
   net::ThreadedTransportOptions threaded{};
+  /// Ingress bounds, heartbeat cadence and machined path for
+  /// TransportKind::kSocket; ignored otherwise.
+  net::SocketTransportOptions socket{};
   /// Bus layout. Default (degenerate) = the classic single serializing bus
   /// running `cost_model`, byte-for-byte the pre-topology behavior. An
   /// explicit topology gives each segment its own alpha/beta and bus queue,
@@ -91,6 +99,12 @@ class Cluster {
   net::ThreadedTransport& threaded_transport() {
     PASO_REQUIRE(threaded_ != nullptr, "not a threaded cluster");
     return *threaded_;
+  }
+  /// The socket transport (child pids, supervisor, respawn, fabric
+  /// counters). Socket clusters only.
+  net::SocketTransport& socket_transport() {
+    PASO_REQUIRE(socket_ != nullptr, "not a socket cluster");
+    return *socket_;
   }
   vsync::GroupService& groups() { return *groups_; }
   net::CostLedger& ledger() { return transport_->ledger(); }
@@ -217,6 +231,7 @@ class Cluster {
   std::unique_ptr<net::Transport> transport_;
   net::BusNetwork* bus_ = nullptr;            ///< transport_ when kSim
   net::ThreadedTransport* threaded_ = nullptr;  ///< transport_ when kThreaded
+  net::SocketTransport* socket_ = nullptr;      ///< transport_ when kSocket
   std::unique_ptr<vsync::GroupService> groups_;
   semantics::HistoryRecorder history_;
   /// Owned here, not by the servers: crash_reset wipes a server's memory,

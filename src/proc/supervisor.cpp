@@ -1,0 +1,171 @@
+#include "proc/supervisor.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace paso::proc {
+
+using Clock = std::chrono::steady_clock;
+
+Supervisor::Supervisor(std::size_t machines, long heartbeat_timeout_us)
+    : heartbeat_timeout_us_(heartbeat_timeout_us), children_(machines) {}
+
+Supervisor::~Supervisor() { stop(); }
+
+void Supervisor::adopt(std::uint32_t machine, int pid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Child& child = children_.at(machine);
+  child.pid = pid;
+  child.state = State::kRunning;
+  child.last_seen = Clock::now();
+}
+
+void Supervisor::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (monitor_.joinable()) return;
+  stopping_ = false;
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+void Supervisor::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (monitor_.joinable()) monitor_.join();
+  // Reap everything still registered. Children told to shut down exit on
+  // their own; anything else gets escalated so no zombie outlives us.
+  std::vector<int> pids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Child& child : children_) {
+      if (child.pid > 0) pids.push_back(child.pid);
+      child.pid = -1;
+      child.state = State::kEmpty;
+    }
+  }
+  for (const int pid : pids) reap(pid, /*force=*/true);
+}
+
+void Supervisor::reap(int pid, bool force) {
+  // A short grace period for a clean exit, then SIGKILL and a blocking wait
+  // (the process is gone at that point, so the wait is immediate).
+  for (int i = 0; i < 40; ++i) {
+    int status = 0;
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == pid || (r < 0 && errno == ECHILD)) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  if (force) {
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+}
+
+void Supervisor::beat(std::uint32_t machine) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (machine < children_.size()) {
+    children_[machine].last_seen = Clock::now();
+  }
+}
+
+void Supervisor::connection_lost(std::uint32_t machine,
+                                 const std::string& reason) {
+  declare_dead(machine, reason);
+}
+
+void Supervisor::expect_exit(std::uint32_t machine) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (machine < children_.size() &&
+      children_[machine].state == State::kRunning) {
+    children_[machine].state = State::kDetached;
+  }
+}
+
+void Supervisor::expect_all_exits() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Child& child : children_) {
+    if (child.state == State::kRunning) child.state = State::kDetached;
+  }
+}
+
+bool Supervisor::alive(std::uint32_t machine) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return machine < children_.size() &&
+         children_[machine].state == State::kRunning;
+}
+
+int Supervisor::pid_of(std::uint32_t machine) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return machine < children_.size() ? children_[machine].pid : -1;
+}
+
+void Supervisor::kill_hard(std::uint32_t machine) {
+  int pid = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (machine < children_.size()) pid = children_[machine].pid;
+  }
+  if (pid > 0) ::kill(pid, SIGKILL);
+}
+
+void Supervisor::declare_dead(std::uint32_t machine,
+                              const std::string& reason) {
+  int pid = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (machine >= children_.size()) return;
+    Child& child = children_[machine];
+    if (child.state != State::kRunning) return;  // planned exit or already dead
+    child.state = State::kDead;
+    pid = child.pid;
+  }
+  deaths_.fetch_add(1);
+  if (pid > 0) {
+    // The process may still be half-alive (wedged); make the verdict final
+    // before the hook runs the crash path, then reap without blocking long.
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, WNOHANG);
+  }
+  if (hook_) hook_(machine, reason);
+}
+
+void Supervisor::monitor_loop() {
+  const auto timeout = std::chrono::microseconds(
+      heartbeat_timeout_us_ > 0 ? heartbeat_timeout_us_ : 250'000);
+  for (;;) {
+    std::vector<std::uint32_t> dead_by_silence;
+    std::vector<std::uint32_t> dead_by_exit;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, timeout / 4, [this] { return stopping_; });
+      if (stopping_) return;
+      const Clock::time_point now = Clock::now();
+      for (std::uint32_t m = 0; m < children_.size(); ++m) {
+        Child& child = children_[m];
+        if (child.state != State::kRunning) continue;
+        int status = 0;
+        if (child.pid > 0 &&
+            ::waitpid(child.pid, &status, WNOHANG) == child.pid) {
+          dead_by_exit.push_back(m);
+          continue;
+        }
+        if (now - child.last_seen > timeout) dead_by_silence.push_back(m);
+      }
+    }
+    for (const std::uint32_t m : dead_by_exit) {
+      declare_dead(m, "process-exited");
+    }
+    for (const std::uint32_t m : dead_by_silence) {
+      declare_dead(m, "heartbeat-timeout");
+    }
+  }
+}
+
+}  // namespace paso::proc

@@ -1,0 +1,100 @@
+// Supervisor: heartbeat-based peer-death detection for machine processes.
+//
+// The socket transport owns the wire; the supervisor owns the *processes*.
+// It keeps, per machine, the child's pid and the time its last heartbeat
+// (or any other frame) was seen, and a monitor thread turns two signals
+// into one death verdict:
+//
+//   * heartbeat silence past `heartbeat_timeout_us` — the process is wedged
+//     or the wire is dead even though the socket looks open;
+//   * process exit (waitpid WNOHANG) — a crash or kill -9 reaped directly.
+//
+// The transport adds a third signal, connection_lost(), when a read returns
+// EOF or the stream turns malformed. All three funnel into declare_dead(),
+// which fires the installed death hook exactly once per incarnation — the
+// hook is how a dead process becomes a protocol-level crash (the cluster
+// maps it onto the existing crash/view-change path).
+//
+// Clean shutdown uses expect_exit() first, so the planned EOF/exit of a
+// drained child never masquerades as a failure.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace paso::proc {
+
+class Supervisor {
+ public:
+  /// reason is one of "heartbeat-timeout", "process-exited",
+  /// "connection-lost", or "protocol-error: <detail>".
+  using DeathHook =
+      std::function<void(std::uint32_t machine, const std::string& reason)>;
+
+  Supervisor(std::size_t machines, long heartbeat_timeout_us);
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Install before start(). Fired from the monitor thread or from the
+  /// caller of connection_lost(); never with internal locks held.
+  void set_death_hook(DeathHook hook) { hook_ = std::move(hook); }
+
+  /// Register a (re)spawned child and start the clock on its heartbeats.
+  void adopt(std::uint32_t machine, int pid);
+
+  /// Start / stop the monitor thread. stop() also reaps every child still
+  /// registered (SIGKILL escalation after a short grace period) so no
+  /// zombies outlive the transport.
+  void start();
+  void stop();
+
+  /// Liveness signals from the wire (any frame counts as a heartbeat).
+  void beat(std::uint32_t machine);
+  /// The wire died (EOF / malformed stream): declare the peer dead now.
+  void connection_lost(std::uint32_t machine, const std::string& reason);
+
+  /// Mark the machine's planned exit: its EOF/exit is reaped silently.
+  void expect_exit(std::uint32_t machine);
+  /// Mark every machine's exit as planned (shutdown path).
+  void expect_all_exits();
+
+  bool alive(std::uint32_t machine) const;
+  int pid_of(std::uint32_t machine) const;
+  /// SIGKILL the child (test harness for the crash-fault model).
+  void kill_hard(std::uint32_t machine);
+
+  std::uint64_t deaths() const { return deaths_.load(); }
+
+ private:
+  enum class State { kEmpty, kRunning, kDead, kDetached };
+  struct Child {
+    int pid = -1;
+    State state = State::kEmpty;
+    std::chrono::steady_clock::time_point last_seen{};
+  };
+
+  void monitor_loop();
+  /// Transition to kDead and fire the hook (once); no-op in other states.
+  void declare_dead(std::uint32_t machine, const std::string& reason);
+  static void reap(int pid, bool force);
+
+  const long heartbeat_timeout_us_;
+  DeathHook hook_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Child> children_;
+  std::atomic<std::uint64_t> deaths_{0};
+  bool stopping_ = false;
+  std::thread monitor_;
+};
+
+}  // namespace paso::proc

@@ -1,0 +1,224 @@
+// Socket cluster under real process death: kill -9 a machine's OS process
+// mid-run and the cluster must detect it over the wire, run the existing
+// view-change/recovery path, keep serving from the survivors (only the dead
+// machine's in-flight ops may orphan; live machines' ops all report a typed
+// terminal status), and never wedge. Then recover(): the process is
+// respawned, re-joins, and serves traffic again. Label `sockets`.
+#include <signal.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "paso/cluster.hpp"
+#include "paso/object.hpp"
+
+namespace paso {
+namespace {
+
+Schema task_schema() {
+  return Schema({
+      ClassSpec{"task", {FieldType::kInt, FieldType::kText}, 0, 1},
+  });
+}
+
+Tuple task(std::int64_t key) { return {Value{key}, Value{std::string{"v"}}}; }
+
+SearchCriterion by_key(std::int64_t key) {
+  return criterion(Exact{Value{key}}, AnyField{});
+}
+
+bool wait_until(const std::function<bool()>& pred, int timeout_ms = 10000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+// Report counters outlive the cluster (declared first in every test): a
+// delivery racing test teardown must never touch freed memory.
+struct Counts {
+  std::atomic<int> reports{0};
+  std::atomic<int> ok{0};
+  std::atomic<int> fail{0};
+  std::atomic<int> timeout{0};
+  std::atomic<int> degraded{0};
+  std::atomic<int> overloaded{0};
+
+  std::function<void(OpReport)> reporter() {
+    return [this](OpReport r) {
+      reports.fetch_add(1);
+      switch (r.status) {
+        case OpStatus::kOk:
+          ok.fetch_add(1);
+          break;
+        case OpStatus::kFail:
+          fail.fetch_add(1);
+          break;
+        case OpStatus::kTimeout:
+          timeout.fetch_add(1);
+          break;
+        case OpStatus::kDegraded:
+          degraded.fetch_add(1);
+          break;
+        case OpStatus::kOverloaded:
+          overloaded.fetch_add(1);
+          break;
+      }
+    };
+  }
+};
+
+ClusterConfig socket_config(std::size_t machines) {
+  ClusterConfig config;
+  config.machines = machines;
+  config.lambda = 1;
+  config.transport = TransportKind::kSocket;
+  // Real clock: 1 cost unit = 1 µs. Generous deadlines so a slow CI box
+  // times out the op, not the test; short heartbeats so silent death (no
+  // FIN ever arrives for a SIGKILLed process with queued data) is caught
+  // fast.
+  config.runtime.op_deadline = 2'000'000;
+  config.runtime.retry_backoff = 20'000;
+  config.socket.heartbeat_interval_us = 10'000;
+  config.socket.heartbeat_timeout_us = 200'000;
+  return config;
+}
+
+TEST(SocketCluster, SigkillMidRunIsDetectedAndSurvivorsKeepServing) {
+  Counts live;    // ops issued from machines that stay up: all must report
+  Counts doomed;  // ops issued from machine 2 right before the kill
+  ClusterConfig config = socket_config(4);
+  Cluster cluster(task_schema(), config);
+  cluster.assign_basic_support();
+
+  // Phase 1: seed data from a machine that will survive.
+  constexpr std::int64_t kKeys = 24;
+  const ProcessId p0 = cluster.process(MachineId{0});
+  for (std::int64_t key = 0; key < kKeys; ++key) {
+    ASSERT_TRUE(cluster.insert_sync(p0, task(key))) << "seed insert " << key;
+  }
+
+  // Fire a few ops from machine 2, then SIGKILL its process mid-flight.
+  // These are the only ops allowed to orphan: their issuer died.
+  PasoRuntime& rt2 = cluster.runtime(MachineId{2});
+  const ProcessId p2 = cluster.process(MachineId{2});
+  constexpr int kDoomed = 5;
+  cluster.transport().run_exclusive([&] {
+    for (int i = 0; i < kDoomed; ++i) {
+      rt2.insert_robust(p2, task(1000 + i), doomed.reporter());
+    }
+  });
+  const int pid = cluster.socket_transport().child_pid(MachineId{2});
+  ASSERT_GT(pid, 0);
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+
+  // The wire notices (EOF or heartbeat silence), the supervisor maps the
+  // death onto the crash path, the failure detector expels machine 2.
+  ASSERT_TRUE(wait_until([&] { return !cluster.is_up(MachineId{2}); }))
+      << "process death was never mapped onto the crash path";
+  EXPECT_FALSE(cluster.socket_transport().endpoint_alive(MachineId{2}));
+  ASSERT_EQ(cluster.crash_log().size(), 1u);
+  EXPECT_EQ(cluster.crash_log()[0].machine.value, 2u);
+
+  // Give the view change room to finish, then phase 2: survivors read the
+  // seeded keys and write fresh ones. Every one of these must come back
+  // with a typed terminal status — re-routed around the corpse.
+  cluster.settle_for(100'000);  // 100 ms real time
+  int issued = 0;
+  for (const std::uint32_t m : {0u, 1u, 3u}) {
+    PasoRuntime& rt = cluster.runtime(MachineId{m});
+    const ProcessId p = cluster.process(MachineId{m});
+    cluster.transport().run_exclusive([&] {
+      for (std::int64_t key = m; key < kKeys; key += 3) {
+        rt.read_robust(p, by_key(key), live.reporter());
+        ++issued;
+      }
+      rt.insert_robust(p, task(2000 + m), live.reporter());
+      ++issued;
+    });
+  }
+  ASSERT_TRUE(wait_until([&] { return live.reports.load() >= issued; },
+                         15000))
+      << "a survivor's op never reported: " << live.reports.load() << "/"
+      << issued;
+  EXPECT_EQ(live.reports.load(), issued);
+  EXPECT_GT(live.ok.load(), 0) << "no survivor op succeeded after the kill";
+  // The traffic report may show degraded/timed-out ops (groups that lost a
+  // member), but nothing silently vanishes and nothing unexplained appears.
+  EXPECT_EQ(live.ok.load() + live.fail.load() + live.timeout.load() +
+                live.degraded.load() + live.overloaded.load(),
+            live.reports.load());
+  // Ops issued on the dead machine: reports are optional (orphaned with the
+  // process), but never more reports than issues.
+  EXPECT_LE(doomed.reports.load(), kDoomed);
+
+  // λ = 1, one failure: the deployment is still within its tolerance.
+  cluster.settle();
+  EXPECT_TRUE(cluster.fault_tolerance_condition_holds());
+  for (const std::uint32_t m : {0u, 1u, 3u}) {
+    EXPECT_EQ(cluster.runtime(MachineId{m}).inflight(), 0u)
+        << "machine " << m << " wedged an op";
+  }
+}
+
+TEST(SocketCluster, RecoverRespawnsTheProcessAndRejoins) {
+  Counts counts;
+  ClusterConfig config = socket_config(3);
+  Cluster cluster(task_schema(), config);
+  cluster.assign_basic_support();
+
+  const ProcessId p0 = cluster.process(MachineId{0});
+  for (std::int64_t key = 0; key < 8; ++key) {
+    ASSERT_TRUE(cluster.insert_sync(p0, task(key)));
+  }
+
+  const int old_pid = cluster.socket_transport().child_pid(MachineId{1});
+  ASSERT_GT(old_pid, 0);
+  ASSERT_EQ(::kill(old_pid, SIGKILL), 0);
+  ASSERT_TRUE(wait_until([&] { return !cluster.is_up(MachineId{1}); }));
+  // Let the failure detector expel the machine before asking it back in.
+  cluster.settle_for(100'000);
+
+  // recover() must notice the endpoint is a corpse and respawn the OS
+  // process before the protocol-level re-join.
+  std::atomic<bool> initialized{false};
+  cluster.recover(MachineId{1}, [&] { initialized.store(true); });
+  ASSERT_TRUE(wait_until([&] { return initialized.load(); }))
+      << "state transfer to the reborn process never completed";
+  EXPECT_TRUE(cluster.is_up(MachineId{1}));
+  EXPECT_TRUE(cluster.socket_transport().endpoint_alive(MachineId{1}));
+  const int new_pid = cluster.socket_transport().child_pid(MachineId{1});
+  EXPECT_GT(new_pid, 0);
+  EXPECT_NE(new_pid, old_pid) << "recover reused the dead pid";
+
+  // The reborn machine serves traffic: reads of pre-crash data and fresh
+  // writes, issued from the recovered machine itself.
+  PasoRuntime& rt1 = cluster.runtime(MachineId{1});
+  const ProcessId p1 = cluster.process(MachineId{1});
+  int issued = 0;
+  cluster.transport().run_exclusive([&] {
+    for (std::int64_t key = 0; key < 8; ++key) {
+      rt1.read_robust(p1, by_key(key), counts.reporter());
+      ++issued;
+    }
+    rt1.insert_robust(p1, task(99), counts.reporter());
+    ++issued;
+  });
+  ASSERT_TRUE(wait_until([&] { return counts.reports.load() >= issued; }))
+      << "op from the recovered machine never reported";
+  EXPECT_GT(counts.ok.load(), 0);
+  cluster.settle();
+  EXPECT_EQ(rt1.inflight(), 0u);
+}
+
+}  // namespace
+}  // namespace paso

@@ -1,0 +1,32 @@
+// paso_machined: the machine-endpoint daemon for exec-mode socket clusters.
+//
+// A socket-transport cluster normally fork()s its machine processes; with
+// SocketTransportOptions::machined_path set, it fork+execs this binary
+// instead — a fresh image per machine, fully isolated from the broker's
+// address space. The binary is a thin main around
+// proc::machine_endpoint_main: parse the same --key=value spec the launcher
+// builds (proc/spawn.hpp keeps the two in lockstep), run the endpoint loop,
+// exit with its code.
+#include <cstdio>
+
+#include "proc/endpoint.hpp"
+#include "proc/spawn.hpp"
+
+int main(int argc, char** argv) {
+  paso::proc::EndpointConfig config;
+  for (int i = 1; i < argc; ++i) {
+    if (!paso::proc::parse_endpoint_arg(argv[i], config)) {
+      std::fprintf(stderr,
+                   "paso_machined: unknown argument '%s'\n"
+                   "usage: paso_machined --port=P --machine=M --token=T"
+                   " [--ingress=N] [--heartbeat-us=U]\n",
+                   argv[i]);
+      return 64;
+    }
+  }
+  if (config.port == 0) {
+    std::fprintf(stderr, "paso_machined: --port is required\n");
+    return 64;
+  }
+  return paso::proc::machine_endpoint_main(config);
+}

@@ -1,16 +1,23 @@
-// trace_diff — differential replay of one op trace on both transports.
+// trace_diff — differential replay of one op trace across the transports.
 //
 // Builds a deterministic single-client workload (seeded mix of inserts,
-// reads, misses and read-deletes), replays it once on the virtual-time
-// simulated bus and once on the real-clock threaded transport, and prints a
-// reconciliation report: per-op divergences (first 10), ledger totals, and
-// a per-tag traffic table with MATCH/DIFF markers. Exit 0 when the runs are
-// indistinguishable (identical client-visible results AND an exactly equal
+// reads, misses and read-deletes), replays it on the virtual-time simulated
+// bus (always — the reference) and on the real-clock transport(s) selected
+// by --transport, and prints a reconciliation report per real transport:
+// per-op divergences (first 10), ledger totals, and a per-tag traffic table
+// with MATCH/DIFF markers. Exit 0 when every run is indistinguishable from
+// the simulated one (identical client-visible results AND an exactly equal
 // model-cost ledger), 1 on any divergence — the same invariant
 // tests/transport_diff_test.cpp locks into the fast tier, here as a tool so
 // a suspect change can be probed with bigger traces and fresh seeds.
 //
+// --transport=threaded (default) keeps the classic two-way diff;
+// --transport=socket replays against the multi-process socket transport
+// (each machine its own OS process on a real TCP wire);
+// --transport=all runs the three-way diff: sim vs threaded vs socket.
+//
 // Usage: trace_diff [--machines=N] [--ops=N] [--seed=S] [--lambda=L]
+//                   [--transport=threaded|socket|all]
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -147,6 +154,7 @@ int main(int argc, char** argv) {
   std::size_t ops = 200;
   std::size_t lambda = 1;
   std::uint64_t seed = 0xD1FF;
+  std::string transports = "threaded";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--machines=", 11) == 0) {
       machines = std::strtoull(argv[i] + 11, nullptr, 10);
@@ -156,12 +164,27 @@ int main(int argc, char** argv) {
       seed = std::strtoull(argv[i] + 7, nullptr, 0);
     } else if (std::strncmp(argv[i], "--lambda=", 9) == 0) {
       lambda = std::strtoull(argv[i] + 9, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--transport=", 12) == 0) {
+      transports = argv[i] + 12;
     } else {
       std::fprintf(stderr,
                    "usage: trace_diff [--machines=N] [--ops=N] [--seed=S] "
-                   "[--lambda=L]\n");
+                   "[--lambda=L] [--transport=threaded|socket|all]\n");
       return 2;
     }
+  }
+  std::vector<std::pair<const char*, TransportKind>> kinds;
+  if (transports == "threaded") {
+    kinds = {{"threaded", TransportKind::kThreaded}};
+  } else if (transports == "socket") {
+    kinds = {{"socket", TransportKind::kSocket}};
+  } else if (transports == "all") {
+    kinds = {{"threaded", TransportKind::kThreaded},
+             {"socket", TransportKind::kSocket}};
+  } else {
+    std::fprintf(stderr,
+                 "trace_diff: --transport must be threaded, socket or all\n");
+    return 2;
   }
   if (machines < lambda + 1 || ops == 0) {
     std::fprintf(stderr, "trace_diff: need machines > lambda and ops > 0\n");
@@ -173,59 +196,64 @@ int main(int argc, char** argv) {
               ops, machines, lambda,
               static_cast<unsigned long long>(seed));
   const RunResult sim = replay(TransportKind::kSim, trace, machines, lambda);
-  const RunResult threaded =
-      replay(TransportKind::kThreaded, trace, machines, lambda);
 
   int divergences = 0;
-  for (std::size_t i = 0; i < trace.size(); ++i) {
-    if (sim.outcomes[i] == threaded.outcomes[i]) continue;
-    if (++divergences <= 10) {
-      std::printf("DIFF op %zu (%s key %lld): sim={ok=%d %s} threaded={ok=%d "
-                  "%s}\n",
-                  i, kind_name(trace[i].kind),
-                  static_cast<long long>(trace[i].key), sim.outcomes[i].ok,
-                  sim.outcomes[i].object.c_str(), threaded.outcomes[i].ok,
-                  threaded.outcomes[i].object.c_str());
+  for (const auto& [name, kind] : kinds) {
+    const RunResult run = replay(kind, trace, machines, lambda);
+
+    int op_diffs = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      if (sim.outcomes[i] == run.outcomes[i]) continue;
+      ++divergences;
+      if (++op_diffs <= 10) {
+        std::printf("DIFF op %zu (%s key %lld): sim={ok=%d %s} %s={ok=%d "
+                    "%s}\n",
+                    i, kind_name(trace[i].kind),
+                    static_cast<long long>(trace[i].key), sim.outcomes[i].ok,
+                    sim.outcomes[i].object.c_str(), name, run.outcomes[i].ok,
+                    run.outcomes[i].object.c_str());
+      }
     }
-  }
-  if (divergences > 10) {
-    std::printf("... and %d more op divergences\n", divergences - 10);
+    if (op_diffs > 10) {
+      std::printf("... and %d more op divergences\n", op_diffs - 10);
+    }
+
+    std::printf("\n%-24s %14s %14s  %s\n", "axis", "sim", name, "status");
+    const auto axis = [&](const char* axis_name, double a, double b) {
+      const bool match = a == b;
+      std::printf("%-24s %14.6g %14.6g  %s\n", axis_name, a, b,
+                  match ? "MATCH" : "DIFF");
+      if (!match) ++divergences;
+    };
+    axis("msg_cost", sim.msg_cost, run.msg_cost);
+    axis("work", sim.work, run.work);
+
+    // Per-tag traffic: the union of both runs' tags, so a tag present on
+    // only one side shows up as a DIFF row instead of vanishing.
+    std::map<std::string, net::TrafficStats> tags = sim.per_tag;
+    for (const auto& [tag, stats] : run.per_tag) tags.emplace(tag, stats);
+    for (const auto& [tag, unused] : tags) {
+      static const net::TrafficStats kEmpty{};
+      const net::TrafficStats& a =
+          sim.per_tag.contains(tag) ? sim.per_tag.at(tag) : kEmpty;
+      const net::TrafficStats& b =
+          run.per_tag.contains(tag) ? run.per_tag.at(tag) : kEmpty;
+      const bool match =
+          a.messages == b.messages && a.bytes == b.bytes && a.cost == b.cost;
+      std::printf("tag %-20s %6llu msgs %8llu B %10.6g | %6llu msgs %8llu B "
+                  "%10.6g  %s\n",
+                  tag.c_str(), static_cast<unsigned long long>(a.messages),
+                  static_cast<unsigned long long>(a.bytes), a.cost,
+                  static_cast<unsigned long long>(b.messages),
+                  static_cast<unsigned long long>(b.bytes), b.cost,
+                  match ? "MATCH" : "DIFF");
+      if (!match) ++divergences;
+    }
+
+    std::printf("\nwall clock: sim %.1f ms, %s %.1f ms (informational)\n\n",
+                sim.wall_ms, name, run.wall_ms);
   }
 
-  std::printf("\n%-24s %14s %14s  %s\n", "axis", "sim", "threaded", "status");
-  const auto axis = [&](const char* name, double a, double b) {
-    const bool match = a == b;
-    std::printf("%-24s %14.6g %14.6g  %s\n", name, a, b,
-                match ? "MATCH" : "DIFF");
-    if (!match) ++divergences;
-  };
-  axis("msg_cost", sim.msg_cost, threaded.msg_cost);
-  axis("work", sim.work, threaded.work);
-
-  // Per-tag traffic: the union of both runs' tags, so a tag present on only
-  // one side shows up as a DIFF row instead of vanishing.
-  std::map<std::string, net::TrafficStats> tags = sim.per_tag;
-  for (const auto& [tag, stats] : threaded.per_tag) tags.emplace(tag, stats);
-  for (const auto& [tag, unused] : tags) {
-    static const net::TrafficStats kEmpty{};
-    const net::TrafficStats& a =
-        sim.per_tag.contains(tag) ? sim.per_tag.at(tag) : kEmpty;
-    const net::TrafficStats& b =
-        threaded.per_tag.contains(tag) ? threaded.per_tag.at(tag) : kEmpty;
-    const bool match =
-        a.messages == b.messages && a.bytes == b.bytes && a.cost == b.cost;
-    std::printf("tag %-20s %6llu msgs %8llu B %10.6g | %6llu msgs %8llu B "
-                "%10.6g  %s\n",
-                tag.c_str(), static_cast<unsigned long long>(a.messages),
-                static_cast<unsigned long long>(a.bytes), a.cost,
-                static_cast<unsigned long long>(b.messages),
-                static_cast<unsigned long long>(b.bytes), b.cost,
-                match ? "MATCH" : "DIFF");
-    if (!match) ++divergences;
-  }
-
-  std::printf("\nwall clock: sim %.1f ms, threaded %.1f ms (informational)\n",
-              sim.wall_ms, threaded.wall_ms);
   if (divergences == 0) {
     std::printf("trace_diff: transports indistinguishable over %zu ops\n",
                 ops);
