@@ -40,6 +40,8 @@ struct LoadResult {
   double p99_ns = 0;
   Cost msg_cost = 0;
   std::uint64_t bytes = 0;
+  std::uint64_t frames = 0;  // broker IO during the measured window:
+  std::uint64_t writes = 0;  // frames / writes is the writev coalescing win
 };
 
 LoadResult run_load(std::size_t machines, std::size_t clients,
@@ -100,6 +102,111 @@ LoadResult run_load(std::size_t machines, std::size_t clients,
   return result;
 }
 
+/// Scaling variant: one hash partition (= one write group) per machine,
+/// support {p, p+1 mod n}, every client issuing against its own machine's
+/// slice — same shape as the threaded scaling sweep, so the two transports'
+/// curves are directly comparable. Narrow op domains let the broker's
+/// sharded stack lock overlap independent machines' protocol work while the
+/// IO thread batches their frames into shared writev calls.
+LoadResult run_scaling_load(std::size_t machines, std::size_t clients,
+                            std::uint64_t ops_per_client) {
+  ClusterConfig config;
+  config.machines = machines;
+  config.lambda = machines > 1 ? 1 : 0;
+  config.transport = TransportKind::kSocket;
+  config.record_history = false;
+  Schema schema({
+      ClassSpec{"task", {FieldType::kInt, FieldType::kText}, 0, machines},
+  });
+  Cluster cluster(schema, config);
+  for (std::size_t p = 0; p < machines; ++p) {
+    std::vector<MachineId> support{
+        MachineId{static_cast<std::uint32_t>(p)}};
+    if (machines > 1) {
+      support.push_back(
+          MachineId{static_cast<std::uint32_t>((p + 1) % machines)});
+    }
+    cluster.set_basic_support(ClassId{static_cast<std::uint32_t>(p)},
+                              std::move(support));
+  }
+  cluster.assign_basic_support();  // overrides are kept; this performs joins
+
+  obs::Histogram latency(latency_bounds_ns());
+  std::mutex latency_mu;
+  const std::uint64_t frames_before = cluster.socket_transport().frames_sent();
+  const std::uint64_t writes_before =
+      cluster.socket_transport().write_syscalls();
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const ProcessId process = cluster.process(
+          MachineId{static_cast<std::uint32_t>(c % machines)});
+      for (std::uint64_t i = 0; i < ops_per_client; ++i) {
+        const std::int64_t key =
+            static_cast<std::int64_t>(c) * 1'000'000 +
+            static_cast<std::int64_t>(i);
+        const auto timed = [&](const std::function<void()>& op) {
+          const auto start = std::chrono::steady_clock::now();
+          op();
+          const double ns = static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count());
+          std::lock_guard<std::mutex> lock(latency_mu);
+          latency.observe(ns);
+        };
+        timed([&] { cluster.insert_sync(process, TaskCluster::tuple(key)); });
+        timed([&] { cluster.read_sync(process, TaskCluster::by_key(key)); });
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  cluster.settle();
+
+  LoadResult result;
+  result.ops = 2 * clients * ops_per_client;
+  result.frames = cluster.socket_transport().frames_sent() - frames_before;
+  result.writes =
+      cluster.socket_transport().write_syscalls() - writes_before;
+  result.wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count());
+  result.p50_ns = latency.quantile(0.50);
+  result.p99_ns = latency.quantile(0.99);
+  cluster.transport().run_exclusive([&] {
+    result.msg_cost = cluster.ledger().total_msg_cost();
+    for (const auto& [tag, stats] : cluster.ledger().per_tag()) {
+      result.bytes += stats.bytes;
+    }
+  });
+  return result;
+}
+
+void emit_scaling_row(const char* bench, const std::string& config,
+                      const LoadResult& r) {
+  const double ns_per_op = r.wall_ns / static_cast<double>(r.ops);
+  const double ops_per_sec = static_cast<double>(r.ops) * 1e9 / r.wall_ns;
+  const double coalesce = r.writes > 0 ? static_cast<double>(r.frames) /
+                                             static_cast<double>(r.writes)
+                                       : 0.0;
+  std::printf("%-34s | %10.0f %12.0f %12.0f %12.0f %9.1f\n", config.c_str(),
+              ns_per_op, ops_per_sec, r.p50_ns, r.p99_ns, coalesce);
+  JsonLine line(bench);
+  line.field("config", config)
+      .field("ops", r.ops)
+      .field("ns_per_op", ns_per_op)
+      .field("ops_per_sec", ops_per_sec)
+      .field("p50_ns", r.p50_ns)
+      .field("p99_ns", r.p99_ns)
+      .field("msg_cost", r.msg_cost)
+      .field("bytes", r.bytes)
+      .field("frames", r.frames)
+      .field("writes", r.writes);
+  line.emit();
+}
+
 }  // namespace
 
 int main() {
@@ -130,6 +237,28 @@ int main() {
           .field("bytes", r.bytes);
       line.emit();
     }
+  }
+
+  print_header("Socket transport: scaling sweeps "
+               "(one write group per machine, writev-batched broker)");
+  std::printf("%-34s | %10s %12s %12s %12s %9s\n", "config", "ns/op",
+              "ops/sec", "p50_ns", "p99_ns", "fr/write");
+  print_rule();
+
+  // Machine-count sweep (clients track machines) and a thread sweep at the
+  // full fabric width — same shapes as the threaded scaling sweep.
+  constexpr std::uint64_t kScaleOps = 50;
+  for (const std::size_t machines : {1u, 2u, 4u, 8u}) {
+    const LoadResult r = run_scaling_load(machines, machines, kScaleOps);
+    emit_scaling_row("socket_scaling",
+                     "socket/scale/machines=" + std::to_string(machines) +
+                         "/clients=" + std::to_string(machines),
+                     r);
+  }
+  for (const std::size_t clients : {1u, 2u, 4u, 8u}) {
+    const LoadResult r = run_scaling_load(8, clients, kScaleOps);
+    emit_scaling_row("socket_scaling",
+                     "socket/scale8/clients=" + std::to_string(clients), r);
   }
 
   std::printf(

@@ -66,27 +66,27 @@ class JsonLine {
 };
 
 /// The standard machine-readable result row every bench emits at least once:
-///   {"bench":...,"config":...,"ops":...,"ns_per_op":...,"msg_cost":...,
-///    "bytes":...}
+///   {"bench":...,"config":...,"ops":...,"msg_cost":...,"bytes":...}
 /// `config` names the measured variant (e.g. "indexed/size=10000"), `ops` is
-/// how many operations the row aggregates, `ns_per_op` the measured
-/// wall-clock per op (0 when the bench only meters model cost), `msg_cost`
-/// the model's message cost (0 for wall-clock-only micro benches) and
-/// `bytes` the wire bytes moved (0 when not metered). A nonzero `work` adds
-/// a `"work":...` field — the model's server-work total (or whatever work
-/// scalar the bench gates, e.g. max per-replica load for balance benches);
-/// bench_diff gates every one of msg_cost/work/bytes that a baseline row
-/// carries as > 0. The baseline pipeline greps stdout for lines starting
-/// `{"bench"` — keep this the only JSON the benches print.
+/// how many operations the row aggregates, `msg_cost` the model's message
+/// cost (0 for wall-clock-only micro benches) and `bytes` the wire bytes
+/// moved (0 when not metered). `ns_per_op` — measured wall clock per op —
+/// is emitted only when the bench actually metered it: a sim-only bench has
+/// no wall axis, and a literal `"ns_per_op":0` in its row reads like "this
+/// bench is infinitely fast" in every downstream report. bench_diff treats
+/// absent and zero axes identically (skipped), so omission is free. A
+/// nonzero `work` adds a `"work":...` field — the model's server-work total
+/// (or whatever work scalar the bench gates, e.g. max per-replica load for
+/// balance benches); bench_diff gates every one of msg_cost/work/bytes that
+/// a baseline row carries as > 0. The baseline pipeline greps stdout for
+/// lines starting `{"bench"` — keep this the only JSON the benches print.
 inline void result_line(const std::string& bench, const std::string& config,
                         std::uint64_t ops, double ns_per_op, double msg_cost,
                         std::uint64_t bytes, double work = 0) {
   JsonLine line(bench);
-  line.field("config", config)
-      .field("ops", ops)
-      .field("ns_per_op", ns_per_op)
-      .field("msg_cost", msg_cost)
-      .field("bytes", bytes);
+  line.field("config", config).field("ops", ops);
+  if (ns_per_op > 0) line.field("ns_per_op", ns_per_op);
+  line.field("msg_cost", msg_cost).field("bytes", bytes);
   if (work > 0) line.field("work", work);
   line.emit();
 }

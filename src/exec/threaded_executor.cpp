@@ -15,10 +15,11 @@ std::chrono::steady_clock::duration to_duration(Time micros) {
 
 }  // namespace
 
-ThreadedExecutor::ThreadedExecutor(Runner runner)
+ThreadedExecutor::ThreadedExecutor(Runner runner, ContextCapture capture)
     : epoch_(std::chrono::steady_clock::now()),
       runner_(runner ? std::move(runner)
-                     : [](Action&& action) { action(); }),
+                     : [](Action&& action, std::uint64_t) { action(); }),
+      capture_(std::move(capture)),
       thread_([this] { loop(); }) {}
 
 ThreadedExecutor::~ThreadedExecutor() { stop(); }
@@ -32,11 +33,15 @@ Time ThreadedExecutor::now() const {
 TimerId ThreadedExecutor::schedule_at(Time at, Action action) {
   PASO_REQUIRE(action != nullptr, "null action");
   PASO_REQUIRE(!std::isnan(at), "NaN deadline");
+  // Capture the scheduling thread's context OUTSIDE the queue mutex: the
+  // capture hook reads thread-local state and must see the scheduler's
+  // ambient domain, not the timer thread's.
+  const std::uint64_t ctx = capture_ ? capture_() : ~std::uint64_t{0};
   std::uint64_t seq;
   {
     std::lock_guard<std::mutex> lock(mu_);
     seq = next_seq_++;
-    queue_.emplace(Key{at, seq}, std::move(action));
+    queue_.emplace(Key{at, seq}, Entry{std::move(action), ctx});
   }
   cv_.notify_one();
   return TimerId{seq};
@@ -112,11 +117,11 @@ void ThreadedExecutor::loop() {
                      });
       continue;
     }
-    Action action = std::move(queue_.begin()->second);
+    Entry entry = std::move(queue_.begin()->second);
     queue_.erase(queue_.begin());
     in_action_ = true;
     lock.unlock();
-    runner_(std::move(action));
+    runner_(std::move(entry.action), entry.ctx);
     lock.lock();
     in_action_ = false;
   }

@@ -26,10 +26,18 @@ namespace paso::exec {
 
 class ThreadedExecutor final : public Executor {
  public:
-  /// Wraps every action execution (e.g. in a lock). Defaults to plain call.
-  using Runner = std::function<void(Action&&)>;
+  /// Wraps every action execution (e.g. in a lock). Receives the context
+  /// word captured when the action was scheduled (see ContextCapture).
+  /// Defaults to plain call.
+  using Runner = std::function<void(Action&&, std::uint64_t)>;
+  /// Called at schedule time (on the scheduling thread) to capture an
+  /// opaque context word stored with the action and handed back to the
+  /// runner at fire time. The sharded transports capture the scheduler's
+  /// ambient domain mask here, so timer chains inherit their root's
+  /// domain. Defaults to ~0 (the global domain).
+  using ContextCapture = std::function<std::uint64_t()>;
 
-  explicit ThreadedExecutor(Runner runner = {});
+  explicit ThreadedExecutor(Runner runner = {}, ContextCapture capture = {});
   ~ThreadedExecutor() override;
 
   ThreadedExecutor(const ThreadedExecutor&) = delete;
@@ -61,13 +69,19 @@ class ThreadedExecutor final : public Executor {
     }
   };
 
+  struct Entry {
+    Action action;
+    std::uint64_t ctx;
+  };
+
   void loop();
 
   const std::chrono::steady_clock::time_point epoch_;
   Runner runner_;
+  ContextCapture capture_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::map<Key, Action> queue_;
+  std::map<Key, Entry> queue_;
   std::uint64_t next_seq_ = 1;
   bool stopping_ = false;
   bool in_action_ = false;

@@ -1,8 +1,13 @@
 #include "net/frame.hpp"
 
+#include <cstring>
+
 namespace paso::net {
 
 namespace {
+
+/// Consumed-prefix size past which feed() considers memmove compaction.
+constexpr std::size_t kCompactThreshold = 4096;
 
 void put_u32(std::string& out, std::uint32_t v) {
   out.push_back(static_cast<char>(v & 0xff));
@@ -75,25 +80,39 @@ const char* frame_error_name(FrameErrorKind kind) {
   return "?";
 }
 
-void encode_frame(const Frame& frame, std::string& out) {
-  const std::size_t length = kFrameHeaderBytes + frame.payload.size();
+void encode_frame_header(FrameType type, std::uint32_t machine,
+                         std::uint64_t seq, std::size_t payload_bytes,
+                         std::string& out) {
+  const std::size_t length = kFrameHeaderBytes + payload_bytes;
   put_u32(out, static_cast<std::uint32_t>(length));
-  out.push_back(static_cast<char>(frame.type));
-  put_u32(out, frame.machine);
-  put_u64(out, frame.seq);
+  out.push_back(static_cast<char>(type));
+  put_u32(out, machine);
+  put_u64(out, seq);
+}
+
+void encode_frame(const Frame& frame, std::string& out) {
+  encode_frame_header(frame.type, frame.machine, frame.seq,
+                      frame.payload.size(), out);
   out.append(frame.payload);
 }
 
 void FrameDecoder::feed(const char* data, std::size_t n) {
   if (error_ != FrameErrorKind::kNone) return;  // poisoned: drop input
   // Compact the consumed prefix before growing, so a long-lived connection
-  // never accumulates dead bytes.
+  // never accumulates dead bytes. The threshold + majority rule makes the
+  // cost linear: a compaction moves fewer live bytes than the consumed
+  // bytes it reclaims, so each byte through the decoder is moved at most
+  // once — no quadratic erase-from-front, however the stream is split.
   if (offset_ > 0 && offset_ == buffer_.size()) {
-    buffer_.clear();
+    buffer_.clear();  // keeps capacity: the common between-frames reset
     offset_ = 0;
-  } else if (offset_ > (1u << 16)) {
-    buffer_.erase(0, offset_);
+  } else if (offset_ >= kCompactThreshold && offset_ * 2 >= buffer_.size()) {
+    const std::size_t live = buffer_.size() - offset_;
+    std::memmove(buffer_.data(), buffer_.data() + offset_, live);
+    buffer_.resize(live);
     offset_ = 0;
+    ++compactions_;
+    bytes_moved_ += live;
   }
   buffer_.append(data, n);
 }
@@ -126,8 +145,10 @@ DecodeResult FrameDecoder::next() {
   result.frame.type = static_cast<FrameType>(raw_type);
   result.frame.machine = get_u32(base + 5);
   result.frame.seq = get_u64(base + 9);
-  result.frame.payload.assign(base + 4 + kFrameHeaderBytes,
-                              length - kFrameHeaderBytes);
+  if (!skip_payload_) {
+    result.frame.payload.assign(base + 4 + kFrameHeaderBytes,
+                                length - kFrameHeaderBytes);
+  }
   offset_ += 4 + length;
   return result;
 }

@@ -62,6 +62,16 @@ struct Frame {
 /// batch frames into a single write).
 void encode_frame(const Frame& frame, std::string& out);
 
+/// Append just the length prefix + header for a frame whose payload is
+/// `payload_bytes` long; the caller appends the payload bytes itself. This
+/// is the zero-copy half of encode_frame: the socket broker's kMsg payloads
+/// are all-zero filler of the declared wire size, so encoding the header
+/// and appending zeros directly avoids materializing a payload string per
+/// message.
+void encode_frame_header(FrameType type, std::uint32_t machine,
+                         std::uint64_t seq, std::size_t payload_bytes,
+                         std::string& out);
+
 enum class FrameErrorKind {
   kNone = 0,
   kOversizedLength,  ///< length prefix beyond kMaxFrameLength
@@ -99,12 +109,28 @@ class FrameDecoder {
   std::size_t pending_bytes() const { return buffer_.size() - offset_; }
   bool poisoned() const { return error_ != FrameErrorKind::kNone; }
 
+  /// When set, next() leaves frame.payload empty instead of copying it out
+  /// of the buffer. For consumers that only read the header (the machine
+  /// endpoint acks kMsg by seq and never looks at the filler payload):
+  /// steady state then allocates nothing per frame.
+  void set_skip_payload(bool skip) { skip_payload_ = skip; }
+
+  /// Compaction probes, for tests asserting the decoder's cost stays linear
+  /// in bytes fed (no quadratic erase-from-front behavior): how many times
+  /// the consumed prefix was compacted away, and how many live bytes those
+  /// compactions moved.
+  std::uint64_t compactions() const { return compactions_; }
+  std::uint64_t bytes_moved() const { return bytes_moved_; }
+
  private:
   DecodeResult fail(FrameErrorKind kind);
 
   std::string buffer_;
   std::size_t offset_ = 0;  ///< consumed prefix of buffer_
   FrameErrorKind error_ = FrameErrorKind::kNone;
+  bool skip_payload_ = false;
+  std::uint64_t compactions_ = 0;
+  std::uint64_t bytes_moved_ = 0;
 };
 
 }  // namespace paso::net

@@ -1,0 +1,116 @@
+// Domain-scoped stack locking for the real-clock transports.
+//
+// The protocol stack is partitioned per machine (runtime, memory server,
+// per-machine ledger rows), but operations span machines: a robust op
+// touches its issuer plus the write group of every class it can reach, a
+// delivery touches everything its sending chain touched plus the receiving
+// machine, and control-plane work (view installs, crash handling, setup)
+// touches everyone. Instead of one global stack mutex, each machine gets a
+// *shard*, and every protocol execution runs under the set of shards of the
+// machines it may touch — its **domain**, a 64-bit mask.
+//
+// Invariants (docs/threading.md has the full story):
+//   * Shards are always acquired in ascending machine order — a fixed
+//     global order, so any two executions' lock sets are deadlock-free.
+//   * A domain is computed *before* execution starts and only ever widens
+//     along a chain: domain(delivery) = domain(sender) | bit(to),
+//     domain(timer) = domain(scheduler). Chains rooted at a client issue
+//     start from {issuer} | support(classes); everything else is global.
+//   * Two executions that touch the same shared record always share at
+//     least one machine bit (a group's record is only touched by contexts
+//     containing its write group), so holding the domain's shards is
+//     mutual exclusion for everything the execution touches.
+//   * Machines beyond 63 don't fit the mask: their bit is the full mask,
+//     degrading those ops to global — correct, just unsharded.
+//
+// The ambient domain travels in a thread-local (`DomainScope`), keyed by
+// the owning transport so independent transports in one process (tests
+// build several clusters) never see each other's contexts. A thread with
+// no context — a bench thread, a test assertion — is treated as global.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "common/require.hpp"
+
+namespace paso::net {
+
+using DomainMask = std::uint64_t;
+inline constexpr DomainMask kGlobalDomain = ~DomainMask{0};
+
+/// The shard bit for one machine; machines past the mask width collapse to
+/// the global domain (every shard).
+inline DomainMask domain_bit(std::size_t machine) {
+  return machine < 64 ? (DomainMask{1} << machine) : kGlobalDomain;
+}
+
+struct DomainContext {
+  const void* owner = nullptr;   ///< the transport this context belongs to
+  DomainMask mask = kGlobalDomain;
+};
+
+inline DomainContext& tls_domain() {
+  thread_local DomainContext context;
+  return context;
+}
+
+/// RAII: install `mask` as the calling thread's ambient domain for `owner`.
+class DomainScope {
+ public:
+  DomainScope(const void* owner, DomainMask mask) : saved_(tls_domain()) {
+    tls_domain() = DomainContext{owner, mask};
+  }
+  ~DomainScope() { tls_domain() = saved_; }
+
+  DomainScope(const DomainScope&) = delete;
+  DomainScope& operator=(const DomainScope&) = delete;
+
+ private:
+  DomainContext saved_;
+};
+
+/// The sharded stack lock: one mutex per machine (capped at the 64-bit mask
+/// width). `DomainLock` acquires a mask's shards in ascending order.
+class ShardedStackLock {
+ public:
+  explicit ShardedStackLock(std::size_t machines)
+      : count_(machines < 64 ? machines : 64),
+        shards_(std::make_unique<std::mutex[]>(count_)) {
+    PASO_REQUIRE(machines > 0, "sharded lock needs machines");
+  }
+
+  std::size_t shard_count() const { return count_; }
+  std::mutex& shard(std::size_t i) { return shards_[i]; }
+
+ private:
+  std::size_t count_;
+  std::unique_ptr<std::mutex[]> shards_;
+};
+
+/// Scoped acquisition of every shard in `mask`, ascending — the fixed
+/// global order that keeps overlapping domains deadlock-free.
+class DomainLock {
+ public:
+  DomainLock(ShardedStackLock& lock, DomainMask mask)
+      : lock_(lock), mask_(mask) {
+    for (std::size_t i = 0; i < lock_.shard_count(); ++i) {
+      if (mask_ & (DomainMask{1} << i)) lock_.shard(i).lock();
+    }
+  }
+  ~DomainLock() {
+    for (std::size_t i = lock_.shard_count(); i-- > 0;) {
+      if (mask_ & (DomainMask{1} << i)) lock_.shard(i).unlock();
+    }
+  }
+
+  DomainLock(const DomainLock&) = delete;
+  DomainLock& operator=(const DomainLock&) = delete;
+
+ private:
+  ShardedStackLock& lock_;
+  DomainMask mask_;
+};
+
+}  // namespace paso::net

@@ -6,8 +6,10 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -76,6 +78,7 @@ SocketTransport::SocketTransport(CostModel model, std::size_t n,
     : model_(model),
       topology_(topology.resolve(n, model)),
       options_(options),
+      shards_(n),
       up_(n),
       crossing_inflight_(topology_.segment_count()) {
   PASO_REQUIRE(n > 0, "socket transport needs at least one machine");
@@ -123,11 +126,15 @@ SocketTransport::SocketTransport(CostModel model, std::size_t n,
 
   // Only now (children forked, endpoints attached) does the broker grow
   // threads: the timer loop, the supervisor monitor, IO and dispatch.
+  // Timer callbacks run under the stack shards of the domain captured when
+  // they were scheduled, so timer chains inherit their root's domain.
   executor_ = std::make_unique<exec::ThreadedExecutor>(
-      [this](exec::Executor::Action&& action) {
-        std::lock_guard<std::mutex> lock(stack_mu_);
+      [this](exec::Executor::Action&& action, std::uint64_t ctx) {
+        DomainLock lock(shards_, ctx);
+        DomainScope scope(this, ctx);
         if (!stopping_.load(std::memory_order_relaxed)) action();
-      });
+      },
+      [this] { return context_mask(); });
   supervisor_->start();
   io_thread_ = std::thread([this] { io_loop(); });
   dispatch_thread_ = std::thread([this] { dispatch_loop(); });
@@ -154,7 +161,33 @@ void SocketTransport::set_obs(obs::Obs o) { obs_ = o; }
 obs::Obs SocketTransport::observability() const { return obs_; }
 
 void SocketTransport::run_exclusive(const std::function<void()>& fn) {
-  std::lock_guard<std::mutex> lock(stack_mu_);
+  DomainLock lock(shards_, kGlobalDomain);
+  DomainScope scope(this, kGlobalDomain);
+  fn();
+}
+
+void SocketTransport::run_scoped(std::uint64_t domain,
+                                 const std::function<void()>& fn) {
+  DomainLock lock(shards_, domain);
+  DomainScope scope(this, domain);
+  fn();
+}
+
+bool SocketTransport::context_is_global() const {
+  return context_mask() == kGlobalDomain;
+}
+
+void SocketTransport::defer_exclusive(std::function<void()> fn) {
+  // Re-run `fn` outside the current (narrow) domain: schedule it with a
+  // forced-global context so the timer runner takes every shard.
+  DomainScope scope(this, kGlobalDomain);
+  executor_->schedule_after(0, std::move(fn));
+}
+
+void SocketTransport::with_global_context(const std::function<void()>& fn) {
+  // No locks taken — only widens the advertised context so nested sends
+  // capture the global domain (cross-domain notification hops).
+  DomainScope scope(this, kGlobalDomain);
   fn();
 }
 
@@ -175,10 +208,15 @@ void SocketTransport::send(MachineId from, MachineId to, const std::string& tag,
   if (stopping_.load(std::memory_order_relaxed)) return;
   if (!is_up(from)) return;  // a crashed machine sends nothing
 
+  // The delivery's domain: everything the sending execution may touch,
+  // widened by the destination — same contract as the threaded transport.
+  const DomainMask domain = context_mask() | domain_bit(to.value);
+
   if (from == to) {
     // Local hand-off: no wire, no cost — the socket analogue of the
-    // simulator's schedule_after(0); runs under the stack lock on the
-    // timer thread.
+    // simulator's schedule_after(0); runs under the domain's stack shards
+    // on the timer thread.
+    DomainScope scope(this, domain);
     executor_->schedule_after(0, std::move(deliver));
     return;
   }
@@ -189,9 +227,9 @@ void SocketTransport::send(MachineId from, MachineId to, const std::string& tag,
 
   // Model-cost accounting, identical to the simulated bus and the threaded
   // transport — that identity is what lets trace_diff reconcile a socket
-  // run's CostLedger against a simulated replay exactly. The caller holds
-  // the stack lock (all sends originate from protocol code), so the ledger
-  // and obs handles are safe to touch.
+  // run's CostLedger against a simulated replay exactly. The ledger
+  // serializes internally; obs handles are only touched under the global
+  // domain (context_mask forces global whenever obs is installed).
   Cost cost = 0;
   Cost alpha_part = 0;
   std::size_t hops = 0;
@@ -199,7 +237,7 @@ void SocketTransport::send(MachineId from, MachineId to, const std::string& tag,
   if (sf == st) {
     cost = src.message(bytes);
     alpha_part = src.alpha;
-    enqueue_msg(to, /*crossing=*/false, st, bytes, std::move(deliver));
+    enqueue_msg(to, /*crossing=*/false, st, bytes, std::move(deliver), domain);
   } else {
     const CostModel& dst = topology_.segment_model(st);
     hops = sf < st ? st - sf : sf - st;
@@ -229,7 +267,7 @@ void SocketTransport::send(MachineId from, MachineId to, const std::string& tag,
       alpha_part = src.alpha + dst.alpha +
                    static_cast<Cost>(hops) * topology_.bridge_alpha();
       crossing_inflight_[st].fetch_add(1, std::memory_order_acq_rel);
-      enqueue_msg(to, /*crossing=*/true, st, bytes, std::move(deliver));
+      enqueue_msg(to, /*crossing=*/true, st, bytes, std::move(deliver), domain);
     }
   }
   ledger_.charge_message(tag, bytes, cost);
@@ -256,7 +294,7 @@ void SocketTransport::send(MachineId from, MachineId to, const std::string& tag,
 
 void SocketTransport::enqueue_msg(MachineId to, bool crossing,
                                   std::uint32_t dst_segment, std::size_t bytes,
-                                  Delivery deliver) {
+                                  Delivery deliver, DomainMask domain) {
   Endpoint& ep = *endpoints_[to.value];
   if (ep.dead.load(std::memory_order_acquire)) {
     // The destination's process is gone but the protocol crash hasn't
@@ -267,23 +305,97 @@ void SocketTransport::enqueue_msg(MachineId to, bool crossing,
     if (crossing) {
       crossing_inflight_[dst_segment].fetch_sub(1, std::memory_order_acq_rel);
     }
-    return;  // `deliver` destroyed here, under the caller's stack lock
+    return;  // `deliver` destroyed here, under the caller's stack shards
   }
-
-  Frame frame;
-  frame.type = FrameType::kMsg;
-  frame.machine = static_cast<std::uint32_t>(to.value);
-  frame.seq = ep.next_seq++;
-  frame.payload.assign(bytes, '\0');  // the declared wire size, really sent
 
   inflight_.fetch_add(1, std::memory_order_acq_rel);
   {
+    // seq is assigned under io_mu_: the caller holds its domain's shards,
+    // which need not include the destination's bit, so concurrent senders
+    // toward the same endpoint serialize here, not on the stack lock.
     std::lock_guard<std::mutex> lock(io_mu_);
-    ep.pending.push_back(
-        {frame.seq, crossing, dst_segment, std::move(deliver)});
-    encode_frame(frame, ep.outbuf);
+    const std::uint64_t seq = ep.next_seq++;
+    ep.pending.push_back({seq, crossing, dst_segment, std::move(deliver),
+                          domain});
+    append_wire(ep, FrameType::kMsg, static_cast<std::uint32_t>(to.value), seq,
+                bytes);
   }
   wake_io();
+}
+
+void SocketTransport::append_wire(Endpoint& ep, FrameType type,
+                                  std::uint32_t machine, std::uint64_t seq,
+                                  std::size_t payload_bytes) {
+  // Slab size trades pool memory against iovec count: 64 KiB holds ~hundreds
+  // of typical frames, so even a large burst flushes in one writev.
+  constexpr std::size_t kSlabBytes = 64 * 1024;
+  const std::size_t need = 4 + kFrameHeaderBytes + payload_bytes;
+  if (ep.outq.empty() || ep.outq.back().size() + need > kSlabBytes) {
+    if (!slab_pool_.empty()) {
+      ep.outq.push_back(std::move(slab_pool_.back()));
+      slab_pool_.pop_back();
+    } else {
+      ep.outq.emplace_back();
+      ep.outq.back().reserve(kSlabBytes);
+    }
+  }
+  std::string& slab = ep.outq.back();
+  encode_frame_header(type, machine, seq, payload_bytes, slab);
+  // kMsg payloads are all-zero filler of the declared wire size: append
+  // zeros straight into the slab instead of materializing a payload string.
+  slab.append(payload_bytes, '\0');
+  frames_sent_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SocketTransport::put_slab(std::string&& slab) {
+  // Cap the pool so a one-off burst doesn't pin its high-water mark forever.
+  constexpr std::size_t kMaxPooledSlabs = 64;
+  if (slab_pool_.size() >= kMaxPooledSlabs) return;  // let it free
+  slab.clear();  // keeps capacity
+  slab_pool_.push_back(std::move(slab));
+}
+
+void SocketTransport::flush_endpoint(Endpoint& ep) {
+  // Vectored flush: every slab queued for this endpoint leaves in a single
+  // writev when the kernel buffer allows — all frames queued while the wire
+  // was busy coalesce into one syscall (the frames_sent/write_syscalls
+  // ratio measures exactly this).
+  constexpr std::size_t kMaxIov = 64;
+  while (!ep.outq.empty()) {
+    iovec iov[kMaxIov];
+    std::size_t n_iov = 0;
+    std::size_t queued = 0;
+    for (const std::string& slab : ep.outq) {
+      if (n_iov == kMaxIov) break;
+      const std::size_t off = n_iov == 0 ? ep.out_off : 0;
+      iov[n_iov].iov_base = const_cast<char*>(slab.data() + off);
+      iov[n_iov].iov_len = slab.size() - off;
+      queued += iov[n_iov].iov_len;
+      ++n_iov;
+    }
+    const ssize_t n = ::writev(ep.fd, iov, static_cast<int>(n_iov));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // EAGAIN (kernel buffer full) or a dying socket — reads deliver the
+      // verdict; POLLOUT re-arms while the queue is nonempty.
+      return;
+    }
+    write_syscalls_.fetch_add(1, std::memory_order_relaxed);
+    std::size_t written = static_cast<std::size_t>(n);
+    while (written > 0 && !ep.outq.empty()) {
+      const std::size_t front_left = ep.outq.front().size() - ep.out_off;
+      if (written >= front_left) {
+        written -= front_left;
+        put_slab(std::move(ep.outq.front()));
+        ep.outq.pop_front();
+        ep.out_off = 0;
+      } else {
+        ep.out_off += written;
+        written = 0;
+      }
+    }
+    if (static_cast<std::size_t>(n) < queued) return;  // partial: wire full
+  }
 }
 
 void SocketTransport::wake_io() {
@@ -302,17 +414,18 @@ std::size_t SocketTransport::attach_connection(int fd, const Frame& hello) {
   }
   Endpoint& ep = *endpoints_[m];
   set_nonblocking_nodelay(fd);
-  Frame ack;
-  ack.type = FrameType::kHelloAck;
-  ack.machine = static_cast<std::uint32_t>(m);
   {
     std::lock_guard<std::mutex> lock(io_mu_);
     ep.fd = fd;
     ep.decoder = FrameDecoder{};
-    ep.outbuf.clear();
+    while (!ep.outq.empty()) {
+      put_slab(std::move(ep.outq.front()));
+      ep.outq.pop_front();
+    }
     ep.out_off = 0;
     ep.bye_seen = false;
-    encode_frame(ack, ep.outbuf);
+    append_wire(ep, FrameType::kHelloAck, static_cast<std::uint32_t>(m),
+                /*seq=*/0, /*payload_bytes=*/0);
   }
   supervisor_->beat(static_cast<std::uint32_t>(m));
   ep.dead.store(false, std::memory_order_release);
@@ -335,7 +448,17 @@ bool SocketTransport::await_handshakes(std::size_t expected, long timeout_us) {
     std::vector<pollfd> fds;
     fds.push_back({listen_fd_, POLLIN, 0});
     for (const PendingConn& c : conns) fds.push_back({c.fd, POLLIN, 0});
-    ::poll(fds.data(), fds.size(), 50);
+    // Connections accepted below grow `conns` past what was polled; only
+    // the first `polled` entries have a pollfd this round.
+    const std::size_t polled = conns.size();
+    // Sleep toward the handshake deadline, not a fixed tick: connection and
+    // Hello arrivals wake the poll, the deadline bounds a silent child.
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    const int timeout_ms =
+        left.count() < 1 ? 1 : static_cast<int>(std::min<long long>(
+                                   left.count(), 1'000));
+    ::poll(fds.data(), fds.size(), timeout_ms);
     if (fds[0].revents & POLLIN) {
       for (;;) {
         const int fd = ::accept(listen_fd_, nullptr, nullptr);
@@ -343,8 +466,11 @@ bool SocketTransport::await_handshakes(std::size_t expected, long timeout_us) {
         conns.push_back({fd, FrameDecoder{}, deadline});
       }
     }
-    for (std::size_t i = 0; i < conns.size();) {
-      if (!(fds[i + 1].revents & (POLLIN | POLLHUP | POLLERR))) {
+    // fds[j + 1] polled conns[i]; erasing a conn shifts later ones down
+    // while their pollfds stay put, so the two indices advance separately.
+    std::size_t i = 0;
+    for (std::size_t j = 0; j < polled; ++j) {
+      if (!(fds[j + 1].revents & (POLLIN | POLLHUP | POLLERR))) {
         ++i;
         continue;
       }
@@ -396,7 +522,10 @@ void SocketTransport::handle_peer_death(std::uint32_t machine,
   {
     std::lock_guard<std::mutex> lock(io_mu_);
     dropped.swap(ep.pending);
-    ep.outbuf.clear();
+    while (!ep.outq.empty()) {
+      put_slab(std::move(ep.outq.front()));
+      ep.outq.pop_front();
+    }
     ep.out_off = 0;
   }
   if (!dropped.empty()) {
@@ -407,9 +536,10 @@ void SocketTransport::handle_peer_death(std::uint32_t machine,
             1, std::memory_order_acq_rel);
       }
     }
-    // Dropped deliveries own protocol objects; destroy them under the
-    // stack lock like every other protocol-state mutation.
-    std::lock_guard<std::mutex> lock(stack_mu_);
+    // Dropped deliveries own protocol objects; destroy them under every
+    // stack shard like every other protocol-state mutation (their domains
+    // are mixed, so take the global lockset once).
+    DomainLock lock(shards_, kGlobalDomain);
     dropped.clear();
   }
   wake_io();
@@ -434,12 +564,14 @@ void SocketTransport::handle_frames(std::uint32_t machine) {
         bool fifo_ok = false;
         bool crossing = false;
         std::uint32_t dst_segment = 0;
+        DomainMask domain = kGlobalDomain;
         {
           std::lock_guard<std::mutex> lock(io_mu_);
           if (!ep.pending.empty() && ep.pending.front().seq == r.frame.seq) {
             fifo_ok = true;
             crossing = ep.pending.front().crossing;
             dst_segment = ep.pending.front().dst_segment;
+            domain = ep.pending.front().domain;
             deliver = std::move(ep.pending.front().deliver);
             ep.pending.pop_front();
           }
@@ -459,7 +591,7 @@ void SocketTransport::handle_frames(std::uint32_t machine) {
         supervisor_->beat(machine);
         {
           std::lock_guard<std::mutex> lock(dispatch_mu_);
-          dispatch_queue_.emplace_back(machine, std::move(deliver));
+          dispatch_queue_.push_back({machine, std::move(deliver), domain});
         }
         dispatch_cv_.notify_one();
         break;
@@ -518,7 +650,7 @@ void SocketTransport::io_loop() {
         Endpoint& ep = *endpoints_[m];
         if (ep.fd < 0 || ep.dead.load(std::memory_order_acquire)) continue;
         short events = POLLIN;
-        if (ep.out_off < ep.outbuf.size()) events |= POLLOUT;
+        if (!ep.outq.empty()) events |= POLLOUT;
         fds.push_back({ep.fd, events, 0});
         owners.push_back(static_cast<long>(m));
       }
@@ -528,7 +660,27 @@ void SocketTransport::io_loop() {
       }
     }
 
-    const int ready = ::poll(fds.data(), fds.size(), 20);
+    // Sleep until a socket or the wake pipe stirs: enqueue_msg and shutdown
+    // both write the wake pipe, so no fixed tick is needed. The only timed
+    // wakeup this loop owes anyone is expiring a half-open handshake, so the
+    // timeout is that deadline — or forever when none is pending.
+    int timeout_ms = -1;
+    {
+      std::lock_guard<std::mutex> lock(io_mu_);
+      if (!pending_conns_.empty()) {
+        Clock::time_point earliest = pending_conns_[0].deadline;
+        for (const PendingConn& c : pending_conns_) {
+          earliest = std::min(earliest, c.deadline);
+        }
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            earliest - Clock::now());
+        timeout_ms = left.count() < 1
+                         ? 1
+                         : static_cast<int>(
+                               std::min<long long>(left.count(), 1'000));
+      }
+    }
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
     if (ready < 0 && errno != EINTR) break;
 
     for (std::size_t i = 0; i < fds.size(); ++i) {
@@ -614,22 +766,7 @@ void SocketTransport::io_loop() {
 
       if (fds[i].revents & POLLOUT) {
         std::lock_guard<std::mutex> lock(io_mu_);
-        while (ep.out_off < ep.outbuf.size()) {
-          const ssize_t n =
-              ::send(ep.fd, ep.outbuf.data() + ep.out_off,
-                     ep.outbuf.size() - ep.out_off, MSG_NOSIGNAL);
-          if (n > 0) {
-            ep.out_off += static_cast<std::size_t>(n);
-            continue;
-          }
-          if (n < 0 && errno == EINTR) continue;
-          break;  // EAGAIN (kernel buffer full) or a dying socket — reads
-                  // will deliver the verdict
-        }
-        if (ep.out_off > 0 && ep.out_off == ep.outbuf.size()) {
-          ep.outbuf.clear();
-          ep.out_off = 0;
-        }
+        flush_endpoint(ep);
       }
 
       if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
@@ -658,12 +795,13 @@ void SocketTransport::io_loop() {
 }
 
 void SocketTransport::dispatch_loop() {
-  std::deque<std::pair<std::uint32_t, Delivery>> batch;
-  std::size_t executed = 0;
+  std::deque<Dispatch> batch;
   for (;;) {
     {
+      // Plain predicate wait — no timed tick. Shutdown notifies under
+      // dispatch_mu_ after flipping stopping_, so the wakeup cannot be lost.
       std::unique_lock<std::mutex> lock(dispatch_mu_);
-      dispatch_cv_.wait_for(lock, std::chrono::milliseconds(50), [this] {
+      dispatch_cv_.wait(lock, [this] {
         return !dispatch_queue_.empty() ||
                stopping_.load(std::memory_order_acquire);
       });
@@ -674,22 +812,24 @@ void SocketTransport::dispatch_loop() {
       dispatcher_busy_.store(true, std::memory_order_release);
       batch.swap(dispatch_queue_);
     }
-    {
-      // Execute phase: protocol code runs under the stack lock, in ack
-      // order. The machine's up check happens at execution time, mirroring
-      // the simulated bus's delivery-time crash drop.
-      std::lock_guard<std::mutex> lock(stack_mu_);
-      for (auto& [machine, deliver] : batch) {
-        if (!stopping_.load(std::memory_order_relaxed) &&
-            up_[machine].load(std::memory_order_acquire)) {
-          deliver();
-        }
+    // Execute phase: each delivery runs under the stack shards of its own
+    // domain, in ack order — narrow domains let deliveries toward disjoint
+    // machine sets overlap with issues elsewhere. The machine's up check
+    // happens at execution time, mirroring the simulated bus's
+    // delivery-time crash drop.
+    const std::size_t executed = batch.size();
+    for (Dispatch& d : batch) {
+      DomainLock lock(shards_, d.domain);
+      DomainScope scope(this, d.domain);
+      if (!stopping_.load(std::memory_order_relaxed) &&
+          up_[d.machine].load(std::memory_order_acquire)) {
+        d.deliver();
       }
-      executed = batch.size();
-      batch.clear();  // destroy closures under the stack lock
+      d.deliver = nullptr;  // destroy the closure under its domain's shards
     }
+    batch.clear();
     // Deliveries leave "in flight" only after their effects are visible
-    // under the stack lock; busy drops last so quiesce() cannot observe
+    // under their shards; busy drops last so quiesce() cannot observe
     // inflight==0 with the dispatcher still mid-batch.
     inflight_.fetch_sub(executed, std::memory_order_acq_rel);
     dispatcher_busy_.store(false, std::memory_order_release);
@@ -766,10 +906,8 @@ void SocketTransport::shutdown() {
     for (std::size_t m = 0; m < endpoints_.size(); ++m) {
       Endpoint& ep = *endpoints_[m];
       if (ep.fd < 0 || ep.dead.load(std::memory_order_acquire)) continue;
-      Frame bye;
-      bye.type = FrameType::kShutdown;
-      bye.machine = static_cast<std::uint32_t>(m);
-      encode_frame(bye, ep.outbuf);
+      append_wire(ep, FrameType::kShutdown, static_cast<std::uint32_t>(m),
+                  /*seq=*/0, /*payload_bytes=*/0);
     }
   }
   wake_io();
@@ -795,6 +933,12 @@ void SocketTransport::shutdown() {
 
   io_stop_.store(true, std::memory_order_release);
   wake_io();
+  {
+    // Touch dispatch_mu_ before notifying: the dispatcher uses an untimed
+    // predicate wait, so a notify racing between its predicate check and
+    // its sleep would otherwise be lost forever.
+    std::lock_guard<std::mutex> lock(dispatch_mu_);
+  }
   dispatch_cv_.notify_all();
   if (io_thread_.joinable()) io_thread_.join();
   if (dispatch_thread_.joinable()) dispatch_thread_.join();
@@ -802,14 +946,17 @@ void SocketTransport::shutdown() {
   supervisor_->stop();  // reaps every child (SIGKILL escalation for wedges)
 
   // Pending deliveries are dropped without running — the protocol objects
-  // they point into may be about to die. Destroy them under the stack lock
-  // for symmetry with the execution path.
+  // they point into may be about to die. Destroy them under every stack
+  // shard for symmetry with the execution path, in the send path's order
+  // (shards, then io_mu_) so the lock-order graph stays acyclic even
+  // though every other thread is already joined here.
   {
+    DomainLock stack_lock(shards_, kGlobalDomain);
     std::lock_guard<std::mutex> io_lock(io_mu_);
-    std::lock_guard<std::mutex> stack_lock(stack_mu_);
     for (auto& ep : endpoints_) {
       ep->pending.clear();
-      ep->outbuf.clear();
+      ep->outq.clear();
+      ep->out_off = 0;
       if (ep->fd >= 0) {
         ::close(ep->fd);
         ep->fd = -1;

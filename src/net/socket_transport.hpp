@@ -41,10 +41,16 @@
 // faster, via EOF — and surfaces as a protocol crash, not a wedge.
 //
 // Threads in the broker: one IO thread (poll over all endpoint sockets +
-// the listener + a wake pipe), one dispatcher thread executing delivered
-// closures under the stack lock, and the ThreadedExecutor's timer thread.
-// All protocol execution is serialized under the one stack lock, exactly
-// like the threaded transport; 1 cost unit = 1 microsecond.
+// the listener + a wake pipe; it sleeps until woken or the earliest
+// pending-handshake deadline — no fixed poll tick), one dispatcher thread
+// executing delivered closures, and the ThreadedExecutor's timer thread.
+// All protocol execution — issues, deliveries, timer callbacks — runs
+// under the machine-sharded stack lock (net/shard.hpp), identical to the
+// threaded transport's contract: each execution holds the shards of its
+// domain, acquired in ascending order; 1 cost unit = 1 microsecond.
+// Output IO is batched: frames queued toward an endpoint accumulate in
+// pooled slabs and leave in a single writev (frames_sent/write_syscalls
+// counters expose the coalescing ratio).
 #pragma once
 
 #include <atomic>
@@ -60,6 +66,7 @@
 
 #include "exec/threaded_executor.hpp"
 #include "net/frame.hpp"
+#include "net/shard.hpp"
 #include "net/transport.hpp"
 #include "proc/supervisor.hpp"
 
@@ -105,6 +112,11 @@ class SocketTransport final : public Transport {
   void set_obs(obs::Obs o) override;
   obs::Obs observability() const override;
   void run_exclusive(const std::function<void()>& fn) override;
+  void run_scoped(std::uint64_t domain,
+                  const std::function<void()>& fn) override;
+  bool context_is_global() const override;
+  void defer_exclusive(std::function<void()> fn) override;
+  void with_global_context(const std::function<void()>& fn) override;
   void shutdown() override;
 
   // --- process plane ----------------------------------------------------------
@@ -143,6 +155,17 @@ class SocketTransport final : public Transport {
   std::uint64_t acks_received() const {
     return acks_.load(std::memory_order_relaxed);
   }
+  /// Frames queued toward machine processes (kMsg and control frames).
+  std::uint64_t frames_sent() const {
+    return frames_sent_.load(std::memory_order_relaxed);
+  }
+  /// writev() calls the IO thread made flushing endpoint output. The batch
+  /// ratio frames_sent() / write_syscalls() is the syscall-coalescing win:
+  /// every frame queued while the wire was busy rides a later vectored
+  /// write for free.
+  std::uint64_t write_syscalls() const {
+    return write_syscalls_.load(std::memory_order_relaxed);
+  }
   std::uint64_t heartbeats_seen() const {
     return heartbeats_.load(std::memory_order_relaxed);
   }
@@ -175,19 +198,23 @@ class SocketTransport final : public Transport {
     int fd = -1;
     std::atomic<bool> dead{false};
     FrameDecoder decoder;        ///< IO thread only
-    std::string outbuf;          ///< io_mu_
+    /// Outgoing wire bytes as a queue of pooled slabs; out_off is the
+    /// already-sent prefix of the front slab. The IO thread flushes the
+    /// whole queue with one writev per poll wakeup. io_mu_.
+    std::deque<std::string> outq;
     std::size_t out_off = 0;     ///< io_mu_
     /// FIFO of frames on the wire / in the child's ingress: seq, whether
-    /// the transmission was a bridge crossing, and the delivery to run on
-    /// ack. io_mu_.
+    /// the transmission was a bridge crossing, the delivery to run on ack,
+    /// and the stack-shard domain that delivery must hold. io_mu_.
     struct Pending {
       std::uint64_t seq;
       bool crossing;
       std::uint32_t dst_segment;
       Delivery deliver;
+      DomainMask domain = kGlobalDomain;
     };
     std::deque<Pending> pending;
-    std::uint64_t next_seq = 1;  ///< stack lock (send path)
+    std::uint64_t next_seq = 1;  ///< io_mu_
     /// Expected Hello token; respawn rotates it so a stale incarnation's
     /// half-dead socket cannot impersonate the replacement.
     std::atomic<std::uint64_t> token{0};
@@ -215,9 +242,27 @@ class SocketTransport final : public Transport {
   /// Returns the attached machine or SIZE_MAX.
   std::size_t attach_connection(int fd, const Frame& hello);
   /// Frame a transmission toward `to` and queue its delivery on the ack
-  /// FIFO. Caller holds the stack lock (send path).
+  /// FIFO with the stack-shard `domain` its execution must hold.
   void enqueue_msg(MachineId to, bool crossing, std::uint32_t dst_segment,
-                   std::size_t bytes, Delivery deliver);
+                   std::size_t bytes, Delivery deliver, DomainMask domain);
+  /// Append a frame header plus `payload_bytes` of zero filler to the
+  /// endpoint's slab queue. Caller holds io_mu_.
+  void append_wire(Endpoint& ep, FrameType type, std::uint32_t machine,
+                   std::uint64_t seq, std::size_t payload_bytes);
+  /// Recycle a drained slab (io_mu_ held).
+  void put_slab(std::string&& slab);
+  /// Flush the endpoint's slab queue with vectored writes until the wire
+  /// blocks or the queue drains. Caller holds io_mu_.
+  void flush_endpoint(Endpoint& ep);
+  /// The calling thread's ambient domain on THIS transport (global for
+  /// foreign threads); observability forces global — see threaded peer.
+  DomainMask context_mask() const {
+    if (obs_.metrics != nullptr || obs_.tracer != nullptr) {
+      return kGlobalDomain;
+    }
+    const DomainContext& c = tls_domain();
+    return c.owner == this ? c.mask : kGlobalDomain;
+  }
 
   CostModel model_;
   Topology topology_;
@@ -225,8 +270,9 @@ class SocketTransport final : public Transport {
   obs::Obs obs_;
   SocketTransportOptions options_;
 
-  /// THE stack lock: every protocol step (issue, delivery, timer) holds it.
-  std::mutex stack_mu_;
+  /// THE stack lock, sharded per machine: every protocol step (issue,
+  /// delivery, timer) holds the shards of its domain, ascending.
+  ShardedStackLock shards_;
 
   std::unique_ptr<exec::ThreadedExecutor> executor_;
   std::unique_ptr<proc::Supervisor> supervisor_;
@@ -238,16 +284,24 @@ class SocketTransport final : public Transport {
 
   std::vector<std::atomic<bool>> up_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
-  /// io_mu_ guards every endpoint's outbuf/out_off/pending/bye, the
-  /// pending-conn list, and fd lifecycle transitions.
+  /// io_mu_ guards every endpoint's outq/out_off/pending/bye/next_seq, the
+  /// pending-conn list, the slab pool, and fd lifecycle transitions.
   mutable std::mutex io_mu_;
   std::vector<PendingConn> pending_conns_;
+  /// Recycled output slabs (io_mu_): steady state allocates nothing per
+  /// message — headers and filler are appended into pooled buffers.
+  std::vector<std::string> slab_pool_;
 
-  /// Dispatcher: closures acked back from machine processes, executed under
-  /// the stack lock in ack order.
+  /// Dispatcher: closures acked back from machine processes, executed
+  /// under their domain's stack shards in ack order.
+  struct Dispatch {
+    std::uint32_t machine;
+    Delivery deliver;
+    DomainMask domain = kGlobalDomain;
+  };
   std::mutex dispatch_mu_;
   std::condition_variable dispatch_cv_;
-  std::deque<std::pair<std::uint32_t, Delivery>> dispatch_queue_;
+  std::deque<Dispatch> dispatch_queue_;
   std::atomic<bool> dispatcher_busy_{false};
 
   /// Bounded-bridge credit: crossings in flight toward each segment.
@@ -267,6 +321,8 @@ class SocketTransport final : public Transport {
   std::atomic<std::uint64_t> acks_{0};
   std::atomic<std::uint64_t> heartbeats_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> frames_sent_{0};
+  std::atomic<std::uint64_t> write_syscalls_{0};
 };
 
 }  // namespace paso::net

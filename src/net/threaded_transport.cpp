@@ -32,6 +32,7 @@ ThreadedTransport::ThreadedTransport(CostModel model, std::size_t n,
     : model_(model),
       topology_(topology.resolve(n, model)),
       options_(options),
+      shards_(n),
       up_(n) {
   ledger_.ensure_machines(n);
   for (auto& up : up_) up.store(true, std::memory_order_relaxed);
@@ -42,16 +43,20 @@ ThreadedTransport::ThreadedTransport(CostModel model, std::size_t n,
   for (std::size_t s = 0; s < segments; ++s) {
     for (std::size_t m = 0; m < n; ++m) {
       rings_.push_back(
-          std::make_unique<SpscRing<Delivery>>(options_.ring_capacity));
+          std::make_unique<SpscRing<Sealed>>(options_.ring_capacity));
     }
   }
-  // Timer callbacks are protocol code: run them under the stack lock like
-  // every delivery and client issue.
+  // Timer callbacks are protocol code: run them under the stack shards of
+  // the domain captured when they were scheduled, like every delivery and
+  // client issue. The capture hook reads the scheduling thread's ambient
+  // domain, so timer chains inherit their root execution's domain.
   executor_ = std::make_unique<exec::ThreadedExecutor>(
-      [this](exec::Executor::Action&& action) {
-        std::lock_guard<std::mutex> lock(stack_mu_);
+      [this](exec::Executor::Action&& action, std::uint64_t ctx) {
+        DomainLock lock(shards_, ctx);
+        DomainScope scope(this, ctx);
         if (!stopping_.load(std::memory_order_relaxed)) action();
-      });
+      },
+      [this] { return context_mask(); });
   for (std::uint32_t m = 0; m < n; ++m) {
     workers_.push_back(std::make_unique<Worker>());
     workers_.back()->overflow.resize(segments);
@@ -98,7 +103,37 @@ void ThreadedTransport::set_obs(obs::Obs o) {
 obs::Obs ThreadedTransport::observability() const { return obs_; }
 
 void ThreadedTransport::run_exclusive(const std::function<void()>& fn) {
-  std::lock_guard<std::mutex> lock(stack_mu_);
+  DomainLock lock(shards_, kGlobalDomain);
+  DomainScope scope(this, kGlobalDomain);
+  fn();
+}
+
+void ThreadedTransport::run_scoped(std::uint64_t domain,
+                                   const std::function<void()>& fn) {
+  DomainLock lock(shards_, domain);
+  DomainScope scope(this, domain);
+  fn();
+}
+
+bool ThreadedTransport::context_is_global() const {
+  return context_mask() == kGlobalDomain;
+}
+
+void ThreadedTransport::defer_exclusive(std::function<void()> fn) {
+  // Re-run `fn` outside the current (narrow) domain: hand it to the timer
+  // thread with a forced-global context, so the runner takes every shard.
+  // The scheduling context must be global for the capture hook to record
+  // kGlobalDomain — force it via TLS for the duration of the schedule call.
+  DomainScope scope(this, kGlobalDomain);
+  executor_->schedule_after(0, std::move(fn));
+}
+
+void ThreadedTransport::with_global_context(const std::function<void()>& fn) {
+  // No locks taken: the caller already holds its domain's shards. This only
+  // widens the *advertised* context so nested sends capture the global
+  // domain (used for cross-domain notification hops whose downstream
+  // chains cannot be bounded by the current domain).
+  DomainScope scope(this, kGlobalDomain);
   fn();
 }
 
@@ -111,10 +146,17 @@ void ThreadedTransport::send(MachineId from, MachineId to,
   if (stopping_.load(std::memory_order_relaxed)) return;
   if (!is_up(from)) return;  // a crashed machine sends nothing
 
+  // The delivery's domain: everything the sending execution may touch,
+  // widened by the destination. The delivery can then observe (and extend)
+  // exactly the state its cause could — domains only ever widen along a
+  // causal chain.
+  const DomainMask domain = context_mask() | domain_bit(to.value);
+
   if (from == to) {
     // Local hand-off: no bus transmission, no cost; runs on the timer
-    // thread (under the stack lock) as soon as possible — the threaded
-    // analogue of the simulator's schedule_after(0).
+    // thread (under the stack shards of `domain`) as soon as possible —
+    // the threaded analogue of the simulator's schedule_after(0).
+    DomainScope scope(this, domain);
     executor_->schedule_after(0, std::move(deliver));
     return;
   }
@@ -125,8 +167,9 @@ void ThreadedTransport::send(MachineId from, MachineId to,
 
   // Model-cost accounting, identical to the simulated bus: the ledger (and
   // the tracer's per-message records) see the same alpha/beta charges on
-  // either transport. The caller holds the stack lock (all sends originate
-  // from protocol code), so the ledger and obs handles are safe to touch.
+  // either transport. The ledger serializes internally; the obs handles are
+  // only ever touched under the global domain (context_mask() forces global
+  // whenever observability is installed).
   Cost cost = 0;
   Cost alpha_part = 0;
   std::size_t hops = 0;
@@ -134,7 +177,7 @@ void ThreadedTransport::send(MachineId from, MachineId to,
   if (sf == st) {
     cost = src.message(bytes);
     alpha_part = src.alpha;
-    enqueue(st, to, std::move(deliver), kUnboundedBridge);
+    enqueue(st, to, Sealed{std::move(deliver), domain}, kUnboundedBridge);
   } else {
     const CostModel& dst = topology_.segment_model(st);
     hops = sf < st ? st - sf : sf - st;
@@ -148,7 +191,7 @@ void ThreadedTransport::send(MachineId from, MachineId to,
     const std::size_t cap =
         topology_.bounded_bridges() ? topology_.bridge_capacity()
                                     : kUnboundedBridge;
-    shed = !enqueue(st, to, std::move(deliver), cap);
+    shed = !enqueue(st, to, Sealed{std::move(deliver), domain}, cap);
     if (shed) {
       // The crossing died at the full ingress: charge the source bus and
       // the bridge hops that actually carried it, never the destination.
@@ -185,7 +228,7 @@ void ThreadedTransport::send(MachineId from, MachineId to,
 }
 
 bool ThreadedTransport::enqueue(std::uint32_t segment, MachineId to,
-                                Delivery deliver, std::size_t cap) {
+                                Sealed sealed, std::size_t cap) {
   Worker& worker = *workers_[to.value];
   inflight_.fetch_add(1, std::memory_order_acq_rel);
   {
@@ -207,7 +250,7 @@ bool ThreadedTransport::enqueue(std::uint32_t segment, MachineId to,
         return false;
       }
     }
-    if (!spill) spill = !ring(segment, to.value).try_push(std::move(deliver));
+    if (!spill) spill = !ring(segment, to.value).try_push(std::move(sealed));
     if (spill) {
       // Ring full (or draining a previous spill): spill to the overflow
       // lane. FIFO per (segment, machine) survives because the producer
@@ -215,7 +258,7 @@ bool ThreadedTransport::enqueue(std::uint32_t segment, MachineId to,
       // worker always drains ring-then-overflow.
       overflowed_.fetch_add(1, std::memory_order_relaxed);
       std::lock_guard<std::mutex> lock(worker.overflow_mu);
-      worker.overflow[segment].push_back(std::move(deliver));
+      worker.overflow[segment].push_back(std::move(sealed));
     }
   }
   wake(worker);
@@ -241,14 +284,14 @@ bool ThreadedTransport::workers_idle() const {
 void ThreadedTransport::worker_loop(std::uint32_t machine) {
   Worker& worker = *workers_[machine];
   const std::size_t segments = topology_.segment_count();
-  std::vector<Delivery> batch;
+  std::vector<Sealed> batch;
   while (true) {
     batch.clear();
     // Drain phase (lock-free except the overflow lane): ring first, then
     // overflow — overflow entries are always newer than every ring entry
     // present when they spilled.
     for (std::uint32_t s = 0; s < segments; ++s) {
-      Delivery d;
+      Sealed d;
       while (ring(s, machine).try_pop(d)) batch.push_back(std::move(d));
       std::lock_guard<std::mutex> lock(worker.overflow_mu);
       auto& lane = worker.overflow[s];
@@ -260,16 +303,17 @@ void ThreadedTransport::worker_loop(std::uint32_t machine) {
 
     if (!batch.empty()) {
       worker.busy.store(true, std::memory_order_release);
-      {
-        // Execute phase: protocol code runs under the stack lock. The
-        // machine's up check happens at execution time, mirroring the
-        // simulated bus's delivery-time crash drop.
-        std::lock_guard<std::mutex> lock(stack_mu_);
-        for (Delivery& d : batch) {
-          if (!stopping_.load(std::memory_order_relaxed) &&
-              up_[machine].load(std::memory_order_acquire)) {
-            d();
-          }
+      // Execute phase: each delivery runs under the stack shards of its
+      // sealed domain (sender's domain | this machine), so deliveries
+      // bound for disjoint machine sets execute concurrently across
+      // workers. The machine's up check happens at execution time,
+      // mirroring the simulated bus's delivery-time crash drop.
+      for (Sealed& d : batch) {
+        DomainLock lock(shards_, d.domain);
+        DomainScope scope(this, d.domain);
+        if (!stopping_.load(std::memory_order_relaxed) &&
+            up_[machine].load(std::memory_order_acquire)) {
+          d.fn();
         }
       }
       // Deliveries leave "in flight" only after their effects are visible

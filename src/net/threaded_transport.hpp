@@ -15,13 +15,20 @@
 //
 // Concurrency contract (the full memory-order story is docs/threading.md):
 //   * ALL protocol execution — client issues, deliveries, timer callbacks —
-//     runs under one stack lock (`run_exclusive`). The protocol stack
-//     (GroupService, runtimes, servers, ledger, obs) therefore needs no
-//     internal synchronization, and a delivery observes everything the
-//     send that caused it observed.
+//     runs under the machine-sharded stack lock (net/shard.hpp): every
+//     execution holds the shards of its *domain*, the set of machines it
+//     may touch, acquired in ascending order. Executions with overlapping
+//     domains are mutually excluded (so shared records stay race-free: any
+//     two executions touching a group's record both hold its write group's
+//     shards); executions over disjoint machines run concurrently.
+//     `run_exclusive` takes every shard — the global domain.
+//   * A delivery runs under domain(sender) | bit(destination), captured at
+//     send time; timer actions run under the domain of the context that
+//     scheduled them. A delivery therefore observes everything the send
+//     that caused it observed.
 //   * The transport fabric itself is concurrent: ring push/pop are
 //     lock-free, the transmit token is a spinlock held only for the push,
-//     and workers drain rings outside the stack lock.
+//     and workers drain rings outside the stack shards.
 //   * A send never blocks: when a ring is full it spills to a small
 //     mutex-guarded overflow queue drained by the same worker (FIFO order
 //     per (segment, machine) is preserved because the worker empties the
@@ -39,6 +46,7 @@
 #include <vector>
 
 #include "exec/threaded_executor.hpp"
+#include "net/shard.hpp"
 #include "net/spsc_ring.hpp"
 #include "net/transport.hpp"
 
@@ -74,6 +82,11 @@ class ThreadedTransport final : public Transport {
   void set_obs(obs::Obs o) override;
   obs::Obs observability() const override;
   void run_exclusive(const std::function<void()>& fn) override;
+  void run_scoped(std::uint64_t domain,
+                  const std::function<void()>& fn) override;
+  bool context_is_global() const override;
+  void defer_exclusive(std::function<void()> fn) override;
+  void with_global_context(const std::function<void()>& fn) override;
   void shutdown() override;
 
   // --- threaded-specific observers ------------------------------------------
@@ -119,6 +132,13 @@ class ThreadedTransport final : public Transport {
                exec::Time timeout_us = 30'000'000);
 
  private:
+  /// One delivery plus the domain its execution must hold: the sender's
+  /// ambient domain widened by the destination's shard.
+  struct Sealed {
+    Delivery fn;
+    DomainMask domain = kGlobalDomain;
+  };
+
   struct Worker {
     std::thread thread;
     std::mutex mu;
@@ -128,19 +148,29 @@ class ThreadedTransport final : public Transport {
     // Overflow lane for full rings, one deque per source segment to keep
     // the per-(segment, machine) FIFO contract.
     std::mutex overflow_mu;
-    std::vector<std::deque<Delivery>> overflow;
+    std::vector<std::deque<Sealed>> overflow;
   };
 
-  SpscRing<Delivery>& ring(std::uint32_t segment, std::uint32_t machine) {
+  SpscRing<Sealed>& ring(std::uint32_t segment, std::uint32_t machine) {
     return *rings_[segment * machine_count() + machine];
   }
   void worker_loop(std::uint32_t machine);
   /// Push onto the (segment, to) ring, spilling to the overflow lane when
   /// full. `cap` bounds the lane (kUnboundedBridge = never shed); returns
   /// false when the delivery was shed at a full lane.
-  bool enqueue(std::uint32_t segment, MachineId to, Delivery deliver,
+  bool enqueue(std::uint32_t segment, MachineId to, Sealed sealed,
                std::size_t cap);
   void wake(Worker& worker);
+  /// The calling thread's ambient domain on THIS transport (global for
+  /// foreign threads). Observability forces global: the tracer's ambient
+  /// op context is inherently single-threaded.
+  DomainMask context_mask() const {
+    if (obs_.metrics != nullptr || obs_.tracer != nullptr) {
+      return kGlobalDomain;
+    }
+    const DomainContext& c = tls_domain();
+    return c.owner == this ? c.mask : kGlobalDomain;
+  }
 
   CostModel model_;
   Topology topology_;
@@ -148,8 +178,9 @@ class ThreadedTransport final : public Transport {
   obs::Obs obs_;
   ThreadedTransportOptions options_;
 
-  /// THE stack lock: every protocol step (issue, delivery, timer) holds it.
-  std::mutex stack_mu_;
+  /// THE stack lock, sharded per machine: every protocol step (issue,
+  /// delivery, timer) holds the shards of its domain, ascending.
+  ShardedStackLock shards_;
 
   std::unique_ptr<exec::ThreadedExecutor> executor_;
   std::vector<std::atomic<bool>> up_;
@@ -157,7 +188,7 @@ class ThreadedTransport final : public Transport {
   /// (segment, machine) ring — whoever holds segment s's token is the one
   /// producer for every ring (s, *).
   std::vector<std::unique_ptr<std::atomic_flag>> tokens_;
-  std::vector<std::unique_ptr<SpscRing<Delivery>>> rings_;
+  std::vector<std::unique_ptr<SpscRing<Sealed>>> rings_;
   std::vector<std::unique_ptr<Worker>> workers_;
 
   std::atomic<bool> stopping_{false};

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -46,12 +47,17 @@ struct TrafficStats {
 /// the persistence layer reports its durable writes here so disk space is
 /// an accounted resource, not just latency.
 ///
-/// Not internally synchronized: on the threaded transport every charge and
-/// read happens under the transport's stack lock (all protocol execution is
-/// serialized through it — see ThreadedTransport::run_exclusive).
+/// Internally synchronized by a leaf mutex: with the real-clock transports'
+/// sharded stack locks (net/shard.hpp), charges arrive concurrently from
+/// executions holding disjoint shard sets. The totals stay exactly
+/// order-independent — every charged value is an integer or a small dyadic
+/// fraction well inside double's exact range, so summation order cannot
+/// perturb a bit. `per_tag()` returns a reference and must only be read
+/// from a quiescent or globally-excluded context.
 class CostLedger {
  public:
   void charge_message(const std::string& tag, std::size_t bytes, Cost cost) {
+    std::lock_guard<std::mutex> lock(mu_);
     total_msg_cost_ += cost;
     auto& stats = per_tag_[tag];
     ++stats.messages;
@@ -65,6 +71,7 @@ class CostLedger {
   /// shape: a machine's work survives its crashes (the ledger meters the
   /// whole experiment, not a single incarnation).
   void ensure_machines(std::size_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
     if (work_per_machine_.size() < n) work_per_machine_.resize(n, 0);
     if (disk_bytes_per_machine_.size() < n) {
       disk_bytes_per_machine_.resize(n, 0);
@@ -72,6 +79,7 @@ class CostLedger {
   }
 
   void charge_work(MachineId machine, Cost amount) {
+    std::lock_guard<std::mutex> lock(mu_);
     total_work_ += amount;
     if (machine.value >= work_per_machine_.size()) {
       work_per_machine_.resize(machine.value + 1, 0);
@@ -83,6 +91,7 @@ class CostLedger {
   /// checkpoint images). Like work, the totals survive crashes: disk writes
   /// happened whether or not the machine lived to use them.
   void charge_disk(MachineId machine, std::uint64_t bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
     total_disk_bytes_ += bytes;
     if (machine.value >= disk_bytes_per_machine_.size()) {
       disk_bytes_per_machine_.resize(machine.value + 1, 0);
@@ -90,15 +99,26 @@ class CostLedger {
     disk_bytes_per_machine_[machine.value] += bytes;
   }
 
-  Cost total_msg_cost() const { return total_msg_cost_; }
-  Cost total_work() const { return total_work_; }
+  Cost total_msg_cost() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_msg_cost_;
+  }
+  Cost total_work() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_work_;
+  }
   Cost work_of(MachineId machine) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return machine.value < work_per_machine_.size()
                ? work_per_machine_[machine.value]
                : 0;
   }
-  std::uint64_t total_disk_bytes_written() const { return total_disk_bytes_; }
+  std::uint64_t total_disk_bytes_written() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_disk_bytes_;
+  }
   std::uint64_t disk_bytes_written_of(MachineId machine) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return machine.value < disk_bytes_per_machine_.size()
                ? disk_bytes_per_machine_[machine.value]
                : 0;
@@ -108,6 +128,7 @@ class CostLedger {
   }
 
   void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
     total_msg_cost_ = 0;
     total_work_ = 0;
     total_disk_bytes_ = 0;
@@ -127,9 +148,13 @@ class CostLedger {
     std::vector<Cost> work;
   };
 
-  Snapshot snapshot() const { return {total_msg_cost_, work_per_machine_}; }
+  Snapshot snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return {total_msg_cost_, work_per_machine_};
+  }
 
   CostTriple since(const Snapshot& s) const {
+    std::lock_guard<std::mutex> lock(mu_);
     CostTriple t;
     t.msg_cost = total_msg_cost_ - s.msg_cost;
     for (std::size_t i = 0; i < work_per_machine_.size(); ++i) {
@@ -142,6 +167,7 @@ class CostLedger {
   }
 
  private:
+  mutable std::mutex mu_;
   Cost total_msg_cost_ = 0;
   Cost total_work_ = 0;
   std::uint64_t total_disk_bytes_ = 0;
@@ -195,10 +221,43 @@ class Transport {
 
   /// Run `fn` mutually excluded against all protocol execution on this
   /// transport. On the simulated bus this is a plain call (everything is
-  /// one thread); the threaded transport takes its stack lock. External
+  /// one thread); the real-clock transports take every stack shard. External
   /// drivers (benches, the REPL, sync wrappers) must issue operations and
   /// read protocol state through this.
   virtual void run_exclusive(const std::function<void()>& fn) { fn(); }
+
+  /// Run `fn` excluded only against protocol executions whose domain
+  /// overlaps `domain` — a bitmask of machine shards (net/shard.hpp). The
+  /// sharded real-clock transports let disjoint-domain executions proceed
+  /// concurrently; the simulated bus (single-threaded by construction)
+  /// treats every domain as exclusive. Callers must pass a superset of the
+  /// machines the execution can touch; when in doubt use run_exclusive.
+  virtual void run_scoped(std::uint64_t domain,
+                          const std::function<void()>& fn) {
+    (void)domain;
+    run_exclusive(fn);
+  }
+
+  /// True when the calling context excludes ALL protocol execution on this
+  /// transport — i.e. global-domain work (view installs, crash handling)
+  /// may run inline here. Always true on the simulated bus. Protocol code
+  /// that must touch machines outside its domain checks this and defers via
+  /// defer_exclusive instead of running inline.
+  virtual bool context_is_global() const { return true; }
+
+  /// Schedule `fn` to run as soon as possible in a GLOBAL-domain execution
+  /// (all shards held). On the simulated bus this is exactly
+  /// executor().schedule_after(0, fn) — same event, same ordering — so sim
+  /// timelines are unchanged by code that routes through it.
+  virtual void defer_exclusive(std::function<void()> fn) {
+    executor().schedule_after(0, std::move(fn));
+  }
+
+  /// Run `fn` with the ambient domain forced to global, WITHOUT taking any
+  /// locks: sends issued inside produce global-domain deliveries. For rare
+  /// escape hatches (marker notifications) whose delivery chains can reach
+  /// machines outside the sender's domain. Plain call on the simulated bus.
+  virtual void with_global_context(const std::function<void()>& fn) { fn(); }
 
   /// Stop delivering: join worker/timer threads on the threaded transport
   /// (idempotent; pending deliveries are dropped). No-op on the simulated

@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "net/shard.hpp"
 #include "paso/placement.hpp"
 #include "storage/hash_store.hpp"
 
@@ -47,6 +48,17 @@ Cluster::Cluster(Schema schema, ClusterConfig config)
   }
   groups_ = std::make_unique<vsync::GroupService>(*transport_, config_.vsync);
   basic_support_.resize(schema_.class_count());
+  class_domain_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(schema_.class_count());
+  for (std::uint32_t c = 0; c < schema_.class_count(); ++c) {
+    class_domain_[c].store(0, std::memory_order_relaxed);
+    const GroupName group = schema_.group_name(ClassId{c});
+    group_class_.emplace(group, ClassId{c});
+    // Sharded transports run disjoint-domain executions concurrently, and
+    // std::map insertion is unsafe under concurrent finds — prime every
+    // group record now so groups_ is structurally immutable under traffic.
+    groups_->prime_group(group);
+  }
   initializing_.resize(config_.machines, false);
   init_epoch_.resize(config_.machines, 0);
 
@@ -77,8 +89,19 @@ Cluster::Cluster(Schema schema, ClusterConfig config)
 
   // Every view installation — in particular the one ending a recovery's
   // state transfer — re-routes each runtime's in-flight robust operations.
+  // It also widens the class's domain mask: any machine that enters a view
+  // may be targeted by later ops of that class.
   groups_->add_view_listener(
       [this](const GroupName& group, const vsync::View& view) {
+        const auto it = group_class_.find(group);
+        if (it != group_class_.end()) {
+          std::uint64_t bits = 0;
+          for (const MachineId m : view.members) {
+            bits |= net::domain_bit(m.value);
+          }
+          class_domain_[it->second.value].fetch_or(bits,
+                                                   std::memory_order_relaxed);
+        }
         for (const auto& runtime : runtimes_) {
           runtime->on_group_view_change(group, view);
         }
@@ -139,14 +162,20 @@ void Cluster::wire_machine(MachineId m) {
   });
 
   // Marker notifications travel the bus from the observing server to the
-  // marker's owner (the runtime that placed it).
+  // marker's owner (the runtime that placed it). The notification wakes a
+  // blocked read whose re-execution may fan out to any candidate class, so
+  // its delivery cannot be bounded by the insert chain that tripped the
+  // marker: advertise the global context for this one send (no extra locks
+  // — the delivery, not the send, pays for the wider domain).
   server.set_marker_hook([this, m](MachineId owner, std::uint64_t marker_id,
                                    const PasoObject& object) {
-    transport_->send(m, owner, "marker-notify", 8 + object.wire_size(),
-                   [this, owner, marker_id, object] {
-                     runtimes_[owner.value]->on_marker_notification(marker_id,
-                                                                    object);
-                   });
+    transport_->with_global_context([&] {
+      transport_->send(m, owner, "marker-notify", 8 + object.wire_size(),
+                       [this, owner, marker_id, object] {
+                         runtimes_[owner.value]->on_marker_notification(
+                             marker_id, object);
+                       });
+    });
   });
 }
 
@@ -168,6 +197,13 @@ persist::PersistenceManager& Cluster::persistence(MachineId m) {
 // ---------------------------------------------------------------------------
 // basic support
 
+void Cluster::note_support_domain(ClassId cls,
+                                  const std::vector<MachineId>& members) {
+  std::uint64_t bits = 0;
+  for (const MachineId m : members) bits |= net::domain_bit(m.value);
+  class_domain_[cls.value].fetch_or(bits, std::memory_order_relaxed);
+}
+
 void Cluster::assign_basic_support() {
   const std::size_t n = config_.machines;
   for (std::uint32_t c = 0; c < schema_.class_count(); ++c) {
@@ -177,6 +213,9 @@ void Cluster::assign_basic_support() {
       members.push_back(MachineId{static_cast<std::uint32_t>((c + i) % n)});
     }
     basic_support_[c] = std::move(members);
+  }
+  for (std::uint32_t c = 0; c < schema_.class_count(); ++c) {
+    note_support_domain(ClassId{c}, basic_support_[c]);
   }
   transport_->run_exclusive([this] {
     for (std::uint32_t c = 0; c < schema_.class_count(); ++c) {
@@ -192,6 +231,7 @@ void Cluster::set_basic_support(ClassId cls, std::vector<MachineId> members) {
   PASO_REQUIRE(cls.value < basic_support_.size(), "unknown class");
   PASO_REQUIRE(members.size() == config_.lambda + 1,
                "basic support must have lambda + 1 machines");
+  note_support_domain(cls, members);
   basic_support_[cls.value] = std::move(members);
 }
 
@@ -221,6 +261,7 @@ void Cluster::assign_placement_aware_support(
     std::vector<MachineId> members =
         choose_write_group(transport_->topology(), request);
     for (const MachineId m : members) ++load[m.value];
+    note_support_domain(ClassId{c}, members);
     basic_support_[c] = std::move(members);
   }
   transport_->run_exclusive([this] {
@@ -273,25 +314,31 @@ void Cluster::rebalance_placement(ClassId cls) {
     if (!contains(target, m)) leavers.push_back(m);
   }
   if (joiners.empty() && leavers.empty()) return;
+  note_support_domain(cls, target);
   basic_support_[cls.value] = target;
-  if (joiners.empty()) {
-    for (const MachineId m : leavers) runtimes_[m.value]->request_leave(cls);
-    return;
-  }
-  // Join-before-leave: the group only shrinks back to lambda+1 once every
-  // replacement member holds the state, so |wg(C)| never dips below the
-  // fault-tolerance floor mid-migration.
-  auto pending = std::make_shared<std::size_t>(joiners.size());
-  for (const MachineId m : joiners) {
-    runtimes_[m.value]->request_join(
-        cls, [this, cls, leavers, pending](bool) {
-          if (--*pending == 0) {
-            for (const MachineId l : leavers) {
-              runtimes_[l.value]->request_leave(cls);
+  // The join/leave issues are protocol work: take the stack (globally — a
+  // membership migration touches joiners, leavers, and every listener)
+  // before touching the runtimes. Plain call on the simulated bus.
+  transport_->run_exclusive([this, cls, &joiners, &leavers] {
+    if (joiners.empty()) {
+      for (const MachineId m : leavers) runtimes_[m.value]->request_leave(cls);
+      return;
+    }
+    // Join-before-leave: the group only shrinks back to lambda+1 once every
+    // replacement member holds the state, so |wg(C)| never dips below the
+    // fault-tolerance floor mid-migration.
+    auto pending = std::make_shared<std::size_t>(joiners.size());
+    for (const MachineId m : joiners) {
+      runtimes_[m.value]->request_join(
+          cls, [this, cls, leavers, pending](bool) {
+            if (--*pending == 0) {
+              for (const MachineId l : leavers) {
+                runtimes_[l.value]->request_leave(cls);
+              }
             }
-          }
-        });
-  }
+          });
+    }
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -439,7 +486,26 @@ struct SyncWaiter {
 
 }  // namespace
 
-void Cluster::drive_sync(const std::function<void(std::function<void()>)>& issue) {
+std::uint64_t Cluster::op_domain(MachineId issuer,
+                                 const std::vector<ClassId>& classes) const {
+  if (obs_ != nullptr || config_.runtime.admission != AdmissionMode::kOff ||
+      config_.runtime.batch_window != 0 || config_.machines > 64 ||
+      classes.empty()) {
+    return net::kGlobalDomain;
+  }
+  std::uint64_t domain = net::domain_bit(issuer.value);
+  for (const ClassId cls : classes) {
+    const std::uint64_t mask =
+        class_domain_[cls.value].load(std::memory_order_relaxed);
+    if (mask == 0) return net::kGlobalDomain;  // support never assigned
+    domain |= mask;
+  }
+  return domain;
+}
+
+void Cluster::drive_sync(
+    std::uint64_t domain,
+    const std::function<void(std::function<void()>)>& issue) {
   if (config_.transport == TransportKind::kSim) {
     bool done = false;
     issue([&done] { done = true; });
@@ -447,14 +513,19 @@ void Cluster::drive_sync(const std::function<void(std::function<void()>)>& issue
     return;
   }
   auto waiter = std::make_shared<SyncWaiter>();
-  transport_->run_exclusive(
-      [&issue, waiter] { issue([waiter] { waiter->signal(); }); });
+  transport_->run_scoped(
+      domain, [&issue, waiter] { issue([waiter] { waiter->signal(); }); });
   waiter->wait();
 }
 
 bool Cluster::insert_sync(ProcessId process, Tuple fields) {
+  const std::optional<ClassId> cls = schema_.classify(fields);
+  const std::uint64_t domain =
+      op_domain(process.machine, cls.has_value()
+                                     ? std::vector<ClassId>{*cls}
+                                     : std::vector<ClassId>{});
   bool done = false;
-  drive_sync([&](std::function<void()> fire) {
+  drive_sync(domain, [&](std::function<void()> fire) {
     runtime(process.machine)
         .insert(process, std::move(fields), [&done, fire = std::move(fire)] {
           done = true;
@@ -465,8 +536,10 @@ bool Cluster::insert_sync(ProcessId process, Tuple fields) {
 }
 
 SearchResponse Cluster::read_sync(ProcessId process, SearchCriterion sc) {
+  const std::uint64_t domain =
+      op_domain(process.machine, schema_.candidate_classes(sc));
   std::optional<SearchResponse> out;
-  drive_sync([&](std::function<void()> fire) {
+  drive_sync(domain, [&](std::function<void()> fire) {
     runtime(process.machine)
         .read(process, std::move(sc),
               [&out, fire = std::move(fire)](SearchResponse result) {
@@ -478,8 +551,10 @@ SearchResponse Cluster::read_sync(ProcessId process, SearchCriterion sc) {
 }
 
 SearchResponse Cluster::read_del_sync(ProcessId process, SearchCriterion sc) {
+  const std::uint64_t domain =
+      op_domain(process.machine, schema_.candidate_classes(sc));
   std::optional<SearchResponse> out;
-  drive_sync([&](std::function<void()> fire) {
+  drive_sync(domain, [&](std::function<void()> fire) {
     runtime(process.machine)
         .read_del(process, std::move(sc),
                   [&out, fire = std::move(fire)](SearchResponse result) {
@@ -494,8 +569,10 @@ SearchResponse Cluster::read_blocking_sync(ProcessId process,
                                            SearchCriterion sc,
                                            BlockingMode mode,
                                            sim::SimTime deadline) {
+  const std::uint64_t domain =
+      op_domain(process.machine, schema_.candidate_classes(sc));
   std::optional<SearchResponse> out;
-  drive_sync([&](std::function<void()> fire) {
+  drive_sync(domain, [&](std::function<void()> fire) {
     runtime(process.machine)
         .read_blocking(process, std::move(sc),
                        [&out, fire = std::move(fire)](SearchResponse result) {

@@ -9,6 +9,8 @@
 // operation completes (how examples and tests drive the system).
 #pragma once
 
+#include <atomic>
+#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -222,7 +224,21 @@ class Cluster {
   /// Issue an async operation and block until its completion fires: pump the
   /// simulator (kSim) or wait on a condition variable (kThreaded). `issue`
   /// receives the completion hook to splice into the operation's callback.
-  void drive_sync(const std::function<void(std::function<void()>)>& issue);
+  /// On sharded transports the issue runs under `domain`'s stack shards
+  /// (kGlobalDomain = the classic exclusive issue).
+  void drive_sync(std::uint64_t domain,
+                  const std::function<void(std::function<void()>)>& issue);
+  /// The stack-shard domain for an op issued at `issuer` over `classes`:
+  /// the issuer's shard plus every candidate class's accumulated domain
+  /// mask. Degrades to the global domain whenever narrowing is unsound —
+  /// observability on (the tracer's ambient context is single-threaded),
+  /// admission queueing (parked ops drain from foreign chains), batching
+  /// (a window aggregates ops of any class), more machines than mask bits,
+  /// a class whose support was never assigned, or no candidate classes.
+  std::uint64_t op_domain(MachineId issuer,
+                          const std::vector<ClassId>& classes) const;
+  /// Fold `members` into the class's widen-only domain mask.
+  void note_support_domain(ClassId cls, const std::vector<MachineId>& members);
 
   Schema schema_;
   ClusterConfig config_;
@@ -240,6 +256,15 @@ class Cluster {
   std::vector<std::unique_ptr<MemoryServer>> servers_;
   std::vector<std::unique_ptr<PasoRuntime>> runtimes_;
   std::vector<std::vector<MachineId>> basic_support_;
+  /// Per-class machine-bit masks, the union of every machine that ever
+  /// served the class (basic support assignments and installed views).
+  /// Widen-only (fetch_or), so an op issued with an older mask always
+  /// overlaps one issued later for the same class — the property the
+  /// sharded transports' mutual-exclusion argument rests on. Indexed by
+  /// ClassId; 0 = never assigned (ops force the global domain).
+  std::unique_ptr<std::atomic<std::uint64_t>[]> class_domain_;
+  /// Group name -> class, so the view listener can widen class_domain_.
+  std::map<GroupName, ClassId> group_class_;
   std::vector<bool> initializing_;
   std::vector<std::uint64_t> init_epoch_;
   std::vector<semantics::RunContext::CrashEvent> crash_log_;

@@ -79,8 +79,11 @@ int machine_endpoint_main(const EndpointConfig& config) {
   // One decoder for the connection's whole life: the broker may coalesce
   // the HelloAck and the first kMsg frames into a single TCP segment, so
   // bytes fed during the handshake can already hold post-handshake frames —
-  // a second decoder would silently swallow them.
+  // a second decoder would silently swallow them. The endpoint acks kMsg
+  // frames by seq and never reads the filler payload, so skip extracting
+  // it: no per-frame allocation on the hot path.
   FrameDecoder decoder;
+  decoder.set_skip_payload(true);
 
   // Handshake (still blocking): Hello out, HelloAck back.
   {

@@ -6,11 +6,12 @@ std::uint64_t HistoryRecorder::insert_issued(ProcessId process,
                                              sim::SimTime now,
                                              const PasoObject& object) {
   OpRecord record;
-  record.op_id = records_.size();
   record.process = process;
   record.kind = OpKind::kInsert;
   record.issue_time = now;
   record.inserted = object;
+  std::lock_guard<std::mutex> lock(mu_);
+  record.op_id = records_.size();
   records_.push_back(std::move(record));
   return records_.back().op_id;
 }
@@ -20,11 +21,12 @@ std::uint64_t HistoryRecorder::search_issued(ProcessId process,
                                              const SearchCriterion& criterion) {
   PASO_REQUIRE(kind != OpKind::kInsert, "use insert_issued");
   OpRecord record;
-  record.op_id = records_.size();
   record.process = process;
   record.kind = kind;
   record.issue_time = now;
   record.criterion = criterion;
+  std::lock_guard<std::mutex> lock(mu_);
+  record.op_id = records_.size();
   records_.push_back(std::move(record));
   return records_.back().op_id;
 }
@@ -36,6 +38,7 @@ OpRecord& HistoryRecorder::record_of(std::uint64_t op_id) {
 
 void HistoryRecorder::op_returned(std::uint64_t op_id, sim::SimTime now,
                                   std::optional<PasoObject> result) {
+  std::lock_guard<std::mutex> lock(mu_);
   OpRecord& record = record_of(op_id);
   PASO_REQUIRE(!record.return_time.has_value(), "op returned twice");
   PASO_REQUIRE(now >= record.issue_time, "return precedes issue");
@@ -44,6 +47,7 @@ void HistoryRecorder::op_returned(std::uint64_t op_id, sim::SimTime now,
 }
 
 void HistoryRecorder::op_abandoned(std::uint64_t op_id, sim::SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
   OpRecord& record = record_of(op_id);
   PASO_REQUIRE(!record.return_time.has_value(), "abandoning a returned op");
   PASO_REQUIRE(now >= record.issue_time, "abandon precedes issue");

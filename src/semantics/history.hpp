@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -68,13 +69,26 @@ class HistoryRecorder {
   /// surfaced to the caller). Mutually exclusive with op_returned.
   void op_abandoned(std::uint64_t op_id, sim::SimTime now);
 
+  /// Direct reference into the record list: only valid while the run is
+  /// quiescent (the checker and reporters read it after the cluster drains;
+  /// concurrent issues would reallocate under the reader).
   const std::vector<OpRecord>& records() const { return records_; }
-  std::size_t size() const { return records_.size(); }
-  void clear() { records_.clear(); }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.size();
+  }
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.clear();
+  }
 
  private:
   OpRecord& record_of(std::uint64_t op_id);
 
+  /// Issues append and returns mutate in place; on sharded transports those
+  /// executions may hold disjoint stack shards, so the recorder serializes
+  /// internally (a leaf lock: nothing else is acquired while held).
+  mutable std::mutex mu_;
   std::vector<OpRecord> records_;
 };
 

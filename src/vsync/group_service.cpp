@@ -96,6 +96,18 @@ void GroupService::gcast_to(const GroupName& name, MachineId issuer,
 void GroupService::pump(const GroupName& name) {
   Group& group = group_record(name);
   if (group.busy || group.queue.empty()) return;
+  // Membership changes install views, and install_view touches every member
+  // endpoint plus every view listener — a footprint wider than any one op's
+  // domain. On a sharded transport, a join/leave reaching the head of the
+  // queue inside a narrowed execution defers to a fresh global execution
+  // before dispatching. The simulator's context is always global, so this
+  // gate never fires there and simulated timelines stay bit-identical.
+  // (Duplicate deferrals are harmless: pump() is idempotent on busy/empty.)
+  if (group.queue.front()->kind != Op::Kind::kGcast &&
+      !network_.context_is_global()) {
+    network_.defer_exclusive([this, name] { pump(name); });
+    return;
+  }
   group.busy = true;
   Op& op = *group.queue.front();
   switch (op.kind) {

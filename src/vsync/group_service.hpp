@@ -26,6 +26,7 @@
 #pragma once
 
 #include <any>
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <map>
@@ -133,11 +134,23 @@ class GroupService {
   }
 
   /// Number of completed gcasts (for tests).
-  std::uint64_t gcasts_completed() const { return gcasts_completed_; }
+  std::uint64_t gcasts_completed() const {
+    return gcasts_completed_.load(std::memory_order_relaxed);
+  }
   /// Messages re-sent by the ack-timeout retransmission machinery.
-  std::uint64_t retransmits() const { return retransmits_; }
+  std::uint64_t retransmits() const {
+    return retransmits_.load(std::memory_order_relaxed);
+  }
 
   void set_obs(obs::Obs o) { obs_ = o; }
+
+  /// Pre-create a group's record. Sharded transports run executions over
+  /// disjoint machine sets concurrently, and std::map insertion is not safe
+  /// under concurrent finds — so every group a deployment will ever use is
+  /// primed at wiring time, making groups_ structurally immutable while
+  /// traffic flows. An empty primed group is behavior-neutral: view_of and
+  /// the op queue treat "absent" and "empty" identically.
+  void prime_group(const GroupName& group) { group_record(group); }
 
  private:
   struct GcastOp {
@@ -220,10 +233,13 @@ class GroupService {
   std::map<GroupName, Group> groups_;
   std::vector<GroupEndpoint*> endpoints_;
   std::vector<ViewListener> view_listeners_;
-  std::uint64_t next_op_id_ = 1;
-  std::uint64_t next_view_id_ = 1;
-  std::uint64_t gcasts_completed_ = 0;
-  std::uint64_t retransmits_ = 0;
+  // Scalar counters are atomics: ids are drawn from executions whose
+  // domains may be disjoint (and thus run concurrently on sharded
+  // transports); the stats are read by tests without the stack lock.
+  std::atomic<std::uint64_t> next_op_id_{1};
+  std::atomic<std::uint64_t> next_view_id_{1};
+  std::atomic<std::uint64_t> gcasts_completed_{0};
+  std::atomic<std::uint64_t> retransmits_{0};
 };
 
 }  // namespace paso::vsync

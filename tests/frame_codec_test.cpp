@@ -176,6 +176,63 @@ TEST(FrameCodec, MaxLengthBoundaryIsExact) {
   }
 }
 
+TEST(FrameCodec, TenThousandFramesOneByteAtATimeStayLinear) {
+  // The quadratic trap this guards: a decoder that erases its consumed
+  // prefix on every feed makes a long-lived connection O(bytes²). The
+  // probe counters — not wall time, which lies on loaded CI boxes — assert
+  // the actual cost: each byte through the decoder is moved at most once.
+  constexpr int kFrames = 10'000;
+  std::string wire;
+  for (int i = 0; i < kFrames; ++i) {
+    encode_frame(make_frame(FrameType::kMsg, 1, static_cast<std::uint64_t>(i),
+                            std::string(16, 'x')),
+                 wire);
+  }
+
+  // Torn-write extreme: every byte in its own feed, frames drained as soon
+  // as they complete. The fully-consumed fast path resets the buffer with
+  // zero copies, so NO compaction should ever fire here.
+  FrameDecoder decoder;
+  int seen = 0;
+  for (const char byte : wire) {
+    decoder.feed(&byte, 1);
+    for (;;) {
+      const DecodeResult r = decoder.next();
+      ASSERT_EQ(r.error, FrameErrorKind::kNone);
+      if (!r.has_frame) break;
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, kFrames);
+  EXPECT_EQ(decoder.compactions(), 0u)
+      << "eager draining should hit the free clear path, not memmove";
+  EXPECT_EQ(decoder.bytes_moved(), 0u);
+
+  // Misaligned chunks: each feed leaves a torn frame tail, so the buffer is
+  // never fully consumed and the clear fast path never applies — this is
+  // the pattern that must compact. Linearity bound: live bytes are moved at
+  // most once each, so bytes_moved can never exceed the bytes fed (the old
+  // erase-per-feed behavior moves ~bytes * frames/2 and explodes this
+  // counter by orders of magnitude).
+  FrameDecoder torn;
+  const std::size_t chunk = 33 * 7 + 1;  // frame size 33, never aligned
+  seen = 0;
+  for (std::size_t off = 0; off < wire.size(); off += chunk) {
+    torn.feed(wire.data() + off, std::min(chunk, wire.size() - off));
+    for (;;) {
+      const DecodeResult r = torn.next();
+      ASSERT_EQ(r.error, FrameErrorKind::kNone);
+      if (!r.has_frame) break;
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, kFrames);
+  EXPECT_GT(torn.compactions(), 0u)
+      << "the compaction path never fired — the buffer grew unboundedly";
+  EXPECT_LE(torn.bytes_moved(), wire.size())
+      << "bytes moved exceed bytes fed: compaction is super-linear";
+}
+
 TEST(FrameCodec, InterleavedGarbageAfterValidFramePoisons) {
   // One good frame, then noise: the good frame decodes, the noise is a
   // typed error — and pending_bytes never silently swallows data.

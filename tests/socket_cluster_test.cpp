@@ -126,8 +126,18 @@ TEST(SocketCluster, SigkillMidRunIsDetectedAndSurvivorsKeepServing) {
   ASSERT_TRUE(wait_until([&] { return !cluster.is_up(MachineId{2}); }))
       << "process death was never mapped onto the crash path";
   EXPECT_FALSE(cluster.socket_transport().endpoint_alive(MachineId{2}));
-  ASSERT_EQ(cluster.crash_log().size(), 1u);
-  EXPECT_EQ(cluster.crash_log()[0].machine.value, 2u);
+  // The supervisor thread appends to the crash log inside run_exclusive;
+  // read it under the same exclusion instead of racing the push_back.
+  std::size_t crashes = 0;
+  std::uint32_t crashed = ~0u;
+  cluster.transport().run_exclusive([&] {
+    crashes = cluster.crash_log().size();
+    if (!cluster.crash_log().empty()) {
+      crashed = cluster.crash_log()[0].machine.value;
+    }
+  });
+  ASSERT_EQ(crashes, 1u);
+  EXPECT_EQ(crashed, 2u);
 
   // Give the view change room to finish, then phase 2: survivors read the
   // seeded keys and write fresh ones. Every one of these must come back

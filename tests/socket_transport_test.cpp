@@ -8,6 +8,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <string>
 #include <thread>
@@ -280,6 +281,66 @@ TEST(SocketTransport, HeartbeatsFlowOnAnIdleFabric) {
   transport.run_exclusive(
       [&] { EXPECT_DOUBLE_EQ(transport.ledger().total_msg_cost(), 0.0); });
   EXPECT_EQ(transport.messages(), 0u);
+  transport.shutdown();
+}
+
+TEST(SocketTransport, BurstCoalescesFramesIntoFewWriteSyscalls) {
+  // Syscall batching: 64 messages issued back-to-back must leave the broker
+  // in far fewer writev calls than frames — frames queued while the wire
+  // was busy ride a later vectored write for free. The instrumented
+  // counters make the ratio a hard assertion instead of an strace eyeball.
+  SocketTransport transport(CostModel{1.0, 0.0}, 2);
+  ASSERT_TRUE(transport.quiesce());  // handshake flushes settle first
+  const std::uint64_t frames_before = transport.frames_sent();
+  const std::uint64_t writes_before = transport.write_syscalls();
+  constexpr int kBurst = 64;
+  std::atomic<int> delivered{0};
+  transport.run_exclusive([&] {
+    for (int i = 0; i < kBurst; ++i) {
+      transport.send(MachineId{0}, MachineId{1}, "burst", 32,
+                     [&] { delivered.fetch_add(1); });
+    }
+  });
+  ASSERT_TRUE(transport.quiesce());
+  EXPECT_EQ(delivered.load(), kBurst);
+  const std::uint64_t frames = transport.frames_sent() - frames_before;
+  const std::uint64_t writes = transport.write_syscalls() - writes_before;
+  EXPECT_EQ(frames, static_cast<std::uint64_t>(kBurst));
+  ASSERT_GT(writes, 0u);
+  // The acceptance bar: at least 2x fewer write syscalls than frames. In
+  // practice the whole burst usually leaves in a handful of writev calls.
+  EXPECT_LE(writes * 2, frames)
+      << frames << " frames took " << writes
+      << " write syscalls — batching is not coalescing";
+  std::printf("coalescing: %llu frames left in %llu writev calls\n",
+              static_cast<unsigned long long>(frames),
+              static_cast<unsigned long long>(writes));
+  transport.shutdown();
+}
+
+TEST(SocketTransport, IdleFabricFiresShortTimerPromptly) {
+  // Deadline-driven sleeping: a 5 ms timer on an otherwise idle fabric must
+  // fire in ~one scheduling hop, not after a fixed 20/50 ms poll tick. The
+  // bound is generous (a loaded CI box may preempt the timer thread) but
+  // sits far below the old tick quantization this guards against.
+  SocketTransportOptions options;
+  options.heartbeat_interval_us = 1'000'000;  // keep the wire truly idle
+  SocketTransport transport(CostModel{1.0, 0.0}, 2, net::Topology{}, options);
+  ASSERT_TRUE(transport.quiesce());
+  std::atomic<long> fired_after_us{-1};
+  const auto start = std::chrono::steady_clock::now();
+  transport.executor().schedule_after(5'000, [&] {
+    fired_after_us.store(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  });
+  ASSERT_TRUE(wait_until([&] { return fired_after_us.load() >= 0; }))
+      << "the 5 ms timer never fired";
+  EXPECT_GE(fired_after_us.load(), 5'000);
+  EXPECT_LT(fired_after_us.load(), 20'000)
+      << "timer latency looks tick-quantized: " << fired_after_us.load()
+      << " us for a 5 ms timer";
   transport.shutdown();
 }
 

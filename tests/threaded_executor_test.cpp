@@ -100,7 +100,7 @@ TEST(ThreadedExecutor, RunnerHookWrapsEveryAction) {
   // The transport uses the runner to take its stack lock around actions;
   // here we just count invocations through the hook.
   std::atomic<int> wrapped{0};
-  ThreadedExecutor exec([&wrapped](Executor::Action&& action) {
+  ThreadedExecutor exec([&wrapped](Executor::Action&& action, std::uint64_t) {
     wrapped.fetch_add(1);
     action();
   });

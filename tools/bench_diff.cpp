@@ -25,7 +25,16 @@
 // chaos_overhead re-pin was exactly this, re-pinned blind). CI runs the
 // gated benches twice and feeds both outputs through this mode.
 //
-// Usage: bench_diff BASELINE FRESH [--tolerance=0.10]
+// --wall-report=PATH: additionally write every fresh row's wall-clock axes
+// (ns_per_op, ops_per_sec, p50_ns, p99_ns) as JSONL to PATH, each with the
+// baseline value and percentage delta when the baseline row carries the
+// axis. This is the *soft* wall-clock budget: the report never gates (wall
+// time moves with the runner, the load and the scheduler, not with the
+// algorithms) — CI uploads it as an artifact so a wall-clock trajectory
+// accumulates across runs and a real hot-path regression is visible the
+// day it lands, without a flaky gate.
+//
+// Usage: bench_diff BASELINE FRESH [--tolerance=0.10] [--wall-report=PATH]
 //        bench_diff --repeat RUN1 RUN2
 #include <cstdio>
 #include <cstdlib>
@@ -60,11 +69,14 @@ std::map<RowKey, paso::obs::JsonRow> load_rows(const char* path) {
 int main(int argc, char** argv) {
   double tolerance = 0.10;
   bool repeat_mode = false;
+  const char* wall_report = nullptr;
   const char* paths[2] = {nullptr, nullptr};
   int path_count = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--tolerance=", 12) == 0) {
       tolerance = std::atof(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--wall-report=", 14) == 0) {
+      wall_report = argv[i] + 14;
     } else if (std::strncmp(argv[i], "--repeat", 8) == 0) {
       repeat_mode = true;
     } else if (path_count < 2) {
@@ -73,7 +85,8 @@ int main(int argc, char** argv) {
   }
   if (path_count != 2) {
     std::fprintf(stderr,
-                 "usage: bench_diff BASELINE FRESH [--tolerance=0.10]\n"
+                 "usage: bench_diff BASELINE FRESH [--tolerance=0.10] "
+                 "[--wall-report=PATH]\n"
                  "       bench_diff --repeat RUN1 RUN2\n");
     return 2;
   }
@@ -223,6 +236,46 @@ int main(int argc, char** argv) {
       std::printf("warn: new row (not in baseline): %s / %s\n",
                   key.first.c_str(), key.second.c_str());
     }
+  }
+
+  if (wall_report != nullptr) {
+    // Soft wall-clock budget: one JSONL row per (bench, config, wall axis)
+    // the fresh run metered, with the baseline value and percent delta when
+    // the baseline carries the axis. Never gated — CI stores this artifact
+    // so wall-clock history accumulates without a machine-dependent gate.
+    std::ofstream os(wall_report);
+    if (!os) {
+      std::fprintf(stderr, "bench_diff: cannot write %s\n", wall_report);
+      return 2;
+    }
+    int wall_rows = 0;
+    for (const auto& [key, row] : fresh) {
+      const auto base_it = baseline.find(key);
+      for (const char* axis : kWallAxes) {
+        if (!row.has(axis)) continue;
+        const double now = row.num(axis);
+        if (now <= 0) continue;
+        char value[64];
+        std::snprintf(value, sizeof value, "%.6g", now);
+        os << "{\"bench\":\"" << key.first << "\",\"config\":\"" << key.second
+           << "\",\"axis\":\"" << axis << "\",\"value\":" << value;
+        if (base_it != baseline.end() && base_it->second.has(axis)) {
+          const double base = base_it->second.num(axis);
+          if (base > 0) {
+            char basebuf[64];
+            char delta[64];
+            std::snprintf(basebuf, sizeof basebuf, "%.6g", base);
+            std::snprintf(delta, sizeof delta, "%.2f",
+                          (now / base - 1.0) * 100);
+            os << ",\"baseline\":" << basebuf << ",\"delta_pct\":" << delta;
+          }
+        }
+        os << "}\n";
+        ++wall_rows;
+      }
+    }
+    std::printf("bench_diff: wall report (%d axis rows, not gated) -> %s\n",
+                wall_rows, wall_report);
   }
 
   std::printf("bench_diff: %d rows compared, %d regressions, %d improved "
